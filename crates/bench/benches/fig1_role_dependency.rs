@@ -1,0 +1,80 @@
+//! FIG-1 — role dependency through prerequisite roles.
+//!
+//! Fig 1 of the paper shows service C's activation rule consuming RMCs
+//! issued by services A and B, building a dependency tree rooted in the
+//! session's initial role. The measurable content of the figure: sessions
+//! are *chains/trees of activations*, so session-establishment cost grows
+//! linearly with dependency depth, and each activation is cheap (a rule
+//! evaluation plus a MAC).
+//!
+//! Reported series: time to establish a session of depth d, for
+//! d ∈ {1, 2, 4, 8, 16, 32}; plus the per-activation cost at depth 2.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use oasis::prelude::*;
+use oasis_bench::{table_header, ChainWorld};
+
+fn print_series() {
+    table_header(
+        "FIG-1 role dependency",
+        "session establishment scales linearly with prerequisite depth",
+        "depth  activations  cost-shape",
+    );
+    for depth in [1usize, 2, 4, 8, 16, 32] {
+        let world = ChainWorld::new(depth);
+        let rmcs = world.activate_chain(&PrincipalId::new("alice"));
+        println!(
+            "{depth:>5}  {:>11}  one rule evaluation + one MAC each",
+            rmcs.len()
+        );
+        assert_eq!(rmcs.len(), depth);
+        // The dependency edges of the figure exist end-to-end.
+        for pair in rmcs.windows(2) {
+            let deps = world.service.dependencies(pair[1].crr.cert_id).unwrap();
+            assert_eq!(deps, vec![pair[0].crr.clone()]);
+        }
+    }
+}
+
+fn bench(c: &mut Criterion) {
+    print_series();
+
+    let mut group = c.benchmark_group("fig1_session_establishment");
+    for depth in [1usize, 4, 8, 16, 32] {
+        let world = ChainWorld::new(depth);
+        let alice = PrincipalId::new("alice");
+        group.bench_with_input(BenchmarkId::from_parameter(depth), &depth, |b, _| {
+            b.iter(|| world.activate_chain(&alice));
+        });
+    }
+    group.finish();
+
+    // Single-activation cost with the prerequisite already in hand.
+    let world = ChainWorld::new(2);
+    let alice = PrincipalId::new("alice");
+    let root = world.activate_chain(&alice).remove(0);
+    let ctx = EnvContext::new(0);
+    let cred = [Credential::Rmc(root)];
+    c.bench_function("fig1_single_activation_with_prereq", |b| {
+        b.iter(|| {
+            world
+                .service
+                .activate_role(&alice, &RoleName::new("level1"), &[], &cred, &ctx)
+                .unwrap()
+        });
+    });
+}
+
+criterion_group! {
+    // Bounded measurement: several benchmarks accumulate issuer-side
+    // state (credential records, audit entries) per iteration, so the
+    // sampling windows are kept short to bound memory on full runs.
+    name = benches;
+    config = Criterion::default()
+        .sample_size(10)
+        .measurement_time(std::time::Duration::from_secs(1))
+        .warm_up_time(std::time::Duration::from_millis(300));
+    targets = bench
+}
+criterion_main!(benches);

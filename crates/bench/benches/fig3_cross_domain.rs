@@ -1,0 +1,198 @@
+//! FIG-3 — an OASIS session with cross-domain calls.
+//!
+//! Fig 3's scenario sends request-EHR from a hospital domain to the
+//! national EHR domain; the national service validates the hospital's
+//! credential by callback. The architectural claim exercised here: with
+//! validation caching (the ECR proxy of Fig 5) the callback cost is paid
+//! once per credential, so a burst of n cross-domain calls does ~1
+//! callback instead of n; and under simulated WAN latency the end-to-end
+//! difference is dominated by exactly those callbacks.
+//!
+//! Reported series: (a) callbacks issued for a burst of n calls, cached
+//! vs uncached; (b) simulated end-to-end latency of the Fig 3 exchange
+//! under LAN/WAN latency models, cached vs uncached.
+
+use std::cell::RefCell;
+use std::rc::Rc;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use oasis::prelude::*;
+use oasis::sim::{Histogram, Latency, LinkConfig, SimNet, Simulation};
+use oasis_bench::{table_header, CrossDomainWorld};
+
+fn print_callback_series() {
+    table_header(
+        "FIG-3 cross-domain calls (callback amortisation)",
+        "an ECR cache pays one validation callback per credential, not per call",
+        "burst  callbacks(uncached)  callbacks(cached)",
+    );
+    for burst in [1usize, 10, 100, 1_000] {
+        // Uncached: every invoke validates through the federation.
+        let world = CrossDomainWorld::new();
+        let rmc = world.issue_treating("dr-a", "p-1");
+        let dr = PrincipalId::new("dr-a");
+        let ctx = EnvContext::new(1);
+        let before = world.hospital.civ().stats().validations;
+        for _ in 0..burst {
+            world
+                .ehr
+                .invoke(
+                    &dr,
+                    "request_ehr",
+                    &[Value::id("p-1")],
+                    std::slice::from_ref(&Credential::Rmc(rmc.clone())),
+                    &ctx,
+                )
+                .unwrap();
+        }
+        let uncached = world.hospital.civ().stats().validations - before;
+
+        // Cached: the national service fronts validation with an ECR proxy.
+        let world = CrossDomainWorld::new();
+        let rmc = world.issue_treating("dr-a", "p-1");
+        let proxy = EcrProxy::new(
+            world.federation.validator_for("national"),
+            world.federation.bus(),
+            u64::MAX,
+        );
+        world.ehr.set_validator(proxy.clone());
+        for _ in 0..burst {
+            world
+                .ehr
+                .invoke(
+                    &dr,
+                    "request_ehr",
+                    &[Value::id("p-1")],
+                    std::slice::from_ref(&Credential::Rmc(rmc.clone())),
+                    &ctx,
+                )
+                .unwrap();
+        }
+        let cached = proxy.stats().misses;
+        println!("{burst:>5}  {uncached:>19}  {cached:>17}");
+    }
+}
+
+/// Simulates the Fig 3 exchange end-to-end under a latency model:
+/// client → ehr (request), ehr → hospital CIV (validation callback, only
+/// on cache miss), hospital → ehr (validation reply), ehr → client.
+/// Returns the completion-time histogram for `calls` sequential calls.
+fn simulate_exchange(latency: Latency, calls: usize, cached: bool) -> Histogram {
+    let mut sim = Simulation::new(7);
+    let histogram = Rc::new(RefCell::new(Histogram::new()));
+
+    // Validation state shared across calls (the cache).
+    let validated = Rc::new(RefCell::new(false));
+
+    for i in 0..calls {
+        let start = (i as u64) * 10_000;
+        let hist = Rc::clone(&histogram);
+        let validated = Rc::clone(&validated);
+        sim.schedule_at(start, move |sim| {
+            // client → ehr
+            let hist = Rc::clone(&hist);
+            let validated = Rc::clone(&validated);
+            let mut inner_net = SimNet::new(LinkConfig { latency, loss: 0.0 });
+            inner_net.send(sim, "client", "ehr", move |sim| {
+                let needs_callback = !(cached && *validated.borrow());
+                let hist2 = Rc::clone(&hist);
+                let mut net2 = SimNet::new(LinkConfig { latency, loss: 0.0 });
+                if needs_callback {
+                    let validated2 = Rc::clone(&validated);
+                    net2.send(sim, "ehr", "hospital-civ", move |sim| {
+                        *validated2.borrow_mut() = true;
+                        let hist3 = Rc::clone(&hist2);
+                        let mut net3 = SimNet::new(LinkConfig { latency, loss: 0.0 });
+                        net3.send(sim, "hospital-civ", "ehr", move |sim| {
+                            let hist4 = Rc::clone(&hist3);
+                            let mut net4 = SimNet::new(LinkConfig { latency, loss: 0.0 });
+                            net4.send(sim, "ehr", "client", move |sim| {
+                                hist4.borrow_mut().record(sim.now() - start);
+                            });
+                        });
+                    });
+                } else {
+                    net2.send(sim, "ehr", "client", move |sim| {
+                        hist2.borrow_mut().record(sim.now() - start);
+                    });
+                }
+            });
+        });
+    }
+    sim.run();
+    Rc::try_unwrap(histogram).unwrap().into_inner()
+}
+
+fn print_latency_series() {
+    table_header(
+        "FIG-3 cross-domain calls (simulated latency, 100 calls)",
+        "under WAN latency the validation callback dominates; caching removes it",
+        "link  mode      p50     p99",
+    );
+    for (name, latency) in [("LAN", Latency::lan()), ("WAN", Latency::wan())] {
+        for (mode, cached) in [("callback", false), ("cached", true)] {
+            let mut h = simulate_exchange(latency, 100, cached);
+            println!(
+                "{name:>4}  {mode:<8}  {:>6}  {:>6}",
+                h.quantile(0.5).unwrap(),
+                h.quantile(0.99).unwrap()
+            );
+        }
+    }
+}
+
+fn bench(c: &mut Criterion) {
+    print_callback_series();
+    print_latency_series();
+
+    // In-process timing of the real cross-domain invocation, cached vs not.
+    let mut group = c.benchmark_group("fig3_cross_domain_invoke");
+    for cached in [false, true] {
+        let world = CrossDomainWorld::new();
+        let rmc = world.issue_treating("dr-a", "p-1");
+        if cached {
+            let proxy = EcrProxy::new(
+                world.federation.validator_for("national"),
+                world.federation.bus(),
+                u64::MAX,
+            );
+            world.ehr.set_validator(proxy);
+        }
+        let dr = PrincipalId::new("dr-a");
+        let ctx = EnvContext::new(1);
+        let creds = [Credential::Rmc(rmc)];
+        group.bench_with_input(
+            BenchmarkId::from_parameter(if cached { "cached" } else { "callback" }),
+            &cached,
+            |b, _| {
+                b.iter(|| {
+                    world
+                        .ehr
+                        .invoke(&dr, "request_ehr", &[Value::id("p-1")], &creds, &ctx)
+                        .unwrap()
+                });
+            },
+        );
+    }
+    group.finish();
+
+    // Simulated exchange as a whole (deterministic, so measured once per
+    // iteration batch).
+    c.bench_function("fig3_sim_wan_100calls_cached", |b| {
+        b.iter(|| simulate_exchange(Latency::wan(), 100, true));
+    });
+}
+
+criterion_group! {
+    // Bounded measurement: several benchmarks accumulate issuer-side
+    // state (credential records, audit entries) per iteration, so the
+    // sampling windows are kept short to bound memory on full runs.
+    name = benches;
+    config = Criterion::default()
+        .sample_size(10)
+        .measurement_time(std::time::Duration::from_secs(1))
+        .warm_up_time(std::time::Duration::from_millis(300));
+    targets = bench
+}
+criterion_main!(benches);

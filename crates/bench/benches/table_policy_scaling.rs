@@ -1,0 +1,181 @@
+//! TAB-P — policy expression and deployment at scale.
+//!
+//! Sect. 1 argues that formally expressed, automatically deployed policy
+//! is "crucial for any large-scale deployment". This experiment
+//! quantifies the pipeline: parse + check + compile time for generated
+//! policy documents of growing size, and the cost of rule *evaluation*
+//! as the number of alternative rules per role grows (the engine tries
+//! rules in order).
+//!
+//! Reported series: pipeline time vs number of roles; activation time vs
+//! number of alternative rules (the satisfied rule placed last — worst
+//! case).
+
+use std::fmt::Write as _;
+use std::sync::Arc;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use oasis::prelude::*;
+use oasis_bench::table_header;
+
+/// Generates a valid policy with `roles` chained roles in one service.
+fn generate_policy(roles: usize) -> String {
+    let mut text = String::from("service generated {\n");
+    let _ = writeln!(text, "  initial role role0(u: id);");
+    for i in 1..roles {
+        let _ = writeln!(text, "  role role{i}(u: id);");
+    }
+    let _ = writeln!(text, "  rule role0(U) <- env fact0(U);");
+    for i in 1..roles {
+        let _ = writeln!(
+            text,
+            "  rule role{i}(U) <- prereq role{}(U), env fact{i}(U);",
+            i - 1
+        );
+    }
+    for i in 0..roles {
+        let _ = writeln!(text, "  invoke method{i}(U) <- prereq role{i}(U);");
+    }
+    text.push_str("}\n");
+    text
+}
+
+fn print_pipeline_series() {
+    table_header(
+        "TAB-P policy pipeline",
+        "parse+check+compile stays fast as policies grow (linear in document size)",
+        "roles  rules  pipeline-time",
+    );
+    for roles in [10usize, 100, 500, 1_000] {
+        let text = generate_policy(roles);
+        let t0 = std::time::Instant::now();
+        let policy = Policy::parse(&text).unwrap();
+        let facts = Arc::new(FactStore::new());
+        let service = OasisService::new(ServiceConfig::new("generated"), facts);
+        policy.apply_to(&service).unwrap();
+        let elapsed = t0.elapsed();
+        println!("{roles:>5}  {:>5}  {elapsed:>12.2?}", roles * 2);
+    }
+}
+
+/// A service whose target role has `alternatives` rules, only the last of
+/// which is satisfiable.
+fn alternatives_world(alternatives: usize) -> (Arc<oasis::core::OasisService>, PrincipalId) {
+    let facts = Arc::new(FactStore::new());
+    facts.define("open", 1).unwrap();
+    facts.insert("open", vec![Value::id("alice")]).unwrap();
+    for i in 0..alternatives {
+        facts.define_if_absent(format!("gate{i}"), 1).unwrap();
+    }
+    let service = OasisService::new(ServiceConfig::new("alt"), facts);
+    service.define_role("member", &[("u", ValueType::Id)], true).unwrap();
+    for i in 0..alternatives.saturating_sub(1) {
+        // Unsatisfiable alternatives: empty gate relations.
+        service
+            .add_activation_rule(
+                "member",
+                vec![Term::var("U")],
+                vec![Atom::env_fact(format!("gate{i}"), vec![Term::var("U")])],
+                vec![0],
+            )
+            .unwrap();
+    }
+    service
+        .add_activation_rule(
+            "member",
+            vec![Term::var("U")],
+            vec![Atom::env_fact("open", vec![Term::var("U")])],
+            vec![0],
+        )
+        .unwrap();
+    (service, PrincipalId::new("alice"))
+}
+
+fn print_alternatives_series() {
+    table_header(
+        "TAB-P rule alternatives",
+        "activation cost grows linearly with the number of alternative rules tried",
+        "alternatives  activation-time",
+    );
+    for alts in [1usize, 4, 16, 64] {
+        let (service, alice) = alternatives_world(alts);
+        let ctx = EnvContext::new(0);
+        let iters = 500;
+        let t0 = std::time::Instant::now();
+        for _ in 0..iters {
+            service
+                .activate_role(
+                    &alice,
+                    &RoleName::new("member"),
+                    &[Value::id("alice")],
+                    &[],
+                    &ctx,
+                )
+                .unwrap();
+        }
+        println!("{alts:>12}  {:>15.2?}", t0.elapsed() / iters);
+    }
+}
+
+fn bench(c: &mut Criterion) {
+    print_pipeline_series();
+    print_alternatives_series();
+
+    let mut group = c.benchmark_group("tabp_policy_pipeline");
+    for roles in [10usize, 100, 500] {
+        let text = generate_policy(roles);
+        group.bench_with_input(BenchmarkId::new("parse_check", roles), &roles, |b, _| {
+            b.iter(|| Policy::parse(&text).unwrap());
+        });
+        let policy = Policy::parse(&text).unwrap();
+        group.bench_with_input(BenchmarkId::new("compile", roles), &roles, |b, _| {
+            b.iter_with_setup(
+                || {
+                    OasisService::new(
+                        ServiceConfig::new("generated"),
+                        Arc::new(FactStore::new()),
+                    )
+                },
+                |service| policy.apply_to(&service).unwrap(),
+            );
+        });
+        group.bench_with_input(BenchmarkId::new("pretty_print", roles), &roles, |b, _| {
+            b.iter(|| policy.to_text());
+        });
+    }
+    group.finish();
+
+    let mut group = c.benchmark_group("tabp_rule_alternatives");
+    for alts in [1usize, 16, 64] {
+        let (service, alice) = alternatives_world(alts);
+        let ctx = EnvContext::new(0);
+        group.bench_with_input(BenchmarkId::from_parameter(alts), &alts, |b, _| {
+            b.iter(|| {
+                service
+                    .activate_role(
+                        &alice,
+                        &RoleName::new("member"),
+                        &[Value::id("alice")],
+                        &[],
+                        &ctx,
+                    )
+                    .unwrap()
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    // Bounded measurement: several benchmarks accumulate issuer-side
+    // state (credential records, audit entries) per iteration, so the
+    // sampling windows are kept short to bound memory on full runs.
+    name = benches;
+    config = Criterion::default()
+        .sample_size(10)
+        .measurement_time(std::time::Duration::from_secs(1))
+        .warm_up_time(std::time::Duration::from_millis(300));
+    targets = bench
+}
+criterion_main!(benches);

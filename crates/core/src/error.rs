@@ -1,0 +1,115 @@
+//! The error type for the OASIS core.
+
+use thiserror::Error;
+
+use crate::cert::Crr;
+use crate::ids::{PrincipalId, RoleName, ServiceId};
+use crate::rule::RuleId;
+use crate::value::ValueType;
+
+/// Errors reported by the OASIS core.
+#[derive(Debug, Error, Clone, PartialEq, Eq)]
+pub enum OasisError {
+    /// A role definition repeated a parameter name.
+    #[error("role `{role}` declares parameter `{param}` twice")]
+    DuplicateParam {
+        /// The role being defined.
+        role: RoleName,
+        /// The repeated parameter.
+        param: String,
+    },
+
+    /// A role was defined twice at one service.
+    #[error("role `{0}` is already defined at this service")]
+    DuplicateRole(RoleName),
+
+    /// A role name was not defined at the service.
+    #[error("unknown role `{0}`")]
+    UnknownRole(RoleName),
+
+    /// Wrong number of arguments for a role.
+    #[error("role `{role}` takes {expected} parameters, got {actual}")]
+    ArityMismatch {
+        /// The role.
+        role: RoleName,
+        /// Declared parameter count.
+        expected: usize,
+        /// Supplied argument count.
+        actual: usize,
+    },
+
+    /// An argument had the wrong type.
+    #[error("role `{role}` parameter `{param}` expects {expected}, got {actual}")]
+    TypeMismatch {
+        /// The role.
+        role: RoleName,
+        /// The offending parameter.
+        param: String,
+        /// Declared type.
+        expected: ValueType,
+        /// Supplied type.
+        actual: ValueType,
+    },
+
+    /// A membership index pointed outside the rule's condition list.
+    #[error("rule {rule}: membership index {index} out of range ({conditions} conditions)")]
+    BadMembershipIndex {
+        /// The rule.
+        rule: RuleId,
+        /// The offending index.
+        index: usize,
+        /// How many conditions the rule has.
+        conditions: usize,
+    },
+
+    /// No activation rule for the role was satisfied by the presented
+    /// credentials and environment.
+    #[error("activation of `{role}` denied for {principal}: no rule satisfied")]
+    ActivationDenied {
+        /// The requested role.
+        role: RoleName,
+        /// The requesting principal.
+        principal: PrincipalId,
+    },
+
+    /// No invocation rule authorised the method call.
+    #[error("invocation of `{method}` denied for {principal}")]
+    InvocationDenied {
+        /// The method.
+        method: String,
+        /// The requesting principal.
+        principal: PrincipalId,
+    },
+
+    /// A certificate failed validation.
+    #[error("credential {crr} invalid: {reason}")]
+    InvalidCredential {
+        /// The credential's record reference.
+        crr: Crr,
+        /// Why it was rejected.
+        reason: String,
+    },
+
+    /// A certificate's issuer-side record was not found.
+    #[error("no credential record for {0}")]
+    UnknownCertificate(Crr),
+
+    /// A credential was presented to a service that did not issue it and
+    /// that has no validator configured for the issuer.
+    #[error("no validator reaches issuer `{0}`")]
+    NoValidator(ServiceId),
+
+    /// The principal holds no role privileged to issue this appointment.
+    #[error("{principal} holds no role entitled to issue appointment `{appointment}`")]
+    NotAppointer {
+        /// The would-be appointer.
+        principal: PrincipalId,
+        /// The appointment kind.
+        appointment: String,
+    },
+
+    /// An underlying fact-store operation failed (usually an undefined
+    /// relation referenced from a rule).
+    #[error("fact store: {0}")]
+    Facts(#[from] oasis_facts::FactError),
+}

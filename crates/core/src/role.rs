@@ -1,0 +1,170 @@
+//! Role definitions: service-specific, parametrised, possibly initial.
+
+use serde::{Deserialize, Serialize};
+
+use crate::error::OasisError;
+use crate::ids::RoleName;
+use crate::value::{Value, ValueType};
+
+/// The typed parameter list of a role: `(name, type)` pairs in order.
+pub type ParamSchema = Vec<(String, ValueType)>;
+
+/// A role as defined by a service.
+///
+/// Roles in OASIS are *service-specific* — there is no global role
+/// namespace — and *parametrised*: `treating_doctor(doctor: id,
+/// patient: id)`. A role flagged `initial` has at least one activation
+/// rule with no prerequisite roles, so activating it starts a session
+/// (e.g. `logged_in_user`).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RoleDef {
+    name: RoleName,
+    params: ParamSchema,
+    initial: bool,
+}
+
+impl RoleDef {
+    /// Creates a role definition.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`OasisError::DuplicateParam`] if two parameters share a
+    /// name.
+    pub fn new(
+        name: RoleName,
+        params: ParamSchema,
+        initial: bool,
+    ) -> Result<Self, OasisError> {
+        for (i, (p, _)) in params.iter().enumerate() {
+            if params[..i].iter().any(|(q, _)| q == p) {
+                return Err(OasisError::DuplicateParam {
+                    role: name,
+                    param: p.clone(),
+                });
+            }
+        }
+        Ok(Self {
+            name,
+            params,
+            initial,
+        })
+    }
+
+    /// The role's name.
+    pub fn name(&self) -> &RoleName {
+        &self.name
+    }
+
+    /// The parameter schema.
+    pub fn params(&self) -> &ParamSchema {
+        &self.params
+    }
+
+    /// Number of parameters.
+    pub fn arity(&self) -> usize {
+        self.params.len()
+    }
+
+    /// Whether activating this role may start a session.
+    pub fn is_initial(&self) -> bool {
+        self.initial
+    }
+
+    /// Type-checks an argument list against the schema.
+    ///
+    /// # Errors
+    ///
+    /// [`OasisError::ArityMismatch`] for a wrong argument count;
+    /// [`OasisError::TypeMismatch`] when a value has the wrong type.
+    pub fn check_args(&self, args: &[Value]) -> Result<(), OasisError> {
+        if args.len() != self.params.len() {
+            return Err(OasisError::ArityMismatch {
+                role: self.name.clone(),
+                expected: self.params.len(),
+                actual: args.len(),
+            });
+        }
+        for ((pname, ptype), value) in self.params.iter().zip(args) {
+            if value.value_type() != *ptype {
+                return Err(OasisError::TypeMismatch {
+                    role: self.name.clone(),
+                    param: pname.clone(),
+                    expected: *ptype,
+                    actual: value.value_type(),
+                });
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn doctor_role() -> RoleDef {
+        RoleDef::new(
+            RoleName::new("treating_doctor"),
+            vec![
+                ("doctor".to_string(), ValueType::Id),
+                ("patient".to_string(), ValueType::Id),
+            ],
+            false,
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn accessors() {
+        let role = doctor_role();
+        assert_eq!(role.name().as_str(), "treating_doctor");
+        assert_eq!(role.arity(), 2);
+        assert!(!role.is_initial());
+    }
+
+    #[test]
+    fn duplicate_param_rejected() {
+        let err = RoleDef::new(
+            RoleName::new("r"),
+            vec![
+                ("x".to_string(), ValueType::Id),
+                ("x".to_string(), ValueType::Int),
+            ],
+            false,
+        )
+        .unwrap_err();
+        assert!(matches!(err, OasisError::DuplicateParam { .. }));
+    }
+
+    #[test]
+    fn check_args_validates_arity() {
+        let role = doctor_role();
+        assert!(matches!(
+            role.check_args(&[Value::id("d")]),
+            Err(OasisError::ArityMismatch {
+                expected: 2,
+                actual: 1,
+                ..
+            })
+        ));
+    }
+
+    #[test]
+    fn check_args_validates_types() {
+        let role = doctor_role();
+        assert!(role
+            .check_args(&[Value::id("d"), Value::id("p")])
+            .is_ok());
+        assert!(matches!(
+            role.check_args(&[Value::id("d"), Value::Int(3)]),
+            Err(OasisError::TypeMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn zero_arity_role_is_fine() {
+        let role = RoleDef::new(RoleName::new("guest"), vec![], true).unwrap();
+        assert!(role.check_args(&[]).is_ok());
+        assert!(role.is_initial());
+    }
+}

@@ -1,0 +1,1283 @@
+//! An OASIS-secured service: role entry, service use, credential records,
+//! appointment, revocation, and active membership monitoring.
+//!
+//! This module implements Fig 2 of the paper:
+//!
+//! 1. a client presents credentials to activate a role (`activate_role`);
+//! 2. the service checks its policy, validates the credentials (by
+//!    callback to their issuers), and issues an RMC;
+//! 3. the client presents RMCs with invocation requests (`invoke`);
+//! 4. the service validates, checks constraints, and the call proceeds.
+//!
+//! and Fig 5: every issued certificate gets a credential record (CR);
+//! records depend on the credentials and environmental facts retained by
+//! the rule's *membership rule*; revocation events and fact retractions
+//! propagate through the event bus and collapse dependent certificates
+//! immediately and transitively.
+
+use std::collections::{HashMap, HashSet};
+use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Weak};
+
+use parking_lot::{Mutex, RwLock};
+
+use oasis_crypto::{IssuerSecret, PublicKey};
+use oasis_events::EventBus;
+use oasis_facts::{FactChange, FactStore};
+
+use crate::audit::{AuditKind, AuditLog};
+use crate::cert::{
+    revocation_topic, AppointmentCertificate, CertEvent, CertEventKind, CredRecord, CredStatus,
+    Credential, CredentialKind, Crr, Rmc,
+};
+use crate::env::EnvContext;
+use crate::error::OasisError;
+use crate::ids::{CertId, PrincipalId, RoleName, ServiceId};
+use crate::pattern::{Bindings, Term};
+use crate::role::RoleDef;
+use crate::rule::{solve, ActivationRule, Atom, InvocationRule, RuleId, Solution};
+use crate::validate::CredentialValidator;
+use crate::value::{Value, ValueType};
+
+/// Configuration for constructing an [`OasisService`].
+#[derive(Debug)]
+pub struct ServiceConfig {
+    id: ServiceId,
+    bus: Option<EventBus<CertEvent>>,
+    secret: Option<IssuerSecret>,
+}
+
+impl ServiceConfig {
+    /// Starts a configuration for the service named `id`.
+    pub fn new(id: impl Into<ServiceId>) -> Self {
+        Self {
+            id: id.into(),
+            bus: None,
+            secret: None,
+        }
+    }
+
+    /// Uses a shared event bus (services that must see each other's
+    /// revocation events — i.e. any services with credential
+    /// dependencies between them — must share a bus).
+    #[must_use]
+    pub fn with_bus(mut self, bus: EventBus<CertEvent>) -> Self {
+        self.bus = Some(bus);
+        self
+    }
+
+    /// Uses a specific issuer secret (deterministic tests, CIV replicas).
+    #[must_use]
+    pub fn with_secret(mut self, secret: IssuerSecret) -> Self {
+        self.secret = Some(secret);
+        self
+    }
+}
+
+/// The result of a successful role activation.
+#[derive(Debug, Clone)]
+pub struct ActivationOutcome {
+    /// The issued role membership certificate.
+    pub rmc: Rmc,
+    /// Which activation rule fired.
+    pub rule: RuleId,
+    /// The variable bindings of the satisfied rule.
+    pub bindings: Bindings,
+}
+
+/// The result of an authorised invocation.
+#[derive(Debug, Clone)]
+pub struct Invocation {
+    /// The method invoked.
+    pub method: String,
+    /// Which invocation rule authorised it.
+    pub rule: RuleId,
+    /// The variable bindings of the satisfied rule.
+    pub bindings: Bindings,
+    /// The credentials that authorised the call (recorded for audit, as in
+    /// the cross-domain EHR scenario of Fig 3).
+    pub used: Vec<Crr>,
+}
+
+/// A certificate's issuer-side state, including what its continued
+/// validity depends on.
+#[derive(Debug, Clone)]
+struct RecordState {
+    record: CredRecord,
+    /// Credentials (by CRR) retained by the membership rule.
+    depends_on: Vec<Crr>,
+    /// Ground environmental conditions retained by the membership rule,
+    /// re-evaluated on [`OasisService::recheck_memberships`]; fact atoms
+    /// are additionally indexed for push-based revocation.
+    retained_checks: Vec<Atom>,
+}
+
+/// `(relation, ground tuple)` → dependents and whether each expects the
+/// fact present (`true`) or absent (`false`).
+type FactIndex = HashMap<(String, Vec<Value>), Vec<(CertId, bool)>>;
+
+#[derive(Default)]
+struct ServiceState {
+    roles: HashMap<RoleName, RoleDef>,
+    activation_rules: HashMap<RoleName, Vec<ActivationRule>>,
+    invocation_rules: HashMap<String, Vec<InvocationRule>>,
+    /// appointment name → roles privileged to issue it.
+    appointers: HashMap<String, HashSet<RoleName>>,
+    records: HashMap<CertId, RecordState>,
+    /// supporting credential → certificates that retain it.
+    dep_index: HashMap<Crr, HashSet<CertId>>,
+    fact_index: FactIndex,
+}
+
+/// A service secured by OASIS access control (Fig 2), owning its roles,
+/// policy, credential records, and audit log.
+///
+/// Constructed with [`OasisService::new`], which returns an `Arc` because
+/// the service subscribes itself to the event bus and the fact store for
+/// active security. See the [crate-level example](crate).
+pub struct OasisService {
+    id: ServiceId,
+    secret: IssuerSecret,
+    bus: EventBus<CertEvent>,
+    facts: Arc<FactStore<Value>>,
+    audit: AuditLog,
+    state: Mutex<ServiceState>,
+    validator: RwLock<Option<Arc<dyn CredentialValidator>>>,
+    next_cert: AtomicU64,
+    next_rule: AtomicU64,
+    /// Virtual time of the most recent operation; used to timestamp
+    /// event-driven revocations, which arrive without a context.
+    last_now: AtomicU64,
+}
+
+impl fmt::Debug for OasisService {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let state = self.state.lock();
+        f.debug_struct("OasisService")
+            .field("id", &self.id)
+            .field("roles", &state.roles.len())
+            .field("records", &state.records.len())
+            .finish()
+    }
+}
+
+impl OasisService {
+    /// Creates a service and wires it to the event bus and fact store for
+    /// active security (Fig 5).
+    pub fn new(config: ServiceConfig, facts: Arc<FactStore<Value>>) -> Arc<Self> {
+        let service = Arc::new(Self {
+            id: config.id,
+            secret: config.secret.unwrap_or_else(IssuerSecret::random),
+            bus: config.bus.unwrap_or_default(),
+            facts: Arc::clone(&facts),
+            audit: AuditLog::new(),
+            state: Mutex::new(ServiceState::default()),
+            validator: RwLock::new(None),
+            next_cert: AtomicU64::new(1),
+            next_rule: AtomicU64::new(1),
+            last_now: AtomicU64::new(0),
+        });
+
+        // Revocation push: collapse certificates depending on a revoked
+        // credential the moment the event is published (same thread).
+        let weak = Arc::downgrade(&service);
+        service
+            .bus
+            .subscribe_fn("cred.revoked.#", move |event| {
+                if let Some(svc) = Weak::upgrade(&weak) {
+                    svc.handle_revocation_event(&event.payload);
+                }
+            })
+            .expect("static pattern is valid");
+
+        // Fact push: collapse certificates whose retained environmental
+        // facts change.
+        let weak = Arc::downgrade(&service);
+        facts.watch(move |change| {
+            if let Some(svc) = Weak::upgrade(&weak) {
+                svc.handle_fact_change(change);
+            }
+        });
+
+        service
+    }
+
+    /// The service's identity.
+    pub fn id(&self) -> &ServiceId {
+        &self.id
+    }
+
+    /// The event bus this service publishes revocations on.
+    pub fn bus(&self) -> &EventBus<CertEvent> {
+        &self.bus
+    }
+
+    /// The service's fact store.
+    pub fn facts(&self) -> &Arc<FactStore<Value>> {
+        &self.facts
+    }
+
+    /// The service's audit log.
+    pub fn audit(&self) -> &AuditLog {
+        &self.audit
+    }
+
+    /// The issuer secret (exposed for secret-rotation scenarios).
+    pub fn secret(&self) -> &IssuerSecret {
+        &self.secret
+    }
+
+    /// Installs the validator used for credentials issued by *other*
+    /// services (a [`LocalRegistry`](crate::validate::LocalRegistry), a
+    /// domain CIV client, or a network client).
+    pub fn set_validator(&self, validator: Arc<dyn CredentialValidator>) {
+        *self.validator.write() = Some(validator);
+    }
+
+    // ------------------------------------------------------------------
+    // Policy definition
+    // ------------------------------------------------------------------
+
+    /// Defines a role with a typed parameter schema.
+    ///
+    /// # Errors
+    ///
+    /// [`OasisError::DuplicateRole`] /
+    /// [`OasisError::DuplicateParam`].
+    pub fn define_role(
+        &self,
+        name: impl Into<RoleName>,
+        params: &[(&str, ValueType)],
+        initial: bool,
+    ) -> Result<(), OasisError> {
+        let name = name.into();
+        let schema = params
+            .iter()
+            .map(|(n, t)| ((*n).to_string(), *t))
+            .collect();
+        let def = RoleDef::new(name.clone(), schema, initial)?;
+        let mut state = self.state.lock();
+        if state.roles.contains_key(&name) {
+            return Err(OasisError::DuplicateRole(name));
+        }
+        state.roles.insert(name, def);
+        Ok(())
+    }
+
+    /// The definition of a role, if present.
+    pub fn role(&self, name: &RoleName) -> Option<RoleDef> {
+        self.state.lock().roles.get(name).cloned()
+    }
+
+    /// Adds an activation rule `role(head_args) ← conditions`, with
+    /// `membership` naming the condition indices that must remain true
+    /// while the role is active.
+    ///
+    /// # Errors
+    ///
+    /// [`OasisError::UnknownRole`] if the role is undefined;
+    /// [`OasisError::BadMembershipIndex`] for a bad membership index.
+    pub fn add_activation_rule(
+        &self,
+        role: impl Into<RoleName>,
+        head_args: Vec<Term>,
+        conditions: Vec<Atom>,
+        membership: Vec<usize>,
+    ) -> Result<RuleId, OasisError> {
+        let role = role.into();
+        let id = RuleId(self.next_rule.fetch_add(1, Ordering::Relaxed));
+        let rule = ActivationRule {
+            id,
+            role: role.clone(),
+            head_args,
+            conditions,
+            membership,
+        };
+        rule.validate()?;
+        let mut state = self.state.lock();
+        if !state.roles.contains_key(&role) {
+            return Err(OasisError::UnknownRole(role));
+        }
+        state.activation_rules.entry(role).or_default().push(rule);
+        Ok(id)
+    }
+
+    /// Adds a service-use rule for `method(head_args)`.
+    pub fn add_invocation_rule(
+        &self,
+        method: impl Into<String>,
+        head_args: Vec<Term>,
+        conditions: Vec<Atom>,
+    ) -> RuleId {
+        let method = method.into();
+        let id = RuleId(self.next_rule.fetch_add(1, Ordering::Relaxed));
+        let rule = InvocationRule {
+            id,
+            method: method.clone(),
+            head_args,
+            conditions,
+        };
+        let mut state = self.state.lock();
+        state.invocation_rules.entry(method).or_default().push(rule);
+        id
+    }
+
+    /// Grants `role` the privilege of issuing appointment certificates of
+    /// kind `appointment`.
+    ///
+    /// # Errors
+    ///
+    /// [`OasisError::UnknownRole`] if the role is undefined.
+    pub fn grant_appointer(
+        &self,
+        role: impl Into<RoleName>,
+        appointment: impl Into<String>,
+    ) -> Result<(), OasisError> {
+        let role = role.into();
+        let mut state = self.state.lock();
+        if !state.roles.contains_key(&role) {
+            return Err(OasisError::UnknownRole(role));
+        }
+        state
+            .appointers
+            .entry(appointment.into())
+            .or_default()
+            .insert(role);
+        Ok(())
+    }
+
+    // ------------------------------------------------------------------
+    // Credential validation
+    // ------------------------------------------------------------------
+
+    /// Validates a certificate *this service issued*: signature (against
+    /// the presenting principal), issuer record, status, and expiry.
+    /// This is the issuer side of the validation callback (Sect. 4).
+    ///
+    /// # Errors
+    ///
+    /// [`OasisError::InvalidCredential`] or
+    /// [`OasisError::UnknownCertificate`].
+    pub fn validate_own(
+        &self,
+        credential: &Credential,
+        presenter: &PrincipalId,
+        now: u64,
+    ) -> Result<(), OasisError> {
+        let crr = credential.crr().clone();
+        if crr.issuer != self.id {
+            return Err(OasisError::InvalidCredential {
+                crr,
+                reason: format!("not issued by `{}`", self.id),
+            });
+        }
+        let Some(key) = self.secret.key_for(credential.epoch()) else {
+            return Err(OasisError::InvalidCredential {
+                crr,
+                reason: format!("secret {} retired; certificate must be re-issued", credential.epoch()),
+            });
+        };
+        if !credential.verify(&key, presenter) {
+            return Err(OasisError::InvalidCredential {
+                crr,
+                reason: "signature check failed (tampered, forged, or stolen)".into(),
+            });
+        }
+
+        // Lazy expiry: an appointment certificate past its deadline is
+        // marked expired and its dependents collapse.
+        if let Credential::Appointment(appt) = credential {
+            if appt.is_expired(now) {
+                self.expire_certificate(crr.cert_id, now);
+                return Err(OasisError::InvalidCredential {
+                    crr,
+                    reason: "expired".into(),
+                });
+            }
+        }
+
+        let state = self.state.lock();
+        let Some(rec) = state.records.get(&crr.cert_id) else {
+            return Err(OasisError::UnknownCertificate(crr));
+        };
+        if rec.record.principal != *presenter {
+            return Err(OasisError::InvalidCredential {
+                crr,
+                reason: "presented by a different principal".into(),
+            });
+        }
+        match &rec.record.status {
+            CredStatus::Active => Ok(()),
+            status => Err(OasisError::InvalidCredential {
+                crr,
+                reason: status.to_string(),
+            }),
+        }
+    }
+
+    /// Validates any credential: own certificates directly, foreign ones
+    /// through the configured validator (callback to the issuer).
+    ///
+    /// # Errors
+    ///
+    /// As [`OasisService::validate_own`], plus [`OasisError::NoValidator`]
+    /// when a foreign issuer is unreachable.
+    pub fn validate_credential(
+        &self,
+        credential: &Credential,
+        presenter: &PrincipalId,
+        now: u64,
+    ) -> Result<(), OasisError> {
+        if credential.issuer() == &self.id {
+            return self.validate_own(credential, presenter, now);
+        }
+        let validator = self.validator.read().clone();
+        match validator {
+            Some(v) => v.validate(credential, presenter, now),
+            None => Err(OasisError::NoValidator(credential.issuer().clone())),
+        }
+    }
+
+    /// Filters the presented credentials down to those that validate,
+    /// auditing each rejection.
+    fn validated(
+        &self,
+        presented: &[Credential],
+        presenter: &PrincipalId,
+        now: u64,
+    ) -> Vec<Credential> {
+        let mut valid = Vec::with_capacity(presented.len());
+        for cred in presented {
+            match self.validate_credential(cred, presenter, now) {
+                Ok(()) => valid.push(cred.clone()),
+                Err(err) => {
+                    self.audit.record(
+                        now,
+                        AuditKind::CredentialRejected {
+                            principal: presenter.clone(),
+                            crr: cred.crr().clone(),
+                            reason: err.to_string(),
+                        },
+                    );
+                }
+            }
+        }
+        valid
+    }
+
+    // ------------------------------------------------------------------
+    // Role activation (paths 1–2 of Fig 2)
+    // ------------------------------------------------------------------
+
+    /// Activates `role(args)` for `principal`, returning the RMC.
+    ///
+    /// See [`OasisService::activate_role_detailed`] for the full outcome,
+    /// and `activate_role_with_key` to bind a session public key into the
+    /// certificate.
+    ///
+    /// # Errors
+    ///
+    /// [`OasisError::UnknownRole`], [`OasisError::ArityMismatch`],
+    /// [`OasisError::TypeMismatch`], or [`OasisError::ActivationDenied`]
+    /// when no rule is satisfied.
+    pub fn activate_role(
+        &self,
+        principal: &PrincipalId,
+        role: &RoleName,
+        args: &[Value],
+        presented: &[Credential],
+        ctx: &EnvContext,
+    ) -> Result<Rmc, OasisError> {
+        self.activate_role_detailed(principal, role, args, presented, None, ctx)
+            .map(|outcome| outcome.rmc)
+    }
+
+    /// As [`OasisService::activate_role`], additionally binding a session
+    /// public key into the issued RMC (Sect. 4.1).
+    pub fn activate_role_with_key(
+        &self,
+        principal: &PrincipalId,
+        role: &RoleName,
+        args: &[Value],
+        presented: &[Credential],
+        holder_key: PublicKey,
+        ctx: &EnvContext,
+    ) -> Result<Rmc, OasisError> {
+        self.activate_role_detailed(principal, role, args, presented, Some(holder_key), ctx)
+            .map(|outcome| outcome.rmc)
+    }
+
+    /// The full-fat activation entry point: returns the fired rule and its
+    /// bindings alongside the certificate.
+    ///
+    /// # Errors
+    ///
+    /// As [`OasisService::activate_role`].
+    pub fn activate_role_detailed(
+        &self,
+        principal: &PrincipalId,
+        role: &RoleName,
+        args: &[Value],
+        presented: &[Credential],
+        holder_key: Option<PublicKey>,
+        ctx: &EnvContext,
+    ) -> Result<ActivationOutcome, OasisError> {
+        self.last_now.store(ctx.now(), Ordering::Relaxed);
+        let (role_def, rules) = {
+            let state = self.state.lock();
+            let def = state
+                .roles
+                .get(role)
+                .cloned()
+                .ok_or_else(|| OasisError::UnknownRole(role.clone()))?;
+            let rules = state
+                .activation_rules
+                .get(role)
+                .cloned()
+                .unwrap_or_default();
+            (def, rules)
+        };
+        role_def.check_args(args)?;
+
+        let creds = self.validated(presented, principal, ctx.now());
+
+        for rule in &rules {
+            let mut seed = Bindings::new();
+            if !seed.unify_all(&rule.head_args, args) {
+                continue;
+            }
+            if let Some(solution) =
+                solve(&self.id, &rule.conditions, seed, &creds, &self.facts, ctx)
+            {
+                return self.issue_rmc(
+                    principal,
+                    role,
+                    args,
+                    rule,
+                    &solution,
+                    &creds,
+                    holder_key,
+                    ctx,
+                );
+            }
+        }
+
+        self.audit.record(
+            ctx.now(),
+            AuditKind::ActivationDenied {
+                principal: principal.clone(),
+                role: role.clone(),
+                reason: format!("none of {} rule(s) satisfied", rules.len()),
+            },
+        );
+        Err(OasisError::ActivationDenied {
+            role: role.clone(),
+            principal: principal.clone(),
+        })
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn issue_rmc(
+        &self,
+        principal: &PrincipalId,
+        role: &RoleName,
+        args: &[Value],
+        rule: &ActivationRule,
+        solution: &Solution,
+        creds: &[Credential],
+        holder_key: Option<PublicKey>,
+        ctx: &EnvContext,
+    ) -> Result<ActivationOutcome, OasisError> {
+        let cert_id = CertId(self.next_cert.fetch_add(1, Ordering::Relaxed));
+        let crr = Crr::new(self.id.clone(), cert_id);
+        let rmc = Rmc::issue(
+            &self.secret.current(),
+            self.secret.current_epoch(),
+            principal,
+            crr.clone(),
+            role.clone(),
+            args.to_vec(),
+            ctx.now(),
+            holder_key,
+        );
+
+        // Membership rule: collect what must *remain* true.
+        let mut depends_on: Vec<Crr> = Vec::new();
+        let mut retained_checks: Vec<Atom> = Vec::new();
+        for &idx in &rule.membership {
+            let atom = &rule.conditions[idx];
+            if atom.is_credential() {
+                if let Some((_, used_crr)) =
+                    solution.used.iter().find(|(cond, _)| *cond == idx)
+                {
+                    if !depends_on.contains(used_crr) {
+                        depends_on.push(used_crr.clone());
+                    }
+                }
+            } else {
+                retained_checks.push(substitute_atom(atom, &solution.bindings));
+            }
+        }
+
+        let record = CredRecord {
+            crr: crr.clone(),
+            principal: principal.clone(),
+            kind: CredentialKind::Rmc,
+            name: role.as_str().to_string(),
+            args: args.to_vec(),
+            issued_at: ctx.now(),
+            expires_at: None,
+            status: CredStatus::Active,
+        };
+
+        {
+            let mut state = self.state.lock();
+            for dep in &depends_on {
+                state
+                    .dep_index
+                    .entry(dep.clone())
+                    .or_default()
+                    .insert(cert_id);
+            }
+            for atom in &retained_checks {
+                if let Atom::EnvFact {
+                    relation,
+                    args,
+                    negated,
+                } = atom
+                {
+                    if let Some(tuple) =
+                        args.iter().map(term_as_const).collect::<Option<Vec<_>>>()
+                    {
+                        state
+                            .fact_index
+                            .entry((relation.clone(), tuple))
+                            .or_default()
+                            .push((cert_id, !negated));
+                    }
+                }
+            }
+            state.records.insert(
+                cert_id,
+                RecordState {
+                    record,
+                    depends_on,
+                    retained_checks,
+                },
+            );
+        }
+
+        // Close the race with concurrent revocation: the supporting
+        // credentials were validated *before* the dependency edges above
+        // existed, so a revocation landing in between would have found no
+        // dependents. Re-validate now that the edges are in place; any
+        // revocation from here on cascades normally.
+        let retained_creds = {
+            let state = self.state.lock();
+            state
+                .records
+                .get(&cert_id)
+                .map(|r| r.depends_on.clone())
+                .unwrap_or_default()
+        };
+        for dep in &retained_creds {
+            let Some(cred) = creds.iter().find(|c| c.crr() == dep) else {
+                continue;
+            };
+            if self.validate_credential(cred, principal, ctx.now()).is_err() {
+                self.revoke_certificate(
+                    cert_id,
+                    &format!("supporting credential {dep} was revoked during activation"),
+                    ctx.now(),
+                );
+                self.audit.record(
+                    ctx.now(),
+                    AuditKind::ActivationDenied {
+                        principal: principal.clone(),
+                        role: role.clone(),
+                        reason: format!("supporting credential {dep} revoked concurrently"),
+                    },
+                );
+                return Err(OasisError::ActivationDenied {
+                    role: role.clone(),
+                    principal: principal.clone(),
+                });
+            }
+        }
+
+        self.audit.record(
+            ctx.now(),
+            AuditKind::RoleActivated {
+                principal: principal.clone(),
+                role: role.clone(),
+                args: args.to_vec(),
+                crr,
+            },
+        );
+
+        Ok(ActivationOutcome {
+            rmc,
+            rule: rule.id,
+            bindings: solution.bindings.clone(),
+        })
+    }
+
+    // ------------------------------------------------------------------
+    // Service use (paths 3–4 of Fig 2)
+    // ------------------------------------------------------------------
+
+    /// Authorises an invocation of `method(args)` under the service-use
+    /// policy.
+    ///
+    /// # Errors
+    ///
+    /// [`OasisError::InvocationDenied`] when no invocation rule is
+    /// satisfied (including when the method has no rules at all — deny by
+    /// default).
+    pub fn invoke(
+        &self,
+        principal: &PrincipalId,
+        method: &str,
+        args: &[Value],
+        presented: &[Credential],
+        ctx: &EnvContext,
+    ) -> Result<Invocation, OasisError> {
+        self.last_now.store(ctx.now(), Ordering::Relaxed);
+        let rules = {
+            let state = self.state.lock();
+            state.invocation_rules.get(method).cloned().unwrap_or_default()
+        };
+        let creds = self.validated(presented, principal, ctx.now());
+
+        for rule in &rules {
+            let mut seed = Bindings::new();
+            if !seed.unify_all(&rule.head_args, args) {
+                continue;
+            }
+            if let Some(solution) =
+                solve(&self.id, &rule.conditions, seed, &creds, &self.facts, ctx)
+            {
+                let used: Vec<Crr> = solution.used.iter().map(|(_, c)| c.clone()).collect();
+                self.audit.record(
+                    ctx.now(),
+                    AuditKind::Invoked {
+                        principal: principal.clone(),
+                        method: method.to_string(),
+                        args: args.to_vec(),
+                        credentials: used.clone(),
+                    },
+                );
+                return Ok(Invocation {
+                    method: method.to_string(),
+                    rule: rule.id,
+                    bindings: solution.bindings.clone(),
+                    used,
+                });
+            }
+        }
+
+        self.audit.record(
+            ctx.now(),
+            AuditKind::InvocationDenied {
+                principal: principal.clone(),
+                method: method.to_string(),
+                reason: format!("none of {} rule(s) satisfied", rules.len()),
+            },
+        );
+        Err(OasisError::InvocationDenied {
+            method: method.to_string(),
+            principal: principal.clone(),
+        })
+    }
+
+    // ------------------------------------------------------------------
+    // Appointment (Sect. 2)
+    // ------------------------------------------------------------------
+
+    /// Issues an appointment certificate of kind `name` to `appointee`.
+    ///
+    /// The `appointer` must present a *valid RMC of this service* for a
+    /// role that has been granted the appointer privilege for `name`
+    /// (via [`OasisService::grant_appointer`]). The certificate's lifetime
+    /// is independent of the appointer's session: revoking the appointer's
+    /// RMC later does **not** cascade to the appointment.
+    ///
+    /// # Errors
+    ///
+    /// [`OasisError::NotAppointer`] when no presented credential carries
+    /// the privilege.
+    #[allow(clippy::too_many_arguments)]
+    pub fn issue_appointment(
+        &self,
+        appointer: &PrincipalId,
+        appointer_creds: &[Credential],
+        name: &str,
+        args: Vec<Value>,
+        appointee: &PrincipalId,
+        expires_at: Option<u64>,
+        holder_key: Option<PublicKey>,
+        ctx: &EnvContext,
+    ) -> Result<AppointmentCertificate, OasisError> {
+        self.last_now.store(ctx.now(), Ordering::Relaxed);
+        let allowed_roles = {
+            let state = self.state.lock();
+            state.appointers.get(name).cloned().unwrap_or_default()
+        };
+
+        let creds = self.validated(appointer_creds, appointer, ctx.now());
+        let entitled = creds.iter().any(|c| match c {
+            Credential::Rmc(rmc) => {
+                rmc.crr.issuer == self.id && allowed_roles.contains(&rmc.role)
+            }
+            Credential::Appointment(_) => false,
+        });
+        if !entitled {
+            return Err(OasisError::NotAppointer {
+                principal: appointer.clone(),
+                appointment: name.to_string(),
+            });
+        }
+
+        let cert_id = CertId(self.next_cert.fetch_add(1, Ordering::Relaxed));
+        let crr = Crr::new(self.id.clone(), cert_id);
+        let cert = AppointmentCertificate::issue(
+            &self.secret.current(),
+            self.secret.current_epoch(),
+            appointee,
+            crr.clone(),
+            name.to_string(),
+            args.clone(),
+            ctx.now(),
+            expires_at,
+            holder_key,
+        );
+
+        let record = CredRecord {
+            crr: crr.clone(),
+            principal: appointee.clone(),
+            kind: CredentialKind::Appointment,
+            name: name.to_string(),
+            args,
+            issued_at: ctx.now(),
+            expires_at,
+            status: CredStatus::Active,
+        };
+        self.state.lock().records.insert(
+            cert_id,
+            RecordState {
+                record,
+                depends_on: Vec::new(),
+                retained_checks: Vec::new(),
+            },
+        );
+
+        self.audit.record(
+            ctx.now(),
+            AuditKind::AppointmentIssued {
+                appointer: appointer.clone(),
+                appointee: appointee.clone(),
+                name: name.to_string(),
+                crr,
+            },
+        );
+        Ok(cert)
+    }
+
+    // ------------------------------------------------------------------
+    // Revocation and active security (Fig 5)
+    // ------------------------------------------------------------------
+
+    /// Revokes a certificate this service issued. Dependent certificates
+    /// — at this service and at any service sharing the event bus —
+    /// collapse transitively before this call returns.
+    ///
+    /// Returns `true` if the certificate was active.
+    pub fn revoke_certificate(&self, cert_id: CertId, reason: &str, now: u64) -> bool {
+        self.last_now.store(now, Ordering::Relaxed);
+        let crr = {
+            let mut state = self.state.lock();
+            let Some(rec) = state.records.get_mut(&cert_id) else {
+                return false;
+            };
+            if !rec.record.status.is_active() {
+                return false;
+            }
+            rec.record.status = CredStatus::Revoked {
+                reason: reason.to_string(),
+                at: now,
+            };
+            rec.record.crr.clone()
+        };
+        self.audit.record(
+            now,
+            AuditKind::CertRevoked {
+                crr: crr.clone(),
+                reason: reason.to_string(),
+            },
+        );
+        // Publishing triggers dependent collapse synchronously (subscribed
+        // callbacks run on this thread) — the "active security" property.
+        self.bus.publish_at(
+            &revocation_topic(&self.id),
+            CertEvent {
+                crr,
+                kind: CertEventKind::Revoked {
+                    reason: reason.to_string(),
+                },
+            },
+            now,
+        );
+        true
+    }
+
+    /// Ends a principal's session at this service: revokes every active
+    /// RMC issued to them ("if a single initial role is deactivated, for
+    /// example the user logs out, all the active roles dependent on it
+    /// collapse and that session terminates", Sect. 4). Dependents at
+    /// other services on the shared bus collapse too. Appointment
+    /// certificates are *not* touched — their lifetime is independent of
+    /// sessions. Returns how many certificates were revoked directly.
+    pub fn end_session(&self, principal: &PrincipalId, reason: &str, now: u64) -> usize {
+        let to_revoke: Vec<CertId> = {
+            let state = self.state.lock();
+            state
+                .records
+                .values()
+                .filter(|r| {
+                    r.record.status.is_active()
+                        && r.record.kind == CredentialKind::Rmc
+                        && r.record.principal == *principal
+                })
+                .map(|r| r.record.crr.cert_id)
+                .collect()
+        };
+        let mut revoked = 0;
+        for cert_id in to_revoke {
+            // Cascades may have revoked later entries already.
+            if self.revoke_certificate(cert_id, reason, now) {
+                revoked += 1;
+            }
+        }
+        revoked
+    }
+
+    /// Marks a certificate expired and collapses its dependents, exactly
+    /// like a revocation but recorded as expiry.
+    fn expire_certificate(&self, cert_id: CertId, now: u64) {
+        let crr = {
+            let mut state = self.state.lock();
+            let Some(rec) = state.records.get_mut(&cert_id) else {
+                return;
+            };
+            if !rec.record.status.is_active() {
+                return;
+            }
+            rec.record.status = CredStatus::Expired { at: now };
+            rec.record.crr.clone()
+        };
+        self.audit.record(now, AuditKind::CertExpired { crr: crr.clone() });
+        self.bus.publish_at(
+            &revocation_topic(&self.id),
+            CertEvent {
+                crr,
+                kind: CertEventKind::Revoked {
+                    reason: "expired".into(),
+                },
+            },
+            now,
+        );
+    }
+
+    /// Proactively expires every appointment certificate past its deadline
+    /// at `now`; returns how many lapsed. (Expiry is otherwise noticed
+    /// lazily at validation time.)
+    pub fn expire_certificates(&self, now: u64) -> usize {
+        let due: Vec<CertId> = {
+            let state = self.state.lock();
+            state
+                .records
+                .iter()
+                .filter(|(_, r)| {
+                    r.record.status.is_active()
+                        && r.record.expires_at.is_some_and(|d| now > d)
+                })
+                .map(|(id, _)| *id)
+                .collect()
+        };
+        for cert_id in &due {
+            self.expire_certificate(*cert_id, now);
+        }
+        due.len()
+    }
+
+    /// Handles a revocation event from the bus: any certificate that
+    /// *retains* the revoked credential is revoked in turn.
+    fn handle_revocation_event(&self, event: &CertEvent) {
+        let CertEventKind::Revoked { reason } = &event.kind;
+        let dependents: Vec<CertId> = {
+            let mut state = self.state.lock();
+            state
+                .dep_index
+                .remove(&event.crr)
+                .map(|set| {
+                    let mut v: Vec<CertId> = set.into_iter().collect();
+                    v.sort_unstable();
+                    v
+                })
+                .unwrap_or_default()
+        };
+        let now = self.last_now.load(Ordering::Relaxed);
+        for cert_id in dependents {
+            self.revoke_certificate(
+                cert_id,
+                &format!("cascade: supporting credential {} revoked ({reason})", event.crr),
+                now,
+            );
+        }
+    }
+
+    /// Handles a fact-store change: certificates whose membership rule
+    /// retained the fact (positively or negatively) are revoked when the
+    /// fact flips.
+    fn handle_fact_change(&self, change: &FactChange<Value>) {
+        let expected_present = match change {
+            FactChange::Retracted { .. } => true,
+            FactChange::Inserted { .. } => false,
+        };
+        let key = (change.relation().to_string(), change.tuple().to_vec());
+        let hit: Vec<CertId> = {
+            let mut state = self.state.lock();
+            match state.fact_index.get_mut(&key) {
+                Some(entries) => {
+                    let (fire, keep): (Vec<_>, Vec<_>) = entries
+                        .drain(..)
+                        .partition(|(_, expect)| *expect == expected_present);
+                    *entries = keep;
+                    fire.into_iter().map(|(id, _)| id).collect()
+                }
+                None => Vec::new(),
+            }
+        };
+        let now = self.last_now.load(Ordering::Relaxed);
+        let verb = if expected_present { "retracted" } else { "asserted" };
+        for cert_id in hit {
+            self.revoke_certificate(
+                cert_id,
+                &format!(
+                    "membership condition broken: fact {}({}) {verb}",
+                    key.0,
+                    key.1
+                        .iter()
+                        .map(ToString::to_string)
+                        .collect::<Vec<_>>()
+                        .join(", ")
+                ),
+                now,
+            );
+        }
+    }
+
+    /// Re-evaluates every active certificate's retained environmental
+    /// conditions at the current context (time-window constraints and
+    /// custom predicates cannot be push-notified, so services sweep them —
+    /// typically on a heartbeat). Returns the revoked certificates.
+    pub fn recheck_memberships(&self, ctx: &EnvContext) -> Vec<Crr> {
+        self.last_now.store(ctx.now(), Ordering::Relaxed);
+        let to_check: Vec<(CertId, Vec<Atom>)> = {
+            let state = self.state.lock();
+            state
+                .records
+                .iter()
+                .filter(|(_, r)| r.record.status.is_active() && !r.retained_checks.is_empty())
+                .map(|(id, r)| (*id, r.retained_checks.clone()))
+                .collect()
+        };
+        let mut revoked = Vec::new();
+        for (cert_id, checks) in to_check {
+            let ok = solve(&self.id, &checks, Bindings::new(), &[], &self.facts, ctx).is_some();
+            if !ok && self.revoke_certificate(cert_id, "membership condition no longer holds", ctx.now())
+            {
+                revoked.push(Crr::new(self.id.clone(), cert_id));
+            }
+        }
+        revoked
+    }
+
+    // ------------------------------------------------------------------
+    // Introspection
+    // ------------------------------------------------------------------
+
+    /// The credential record for a certificate, if this service issued it.
+    pub fn record(&self, cert_id: CertId) -> Option<CredRecord> {
+        self.state.lock().records.get(&cert_id).map(|r| r.record.clone())
+    }
+
+    /// The credentials a certificate's membership rule retains — i.e. the
+    /// supporting credentials whose revocation will collapse it (Fig 5's
+    /// event-channel edges, viewed from the dependent side).
+    pub fn dependencies(&self, cert_id: CertId) -> Option<Vec<Crr>> {
+        self.state
+            .lock()
+            .records
+            .get(&cert_id)
+            .map(|r| r.depends_on.clone())
+    }
+
+    /// Number of records in each status: `(active, revoked, expired)`.
+    pub fn record_stats(&self) -> (usize, usize, usize) {
+        let state = self.state.lock();
+        let mut counts = (0, 0, 0);
+        for r in state.records.values() {
+            match r.record.status {
+                CredStatus::Active => counts.0 += 1,
+                CredStatus::Revoked { .. } => counts.1 += 1,
+                CredStatus::Expired { .. } => counts.2 += 1,
+            }
+        }
+        counts
+    }
+
+    /// All roles defined at this service, sorted by name.
+    pub fn roles(&self) -> Vec<RoleDef> {
+        let state = self.state.lock();
+        let mut roles: Vec<RoleDef> = state.roles.values().cloned().collect();
+        roles.sort_by(|a, b| a.name().cmp(b.name()));
+        roles
+    }
+
+    /// The activation rules installed for a role, in trial order.
+    pub fn activation_rules(&self, role: &RoleName) -> Vec<ActivationRule> {
+        self.state
+            .lock()
+            .activation_rules
+            .get(role)
+            .cloned()
+            .unwrap_or_default()
+    }
+
+    /// The invocation rules installed for a method, in trial order.
+    pub fn invocation_rules(&self, method: &str) -> Vec<InvocationRule> {
+        self.state
+            .lock()
+            .invocation_rules
+            .get(method)
+            .cloned()
+            .unwrap_or_default()
+    }
+
+    /// Consistency warnings between role flags and installed rules.
+    ///
+    /// The paper defines an *initial role* as one whose activation rule
+    /// includes no prerequisite roles (Sect. 2) — activating it starts a
+    /// session. This check reports descriptive mismatches:
+    ///
+    /// * a role not flagged `initial` but having a rule with no
+    ///   prerequisite atoms (it can in fact start a session);
+    /// * a role flagged `initial` all of whose rules require
+    ///   prerequisites (it can never start one);
+    /// * a defined role with no activation rules at all (unactivatable).
+    ///
+    /// These are warnings, not errors: the flag is descriptive metadata
+    /// and services may stage policy installation.
+    pub fn policy_warnings(&self) -> Vec<String> {
+        let state = self.state.lock();
+        let mut warnings = Vec::new();
+        let mut names: Vec<&RoleName> = state.roles.keys().collect();
+        names.sort();
+        for name in names {
+            let def = &state.roles[name];
+            let rules = state.activation_rules.get(name);
+            match rules {
+                None => warnings.push(format!(
+                    "role `{name}` has no activation rules and can never be activated"
+                )),
+                Some(rules) => {
+                    let has_prereq_free_rule = rules
+                        .iter()
+                        .any(|r| !r.conditions.iter().any(Atom::is_credential_prereq));
+                    if has_prereq_free_rule && !def.is_initial() {
+                        warnings.push(format!(
+                            "role `{name}` is not flagged initial but has a rule without \
+                             prerequisite roles; activating it starts a session"
+                        ));
+                    }
+                    if !has_prereq_free_rule && def.is_initial() {
+                        warnings.push(format!(
+                            "role `{name}` is flagged initial but every rule requires a \
+                             prerequisite role; it cannot start a session"
+                        ));
+                    }
+                }
+            }
+        }
+        warnings
+    }
+
+    /// All active credential records (for operator tooling).
+    pub fn active_records(&self) -> Vec<CredRecord> {
+        let state = self.state.lock();
+        let mut records: Vec<CredRecord> = state
+            .records
+            .values()
+            .filter(|r| r.record.status.is_active())
+            .map(|r| r.record.clone())
+            .collect();
+        records.sort_by_key(|r| r.crr.cert_id);
+        records
+    }
+}
+
+/// Substitutes bound variables with their values, leaving `$`-reserved
+/// variables (re-bound at evaluation time) and unbound variables alone.
+fn substitute_atom(atom: &Atom, bindings: &Bindings) -> Atom {
+    let sub_term = |t: &Term| -> Term {
+        if let Term::Var(name) = t {
+            if name.0.starts_with('$') {
+                return t.clone();
+            }
+            if let Some(v) = bindings.get(name) {
+                return Term::Const(v.clone());
+            }
+        }
+        t.clone()
+    };
+    let sub_terms = |ts: &[Term]| ts.iter().map(sub_term).collect();
+    match atom {
+        Atom::Prereq { service, role, args } => Atom::Prereq {
+            service: service.clone(),
+            role: role.clone(),
+            args: sub_terms(args),
+        },
+        Atom::Appointment { issuer, name, args } => Atom::Appointment {
+            issuer: issuer.clone(),
+            name: name.clone(),
+            args: sub_terms(args),
+        },
+        Atom::EnvFact {
+            relation,
+            args,
+            negated,
+        } => Atom::EnvFact {
+            relation: relation.clone(),
+            args: sub_terms(args),
+            negated: *negated,
+        },
+        Atom::EnvCompare { left, op, right } => Atom::EnvCompare {
+            left: sub_term(left),
+            op: *op,
+            right: sub_term(right),
+        },
+        Atom::EnvPredicate { name, args } => Atom::EnvPredicate {
+            name: name.clone(),
+            args: sub_terms(args),
+        },
+    }
+}
+
+fn term_as_const(t: &Term) -> Option<Value> {
+    match t {
+        Term::Const(v) => Some(v.clone()),
+        _ => None,
+    }
+}

@@ -1,0 +1,129 @@
+//! Tests of the operator-facing introspection surface: role listings,
+//! rule listings, and policy consistency warnings.
+
+use std::sync::Arc;
+
+use oasis_core::{Atom, OasisService, RoleName, ServiceConfig, Term, ValueType};
+use oasis_facts::FactStore;
+
+fn service() -> Arc<OasisService> {
+    OasisService::new(ServiceConfig::new("svc"), Arc::new(FactStore::new()))
+}
+
+#[test]
+fn roles_and_rules_listings() {
+    let svc = service();
+    svc.define_role("zeta", &[], false).unwrap();
+    svc.define_role("alpha", &[("x", ValueType::Id)], true).unwrap();
+    let r1 = svc.add_activation_rule("alpha", vec![Term::var("X")], vec![], vec![]).unwrap();
+    let r2 = svc
+        .add_activation_rule(
+            "zeta",
+            vec![],
+            vec![Atom::prereq("alpha", vec![Term::Wildcard])],
+            vec![0],
+        )
+        .unwrap();
+    let i1 = svc.add_invocation_rule("go", vec![], vec![]);
+
+    let roles = svc.roles();
+    assert_eq!(roles.len(), 2);
+    assert_eq!(roles[0].name().as_str(), "alpha", "sorted by name");
+    assert_eq!(roles[1].name().as_str(), "zeta");
+
+    assert_eq!(svc.activation_rules(&RoleName::new("alpha"))[0].id, r1);
+    assert_eq!(svc.activation_rules(&RoleName::new("zeta"))[0].id, r2);
+    assert!(svc.activation_rules(&RoleName::new("ghost")).is_empty());
+    assert_eq!(svc.invocation_rules("go")[0].id, i1);
+    assert!(svc.invocation_rules("stop").is_empty());
+}
+
+#[test]
+fn consistent_policy_has_no_warnings() {
+    let svc = service();
+    svc.define_role("login", &[], true).unwrap();
+    svc.add_activation_rule("login", vec![], vec![], vec![]).unwrap();
+    svc.define_role("inner", &[], false).unwrap();
+    svc.add_activation_rule(
+        "inner",
+        vec![],
+        vec![Atom::prereq("login", vec![])],
+        vec![0],
+    )
+    .unwrap();
+    assert!(svc.policy_warnings().is_empty(), "{:?}", svc.policy_warnings());
+}
+
+#[test]
+fn ruleless_role_flagged() {
+    let svc = service();
+    svc.define_role("orphan", &[], false).unwrap();
+    let warnings = svc.policy_warnings();
+    assert_eq!(warnings.len(), 1);
+    assert!(warnings[0].contains("orphan"));
+    assert!(warnings[0].contains("never be activated"));
+}
+
+#[test]
+fn unflagged_session_starter_flagged() {
+    let svc = service();
+    svc.define_role("sneaky", &[], false).unwrap();
+    svc.add_activation_rule("sneaky", vec![], vec![], vec![]).unwrap();
+    let warnings = svc.policy_warnings();
+    assert_eq!(warnings.len(), 1);
+    assert!(warnings[0].contains("not flagged initial"));
+}
+
+#[test]
+fn appointment_only_rule_counts_as_session_starter() {
+    // A rule gated on an appointment certificate (no prerequisite role)
+    // still starts a session — paper Sect. 2's visiting-doctor pattern.
+    let svc = service();
+    svc.define_role("visitor", &[], true).unwrap();
+    svc.add_activation_rule(
+        "visitor",
+        vec![],
+        vec![Atom::appointment_from("home", "employed", vec![])],
+        vec![0],
+    )
+    .unwrap();
+    assert!(svc.policy_warnings().is_empty());
+}
+
+#[test]
+fn initial_role_that_cannot_start_session_flagged() {
+    let svc = service();
+    svc.define_role("base", &[], true).unwrap();
+    svc.add_activation_rule("base", vec![], vec![], vec![]).unwrap();
+    svc.define_role("fake_initial", &[], true).unwrap();
+    svc.add_activation_rule(
+        "fake_initial",
+        vec![],
+        vec![Atom::prereq("base", vec![])],
+        vec![0],
+    )
+    .unwrap();
+    let warnings = svc.policy_warnings();
+    assert_eq!(warnings.len(), 1);
+    assert!(warnings[0].contains("fake_initial"));
+    assert!(warnings[0].contains("cannot start a session"));
+}
+
+#[test]
+fn mixed_rules_make_initial_consistent() {
+    // A role with one prereq-free rule and one prereq rule is a valid
+    // initial role (either path works; one starts sessions).
+    let svc = service();
+    svc.define_role("base", &[], true).unwrap();
+    svc.add_activation_rule("base", vec![], vec![], vec![]).unwrap();
+    svc.define_role("either", &[], true).unwrap();
+    svc.add_activation_rule("either", vec![], vec![], vec![]).unwrap();
+    svc.add_activation_rule(
+        "either",
+        vec![],
+        vec![Atom::prereq("base", vec![])],
+        vec![0],
+    )
+    .unwrap();
+    assert!(svc.policy_warnings().is_empty());
+}

@@ -1,0 +1,891 @@
+//! Behavioural tests of the OASIS service engine: role activation,
+//! service use, appointment, revocation cascades, and membership
+//! monitoring — the mechanics of Figs 1, 2 and 5 of the paper.
+
+use std::sync::Arc;
+
+use oasis_core::{
+    Atom, CmpOp, Credential, CredStatus, EnvContext, LocalRegistry, OasisError,
+    OasisService, PrincipalId, RoleName, ServiceConfig, Term, Value, ValueType,
+};
+use oasis_events::EventBus;
+use oasis_facts::FactStore;
+
+fn facts() -> Arc<FactStore<Value>> {
+    let f = FactStore::new();
+    f.define("password_ok", 1).unwrap();
+    f.define("registered", 2).unwrap();
+    f.define("excluded", 2).unwrap();
+    Arc::new(f)
+}
+
+fn alice() -> PrincipalId {
+    PrincipalId::new("alice")
+}
+
+fn role(s: &str) -> RoleName {
+    RoleName::new(s)
+}
+
+/// A login service with an initial role guarded by a fact lookup.
+fn login_service(facts: &Arc<FactStore<Value>>, bus: &EventBus<oasis_core::CertEvent>) -> Arc<OasisService> {
+    let svc = OasisService::new(
+        ServiceConfig::new("login").with_bus(bus.clone()),
+        Arc::clone(facts),
+    );
+    svc.define_role("logged_in", &[("user", ValueType::Id)], true)
+        .unwrap();
+    svc.add_activation_rule(
+        "logged_in",
+        vec![Term::var("U")],
+        vec![Atom::env_fact("password_ok", vec![Term::var("U")])],
+        vec![0],
+    )
+    .unwrap();
+    svc
+}
+
+#[test]
+fn initial_role_activation_issues_verified_rmc() {
+    let facts = facts();
+    facts.insert("password_ok", vec![Value::id("alice")]).unwrap();
+    let bus = EventBus::new();
+    let svc = login_service(&facts, &bus);
+
+    let rmc = svc
+        .activate_role(&alice(), &role("logged_in"), &[Value::id("alice")], &[], &EnvContext::new(1))
+        .unwrap();
+
+    assert_eq!(rmc.role, role("logged_in"));
+    assert_eq!(rmc.args, vec![Value::id("alice")]);
+    assert!(svc
+        .validate_own(&Credential::Rmc(rmc.clone()), &alice(), 1)
+        .is_ok());
+    // A thief presenting the same RMC fails (principal-specific MAC).
+    assert!(svc
+        .validate_own(&Credential::Rmc(rmc), &PrincipalId::new("mallory"), 1)
+        .is_err());
+}
+
+#[test]
+fn activation_denied_without_satisfying_fact() {
+    let facts = facts();
+    let bus = EventBus::new();
+    let svc = login_service(&facts, &bus);
+    let err = svc
+        .activate_role(&alice(), &role("logged_in"), &[Value::id("alice")], &[], &EnvContext::new(0))
+        .unwrap_err();
+    assert!(matches!(err, OasisError::ActivationDenied { .. }));
+    assert_eq!(svc.audit().entries_tagged("activation_denied").len(), 1);
+}
+
+#[test]
+fn unknown_role_and_bad_args_rejected() {
+    let facts = facts();
+    let bus = EventBus::new();
+    let svc = login_service(&facts, &bus);
+    assert!(matches!(
+        svc.activate_role(&alice(), &role("ghost"), &[], &[], &EnvContext::new(0)),
+        Err(OasisError::UnknownRole(_))
+    ));
+    assert!(matches!(
+        svc.activate_role(&alice(), &role("logged_in"), &[], &[], &EnvContext::new(0)),
+        Err(OasisError::ArityMismatch { .. })
+    ));
+    assert!(matches!(
+        svc.activate_role(
+            &alice(),
+            &role("logged_in"),
+            &[Value::Int(3)],
+            &[],
+            &EnvContext::new(0)
+        ),
+        Err(OasisError::TypeMismatch { .. })
+    ));
+}
+
+/// Builds the two-service prerequisite chain of Fig 1: `login.logged_in`
+/// is a prerequisite for `hospital.doctor_on_duty`, which is a
+/// prerequisite for `hospital.treating_doctor`.
+struct Fig1 {
+    facts: Arc<FactStore<Value>>,
+    login: Arc<OasisService>,
+    hospital: Arc<OasisService>,
+    registry: Arc<LocalRegistry>,
+}
+
+fn fig1() -> Fig1 {
+    let facts = facts();
+    let bus = EventBus::new();
+    let login = login_service(&facts, &bus);
+
+    let hospital = OasisService::new(
+        ServiceConfig::new("hospital").with_bus(bus.clone()),
+        Arc::clone(&facts),
+    );
+    hospital
+        .define_role("doctor_on_duty", &[("doctor", ValueType::Id)], false)
+        .unwrap();
+    hospital
+        .define_role(
+            "treating_doctor",
+            &[("doctor", ValueType::Id), ("patient", ValueType::Id)],
+            false,
+        )
+        .unwrap();
+    hospital
+        .add_activation_rule(
+            "doctor_on_duty",
+            vec![Term::var("D")],
+            vec![Atom::prereq_at("login", "logged_in", vec![Term::var("D")])],
+            vec![0],
+        )
+        .unwrap();
+    hospital
+        .add_activation_rule(
+            "treating_doctor",
+            vec![Term::var("D"), Term::var("P")],
+            vec![
+                Atom::prereq("doctor_on_duty", vec![Term::var("D")]),
+                Atom::env_fact("registered", vec![Term::var("D"), Term::var("P")]),
+                Atom::env_not_fact("excluded", vec![Term::var("P"), Term::var("D")]),
+            ],
+            vec![0, 1, 2],
+        )
+        .unwrap();
+
+    let registry = Arc::new(LocalRegistry::new());
+    registry.register(&login);
+    registry.register(&hospital);
+    login.set_validator(registry.clone());
+    hospital.set_validator(registry.clone());
+
+    Fig1 {
+        facts,
+        login,
+        hospital,
+        registry,
+    }
+}
+
+/// Runs the full Fig 1 chain for alice/patient p1, returning the three RMCs.
+fn activate_chain(f: &Fig1) -> (oasis_core::cert::Rmc, oasis_core::cert::Rmc, oasis_core::cert::Rmc) {
+    f.facts.insert("password_ok", vec![Value::id("alice")]).unwrap();
+    f.facts
+        .insert("registered", vec![Value::id("alice"), Value::id("p1")])
+        .unwrap();
+    let ctx = EnvContext::new(10);
+    let login_rmc = f
+        .login
+        .activate_role(&alice(), &role("logged_in"), &[Value::id("alice")], &[], &ctx)
+        .unwrap();
+    let duty_rmc = f
+        .hospital
+        .activate_role(
+            &alice(),
+            &role("doctor_on_duty"),
+            &[Value::id("alice")],
+            &[Credential::Rmc(login_rmc.clone())],
+            &ctx,
+        )
+        .unwrap();
+    let treating_rmc = f
+        .hospital
+        .activate_role(
+            &alice(),
+            &role("treating_doctor"),
+            &[Value::id("alice"), Value::id("p1")],
+            &[Credential::Rmc(duty_rmc.clone())],
+            &ctx,
+        )
+        .unwrap();
+    (login_rmc, duty_rmc, treating_rmc)
+}
+
+#[test]
+fn prerequisite_chain_builds_session_tree() {
+    let f = fig1();
+    let (login_rmc, duty_rmc, treating_rmc) = activate_chain(&f);
+
+    // The dependency edges of Fig 1/Fig 5 exist.
+    assert_eq!(
+        f.hospital.dependencies(duty_rmc.crr.cert_id).unwrap(),
+        vec![login_rmc.crr.clone()]
+    );
+    assert_eq!(
+        f.hospital.dependencies(treating_rmc.crr.cert_id).unwrap(),
+        vec![duty_rmc.crr.clone()]
+    );
+}
+
+#[test]
+fn cross_service_prereq_requires_validator() {
+    let f = fig1();
+    f.facts.insert("password_ok", vec![Value::id("alice")]).unwrap();
+    let ctx = EnvContext::new(0);
+    let login_rmc = f
+        .login
+        .activate_role(&alice(), &role("logged_in"), &[Value::id("alice")], &[], &ctx)
+        .unwrap();
+
+    // A hospital with no validator cannot accept the foreign credential.
+    let lonely = OasisService::new(ServiceConfig::new("lonely"), Arc::clone(&f.facts));
+    lonely
+        .define_role("r", &[("d", ValueType::Id)], false)
+        .unwrap();
+    lonely
+        .add_activation_rule(
+            "r",
+            vec![Term::var("D")],
+            vec![Atom::prereq_at("login", "logged_in", vec![Term::var("D")])],
+            vec![],
+        )
+        .unwrap();
+    let err = lonely
+        .activate_role(
+            &alice(),
+            &role("r"),
+            &[Value::id("alice")],
+            &[Credential::Rmc(login_rmc)],
+            &ctx,
+        )
+        .unwrap_err();
+    // The foreign credential is rejected (no validator), so the rule fails.
+    assert!(matches!(err, OasisError::ActivationDenied { .. }));
+    assert_eq!(lonely.audit().entries_tagged("credential_rejected").len(), 1);
+}
+
+#[test]
+fn revoking_root_collapses_whole_chain() {
+    let f = fig1();
+    let (login_rmc, duty_rmc, treating_rmc) = activate_chain(&f);
+
+    // Log out: revoke the initial role's RMC at the login service.
+    assert!(f
+        .login
+        .revoke_certificate(login_rmc.crr.cert_id, "logged out", 20));
+
+    // Both dependent hospital roles collapsed synchronously.
+    let duty_rec = f.hospital.record(duty_rmc.crr.cert_id).unwrap();
+    let treating_rec = f.hospital.record(treating_rmc.crr.cert_id).unwrap();
+    assert!(matches!(duty_rec.status, CredStatus::Revoked { .. }));
+    assert!(matches!(treating_rec.status, CredStatus::Revoked { .. }));
+
+    // And validation now fails for all three.
+    assert!(f
+        .login
+        .validate_own(&Credential::Rmc(login_rmc), &alice(), 21)
+        .is_err());
+    assert!(f
+        .hospital
+        .validate_own(&Credential::Rmc(duty_rmc), &alice(), 21)
+        .is_err());
+    assert!(f
+        .hospital
+        .validate_own(&Credential::Rmc(treating_rmc), &alice(), 21)
+        .is_err());
+}
+
+#[test]
+fn revoking_middle_keeps_root_active() {
+    let f = fig1();
+    let (login_rmc, duty_rmc, treating_rmc) = activate_chain(&f);
+
+    assert!(f
+        .hospital
+        .revoke_certificate(duty_rmc.crr.cert_id, "shift ended", 20));
+
+    assert!(f
+        .login
+        .validate_own(&Credential::Rmc(login_rmc), &alice(), 21)
+        .is_ok());
+    assert!(matches!(
+        f.hospital.record(treating_rmc.crr.cert_id).unwrap().status,
+        CredStatus::Revoked { .. }
+    ));
+}
+
+#[test]
+fn fact_retraction_deactivates_dependent_role_immediately() {
+    let f = fig1();
+    let (_, duty_rmc, treating_rmc) = activate_chain(&f);
+
+    // Patient deregisters from this doctor: membership condition broken.
+    f.facts
+        .retract("registered", &[Value::id("alice"), Value::id("p1")])
+        .unwrap();
+
+    assert!(matches!(
+        f.hospital.record(treating_rmc.crr.cert_id).unwrap().status,
+        CredStatus::Revoked { .. }
+    ));
+    // The sibling role (not depending on the fact) is untouched.
+    assert!(f
+        .hospital
+        .record(duty_rmc.crr.cert_id)
+        .unwrap()
+        .status
+        .is_active());
+}
+
+#[test]
+fn exclusion_fact_insertion_deactivates_role() {
+    let f = fig1();
+    let (_, _, treating_rmc) = activate_chain(&f);
+
+    // The patient excludes this doctor ("Fred Smith may not access my
+    // record"): the retained *negated* condition flips.
+    f.facts
+        .insert("excluded", vec![Value::id("p1"), Value::id("alice")])
+        .unwrap();
+
+    assert!(matches!(
+        f.hospital.record(treating_rmc.crr.cert_id).unwrap().status,
+        CredStatus::Revoked { .. }
+    ));
+}
+
+#[test]
+fn exclusion_blocks_activation_up_front() {
+    let f = fig1();
+    f.facts.insert("password_ok", vec![Value::id("alice")]).unwrap();
+    f.facts
+        .insert("registered", vec![Value::id("alice"), Value::id("p1")])
+        .unwrap();
+    f.facts
+        .insert("excluded", vec![Value::id("p1"), Value::id("alice")])
+        .unwrap();
+    let ctx = EnvContext::new(0);
+    let login_rmc = f
+        .login
+        .activate_role(&alice(), &role("logged_in"), &[Value::id("alice")], &[], &ctx)
+        .unwrap();
+    let duty_rmc = f
+        .hospital
+        .activate_role(
+            &alice(),
+            &role("doctor_on_duty"),
+            &[Value::id("alice")],
+            &[Credential::Rmc(login_rmc)],
+            &ctx,
+        )
+        .unwrap();
+    assert!(matches!(
+        f.hospital.activate_role(
+            &alice(),
+            &role("treating_doctor"),
+            &[Value::id("alice"), Value::id("p1")],
+            &[Credential::Rmc(duty_rmc)],
+            &ctx,
+        ),
+        Err(OasisError::ActivationDenied { .. })
+    ));
+}
+
+#[test]
+fn invocation_rules_gate_method_calls() {
+    let f = fig1();
+    let (_, _, treating_rmc) = activate_chain(&f);
+
+    f.hospital.add_invocation_rule(
+        "read_record",
+        vec![Term::var("P")],
+        vec![Atom::prereq(
+            "treating_doctor",
+            vec![Term::var("D"), Term::var("P")],
+        )],
+    );
+
+    // Reading the treated patient's record is allowed…
+    let inv = f
+        .hospital
+        .invoke(
+            &alice(),
+            "read_record",
+            &[Value::id("p1")],
+            &[Credential::Rmc(treating_rmc.clone())],
+            &EnvContext::new(30),
+        )
+        .unwrap();
+    assert_eq!(inv.used, vec![treating_rmc.crr.clone()]);
+    assert_eq!(
+        inv.bindings.get_name("D"),
+        Some(&Value::id("alice")),
+        "invocation records who acted, for audit"
+    );
+
+    // …reading another patient's record is not.
+    assert!(matches!(
+        f.hospital.invoke(
+            &alice(),
+            "read_record",
+            &[Value::id("p2")],
+            &[Credential::Rmc(treating_rmc.clone())],
+            &EnvContext::new(30),
+        ),
+        Err(OasisError::InvocationDenied { .. })
+    ));
+
+    // Methods with no rules deny by default.
+    assert!(matches!(
+        f.hospital.invoke(
+            &alice(),
+            "delete_record",
+            &[Value::id("p1")],
+            &[Credential::Rmc(treating_rmc)],
+            &EnvContext::new(30),
+        ),
+        Err(OasisError::InvocationDenied { .. })
+    ));
+}
+
+#[test]
+fn invocation_with_revoked_rmc_fails() {
+    let f = fig1();
+    let (_, _, treating_rmc) = activate_chain(&f);
+    f.hospital.add_invocation_rule(
+        "read_record",
+        vec![Term::var("P")],
+        vec![Atom::prereq(
+            "treating_doctor",
+            vec![Term::Wildcard, Term::var("P")],
+        )],
+    );
+    f.hospital
+        .revoke_certificate(treating_rmc.crr.cert_id, "done", 40);
+    assert!(f
+        .hospital
+        .invoke(
+            &alice(),
+            "read_record",
+            &[Value::id("p1")],
+            &[Credential::Rmc(treating_rmc)],
+            &EnvContext::new(41),
+        )
+        .is_err());
+}
+
+#[test]
+fn appointment_issue_requires_privileged_role() {
+    let f = fig1();
+    let (_, duty_rmc, _) = activate_chain(&f);
+    let bob = PrincipalId::new("bob");
+
+    // Nobody has been granted the appointer privilege yet.
+    assert!(matches!(
+        f.hospital.issue_appointment(
+            &alice(),
+            &[Credential::Rmc(duty_rmc.clone())],
+            "assigned",
+            vec![Value::id("alice"), Value::id("p1")],
+            &bob,
+            None,
+            None,
+            &EnvContext::new(50),
+        ),
+        Err(OasisError::NotAppointer { .. })
+    ));
+
+    f.hospital.grant_appointer("doctor_on_duty", "assigned").unwrap();
+    let cert = f
+        .hospital
+        .issue_appointment(
+            &alice(),
+            &[Credential::Rmc(duty_rmc.clone())],
+            "assigned",
+            vec![Value::id("alice"), Value::id("p1")],
+            &bob,
+            Some(1_000),
+            None,
+            &EnvContext::new(50),
+        )
+        .unwrap();
+
+    // The appointee (not the appointer) can validate/present it.
+    assert!(f
+        .hospital
+        .validate_own(&Credential::Appointment(cert.clone()), &bob, 60)
+        .is_ok());
+    assert!(f
+        .hospital
+        .validate_own(&Credential::Appointment(cert), &alice(), 60)
+        .is_err());
+}
+
+#[test]
+fn appointment_survives_appointer_session_end() {
+    let f = fig1();
+    let (_, duty_rmc, _) = activate_chain(&f);
+    let bob = PrincipalId::new("bob");
+    f.hospital.grant_appointer("doctor_on_duty", "assigned").unwrap();
+    let cert = f
+        .hospital
+        .issue_appointment(
+            &alice(),
+            &[Credential::Rmc(duty_rmc.clone())],
+            "assigned",
+            vec![],
+            &bob,
+            None,
+            None,
+            &EnvContext::new(50),
+        )
+        .unwrap();
+
+    // The appointer's whole session collapses…
+    f.hospital
+        .revoke_certificate(duty_rmc.crr.cert_id, "logged out", 60);
+
+    // …but the appointment's lifetime is independent of that session.
+    assert!(f
+        .hospital
+        .validate_own(&Credential::Appointment(cert), &bob, 61)
+        .is_ok());
+}
+
+#[test]
+fn expired_appointment_rejected_and_marked() {
+    let f = fig1();
+    let (_, duty_rmc, _) = activate_chain(&f);
+    let bob = PrincipalId::new("bob");
+    f.hospital.grant_appointer("doctor_on_duty", "standin").unwrap();
+    let cert = f
+        .hospital
+        .issue_appointment(
+            &alice(),
+            &[Credential::Rmc(duty_rmc)],
+            "standin",
+            vec![],
+            &bob,
+            Some(100),
+            None,
+            &EnvContext::new(50),
+        )
+        .unwrap();
+
+    assert!(f
+        .hospital
+        .validate_own(&Credential::Appointment(cert.clone()), &bob, 100)
+        .is_ok());
+    let err = f
+        .hospital
+        .validate_own(&Credential::Appointment(cert.clone()), &bob, 101)
+        .unwrap_err();
+    assert!(err.to_string().contains("expired"));
+    assert!(matches!(
+        f.hospital.record(cert.crr.cert_id).unwrap().status,
+        CredStatus::Expired { .. }
+    ));
+}
+
+#[test]
+fn expire_certificates_sweep() {
+    let f = fig1();
+    let (_, duty_rmc, _) = activate_chain(&f);
+    let bob = PrincipalId::new("bob");
+    f.hospital.grant_appointer("doctor_on_duty", "standin").unwrap();
+    for deadline in [100, 200] {
+        f.hospital
+            .issue_appointment(
+                &alice(),
+                &[Credential::Rmc(duty_rmc.clone())],
+                "standin",
+                vec![],
+                &bob,
+                Some(deadline),
+                None,
+                &EnvContext::new(50),
+            )
+            .unwrap();
+    }
+    assert_eq!(f.hospital.expire_certificates(150), 1);
+    assert_eq!(f.hospital.expire_certificates(150), 0, "idempotent");
+    assert_eq!(f.hospital.expire_certificates(300), 1);
+}
+
+#[test]
+fn membership_recheck_revokes_on_time_window() {
+    let facts = facts();
+    let svc = OasisService::new(ServiceConfig::new("ward"), Arc::clone(&facts));
+    svc.define_role("day_nurse", &[("n", ValueType::Id)], true)
+        .unwrap();
+    // Active only while $now < 100; the time condition is retained.
+    svc.add_activation_rule(
+        "day_nurse",
+        vec![Term::var("N")],
+        vec![Atom::compare(
+            Term::var("$now"),
+            CmpOp::Lt,
+            Term::val(Value::Time(100)),
+        )],
+        vec![0],
+    )
+    .unwrap();
+
+    let rmc = svc
+        .activate_role(
+            &alice(),
+            &role("day_nurse"),
+            &[Value::id("alice")],
+            &[],
+            &EnvContext::new(10),
+        )
+        .unwrap();
+
+    // Still daytime: nothing happens.
+    assert!(svc.recheck_memberships(&EnvContext::new(50)).is_empty());
+    assert!(svc.record(rmc.crr.cert_id).unwrap().status.is_active());
+
+    // Night falls: the sweep deactivates the role.
+    let revoked = svc.recheck_memberships(&EnvContext::new(100));
+    assert_eq!(revoked, vec![rmc.crr.clone()]);
+    assert!(matches!(
+        svc.record(rmc.crr.cert_id).unwrap().status,
+        CredStatus::Revoked { .. }
+    ));
+}
+
+#[test]
+fn non_retained_conditions_do_not_deactivate() {
+    let facts = facts();
+    let svc = OasisService::new(ServiceConfig::new("svc"), Arc::clone(&facts));
+    facts.insert("password_ok", vec![Value::id("alice")]).unwrap();
+    svc.define_role("r", &[("u", ValueType::Id)], true).unwrap();
+    // password_ok is checked at activation but NOT retained (empty
+    // membership rule).
+    svc.add_activation_rule(
+        "r",
+        vec![Term::var("U")],
+        vec![Atom::env_fact("password_ok", vec![Term::var("U")])],
+        vec![],
+    )
+    .unwrap();
+    let rmc = svc
+        .activate_role(&alice(), &role("r"), &[Value::id("alice")], &[], &EnvContext::new(0))
+        .unwrap();
+
+    facts.retract("password_ok", &[Value::id("alice")]).unwrap();
+    assert!(
+        svc.record(rmc.crr.cert_id).unwrap().status.is_active(),
+        "a condition outside the membership rule may become false without deactivating the role"
+    );
+}
+
+#[test]
+fn secret_rotation_old_certs_verify_until_retired() {
+    let f = fig1();
+    let (login_rmc, _, _) = activate_chain(&f);
+
+    f.login.secret().rotate();
+    assert!(
+        f.login
+            .validate_own(&Credential::Rmc(login_rmc.clone()), &alice(), 30)
+            .is_ok(),
+        "old epoch still live after rotation"
+    );
+
+    let current = f.login.secret().current_epoch();
+    f.login.secret().retire_before(current);
+    let err = f
+        .login
+        .validate_own(&Credential::Rmc(login_rmc), &alice(), 31)
+        .unwrap_err();
+    assert!(err.to_string().contains("retired"));
+}
+
+#[test]
+fn audit_trail_records_the_whole_story() {
+    let f = fig1();
+    let (_, _, treating_rmc) = activate_chain(&f);
+    f.hospital.add_invocation_rule(
+        "read_record",
+        vec![Term::var("P")],
+        vec![Atom::prereq(
+            "treating_doctor",
+            vec![Term::Wildcard, Term::var("P")],
+        )],
+    );
+    f.hospital
+        .invoke(
+            &alice(),
+            "read_record",
+            &[Value::id("p1")],
+            &[Credential::Rmc(treating_rmc.clone())],
+            &EnvContext::new(30),
+        )
+        .unwrap();
+    f.hospital
+        .revoke_certificate(treating_rmc.crr.cert_id, "done", 40);
+
+    let hospital_audit = f.hospital.audit();
+    assert_eq!(hospital_audit.entries_tagged("role_activated").len(), 2);
+    assert_eq!(hospital_audit.entries_tagged("invoked").len(), 1);
+    assert_eq!(hospital_audit.entries_tagged("cert_revoked").len(), 1);
+    // Entries are time-ordered.
+    let entries = hospital_audit.entries();
+    assert!(entries.windows(2).all(|w| w[0].seq < w[1].seq));
+}
+
+#[test]
+fn registry_validates_across_services() {
+    let f = fig1();
+    let (login_rmc, _, _) = activate_chain(&f);
+    // Validate through the registry (as another service would).
+    use oasis_core::CredentialValidator;
+    assert!(f
+        .registry
+        .validate(&Credential::Rmc(login_rmc.clone()), &alice(), 15)
+        .is_ok());
+    // Unknown issuer.
+    let mut foreign = login_rmc;
+    foreign.crr.issuer = oasis_core::ServiceId::new("nowhere");
+    assert!(matches!(
+        f.registry.validate(&Credential::Rmc(foreign), &alice(), 15),
+        Err(OasisError::NoValidator(_))
+    ));
+}
+
+#[test]
+fn wide_fanout_cascade_collapses_all_dependents() {
+    // One root credential supports many leaf roles; revoking the root
+    // collapses every leaf (Fig 5 at fan-out 50).
+    let facts = facts();
+    let bus = EventBus::new();
+    let login = login_service(&facts, &bus);
+    let leaves = OasisService::new(
+        ServiceConfig::new("leaves").with_bus(bus.clone()),
+        Arc::clone(&facts),
+    );
+    leaves
+        .define_role("leaf", &[("u", ValueType::Id), ("n", ValueType::Int)], false)
+        .unwrap();
+    leaves
+        .add_activation_rule(
+            "leaf",
+            vec![Term::var("U"), Term::var("N")],
+            vec![Atom::prereq_at("login", "logged_in", vec![Term::var("U")])],
+            vec![0],
+        )
+        .unwrap();
+    let registry = Arc::new(LocalRegistry::new());
+    registry.register(&login);
+    registry.register(&leaves);
+    leaves.set_validator(registry);
+
+    facts.insert("password_ok", vec![Value::id("alice")]).unwrap();
+    let ctx = EnvContext::new(0);
+    let root = login
+        .activate_role(&alice(), &role("logged_in"), &[Value::id("alice")], &[], &ctx)
+        .unwrap();
+    for n in 0..50 {
+        leaves
+            .activate_role(
+                &alice(),
+                &role("leaf"),
+                &[Value::id("alice"), Value::Int(n)],
+                &[Credential::Rmc(root.clone())],
+                &ctx,
+            )
+            .unwrap();
+    }
+    assert_eq!(leaves.record_stats(), (50, 0, 0));
+    login.revoke_certificate(root.crr.cert_id, "logout", 1);
+    assert_eq!(leaves.record_stats(), (0, 50, 0));
+}
+
+#[test]
+fn deep_chain_cascade_collapses_transitively() {
+    // A linear chain of depth 30 within one service.
+    let facts = facts();
+    let svc = OasisService::new(ServiceConfig::new("chain"), Arc::clone(&facts));
+    svc.define_role("level0", &[], true).unwrap();
+    svc.add_activation_rule("level0", vec![], vec![], vec![]).unwrap();
+    for i in 1..30 {
+        svc.define_role(format!("level{i}"), &[], false).unwrap();
+        svc.add_activation_rule(
+            format!("level{i}"),
+            vec![],
+            vec![Atom::prereq(format!("level{}", i - 1), vec![])],
+            vec![0],
+        )
+        .unwrap();
+    }
+    let ctx = EnvContext::new(0);
+    let mut rmcs = vec![svc
+        .activate_role(&alice(), &role("level0"), &[], &[], &ctx)
+        .unwrap()];
+    for i in 1..30 {
+        let prev = rmcs.last().unwrap().clone();
+        rmcs.push(
+            svc.activate_role(
+                &alice(),
+                &role(&format!("level{i}")),
+                &[],
+                &[Credential::Rmc(prev)],
+                &ctx,
+            )
+            .unwrap(),
+        );
+    }
+    assert_eq!(svc.record_stats(), (30, 0, 0));
+    svc.revoke_certificate(rmcs[0].crr.cert_id, "root gone", 1);
+    assert_eq!(svc.record_stats(), (0, 30, 0));
+}
+
+#[test]
+fn first_matching_rule_wins_among_alternatives() {
+    // Two ways into the same role: by appointment OR by fact.
+    let facts = facts();
+    let svc = OasisService::new(ServiceConfig::new("svc"), Arc::clone(&facts));
+    svc.define_role("member", &[("u", ValueType::Id)], true).unwrap();
+    let r1 = svc
+        .add_activation_rule(
+            "member",
+            vec![Term::var("U")],
+            vec![Atom::appointment("membership_card", vec![Term::var("U")])],
+            vec![0],
+        )
+        .unwrap();
+    let r2 = svc
+        .add_activation_rule(
+            "member",
+            vec![Term::var("U")],
+            vec![Atom::env_fact("password_ok", vec![Term::var("U")])],
+            vec![0],
+        )
+        .unwrap();
+    assert_ne!(r1, r2);
+
+    facts.insert("password_ok", vec![Value::id("alice")]).unwrap();
+    // No appointment certificate presented: rule 2 fires.
+    let outcome = svc
+        .activate_role_detailed(
+            &alice(),
+            &role("member"),
+            &[Value::id("alice")],
+            &[],
+            None,
+            &EnvContext::new(0),
+        )
+        .unwrap();
+    assert_eq!(outcome.rule, r2);
+}
+
+#[test]
+fn duplicate_role_definition_rejected() {
+    let facts = facts();
+    let svc = OasisService::new(ServiceConfig::new("svc"), Arc::clone(&facts));
+    svc.define_role("r", &[], false).unwrap();
+    assert!(matches!(
+        svc.define_role("r", &[], false),
+        Err(OasisError::DuplicateRole(_))
+    ));
+    assert!(matches!(
+        svc.add_activation_rule("ghost", vec![], vec![], vec![]),
+        Err(OasisError::UnknownRole(_))
+    ));
+    assert!(matches!(
+        svc.grant_appointer("ghost", "x"),
+        Err(OasisError::UnknownRole(_))
+    ));
+}

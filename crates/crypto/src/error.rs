@@ -1,0 +1,38 @@
+//! Error types for the cryptographic substrate.
+
+use thiserror::Error;
+
+/// Errors reported by the cryptographic substrate.
+#[derive(Debug, Error, Clone, PartialEq, Eq)]
+pub enum CryptoError {
+    /// A MAC or signature failed verification.
+    #[error("signature verification failed")]
+    BadSignature,
+
+    /// A byte string had the wrong length for the key or signature type.
+    #[error("invalid length for {what}: expected {expected}, got {actual}")]
+    InvalidLength {
+        /// What was being decoded.
+        what: &'static str,
+        /// Required byte length.
+        expected: usize,
+        /// Supplied byte length.
+        actual: usize,
+    },
+
+    /// A secret epoch was not recognised (already retired or never issued).
+    #[error("unknown or retired secret epoch {0}")]
+    UnknownEpoch(u64),
+
+    /// A challenge response referenced an unknown or already-consumed nonce.
+    #[error("unknown, expired, or replayed nonce")]
+    BadNonce,
+
+    /// A challenge response was made with the wrong key.
+    #[error("challenge response does not prove possession of the presented key")]
+    ChallengeFailed,
+
+    /// Hex or binary decoding failed.
+    #[error("malformed encoding: {0}")]
+    Malformed(String),
+}

@@ -1,0 +1,72 @@
+//! Minimal hexadecimal encoding used for displaying digests and keys.
+
+/// Encodes bytes as lowercase hexadecimal.
+///
+/// # Example
+///
+/// ```
+/// assert_eq!(oasis_crypto::hex::encode(&[0xde, 0xad]), "dead");
+/// ```
+pub fn encode(bytes: &[u8]) -> String {
+    let mut out = String::with_capacity(bytes.len() * 2);
+    for b in bytes {
+        out.push(char::from_digit(u32::from(b >> 4), 16).expect("nibble < 16"));
+        out.push(char::from_digit(u32::from(b & 0xf), 16).expect("nibble < 16"));
+    }
+    out
+}
+
+/// Decodes lowercase or uppercase hexadecimal into bytes.
+///
+/// Returns `None` for odd-length input or non-hex characters.
+///
+/// # Example
+///
+/// ```
+/// assert_eq!(oasis_crypto::hex::decode("DEad"), Some(vec![0xde, 0xad]));
+/// assert_eq!(oasis_crypto::hex::decode("xyz"), None);
+/// ```
+pub fn decode(s: &str) -> Option<Vec<u8>> {
+    if !s.len().is_multiple_of(2) {
+        return None;
+    }
+    let digits: Vec<u32> = s.chars().map(|c| c.to_digit(16)).collect::<Option<_>>()?;
+    Some(
+        digits
+            .chunks_exact(2)
+            .map(|pair| u8::try_from(pair[0] * 16 + pair[1]).expect("byte fits"))
+            .collect(),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn encode_known_vector() {
+        assert_eq!(encode(&[0x00, 0x0f, 0xf0, 0xff]), "000ff0ff");
+    }
+
+    #[test]
+    fn decode_rejects_odd_length() {
+        assert_eq!(decode("abc"), None);
+    }
+
+    #[test]
+    fn decode_rejects_bad_chars() {
+        assert_eq!(decode("zz"), None);
+    }
+
+    #[test]
+    fn round_trip_all_bytes() {
+        let bytes: Vec<u8> = (0..=255).collect();
+        assert_eq!(decode(&encode(&bytes)), Some(bytes));
+    }
+
+    #[test]
+    fn empty_round_trip() {
+        assert_eq!(encode(&[]), "");
+        assert_eq!(decode(""), Some(vec![]));
+    }
+}

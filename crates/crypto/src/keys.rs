@@ -1,0 +1,210 @@
+//! Principal key pairs for session binding and authentication.
+//!
+//! Section 4.1: "a key-pair can be created by the principal and the public
+//! key sent to the service to be bound into the certificate. The service
+//! can establish at any time that the caller holds the corresponding
+//! private key by running a challenge-response protocol."
+//!
+//! We use Ed25519. The [`PublicKey`] is what gets bound into certificate
+//! signatures; the [`KeyPair`] stays with the principal.
+
+use std::fmt;
+
+use ed25519_dalek::{Signer, Verifier};
+use rand::RngCore;
+use serde::{Deserialize, Serialize};
+
+use crate::error::CryptoError;
+use crate::hex;
+
+/// A principal's Ed25519 public key (32 bytes).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct PublicKey(pub [u8; 32]);
+
+impl PublicKey {
+    /// The raw key bytes.
+    pub fn as_bytes(&self) -> &[u8; 32] {
+        &self.0
+    }
+
+    /// Parses a public key from 64 hex characters.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CryptoError::Malformed`] or [`CryptoError::InvalidLength`]
+    /// for bad input.
+    pub fn from_hex(s: &str) -> Result<Self, CryptoError> {
+        let bytes =
+            hex::decode(s).ok_or_else(|| CryptoError::Malformed(format!("not hex: {s:?}")))?;
+        let arr: [u8; 32] = bytes
+            .try_into()
+            .map_err(|v: Vec<u8>| CryptoError::InvalidLength {
+                what: "public key",
+                expected: 32,
+                actual: v.len(),
+            })?;
+        Ok(Self(arr))
+    }
+
+    /// Verifies an Ed25519 `signature` over `message` by this key.
+    pub fn verify(&self, message: &[u8], signature: &SignatureBytes) -> bool {
+        let Ok(vk) = ed25519_dalek::VerifyingKey::from_bytes(&self.0) else {
+            return false;
+        };
+        let sig = ed25519_dalek::Signature::from_bytes(&signature.0);
+        vk.verify(message, &sig).is_ok()
+    }
+}
+
+impl fmt::Debug for PublicKey {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "PublicKey({})", hex::encode(&self.0[..6]))
+    }
+}
+
+impl fmt::Display for PublicKey {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&hex::encode(&self.0))
+    }
+}
+
+/// A detached Ed25519 signature (64 bytes).
+#[derive(Clone, Copy, Serialize, Deserialize)]
+pub struct SignatureBytes(#[serde(with = "serde_sig")] pub [u8; 64]);
+
+mod serde_sig {
+    use serde::{Deserialize, Deserializer, Serialize, Serializer};
+
+    pub fn serialize<S: Serializer>(bytes: &[u8; 64], ser: S) -> Result<S::Ok, S::Error> {
+        bytes.as_slice().serialize(ser)
+    }
+
+    pub fn deserialize<'de, D: Deserializer<'de>>(de: D) -> Result<[u8; 64], D::Error> {
+        let v = Vec::<u8>::deserialize(de)?;
+        v.try_into()
+            .map_err(|_| serde::de::Error::custom("signature must be 64 bytes"))
+    }
+}
+
+impl PartialEq for SignatureBytes {
+    fn eq(&self, other: &Self) -> bool {
+        self.0[..] == other.0[..]
+    }
+}
+
+impl Eq for SignatureBytes {}
+
+impl fmt::Debug for SignatureBytes {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "SignatureBytes({}…)", hex::encode(&self.0[..6]))
+    }
+}
+
+impl fmt::Display for SignatureBytes {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&hex::encode(&self.0))
+    }
+}
+
+/// An Ed25519 key pair held by a principal.
+///
+/// # Example
+///
+/// ```
+/// use oasis_crypto::KeyPair;
+///
+/// let pair = KeyPair::generate();
+/// let sig = pair.sign(b"challenge");
+/// assert!(pair.public_key().verify(b"challenge", &sig));
+/// ```
+pub struct KeyPair {
+    signing: ed25519_dalek::SigningKey,
+}
+
+impl KeyPair {
+    /// Generates a fresh key pair from the OS RNG.
+    pub fn generate() -> Self {
+        let mut seed = [0u8; 32];
+        rand::rng().fill_bytes(&mut seed);
+        Self::from_seed(seed)
+    }
+
+    /// Derives a key pair deterministically from a 32-byte seed
+    /// (reproducible tests and simulations).
+    pub fn from_seed(seed: [u8; 32]) -> Self {
+        Self {
+            signing: ed25519_dalek::SigningKey::from_bytes(&seed),
+        }
+    }
+
+    /// The public half, safe to publish and bind into certificates.
+    pub fn public_key(&self) -> PublicKey {
+        PublicKey(self.signing.verifying_key().to_bytes())
+    }
+
+    /// Signs a message with the private half.
+    pub fn sign(&self, message: &[u8]) -> SignatureBytes {
+        SignatureBytes(self.signing.sign(message).to_bytes())
+    }
+}
+
+impl fmt::Debug for KeyPair {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "KeyPair(pub {})", self.public_key())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sign_verify_round_trip() {
+        let pair = KeyPair::generate();
+        let sig = pair.sign(b"hello");
+        assert!(pair.public_key().verify(b"hello", &sig));
+    }
+
+    #[test]
+    fn wrong_message_rejected() {
+        let pair = KeyPair::generate();
+        let sig = pair.sign(b"hello");
+        assert!(!pair.public_key().verify(b"goodbye", &sig));
+    }
+
+    #[test]
+    fn wrong_key_rejected() {
+        let a = KeyPair::generate();
+        let b = KeyPair::generate();
+        let sig = a.sign(b"hello");
+        assert!(!b.public_key().verify(b"hello", &sig));
+    }
+
+    #[test]
+    fn seeded_pairs_are_deterministic() {
+        let a = KeyPair::from_seed([42; 32]);
+        let b = KeyPair::from_seed([42; 32]);
+        assert_eq!(a.public_key(), b.public_key());
+    }
+
+    #[test]
+    fn public_key_hex_round_trip() {
+        let pk = KeyPair::from_seed([1; 32]).public_key();
+        let restored = PublicKey::from_hex(&pk.to_string()).unwrap();
+        assert_eq!(pk, restored);
+    }
+
+    #[test]
+    fn malformed_public_key_hex_rejected() {
+        assert!(PublicKey::from_hex("nothex").is_err());
+        assert!(PublicKey::from_hex("aabb").is_err());
+    }
+
+    #[test]
+    fn garbage_public_key_never_verifies() {
+        // Not all 32-byte strings are valid curve points; verify must not panic.
+        let pk = PublicKey([0xFF; 32]);
+        let sig = KeyPair::generate().sign(b"m");
+        assert!(!pk.verify(b"m", &sig));
+    }
+}

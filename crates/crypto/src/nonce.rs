@@ -1,0 +1,152 @@
+//! Single-use nonces with expiry, protecting challenge–response exchanges
+//! from replay.
+
+use std::collections::HashMap;
+use std::fmt;
+
+use parking_lot::Mutex;
+use rand::RngCore;
+
+use crate::hex;
+
+/// A 16-byte random nonce.
+#[derive(Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Nonce(pub [u8; 16]);
+
+impl Nonce {
+    /// Generates a random nonce from the OS RNG.
+    pub fn random() -> Self {
+        let mut bytes = [0u8; 16];
+        rand::rng().fill_bytes(&mut bytes);
+        Self(bytes)
+    }
+
+    /// The nonce bytes.
+    pub fn as_bytes(&self) -> &[u8; 16] {
+        &self.0
+    }
+}
+
+impl fmt::Debug for Nonce {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Nonce({})", hex::encode(&self.0))
+    }
+}
+
+impl fmt::Display for Nonce {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&hex::encode(&self.0))
+    }
+}
+
+/// Tracks outstanding nonces; each may be consumed at most once and only
+/// before its deadline. Time is virtual (`u64` ticks).
+///
+/// # Example
+///
+/// ```
+/// use oasis_crypto::nonce::NonceCache;
+///
+/// let cache = NonceCache::new();
+/// let n = cache.issue(100, 10); // issued at t=100, valid 10 ticks
+/// assert!(cache.consume(&n, 105));
+/// assert!(!cache.consume(&n, 106), "second use is replay");
+/// ```
+#[derive(Debug, Default)]
+pub struct NonceCache {
+    outstanding: Mutex<HashMap<Nonce, u64>>,
+}
+
+impl NonceCache {
+    /// Creates an empty cache.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Issues a fresh nonce at time `now`, valid for `ttl` ticks
+    /// (deadline inclusive).
+    pub fn issue(&self, now: u64, ttl: u64) -> Nonce {
+        let nonce = Nonce::random();
+        self.outstanding.lock().insert(nonce, now.saturating_add(ttl));
+        nonce
+    }
+
+    /// Consumes a nonce at time `now`. Returns `true` only if the nonce was
+    /// outstanding and unexpired; the nonce is removed either way, so a
+    /// replay after expiry also fails.
+    pub fn consume(&self, nonce: &Nonce, now: u64) -> bool {
+        match self.outstanding.lock().remove(nonce) {
+            Some(deadline) => now <= deadline,
+            None => false,
+        }
+    }
+
+    /// Whether `nonce` is outstanding and unexpired at `now`, without
+    /// consuming it.
+    pub fn is_live(&self, nonce: &Nonce, now: u64) -> bool {
+        self.outstanding
+            .lock()
+            .get(nonce)
+            .is_some_and(|deadline| now <= *deadline)
+    }
+
+    /// Drops every nonce whose deadline has passed; returns how many were
+    /// evicted. Call periodically to bound memory.
+    pub fn evict_expired(&self, now: u64) -> usize {
+        let mut outstanding = self.outstanding.lock();
+        let before = outstanding.len();
+        outstanding.retain(|_, deadline| *deadline >= now);
+        before - outstanding.len()
+    }
+
+    /// Number of outstanding (unconsumed, possibly expired) nonces.
+    pub fn outstanding(&self) -> usize {
+        self.outstanding.lock().len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn consume_within_ttl_succeeds_once() {
+        let cache = NonceCache::new();
+        let n = cache.issue(0, 5);
+        assert!(cache.consume(&n, 5));
+        assert!(!cache.consume(&n, 5));
+    }
+
+    #[test]
+    fn consume_after_deadline_fails() {
+        let cache = NonceCache::new();
+        let n = cache.issue(0, 5);
+        assert!(!cache.consume(&n, 6));
+        assert!(!cache.consume(&n, 3), "expired consume still burns the nonce");
+    }
+
+    #[test]
+    fn unknown_nonce_fails() {
+        let cache = NonceCache::new();
+        assert!(!cache.consume(&Nonce::random(), 0));
+    }
+
+    #[test]
+    fn eviction_removes_only_expired() {
+        let cache = NonceCache::new();
+        let _a = cache.issue(0, 5);
+        let b = cache.issue(0, 50);
+        assert_eq!(cache.evict_expired(10), 1);
+        assert_eq!(cache.outstanding(), 1);
+        assert!(cache.consume(&b, 20));
+    }
+
+    #[test]
+    fn nonces_are_distinct() {
+        let cache = NonceCache::new();
+        let a = cache.issue(0, 5);
+        let b = cache.issue(0, 5);
+        assert_ne!(a, b);
+        assert_eq!(cache.outstanding(), 2);
+    }
+}

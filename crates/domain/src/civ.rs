@@ -1,0 +1,445 @@
+//! The certificate issuing and validation (CIV) service.
+//!
+//! Ref \[10\] of the paper (an architecture for distributed OASIS
+//! services) observes that certificates are unlikely to be issued and
+//! validated by each individual service; instead "a domain will contain
+//! one highly available service to carry out the functions of certificate
+//! issuing and validation … including replication for availability
+//! together with consistency management".
+//!
+//! [`CivService`] models that component:
+//!
+//! * it fronts the domain's issuing services for validation callbacks;
+//! * it maintains a **replicated revocation log**: every revocation event
+//!   on the domain bus is appended and applied to each live replica, and
+//!   replicas that were down replay the log when they rejoin;
+//! * replicas remember successful validations, so when an issuer is
+//!   unreachable a replica can still answer — *deny* if the certificate
+//!   is in its revocation set, *allow* if it validated recently and has
+//!   not been revoked since (bounded staleness, the availability /
+//!   consistency trade the paper's ref \[10\] manages).
+
+use std::collections::{HashMap, HashSet};
+use std::fmt;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Weak};
+
+use parking_lot::{Mutex, RwLock};
+
+use oasis_core::{
+    CertEvent, Credential, CredentialValidator, Crr, DomainId, OasisError, OasisService,
+    PrincipalId, ServiceId,
+};
+use oasis_events::EventBus;
+
+/// Counters describing CIV behaviour (for the Fig 3/5 experiments).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct CivStats {
+    /// Total validation requests.
+    pub validations: u64,
+    /// Requests denied from a replica's revocation set without touching
+    /// the issuer.
+    pub fast_denials: u64,
+    /// Requests answered from a replica's validation memory because the
+    /// issuer was unreachable.
+    pub availability_saves: u64,
+    /// Requests that could not be answered at all.
+    pub unavailable: u64,
+}
+
+struct Replica {
+    revoked: Mutex<HashSet<Crr>>,
+    /// Log index up to which this replica has applied revocations.
+    applied: Mutex<usize>,
+    up: AtomicBool,
+    /// (crr, principal) → last time the issuer confirmed validity.
+    seen_valid: Mutex<HashMap<(Crr, PrincipalId), u64>>,
+}
+
+impl Replica {
+    fn new() -> Self {
+        Self {
+            revoked: Mutex::new(HashSet::new()),
+            applied: Mutex::new(0),
+            up: AtomicBool::new(true),
+            seen_valid: Mutex::new(HashMap::new()),
+        }
+    }
+}
+
+/// A domain's replicated certificate issuing and validation service.
+pub struct CivService {
+    domain: DomainId,
+    issuers: RwLock<HashMap<ServiceId, Weak<OasisService>>>,
+    issuer_up: RwLock<HashMap<ServiceId, bool>>,
+    replicas: Vec<Replica>,
+    log: Mutex<Vec<Crr>>,
+    /// How long (virtual ticks) a remembered validation may stand in for
+    /// an unreachable issuer.
+    cache_ttl: AtomicU64,
+    validations: AtomicU64,
+    fast_denials: AtomicU64,
+    availability_saves: AtomicU64,
+    unavailable: AtomicU64,
+}
+
+impl fmt::Debug for CivService {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("CivService")
+            .field("domain", &self.domain)
+            .field("replicas", &self.replicas.len())
+            .field("log_len", &self.log.lock().len())
+            .finish()
+    }
+}
+
+impl CivService {
+    /// Creates a CIV service with `replicas` replicas (at least 1),
+    /// subscribed to revocation events on `bus`.
+    pub(crate) fn new(domain: DomainId, bus: &EventBus<CertEvent>, replicas: usize) -> Arc<Self> {
+        let civ = Arc::new(Self {
+            domain,
+            issuers: RwLock::new(HashMap::new()),
+            issuer_up: RwLock::new(HashMap::new()),
+            replicas: (0..replicas.max(1)).map(|_| Replica::new()).collect(),
+            log: Mutex::new(Vec::new()),
+            cache_ttl: AtomicU64::new(u64::MAX),
+            validations: AtomicU64::new(0),
+            fast_denials: AtomicU64::new(0),
+            availability_saves: AtomicU64::new(0),
+            unavailable: AtomicU64::new(0),
+        });
+        let weak = Arc::downgrade(&civ);
+        bus.subscribe_fn("cred.revoked.#", move |event| {
+            if let Some(civ) = Weak::upgrade(&weak) {
+                civ.on_revocation(&event.payload.crr);
+            }
+        })
+        .expect("static pattern is valid");
+        civ
+    }
+
+    /// The domain this CIV service belongs to.
+    pub fn domain(&self) -> &DomainId {
+        &self.domain
+    }
+
+    /// Registers an issuing service of this domain.
+    pub fn register_issuer(&self, service: &Arc<OasisService>) {
+        self.issuers
+            .write()
+            .insert(service.id().clone(), Arc::downgrade(service));
+        self.issuer_up.write().insert(service.id().clone(), true);
+    }
+
+    /// Marks an issuer reachable or unreachable (failure injection).
+    pub fn set_issuer_up(&self, id: &ServiceId, up: bool) {
+        self.issuer_up.write().insert(id.clone(), up);
+    }
+
+    /// Sets how long a remembered validation may substitute for an
+    /// unreachable issuer.
+    pub fn set_cache_ttl(&self, ttl: u64) {
+        self.cache_ttl.store(ttl, Ordering::Relaxed);
+    }
+
+    /// The replication factor.
+    pub fn replication_factor(&self) -> usize {
+        self.replicas.len()
+    }
+
+    /// Takes replica `index` down; it stops applying revocations.
+    ///
+    /// # Errors
+    ///
+    /// [`crate::DomainError::NoSuchReplica`] if out of range.
+    pub fn fail_replica(&self, index: usize) -> Result<(), crate::DomainError> {
+        let replica = self.replica(index)?;
+        replica.up.store(false, Ordering::Release);
+        Ok(())
+    }
+
+    /// Brings replica `index` back; it replays the missed suffix of the
+    /// revocation log before serving again (the "consistency management"
+    /// of ref \[10\]).
+    ///
+    /// # Errors
+    ///
+    /// [`crate::DomainError::NoSuchReplica`] if out of range.
+    pub fn recover_replica(&self, index: usize) -> Result<(), crate::DomainError> {
+        let replica = self.replica(index)?;
+        let log = self.log.lock();
+        let mut applied = replica.applied.lock();
+        let mut revoked = replica.revoked.lock();
+        for crr in log.iter().skip(*applied) {
+            revoked.insert(crr.clone());
+        }
+        *applied = log.len();
+        drop(revoked);
+        drop(applied);
+        drop(log);
+        replica.up.store(true, Ordering::Release);
+        Ok(())
+    }
+
+    fn replica(&self, index: usize) -> Result<&Replica, crate::DomainError> {
+        self.replicas
+            .get(index)
+            .ok_or(crate::DomainError::NoSuchReplica {
+                index,
+                factor: self.replicas.len(),
+            })
+    }
+
+    /// How many replicas are currently live.
+    pub fn live_replicas(&self) -> usize {
+        self.replicas
+            .iter()
+            .filter(|r| r.up.load(Ordering::Acquire))
+            .count()
+    }
+
+    /// Revocation-log length (for tests and experiments).
+    pub fn log_len(&self) -> usize {
+        self.log.lock().len()
+    }
+
+    fn on_revocation(&self, crr: &Crr) {
+        let mut log = self.log.lock();
+        log.push(crr.clone());
+        let new_len = log.len();
+        drop(log);
+        for replica in &self.replicas {
+            if replica.up.load(Ordering::Acquire) {
+                replica.revoked.lock().insert(crr.clone());
+                *replica.applied.lock() = new_len;
+            }
+        }
+    }
+
+    /// A point-in-time snapshot of the statistics.
+    pub fn stats(&self) -> CivStats {
+        CivStats {
+            validations: self.validations.load(Ordering::Relaxed),
+            fast_denials: self.fast_denials.load(Ordering::Relaxed),
+            availability_saves: self.availability_saves.load(Ordering::Relaxed),
+            unavailable: self.unavailable.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Validates at a specific replica — used by experiments measuring
+    /// staleness; normal callers use the [`CredentialValidator`] impl,
+    /// which picks the first live replica.
+    ///
+    /// # Errors
+    ///
+    /// As [`CredentialValidator::validate`], plus
+    /// [`OasisError::NoValidator`] when neither the issuer nor the
+    /// replica's memory can answer.
+    pub fn validate_at_replica(
+        &self,
+        index: usize,
+        credential: &Credential,
+        presenter: &PrincipalId,
+        now: u64,
+    ) -> Result<(), OasisError> {
+        self.validations.fetch_add(1, Ordering::Relaxed);
+        let replica = self.replica(index).map_err(|_| {
+            OasisError::NoValidator(credential.issuer().clone())
+        })?;
+        let crr = credential.crr().clone();
+
+        // Fast-path deny from the replicated revocation set.
+        if replica.revoked.lock().contains(&crr) {
+            self.fast_denials.fetch_add(1, Ordering::Relaxed);
+            return Err(OasisError::InvalidCredential {
+                crr,
+                reason: "revoked (CIV revocation log)".into(),
+            });
+        }
+
+        let issuer_id = credential.issuer().clone();
+        let issuer_reachable = *self.issuer_up.read().get(&issuer_id).unwrap_or(&false);
+        let issuer = self.issuers.read().get(&issuer_id).and_then(Weak::upgrade);
+
+        match (issuer_reachable, issuer) {
+            (true, Some(service)) => {
+                let result = service.validate_own(credential, presenter, now);
+                if result.is_ok() {
+                    replica
+                        .seen_valid
+                        .lock()
+                        .insert((crr, presenter.clone()), now);
+                }
+                result
+            }
+            _ => {
+                // Issuer unreachable: answer from validation memory if it
+                // is fresh enough (bounded staleness).
+                let ttl = self.cache_ttl.load(Ordering::Relaxed);
+                let seen = replica.seen_valid.lock();
+                match seen.get(&(crr.clone(), presenter.clone())) {
+                    Some(&at) if now.saturating_sub(at) <= ttl => {
+                        self.availability_saves.fetch_add(1, Ordering::Relaxed);
+                        Ok(())
+                    }
+                    _ => {
+                        self.unavailable.fetch_add(1, Ordering::Relaxed);
+                        Err(OasisError::NoValidator(issuer_id))
+                    }
+                }
+            }
+        }
+    }
+
+    fn first_live_replica(&self) -> Option<usize> {
+        self.replicas
+            .iter()
+            .position(|r| r.up.load(Ordering::Acquire))
+    }
+}
+
+impl CredentialValidator for CivService {
+    fn validate(
+        &self,
+        credential: &Credential,
+        presenter: &PrincipalId,
+        now: u64,
+    ) -> Result<(), OasisError> {
+        match self.first_live_replica() {
+            Some(index) => self.validate_at_replica(index, credential, presenter, now),
+            None => {
+                self.unavailable.fetch_add(1, Ordering::Relaxed);
+                Err(OasisError::NoValidator(credential.issuer().clone()))
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::domain::Domain;
+    use oasis_core::{EnvContext, RoleName, Value, ValueType};
+
+    fn setup() -> (Arc<Domain>, Arc<OasisService>, Credential, PrincipalId) {
+        let domain = Domain::new("hospital", EventBus::new());
+        let svc = domain.create_service("records");
+        svc.define_role("guest", &[("u", ValueType::Id)], true).unwrap();
+        svc.add_activation_rule(
+            "guest",
+            vec![oasis_core::Term::var("U")],
+            vec![],
+            vec![],
+        )
+        .unwrap();
+        let alice = PrincipalId::new("alice");
+        let rmc = svc
+            .activate_role(
+                &alice,
+                &RoleName::new("guest"),
+                &[Value::id("alice")],
+                &[],
+                &EnvContext::new(0),
+            )
+            .unwrap();
+        (domain, svc, Credential::Rmc(rmc), alice)
+    }
+
+    #[test]
+    fn validates_via_issuer_when_reachable() {
+        let (domain, _svc, cred, alice) = setup();
+        assert!(domain.civ().validate(&cred, &alice, 1).is_ok());
+        assert!(domain
+            .civ()
+            .validate(&cred, &PrincipalId::new("mallory"), 1)
+            .is_err());
+    }
+
+    #[test]
+    fn revocation_reaches_all_live_replicas() {
+        let (domain, svc, cred, alice) = setup();
+        domain.civ().validate(&cred, &alice, 1).unwrap();
+        svc.revoke_certificate(cred.crr().cert_id, "done", 2);
+        // Every replica fast-denies, even with the issuer down.
+        domain.civ().set_issuer_up(svc.id(), false);
+        for i in 0..domain.civ().replication_factor() {
+            let err = domain
+                .civ()
+                .validate_at_replica(i, &cred, &alice, 3)
+                .unwrap_err();
+            assert!(err.to_string().contains("revocation log"), "{err}");
+        }
+        assert_eq!(domain.civ().stats().fast_denials, 3);
+    }
+
+    #[test]
+    fn issuer_outage_answered_from_validation_memory() {
+        let (domain, svc, cred, alice) = setup();
+        domain.civ().validate(&cred, &alice, 1).unwrap();
+        domain.civ().set_issuer_up(svc.id(), false);
+        // Replica 0 remembers the validation.
+        assert!(domain.civ().validate(&cred, &alice, 5).is_ok());
+        assert_eq!(domain.civ().stats().availability_saves, 1);
+        // A principal never seen cannot be vouched for.
+        assert!(domain
+            .civ()
+            .validate(&cred, &PrincipalId::new("bob"), 5)
+            .is_err());
+    }
+
+    #[test]
+    fn cache_ttl_bounds_staleness() {
+        let (domain, svc, cred, alice) = setup();
+        domain.civ().set_cache_ttl(10);
+        domain.civ().validate(&cred, &alice, 100).unwrap();
+        domain.civ().set_issuer_up(svc.id(), false);
+        assert!(domain.civ().validate(&cred, &alice, 110).is_ok());
+        assert!(domain.civ().validate(&cred, &alice, 111).is_err());
+    }
+
+    #[test]
+    fn failed_replica_misses_revocations_until_recovery() {
+        let (domain, svc, cred, alice) = setup();
+        let civ = domain.civ();
+        civ.validate_at_replica(1, &cred, &alice, 1).unwrap();
+        civ.fail_replica(1).unwrap();
+        assert_eq!(civ.live_replicas(), 2);
+
+        svc.revoke_certificate(cred.crr().cert_id, "done", 2);
+        domain.civ().set_issuer_up(svc.id(), false);
+
+        // Replica 0 applied the revocation; the failed replica 1 did not,
+        // and with the issuer down it wrongly vouches from memory: the
+        // staleness window ref [10]'s consistency management closes.
+        assert!(civ.validate_at_replica(0, &cred, &alice, 3).is_err());
+        assert!(civ.validate_at_replica(1, &cred, &alice, 3).is_ok());
+
+        // Recovery replays the log and closes the window.
+        civ.recover_replica(1).unwrap();
+        assert!(civ.validate_at_replica(1, &cred, &alice, 4).is_err());
+        assert_eq!(civ.log_len(), 1);
+    }
+
+    #[test]
+    fn all_replicas_down_is_unavailable() {
+        let (domain, _svc, cred, alice) = setup();
+        for i in 0..3 {
+            domain.civ().fail_replica(i).unwrap();
+        }
+        assert!(matches!(
+            domain.civ().validate(&cred, &alice, 1),
+            Err(OasisError::NoValidator(_))
+        ));
+        assert_eq!(domain.civ().stats().unavailable, 1);
+    }
+
+    #[test]
+    fn bad_replica_index_rejected() {
+        let (domain, _svc, _cred, _alice) = setup();
+        assert!(matches!(
+            domain.civ().fail_replica(99),
+            Err(crate::DomainError::NoSuchReplica { index: 99, factor: 3 })
+        ));
+    }
+}

@@ -1,0 +1,428 @@
+//! External credential record proxies (the "ECR" boxes of Fig 5).
+//!
+//! "The service may cache the certificate and the result of validation in
+//! order to reduce the communication overhead of repeated callback. This
+//! requires an event channel so that the issuer can notify the service
+//! should the certificate be invalidated for any reason." (Sect. 4)
+//!
+//! [`EcrProxy`] wraps any upstream [`CredentialValidator`] (typically a
+//! remote domain's CIV service) with exactly that cache:
+//!
+//! * a **hit** answers locally, counting the saved callback;
+//! * a **miss** calls back to the issuer and caches the positive result;
+//! * a **revocation event** on the bus invalidates the entry *immediately*
+//!   (push), so the cache never serves a revoked credential that the
+//!   event channel has announced;
+//! * a **TTL** bounds staleness against lost events (belt and braces —
+//!   the heartbeat monitor of `oasis-events` tells the holder when to
+//!   distrust the channel).
+
+use std::collections::HashMap;
+use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Weak};
+
+use parking_lot::Mutex;
+
+use oasis_core::{CertEvent, Credential, CredentialValidator, Crr, OasisError, PrincipalId};
+use oasis_events::{EventBus, HeartbeatMonitor, SourceHealth, SourceId};
+
+/// Cache behaviour counters (the Fig 5 experiment's measured series).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct EcrStats {
+    /// Requests answered from cache (callback saved).
+    pub hits: u64,
+    /// Requests that called back to the issuer.
+    pub misses: u64,
+    /// Entries invalidated by pushed revocation events.
+    pub push_invalidations: u64,
+    /// Hits refused because the entry had outlived the TTL.
+    pub ttl_expiries: u64,
+    /// Cache lookups bypassed because the issuer's heartbeat was late or
+    /// dead (the event channel could not be trusted).
+    pub heartbeat_bypasses: u64,
+}
+
+#[derive(Debug, Clone)]
+struct CacheEntry {
+    validated_at: u64,
+}
+
+/// A caching validation proxy for credentials issued in another domain.
+pub struct EcrProxy {
+    upstream: Arc<dyn CredentialValidator>,
+    cache: Mutex<HashMap<(Crr, PrincipalId), CacheEntry>>,
+    ttl: u64,
+    /// When set, cache entries are only served while the issuer's
+    /// heartbeat is [`SourceHealth::Healthy`]: a silent event channel may
+    /// be swallowing revocations, so the cache stops vouching (Fig 5's
+    /// "heartbeats or change events").
+    heartbeats: Option<Arc<HeartbeatMonitor>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    push_invalidations: AtomicU64,
+    ttl_expiries: AtomicU64,
+    heartbeat_bypasses: AtomicU64,
+}
+
+impl fmt::Debug for EcrProxy {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("EcrProxy")
+            .field("entries", &self.cache.lock().len())
+            .field("ttl", &self.ttl)
+            .field("stats", &self.stats())
+            .finish()
+    }
+}
+
+impl EcrProxy {
+    fn build(
+        upstream: Arc<dyn CredentialValidator>,
+        ttl: u64,
+        heartbeats: Option<Arc<HeartbeatMonitor>>,
+    ) -> Self {
+        Self {
+            upstream,
+            cache: Mutex::new(HashMap::new()),
+            ttl,
+            heartbeats,
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            push_invalidations: AtomicU64::new(0),
+            ttl_expiries: AtomicU64::new(0),
+            heartbeat_bypasses: AtomicU64::new(0),
+        }
+    }
+
+    fn subscribe(proxy: &Arc<Self>, bus: &EventBus<CertEvent>) {
+        let weak = Arc::downgrade(proxy);
+        bus.subscribe_fn("cred.revoked.#", move |event| {
+            if let Some(proxy) = Weak::upgrade(&weak) {
+                proxy.invalidate(&event.payload.crr);
+            }
+        })
+        .expect("static pattern is valid");
+    }
+
+    /// Creates a proxy over `upstream`, push-invalidated by revocation
+    /// events on `bus`, with entries valid for `ttl` ticks.
+    pub fn new(
+        upstream: Arc<dyn CredentialValidator>,
+        bus: &EventBus<CertEvent>,
+        ttl: u64,
+    ) -> Arc<Self> {
+        let proxy = Arc::new(Self::build(upstream, ttl, None));
+        Self::subscribe(&proxy, bus);
+        proxy
+    }
+
+    /// Creates a proxy with no push channel — pure TTL caching. This is
+    /// the configuration the Fig 5 experiment compares against: without
+    /// the event channel, a revoked credential keeps being accepted until
+    /// its TTL runs out.
+    pub fn without_push(upstream: Arc<dyn CredentialValidator>, ttl: u64) -> Arc<Self> {
+        Arc::new(Self::build(upstream, ttl, None))
+    }
+
+    /// As [`EcrProxy::new`], additionally guarding the cache with a
+    /// heartbeat monitor: entries are served only while the issuing
+    /// service's heartbeat (source id = the issuer's `ServiceId` text) is
+    /// [`SourceHealth::Healthy`]. A late or dead issuer means the
+    /// revocation channel may be silently swallowing events, so every
+    /// request falls through to the upstream callback until beats resume
+    /// — Fig 5's "heartbeats or change events", combined.
+    ///
+    /// Issuers not registered with the monitor are treated as healthy
+    /// (heartbeat monitoring is opt-in per issuer).
+    pub fn with_heartbeats(
+        upstream: Arc<dyn CredentialValidator>,
+        bus: &EventBus<CertEvent>,
+        ttl: u64,
+        heartbeats: Arc<HeartbeatMonitor>,
+    ) -> Arc<Self> {
+        let proxy = Arc::new(Self::build(upstream, ttl, Some(heartbeats)));
+        Self::subscribe(&proxy, bus);
+        proxy
+    }
+
+    /// Whether the cache may vouch for credentials of `issuer` at `now`
+    /// under the heartbeat policy.
+    fn channel_trusted(&self, issuer: &oasis_core::ServiceId, now: u64) -> bool {
+        match &self.heartbeats {
+            None => true,
+            Some(monitor) => matches!(
+                monitor.health(&SourceId::new(issuer.as_str()), now),
+                Some(SourceHealth::Healthy) | None
+            ),
+        }
+    }
+
+    /// Drops every cached entry for the revoked certificate.
+    pub fn invalidate(&self, crr: &Crr) {
+        let mut cache = self.cache.lock();
+        let before = cache.len();
+        cache.retain(|(entry_crr, _), _| entry_crr != crr);
+        let removed = before - cache.len();
+        if removed > 0 {
+            self.push_invalidations
+                .fetch_add(removed as u64, Ordering::Relaxed);
+        }
+    }
+
+    /// Number of live cache entries.
+    pub fn len(&self) -> usize {
+        self.cache.lock().len()
+    }
+
+    /// Whether the cache is empty.
+    pub fn is_empty(&self) -> bool {
+        self.cache.lock().is_empty()
+    }
+
+    /// A snapshot of the cache counters.
+    pub fn stats(&self) -> EcrStats {
+        EcrStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            push_invalidations: self.push_invalidations.load(Ordering::Relaxed),
+            ttl_expiries: self.ttl_expiries.load(Ordering::Relaxed),
+            heartbeat_bypasses: self.heartbeat_bypasses.load(Ordering::Relaxed),
+        }
+    }
+}
+
+impl CredentialValidator for EcrProxy {
+    fn validate(
+        &self,
+        credential: &Credential,
+        presenter: &PrincipalId,
+        now: u64,
+    ) -> Result<(), OasisError> {
+        let key = (credential.crr().clone(), presenter.clone());
+        if !self.channel_trusted(credential.issuer(), now) {
+            // The event channel is suspect: skip the cache entirely and
+            // drop the entry (it may hide an unseen revocation).
+            self.heartbeat_bypasses.fetch_add(1, Ordering::Relaxed);
+            self.cache.lock().remove(&key);
+            self.misses.fetch_add(1, Ordering::Relaxed);
+            let result = self.upstream.validate(credential, presenter, now);
+            if result.is_ok() && self.channel_trusted(credential.issuer(), now) {
+                self.cache
+                    .lock()
+                    .insert(key, CacheEntry { validated_at: now });
+            }
+            return result;
+        }
+        {
+            let mut cache = self.cache.lock();
+            if let Some(entry) = cache.get(&key) {
+                if now.saturating_sub(entry.validated_at) <= self.ttl {
+                    self.hits.fetch_add(1, Ordering::Relaxed);
+                    return Ok(());
+                }
+                cache.remove(&key);
+                self.ttl_expiries.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        let result = self.upstream.validate(credential, presenter, now);
+        if result.is_ok() {
+            self.cache
+                .lock()
+                .insert(key, CacheEntry { validated_at: now });
+        }
+        result
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use parking_lot::Mutex as PMutex;
+
+    /// An upstream that counts calls and can be switched to rejecting.
+    struct Upstream {
+        calls: AtomicU64,
+        reject: PMutex<bool>,
+    }
+
+    impl Upstream {
+        fn new() -> Arc<Self> {
+            Arc::new(Self {
+                calls: AtomicU64::new(0),
+                reject: PMutex::new(false),
+            })
+        }
+    }
+
+    impl CredentialValidator for Upstream {
+        fn validate(
+            &self,
+            credential: &Credential,
+            _presenter: &PrincipalId,
+            _now: u64,
+        ) -> Result<(), OasisError> {
+            self.calls.fetch_add(1, Ordering::Relaxed);
+            if *self.reject.lock() {
+                Err(OasisError::InvalidCredential {
+                    crr: credential.crr().clone(),
+                    reason: "revoked".into(),
+                })
+            } else {
+                Ok(())
+            }
+        }
+    }
+
+    fn sample_credential() -> (Credential, PrincipalId) {
+        let secret = oasis_crypto::IssuerSecret::random();
+        let alice = PrincipalId::new("alice");
+        let rmc = oasis_core::cert::Rmc::issue(
+            &secret.current(),
+            oasis_crypto::SecretEpoch(0),
+            &alice,
+            Crr::new(oasis_core::ServiceId::new("remote"), oasis_core::CertId(1)),
+            oasis_core::RoleName::new("doctor"),
+            vec![],
+            0,
+            None,
+        );
+        (Credential::Rmc(rmc), alice)
+    }
+
+    #[test]
+    fn second_validation_is_a_cache_hit() {
+        let upstream = Upstream::new();
+        let bus: EventBus<CertEvent> = EventBus::new();
+        let proxy = EcrProxy::new(upstream.clone(), &bus, 1_000);
+        let (cred, alice) = sample_credential();
+
+        proxy.validate(&cred, &alice, 0).unwrap();
+        proxy.validate(&cred, &alice, 10).unwrap();
+        proxy.validate(&cred, &alice, 20).unwrap();
+        assert_eq!(upstream.calls.load(Ordering::Relaxed), 1);
+        let stats = proxy.stats();
+        assert_eq!(stats.misses, 1);
+        assert_eq!(stats.hits, 2);
+    }
+
+    #[test]
+    fn negative_results_are_not_cached() {
+        let upstream = Upstream::new();
+        *upstream.reject.lock() = true;
+        let bus: EventBus<CertEvent> = EventBus::new();
+        let proxy = EcrProxy::new(upstream.clone(), &bus, 1_000);
+        let (cred, alice) = sample_credential();
+        assert!(proxy.validate(&cred, &alice, 0).is_err());
+        assert!(proxy.validate(&cred, &alice, 1).is_err());
+        assert_eq!(upstream.calls.load(Ordering::Relaxed), 2);
+        assert!(proxy.is_empty());
+    }
+
+    #[test]
+    fn push_invalidation_forces_recheck() {
+        let upstream = Upstream::new();
+        let bus: EventBus<CertEvent> = EventBus::new();
+        let proxy = EcrProxy::new(upstream.clone(), &bus, u64::MAX);
+        let (cred, alice) = sample_credential();
+
+        proxy.validate(&cred, &alice, 0).unwrap();
+        // The issuer announces revocation on the event channel…
+        *upstream.reject.lock() = true;
+        bus.publish(
+            &oasis_core::cert::revocation_topic(&oasis_core::ServiceId::new("remote")),
+            CertEvent {
+                crr: cred.crr().clone(),
+                kind: oasis_core::CertEventKind::Revoked {
+                    reason: "done".into(),
+                },
+            },
+        );
+        assert_eq!(proxy.stats().push_invalidations, 1);
+        // …so the next validation calls back and is denied immediately.
+        assert!(proxy.validate(&cred, &alice, 5).is_err());
+        assert_eq!(upstream.calls.load(Ordering::Relaxed), 2);
+    }
+
+    #[test]
+    fn without_push_keeps_serving_until_ttl() {
+        let upstream = Upstream::new();
+        let proxy = EcrProxy::without_push(upstream.clone(), 100);
+        let (cred, alice) = sample_credential();
+
+        proxy.validate(&cred, &alice, 0).unwrap();
+        *upstream.reject.lock() = true;
+        // No push channel: the stale entry keeps answering…
+        assert!(proxy.validate(&cred, &alice, 50).is_ok());
+        assert!(proxy.validate(&cred, &alice, 100).is_ok());
+        // …until the TTL lapses, when the callback finally denies.
+        assert!(proxy.validate(&cred, &alice, 101).is_err());
+        assert_eq!(proxy.stats().ttl_expiries, 1);
+    }
+
+    #[test]
+    fn heartbeat_guard_bypasses_cache_when_issuer_silent() {
+        use oasis_events::HeartbeatMonitor;
+
+        let upstream = Upstream::new();
+        let bus: EventBus<CertEvent> = EventBus::new();
+        let monitor = Arc::new(HeartbeatMonitor::new(3));
+        let issuer = SourceId::new("remote");
+        monitor.register(issuer.clone(), 10, 0);
+
+        let proxy = EcrProxy::with_heartbeats(upstream.clone(), &bus, u64::MAX, monitor.clone());
+        let (cred, alice) = sample_credential();
+
+        // Healthy issuer: second validation is a hit.
+        monitor.beat(&issuer, 5);
+        proxy.validate(&cred, &alice, 6).unwrap();
+        proxy.validate(&cred, &alice, 7).unwrap();
+        assert_eq!(upstream.calls.load(Ordering::Relaxed), 1);
+        assert_eq!(proxy.stats().hits, 1);
+
+        // The issuer falls silent past the health threshold: the cache
+        // stops vouching, every request calls back.
+        proxy.validate(&cred, &alice, 60).unwrap();
+        proxy.validate(&cred, &alice, 61).unwrap();
+        assert_eq!(upstream.calls.load(Ordering::Relaxed), 3);
+        assert_eq!(proxy.stats().heartbeat_bypasses, 2);
+
+        // Beats resume: caching resumes (the first call refills the
+        // entry, the next is a hit again).
+        monitor.beat(&issuer, 70);
+        proxy.validate(&cred, &alice, 71).unwrap();
+        proxy.validate(&cred, &alice, 72).unwrap();
+        assert_eq!(upstream.calls.load(Ordering::Relaxed), 4);
+    }
+
+    #[test]
+    fn unmonitored_issuers_are_treated_as_healthy() {
+        use oasis_events::HeartbeatMonitor;
+        let upstream = Upstream::new();
+        let bus: EventBus<CertEvent> = EventBus::new();
+        let monitor = Arc::new(HeartbeatMonitor::new(3));
+        let proxy = EcrProxy::with_heartbeats(upstream.clone(), &bus, u64::MAX, monitor);
+        let (cred, alice) = sample_credential();
+        proxy.validate(&cred, &alice, 0).unwrap();
+        proxy.validate(&cred, &alice, 1).unwrap();
+        assert_eq!(upstream.calls.load(Ordering::Relaxed), 1);
+        assert_eq!(proxy.stats().heartbeat_bypasses, 0);
+    }
+
+    #[test]
+    fn entries_are_per_principal() {
+        let upstream = Upstream::new();
+        let bus: EventBus<CertEvent> = EventBus::new();
+        let proxy = EcrProxy::new(upstream.clone(), &bus, 1_000);
+        let (cred, alice) = sample_credential();
+        proxy.validate(&cred, &alice, 0).unwrap();
+        proxy
+            .validate(&cred, &PrincipalId::new("bob"), 0)
+            .unwrap();
+        assert_eq!(upstream.calls.load(Ordering::Relaxed), 2);
+        assert_eq!(proxy.len(), 2);
+        proxy.invalidate(cred.crr());
+        assert!(proxy.is_empty());
+        assert_eq!(proxy.stats().push_invalidations, 2);
+    }
+}

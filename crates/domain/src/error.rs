@@ -1,0 +1,41 @@
+//! Error types for the domain layer.
+
+use thiserror::Error;
+
+use oasis_core::{DomainId, ServiceId};
+
+/// Errors reported by the domain layer.
+#[derive(Debug, Error, Clone, PartialEq, Eq)]
+pub enum DomainError {
+    /// A domain id was not registered with the federation.
+    #[error("unknown domain `{0}`")]
+    UnknownDomain(DomainId),
+
+    /// A service id could not be resolved to any domain.
+    #[error("service `{0}` belongs to no registered domain")]
+    UnknownService(ServiceId),
+
+    /// A cross-domain credential was presented without a covering SLA.
+    #[error("no service-level agreement lets `{consumer}` accept `{name}` from `{issuer}`")]
+    NoAgreement {
+        /// The domain refusing the credential.
+        consumer: DomainId,
+        /// The issuing service.
+        issuer: ServiceId,
+        /// The credential name.
+        name: String,
+    },
+
+    /// The CIV service has no live replica able to answer.
+    #[error("CIV service for `{0}` is unavailable (no live replica)")]
+    CivUnavailable(DomainId),
+
+    /// A replica index was out of range.
+    #[error("no replica {index} (replication factor {factor})")]
+    NoSuchReplica {
+        /// Requested replica.
+        index: usize,
+        /// Configured replication factor.
+        factor: usize,
+    },
+}

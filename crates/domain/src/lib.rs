@@ -1,0 +1,56 @@
+//! Domains, service-level agreements, CIV services, and cross-domain
+//! validation for OASIS.
+//!
+//! The paper situates services inside *administrative domains* (hospitals,
+//! primary care groups, a national EHR service…) and makes three
+//! engineering points this crate implements:
+//!
+//! * **Certificate issuing and validation (CIV) services** (Sect. 4,
+//!   ref \[10\]): "a domain will contain one highly available service to
+//!   carry out the functions of certificate issuing and validation …
+//!   including replication for availability together with consistency
+//!   management". [`CivService`] fronts a domain's issuers with a
+//!   primary/replica revocation log; replicas answer validation requests
+//!   when an issuer is unreachable.
+//! * **External credential record proxies** (Fig 5, "ECR"): a service
+//!   holding certificates issued elsewhere "may cache the certificate and
+//!   the result of validation … This requires an event channel so that
+//!   the issuer can notify the service should the certificate be
+//!   invalidated". [`EcrProxy`] is that cache: push-invalidated via the
+//!   event bus, TTL-bounded as a fallback.
+//! * **Service-level agreements** (Sect. 3, 5): cross-domain credentials
+//!   are honoured only under a prior agreement. [`Federation`] holds the
+//!   [`Sla`] graph and produces validators that enforce it.
+//!
+//! # Example
+//!
+//! ```no_run
+//! use oasis_domain::{Domain, Federation, Sla, SlaClause};
+//! use oasis_core::CredentialKind;
+//!
+//! let federation = Federation::new();
+//! let hospital = Domain::new("hospital", federation.bus().clone());
+//! let national = Domain::new("national-ehr", federation.bus().clone());
+//! federation.register(&hospital);
+//! federation.register(&national);
+//! federation.add_sla(Sla::between("national-ehr", "hospital").accept(SlaClause {
+//!     issuer: "hospital.records".into(),
+//!     name: "treating_doctor".into(),
+//!     kind: CredentialKind::Rmc,
+//! }));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod civ;
+mod domain;
+mod ecr;
+mod error;
+mod sla;
+
+pub use civ::{CivService, CivStats};
+pub use domain::Domain;
+pub use ecr::{EcrProxy, EcrStats};
+pub use error::DomainError;
+pub use sla::{Federation, FederationValidator, Sla, SlaClause};

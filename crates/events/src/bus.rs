@@ -1,0 +1,649 @@
+//! The publish/subscribe event bus.
+//!
+//! [`EventBus`] is the in-process stand-in for the active middleware
+//! platform the paper relies on (ref \[2\]). Services subscribe with a
+//! [`TopicPattern`]; publishers address a concrete [`Topic`]. Two
+//! subscription styles are offered:
+//!
+//! * **Queued** ([`EventBus::subscribe`]) — events are copied into a
+//!   per-subscriber mailbox and consumed with `recv`/`try_recv`. This models
+//!   a service that processes notifications on its own schedule.
+//! * **Callback** ([`EventBus::subscribe_fn`]) — a closure runs inline on
+//!   the publisher's thread. This models the *active security* requirement:
+//!   a revocation event must collapse dependent roles immediately, before
+//!   the publisher proceeds.
+
+use std::collections::{HashMap, VecDeque};
+use std::fmt;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use parking_lot::{Condvar, Mutex, RwLock};
+
+use crate::error::EventError;
+use crate::stats::{BusStats, StatsCounters};
+use crate::topic::{Topic, TopicPattern};
+
+/// Identifier of a queued subscription.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct SubscriptionId(pub u64);
+
+impl fmt::Display for SubscriptionId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "sub-{}", self.0)
+    }
+}
+
+/// Identifier of a callback subscription.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct CallbackId(pub u64);
+
+impl fmt::Display for CallbackId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "cb-{}", self.0)
+    }
+}
+
+/// An event as delivered to a subscriber.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DeliveredEvent<M> {
+    /// The concrete topic the event was published on.
+    pub topic: Topic,
+    /// Per-topic sequence number (starts at 1 and increases by 1 for each
+    /// publication on the same topic).
+    pub topic_seq: u64,
+    /// Bus-wide sequence number, totally ordering all publications.
+    pub global_seq: u64,
+    /// Virtual timestamp supplied by the publisher (0 when unspecified).
+    pub timestamp: u64,
+    /// The message itself.
+    pub payload: M,
+}
+
+/// What a bounded mailbox does when a new event arrives while full.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum OverflowPolicy {
+    /// Discard the incoming event (the subscriber keeps the oldest backlog).
+    #[default]
+    DropNewest,
+    /// Discard the oldest queued event to make room (subscriber keeps the
+    /// freshest view — appropriate for heartbeat-style topics).
+    DropOldest,
+}
+
+struct Mailbox<M> {
+    queue: Mutex<VecDeque<DeliveredEvent<M>>>,
+    available: Condvar,
+    capacity: Option<usize>,
+    policy: OverflowPolicy,
+    closed: AtomicBool,
+}
+
+impl<M> Mailbox<M> {
+    fn new(capacity: Option<usize>, policy: OverflowPolicy) -> Self {
+        Self {
+            queue: Mutex::new(VecDeque::new()),
+            available: Condvar::new(),
+            capacity,
+            policy,
+            closed: AtomicBool::new(false),
+        }
+    }
+
+    /// Pushes an event, returning `true` if an event was dropped due to
+    /// overflow (either the incoming one or the oldest queued one).
+    fn push(&self, event: DeliveredEvent<M>) -> bool {
+        let mut queue = self.queue.lock();
+        let mut dropped = false;
+        if let Some(cap) = self.capacity {
+            if queue.len() >= cap {
+                match self.policy {
+                    OverflowPolicy::DropNewest => {
+                        return true;
+                    }
+                    OverflowPolicy::DropOldest => {
+                        queue.pop_front();
+                        dropped = true;
+                    }
+                }
+            }
+        }
+        queue.push_back(event);
+        drop(queue);
+        self.available.notify_one();
+        dropped
+    }
+
+    fn try_recv(&self) -> Result<DeliveredEvent<M>, EventError> {
+        let mut queue = self.queue.lock();
+        match queue.pop_front() {
+            Some(e) => Ok(e),
+            None if self.closed.load(Ordering::Acquire) => Err(EventError::Disconnected),
+            None => Err(EventError::Empty),
+        }
+    }
+
+    fn recv_timeout(&self, timeout: Duration) -> Result<DeliveredEvent<M>, EventError> {
+        let mut queue = self.queue.lock();
+        loop {
+            if let Some(e) = queue.pop_front() {
+                return Ok(e);
+            }
+            if self.closed.load(Ordering::Acquire) {
+                return Err(EventError::Disconnected);
+            }
+            if self.available.wait_for(&mut queue, timeout).timed_out() {
+                return Err(EventError::Empty);
+            }
+        }
+    }
+
+    fn close(&self) {
+        self.closed.store(true, Ordering::Release);
+        self.available.notify_all();
+    }
+
+    fn len(&self) -> usize {
+        self.queue.lock().len()
+    }
+}
+
+struct QueuedSub<M> {
+    pattern: TopicPattern,
+    mailbox: Arc<Mailbox<M>>,
+}
+
+type Callback<M> = Box<dyn Fn(&DeliveredEvent<M>) + Send + Sync>;
+
+struct CallbackSub<M> {
+    pattern: TopicPattern,
+    callback: Callback<M>,
+}
+
+struct Inner<M> {
+    queued: RwLock<HashMap<SubscriptionId, QueuedSub<M>>>,
+    callbacks: RwLock<HashMap<CallbackId, CallbackSub<M>>>,
+    topic_seq: Mutex<HashMap<Topic, u64>>,
+    next_sub: AtomicU64,
+    next_cb: AtomicU64,
+    global_seq: AtomicU64,
+    stats: StatsCounters,
+}
+
+/// A topic-based publish/subscribe bus carrying messages of type `M`.
+///
+/// Cloning an `EventBus` produces another handle to the same bus. The bus is
+/// thread-safe; publications from different threads are totally ordered by
+/// [`DeliveredEvent::global_seq`].
+///
+/// # Example
+///
+/// ```
+/// use oasis_events::{EventBus, Topic};
+///
+/// let bus: EventBus<u32> = EventBus::new();
+/// let sub = bus.subscribe("alerts.#").unwrap();
+/// bus.publish(&Topic::new("alerts.fire"), 7);
+/// assert_eq!(sub.try_recv().unwrap().payload, 7);
+/// ```
+pub struct EventBus<M> {
+    inner: Arc<Inner<M>>,
+}
+
+impl<M> Clone for EventBus<M> {
+    fn clone(&self) -> Self {
+        Self {
+            inner: Arc::clone(&self.inner),
+        }
+    }
+}
+
+impl<M> fmt::Debug for EventBus<M> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("EventBus")
+            .field("queued_subscriptions", &self.inner.queued.read().len())
+            .field("callback_subscriptions", &self.inner.callbacks.read().len())
+            .field("stats", &self.stats())
+            .finish()
+    }
+}
+
+impl<M> Default for EventBus<M> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<M> EventBus<M> {
+    /// Creates an empty bus.
+    pub fn new() -> Self {
+        Self {
+            inner: Arc::new(Inner {
+                queued: RwLock::new(HashMap::new()),
+                callbacks: RwLock::new(HashMap::new()),
+                topic_seq: Mutex::new(HashMap::new()),
+                next_sub: AtomicU64::new(1),
+                next_cb: AtomicU64::new(1),
+                global_seq: AtomicU64::new(0),
+                stats: StatsCounters::default(),
+            }),
+        }
+    }
+
+    /// Subscribes with an unbounded mailbox.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EventError::InvalidTopic`] if `pattern` does not parse.
+    pub fn subscribe(&self, pattern: impl AsRef<str>) -> Result<Subscription<M>, EventError> {
+        self.subscribe_with(pattern, None, OverflowPolicy::default())
+    }
+
+    /// Subscribes with a bounded mailbox of `capacity` events and the given
+    /// overflow policy.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EventError::InvalidTopic`] if `pattern` does not parse.
+    pub fn subscribe_bounded(
+        &self,
+        pattern: impl AsRef<str>,
+        capacity: usize,
+        policy: OverflowPolicy,
+    ) -> Result<Subscription<M>, EventError> {
+        self.subscribe_with(pattern, Some(capacity), policy)
+    }
+
+    fn subscribe_with(
+        &self,
+        pattern: impl AsRef<str>,
+        capacity: Option<usize>,
+        policy: OverflowPolicy,
+    ) -> Result<Subscription<M>, EventError> {
+        let pattern = TopicPattern::parse(pattern.as_ref())?;
+        let id = SubscriptionId(self.inner.next_sub.fetch_add(1, Ordering::Relaxed));
+        let mailbox = Arc::new(Mailbox::new(capacity, policy));
+        self.inner.queued.write().insert(
+            id,
+            QueuedSub {
+                pattern,
+                mailbox: Arc::clone(&mailbox),
+            },
+        );
+        Ok(Subscription {
+            id,
+            mailbox,
+            bus: Arc::downgrade(&self.inner),
+        })
+    }
+
+    /// Registers a callback that runs *inline on the publisher's thread* for
+    /// every event matching `pattern`.
+    ///
+    /// Inline delivery is what gives OASIS its "active" quality: a
+    /// revocation callback has completed — and the dependent role subtree
+    /// has collapsed — before the publisher's `publish` call returns.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EventError::InvalidTopic`] if `pattern` does not parse.
+    pub fn subscribe_fn(
+        &self,
+        pattern: impl AsRef<str>,
+        callback: impl Fn(&DeliveredEvent<M>) + Send + Sync + 'static,
+    ) -> Result<CallbackId, EventError> {
+        let pattern = TopicPattern::parse(pattern.as_ref())?;
+        let id = CallbackId(self.inner.next_cb.fetch_add(1, Ordering::Relaxed));
+        self.inner.callbacks.write().insert(
+            id,
+            CallbackSub {
+                pattern,
+                callback: Box::new(callback),
+            },
+        );
+        Ok(id)
+    }
+
+    /// Removes a callback subscription.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EventError::UnknownSubscription`] if `id` is not live.
+    pub fn remove_callback(&self, id: CallbackId) -> Result<(), EventError> {
+        self.inner
+            .callbacks
+            .write()
+            .remove(&id)
+            .map(|_| ())
+            .ok_or(EventError::UnknownSubscription(id.0))
+    }
+
+    /// Publishes an event with timestamp 0; see [`EventBus::publish_at`].
+    pub fn publish(&self, topic: &Topic, payload: M) -> usize
+    where
+        M: Clone,
+    {
+        self.publish_at(topic, payload, 0)
+    }
+
+    /// Publishes an event carrying a caller-supplied virtual `timestamp`,
+    /// returning the number of subscribers it was delivered to (queued
+    /// mailboxes that accepted it plus callbacks invoked).
+    ///
+    /// Events matching no subscription are counted as dead letters in
+    /// [`BusStats`].
+    pub fn publish_at(&self, topic: &Topic, payload: M, timestamp: u64) -> usize
+    where
+        M: Clone,
+    {
+        let global_seq = self.inner.global_seq.fetch_add(1, Ordering::Relaxed) + 1;
+        let topic_seq = {
+            let mut seqs = self.inner.topic_seq.lock();
+            let entry = seqs.entry(topic.clone()).or_insert(0);
+            *entry += 1;
+            *entry
+        };
+        let event = DeliveredEvent {
+            topic: topic.clone(),
+            topic_seq,
+            global_seq,
+            timestamp,
+            payload,
+        };
+
+        let mut delivered = 0;
+        {
+            // read_recursive: a callback may itself publish (revocation
+            // cascades re-enter the bus on the publisher's thread); a plain
+            // read() could deadlock against a parked writer.
+            let queued = self.inner.queued.read_recursive();
+            for sub in queued.values() {
+                if sub.pattern.matches(topic) {
+                    if sub.mailbox.push(event.clone()) {
+                        self.inner.stats.dropped.fetch_add(1, Ordering::Relaxed);
+                    }
+                    delivered += 1;
+                }
+            }
+        }
+        {
+            let callbacks = self.inner.callbacks.read_recursive();
+            for sub in callbacks.values() {
+                if sub.pattern.matches(topic) {
+                    (sub.callback)(&event);
+                    delivered += 1;
+                }
+            }
+        }
+
+        self.inner.stats.published.fetch_add(1, Ordering::Relaxed);
+        self.inner
+            .stats
+            .delivered
+            .fetch_add(delivered as u64, Ordering::Relaxed);
+        if delivered == 0 {
+            self.inner.stats.dead_letters.fetch_add(1, Ordering::Relaxed);
+        }
+        delivered
+    }
+
+    /// Number of live subscriptions (queued + callback).
+    pub fn subscription_count(&self) -> usize {
+        self.inner.queued.read().len() + self.inner.callbacks.read().len()
+    }
+
+    /// A snapshot of delivery statistics.
+    pub fn stats(&self) -> BusStats {
+        self.inner.stats.snapshot()
+    }
+}
+
+/// A queued subscription handle; dropping it unsubscribes.
+pub struct Subscription<M> {
+    id: SubscriptionId,
+    mailbox: Arc<Mailbox<M>>,
+    bus: std::sync::Weak<Inner<M>>,
+}
+
+impl<M> fmt::Debug for Subscription<M> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Subscription")
+            .field("id", &self.id)
+            .field("pending", &self.mailbox.len())
+            .finish()
+    }
+}
+
+impl<M> Subscription<M> {
+    /// This subscription's identifier.
+    pub fn id(&self) -> SubscriptionId {
+        self.id
+    }
+
+    /// Pops the next pending event without blocking.
+    ///
+    /// # Errors
+    ///
+    /// [`EventError::Empty`] if no event is pending, or
+    /// [`EventError::Disconnected`] if the bus has been dropped and the
+    /// backlog is exhausted.
+    pub fn try_recv(&self) -> Result<DeliveredEvent<M>, EventError> {
+        self.mailbox.try_recv()
+    }
+
+    /// Blocks up to `timeout` for the next event.
+    ///
+    /// # Errors
+    ///
+    /// [`EventError::Empty`] on timeout, [`EventError::Disconnected`] if the
+    /// bus has been dropped and the backlog is exhausted.
+    pub fn recv_timeout(&self, timeout: Duration) -> Result<DeliveredEvent<M>, EventError> {
+        self.mailbox.recv_timeout(timeout)
+    }
+
+    /// Drains every currently pending event.
+    pub fn drain(&self) -> Vec<DeliveredEvent<M>> {
+        let mut out = Vec::new();
+        while let Ok(e) = self.try_recv() {
+            out.push(e);
+        }
+        out
+    }
+
+    /// Number of events waiting in the mailbox.
+    pub fn pending(&self) -> usize {
+        self.mailbox.len()
+    }
+}
+
+impl<M> Drop for Subscription<M> {
+    fn drop(&mut self) {
+        if let Some(inner) = self.bus.upgrade() {
+            inner.queued.write().remove(&self.id);
+        }
+        self.mailbox.close();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn publish_reaches_matching_subscriber() {
+        let bus: EventBus<&'static str> = EventBus::new();
+        let sub = bus.subscribe("a.b").unwrap();
+        let n = bus.publish(&Topic::new("a.b"), "hello");
+        assert_eq!(n, 1);
+        assert_eq!(sub.try_recv().unwrap().payload, "hello");
+    }
+
+    #[test]
+    fn publish_skips_non_matching_subscriber() {
+        let bus: EventBus<u8> = EventBus::new();
+        let sub = bus.subscribe("a.b").unwrap();
+        let n = bus.publish(&Topic::new("a.c"), 1);
+        assert_eq!(n, 0);
+        assert_eq!(sub.try_recv(), Err(EventError::Empty));
+    }
+
+    #[test]
+    fn wildcard_subscription_sees_all_children() {
+        let bus: EventBus<u8> = EventBus::new();
+        let sub = bus.subscribe("cred.revoked.*").unwrap();
+        bus.publish(&Topic::new("cred.revoked.hospital"), 1);
+        bus.publish(&Topic::new("cred.revoked.clinic"), 2);
+        bus.publish(&Topic::new("cred.issued.clinic"), 3);
+        let got: Vec<u8> = sub.drain().into_iter().map(|e| e.payload).collect();
+        assert_eq!(got, vec![1, 2]);
+    }
+
+    #[test]
+    fn per_topic_sequence_numbers_increase() {
+        let bus: EventBus<u8> = EventBus::new();
+        let sub = bus.subscribe("#").unwrap();
+        bus.publish(&Topic::new("x"), 0);
+        bus.publish(&Topic::new("y"), 0);
+        bus.publish(&Topic::new("x"), 0);
+        let events = sub.drain();
+        assert_eq!(events[0].topic_seq, 1); // x #1
+        assert_eq!(events[1].topic_seq, 1); // y #1
+        assert_eq!(events[2].topic_seq, 2); // x #2
+        assert!(events[0].global_seq < events[1].global_seq);
+        assert!(events[1].global_seq < events[2].global_seq);
+    }
+
+    #[test]
+    fn callback_runs_inline() {
+        let bus: EventBus<u8> = EventBus::new();
+        let hits = Arc::new(AtomicU64::new(0));
+        let hits2 = Arc::clone(&hits);
+        bus.subscribe_fn("r.#", move |e| {
+            hits2.fetch_add(u64::from(e.payload), Ordering::Relaxed);
+        })
+        .unwrap();
+        bus.publish(&Topic::new("r.a"), 5);
+        assert_eq!(hits.load(Ordering::Relaxed), 5);
+    }
+
+    #[test]
+    fn removed_callback_no_longer_fires() {
+        let bus: EventBus<u8> = EventBus::new();
+        let hits = Arc::new(AtomicU64::new(0));
+        let hits2 = Arc::clone(&hits);
+        let id = bus
+            .subscribe_fn("r", move |_| {
+                hits2.fetch_add(1, Ordering::Relaxed);
+            })
+            .unwrap();
+        bus.publish(&Topic::new("r"), 0);
+        bus.remove_callback(id).unwrap();
+        bus.publish(&Topic::new("r"), 0);
+        assert_eq!(hits.load(Ordering::Relaxed), 1);
+        assert_eq!(
+            bus.remove_callback(id),
+            Err(EventError::UnknownSubscription(id.0))
+        );
+    }
+
+    #[test]
+    fn dropping_subscription_unsubscribes() {
+        let bus: EventBus<u8> = EventBus::new();
+        let sub = bus.subscribe("t").unwrap();
+        assert_eq!(bus.subscription_count(), 1);
+        drop(sub);
+        assert_eq!(bus.subscription_count(), 0);
+        assert_eq!(bus.publish(&Topic::new("t"), 1), 0);
+    }
+
+    #[test]
+    fn bounded_drop_newest_keeps_oldest() {
+        let bus: EventBus<u8> = EventBus::new();
+        let sub = bus
+            .subscribe_bounded("t", 2, OverflowPolicy::DropNewest)
+            .unwrap();
+        for i in 0..4 {
+            bus.publish(&Topic::new("t"), i);
+        }
+        let got: Vec<u8> = sub.drain().into_iter().map(|e| e.payload).collect();
+        assert_eq!(got, vec![0, 1]);
+        assert_eq!(bus.stats().dropped_overflow, 2);
+    }
+
+    #[test]
+    fn bounded_drop_oldest_keeps_newest() {
+        let bus: EventBus<u8> = EventBus::new();
+        let sub = bus
+            .subscribe_bounded("t", 2, OverflowPolicy::DropOldest)
+            .unwrap();
+        for i in 0..4 {
+            bus.publish(&Topic::new("t"), i);
+        }
+        let got: Vec<u8> = sub.drain().into_iter().map(|e| e.payload).collect();
+        assert_eq!(got, vec![2, 3]);
+    }
+
+    #[test]
+    fn dead_letters_counted() {
+        let bus: EventBus<u8> = EventBus::new();
+        bus.publish(&Topic::new("nobody.home"), 1);
+        let stats = bus.stats();
+        assert_eq!(stats.published, 1);
+        assert_eq!(stats.dead_letters, 1);
+        assert_eq!(stats.delivered, 0);
+    }
+
+    #[test]
+    fn recv_timeout_times_out_when_idle() {
+        let bus: EventBus<u8> = EventBus::new();
+        let sub = bus.subscribe("t").unwrap();
+        let res = sub.recv_timeout(Duration::from_millis(10));
+        assert_eq!(res, Err(EventError::Empty));
+    }
+
+    #[test]
+    fn recv_timeout_wakes_on_publish_from_other_thread() {
+        let bus: EventBus<u8> = EventBus::new();
+        let sub = bus.subscribe("t").unwrap();
+        let bus2 = bus.clone();
+        let handle = std::thread::spawn(move || {
+            bus2.publish(&Topic::new("t"), 9);
+        });
+        let event = sub.recv_timeout(Duration::from_secs(5)).unwrap();
+        assert_eq!(event.payload, 9);
+        handle.join().unwrap();
+    }
+
+    #[test]
+    fn timestamps_are_carried() {
+        let bus: EventBus<u8> = EventBus::new();
+        let sub = bus.subscribe("t").unwrap();
+        bus.publish_at(&Topic::new("t"), 1, 12_345);
+        assert_eq!(sub.try_recv().unwrap().timestamp, 12_345);
+    }
+
+    #[test]
+    fn concurrent_publishers_totally_ordered() {
+        let bus: EventBus<u64> = EventBus::new();
+        let sub = bus.subscribe("#").unwrap();
+        let mut handles = Vec::new();
+        for t in 0..4 {
+            let bus = bus.clone();
+            handles.push(std::thread::spawn(move || {
+                for i in 0..100 {
+                    bus.publish(&Topic::new(format!("p{t}")), i);
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        let events = sub.drain();
+        assert_eq!(events.len(), 400);
+        let mut seqs: Vec<u64> = events.iter().map(|e| e.global_seq).collect();
+        seqs.sort_unstable();
+        seqs.dedup();
+        assert_eq!(seqs.len(), 400, "global sequence numbers must be unique");
+    }
+}

@@ -1,0 +1,227 @@
+//! Point-to-point event channels.
+//!
+//! Fig 5 of the paper draws dedicated *event channels* from each credential
+//! issuer to each service holding a dependent credential record. Where the
+//! [`EventBus`](crate::EventBus) models the many-to-many notification
+//! fabric, [`channel`] provides the dedicated one-to-one link: ordered,
+//! unbounded, with explicit disconnect semantics.
+
+use std::collections::VecDeque;
+use std::fmt;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use parking_lot::{Condvar, Mutex};
+
+use crate::error::EventError;
+
+struct Shared<M> {
+    queue: Mutex<VecDeque<M>>,
+    available: Condvar,
+    senders: AtomicUsize,
+    receivers: AtomicUsize,
+}
+
+/// Creates a connected sender/receiver pair.
+///
+/// # Example
+///
+/// ```
+/// let (tx, rx) = oasis_events::channel::<u32>();
+/// tx.send(1).unwrap();
+/// assert_eq!(rx.try_recv().unwrap(), 1);
+/// ```
+pub fn channel<M>() -> (ChannelSender<M>, ChannelReceiver<M>) {
+    let shared = Arc::new(Shared {
+        queue: Mutex::new(VecDeque::new()),
+        available: Condvar::new(),
+        senders: AtomicUsize::new(1),
+        receivers: AtomicUsize::new(1),
+    });
+    (
+        ChannelSender {
+            shared: Arc::clone(&shared),
+        },
+        ChannelReceiver { shared },
+    )
+}
+
+/// Sending half of a point-to-point event channel.
+pub struct ChannelSender<M> {
+    shared: Arc<Shared<M>>,
+}
+
+impl<M> fmt::Debug for ChannelSender<M> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("ChannelSender")
+            .field("pending", &self.shared.queue.lock().len())
+            .finish()
+    }
+}
+
+impl<M> ChannelSender<M> {
+    /// Enqueues a message for the receiver.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EventError::Disconnected`] (handing the message back is not
+    /// possible, it is dropped) when every receiver has been dropped.
+    pub fn send(&self, message: M) -> Result<(), EventError> {
+        if self.shared.receivers.load(Ordering::Acquire) == 0 {
+            return Err(EventError::Disconnected);
+        }
+        self.shared.queue.lock().push_back(message);
+        self.shared.available.notify_one();
+        Ok(())
+    }
+
+    /// Whether the receiving side is still alive.
+    pub fn is_connected(&self) -> bool {
+        self.shared.receivers.load(Ordering::Acquire) > 0
+    }
+}
+
+impl<M> Clone for ChannelSender<M> {
+    fn clone(&self) -> Self {
+        self.shared.senders.fetch_add(1, Ordering::AcqRel);
+        Self {
+            shared: Arc::clone(&self.shared),
+        }
+    }
+}
+
+impl<M> Drop for ChannelSender<M> {
+    fn drop(&mut self) {
+        if self.shared.senders.fetch_sub(1, Ordering::AcqRel) == 1 {
+            self.shared.available.notify_all();
+        }
+    }
+}
+
+/// Receiving half of a point-to-point event channel.
+pub struct ChannelReceiver<M> {
+    shared: Arc<Shared<M>>,
+}
+
+impl<M> fmt::Debug for ChannelReceiver<M> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("ChannelReceiver")
+            .field("pending", &self.shared.queue.lock().len())
+            .finish()
+    }
+}
+
+impl<M> ChannelReceiver<M> {
+    /// Pops the next message without blocking.
+    ///
+    /// # Errors
+    ///
+    /// [`EventError::Empty`] if nothing is pending;
+    /// [`EventError::Disconnected`] if all senders are gone and the backlog
+    /// is exhausted.
+    pub fn try_recv(&self) -> Result<M, EventError> {
+        let mut queue = self.shared.queue.lock();
+        match queue.pop_front() {
+            Some(m) => Ok(m),
+            None if self.shared.senders.load(Ordering::Acquire) == 0 => {
+                Err(EventError::Disconnected)
+            }
+            None => Err(EventError::Empty),
+        }
+    }
+
+    /// Blocks up to `timeout` for the next message.
+    ///
+    /// # Errors
+    ///
+    /// [`EventError::Empty`] on timeout; [`EventError::Disconnected`] if all
+    /// senders are gone and the backlog is exhausted.
+    pub fn recv_timeout(&self, timeout: Duration) -> Result<M, EventError> {
+        let mut queue = self.shared.queue.lock();
+        loop {
+            if let Some(m) = queue.pop_front() {
+                return Ok(m);
+            }
+            if self.shared.senders.load(Ordering::Acquire) == 0 {
+                return Err(EventError::Disconnected);
+            }
+            if self.shared.available.wait_for(&mut queue, timeout).timed_out() {
+                return Err(EventError::Empty);
+            }
+        }
+    }
+
+    /// Number of messages waiting.
+    pub fn pending(&self) -> usize {
+        self.shared.queue.lock().len()
+    }
+}
+
+impl<M> Drop for ChannelReceiver<M> {
+    fn drop(&mut self) {
+        self.shared.receivers.fetch_sub(1, Ordering::AcqRel);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn send_and_receive_preserves_order() {
+        let (tx, rx) = channel();
+        tx.send(1).unwrap();
+        tx.send(2).unwrap();
+        assert_eq!(rx.try_recv().unwrap(), 1);
+        assert_eq!(rx.try_recv().unwrap(), 2);
+        assert_eq!(rx.try_recv(), Err(EventError::Empty));
+    }
+
+    #[test]
+    fn send_after_receiver_dropped_fails() {
+        let (tx, rx) = channel::<u8>();
+        drop(rx);
+        assert!(!tx.is_connected());
+        assert_eq!(tx.send(1), Err(EventError::Disconnected));
+    }
+
+    #[test]
+    fn backlog_still_drains_after_sender_dropped() {
+        let (tx, rx) = channel();
+        tx.send(7).unwrap();
+        drop(tx);
+        assert_eq!(rx.try_recv().unwrap(), 7);
+        assert_eq!(rx.try_recv(), Err(EventError::Disconnected));
+    }
+
+    #[test]
+    fn cloned_senders_share_queue() {
+        let (tx, rx) = channel();
+        let tx2 = tx.clone();
+        tx.send(1).unwrap();
+        tx2.send(2).unwrap();
+        drop(tx);
+        drop(tx2);
+        assert_eq!(rx.try_recv().unwrap(), 1);
+        assert_eq!(rx.try_recv().unwrap(), 2);
+        assert_eq!(rx.try_recv(), Err(EventError::Disconnected));
+    }
+
+    #[test]
+    fn recv_timeout_wakes_on_send() {
+        let (tx, rx) = channel();
+        let handle = std::thread::spawn(move || tx.send(42).unwrap());
+        assert_eq!(rx.recv_timeout(Duration::from_secs(5)).unwrap(), 42);
+        handle.join().unwrap();
+    }
+
+    #[test]
+    fn recv_timeout_times_out() {
+        let (_tx, rx) = channel::<u8>();
+        assert_eq!(
+            rx.recv_timeout(Duration::from_millis(5)),
+            Err(EventError::Empty)
+        );
+    }
+}

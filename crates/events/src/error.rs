@@ -1,0 +1,32 @@
+//! Error types for the event middleware.
+
+use thiserror::Error;
+
+/// Errors reported by the event middleware.
+#[derive(Debug, Error, Clone, PartialEq, Eq)]
+pub enum EventError {
+    /// A topic or pattern string was malformed.
+    #[error("invalid topic `{topic}`: {reason}")]
+    InvalidTopic {
+        /// The offending topic or pattern text.
+        topic: String,
+        /// Why it was rejected.
+        reason: String,
+    },
+
+    /// A receive was attempted on a subscription with no pending events.
+    #[error("no event pending")]
+    Empty,
+
+    /// The channel or bus side this endpoint talks to has been dropped.
+    #[error("peer disconnected")]
+    Disconnected,
+
+    /// A subscription id did not name a live subscription.
+    #[error("unknown subscription {0}")]
+    UnknownSubscription(u64),
+
+    /// A bounded subscription mailbox overflowed and the event was dropped.
+    #[error("subscription mailbox overflow; event dropped")]
+    Overflow,
+}

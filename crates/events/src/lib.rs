@@ -1,0 +1,50 @@
+//! Event-based middleware substrate for OASIS active security.
+//!
+//! The OASIS architecture (Bacon, Moody, Yao; Middleware 2001) assumes an
+//! *active* middleware platform — the Cambridge Event Architecture of
+//! ref \[2\] — through which services are notified of relevant changes in
+//! their environment without polling. Two mechanisms from the paper are
+//! modelled here:
+//!
+//! * **Event channels** (Fig 1, Fig 5): when service *C* issues a role
+//!   membership certificate whose activation depended on credentials issued
+//!   by services *A* and *B*, it subscribes to channels on which *A* and *B*
+//!   publish revocation or change events. Should a supporting credential be
+//!   invalidated, *C* learns immediately and can collapse the dependent role
+//!   subtree.
+//! * **Heartbeats** (Fig 5): issuers emit periodic heartbeats; a verifier
+//!   that misses heartbeats treats cached validation results as stale.
+//!
+//! The crate is deliberately generic: [`EventBus`] carries any message type,
+//! and time is *virtual* (caller-supplied `u64` ticks) so that the
+//! deterministic simulator in `oasis-sim` and the benchmarks can drive it
+//! reproducibly.
+//!
+//! # Example
+//!
+//! ```
+//! use oasis_events::{EventBus, Topic};
+//!
+//! let bus: EventBus<String> = EventBus::new();
+//! let sub = bus.subscribe("cred.revoked.*").unwrap();
+//! bus.publish(&Topic::new("cred.revoked.hospital"), "rmc-42".to_string());
+//! let event = sub.try_recv().unwrap();
+//! assert_eq!(event.payload, "rmc-42");
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod bus;
+mod channel;
+mod error;
+mod heartbeat;
+mod stats;
+mod topic;
+
+pub use bus::{CallbackId, DeliveredEvent, EventBus, OverflowPolicy, Subscription, SubscriptionId};
+pub use channel::{channel, ChannelReceiver, ChannelSender};
+pub use error::EventError;
+pub use heartbeat::{HeartbeatMonitor, SourceHealth, SourceId};
+pub use stats::BusStats;
+pub use topic::{Topic, TopicPattern};

@@ -1,0 +1,79 @@
+//! Delivery statistics for an [`EventBus`](crate::EventBus).
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Internal atomic counters; snapshotted into [`BusStats`].
+#[derive(Debug, Default)]
+pub(crate) struct StatsCounters {
+    pub(crate) published: AtomicU64,
+    pub(crate) delivered: AtomicU64,
+    pub(crate) dropped: AtomicU64,
+    pub(crate) dead_letters: AtomicU64,
+}
+
+impl StatsCounters {
+    pub(crate) fn snapshot(&self) -> BusStats {
+        BusStats {
+            published: self.published.load(Ordering::Relaxed),
+            delivered: self.delivered.load(Ordering::Relaxed),
+            dropped_overflow: self.dropped.load(Ordering::Relaxed),
+            dead_letters: self.dead_letters.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// A point-in-time snapshot of bus activity.
+///
+/// # Example
+///
+/// ```
+/// use oasis_events::{EventBus, Topic};
+///
+/// let bus: EventBus<u8> = EventBus::new();
+/// bus.publish(&Topic::new("unheard"), 1);
+/// let stats = bus.stats();
+/// assert_eq!(stats.published, 1);
+/// assert_eq!(stats.dead_letters, 1);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct BusStats {
+    /// Total `publish` calls.
+    pub published: u64,
+    /// Total subscriber deliveries (one event to three subscribers = 3).
+    pub delivered: u64,
+    /// Events discarded because a bounded mailbox overflowed.
+    pub dropped_overflow: u64,
+    /// Publications that matched no subscription at all.
+    pub dead_letters: u64,
+}
+
+impl BusStats {
+    /// Average fan-out per publication, or 0.0 when nothing was published.
+    pub fn fan_out(&self) -> f64 {
+        if self.published == 0 {
+            0.0
+        } else {
+            self.delivered as f64 / self.published as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fan_out_handles_zero_publications() {
+        assert_eq!(BusStats::default().fan_out(), 0.0);
+    }
+
+    #[test]
+    fn fan_out_is_average_deliveries() {
+        let stats = BusStats {
+            published: 2,
+            delivered: 6,
+            ..BusStats::default()
+        };
+        assert_eq!(stats.fan_out(), 3.0);
+    }
+}

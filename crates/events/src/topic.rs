@@ -1,0 +1,366 @@
+//! Hierarchical topic names and subscription patterns.
+//!
+//! Topics are dot-separated paths such as `cred.revoked.hospital`. A
+//! [`TopicPattern`] may use `*` to match exactly one segment and `#` to
+//! match zero or more trailing segments, in the style of AMQP routing keys.
+
+use std::fmt;
+use std::str::FromStr;
+
+use serde::{Deserialize, Serialize};
+
+use crate::error::EventError;
+
+/// A concrete, fully-specified event topic.
+///
+/// Topics are non-empty, dot-separated sequences of non-empty segments.
+/// Segments consist of any characters except `.`, `*` and `#`.
+///
+/// # Example
+///
+/// ```
+/// use oasis_events::Topic;
+///
+/// let t = Topic::new("cred.revoked.hospital");
+/// assert_eq!(t.segments().count(), 3);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct Topic(String);
+
+impl Topic {
+    /// Creates a topic from a dot-separated path.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `path` is not a valid topic (empty, has empty segments, or
+    /// contains wildcard characters). Use [`Topic::try_new`] for a fallible
+    /// variant.
+    pub fn new(path: impl Into<String>) -> Self {
+        Self::try_new(path).expect("invalid topic")
+    }
+
+    /// Creates a topic, returning an error for malformed paths.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EventError::InvalidTopic`] if the path is empty, contains
+    /// an empty segment, or contains the wildcard characters `*` / `#`.
+    pub fn try_new(path: impl Into<String>) -> Result<Self, EventError> {
+        let path = path.into();
+        if path.is_empty() {
+            return Err(EventError::InvalidTopic {
+                topic: path,
+                reason: "topic must be non-empty".into(),
+            });
+        }
+        for seg in path.split('.') {
+            if seg.is_empty() {
+                return Err(EventError::InvalidTopic {
+                    topic: path.clone(),
+                    reason: "topic segments must be non-empty".into(),
+                });
+            }
+            if seg.contains('*') || seg.contains('#') {
+                return Err(EventError::InvalidTopic {
+                    topic: path.clone(),
+                    reason: "wildcards are only allowed in patterns".into(),
+                });
+            }
+        }
+        Ok(Self(path))
+    }
+
+    /// The full dot-separated path.
+    pub fn as_str(&self) -> &str {
+        &self.0
+    }
+
+    /// Iterates over the topic's segments.
+    pub fn segments(&self) -> impl Iterator<Item = &str> {
+        self.0.split('.')
+    }
+}
+
+impl fmt::Display for Topic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl FromStr for Topic {
+    type Err = EventError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        Self::try_new(s)
+    }
+}
+
+impl AsRef<str> for Topic {
+    fn as_ref(&self) -> &str {
+        &self.0
+    }
+}
+
+/// One segment of a [`TopicPattern`].
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+enum PatternSegment {
+    /// Matches this literal segment exactly.
+    Literal(String),
+    /// `*` — matches exactly one segment, whatever its content.
+    AnyOne,
+    /// `#` — matches zero or more segments; only valid in final position.
+    AnyRest,
+}
+
+/// A subscription pattern over topics.
+///
+/// * a literal segment matches itself;
+/// * `*` matches exactly one segment;
+/// * `#` matches zero or more segments and may appear only as the final
+///   segment.
+///
+/// # Example
+///
+/// ```
+/// use oasis_events::{Topic, TopicPattern};
+///
+/// let p: TopicPattern = "cred.*.hospital".parse().unwrap();
+/// assert!(p.matches(&Topic::new("cred.revoked.hospital")));
+/// assert!(!p.matches(&Topic::new("cred.revoked.clinic")));
+///
+/// let rest: TopicPattern = "cred.#".parse().unwrap();
+/// assert!(rest.matches(&Topic::new("cred")));
+/// assert!(rest.matches(&Topic::new("cred.revoked.hospital")));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct TopicPattern {
+    segments: Vec<PatternSegment>,
+    source: String,
+}
+
+impl TopicPattern {
+    /// Parses a pattern from a dot-separated path possibly containing
+    /// wildcards.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EventError::InvalidTopic`] if the pattern is empty, has an
+    /// empty segment, mixes wildcards with literal characters inside one
+    /// segment, or places `#` anywhere but last.
+    pub fn parse(pattern: impl Into<String>) -> Result<Self, EventError> {
+        let source = pattern.into();
+        if source.is_empty() {
+            return Err(EventError::InvalidTopic {
+                topic: source,
+                reason: "pattern must be non-empty".into(),
+            });
+        }
+        let raw: Vec<&str> = source.split('.').collect();
+        let mut segments = Vec::with_capacity(raw.len());
+        for (i, seg) in raw.iter().enumerate() {
+            let parsed = match *seg {
+                "" => {
+                    return Err(EventError::InvalidTopic {
+                        topic: source.clone(),
+                        reason: "pattern segments must be non-empty".into(),
+                    })
+                }
+                "*" => PatternSegment::AnyOne,
+                "#" => {
+                    if i + 1 != raw.len() {
+                        return Err(EventError::InvalidTopic {
+                            topic: source.clone(),
+                            reason: "`#` may appear only as the final segment".into(),
+                        });
+                    }
+                    PatternSegment::AnyRest
+                }
+                lit if lit.contains('*') || lit.contains('#') => {
+                    return Err(EventError::InvalidTopic {
+                        topic: source.clone(),
+                        reason: "wildcards must occupy a whole segment".into(),
+                    })
+                }
+                lit => PatternSegment::Literal(lit.to_string()),
+            };
+            segments.push(parsed);
+        }
+        Ok(Self { segments, source })
+    }
+
+    /// Tests whether `topic` matches this pattern.
+    pub fn matches(&self, topic: &Topic) -> bool {
+        let topic_segs: Vec<&str> = topic.segments().collect();
+        self.matches_segments(&topic_segs)
+    }
+
+    fn matches_segments(&self, topic_segs: &[&str]) -> bool {
+        let mut ti = 0;
+        for (pi, pseg) in self.segments.iter().enumerate() {
+            match pseg {
+                PatternSegment::AnyRest => {
+                    // `#` is final by construction; it matches everything
+                    // remaining, including nothing. The segments before it
+                    // must already have matched.
+                    debug_assert_eq!(pi + 1, self.segments.len());
+                    return true;
+                }
+                PatternSegment::AnyOne => {
+                    if ti >= topic_segs.len() {
+                        return false;
+                    }
+                    ti += 1;
+                }
+                PatternSegment::Literal(lit) => {
+                    if ti >= topic_segs.len() || topic_segs[ti] != lit {
+                        return false;
+                    }
+                    ti += 1;
+                }
+            }
+        }
+        ti == topic_segs.len()
+    }
+
+    /// The pattern as originally written.
+    pub fn as_str(&self) -> &str {
+        &self.source
+    }
+
+    /// Whether this pattern can only ever match a single topic (contains no
+    /// wildcards). Exact patterns allow the bus to use a direct index.
+    pub fn is_exact(&self) -> bool {
+        self.segments
+            .iter()
+            .all(|s| matches!(s, PatternSegment::Literal(_)))
+    }
+}
+
+impl fmt::Display for TopicPattern {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.source)
+    }
+}
+
+impl FromStr for TopicPattern {
+    type Err = EventError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        Self::parse(s)
+    }
+}
+
+impl From<Topic> for TopicPattern {
+    fn from(topic: Topic) -> Self {
+        // A topic is always a valid, wildcard-free pattern.
+        Self::parse(topic.0).expect("topic is a valid pattern")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(s: &str) -> Topic {
+        Topic::new(s)
+    }
+
+    fn p(s: &str) -> TopicPattern {
+        TopicPattern::parse(s).unwrap()
+    }
+
+    #[test]
+    fn topic_rejects_empty() {
+        assert!(Topic::try_new("").is_err());
+    }
+
+    #[test]
+    fn topic_rejects_empty_segment() {
+        assert!(Topic::try_new("a..b").is_err());
+        assert!(Topic::try_new(".a").is_err());
+        assert!(Topic::try_new("a.").is_err());
+    }
+
+    #[test]
+    fn topic_rejects_wildcards() {
+        assert!(Topic::try_new("a.*").is_err());
+        assert!(Topic::try_new("a.#").is_err());
+        assert!(Topic::try_new("a*b").is_err());
+    }
+
+    #[test]
+    fn topic_roundtrips_display_fromstr() {
+        let topic: Topic = "cred.revoked.hospital".parse().unwrap();
+        assert_eq!(topic.to_string(), "cred.revoked.hospital");
+    }
+
+    #[test]
+    fn literal_pattern_matches_only_itself() {
+        let pat = p("a.b.c");
+        assert!(pat.matches(&t("a.b.c")));
+        assert!(!pat.matches(&t("a.b")));
+        assert!(!pat.matches(&t("a.b.c.d")));
+        assert!(!pat.matches(&t("a.b.x")));
+        assert!(pat.is_exact());
+    }
+
+    #[test]
+    fn star_matches_exactly_one_segment() {
+        let pat = p("a.*.c");
+        assert!(pat.matches(&t("a.b.c")));
+        assert!(pat.matches(&t("a.zzz.c")));
+        assert!(!pat.matches(&t("a.c")));
+        assert!(!pat.matches(&t("a.b.b.c")));
+        assert!(!pat.is_exact());
+    }
+
+    #[test]
+    fn trailing_star_requires_a_segment() {
+        let pat = p("a.*");
+        assert!(pat.matches(&t("a.b")));
+        assert!(!pat.matches(&t("a")));
+        assert!(!pat.matches(&t("a.b.c")));
+    }
+
+    #[test]
+    fn hash_matches_zero_or_more() {
+        let pat = p("a.#");
+        assert!(pat.matches(&t("a")));
+        assert!(pat.matches(&t("a.b")));
+        assert!(pat.matches(&t("a.b.c.d")));
+        assert!(!pat.matches(&t("b")));
+    }
+
+    #[test]
+    fn hash_alone_matches_everything() {
+        let pat = p("#");
+        assert!(pat.matches(&t("a")));
+        assert!(pat.matches(&t("a.b.c")));
+    }
+
+    #[test]
+    fn hash_must_be_last() {
+        assert!(TopicPattern::parse("a.#.b").is_err());
+        assert!(TopicPattern::parse("#.a").is_err());
+    }
+
+    #[test]
+    fn partial_wildcard_segment_rejected() {
+        assert!(TopicPattern::parse("a.b*").is_err());
+        assert!(TopicPattern::parse("a.#b").is_err());
+    }
+
+    #[test]
+    fn pattern_from_topic_is_exact() {
+        let pat: TopicPattern = t("x.y").into();
+        assert!(pat.is_exact());
+        assert!(pat.matches(&t("x.y")));
+    }
+
+    #[test]
+    fn star_then_hash() {
+        let pat = p("*.#");
+        assert!(pat.matches(&t("a")));
+        assert!(pat.matches(&t("a.b.c")));
+    }
+}

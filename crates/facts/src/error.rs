@@ -1,0 +1,30 @@
+//! Error types for the fact store.
+
+use thiserror::Error;
+
+/// Errors reported by the fact store.
+#[derive(Debug, Error, Clone, PartialEq, Eq)]
+pub enum FactError {
+    /// A relation name was not defined.
+    #[error("unknown relation `{0}`")]
+    UnknownRelation(String),
+
+    /// A relation was defined twice.
+    #[error("relation `{0}` already defined")]
+    DuplicateRelation(String),
+
+    /// A tuple or pattern did not match the relation's arity.
+    #[error("relation `{relation}` has arity {expected}, got {actual} columns")]
+    ArityMismatch {
+        /// Relation being accessed.
+        relation: String,
+        /// Declared arity.
+        expected: usize,
+        /// Supplied column count.
+        actual: usize,
+    },
+
+    /// A relation was declared with arity zero.
+    #[error("relation `{0}` must have at least one column")]
+    ZeroArity(String),
+}

@@ -1,0 +1,222 @@
+//! A single relation: a set of fixed-arity tuples with per-column indexes.
+
+use std::collections::{HashMap, HashSet};
+use std::hash::Hash;
+
+/// Internal tuple identifier within a relation's arena.
+type TupleId = usize;
+
+/// A set of tuples of fixed arity with a hash index on every column.
+///
+/// Queries supply a pattern of `Option<V>` per column; bound columns are
+/// intersected through the indexes, so a query bound on any column touches
+/// only the tuples matching that column rather than scanning the relation.
+#[derive(Debug, Clone)]
+pub(crate) struct Relation<V> {
+    arity: usize,
+    /// Tuple arena; `None` marks retracted slots.
+    tuples: Vec<Option<Vec<V>>>,
+    /// Exact-tuple index for O(1) contains/retract.
+    exact: HashMap<Vec<V>, TupleId>,
+    /// `indexes[col][value]` = ids of live tuples with `value` in `col`.
+    indexes: Vec<HashMap<V, HashSet<TupleId>>>,
+    live: usize,
+}
+
+impl<V: Clone + Eq + Hash> Relation<V> {
+    pub(crate) fn new(arity: usize) -> Self {
+        Self {
+            arity,
+            tuples: Vec::new(),
+            exact: HashMap::new(),
+            indexes: (0..arity).map(|_| HashMap::new()).collect(),
+            live: 0,
+        }
+    }
+
+    pub(crate) fn arity(&self) -> usize {
+        self.arity
+    }
+
+    pub(crate) fn len(&self) -> usize {
+        self.live
+    }
+
+    /// Inserts a tuple; returns `false` if it was already present.
+    pub(crate) fn insert(&mut self, tuple: Vec<V>) -> bool {
+        debug_assert_eq!(tuple.len(), self.arity);
+        if self.exact.contains_key(&tuple) {
+            return false;
+        }
+        let id = self.tuples.len();
+        for (col, value) in tuple.iter().enumerate() {
+            self.indexes[col]
+                .entry(value.clone())
+                .or_default()
+                .insert(id);
+        }
+        self.exact.insert(tuple.clone(), id);
+        self.tuples.push(Some(tuple));
+        self.live += 1;
+        true
+    }
+
+    /// Retracts a tuple; returns `false` if it was not present.
+    pub(crate) fn retract(&mut self, tuple: &[V]) -> bool {
+        debug_assert_eq!(tuple.len(), self.arity);
+        let Some(id) = self.exact.remove(tuple) else {
+            return false;
+        };
+        for (col, value) in tuple.iter().enumerate() {
+            if let Some(ids) = self.indexes[col].get_mut(value) {
+                ids.remove(&id);
+                if ids.is_empty() {
+                    self.indexes[col].remove(value);
+                }
+            }
+        }
+        self.tuples[id] = None;
+        self.live -= 1;
+        true
+    }
+
+    pub(crate) fn contains(&self, tuple: &[V]) -> bool {
+        self.exact.contains_key(tuple)
+    }
+
+    /// Returns all tuples matching `pattern` (`None` = wildcard column).
+    pub(crate) fn query(&self, pattern: &[Option<V>]) -> Vec<Vec<V>> {
+        debug_assert_eq!(pattern.len(), self.arity);
+
+        // Fully bound: direct hash lookup.
+        if pattern.iter().all(Option::is_some) {
+            let tuple: Vec<V> = pattern.iter().map(|v| v.clone().expect("bound")).collect();
+            return if self.exact.contains_key(&tuple) {
+                vec![tuple]
+            } else {
+                vec![]
+            };
+        }
+
+        // Find the most selective bound column to seed the candidate set.
+        let mut seed: Option<&HashSet<TupleId>> = None;
+        for (col, value) in pattern.iter().enumerate() {
+            if let Some(v) = value {
+                match self.indexes[col].get(v) {
+                    Some(ids) => {
+                        if seed.is_none_or(|s| ids.len() < s.len()) {
+                            seed = Some(ids);
+                        }
+                    }
+                    // A bound value absent from its index ⇒ no matches.
+                    None => return vec![],
+                }
+            }
+        }
+
+        let candidates: Vec<TupleId> = match seed {
+            Some(ids) => ids.iter().copied().collect(),
+            // No bound columns at all: every live tuple matches.
+            None => {
+                return self
+                    .tuples
+                    .iter()
+                    .filter_map(|slot| slot.clone())
+                    .collect();
+            }
+        };
+
+        let mut out = Vec::new();
+        for id in candidates {
+            let Some(tuple) = &self.tuples[id] else {
+                continue;
+            };
+            let matches = pattern
+                .iter()
+                .zip(tuple.iter())
+                .all(|(p, v)| p.as_ref().is_none_or(|bound| bound == v));
+            if matches {
+                out.push(tuple.clone());
+            }
+        }
+        out
+    }
+
+    /// Snapshot of every live tuple.
+    pub(crate) fn all(&self) -> Vec<Vec<V>> {
+        self.tuples.iter().filter_map(|slot| slot.clone()).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rel() -> Relation<u32> {
+        let mut r = Relation::new(3);
+        r.insert(vec![1, 2, 3]);
+        r.insert(vec![1, 5, 3]);
+        r.insert(vec![2, 2, 4]);
+        r
+    }
+
+    #[test]
+    fn insert_deduplicates() {
+        let mut r = rel();
+        assert!(!r.insert(vec![1, 2, 3]));
+        assert_eq!(r.len(), 3);
+    }
+
+    #[test]
+    fn retract_removes_from_queries() {
+        let mut r = rel();
+        assert!(r.retract(&[1, 2, 3]));
+        assert!(!r.retract(&[1, 2, 3]));
+        assert_eq!(r.len(), 2);
+        assert!(r.query(&[Some(1), Some(2), Some(3)]).is_empty());
+        assert_eq!(r.query(&[Some(1), None, None]).len(), 1);
+    }
+
+    #[test]
+    fn fully_bound_query_hits_exact_index() {
+        let r = rel();
+        assert_eq!(r.query(&[Some(1), Some(2), Some(3)]), vec![vec![1, 2, 3]]);
+        assert!(r.query(&[Some(9), Some(9), Some(9)]).is_empty());
+    }
+
+    #[test]
+    fn single_column_query_uses_index() {
+        let r = rel();
+        let mut rows = r.query(&[Some(1), None, None]);
+        rows.sort();
+        assert_eq!(rows, vec![vec![1, 2, 3], vec![1, 5, 3]]);
+    }
+
+    #[test]
+    fn multi_column_query_intersects() {
+        let r = rel();
+        assert_eq!(r.query(&[Some(1), None, Some(3)]).len(), 2);
+        assert_eq!(r.query(&[None, Some(2), Some(3)]), vec![vec![1, 2, 3]]);
+    }
+
+    #[test]
+    fn unbound_query_returns_everything() {
+        let r = rel();
+        assert_eq!(r.query(&[None, None, None]).len(), 3);
+    }
+
+    #[test]
+    fn bound_value_missing_from_index_short_circuits() {
+        let r = rel();
+        assert!(r.query(&[Some(42), None, None]).is_empty());
+    }
+
+    #[test]
+    fn reinsert_after_retract_works() {
+        let mut r = rel();
+        r.retract(&[1, 2, 3]);
+        assert!(r.insert(vec![1, 2, 3]));
+        assert!(r.contains(&[1, 2, 3]));
+        assert_eq!(r.query(&[Some(1), Some(2), None]), vec![vec![1, 2, 3]]);
+    }
+}

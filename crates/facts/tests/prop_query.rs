@@ -1,0 +1,83 @@
+//! Property tests: indexed queries must agree with a naive scan, and the
+//! store must behave as a set under arbitrary insert/retract interleavings.
+
+use proptest::prelude::*;
+
+use oasis_facts::FactStore;
+
+/// A model operation on a ternary relation over a small value domain
+/// (small domain forces collisions, exercising the index paths).
+#[derive(Debug, Clone)]
+enum Op {
+    Insert([u8; 3]),
+    Retract([u8; 3]),
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        [0u8..4, 0u8..4, 0u8..4].prop_map(Op::Insert),
+        [0u8..4, 0u8..4, 0u8..4].prop_map(Op::Retract),
+    ]
+}
+
+fn pattern_strategy() -> impl Strategy<Value = [Option<u8>; 3]> {
+    let col = prop_oneof![Just(None), (0u8..4).prop_map(Some)];
+    [col.clone(), col.clone(), col]
+}
+
+proptest! {
+    #[test]
+    fn query_matches_naive_scan(
+        ops in proptest::collection::vec(op_strategy(), 0..60),
+        pattern in pattern_strategy(),
+    ) {
+        let store: FactStore<u8> = FactStore::new();
+        store.define("r", 3).unwrap();
+        let mut model: std::collections::BTreeSet<Vec<u8>> = Default::default();
+
+        for op in ops {
+            match op {
+                Op::Insert(t) => {
+                    let newly = store.insert("r", t.to_vec()).unwrap();
+                    prop_assert_eq!(newly, model.insert(t.to_vec()));
+                }
+                Op::Retract(t) => {
+                    let was = store.retract("r", &t).unwrap();
+                    prop_assert_eq!(was, model.remove(t.as_slice()));
+                }
+            }
+        }
+
+        // Set size agrees.
+        prop_assert_eq!(store.len("r").unwrap(), model.len());
+
+        // Indexed query agrees with a naive filter of the model.
+        let mut indexed = store.query("r", &pattern).unwrap();
+        indexed.sort();
+        let mut naive: Vec<Vec<u8>> = model
+            .iter()
+            .filter(|t| {
+                pattern
+                    .iter()
+                    .zip(t.iter())
+                    .all(|(p, v)| p.is_none_or(|bound| bound == *v))
+            })
+            .cloned()
+            .collect();
+        naive.sort();
+        prop_assert_eq!(indexed, naive);
+
+        // Contains agrees for every tuple in the domain.
+        for a in 0..4u8 {
+            for b in 0..4u8 {
+                for c in 0..4u8 {
+                    let t = [a, b, c];
+                    prop_assert_eq!(
+                        store.contains("r", &t).unwrap(),
+                        model.contains(t.as_slice())
+                    );
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,200 @@
+//! Abstract syntax of the policy language.
+//!
+//! The AST stays close to the text; positions are kept on the nodes the
+//! semantic checker reports on. Terms and comparison operators reuse the
+//! core types directly ([`Term`], [`CmpOp`], [`ValueType`]).
+
+use oasis_core::{CmpOp, Term, ValueType};
+
+use crate::error::Pos;
+
+/// A whole policy document: one block per service.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct PolicyAst {
+    /// Service blocks in document order.
+    pub services: Vec<ServiceBlock>,
+}
+
+/// `service name { … }`
+#[derive(Debug, Clone, PartialEq)]
+pub struct ServiceBlock {
+    /// The service name (matches `OasisService::id`). May contain dots.
+    pub name: String,
+    /// Where the block starts.
+    pub pos: Pos,
+    /// `role` / `initial role` declarations.
+    pub roles: Vec<RoleDecl>,
+    /// `appointment` declarations.
+    pub appointments: Vec<AppointmentDecl>,
+    /// `appointer R may issue A;` grants.
+    pub appointers: Vec<AppointerDecl>,
+    /// Role activation rules.
+    pub rules: Vec<RuleDecl>,
+    /// Service-use (invocation) rules.
+    pub invocations: Vec<InvokeDecl>,
+}
+
+/// `role name(param: type, …);` optionally prefixed `initial`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RoleDecl {
+    /// Role name.
+    pub name: String,
+    /// Typed parameters.
+    pub params: Vec<(String, ValueType)>,
+    /// Whether activating it may start a session.
+    pub initial: bool,
+    /// Source position.
+    pub pos: Pos,
+}
+
+/// `appointment name(param: type, …);`
+#[derive(Debug, Clone, PartialEq)]
+pub struct AppointmentDecl {
+    /// Appointment kind name.
+    pub name: String,
+    /// Typed parameters.
+    pub params: Vec<(String, ValueType)>,
+    /// Source position.
+    pub pos: Pos,
+}
+
+/// `appointer role may issue appointment;`
+#[derive(Debug, Clone, PartialEq)]
+pub struct AppointerDecl {
+    /// The privileged role.
+    pub role: String,
+    /// The appointment kind it may issue.
+    pub appointment: String,
+    /// Source position.
+    pub pos: Pos,
+}
+
+/// One body condition together with its source position.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Condition {
+    /// The condition itself.
+    pub kind: ConditionKind,
+    /// Source position.
+    pub pos: Pos,
+}
+
+/// The condition forms of the language.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ConditionKind {
+    /// `prereq [svc::]role(args)`
+    Prereq {
+        /// Foreign issuing service, if qualified.
+        service: Option<String>,
+        /// Role name.
+        role: String,
+        /// Arguments.
+        args: Vec<Term>,
+    },
+    /// `appointment [svc::]name(args)`
+    Appointment {
+        /// Foreign issuing service, if qualified.
+        service: Option<String>,
+        /// Appointment kind.
+        name: String,
+        /// Arguments.
+        args: Vec<Term>,
+    },
+    /// `env [not] relation(args)`
+    Fact {
+        /// Relation name.
+        relation: String,
+        /// Arguments.
+        args: Vec<Term>,
+        /// Whether negated.
+        negated: bool,
+    },
+    /// `env term op term`
+    Compare {
+        /// Left operand.
+        left: Term,
+        /// Operator.
+        op: CmpOp,
+        /// Right operand.
+        right: Term,
+    },
+    /// `env ?predicate(args)`
+    Predicate {
+        /// Predicate name.
+        name: String,
+        /// Arguments.
+        args: Vec<Term>,
+    },
+}
+
+/// `rule role(args) <- conditions [membership [i, …]];`
+#[derive(Debug, Clone, PartialEq)]
+pub struct RuleDecl {
+    /// Target role.
+    pub role: String,
+    /// Head argument terms.
+    pub head_args: Vec<Term>,
+    /// Body conditions.
+    pub conditions: Vec<Condition>,
+    /// Retained condition indices; `None` means "retain all".
+    pub membership: Option<Vec<usize>>,
+    /// Source position.
+    pub pos: Pos,
+}
+
+/// `invoke method(args) <- conditions;`
+#[derive(Debug, Clone, PartialEq)]
+pub struct InvokeDecl {
+    /// Method name.
+    pub method: String,
+    /// Head argument terms.
+    pub head_args: Vec<Term>,
+    /// Body conditions.
+    pub conditions: Vec<Condition>,
+    /// Source position.
+    pub pos: Pos,
+}
+
+impl RuleDecl {
+    /// The effective membership indices: explicit list, or all conditions.
+    pub fn effective_membership(&self) -> Vec<usize> {
+        match &self.membership {
+            Some(list) => list.clone(),
+            None => (0..self.conditions.len()).collect(),
+        }
+    }
+}
+
+impl PolicyAst {
+    /// A copy with every source position zeroed — use when comparing ASTs
+    /// for structural equality (e.g. print/parse round-trips, where
+    /// positions necessarily differ).
+    pub fn normalized(&self) -> PolicyAst {
+        let zero = Pos::default();
+        let mut ast = self.clone();
+        for s in &mut ast.services {
+            s.pos = zero;
+            for r in &mut s.roles {
+                r.pos = zero;
+            }
+            for a in &mut s.appointments {
+                a.pos = zero;
+            }
+            for g in &mut s.appointers {
+                g.pos = zero;
+            }
+            for rule in &mut s.rules {
+                rule.pos = zero;
+                for c in &mut rule.conditions {
+                    c.pos = zero;
+                }
+            }
+            for inv in &mut s.invocations {
+                inv.pos = zero;
+                for c in &mut inv.conditions {
+                    c.pos = zero;
+                }
+            }
+        }
+        ast
+    }
+}

@@ -1,0 +1,12 @@
+//! `policyc` — check, format, and describe OASIS policy documents.
+//!
+//! ```console
+//! $ policyc check hospital.policy
+//! $ policyc format hospital.policy
+//! $ policyc describe hospital.policy
+//! ```
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    std::process::exit(oasis_policy::tool::main_with_args(&args));
+}

@@ -1,0 +1,97 @@
+//! Compilation of a checked AST onto a live `OasisService`.
+
+use std::sync::Arc;
+
+use oasis_core::{Atom, OasisService, ServiceId};
+
+use crate::ast::*;
+use crate::check::referenced_relations;
+use crate::error::PolicyError;
+
+pub(crate) fn apply(ast: &PolicyAst, service: &Arc<OasisService>) -> Result<(), PolicyError> {
+    let block = ast
+        .services
+        .iter()
+        .find(|s| s.name == service.id().as_str())
+        .ok_or_else(|| PolicyError::NoSuchService(service.id().to_string()))?;
+
+    // Declare referenced env relations so rules never hit an undefined
+    // relation at evaluation time.
+    for (relation, arity) in referenced_relations(block) {
+        service
+            .facts()
+            .define_if_absent(relation, arity)
+            .map_err(|e| PolicyError::Core(e.to_string()))?;
+    }
+
+    for role in &block.roles {
+        let params: Vec<(&str, oasis_core::ValueType)> = role
+            .params
+            .iter()
+            .map(|(n, t)| (n.as_str(), *t))
+            .collect();
+        service.define_role(role.name.as_str(), &params, role.initial)?;
+    }
+
+    for grant in &block.appointers {
+        service.grant_appointer(grant.role.as_str(), grant.appointment.as_str())?;
+    }
+
+    for rule in &block.rules {
+        let conditions: Vec<Atom> = rule.conditions.iter().map(compile_condition).collect();
+        service.add_activation_rule(
+            rule.role.as_str(),
+            rule.head_args.clone(),
+            conditions,
+            rule.effective_membership(),
+        )?;
+    }
+
+    for inv in &block.invocations {
+        let conditions: Vec<Atom> = inv.conditions.iter().map(compile_condition).collect();
+        service.add_invocation_rule(inv.method.as_str(), inv.head_args.clone(), conditions);
+    }
+
+    Ok(())
+}
+
+fn compile_condition(cond: &Condition) -> Atom {
+    match &cond.kind {
+        ConditionKind::Prereq {
+            service,
+            role,
+            args,
+        } => Atom::Prereq {
+            service: service.as_ref().map(|s| ServiceId::new(s.clone())),
+            role: role.as_str().into(),
+            args: args.clone(),
+        },
+        ConditionKind::Appointment {
+            service,
+            name,
+            args,
+        } => Atom::Appointment {
+            issuer: service.as_ref().map(|s| ServiceId::new(s.clone())),
+            name: name.clone(),
+            args: args.clone(),
+        },
+        ConditionKind::Fact {
+            relation,
+            args,
+            negated,
+        } => Atom::EnvFact {
+            relation: relation.clone(),
+            args: args.clone(),
+            negated: *negated,
+        },
+        ConditionKind::Compare { left, op, right } => Atom::EnvCompare {
+            left: left.clone(),
+            op: *op,
+            right: right.clone(),
+        },
+        ConditionKind::Predicate { name, args } => Atom::EnvPredicate {
+            name: name.clone(),
+            args: args.clone(),
+        },
+    }
+}

@@ -1,0 +1,165 @@
+//! Policy-language errors with source positions.
+
+use thiserror::Error;
+
+/// A position in the policy source text (1-based).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct Pos {
+    /// Line number, starting at 1.
+    pub line: u32,
+    /// Column number, starting at 1.
+    pub col: u32,
+}
+
+impl std::fmt::Display for Pos {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}:{}", self.line, self.col)
+    }
+}
+
+/// Errors raised while parsing, checking, or applying a policy.
+#[derive(Debug, Error, Clone, PartialEq)]
+pub enum PolicyError {
+    /// The lexer met a character it cannot start a token with.
+    #[error("{pos}: unexpected character `{found}`")]
+    UnexpectedChar {
+        /// Where.
+        pos: Pos,
+        /// The offending character.
+        found: char,
+    },
+
+    /// A string literal ran to end of input.
+    #[error("{pos}: unterminated string literal")]
+    UnterminatedString {
+        /// Where the literal started.
+        pos: Pos,
+    },
+
+    /// A number or time literal did not fit its type.
+    #[error("{pos}: malformed literal `{text}`")]
+    BadLiteral {
+        /// Where.
+        pos: Pos,
+        /// The offending text.
+        text: String,
+    },
+
+    /// The parser expected something else.
+    #[error("{pos}: expected {expected}, found `{found}`")]
+    Unexpected {
+        /// Where.
+        pos: Pos,
+        /// What would have been valid.
+        expected: String,
+        /// What was actually there.
+        found: String,
+    },
+
+    /// A rule or condition referenced an undefined role.
+    #[error("{pos}: unknown role `{role}` in service `{service}`")]
+    UnknownRole {
+        /// Where.
+        pos: Pos,
+        /// The service block.
+        service: String,
+        /// The missing role.
+        role: String,
+    },
+
+    /// A condition referenced an undefined appointment kind.
+    #[error("{pos}: unknown appointment `{name}` in service `{service}`")]
+    UnknownAppointment {
+        /// Where.
+        pos: Pos,
+        /// The service block.
+        service: String,
+        /// The missing appointment.
+        name: String,
+    },
+
+    /// Arity mismatch against a declared role or appointment.
+    #[error("{pos}: `{name}` takes {expected} arguments, got {actual}")]
+    Arity {
+        /// Where.
+        pos: Pos,
+        /// The role/appointment.
+        name: String,
+        /// Declared arity.
+        expected: usize,
+        /// Written arity.
+        actual: usize,
+    },
+
+    /// A constant argument's type contradicts the declared schema.
+    #[error("{pos}: `{name}` argument {index} expects {expected}, got a {actual}")]
+    ArgType {
+        /// Where.
+        pos: Pos,
+        /// The role/appointment.
+        name: String,
+        /// Zero-based argument position.
+        index: usize,
+        /// Declared type.
+        expected: String,
+        /// Written literal's type.
+        actual: String,
+    },
+
+    /// A name was declared twice in one service block.
+    #[error("{pos}: `{name}` is declared twice in service `{service}`")]
+    Duplicate {
+        /// Where the second declaration is.
+        pos: Pos,
+        /// The service block.
+        service: String,
+        /// The duplicated name.
+        name: String,
+    },
+
+    /// A membership index is out of range for its rule.
+    #[error("{pos}: membership index {index} out of range (rule has {conditions} conditions)")]
+    MembershipRange {
+        /// Where.
+        pos: Pos,
+        /// The offending index.
+        index: usize,
+        /// Number of conditions in the rule.
+        conditions: usize,
+    },
+
+    /// A negated condition uses a variable no earlier positive condition
+    /// or head parameter binds (unsafe negation-as-failure).
+    #[error("{pos}: unsafe negation: variable `{var}` is not bound by the head or an earlier positive condition")]
+    UnsafeNegation {
+        /// Where.
+        pos: Pos,
+        /// The unbound variable.
+        var: String,
+    },
+
+    /// No sequence of rule applications can ever activate this role
+    /// (every rule depends, directly or transitively, on the role itself
+    /// or on another ungroundable local role).
+    #[error("role `{role}` in service `{service}` can never be activated (circular prerequisites)")]
+    UngroundableRole {
+        /// The service block.
+        service: String,
+        /// The dead role.
+        role: String,
+    },
+
+    /// `apply_to` was called with a service whose id matches no block.
+    #[error("policy has no service block named `{0}`")]
+    NoSuchService(String),
+
+    /// An error surfaced from the core while installing the policy.
+    #[error("installing policy: {0}")]
+    Core(String),
+}
+
+impl From<oasis_core::OasisError> for PolicyError {
+    fn from(e: oasis_core::OasisError) -> Self {
+        PolicyError::Core(e.to_string())
+    }
+}

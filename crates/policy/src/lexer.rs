@@ -1,0 +1,481 @@
+//! Tokeniser for the policy language.
+
+use crate::error::{PolicyError, Pos};
+
+/// A lexical token.
+#[derive(Debug, Clone, PartialEq)]
+pub(crate) enum Tok {
+    /// Lower-case identifier (also used for keywords; the parser decides).
+    Ident(String),
+    /// Capitalised or `$`-prefixed variable name.
+    Variable(String),
+    /// Integer literal.
+    Int(i64),
+    /// Time literal `@123`.
+    Time(u64),
+    /// String literal.
+    Str(String),
+    /// `_`
+    Underscore,
+    /// `{`
+    LBrace,
+    /// `}`
+    RBrace,
+    /// `(`
+    LParen,
+    /// `)`
+    RParen,
+    /// `[`
+    LBracket,
+    /// `]`
+    RBracket,
+    /// `,`
+    Comma,
+    /// `;`
+    Semi,
+    /// `:`
+    Colon,
+    /// `::`
+    ColonColon,
+    /// `.`
+    Dot,
+    /// `?`
+    Question,
+    /// `<-`
+    Arrow,
+    /// `==`
+    EqEq,
+    /// `!=`
+    NotEq,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+    /// End of input.
+    Eof,
+}
+
+impl std::fmt::Display for Tok {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Tok::Ident(s) => write!(f, "{s}"),
+            Tok::Variable(s) => write!(f, "{s}"),
+            Tok::Int(i) => write!(f, "{i}"),
+            Tok::Time(t) => write!(f, "@{t}"),
+            Tok::Str(s) => write!(f, "{s:?}"),
+            Tok::Underscore => f.write_str("_"),
+            Tok::LBrace => f.write_str("{"),
+            Tok::RBrace => f.write_str("}"),
+            Tok::LParen => f.write_str("("),
+            Tok::RParen => f.write_str(")"),
+            Tok::LBracket => f.write_str("["),
+            Tok::RBracket => f.write_str("]"),
+            Tok::Comma => f.write_str(","),
+            Tok::Semi => f.write_str(";"),
+            Tok::Colon => f.write_str(":"),
+            Tok::ColonColon => f.write_str("::"),
+            Tok::Dot => f.write_str("."),
+            Tok::Question => f.write_str("?"),
+            Tok::Arrow => f.write_str("<-"),
+            Tok::EqEq => f.write_str("=="),
+            Tok::NotEq => f.write_str("!="),
+            Tok::Lt => f.write_str("<"),
+            Tok::Le => f.write_str("<="),
+            Tok::Gt => f.write_str(">"),
+            Tok::Ge => f.write_str(">="),
+            Tok::Eof => f.write_str("<eof>"),
+        }
+    }
+}
+
+/// A token with its source position.
+#[derive(Debug, Clone, PartialEq)]
+pub(crate) struct Spanned {
+    pub tok: Tok,
+    pub pos: Pos,
+}
+
+pub(crate) fn lex(source: &str) -> Result<Vec<Spanned>, PolicyError> {
+    let mut out = Vec::new();
+    let chars: Vec<char> = source.chars().collect();
+    let mut i = 0;
+    let mut line: u32 = 1;
+    let mut col: u32 = 1;
+
+    macro_rules! pos {
+        () => {
+            Pos { line, col }
+        };
+    }
+    macro_rules! bump {
+        () => {{
+            if chars[i] == '\n' {
+                line += 1;
+                col = 1;
+            } else {
+                col += 1;
+            }
+            i += 1;
+        }};
+    }
+
+    while i < chars.len() {
+        let c = chars[i];
+        let start = pos!();
+        match c {
+            ' ' | '\t' | '\r' | '\n' => bump!(),
+            '#' => {
+                // Line comment.
+                while i < chars.len() && chars[i] != '\n' {
+                    bump!();
+                }
+            }
+            '{' => {
+                out.push(Spanned { tok: Tok::LBrace, pos: start });
+                bump!();
+            }
+            '}' => {
+                out.push(Spanned { tok: Tok::RBrace, pos: start });
+                bump!();
+            }
+            '(' => {
+                out.push(Spanned { tok: Tok::LParen, pos: start });
+                bump!();
+            }
+            ')' => {
+                out.push(Spanned { tok: Tok::RParen, pos: start });
+                bump!();
+            }
+            '[' => {
+                out.push(Spanned { tok: Tok::LBracket, pos: start });
+                bump!();
+            }
+            ']' => {
+                out.push(Spanned { tok: Tok::RBracket, pos: start });
+                bump!();
+            }
+            ',' => {
+                out.push(Spanned { tok: Tok::Comma, pos: start });
+                bump!();
+            }
+            ';' => {
+                out.push(Spanned { tok: Tok::Semi, pos: start });
+                bump!();
+            }
+            '.' => {
+                out.push(Spanned { tok: Tok::Dot, pos: start });
+                bump!();
+            }
+            '?' => {
+                out.push(Spanned { tok: Tok::Question, pos: start });
+                bump!();
+            }
+            ':' => {
+                bump!();
+                if i < chars.len() && chars[i] == ':' {
+                    bump!();
+                    out.push(Spanned { tok: Tok::ColonColon, pos: start });
+                } else {
+                    out.push(Spanned { tok: Tok::Colon, pos: start });
+                }
+            }
+            '<' => {
+                bump!();
+                if i < chars.len() && chars[i] == '-' {
+                    bump!();
+                    out.push(Spanned { tok: Tok::Arrow, pos: start });
+                } else if i < chars.len() && chars[i] == '=' {
+                    bump!();
+                    out.push(Spanned { tok: Tok::Le, pos: start });
+                } else {
+                    out.push(Spanned { tok: Tok::Lt, pos: start });
+                }
+            }
+            '>' => {
+                bump!();
+                if i < chars.len() && chars[i] == '=' {
+                    bump!();
+                    out.push(Spanned { tok: Tok::Ge, pos: start });
+                } else {
+                    out.push(Spanned { tok: Tok::Gt, pos: start });
+                }
+            }
+            '=' => {
+                bump!();
+                if i < chars.len() && chars[i] == '=' {
+                    bump!();
+                    out.push(Spanned { tok: Tok::EqEq, pos: start });
+                } else {
+                    return Err(PolicyError::UnexpectedChar { pos: start, found: '=' });
+                }
+            }
+            '!' => {
+                bump!();
+                if i < chars.len() && chars[i] == '=' {
+                    bump!();
+                    out.push(Spanned { tok: Tok::NotEq, pos: start });
+                } else {
+                    return Err(PolicyError::UnexpectedChar { pos: start, found: '!' });
+                }
+            }
+            '"' => {
+                bump!();
+                let mut s = String::new();
+                loop {
+                    if i >= chars.len() {
+                        return Err(PolicyError::UnterminatedString { pos: start });
+                    }
+                    match chars[i] {
+                        '"' => {
+                            bump!();
+                            break;
+                        }
+                        '\\' => {
+                            bump!();
+                            if i >= chars.len() {
+                                return Err(PolicyError::UnterminatedString { pos: start });
+                            }
+                            let esc = chars[i];
+                            bump!();
+                            s.push(match esc {
+                                'n' => '\n',
+                                't' => '\t',
+                                '\\' => '\\',
+                                '"' => '"',
+                                other => other,
+                            });
+                        }
+                        other => {
+                            s.push(other);
+                            bump!();
+                        }
+                    }
+                }
+                out.push(Spanned { tok: Tok::Str(s), pos: start });
+            }
+            '@' => {
+                bump!();
+                let mut text = String::new();
+                while i < chars.len() && chars[i].is_ascii_digit() {
+                    text.push(chars[i]);
+                    bump!();
+                }
+                let value = text.parse::<u64>().map_err(|_| PolicyError::BadLiteral {
+                    pos: start,
+                    text: format!("@{text}"),
+                })?;
+                out.push(Spanned { tok: Tok::Time(value), pos: start });
+            }
+            '-' | '0'..='9' => {
+                let mut text = String::new();
+                if c == '-' {
+                    text.push('-');
+                    bump!();
+                }
+                while i < chars.len() && chars[i].is_ascii_digit() {
+                    text.push(chars[i]);
+                    bump!();
+                }
+                if text == "-" || text.is_empty() {
+                    return Err(PolicyError::UnexpectedChar { pos: start, found: c });
+                }
+                let value = text.parse::<i64>().map_err(|_| PolicyError::BadLiteral {
+                    pos: start,
+                    text: text.clone(),
+                })?;
+                out.push(Spanned { tok: Tok::Int(value), pos: start });
+            }
+            '_' => {
+                // Bare underscore is the wildcard; `_foo` is a variable.
+                let mut text = String::from('_');
+                bump!();
+                while i < chars.len() && (chars[i].is_alphanumeric() || chars[i] == '_') {
+                    text.push(chars[i]);
+                    bump!();
+                }
+                if text == "_" {
+                    out.push(Spanned { tok: Tok::Underscore, pos: start });
+                } else {
+                    out.push(Spanned { tok: Tok::Variable(text), pos: start });
+                }
+            }
+            '$' => {
+                let mut text = String::from('$');
+                bump!();
+                while i < chars.len() && (chars[i].is_alphanumeric() || chars[i] == '_') {
+                    text.push(chars[i]);
+                    bump!();
+                }
+                out.push(Spanned { tok: Tok::Variable(text), pos: start });
+            }
+            c if c.is_ascii_uppercase() => {
+                let mut text = String::new();
+                while i < chars.len() && (chars[i].is_alphanumeric() || chars[i] == '_') {
+                    text.push(chars[i]);
+                    bump!();
+                }
+                out.push(Spanned { tok: Tok::Variable(text), pos: start });
+            }
+            c if c.is_ascii_lowercase() => {
+                let mut text = String::new();
+                while i < chars.len() && (chars[i].is_alphanumeric() || chars[i] == '_' || chars[i] == '-')
+                {
+                    // Allow dashes inside identifiers (patient ids like
+                    // `p-1`), but not as the final character before
+                    // whitespace followed by a digit… keep it simple:
+                    // dash only when followed by alphanumeric.
+                    if chars[i] == '-'
+                        && !(i + 1 < chars.len() && chars[i + 1].is_alphanumeric())
+                    {
+                        break;
+                    }
+                    text.push(chars[i]);
+                    bump!();
+                }
+                out.push(Spanned { tok: Tok::Ident(text), pos: start });
+            }
+            other => {
+                return Err(PolicyError::UnexpectedChar {
+                    pos: start,
+                    found: other,
+                })
+            }
+        }
+    }
+    out.push(Spanned {
+        tok: Tok::Eof,
+        pos: pos!(),
+    });
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toks(src: &str) -> Vec<Tok> {
+        lex(src).unwrap().into_iter().map(|s| s.tok).collect()
+    }
+
+    #[test]
+    fn lexes_symbols_and_keywords() {
+        assert_eq!(
+            toks("service s { } ;"),
+            vec![
+                Tok::Ident("service".into()),
+                Tok::Ident("s".into()),
+                Tok::LBrace,
+                Tok::RBrace,
+                Tok::Semi,
+                Tok::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn lexes_arrow_and_comparisons() {
+        assert_eq!(
+            toks("<- <= >= == != < >"),
+            vec![
+                Tok::Arrow,
+                Tok::Le,
+                Tok::Ge,
+                Tok::EqEq,
+                Tok::NotEq,
+                Tok::Lt,
+                Tok::Gt,
+                Tok::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn distinguishes_variables_and_idents() {
+        assert_eq!(
+            toks("Doctor doctor $now _ _tail"),
+            vec![
+                Tok::Variable("Doctor".into()),
+                Tok::Ident("doctor".into()),
+                Tok::Variable("$now".into()),
+                Tok::Underscore,
+                Tok::Variable("_tail".into()),
+                Tok::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn lexes_literals() {
+        assert_eq!(
+            toks("42 -7 @100 \"hi\\n\" true"),
+            vec![
+                Tok::Int(42),
+                Tok::Int(-7),
+                Tok::Time(100),
+                Tok::Str("hi\n".into()),
+                Tok::Ident("true".into()),
+                Tok::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn dashed_identifiers() {
+        assert_eq!(
+            toks("p-1 ward-3-a"),
+            vec![
+                Tok::Ident("p-1".into()),
+                Tok::Ident("ward-3-a".into()),
+                Tok::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn comments_are_skipped() {
+        assert_eq!(
+            toks("a # comment\n b"),
+            vec![Tok::Ident("a".into()), Tok::Ident("b".into()), Tok::Eof]
+        );
+    }
+
+    #[test]
+    fn double_colon() {
+        assert_eq!(
+            toks("login::logged_in a:b"),
+            vec![
+                Tok::Ident("login".into()),
+                Tok::ColonColon,
+                Tok::Ident("logged_in".into()),
+                Tok::Ident("a".into()),
+                Tok::Colon,
+                Tok::Ident("b".into()),
+                Tok::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn positions_track_lines() {
+        let spanned = lex("a\n  b").unwrap();
+        assert_eq!(spanned[0].pos, Pos { line: 1, col: 1 });
+        assert_eq!(spanned[1].pos, Pos { line: 2, col: 3 });
+    }
+
+    #[test]
+    fn bad_characters_rejected() {
+        assert!(matches!(
+            lex("a & b"),
+            Err(PolicyError::UnexpectedChar { found: '&', .. })
+        ));
+        assert!(matches!(
+            lex("\"unterminated"),
+            Err(PolicyError::UnterminatedString { .. })
+        ));
+        assert!(matches!(lex("= x"), Err(PolicyError::UnexpectedChar { .. })));
+    }
+}

@@ -1,0 +1,143 @@
+//! A textual policy language for OASIS services.
+//!
+//! The paper stresses that "the formal expression of policy and its
+//! automatic deployment" is essential to large-scale use of OASIS
+//! (Sect. 1, citing ref \[1\], which translates pseudo-natural-language
+//! policy into first-order predicate calculus). This crate provides that
+//! pipeline: a Datalog-flavoured text format, a parser, semantic analysis
+//! (arity/type checking, unsafe-negation detection, ungroundable-role
+//! detection), and a compiler into `oasis-core` rules.
+//!
+//! # The language
+//!
+//! ```text
+//! service hospital {
+//!   initial role logged_in(user: id);
+//!   role doctor_on_duty(doctor: id);
+//!   role treating_doctor(doctor: id, patient: id);
+//!   appointment assigned(doctor: id, patient: id);
+//!   appointer doctor_on_duty may issue assigned;
+//!
+//!   rule logged_in(U) <- env password_ok(U);
+//!
+//!   rule doctor_on_duty(D) <- prereq logged_in(D);
+//!
+//!   rule treating_doctor(D, P) <-
+//!       prereq doctor_on_duty(D),
+//!       appointment assigned(D, P),
+//!       env registered(D, P),
+//!       env not excluded(P, D)
+//!       membership [0, 2, 3];
+//!
+//!   invoke read_record(P) <- prereq treating_doctor(_, P);
+//! }
+//! ```
+//!
+//! Conventions (Prolog-style): capitalised names and `$`-names are
+//! variables (`$now` is pre-bound to the evaluation time), lower-case
+//! names are identifier constants, `_` is a wildcard, `@100` is a time
+//! literal, `"…"` a string, `true`/`false` booleans. `svc::role` names a
+//! role of another service. Conditions are indexed from 0 by the
+//! `membership [...]` clause; when the clause is omitted **every**
+//! condition is retained (the most active-secure default).
+//!
+//! # Example
+//!
+//! ```
+//! use oasis_policy::Policy;
+//!
+//! let policy = Policy::parse(
+//!     "service demo {
+//!        initial role guest();
+//!        rule guest() <- ;
+//!      }",
+//! )?;
+//! assert_eq!(policy.service_names(), vec!["demo".to_string()]);
+//! # Ok::<(), oasis_policy::PolicyError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod ast;
+mod check;
+mod compile;
+mod error;
+mod lexer;
+mod parser;
+mod print;
+pub mod tool;
+
+pub use ast::{
+    AppointmentDecl, Condition, InvokeDecl, PolicyAst, RoleDecl, RuleDecl, ServiceBlock,
+};
+pub use error::PolicyError;
+
+use std::sync::Arc;
+
+use oasis_core::OasisService;
+
+/// A parsed and semantically checked policy document.
+///
+/// See the [crate-level documentation](crate) for the language and an
+/// example.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Policy {
+    ast: PolicyAst,
+}
+
+impl Policy {
+    /// Parses and checks a policy document.
+    ///
+    /// # Errors
+    ///
+    /// [`PolicyError`] describing the first lexical, syntactic, or
+    /// semantic problem, with line/column positions.
+    pub fn parse(source: &str) -> Result<Self, PolicyError> {
+        let ast = parser::parse(source)?;
+        check::check(&ast)?;
+        Ok(Self { ast })
+    }
+
+    /// The underlying syntax tree.
+    pub fn ast(&self) -> &PolicyAst {
+        &self.ast
+    }
+
+    /// The service blocks declared, in document order.
+    pub fn service_names(&self) -> Vec<String> {
+        self.ast.services.iter().map(|s| s.name.clone()).collect()
+    }
+
+    /// Applies the block whose name matches `service.id()` to the service:
+    /// defines its roles, installs its rules, grants its appointer
+    /// privileges, and declares the env relations it references on the
+    /// service's fact store.
+    ///
+    /// # Errors
+    ///
+    /// [`PolicyError::NoSuchService`] when no block matches, or a
+    /// compilation error surfaced from `oasis-core`.
+    pub fn apply_to(&self, service: &Arc<OasisService>) -> Result<(), PolicyError> {
+        compile::apply(&self.ast, service)
+    }
+
+    /// Renders the policy back to canonical text. `Policy::parse` of the
+    /// output yields an equal AST (round-trip property).
+    pub fn to_text(&self) -> String {
+        print::print(&self.ast)
+    }
+}
+
+/// Renders any AST (checked or not) to canonical policy text. Tooling
+/// that constructs ASTs programmatically can use this to emit documents;
+/// [`Policy::to_text`] is the checked-policy convenience.
+pub fn print_ast(ast: &PolicyAst) -> String {
+    print::print(ast)
+}
+
+impl std::fmt::Display for Policy {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.to_text())
+    }
+}

@@ -1,0 +1,233 @@
+//! The driver behind the `policyc` command-line tool: check, format, and
+//! describe OASIS policy documents.
+//!
+//! Lives in the library (rather than the binary) so it is unit-testable;
+//! the `policyc` binary is a thin wrapper.
+
+use std::fmt::Write as _;
+
+use crate::ast::ConditionKind;
+use crate::Policy;
+
+/// What `policyc` was asked to do.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ToolMode {
+    /// Parse and semantically check; report OK or the first error.
+    Check,
+    /// Check, then emit the canonical pretty-printed form.
+    Format,
+    /// Check, then print a human-readable inventory of the policy.
+    Describe,
+}
+
+impl std::str::FromStr for ToolMode {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "check" => Ok(ToolMode::Check),
+            "format" | "fmt" => Ok(ToolMode::Format),
+            "describe" => Ok(ToolMode::Describe),
+            other => Err(format!("unknown mode `{other}` (expected check|format|describe)")),
+        }
+    }
+}
+
+/// The outcome of one run: process exit code plus the text to print.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ToolOutput {
+    /// 0 on success, 1 on a policy error.
+    pub exit_code: i32,
+    /// Text for stdout (or stderr when `exit_code != 0`).
+    pub text: String,
+}
+
+/// Runs the tool over policy `source` (typically a file's contents).
+pub fn run(mode: ToolMode, source: &str) -> ToolOutput {
+    match Policy::parse(source) {
+        Err(err) => ToolOutput {
+            exit_code: 1,
+            text: format!("error: {err}\n"),
+        },
+        Ok(policy) => match mode {
+            ToolMode::Check => ToolOutput {
+                exit_code: 0,
+                text: format!("ok: {} service block(s)\n", policy.service_names().len()),
+            },
+            ToolMode::Format => ToolOutput {
+                exit_code: 0,
+                text: policy.to_text(),
+            },
+            ToolMode::Describe => ToolOutput {
+                exit_code: 0,
+                text: describe(&policy),
+            },
+        },
+    }
+}
+
+/// Renders a human-readable inventory: roles, appointments, rule counts,
+/// and the cross-service credential edges (which service trusts whose
+/// certificates — the SLA surface an administrator must negotiate).
+pub fn describe(policy: &Policy) -> String {
+    let mut out = String::new();
+    for block in &policy.ast().services {
+        let _ = writeln!(out, "service {}", block.name);
+        for role in &block.roles {
+            let rules = block.rules.iter().filter(|r| r.role == role.name).count();
+            let initial = if role.initial { " (initial)" } else { "" };
+            let _ = writeln!(
+                out,
+                "  role {}/{}{} — {} rule(s)",
+                role.name,
+                role.params.len(),
+                initial,
+                rules
+            );
+        }
+        for appt in &block.appointments {
+            let issuers: Vec<&str> = block
+                .appointers
+                .iter()
+                .filter(|g| g.appointment == appt.name)
+                .map(|g| g.role.as_str())
+                .collect();
+            let _ = writeln!(
+                out,
+                "  appointment {}/{} — issued by [{}]",
+                appt.name,
+                appt.params.len(),
+                issuers.join(", ")
+            );
+        }
+        for inv in &block.invocations {
+            let _ = writeln!(out, "  method {}/{}", inv.method, inv.head_args.len());
+        }
+
+        // Foreign-credential edges: what this service accepts from others.
+        let mut edges: Vec<String> = Vec::new();
+        let all_conditions = block
+            .rules
+            .iter()
+            .flat_map(|r| r.conditions.iter())
+            .chain(block.invocations.iter().flat_map(|i| i.conditions.iter()));
+        for cond in all_conditions {
+            match &cond.kind {
+                ConditionKind::Prereq {
+                    service: Some(svc),
+                    role,
+                    ..
+                } => edges.push(format!("rmc {svc}::{role}")),
+                ConditionKind::Appointment {
+                    service: Some(svc),
+                    name,
+                    ..
+                } => edges.push(format!("appointment {svc}::{name}")),
+                _ => {}
+            }
+        }
+        edges.sort();
+        edges.dedup();
+        for edge in edges {
+            let _ = writeln!(out, "  accepts {edge}  [needs SLA]");
+        }
+    }
+    out
+}
+
+/// Command-line entry point used by the `policyc` binary: parses argv,
+/// reads the file, runs, prints, and returns the exit code.
+pub fn main_with_args(args: &[String]) -> i32 {
+    let (mode, path) = match args {
+        [mode, path] => match mode.parse::<ToolMode>() {
+            Ok(m) => (m, path),
+            Err(e) => {
+                eprintln!("policyc: {e}");
+                return 2;
+            }
+        },
+        _ => {
+            eprintln!("usage: policyc <check|format|describe> <policy-file>");
+            return 2;
+        }
+    };
+    let source = match std::fs::read_to_string(path) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("policyc: cannot read `{path}`: {e}");
+            return 2;
+        }
+    };
+    let output = run(mode, &source);
+    if output.exit_code == 0 {
+        print!("{}", output.text);
+    } else {
+        eprint!("{}", output.text);
+    }
+    output.exit_code
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SAMPLE: &str = "
+service hospital {
+  initial role logged_in(u: id);
+  role doctor(d: id);
+  appointment assigned(d: id, p: id);
+  appointer doctor may issue assigned;
+  rule logged_in(U) <- env password_ok(U);
+  rule doctor(D) <- prereq logged_in(D);
+  invoke read(P) <- prereq other.svc::treating(_, P);
+}
+";
+
+    #[test]
+    fn check_reports_ok() {
+        let out = run(ToolMode::Check, SAMPLE);
+        assert_eq!(out.exit_code, 0);
+        assert!(out.text.contains("ok: 1 service block(s)"));
+    }
+
+    #[test]
+    fn check_reports_errors_with_position() {
+        let out = run(ToolMode::Check, "service s { rule ghost() <- ; }");
+        assert_eq!(out.exit_code, 1);
+        assert!(out.text.contains("unknown role `ghost`"), "{}", out.text);
+    }
+
+    #[test]
+    fn format_is_idempotent() {
+        let once = run(ToolMode::Format, SAMPLE);
+        assert_eq!(once.exit_code, 0);
+        let twice = run(ToolMode::Format, &once.text);
+        assert_eq!(once.text, twice.text);
+    }
+
+    #[test]
+    fn describe_inventories_the_policy() {
+        let out = run(ToolMode::Describe, SAMPLE);
+        assert_eq!(out.exit_code, 0);
+        assert!(out.text.contains("role logged_in/1 (initial) — 1 rule(s)"));
+        assert!(out.text.contains("appointment assigned/2 — issued by [doctor]"));
+        assert!(out.text.contains("method read/1"));
+        assert!(out.text.contains("accepts rmc other.svc::treating  [needs SLA]"));
+    }
+
+    #[test]
+    fn mode_parsing() {
+        assert_eq!("check".parse::<ToolMode>().unwrap(), ToolMode::Check);
+        assert_eq!("fmt".parse::<ToolMode>().unwrap(), ToolMode::Format);
+        assert_eq!("describe".parse::<ToolMode>().unwrap(), ToolMode::Describe);
+        assert!("lint".parse::<ToolMode>().is_err());
+    }
+
+    #[test]
+    fn main_with_bad_args() {
+        assert_eq!(main_with_args(&[]), 2);
+        assert_eq!(main_with_args(&["check".into(), "/no/such/file".into()]), 2);
+        assert_eq!(main_with_args(&["bogus".into(), "x".into()]), 2);
+    }
+}
+

@@ -1,0 +1,74 @@
+//! Robustness properties: the policy front end must never panic, whatever
+//! bytes it is fed — it either parses or returns a positioned error.
+
+use proptest::prelude::*;
+
+use oasis_policy::Policy;
+
+proptest! {
+    /// Arbitrary printable garbage.
+    #[test]
+    fn parser_never_panics_on_arbitrary_text(input in "[ -~\\n\\t]{0,300}") {
+        let _ = Policy::parse(&input);
+    }
+
+    /// Arbitrary unicode.
+    #[test]
+    fn parser_never_panics_on_unicode(input in "\\PC{0,120}") {
+        let _ = Policy::parse(&input);
+    }
+
+    /// Structured-ish garbage: valid tokens in random order. This reaches
+    /// deep into the parser where naive index arithmetic would slip.
+    #[test]
+    fn parser_never_panics_on_token_soup(
+        tokens in proptest::collection::vec(
+            prop_oneof![
+                Just("service".to_string()),
+                Just("role".to_string()),
+                Just("initial".to_string()),
+                Just("rule".to_string()),
+                Just("invoke".to_string()),
+                Just("appointment".to_string()),
+                Just("appointer".to_string()),
+                Just("membership".to_string()),
+                Just("prereq".to_string()),
+                Just("env".to_string()),
+                Just("not".to_string()),
+                Just("<-".to_string()),
+                Just("{".to_string()),
+                Just("}".to_string()),
+                Just("(".to_string()),
+                Just(")".to_string()),
+                Just("[".to_string()),
+                Just("]".to_string()),
+                Just(";".to_string()),
+                Just(",".to_string()),
+                Just("::".to_string()),
+                Just(":".to_string()),
+                Just("id".to_string()),
+                Just("x".to_string()),
+                Just("X".to_string()),
+                Just("_".to_string()),
+                Just("42".to_string()),
+                Just("@7".to_string()),
+                Just("\"s\"".to_string()),
+            ],
+            0..40,
+        )
+    ) {
+        let input = tokens.join(" ");
+        let _ = Policy::parse(&input);
+    }
+
+    /// Every successfully parsed document pretty-prints and re-parses.
+    #[test]
+    fn accepted_documents_round_trip(input in "[ -~\\n]{0,200}") {
+        if let Ok(policy) = Policy::parse(&input) {
+            let printed = policy.to_text();
+            let reparsed = Policy::parse(&printed)
+                .expect("canonical output of an accepted document must parse");
+            prop_assert_eq!(policy.ast().normalized(), reparsed.ast().normalized());
+        }
+    }
+}

@@ -1,0 +1,176 @@
+//! Metric collection for simulation experiments.
+
+/// A simple exact histogram: stores every sample, answers quantiles.
+///
+/// Experiments here collect at most a few million samples, so exact
+/// storage is simpler and more trustworthy than a sketch.
+///
+/// # Example
+///
+/// ```
+/// use oasis_sim::Histogram;
+///
+/// let mut h = Histogram::new();
+/// for v in [1, 2, 3, 4, 100] {
+///     h.record(v);
+/// }
+/// assert_eq!(h.quantile(0.5), Some(3));
+/// assert_eq!(h.max(), Some(100));
+/// assert_eq!(h.mean(), Some(22.0));
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct Histogram {
+    values: Vec<u64>,
+    sorted: bool,
+}
+
+impl Histogram {
+    /// Creates an empty histogram.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records a sample.
+    pub fn record(&mut self, value: u64) {
+        self.values.push(value);
+        self.sorted = false;
+    }
+
+    /// Number of samples.
+    pub fn count(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Whether no samples have been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+
+    fn ensure_sorted(&mut self) {
+        if !self.sorted {
+            self.values.sort_unstable();
+            self.sorted = true;
+        }
+    }
+
+    /// The `q`-quantile (nearest-rank), `q` in `[0, 1]`. `None` when empty.
+    pub fn quantile(&mut self, q: f64) -> Option<u64> {
+        if self.values.is_empty() {
+            return None;
+        }
+        self.ensure_sorted();
+        let q = q.clamp(0.0, 1.0);
+        let rank = ((q * self.values.len() as f64).ceil() as usize).clamp(1, self.values.len());
+        Some(self.values[rank - 1])
+    }
+
+    /// The median (50th percentile).
+    pub fn median(&mut self) -> Option<u64> {
+        self.quantile(0.5)
+    }
+
+    /// Arithmetic mean. `None` when empty.
+    pub fn mean(&self) -> Option<f64> {
+        if self.values.is_empty() {
+            None
+        } else {
+            Some(self.values.iter().sum::<u64>() as f64 / self.values.len() as f64)
+        }
+    }
+
+    /// Largest sample.
+    pub fn max(&self) -> Option<u64> {
+        self.values.iter().copied().max()
+    }
+
+    /// Smallest sample.
+    pub fn min(&self) -> Option<u64> {
+        self.values.iter().copied().min()
+    }
+
+    /// A one-line summary `n=… p50=… p99=… max=…` for experiment output.
+    pub fn summary(&mut self) -> String {
+        if self.is_empty() {
+            return "n=0".to_string();
+        }
+        format!(
+            "n={} min={} p50={} p90={} p99={} max={} mean={:.1}",
+            self.count(),
+            self.min().unwrap(),
+            self.quantile(0.5).unwrap(),
+            self.quantile(0.9).unwrap(),
+            self.quantile(0.99).unwrap(),
+            self.max().unwrap(),
+            self.mean().unwrap(),
+        )
+    }
+}
+
+impl Extend<u64> for Histogram {
+    fn extend<T: IntoIterator<Item = u64>>(&mut self, iter: T) {
+        self.values.extend(iter);
+        self.sorted = false;
+    }
+}
+
+impl FromIterator<u64> for Histogram {
+    fn from_iter<T: IntoIterator<Item = u64>>(iter: T) -> Self {
+        let mut h = Histogram::new();
+        h.extend(iter);
+        h
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_histogram_returns_none() {
+        let mut h = Histogram::new();
+        assert!(h.is_empty());
+        assert_eq!(h.quantile(0.5), None);
+        assert_eq!(h.mean(), None);
+        assert_eq!(h.max(), None);
+        assert_eq!(h.summary(), "n=0");
+    }
+
+    #[test]
+    fn quantiles_nearest_rank() {
+        let mut h: Histogram = (1..=100).collect();
+        assert_eq!(h.quantile(0.5), Some(50));
+        assert_eq!(h.quantile(0.9), Some(90));
+        assert_eq!(h.quantile(0.99), Some(99));
+        assert_eq!(h.quantile(1.0), Some(100));
+        assert_eq!(h.quantile(0.0), Some(1));
+    }
+
+    #[test]
+    fn stats_basics() {
+        let mut h: Histogram = [5u64, 1, 9].into_iter().collect();
+        assert_eq!(h.min(), Some(1));
+        assert_eq!(h.max(), Some(9));
+        assert_eq!(h.mean(), Some(5.0));
+        assert_eq!(h.median(), Some(5));
+        assert_eq!(h.count(), 3);
+    }
+
+    #[test]
+    fn record_after_quantile_resorts() {
+        let mut h = Histogram::new();
+        h.record(10);
+        assert_eq!(h.median(), Some(10));
+        h.record(1);
+        h.record(2);
+        assert_eq!(h.median(), Some(2));
+    }
+
+    #[test]
+    fn summary_contains_key_stats() {
+        let mut h: Histogram = (1..=10).collect();
+        let s = h.summary();
+        assert!(s.contains("n=10"));
+        assert!(s.contains("p50=5"));
+        assert!(s.contains("max=10"));
+    }
+}

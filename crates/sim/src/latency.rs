@@ -1,0 +1,127 @@
+//! Link latency models.
+
+use rand::Rng;
+use rand::RngCore;
+
+/// A latency distribution, sampled per message.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Latency {
+    /// Every message takes exactly this long.
+    Constant(u64),
+    /// Uniformly distributed in `[lo, hi]` (inclusive).
+    Uniform {
+        /// Minimum latency.
+        lo: u64,
+        /// Maximum latency.
+        hi: u64,
+    },
+    /// Mostly `base`, but a fraction `spike_prob` of messages take
+    /// `spike` instead (tail latency).
+    Spiky {
+        /// Common-case latency.
+        base: u64,
+        /// Tail latency.
+        spike: u64,
+        /// Probability of hitting the tail, in `[0, 1]`.
+        spike_prob: f64,
+    },
+}
+
+impl Latency {
+    /// A LAN-like profile (sub-millisecond scale, ticks ≈ 100 µs).
+    pub fn lan() -> Self {
+        Latency::Uniform { lo: 1, hi: 5 }
+    }
+
+    /// A WAN-like profile (tens of milliseconds, ticks ≈ 100 µs).
+    pub fn wan() -> Self {
+        Latency::Spiky {
+            base: 300,
+            spike: 2_000,
+            spike_prob: 0.01,
+        }
+    }
+
+    /// Samples one delay.
+    pub fn sample(&self, rng: &mut impl RngCore) -> u64 {
+        match *self {
+            Latency::Constant(c) => c,
+            Latency::Uniform { lo, hi } => {
+                if lo >= hi {
+                    lo
+                } else {
+                    rng.random_range(lo..=hi)
+                }
+            }
+            Latency::Spiky {
+                base,
+                spike,
+                spike_prob,
+            } => {
+                if rng.random_bool(spike_prob.clamp(0.0, 1.0)) {
+                    spike
+                } else {
+                    base
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    fn rng() -> ChaCha8Rng {
+        ChaCha8Rng::seed_from_u64(1)
+    }
+
+    #[test]
+    fn constant_is_constant() {
+        let mut r = rng();
+        assert!((0..100).all(|_| Latency::Constant(7).sample(&mut r) == 7));
+    }
+
+    #[test]
+    fn uniform_stays_in_range() {
+        let mut r = rng();
+        let l = Latency::Uniform { lo: 3, hi: 9 };
+        let samples: Vec<u64> = (0..1000).map(|_| l.sample(&mut r)).collect();
+        assert!(samples.iter().all(|&s| (3..=9).contains(&s)));
+        // All values appear over 1000 draws.
+        for v in 3..=9 {
+            assert!(samples.contains(&v), "missing {v}");
+        }
+    }
+
+    #[test]
+    fn degenerate_uniform() {
+        let mut r = rng();
+        assert_eq!(Latency::Uniform { lo: 5, hi: 5 }.sample(&mut r), 5);
+    }
+
+    #[test]
+    fn spiky_mixes_base_and_spike() {
+        let mut r = rng();
+        let l = Latency::Spiky {
+            base: 10,
+            spike: 1000,
+            spike_prob: 0.2,
+        };
+        let samples: Vec<u64> = (0..2000).map(|_| l.sample(&mut r)).collect();
+        let spikes = samples.iter().filter(|&&s| s == 1000).count();
+        assert!(samples.iter().all(|&s| s == 10 || s == 1000));
+        // 20% ± generous tolerance.
+        assert!((200..=600).contains(&spikes), "spikes = {spikes}");
+    }
+
+    #[test]
+    fn presets_are_sane() {
+        let mut r = rng();
+        assert!(Latency::lan().sample(&mut r) <= 5);
+        let wan = Latency::wan();
+        assert!(wan.sample(&mut r) >= 300);
+    }
+}

@@ -1,0 +1,233 @@
+//! Network modelling: per-link latency, loss, and partitions.
+
+use std::collections::{HashMap, HashSet};
+
+use crate::latency::Latency;
+use crate::sim::Simulation;
+
+/// A network node name (a domain or service in OASIS scenarios).
+pub type NodeId = String;
+
+/// Per-link behaviour.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LinkConfig {
+    /// Delivery latency distribution.
+    pub latency: Latency,
+    /// Probability a message is silently dropped, in `[0, 1]`.
+    pub loss: f64,
+}
+
+impl Default for LinkConfig {
+    fn default() -> Self {
+        Self {
+            latency: Latency::Constant(1),
+            loss: 0.0,
+        }
+    }
+}
+
+/// A directed network between named nodes.
+///
+/// `SimNet` computes *when* (and whether) a message arrives; the message
+/// itself is a closure run at delivery time, so any application state can
+/// be touched. Partitioned pairs drop everything until healed.
+///
+/// # Example
+///
+/// ```
+/// use oasis_sim::{Latency, LinkConfig, SimNet, Simulation};
+/// use std::cell::Cell;
+/// use std::rc::Rc;
+///
+/// let mut sim = Simulation::new(1);
+/// let mut net = SimNet::new(LinkConfig { latency: Latency::Constant(7), loss: 0.0 });
+/// let arrived = Rc::new(Cell::new(0));
+/// let a = Rc::clone(&arrived);
+/// net.send(&mut sim, "client", "server", move |sim| a.set(sim.now()));
+/// sim.run();
+/// assert_eq!(arrived.get(), 7);
+/// ```
+#[derive(Debug)]
+pub struct SimNet {
+    default: LinkConfig,
+    links: HashMap<(NodeId, NodeId), LinkConfig>,
+    partitioned: HashSet<(NodeId, NodeId)>,
+    sent: u64,
+    dropped: u64,
+}
+
+impl SimNet {
+    /// Creates a network where every link uses `default` unless
+    /// overridden.
+    pub fn new(default: LinkConfig) -> Self {
+        Self {
+            default,
+            links: HashMap::new(),
+            partitioned: HashSet::new(),
+            sent: 0,
+            dropped: 0,
+        }
+    }
+
+    /// Overrides the directed link `from → to`.
+    pub fn set_link(&mut self, from: impl Into<NodeId>, to: impl Into<NodeId>, config: LinkConfig) {
+        self.links.insert((from.into(), to.into()), config);
+    }
+
+    /// Cuts both directions between `a` and `b`.
+    pub fn partition(&mut self, a: impl Into<NodeId>, b: impl Into<NodeId>) {
+        let (a, b) = (a.into(), b.into());
+        self.partitioned.insert((a.clone(), b.clone()));
+        self.partitioned.insert((b, a));
+    }
+
+    /// Restores both directions between `a` and `b`.
+    pub fn heal(&mut self, a: impl Into<NodeId>, b: impl Into<NodeId>) {
+        let (a, b) = (a.into(), b.into());
+        self.partitioned.remove(&(a.clone(), b.clone()));
+        self.partitioned.remove(&(b, a));
+    }
+
+    /// Whether `from → to` is currently cut.
+    pub fn is_partitioned(&self, from: &str, to: &str) -> bool {
+        self.partitioned
+            .contains(&(from.to_string(), to.to_string()))
+    }
+
+    /// Sends a message: schedules `deliver` on `sim` after the link's
+    /// sampled latency. Returns `false` if the message was lost or the
+    /// link is partitioned (in which case `deliver` never runs).
+    pub fn send(
+        &mut self,
+        sim: &mut Simulation,
+        from: &str,
+        to: &str,
+        deliver: impl FnOnce(&mut Simulation) + 'static,
+    ) -> bool {
+        self.sent += 1;
+        if self.is_partitioned(from, to) {
+            self.dropped += 1;
+            return false;
+        }
+        let config = self
+            .links
+            .get(&(from.to_string(), to.to_string()))
+            .copied()
+            .unwrap_or(self.default);
+        if config.loss > 0.0 && sim.rng().next_u64() as f64 / u64::MAX as f64 <= config.loss {
+            self.dropped += 1;
+            return false;
+        }
+        let delay = config.latency.sample(sim.rng());
+        sim.schedule_in(delay, deliver);
+        true
+    }
+
+    /// `(messages sent, messages dropped)` so far.
+    pub fn stats(&self) -> (u64, u64) {
+        (self.sent, self.dropped)
+    }
+}
+
+// RngCore is needed for next_u64 in `send`.
+use rand::RngCore as _;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::cell::Cell;
+    use std::rc::Rc;
+
+    fn lossless(latency: Latency) -> SimNet {
+        SimNet::new(LinkConfig { latency, loss: 0.0 })
+    }
+
+    #[test]
+    fn default_link_applies() {
+        let mut sim = Simulation::new(0);
+        let mut net = lossless(Latency::Constant(4));
+        let at = Rc::new(Cell::new(0));
+        let a = Rc::clone(&at);
+        assert!(net.send(&mut sim, "x", "y", move |s| a.set(s.now())));
+        sim.run();
+        assert_eq!(at.get(), 4);
+    }
+
+    #[test]
+    fn link_override_beats_default() {
+        let mut sim = Simulation::new(0);
+        let mut net = lossless(Latency::Constant(4));
+        net.set_link(
+            "x",
+            "y",
+            LinkConfig {
+                latency: Latency::Constant(40),
+                loss: 0.0,
+            },
+        );
+        let at = Rc::new(Cell::new(0));
+        let a = Rc::clone(&at);
+        net.send(&mut sim, "x", "y", move |s| a.set(s.now()));
+        // Reverse direction still uses the default.
+        let back = Rc::new(Cell::new(0));
+        let b = Rc::clone(&back);
+        net.send(&mut sim, "y", "x", move |s| b.set(s.now()));
+        sim.run();
+        assert_eq!(at.get(), 40);
+        assert_eq!(back.get(), 4);
+    }
+
+    #[test]
+    fn partition_blocks_and_heal_restores() {
+        let mut sim = Simulation::new(0);
+        let mut net = lossless(Latency::Constant(1));
+        net.partition("a", "b");
+        assert!(net.is_partitioned("a", "b"));
+        assert!(net.is_partitioned("b", "a"));
+        assert!(!net.send(&mut sim, "a", "b", |_| panic!("must not deliver")));
+        sim.run();
+
+        net.heal("a", "b");
+        let ok = Rc::new(Cell::new(false));
+        let o = Rc::clone(&ok);
+        assert!(net.send(&mut sim, "a", "b", move |_| o.set(true)));
+        sim.run();
+        assert!(ok.get());
+        assert_eq!(net.stats(), (2, 1));
+    }
+
+    #[test]
+    fn full_loss_drops_everything() {
+        let mut sim = Simulation::new(0);
+        let mut net = SimNet::new(LinkConfig {
+            latency: Latency::Constant(1),
+            loss: 1.0,
+        });
+        for _ in 0..10 {
+            assert!(!net.send(&mut sim, "a", "b", |_| panic!("dropped")));
+        }
+        sim.run();
+        assert_eq!(net.stats(), (10, 10));
+    }
+
+    #[test]
+    fn partial_loss_is_probabilistic_but_deterministic_per_seed() {
+        let run = |seed| {
+            let mut sim = Simulation::new(seed);
+            let mut net = SimNet::new(LinkConfig {
+                latency: Latency::Constant(1),
+                loss: 0.5,
+            });
+            let delivered = Rc::new(Cell::new(0u32));
+            for _ in 0..200 {
+                let d = Rc::clone(&delivered);
+                net.send(&mut sim, "a", "b", move |_| d.set(d.get() + 1));
+            }
+            sim.run();
+            delivered.get()
+        };
+        let a = run(3);
+        assert_eq!(a, run(3), "same seed, same outcome");
+        assert!((50..150).contains(&a), "roughly half delivered: {a}");
+    }
+}

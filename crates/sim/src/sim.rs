@@ -1,0 +1,230 @@
+//! The discrete-event loop.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+use rand::{RngCore, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+
+type EventFn = Box<dyn FnOnce(&mut Simulation)>;
+
+struct Scheduled {
+    at: u64,
+    seq: u64,
+    run: EventFn,
+}
+
+// Order by (time, insertion sequence) — FIFO among simultaneous events.
+impl PartialEq for Scheduled {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+impl Eq for Scheduled {}
+impl PartialOrd for Scheduled {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for Scheduled {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (self.at, self.seq).cmp(&(other.at, other.seq))
+    }
+}
+
+/// A deterministic discrete-event simulator with virtual time.
+///
+/// Events are closures over `&mut Simulation`, so handlers can schedule
+/// further events, sample the seeded RNG, and read the clock. Two runs
+/// with the same seed and the same schedule are identical.
+pub struct Simulation {
+    now: u64,
+    seq: u64,
+    processed: u64,
+    queue: BinaryHeap<Reverse<Scheduled>>,
+    rng: ChaCha8Rng,
+}
+
+impl std::fmt::Debug for Simulation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Simulation")
+            .field("now", &self.now)
+            .field("pending", &self.queue.len())
+            .field("processed", &self.processed)
+            .finish()
+    }
+}
+
+impl Simulation {
+    /// Creates a simulation at time 0 with a seeded RNG.
+    pub fn new(seed: u64) -> Self {
+        Self {
+            now: 0,
+            seq: 0,
+            processed: 0,
+            queue: BinaryHeap::new(),
+            rng: ChaCha8Rng::seed_from_u64(seed),
+        }
+    }
+
+    /// The current virtual time.
+    pub fn now(&self) -> u64 {
+        self.now
+    }
+
+    /// Number of events executed so far.
+    pub fn processed(&self) -> u64 {
+        self.processed
+    }
+
+    /// Number of events still queued.
+    pub fn pending(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// The seeded random number generator.
+    pub fn rng(&mut self) -> &mut impl RngCore {
+        &mut self.rng
+    }
+
+    /// Schedules `event` to run `delay` ticks from now.
+    pub fn schedule_in(&mut self, delay: u64, event: impl FnOnce(&mut Simulation) + 'static) {
+        self.schedule_at(self.now.saturating_add(delay), event);
+    }
+
+    /// Schedules `event` at absolute virtual time `at`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `at` is in the past — time travel would silently corrupt
+    /// causality, so it is rejected loudly.
+    pub fn schedule_at(&mut self, at: u64, event: impl FnOnce(&mut Simulation) + 'static) {
+        assert!(
+            at >= self.now,
+            "cannot schedule at t{at}, the clock is already at t{}",
+            self.now
+        );
+        self.seq += 1;
+        self.queue.push(Reverse(Scheduled {
+            at,
+            seq: self.seq,
+            run: Box::new(event),
+        }));
+    }
+
+    /// Runs until the queue is empty; returns the number of events
+    /// executed by this call.
+    pub fn run(&mut self) -> u64 {
+        self.run_until(u64::MAX)
+    }
+
+    /// Runs every event scheduled strictly before `deadline`, leaving the
+    /// clock at the last executed event's time (or `deadline` if nothing
+    /// remained). Returns the number of events executed by this call.
+    pub fn run_until(&mut self, deadline: u64) -> u64 {
+        let mut executed = 0;
+        while let Some(Reverse(head)) = self.queue.peek() {
+            if head.at >= deadline {
+                if deadline != u64::MAX {
+                    self.now = self.now.max(deadline);
+                }
+                return executed;
+            }
+            let Reverse(event) = self.queue.pop().expect("peeked");
+            self.now = event.at;
+            (event.run)(self);
+            self.processed += 1;
+            executed += 1;
+        }
+        if deadline != u64::MAX {
+            self.now = self.now.max(deadline);
+        }
+        executed
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::cell::RefCell;
+    use std::rc::Rc;
+
+    #[test]
+    fn events_run_in_time_order() {
+        let mut sim = Simulation::new(0);
+        let log = Rc::new(RefCell::new(Vec::new()));
+        for (delay, tag) in [(30u64, 'c'), (10, 'a'), (20, 'b')] {
+            let log = Rc::clone(&log);
+            sim.schedule_in(delay, move |sim| log.borrow_mut().push((sim.now(), tag)));
+        }
+        assert_eq!(sim.run(), 3);
+        assert_eq!(*log.borrow(), vec![(10, 'a'), (20, 'b'), (30, 'c')]);
+    }
+
+    #[test]
+    fn simultaneous_events_are_fifo() {
+        let mut sim = Simulation::new(0);
+        let log = Rc::new(RefCell::new(Vec::new()));
+        for tag in ['x', 'y', 'z'] {
+            let log = Rc::clone(&log);
+            sim.schedule_at(5, move |_| log.borrow_mut().push(tag));
+        }
+        sim.run();
+        assert_eq!(*log.borrow(), vec!['x', 'y', 'z']);
+    }
+
+    #[test]
+    fn handlers_can_schedule_more_events() {
+        let mut sim = Simulation::new(0);
+        let hits = Rc::new(RefCell::new(0u64));
+        fn tick(sim: &mut Simulation, hits: Rc<RefCell<u64>>, remaining: u32) {
+            *hits.borrow_mut() += 1;
+            if remaining > 0 {
+                sim.schedule_in(10, move |sim| tick(sim, hits, remaining - 1));
+            }
+        }
+        let h = Rc::clone(&hits);
+        sim.schedule_in(0, move |sim| tick(sim, h, 4));
+        sim.run();
+        assert_eq!(*hits.borrow(), 5);
+        assert_eq!(sim.now(), 40);
+        assert_eq!(sim.processed(), 5);
+    }
+
+    #[test]
+    fn run_until_stops_at_deadline() {
+        let mut sim = Simulation::new(0);
+        let count = Rc::new(RefCell::new(0));
+        for t in [5u64, 15, 25] {
+            let count = Rc::clone(&count);
+            sim.schedule_at(t, move |_| *count.borrow_mut() += 1);
+        }
+        assert_eq!(sim.run_until(20), 2);
+        assert_eq!(sim.now(), 20);
+        assert_eq!(sim.pending(), 1);
+        assert_eq!(sim.run(), 1);
+        assert_eq!(*count.borrow(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot schedule")]
+    fn scheduling_in_the_past_panics() {
+        let mut sim = Simulation::new(0);
+        sim.schedule_at(10, |sim| {
+            sim.schedule_at(5, |_| {});
+        });
+        sim.run();
+    }
+
+    #[test]
+    fn rng_is_deterministic_per_seed() {
+        let mut a = Simulation::new(7);
+        let mut b = Simulation::new(7);
+        let mut c = Simulation::new(8);
+        let va: Vec<u32> = (0..5).map(|_| a.rng().next_u32()).collect();
+        let vb: Vec<u32> = (0..5).map(|_| b.rng().next_u32()).collect();
+        let vc: Vec<u32> = (0..5).map(|_| c.rng().next_u32()).collect();
+        assert_eq!(va, vb);
+        assert_ne!(va, vc);
+    }
+}

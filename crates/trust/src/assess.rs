@@ -1,0 +1,339 @@
+//! Trust scoring and risk decisions.
+//!
+//! The assessor turns a pile of audit certificates into a number a party
+//! can act on. Three paper-mandated concerns shape the design:
+//!
+//! * **Evidence quality varies by notary** — "the domain of the auditing
+//!   service for a certificate is a factor that must be taken into
+//!   account" — so every certificate's weight is scaled by a caller-
+//!   supplied per-CIV weight (0 for unknown/rogue domains kills collusion
+//!   through rogue notaries).
+//! * **Old behaviour matters less** — evidence decays exponentially with
+//!   a configurable half-life, so reformed defaulters can recover and
+//!   stale reputations fade.
+//! * **Newcomers are uncertain, not trusted** — a Beta(1,1) prior puts a
+//!   no-history party at 0.5 expectation with zero evidence weight, and
+//!   [`RiskPolicy`] can demand a minimum evidence mass before proceeding
+//!   unsecured.
+
+use std::fmt;
+
+use oasis_core::{PrincipalId, ServiceId};
+
+use crate::cert::{AuditCertificate, Outcome};
+
+/// A party's assessed trustworthiness.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TrustScore {
+    /// Posterior expectation that the next interaction succeeds, in
+    /// `(0, 1)`; 0.5 for a party with no evidence.
+    pub expectation: f64,
+    /// Total decayed, CIV-weighted evidence mass behind the expectation.
+    pub evidence: f64,
+}
+
+impl fmt::Display for TrustScore {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "trust {:.3} (evidence {:.2})",
+            self.expectation, self.evidence
+        )
+    }
+}
+
+/// Aggregates audit certificates into a [`TrustScore`].
+#[derive(Debug, Clone, Copy)]
+pub struct TrustAssessor {
+    /// Evidence half-life in virtual ticks.
+    half_life: u64,
+}
+
+impl TrustAssessor {
+    /// Creates an assessor with the given evidence half-life (ticks).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `half_life` is zero.
+    pub fn new(half_life: u64) -> Self {
+        assert!(half_life > 0, "half-life must be positive");
+        Self { half_life }
+    }
+
+    fn decay(&self, age: u64) -> f64 {
+        0.5f64.powf(age as f64 / self.half_life as f64)
+    }
+
+    fn score(
+        &self,
+        certificates: &[impl std::borrow::Borrow<AuditCertificate>],
+        now: u64,
+        success: impl Fn(&AuditCertificate) -> Option<bool>,
+        civ_weight: impl Fn(&ServiceId) -> f64,
+    ) -> TrustScore {
+        // Beta(1, 1) prior.
+        let mut alpha = 1.0f64;
+        let mut beta = 1.0f64;
+        let mut evidence = 0.0f64;
+        for cert in certificates {
+            let cert = cert.borrow();
+            let Some(good) = success(cert) else {
+                continue; // disputed or not about this party
+            };
+            let weight =
+                civ_weight(&cert.civ).clamp(0.0, 1.0) * self.decay(now.saturating_sub(cert.at));
+            if weight <= 0.0 {
+                continue;
+            }
+            evidence += weight;
+            if good {
+                alpha += weight;
+            } else {
+                beta += weight;
+            }
+        }
+        TrustScore {
+            expectation: alpha / (alpha + beta),
+            evidence,
+        }
+    }
+
+    /// Scores a *client* principal from certificates naming them:
+    /// `Fulfilled` counts for them, `ClientDefaulted` against,
+    /// `ProviderDefaulted` and `Disputed` say nothing about the client.
+    pub fn score_client(
+        &self,
+        certificates: &[impl std::borrow::Borrow<AuditCertificate>],
+        client: &PrincipalId,
+        now: u64,
+        civ_weight: impl Fn(&ServiceId) -> f64,
+    ) -> TrustScore {
+        self.score(
+            certificates,
+            now,
+            |c| {
+                if c.client != *client {
+                    return None;
+                }
+                match c.outcome {
+                    Outcome::Fulfilled => Some(true),
+                    Outcome::ClientDefaulted => Some(false),
+                    Outcome::ProviderDefaulted | Outcome::Disputed => None,
+                }
+            },
+            civ_weight,
+        )
+    }
+
+    /// Scores a *provider* service symmetrically.
+    pub fn score_provider(
+        &self,
+        certificates: &[impl std::borrow::Borrow<AuditCertificate>],
+        provider: &ServiceId,
+        now: u64,
+        civ_weight: impl Fn(&ServiceId) -> f64,
+    ) -> TrustScore {
+        self.score(
+            certificates,
+            now,
+            |c| {
+                if c.provider != *provider {
+                    return None;
+                }
+                match c.outcome {
+                    Outcome::Fulfilled => Some(true),
+                    Outcome::ProviderDefaulted => Some(false),
+                    Outcome::ClientDefaulted | Outcome::Disputed => None,
+                }
+            },
+            civ_weight,
+        )
+    }
+}
+
+/// What a party decides after assessing the other side.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Decision {
+    /// Interact normally.
+    Proceed,
+    /// Interact, but demand security (prepayment, bond, escrow) — the
+    /// "calculated risk" middle ground.
+    ProceedWithBond,
+    /// Do not interact.
+    Refuse,
+}
+
+impl fmt::Display for Decision {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            Decision::Proceed => "proceed",
+            Decision::ProceedWithBond => "proceed-with-bond",
+            Decision::Refuse => "refuse",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Thresholds mapping a [`TrustScore`] to a [`Decision`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RiskPolicy {
+    /// Below this expectation the party is refused outright.
+    pub refuse_below: f64,
+    /// At or above this expectation *and* with enough evidence, proceed
+    /// unsecured.
+    pub proceed_at: f64,
+    /// Minimum evidence mass for an unsecured proceed; parties with a
+    /// high score but thin histories still post a bond.
+    pub min_evidence: f64,
+}
+
+impl Default for RiskPolicy {
+    fn default() -> Self {
+        Self {
+            refuse_below: 0.35,
+            proceed_at: 0.7,
+            min_evidence: 3.0,
+        }
+    }
+}
+
+impl RiskPolicy {
+    /// Applies the policy.
+    pub fn decide(&self, score: TrustScore) -> Decision {
+        if score.expectation < self.refuse_below {
+            Decision::Refuse
+        } else if score.expectation >= self.proceed_at && score.evidence >= self.min_evidence {
+            Decision::Proceed
+        } else {
+            Decision::ProceedWithBond
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cert::CivNotary;
+
+    fn assessor() -> TrustAssessor {
+        TrustAssessor::new(1_000)
+    }
+
+    fn full_weight(_: &ServiceId) -> f64 {
+        1.0
+    }
+
+    fn build(outcomes: &[(Outcome, u64)]) -> (Vec<AuditCertificate>, PrincipalId, ServiceId) {
+        let notary = CivNotary::new("civ");
+        let alice = PrincipalId::new("alice");
+        let library = ServiceId::new("library");
+        let certs = outcomes
+            .iter()
+            .map(|(o, at)| notary.notarise(&alice, &library, "c", *o, *at))
+            .collect();
+        (certs, alice, library)
+    }
+
+    #[test]
+    fn newcomer_scores_half_with_no_evidence() {
+        let (certs, alice, _) = build(&[]);
+        let score = assessor().score_client(&certs, &alice, 0, full_weight);
+        assert_eq!(score.expectation, 0.5);
+        assert_eq!(score.evidence, 0.0);
+    }
+
+    #[test]
+    fn successes_raise_and_defaults_lower() {
+        let (good, alice, _) = build(&[(Outcome::Fulfilled, 0), (Outcome::Fulfilled, 1)]);
+        let up = assessor().score_client(&good, &alice, 2, full_weight);
+        assert!(up.expectation > 0.6);
+
+        let (bad, alice, _) =
+            build(&[(Outcome::ClientDefaulted, 0), (Outcome::ClientDefaulted, 1)]);
+        let down = assessor().score_client(&bad, &alice, 2, full_weight);
+        assert!(down.expectation < 0.4);
+    }
+
+    #[test]
+    fn provider_defaults_do_not_blame_the_client() {
+        let (certs, alice, library) = build(&[(Outcome::ProviderDefaulted, 0)]);
+        let client_score = assessor().score_client(&certs, &alice, 1, full_weight);
+        assert_eq!(client_score.expectation, 0.5);
+        let provider_score = assessor().score_provider(&certs, &library, 1, full_weight);
+        assert!(provider_score.expectation < 0.5);
+    }
+
+    #[test]
+    fn old_evidence_decays() {
+        let a = assessor();
+        let (certs, alice, _) = build(&[(Outcome::ClientDefaulted, 0)]);
+        let fresh = a.score_client(&certs, &alice, 0, full_weight);
+        let stale = a.score_client(&certs, &alice, 10_000, full_weight);
+        assert!(stale.expectation > fresh.expectation);
+        assert!(stale.evidence < 0.01);
+    }
+
+    #[test]
+    fn rogue_civ_evidence_is_discounted() {
+        let rogue = CivNotary::new("rogue.civ");
+        let mallory = PrincipalId::new("mallory");
+        let shop = ServiceId::new("shop");
+        // Mallory's accomplice notarises 50 fake successes.
+        let fakes: Vec<AuditCertificate> = (0..50)
+            .map(|i| rogue.notarise(&mallory, &shop, "fake", Outcome::Fulfilled, i))
+            .collect();
+        let naive = assessor().score_client(&fakes, &mallory, 50, full_weight);
+        assert!(naive.expectation > 0.9, "unweighted assessment is fooled");
+
+        let wary = assessor().score_client(&fakes, &mallory, 50, |civ| {
+            if civ.as_str() == "rogue.civ" {
+                0.0
+            } else {
+                1.0
+            }
+        });
+        assert_eq!(wary.expectation, 0.5, "weighting kills the fake history");
+        assert_eq!(wary.evidence, 0.0);
+    }
+
+    #[test]
+    fn risk_policy_thresholds() {
+        let policy = RiskPolicy::default();
+        assert_eq!(
+            policy.decide(TrustScore {
+                expectation: 0.2,
+                evidence: 10.0
+            }),
+            Decision::Refuse
+        );
+        assert_eq!(
+            policy.decide(TrustScore {
+                expectation: 0.9,
+                evidence: 10.0
+            }),
+            Decision::Proceed
+        );
+        // High score, thin history: bond.
+        assert_eq!(
+            policy.decide(TrustScore {
+                expectation: 0.9,
+                evidence: 1.0
+            }),
+            Decision::ProceedWithBond
+        );
+        // Newcomer: bond.
+        assert_eq!(
+            policy.decide(TrustScore {
+                expectation: 0.5,
+                evidence: 0.0
+            }),
+            Decision::ProceedWithBond
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "half-life")]
+    fn zero_half_life_rejected() {
+        TrustAssessor::new(0);
+    }
+}

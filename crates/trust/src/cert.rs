@@ -1,0 +1,262 @@
+//! Audit certificates and the CIV notary that issues them.
+
+use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use serde::{Deserialize, Serialize};
+
+use oasis_core::{PrincipalId, ServiceId};
+use oasis_crypto::{IssuerSecret, MacSignature};
+
+/// How an interaction subject to contract ended.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Outcome {
+    /// Both sides honoured the contract.
+    Fulfilled,
+    /// The client defaulted (exploited resources, failed to pay).
+    ClientDefaulted,
+    /// The provider defaulted (breach of confidentiality, poor or partial
+    /// fulfilment).
+    ProviderDefaulted,
+    /// The parties could not agree what happened.
+    Disputed,
+}
+
+impl fmt::Display for Outcome {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            Outcome::Fulfilled => "fulfilled",
+            Outcome::ClientDefaulted => "client-defaulted",
+            Outcome::ProviderDefaulted => "provider-defaulted",
+            Outcome::Disputed => "disputed",
+        };
+        f.write_str(s)
+    }
+}
+
+/// A certified record of one interaction between a client principal and a
+/// provider service, signed by the notarising CIV service.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct AuditCertificate {
+    /// Issuer-local certificate number.
+    pub serial: u64,
+    /// The CIV service that notarised the interaction.
+    pub civ: ServiceId,
+    /// The client party.
+    pub client: PrincipalId,
+    /// The provider party.
+    pub provider: ServiceId,
+    /// The contract the interaction was subject to.
+    pub contract: String,
+    /// How it ended.
+    pub outcome: Outcome,
+    /// Virtual time of the interaction.
+    pub at: u64,
+    /// The CIV's signature over all the above.
+    pub signature: MacSignature,
+}
+
+impl fmt::Display for AuditCertificate {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "AUDIT[#{} {}: {} ⇄ {} ({}) {} t{}]",
+            self.serial, self.civ, self.client, self.provider, self.contract, self.outcome, self.at
+        )
+    }
+}
+
+/// The audit-certificate side of a domain's CIV service: creates
+/// certificates after contracted interactions and validates them on
+/// request (Sect. 6).
+pub struct CivNotary {
+    id: ServiceId,
+    secret: IssuerSecret,
+    next_serial: AtomicU64,
+}
+
+impl fmt::Debug for CivNotary {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("CivNotary").field("id", &self.id).finish()
+    }
+}
+
+impl CivNotary {
+    /// Creates a notary with a fresh secret.
+    pub fn new(id: impl Into<ServiceId>) -> Self {
+        Self {
+            id: id.into(),
+            secret: IssuerSecret::random(),
+            next_serial: AtomicU64::new(1),
+        }
+    }
+
+    /// The notary's service id (certificates carry it, so verifiers know
+    /// which domain's word they are taking).
+    pub fn id(&self) -> &ServiceId {
+        &self.id
+    }
+
+    fn fields(
+        serial: u64,
+        civ: &ServiceId,
+        client: &PrincipalId,
+        provider: &ServiceId,
+        contract: &str,
+        outcome: Outcome,
+        at: u64,
+    ) -> Vec<Vec<u8>> {
+        vec![
+            serial.to_le_bytes().to_vec(),
+            civ.as_bytes().to_vec(),
+            client.as_bytes().to_vec(),
+            provider.as_bytes().to_vec(),
+            contract.as_bytes().to_vec(),
+            outcome.to_string().into_bytes(),
+            at.to_le_bytes().to_vec(),
+        ]
+    }
+
+    /// Issues an audit certificate for a completed interaction. Both
+    /// parties receive (a copy of) the same certificate.
+    pub fn notarise(
+        &self,
+        client: &PrincipalId,
+        provider: &ServiceId,
+        contract: impl Into<String>,
+        outcome: Outcome,
+        at: u64,
+    ) -> AuditCertificate {
+        let serial = self.next_serial.fetch_add(1, Ordering::Relaxed);
+        let contract = contract.into();
+        let fields = Self::fields(serial, &self.id, client, provider, &contract, outcome, at);
+        let refs: Vec<&[u8]> = fields.iter().map(Vec::as_slice).collect();
+        // Audit certificates are not principal-specific the way RMCs are —
+        // both parties hold them — so the "principal" MAC input is the
+        // notary id itself.
+        let signature = oasis_crypto::sign_fields(&self.secret.current(), self.id.as_bytes(), &refs);
+        AuditCertificate {
+            serial,
+            civ: self.id.clone(),
+            client: client.clone(),
+            provider: provider.clone(),
+            contract,
+            outcome,
+            at,
+            signature,
+        }
+    }
+
+    /// Validates a certificate this notary issued ("validates on
+    /// request"). A forged or altered certificate — including one whose
+    /// outcome was rewritten — fails.
+    pub fn validate(&self, cert: &AuditCertificate) -> bool {
+        if cert.civ != self.id {
+            return false;
+        }
+        let fields = Self::fields(
+            cert.serial,
+            &cert.civ,
+            &cert.client,
+            &cert.provider,
+            &cert.contract,
+            cert.outcome,
+            cert.at,
+        );
+        let refs: Vec<&[u8]> = fields.iter().map(Vec::as_slice).collect();
+        // Check against every live epoch, as certificates may be old.
+        self.secret.live_epochs().iter().any(|epoch| {
+            self.secret
+                .key_for(*epoch)
+                .is_some_and(|key| {
+                    oasis_crypto::verify_fields(&key, self.id.as_bytes(), &refs, &cert.signature)
+                })
+        })
+    }
+
+    /// Repudiates everything it ever signed by discarding old secrets —
+    /// the rogue-domain behaviour Sect. 6 warns about. Provided so the
+    /// population simulation can model it; an honest notary never calls
+    /// this.
+    pub fn repudiate_all(&self) {
+        let epoch = self.secret.rotate();
+        self.secret.retire_before(epoch);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parties() -> (PrincipalId, ServiceId) {
+        (PrincipalId::new("alice"), ServiceId::new("library"))
+    }
+
+    #[test]
+    fn notarised_certificate_validates() {
+        let notary = CivNotary::new("civ");
+        let (client, provider) = parties();
+        let cert = notary.notarise(&client, &provider, "c-1", Outcome::Fulfilled, 10);
+        assert!(notary.validate(&cert));
+    }
+
+    #[test]
+    fn serials_increase() {
+        let notary = CivNotary::new("civ");
+        let (client, provider) = parties();
+        let a = notary.notarise(&client, &provider, "c-1", Outcome::Fulfilled, 10);
+        let b = notary.notarise(&client, &provider, "c-2", Outcome::Fulfilled, 11);
+        assert!(b.serial > a.serial);
+    }
+
+    #[test]
+    fn outcome_rewrite_detected() {
+        let notary = CivNotary::new("civ");
+        let (client, provider) = parties();
+        let mut cert = notary.notarise(&client, &provider, "c-1", Outcome::ClientDefaulted, 10);
+        // The client tries to launder their default into a success.
+        cert.outcome = Outcome::Fulfilled;
+        assert!(!notary.validate(&cert));
+    }
+
+    #[test]
+    fn party_rewrite_detected() {
+        let notary = CivNotary::new("civ");
+        let (client, provider) = parties();
+        let mut cert = notary.notarise(&client, &provider, "c-1", Outcome::Fulfilled, 10);
+        cert.client = PrincipalId::new("mallory");
+        assert!(!notary.validate(&cert));
+    }
+
+    #[test]
+    fn wrong_notary_rejects() {
+        let notary = CivNotary::new("civ");
+        let other = CivNotary::new("other-civ");
+        let (client, provider) = parties();
+        let cert = notary.notarise(&client, &provider, "c-1", Outcome::Fulfilled, 10);
+        assert!(!other.validate(&cert));
+    }
+
+    #[test]
+    fn forged_certificate_rejected() {
+        let notary = CivNotary::new("civ");
+        let forger = CivNotary::new("civ"); // same name, different secret
+        let (client, provider) = parties();
+        let forged = forger.notarise(&client, &provider, "c-1", Outcome::Fulfilled, 10);
+        assert!(!notary.validate(&forged));
+    }
+
+    #[test]
+    fn repudiation_invalidates_history() {
+        let notary = CivNotary::new("civ");
+        let (client, provider) = parties();
+        let cert = notary.notarise(&client, &provider, "c-1", Outcome::Fulfilled, 10);
+        assert!(notary.validate(&cert));
+        notary.repudiate_all();
+        assert!(
+            !notary.validate(&cert),
+            "a rogue domain can repudiate certificates issued in good faith — \
+             which is why assessors weight evidence by the notarising domain"
+        );
+    }
+}

@@ -1,0 +1,59 @@
+//! Audit certificates, interaction histories, and risk assessment for
+//! mutually unknown parties — Section 6 of the paper.
+//!
+//! "Both parties should be able to present checkable credentials which
+//! provide evidence of previous successful interactions. … After an
+//! interaction subject to contract the CIV service creates an audit
+//! certificate which it issues to both parties and validates on request.
+//! … Each party may then take a calculated risk on whether to proceed."
+//!
+//! The paper also names the attacks any such scheme must weather: "a
+//! client and service might collude to build up a false history of
+//! trustworthiness. Similarly, a rogue domain might provide valueless
+//! audit certificates, or repudiate those issued to clients who had acted
+//! in good faith. The domain of the auditing service for a certificate is
+//! a factor that must be taken into account when assessing the risk."
+//!
+//! This crate implements the proposal and its defences:
+//!
+//! * [`AuditCertificate`] / [`CivNotary`] — MAC-signed interaction records
+//!   issued by a domain's CIV service, validated on request.
+//! * [`InteractionHistory`] — a party's accumulated certificates.
+//! * [`TrustAssessor`] — evidence aggregation: a Beta-posterior trust
+//!   estimate with exponential time decay and **per-CIV weighting**, so
+//!   evidence notarised by unknown or rogue domains counts for little.
+//! * [`RiskPolicy`] — thresholds turning a score into
+//!   proceed / proceed-with-bond / refuse.
+//! * [`population`] — a seeded simulation of honest, rogue, and colluding
+//!   principals used by the TAB-T experiment to show trust converging
+//!   despite a Byzantine minority.
+//!
+//! # Example
+//!
+//! ```
+//! use oasis_trust::{CivNotary, Outcome, RiskPolicy, TrustAssessor};
+//! use oasis_core::{PrincipalId, ServiceId};
+//!
+//! let notary = CivNotary::new("hospital.civ");
+//! let client = PrincipalId::new("alice");
+//! let provider = ServiceId::new("library");
+//!
+//! let cert = notary.notarise(&client, &provider, "loan-42", Outcome::Fulfilled, 100);
+//! assert!(notary.validate(&cert));
+//!
+//! let assessor = TrustAssessor::new(1_000);
+//! let score = assessor.score_client(std::slice::from_ref(&cert), &client, 150, |_| 1.0);
+//! assert!(score.expectation > 0.5);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod assess;
+mod cert;
+mod history;
+pub mod population;
+
+pub use assess::{Decision, RiskPolicy, TrustAssessor, TrustScore};
+pub use cert::{AuditCertificate, CivNotary, Outcome};
+pub use history::InteractionHistory;

@@ -1,0 +1,464 @@
+//! A seeded population simulation of the Sect. 6 proposal.
+//!
+//! "What is needed is an approach which will allow a trust infrastructure
+//! to evolve despite Byzantine behaviour by a minority of the
+//! principals." This module provides the experiment: populations of
+//! honest clients, rogues, and *colluders* (rogues who arrive with fake
+//! histories notarised by a rogue CIV domain) interact with providers
+//! over many rounds. Providers assess each client's presented history —
+//! weighting evidence by how much they trust the notarising CIV — and
+//! decide to proceed, demand a bond, or refuse.
+//!
+//! The measured series (used by the TAB-T benchmark): per round, how
+//! often rogues were let in unsecured, and how often honest veterans were
+//! granted unsecured access. Trust "converges" when the first rate falls
+//! to near zero while the second rises towards one.
+
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+
+use oasis_core::{PrincipalId, ServiceId};
+
+use crate::assess::{Decision, RiskPolicy, TrustAssessor};
+use crate::cert::{CivNotary, Outcome};
+use crate::history::InteractionHistory;
+
+/// Simulation parameters.
+#[derive(Debug, Clone)]
+pub struct PopulationConfig {
+    /// Honest clients (default with probability `honest_default_prob`).
+    pub honest_clients: usize,
+    /// Rogue clients (default with probability `rogue_default_prob`).
+    pub rogue_clients: usize,
+    /// Colluding rogues: behave like rogues *and* present
+    /// `fake_certs_per_colluder` fabricated successes from a rogue CIV.
+    pub colluders: usize,
+    /// Number of honest provider services.
+    pub providers: usize,
+    /// Number of *rogue* providers (default on clients with
+    /// `provider_default_prob`); clients assess providers symmetrically
+    /// — the paper has both parties take the calculated risk.
+    pub rogue_providers: usize,
+    /// Probability a rogue provider defaults on an interaction.
+    pub provider_default_prob: f64,
+    /// Interaction rounds to simulate.
+    pub rounds: usize,
+    /// RNG seed (everything is deterministic given the seed).
+    pub seed: u64,
+    /// Probability an honest client defaults anyway.
+    pub honest_default_prob: f64,
+    /// Probability a rogue defaults.
+    pub rogue_default_prob: f64,
+    /// Fake certificates each colluder fabricates up front.
+    pub fake_certs_per_colluder: usize,
+    /// Weight providers give evidence notarised by a CIV they do not
+    /// recognise (the paper's "domain of the auditing service" factor).
+    pub unknown_civ_weight: f64,
+    /// The assessor's evidence half-life (ticks; one round = one tick).
+    pub half_life: u64,
+    /// The providers' risk policy.
+    pub policy: RiskPolicy,
+}
+
+impl Default for PopulationConfig {
+    fn default() -> Self {
+        Self {
+            honest_clients: 40,
+            rogue_clients: 8,
+            colluders: 2,
+            providers: 5,
+            rogue_providers: 0,
+            provider_default_prob: 0.8,
+            rounds: 60,
+            seed: 42,
+            honest_default_prob: 0.05,
+            rogue_default_prob: 0.8,
+            fake_certs_per_colluder: 20,
+            unknown_civ_weight: 0.1,
+            half_life: 200,
+            policy: RiskPolicy::default(),
+        }
+    }
+}
+
+/// What happened in one round.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct RoundMetrics {
+    /// Round index (0-based).
+    pub round: usize,
+    /// Honest clients granted unsecured access.
+    pub honest_proceed: usize,
+    /// Honest clients asked for a bond.
+    pub honest_bonded: usize,
+    /// Honest clients refused.
+    pub honest_refused: usize,
+    /// Rogues/colluders granted unsecured access (the failure mode).
+    pub rogue_proceed: usize,
+    /// Rogues/colluders bonded or refused (the defence working).
+    pub rogue_guarded: usize,
+    /// Honest clients who engaged a rogue provider unsecured.
+    pub rogue_provider_engaged: usize,
+    /// Honest clients who refused or demanded security from a rogue
+    /// provider (the client-side defence working).
+    pub rogue_provider_avoided: usize,
+}
+
+impl RoundMetrics {
+    /// Fraction of rogue decisions that were guarded (1.0 = perfect).
+    pub fn rogue_guard_rate(&self) -> f64 {
+        let total = self.rogue_proceed + self.rogue_guarded;
+        if total == 0 {
+            1.0
+        } else {
+            self.rogue_guarded as f64 / total as f64
+        }
+    }
+
+    /// Fraction of honest decisions that proceeded unsecured.
+    pub fn honest_proceed_rate(&self) -> f64 {
+        let total = self.honest_proceed + self.honest_bonded + self.honest_refused;
+        if total == 0 {
+            0.0
+        } else {
+            self.honest_proceed as f64 / total as f64
+        }
+    }
+
+    /// Fraction of honest-client encounters with rogue providers where
+    /// the client protected itself (1.0 = perfect avoidance).
+    pub fn rogue_provider_avoidance_rate(&self) -> f64 {
+        let total = self.rogue_provider_engaged + self.rogue_provider_avoided;
+        if total == 0 {
+            1.0
+        } else {
+            self.rogue_provider_avoided as f64 / total as f64
+        }
+    }
+}
+
+/// The full simulation output.
+#[derive(Debug, Clone)]
+pub struct PopulationReport {
+    /// Per-round metrics, in order.
+    pub rounds: Vec<RoundMetrics>,
+}
+
+impl PopulationReport {
+    /// Mean rogue-guard rate over the final quarter of the run.
+    pub fn final_rogue_guard_rate(&self) -> f64 {
+        self.tail_mean(|m| m.rogue_guard_rate())
+    }
+
+    /// Mean honest-proceed rate over the final quarter of the run.
+    pub fn final_honest_proceed_rate(&self) -> f64 {
+        self.tail_mean(|m| m.honest_proceed_rate())
+    }
+
+    /// Mean rogue-provider avoidance over the final quarter of the run.
+    pub fn final_rogue_provider_avoidance_rate(&self) -> f64 {
+        self.tail_mean(|m| m.rogue_provider_avoidance_rate())
+    }
+
+    fn tail_mean(&self, f: impl Fn(&RoundMetrics) -> f64) -> f64 {
+        let tail = (self.rounds.len() / 4).max(1);
+        let slice = &self.rounds[self.rounds.len() - tail..];
+        slice.iter().map(f).sum::<f64>() / slice.len() as f64
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum ClientKind {
+    Honest,
+    Rogue,
+    Colluder,
+}
+
+/// Runs the simulation.
+pub fn run(config: &PopulationConfig) -> PopulationReport {
+    let mut rng = ChaCha8Rng::seed_from_u64(config.seed);
+    let honest_civ = CivNotary::new("federation.civ");
+    let rogue_civ = CivNotary::new("rogue.civ");
+    let assessor = TrustAssessor::new(config.half_life.max(1));
+
+    // Honest providers first, then rogue ones; at least one in total.
+    let provider_count = (config.providers + config.rogue_providers).max(1);
+    let providers: Vec<(ServiceId, bool)> = (0..provider_count)
+        .map(|i| {
+            let rogue = i >= config.providers.max(if config.rogue_providers == 0 { 1 } else { 0 });
+            let name = if rogue {
+                format!("rogue-provider-{i}")
+            } else {
+                format!("provider-{i}")
+            };
+            (ServiceId::new(name), rogue)
+        })
+        .collect();
+    // Providers accumulate their own presentable histories.
+    let mut provider_histories: std::collections::HashMap<ServiceId, InteractionHistory> =
+        providers
+            .iter()
+            .map(|(id, _)| (id.clone(), InteractionHistory::new()))
+            .collect();
+
+    struct Client {
+        id: PrincipalId,
+        kind: ClientKind,
+        history: InteractionHistory,
+    }
+
+    let mut clients: Vec<Client> = Vec::new();
+    for i in 0..config.honest_clients {
+        clients.push(Client {
+            id: PrincipalId::new(format!("honest-{i}")),
+            kind: ClientKind::Honest,
+            history: InteractionHistory::new(),
+        });
+    }
+    for i in 0..config.rogue_clients {
+        clients.push(Client {
+            id: PrincipalId::new(format!("rogue-{i}")),
+            kind: ClientKind::Rogue,
+            history: InteractionHistory::new(),
+        });
+    }
+    for i in 0..config.colluders {
+        let id = PrincipalId::new(format!("colluder-{i}"));
+        let mut history = InteractionHistory::new();
+        // Fabricated glowing history, notarised by the rogue CIV.
+        for k in 0..config.fake_certs_per_colluder {
+            history.add(rogue_civ.notarise(
+                &id,
+                &ServiceId::new("accomplice-shop"),
+                format!("fake-{k}"),
+                Outcome::Fulfilled,
+                0,
+            ));
+        }
+        clients.push(Client {
+            id,
+            kind: ClientKind::Colluder,
+            history,
+        });
+    }
+
+    let honest_civ_id = honest_civ.id().clone();
+    let unknown_weight = config.unknown_civ_weight;
+    let civ_weight = move |civ: &ServiceId| {
+        if *civ == honest_civ_id {
+            1.0
+        } else {
+            unknown_weight
+        }
+    };
+
+    let mut rounds = Vec::with_capacity(config.rounds);
+    for round in 0..config.rounds {
+        let now = round as u64 + 1;
+        let mut metrics = RoundMetrics {
+            round,
+            ..RoundMetrics::default()
+        };
+        for client in &mut clients {
+            let (provider, provider_rogue) =
+                providers[rng.random_range(0..providers.len())].clone();
+
+            // The provider verifies the presented history (forgeries by
+            // *impersonating* the federation CIV would be dropped here;
+            // the rogue CIV's certificates are genuine-but-worthless and
+            // survive into the weighting step).
+            let score = assessor.score_client(
+                client.history.certificates(),
+                &client.id,
+                now,
+                &civ_weight,
+            );
+            let decision = config.policy.decide(score);
+
+            let is_rogue = client.kind != ClientKind::Honest;
+            match (is_rogue, decision) {
+                (false, Decision::Proceed) => metrics.honest_proceed += 1,
+                (false, Decision::ProceedWithBond) => metrics.honest_bonded += 1,
+                (false, Decision::Refuse) => metrics.honest_refused += 1,
+                (true, Decision::Proceed) => metrics.rogue_proceed += 1,
+                (true, _) => metrics.rogue_guarded += 1,
+            }
+
+            // The client assesses the provider symmetrically — "each
+            // party may then take a calculated risk on whether to
+            // proceed" — using the provider's presented history.
+            let provider_history = &provider_histories[&provider];
+            let provider_score = assessor.score_provider(
+                provider_history.certificates(),
+                &provider,
+                now,
+                &civ_weight,
+            );
+            let client_decision = config.policy.decide(provider_score);
+            if client.kind == ClientKind::Honest && provider_rogue {
+                if client_decision == Decision::Proceed {
+                    metrics.rogue_provider_engaged += 1;
+                } else {
+                    metrics.rogue_provider_avoided += 1;
+                }
+            }
+
+            // Either side refusing means no interaction, no certificate.
+            if decision == Decision::Refuse || client_decision == Decision::Refuse {
+                continue;
+            }
+
+            // Outcome: a rogue provider may default on the client; failing
+            // that, a rogue client may default on the provider.
+            let outcome = if provider_rogue
+                && rng.random_bool(config.provider_default_prob.clamp(0.0, 1.0))
+            {
+                Outcome::ProviderDefaulted
+            } else {
+                let default_prob = match client.kind {
+                    ClientKind::Honest => config.honest_default_prob,
+                    ClientKind::Rogue | ClientKind::Colluder => config.rogue_default_prob,
+                };
+                if rng.random_bool(default_prob.clamp(0.0, 1.0)) {
+                    Outcome::ClientDefaulted
+                } else {
+                    Outcome::Fulfilled
+                }
+            };
+            let cert =
+                honest_civ.notarise(&client.id, &provider, format!("r{round}"), outcome, now);
+            client.history.add(cert.clone());
+            provider_histories
+                .get_mut(&provider)
+                .expect("provider registered")
+                .add(cert);
+        }
+        rounds.push(metrics);
+    }
+
+    PopulationReport { rounds }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_for_a_seed() {
+        let config = PopulationConfig {
+            rounds: 10,
+            ..PopulationConfig::default()
+        };
+        let a = run(&config);
+        let b = run(&config);
+        assert_eq!(a.rounds, b.rounds);
+    }
+
+    #[test]
+    fn trust_converges_despite_byzantine_minority() {
+        let report = run(&PopulationConfig::default());
+        // Early rounds: everyone is bonded (no evidence yet).
+        assert!(report.rounds[0].honest_proceed == 0);
+        // Late rounds: honest veterans walk in, rogues are guarded.
+        assert!(
+            report.final_honest_proceed_rate() > 0.8,
+            "honest proceed rate: {}",
+            report.final_honest_proceed_rate()
+        );
+        assert!(
+            report.final_rogue_guard_rate() > 0.9,
+            "rogue guard rate: {}",
+            report.final_rogue_guard_rate()
+        );
+    }
+
+    #[test]
+    fn colluders_with_fake_histories_stay_guarded_when_weighted() {
+        let config = PopulationConfig {
+            honest_clients: 0,
+            rogue_clients: 0,
+            colluders: 5,
+            rounds: 5,
+            unknown_civ_weight: 0.0,
+            ..PopulationConfig::default()
+        };
+        let report = run(&config);
+        // With zero weight for the rogue CIV, the fake history is inert:
+        // colluders never achieve an unsecured proceed in 5 rounds.
+        for round in &report.rounds {
+            assert_eq!(round.rogue_proceed, 0, "round {round:?}");
+        }
+    }
+
+    #[test]
+    fn unweighted_assessment_is_fooled_by_collusion() {
+        let config = PopulationConfig {
+            honest_clients: 0,
+            rogue_clients: 0,
+            colluders: 5,
+            rounds: 1,
+            unknown_civ_weight: 1.0, // naive provider trusts any CIV
+            ..PopulationConfig::default()
+        };
+        let report = run(&config);
+        assert!(
+            report.rounds[0].rogue_proceed > 0,
+            "a naive assessor should admit colluders on their fake history"
+        );
+    }
+
+    #[test]
+    fn honest_clients_learn_to_avoid_rogue_providers() {
+        let config = PopulationConfig {
+            honest_clients: 30,
+            rogue_clients: 0,
+            colluders: 0,
+            providers: 4,
+            rogue_providers: 2,
+            rounds: 60,
+            ..PopulationConfig::default()
+        };
+        let report = run(&config);
+        // Early on, clients have no provider evidence: everyone is bonded
+        // (avoided). As rogue providers default, their histories condemn
+        // them and avoidance stays high.
+        assert!(
+            report.final_rogue_provider_avoidance_rate() > 0.9,
+            "avoidance: {}",
+            report.final_rogue_provider_avoidance_rate()
+        );
+        // Honest clients still converge to unsecured access at honest
+        // providers despite the rogue providers in the mix.
+        assert!(report.final_honest_proceed_rate() > 0.8);
+    }
+
+    #[test]
+    fn provider_defaults_do_not_poison_client_scores() {
+        // A client repeatedly burned by rogue providers must not look
+        // untrustworthy themselves (ProviderDefaulted is not evidence
+        // against the client).
+        let config = PopulationConfig {
+            honest_clients: 10,
+            rogue_clients: 0,
+            colluders: 0,
+            providers: 0,
+            rogue_providers: 3,
+            provider_default_prob: 1.0,
+            rounds: 40,
+            ..PopulationConfig::default()
+        };
+        let report = run(&config);
+        // All providers are rogue, so honest clients end up bonded (their
+        // own evidence mass stays thin because fulfilled interactions are
+        // rare) — but they are never *refused*.
+        for round in &report.rounds {
+            assert_eq!(round.honest_refused, 0, "round {:?}", round.round);
+        }
+    }
+
+    #[test]
+    fn rates_handle_empty_classes() {
+        let m = RoundMetrics::default();
+        assert_eq!(m.rogue_guard_rate(), 1.0);
+        assert_eq!(m.honest_proceed_rate(), 0.0);
+    }
+}

@@ -1,0 +1,158 @@
+//! The client side: a call/return connection to a [`WireServer`](crate::WireServer).
+
+use tokio::net::TcpStream;
+
+use oasis_core::cert::Rmc;
+use oasis_core::{Credential, Crr, PrincipalId, Value};
+
+use crate::error::WireError;
+use crate::frame::{read_frame, write_frame};
+use crate::proto::{Request, Response};
+
+/// An async OASIS client over TCP.
+pub struct WireClient {
+    stream: TcpStream,
+}
+
+impl std::fmt::Debug for WireClient {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("WireClient")
+            .field("peer", &self.stream.peer_addr().ok())
+            .finish()
+    }
+}
+
+impl WireClient {
+    /// Connects to a serving address.
+    ///
+    /// # Errors
+    ///
+    /// [`WireError::Io`] if the connection fails.
+    pub async fn connect(addr: impl tokio::net::ToSocketAddrs) -> Result<Self, WireError> {
+        Ok(Self {
+            stream: TcpStream::connect(addr).await?,
+        })
+    }
+
+    async fn call(&mut self, request: &Request) -> Result<Response, WireError> {
+        write_frame(&mut self.stream, request).await?;
+        match read_frame::<_, Response>(&mut self.stream).await? {
+            Some(Response::Error { message }) => Err(WireError::Remote(message)),
+            Some(response) => Ok(response),
+            None => Err(WireError::Closed),
+        }
+    }
+
+    /// Liveness check.
+    ///
+    /// # Errors
+    ///
+    /// Transport errors, or [`WireError::UnexpectedResponse`].
+    pub async fn ping(&mut self) -> Result<(), WireError> {
+        match self.call(&Request::Ping).await? {
+            Response::Pong => Ok(()),
+            other => Err(WireError::UnexpectedResponse(format!("{other:?}"))),
+        }
+    }
+
+    /// Activates a role at the remote service, returning the RMC.
+    ///
+    /// # Errors
+    ///
+    /// [`WireError::Remote`] carrying the service's denial, or transport
+    /// errors.
+    pub async fn activate(
+        &mut self,
+        principal: &PrincipalId,
+        role: &str,
+        args: Vec<Value>,
+        credentials: Vec<Credential>,
+        now: u64,
+    ) -> Result<Rmc, WireError> {
+        let request = Request::Activate {
+            principal: principal.clone(),
+            role: role.to_string(),
+            args,
+            credentials,
+            now,
+        };
+        match self.call(&request).await? {
+            Response::Activated { rmc } => Ok(*rmc),
+            other => Err(WireError::UnexpectedResponse(format!("{other:?}"))),
+        }
+    }
+
+    /// Invokes a method at the remote service; returns the credentials
+    /// that authorised it.
+    ///
+    /// # Errors
+    ///
+    /// [`WireError::Remote`] carrying the denial, or transport errors.
+    pub async fn invoke(
+        &mut self,
+        principal: &PrincipalId,
+        method: &str,
+        args: Vec<Value>,
+        credentials: Vec<Credential>,
+        now: u64,
+    ) -> Result<Vec<Crr>, WireError> {
+        let request = Request::Invoke {
+            principal: principal.clone(),
+            method: method.to_string(),
+            args,
+            credentials,
+            now,
+        };
+        match self.call(&request).await? {
+            Response::Invoked { used } => Ok(used),
+            other => Err(WireError::UnexpectedResponse(format!("{other:?}"))),
+        }
+    }
+
+    /// Validation callback: asks the issuer whether `credential` is good
+    /// for `presenter`.
+    ///
+    /// # Errors
+    ///
+    /// [`WireError::Remote`] with the rejection reason, or transport
+    /// errors.
+    pub async fn validate(
+        &mut self,
+        credential: &Credential,
+        presenter: &PrincipalId,
+        now: u64,
+    ) -> Result<(), WireError> {
+        let request = Request::Validate {
+            credential: Box::new(credential.clone()),
+            presenter: presenter.clone(),
+            now,
+        };
+        match self.call(&request).await? {
+            Response::Valid => Ok(()),
+            other => Err(WireError::UnexpectedResponse(format!("{other:?}"))),
+        }
+    }
+
+    /// Asks the issuer to revoke a certificate; returns whether it had
+    /// been active.
+    ///
+    /// # Errors
+    ///
+    /// Transport errors, or [`WireError::UnexpectedResponse`].
+    pub async fn revoke(
+        &mut self,
+        cert_id: u64,
+        reason: &str,
+        now: u64,
+    ) -> Result<bool, WireError> {
+        let request = Request::Revoke {
+            cert_id,
+            reason: reason.to_string(),
+            now,
+        };
+        match self.call(&request).await? {
+            Response::Revoked { was_active } => Ok(was_active),
+            other => Err(WireError::UnexpectedResponse(format!("{other:?}"))),
+        }
+    }
+}

@@ -1,0 +1,36 @@
+//! Wire-layer errors.
+
+use thiserror::Error;
+
+/// Errors raised by the TCP transport.
+#[derive(Debug, Error)]
+pub enum WireError {
+    /// Socket-level failure.
+    #[error("i/o: {0}")]
+    Io(#[from] std::io::Error),
+
+    /// A frame exceeded the protocol's size limit.
+    #[error("frame of {got} bytes exceeds limit of {limit}")]
+    FrameTooLarge {
+        /// Declared frame size.
+        got: usize,
+        /// The protocol limit.
+        limit: usize,
+    },
+
+    /// A frame's payload was not valid JSON for the expected type.
+    #[error("malformed frame: {0}")]
+    Malformed(#[from] serde_json::Error),
+
+    /// The peer closed the connection mid-exchange.
+    #[error("connection closed by peer")]
+    Closed,
+
+    /// The server answered with an application error.
+    #[error("remote error: {0}")]
+    Remote(String),
+
+    /// The server answered with the wrong response variant.
+    #[error("protocol violation: unexpected response {0}")]
+    UnexpectedResponse(String),
+}

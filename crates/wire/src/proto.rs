@@ -1,0 +1,144 @@
+//! The request/response protocol.
+//!
+//! One request, one response, in order, per connection (pipelining is
+//! permitted by the framing but the bundled client is call/return). The
+//! four operations mirror Fig 2 plus the issuer-side revocation entry
+//! point of Fig 5.
+
+use serde::{Deserialize, Serialize};
+
+use oasis_core::cert::Rmc;
+use oasis_core::{Credential, Crr, PrincipalId, Value};
+
+/// A client-to-server message.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Request {
+    /// Activate `role(args)` (paths 1–2 of Fig 2).
+    Activate {
+        /// The requesting principal.
+        principal: PrincipalId,
+        /// Role name at the serving service.
+        role: String,
+        /// Role parameters.
+        args: Vec<Value>,
+        /// Presented credentials.
+        credentials: Vec<Credential>,
+        /// Client's virtual time.
+        now: u64,
+    },
+    /// Invoke `method(args)` (paths 3–4 of Fig 2).
+    Invoke {
+        /// The requesting principal.
+        principal: PrincipalId,
+        /// Method name.
+        method: String,
+        /// Invocation arguments.
+        args: Vec<Value>,
+        /// Presented credentials.
+        credentials: Vec<Credential>,
+        /// Client's virtual time.
+        now: u64,
+    },
+    /// Validation callback: is this credential (still) good for this
+    /// presenter? Used by remote OASIS-aware services (Sect. 4).
+    Validate {
+        /// The credential in question.
+        credential: Box<Credential>,
+        /// Who presented it.
+        presenter: PrincipalId,
+        /// Verifier's virtual time.
+        now: u64,
+    },
+    /// Revoke a certificate this service issued.
+    Revoke {
+        /// Issuer-local certificate id.
+        cert_id: u64,
+        /// Reason, recorded for audit.
+        reason: String,
+        /// Virtual time.
+        now: u64,
+    },
+    /// Liveness check.
+    Ping,
+}
+
+/// A server-to-client reply.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Response {
+    /// Activation succeeded; here is the RMC.
+    Activated {
+        /// The issued role membership certificate.
+        rmc: Box<Rmc>,
+    },
+    /// Invocation authorised and performed.
+    Invoked {
+        /// Credentials that authorised it (for client-side audit).
+        used: Vec<Crr>,
+    },
+    /// The credential validated.
+    Valid,
+    /// Revocation processed.
+    Revoked {
+        /// Whether the certificate had been active.
+        was_active: bool,
+    },
+    /// Liveness answer.
+    Pong,
+    /// The operation failed.
+    Error {
+        /// Human-readable failure description.
+        message: String,
+    },
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn requests_round_trip_through_json() {
+        let requests = vec![
+            Request::Ping,
+            Request::Activate {
+                principal: PrincipalId::new("alice"),
+                role: "doctor".into(),
+                args: vec![Value::id("alice"), Value::Int(3)],
+                credentials: vec![],
+                now: 7,
+            },
+            Request::Revoke {
+                cert_id: 9,
+                reason: "logout".into(),
+                now: 8,
+            },
+        ];
+        for req in requests {
+            let json = serde_json::to_string(&req).unwrap();
+            let back: Request = serde_json::from_str(&json).unwrap();
+            assert_eq!(req, back);
+        }
+    }
+
+    #[test]
+    fn responses_round_trip_through_json() {
+        let responses = vec![
+            Response::Pong,
+            Response::Valid,
+            Response::Revoked { was_active: true },
+            Response::Error {
+                message: "no".into(),
+            },
+            Response::Invoked {
+                used: vec![Crr::new(
+                    oasis_core::ServiceId::new("svc"),
+                    oasis_core::CertId(4),
+                )],
+            },
+        ];
+        for resp in responses {
+            let json = serde_json::to_string(&resp).unwrap();
+            let back: Response = serde_json::from_str(&json).unwrap();
+            assert_eq!(resp, back);
+        }
+    }
+}

@@ -1,0 +1,165 @@
+//! The server side: an [`OasisService`] behind a TCP listener.
+
+use std::sync::Arc;
+
+use tokio::net::{TcpListener, TcpStream};
+
+use oasis_core::{CertId, EnvContext, OasisService, RoleName};
+
+use crate::error::WireError;
+use crate::frame::{read_frame, write_frame};
+use crate::proto::{Request, Response};
+
+/// Builds the evaluation context for a given client-supplied virtual
+/// time. Servers install ambient values and custom predicates here.
+pub type ContextFactory = Arc<dyn Fn(u64) -> EnvContext + Send + Sync>;
+
+/// Hosts one OASIS service over TCP.
+pub struct WireServer {
+    service: Arc<OasisService>,
+    listener: TcpListener,
+    context: ContextFactory,
+}
+
+impl std::fmt::Debug for WireServer {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("WireServer")
+            .field("service", self.service.id())
+            .finish()
+    }
+}
+
+impl WireServer {
+    /// Binds to `addr` and prepares to serve `service` with a default
+    /// context (no ambient values or predicates).
+    ///
+    /// # Errors
+    ///
+    /// [`WireError::Io`] if the address cannot be bound.
+    pub async fn bind(service: Arc<OasisService>, addr: &str) -> Result<Self, WireError> {
+        Self::bind_with_context(service, addr, Arc::new(EnvContext::new)).await
+    }
+
+    /// As [`WireServer::bind`], with a custom [`ContextFactory`].
+    ///
+    /// # Errors
+    ///
+    /// [`WireError::Io`] if the address cannot be bound.
+    pub async fn bind_with_context(
+        service: Arc<OasisService>,
+        addr: &str,
+        context: ContextFactory,
+    ) -> Result<Self, WireError> {
+        let listener = TcpListener::bind(addr).await?;
+        Ok(Self {
+            service,
+            listener,
+            context,
+        })
+    }
+
+    /// The actual bound address (useful with port 0).
+    ///
+    /// # Errors
+    ///
+    /// [`WireError::Io`] if the socket refuses to report it.
+    pub fn local_addr(&self) -> Result<std::net::SocketAddr, WireError> {
+        Ok(self.listener.local_addr()?)
+    }
+
+    /// Accepts and serves connections forever (run inside
+    /// `tokio::spawn`). Each connection gets its own task; a protocol
+    /// error terminates only that connection.
+    pub async fn serve(self) -> Result<(), WireError> {
+        loop {
+            let (stream, _) = self.listener.accept().await?;
+            let service = Arc::clone(&self.service);
+            let context = Arc::clone(&self.context);
+            tokio::spawn(async move {
+                // Connection errors are expected (clients hang up); they
+                // must not take the server down.
+                let _ = handle_connection(stream, service, context).await;
+            });
+        }
+    }
+}
+
+async fn handle_connection(
+    mut stream: TcpStream,
+    service: Arc<OasisService>,
+    context: ContextFactory,
+) -> Result<(), WireError> {
+    loop {
+        let Some(request) = read_frame::<_, Request>(&mut stream).await? else {
+            return Ok(()); // clean disconnect
+        };
+        let response = handle_request(&service, &context, request);
+        write_frame(&mut stream, &response).await?;
+    }
+}
+
+fn handle_request(
+    service: &Arc<OasisService>,
+    context: &ContextFactory,
+    request: Request,
+) -> Response {
+    match request {
+        Request::Ping => Response::Pong,
+        Request::Activate {
+            principal,
+            role,
+            args,
+            credentials,
+            now,
+        } => {
+            let ctx = context(now);
+            match service.activate_role(
+                &principal,
+                &RoleName::new(role),
+                &args,
+                &credentials,
+                &ctx,
+            ) {
+                Ok(rmc) => Response::Activated { rmc: Box::new(rmc) },
+                Err(e) => Response::Error {
+                    message: e.to_string(),
+                },
+            }
+        }
+        Request::Invoke {
+            principal,
+            method,
+            args,
+            credentials,
+            now,
+        } => {
+            let ctx = context(now);
+            match service.invoke(&principal, &method, &args, &credentials, &ctx) {
+                Ok(invocation) => Response::Invoked {
+                    used: invocation.used,
+                },
+                Err(e) => Response::Error {
+                    message: e.to_string(),
+                },
+            }
+        }
+        Request::Validate {
+            credential,
+            presenter,
+            now,
+        } => match service.validate_own(&credential, &presenter, now) {
+            Ok(()) => Response::Valid,
+            Err(e) => Response::Error {
+                message: e.to_string(),
+            },
+        },
+        Request::Revoke {
+            cert_id,
+            reason,
+            now,
+        } => Response::Revoked {
+            was_active: service.revoke_certificate(CertId(cert_id), &reason, now),
+        },
+    }
+}
+

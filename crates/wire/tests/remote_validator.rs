@@ -1,0 +1,204 @@
+//! A genuinely distributed OASIS deployment: the issuing service runs
+//! behind TCP in its own runtime thread, and a *synchronous* consumer
+//! service performs its validation callbacks over the network through
+//! [`RemoteValidator`] — the full Sect. 4 engineering picture.
+
+use std::net::SocketAddr;
+use std::sync::Arc;
+
+use oasis_core::{
+    Atom, Credential, EnvContext, OasisService, PrincipalId, RoleName, ServiceConfig, Term,
+    Value, ValueType,
+};
+use oasis_facts::FactStore;
+use oasis_wire::{proto, BlockingClient, RemoteValidator, WireServer};
+
+/// Starts the issuer ("login") service on a TCP socket inside a dedicated
+/// runtime thread; returns its address and a handle to the service.
+fn spawn_issuer() -> (SocketAddr, Arc<OasisService>) {
+    let facts = Arc::new(FactStore::new());
+    facts.define("password_ok", 1).unwrap();
+    facts.insert("password_ok", vec![Value::id("alice")]).unwrap();
+    let svc = OasisService::new(ServiceConfig::new("login"), facts);
+    svc.define_role("logged_in", &[("u", ValueType::Id)], true)
+        .unwrap();
+    svc.add_activation_rule(
+        "logged_in",
+        vec![Term::var("U")],
+        vec![Atom::env_fact("password_ok", vec![Term::var("U")])],
+        vec![0],
+    )
+    .unwrap();
+
+    let service = Arc::clone(&svc);
+    let (tx, rx) = std::sync::mpsc::channel();
+    std::thread::spawn(move || {
+        let runtime = tokio::runtime::Builder::new_current_thread()
+            .enable_all()
+            .build()
+            .unwrap();
+        runtime.block_on(async move {
+            let server = WireServer::bind(service, "127.0.0.1:0").await.unwrap();
+            tx.send(server.local_addr().unwrap()).unwrap();
+            let _ = server.serve().await;
+        });
+    });
+    let addr = rx.recv().unwrap();
+    (addr, svc)
+}
+
+/// A consumer service whose `member` role requires the remote login RMC.
+fn consumer(validator: Arc<RemoteValidator>) -> Arc<OasisService> {
+    let svc = OasisService::new(ServiceConfig::new("library"), Arc::new(FactStore::new()));
+    svc.define_role("member", &[("u", ValueType::Id)], false)
+        .unwrap();
+    svc.add_activation_rule(
+        "member",
+        vec![Term::var("U")],
+        vec![Atom::prereq_at("login", "logged_in", vec![Term::var("U")])],
+        vec![0],
+    )
+    .unwrap();
+    svc.set_validator(validator);
+    svc
+}
+
+#[test]
+fn cross_process_style_validation_over_tcp() {
+    let (addr, _issuer) = spawn_issuer();
+    let alice = PrincipalId::new("alice");
+
+    // Alice logs in over the wire (as a real remote principal would).
+    let mut client = BlockingClient::connect(addr).unwrap();
+    let response = client
+        .call(&proto::Request::Activate {
+            principal: alice.clone(),
+            role: "logged_in".into(),
+            args: vec![Value::id("alice")],
+            credentials: vec![],
+            now: 1,
+        })
+        .unwrap();
+    let login_rmc = match response {
+        proto::Response::Activated { rmc } => *rmc,
+        other => panic!("unexpected {other:?}"),
+    };
+
+    // The consumer service validates the foreign RMC by network callback.
+    let validator = Arc::new(RemoteValidator::new());
+    validator.add_issuer("login", addr);
+    let library = consumer(validator);
+
+    let member = library
+        .activate_role(
+            &alice,
+            &RoleName::new("member"),
+            &[Value::id("alice")],
+            &[Credential::Rmc(login_rmc.clone())],
+            &EnvContext::new(2),
+        )
+        .expect("network-validated activation succeeds");
+    assert_eq!(member.role.as_str(), "member");
+
+    // A thief presenting the stolen RMC is rejected — by the issuer, over
+    // the network.
+    let mallory = PrincipalId::new("mallory");
+    assert!(library
+        .activate_role(
+            &mallory,
+            &RoleName::new("member"),
+            &[Value::id("mallory")],
+            &[Credential::Rmc(login_rmc.clone())],
+            &EnvContext::new(3),
+        )
+        .is_err());
+
+    // Remote revocation propagates to the next callback.
+    client
+        .call(&proto::Request::Revoke {
+            cert_id: login_rmc.crr.cert_id.0,
+            reason: "logout".into(),
+            now: 4,
+        })
+        .unwrap();
+    assert!(library
+        .activate_role(
+            &alice,
+            &RoleName::new("member"),
+            &[Value::id("alice")],
+            &[Credential::Rmc(login_rmc)],
+            &EnvContext::new(5),
+        )
+        .is_err());
+}
+
+#[test]
+fn unknown_issuer_is_refused_locally() {
+    let validator = Arc::new(RemoteValidator::new());
+    let library = consumer(validator);
+    // A credential from an unregistered issuer never even dials.
+    let secret = oasis_crypto::IssuerSecret::random();
+    let fake = oasis_core::cert::Rmc::issue(
+        &secret.current(),
+        oasis_crypto::SecretEpoch(0),
+        &PrincipalId::new("alice"),
+        oasis_core::Crr::new("nowhere".into(), oasis_core::CertId(1)),
+        RoleName::new("logged_in"),
+        vec![Value::id("alice")],
+        0,
+        None,
+    );
+    assert!(library
+        .activate_role(
+            &PrincipalId::new("alice"),
+            &RoleName::new("member"),
+            &[Value::id("alice")],
+            &[Credential::Rmc(fake)],
+            &EnvContext::new(1),
+        )
+        .is_err());
+}
+
+#[test]
+fn validator_redials_after_issuer_restart() {
+    let (addr1, issuer1) = spawn_issuer();
+    let alice = PrincipalId::new("alice");
+    let rmc1 = issuer1
+        .activate_role(
+            &alice,
+            &RoleName::new("logged_in"),
+            &[Value::id("alice")],
+            &[],
+            &EnvContext::new(0),
+        )
+        .unwrap();
+
+    let validator = Arc::new(RemoteValidator::new());
+    validator.add_issuer("login", addr1);
+    use oasis_core::CredentialValidator;
+    validator
+        .validate(&Credential::Rmc(rmc1.clone()), &alice, 1)
+        .unwrap();
+
+    // "Restart": a new issuer process at a new address, with new secrets.
+    let (addr2, issuer2) = spawn_issuer();
+    let rmc2 = issuer2
+        .activate_role(
+            &alice,
+            &RoleName::new("logged_in"),
+            &[Value::id("alice")],
+            &[],
+            &EnvContext::new(0),
+        )
+        .unwrap();
+    validator.add_issuer("login", addr2);
+
+    // New certificates validate against the new instance; the old
+    // instance's certificates are unknown to it.
+    validator
+        .validate(&Credential::Rmc(rmc2), &alice, 2)
+        .unwrap();
+    assert!(validator
+        .validate(&Credential::Rmc(rmc1), &alice, 2)
+        .is_err());
+}

@@ -1,0 +1,161 @@
+//! Appointment in action: the A&E department scenario of Sect. 2.
+//!
+//! Run with `cargo run --example hospital_shift`.
+//!
+//! "A screening nurse in an Accident and Emergency Department may
+//! allocate a patient to a particular doctor. He/she issues an
+//! appointment certificate to the doctor who may then activate the role
+//! `treating_doctor` for that patient." The example shows three of the
+//! paper's signature behaviours:
+//!
+//! 1. the **appointer need not hold the privileges conferred** — the
+//!    nurse can never activate `treating_doctor` herself;
+//! 2. the appointment's lifetime is **independent of the nurse's
+//!    session** — her logout does not strip the doctor's role;
+//! 3. deactivating the doctor's duty role collapses the treating role
+//!    (Fig 5 cascade), while a *re-activation* with the still-valid
+//!    appointment succeeds.
+
+use std::sync::Arc;
+
+use oasis::prelude::*;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let facts = Arc::new(FactStore::new());
+    facts.define("staff", 2)?; // staff(person, job)
+
+    let ae = OasisService::new(ServiceConfig::new("a-and-e"), Arc::clone(&facts));
+
+    ae.define_role("on_duty", &[("who", ValueType::Id), ("job", ValueType::Id)], true)?;
+    ae.add_activation_rule(
+        "on_duty",
+        vec![Term::var("W"), Term::var("J")],
+        vec![Atom::env_fact("staff", vec![Term::var("W"), Term::var("J")])],
+        vec![0],
+    )?;
+
+    ae.define_role(
+        "treating_doctor",
+        &[("doctor", ValueType::Id), ("patient", ValueType::Id)],
+        false,
+    )?;
+    // treating_doctor(D, P) ← on_duty(D, doctor), appointment allocated(D, P)
+    ae.add_activation_rule(
+        "treating_doctor",
+        vec![Term::var("D"), Term::var("P")],
+        vec![
+            Atom::prereq("on_duty", vec![Term::var("D"), Term::val(Value::id("doctor"))]),
+            Atom::appointment("allocated", vec![Term::var("D"), Term::var("P")]),
+        ],
+        vec![0], // membership retains the duty role, not the appointment
+    )?;
+
+    // Screening nurses may allocate patients.
+    ae.grant_appointer("on_duty", "allocated")?;
+
+    // --- The shift -------------------------------------------------------
+    facts.insert("staff", vec![Value::id("nurse-ng"), Value::id("nurse")])?;
+    facts.insert("staff", vec![Value::id("dr-okafor"), Value::id("doctor")])?;
+
+    let nurse = PrincipalId::new("nurse-ng");
+    let doctor = PrincipalId::new("dr-okafor");
+    let ctx = EnvContext::new(0);
+
+    let nurse_duty = ae.activate_role(
+        &nurse,
+        &RoleName::new("on_duty"),
+        &[Value::id("nurse-ng"), Value::id("nurse")],
+        &[],
+        &ctx,
+    )?;
+    let doctor_duty = ae.activate_role(
+        &doctor,
+        &RoleName::new("on_duty"),
+        &[Value::id("dr-okafor"), Value::id("doctor")],
+        &[],
+        &ctx,
+    )?;
+    println!("on duty: {nurse_duty}\non duty: {doctor_duty}");
+
+    // The nurse allocates patient pat-3 to Dr Okafor: an appointment
+    // certificate issued *to the doctor*.
+    let allocation = ae.issue_appointment(
+        &nurse,
+        &[Credential::Rmc(nurse_duty.clone())],
+        "allocated",
+        vec![Value::id("dr-okafor"), Value::id("pat-3")],
+        &doctor,
+        None,
+        None,
+        &ctx,
+    )?;
+    println!("nurse issued {allocation}");
+
+    // (1) The nurse cannot use it to become a treating doctor — she is not
+    // on duty *as a doctor*, and the certificate is not hers anyway.
+    let nurse_try = ae.activate_role(
+        &nurse,
+        &RoleName::new("treating_doctor"),
+        &[Value::id("nurse-ng"), Value::id("pat-3")],
+        &[
+            Credential::Rmc(nurse_duty.clone()),
+            Credential::Appointment(allocation.clone()),
+        ],
+        &ctx,
+    );
+    println!("nurse tries to treat: {}", nurse_try.unwrap_err());
+
+    // The doctor activates the role with the appointment.
+    let treating = ae.activate_role(
+        &doctor,
+        &RoleName::new("treating_doctor"),
+        &[Value::id("dr-okafor"), Value::id("pat-3")],
+        &[
+            Credential::Rmc(doctor_duty.clone()),
+            Credential::Appointment(allocation.clone()),
+        ],
+        &ctx,
+    )?;
+    println!("doctor treats: {treating}");
+
+    // (2) The nurse's shift ends — her session collapses, but the
+    // appointment (and the doctor's role) survive.
+    ae.revoke_certificate(nurse_duty.crr.cert_id, "nurse shift ended", 10);
+    assert!(ae
+        .validate_own(&Credential::Appointment(allocation.clone()), &doctor, 11)
+        .is_ok());
+    assert!(ae
+        .validate_own(&Credential::Rmc(treating.clone()), &doctor, 11)
+        .is_ok());
+    println!("nurse logged out; allocation and treating role still valid");
+
+    // (3) The doctor goes off duty: the membership rule retained the duty
+    // role, so treating_doctor collapses with it…
+    ae.revoke_certificate(doctor_duty.crr.cert_id, "doctor off duty", 20);
+    assert!(ae
+        .validate_own(&Credential::Rmc(treating), &doctor, 21)
+        .is_err());
+    println!("doctor off duty; treating role collapsed");
+
+    // …but coming back on duty, the long-lived appointment lets the role
+    // be re-activated without bothering the nurse.
+    let new_duty = ae.activate_role(
+        &doctor,
+        &RoleName::new("on_duty"),
+        &[Value::id("dr-okafor"), Value::id("doctor")],
+        &[],
+        &EnvContext::new(30),
+    )?;
+    let resumed = ae.activate_role(
+        &doctor,
+        &RoleName::new("treating_doctor"),
+        &[Value::id("dr-okafor"), Value::id("pat-3")],
+        &[
+            Credential::Rmc(new_duty),
+            Credential::Appointment(allocation),
+        ],
+        &EnvContext::new(30),
+    )?;
+    println!("back on duty, treatment resumes: {resumed}");
+    Ok(())
+}

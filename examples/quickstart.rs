@@ -1,0 +1,123 @@
+//! Quickstart: one OASIS-secured service, one principal, one session.
+//!
+//! Run with `cargo run --example quickstart`.
+//!
+//! The flow is Fig 2 of the paper: present credentials to enter a role
+//! (paths 1–2), present the issued RMC to use the service (paths 3–4),
+//! and watch active security deactivate the role the instant a
+//! membership condition breaks.
+
+use std::sync::Arc;
+
+use oasis::prelude::*;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // Every service evaluates environmental constraints against a fact
+    // store — the "database lookup at some service" of the paper.
+    let facts = Arc::new(FactStore::new());
+    facts.define("password_ok", 1)?;
+    facts.define("registered", 2)?;
+
+    let hospital = OasisService::new(ServiceConfig::new("hospital"), Arc::clone(&facts));
+
+    // An *initial role*: activating it starts a session.
+    hospital.define_role("logged_in", &[("user", ValueType::Id)], true)?;
+    hospital.add_activation_rule(
+        "logged_in",
+        vec![Term::var("U")],
+        vec![Atom::env_fact("password_ok", vec![Term::var("U")])],
+        vec![0], // membership rule: the password entry must stay present
+    )?;
+
+    // A *parametrised role*: treating_doctor(doctor, patient).
+    hospital.define_role(
+        "treating_doctor",
+        &[("doctor", ValueType::Id), ("patient", ValueType::Id)],
+        false,
+    )?;
+    hospital.add_activation_rule(
+        "treating_doctor",
+        vec![Term::var("D"), Term::var("P")],
+        vec![
+            Atom::prereq("logged_in", vec![Term::var("D")]),
+            Atom::env_fact("registered", vec![Term::var("D"), Term::var("P")]),
+        ],
+        vec![0, 1],
+    )?;
+
+    // Service use: doctors may read the records of patients they treat.
+    hospital.add_invocation_rule(
+        "read_record",
+        vec![Term::var("P")],
+        vec![Atom::prereq(
+            "treating_doctor",
+            vec![Term::Wildcard, Term::var("P")],
+        )],
+    );
+
+    // --- A session -----------------------------------------------------
+    facts.insert("password_ok", vec![Value::id("dr-jones")])?;
+    facts.insert("registered", vec![Value::id("dr-jones"), Value::id("pat-1")])?;
+
+    let dr = PrincipalId::new("dr-jones");
+    let mut session = Session::start(dr.clone());
+    let ctx = EnvContext::new(0);
+
+    let login = hospital.activate_role(
+        &dr,
+        &RoleName::new("logged_in"),
+        &[Value::id("dr-jones")],
+        session.credentials(),
+        &ctx,
+    )?;
+    println!("activated: {login}");
+    session.add_rmc(login);
+
+    let treating = hospital.activate_role(
+        &dr,
+        &RoleName::new("treating_doctor"),
+        &[Value::id("dr-jones"), Value::id("pat-1")],
+        session.credentials(),
+        &ctx,
+    )?;
+    println!("activated: {treating}");
+    session.add_rmc(treating);
+
+    let invocation = hospital.invoke(
+        &dr,
+        "read_record",
+        &[Value::id("pat-1")],
+        session.credentials(),
+        &ctx,
+    )?;
+    println!("read_record(pat-1) authorised by {:?}", invocation.used);
+
+    // Reading someone else's record is denied.
+    let denied = hospital.invoke(
+        &dr,
+        "read_record",
+        &[Value::id("pat-2")],
+        session.credentials(),
+        &ctx,
+    );
+    println!("read_record(pat-2): {}", denied.unwrap_err());
+
+    // --- Active security -------------------------------------------------
+    // The patient deregisters; the retained membership condition breaks and
+    // the treating_doctor role deactivates *immediately* — no polling.
+    facts.retract("registered", &[Value::id("dr-jones"), Value::id("pat-1")])?;
+    let after = hospital.invoke(
+        &dr,
+        "read_record",
+        &[Value::id("pat-1")],
+        session.credentials(),
+        &ctx,
+    );
+    println!("after deregistration: {}", after.unwrap_err());
+
+    println!("\naudit trail:");
+    for entry in hospital.audit().entries() {
+        println!("  {entry}");
+    }
+    Ok(())
+}

@@ -1,0 +1,106 @@
+//! Sect. 6: untrusted environments and principals — audit certificates
+//! and the evolution of a web of trust.
+//!
+//! Run with `cargo run --example trust_marketplace`.
+//!
+//! Roving principals encounter providers they have never met. Both sides
+//! present audit certificates — notarised interaction records — and each
+//! "may then take a calculated risk on whether to proceed". The example
+//! walks one assessment by hand, demonstrates the collusion attack the
+//! paper warns about (a fake history from a rogue CIV), and then runs the
+//! population simulation to show trust converging despite a Byzantine
+//! minority.
+
+use oasis::prelude::*;
+use oasis::trust::{
+    population, CivNotary, Decision, Outcome, RiskPolicy, TrustAssessor,
+};
+use oasis_core::ServiceId;
+
+fn main() {
+    // --- One assessment, by hand -----------------------------------------
+    let federation_civ = CivNotary::new("federation.civ");
+    let assessor = TrustAssessor::new(500);
+    let policy = RiskPolicy::default();
+
+    let alice = PrincipalId::new("alice");
+    let _library = ServiceId::new("digital-library");
+
+    // Alice has used other services honestly; her wallet holds the
+    // certificates (each issued to both parties at contract completion).
+    let mut wallet = oasis::trust::InteractionHistory::new();
+    for (i, provider) in ["archive", "press", "archive", "maps"].iter().enumerate() {
+        wallet.add(federation_civ.notarise(
+            &alice,
+            &ServiceId::new(*provider),
+            format!("contract-{i}"),
+            Outcome::Fulfilled,
+            (i as u64 + 1) * 10,
+        ));
+    }
+    println!("alice presents: {wallet}");
+
+    // The library verifies each certificate with its issuer before
+    // weighing it ("validates on request").
+    let dropped = wallet.retain_verified(|c| federation_civ.validate(c));
+    assert_eq!(dropped, 0);
+
+    let trusted_civ = federation_civ.id().clone();
+    let weight = move |civ: &ServiceId| if *civ == trusted_civ { 1.0 } else { 0.1 };
+    let score = assessor.score_client(wallet.certificates(), &alice, 60, &weight);
+    println!("library assesses alice: {score} → {}", policy.decide(score));
+    assert_eq!(policy.decide(score), Decision::Proceed);
+
+    // A newcomer gets the guarded middle ground, not a refusal.
+    let newcomer = PrincipalId::new("drifter");
+    let empty: Vec<oasis::trust::AuditCertificate> = Vec::new();
+    let score = assessor.score_client(&empty, &newcomer, 60, &weight);
+    println!("library assesses a newcomer: {score} → {}", policy.decide(score));
+
+    // --- The collusion attack ----------------------------------------------
+    // Mallory and an accomplice fabricate a glowing history via a rogue
+    // CIV domain. Verification succeeds (the certificates are genuine
+    // signatures by the rogue notary) — only the per-domain weighting
+    // defuses them, exactly the factor the paper says must be taken into
+    // account.
+    let rogue_civ = CivNotary::new("shady.civ");
+    let mallory = PrincipalId::new("mallory");
+    let fakes: Vec<_> = (0..40)
+        .map(|i| {
+            rogue_civ.notarise(
+                &mallory,
+                &ServiceId::new("accomplice"),
+                format!("fake-{i}"),
+                Outcome::Fulfilled,
+                50,
+            )
+        })
+        .collect();
+    let naive = assessor.score_client(&fakes, &mallory, 60, |_| 1.0);
+    let wary = assessor.score_client(&fakes, &mallory, 60, &weight);
+    println!("\nmallory with 40 fake certificates:");
+    println!("  naive assessor  : {naive} → {}", policy.decide(naive));
+    println!("  weighted assessor: {wary} → {}", policy.decide(wary));
+
+    // --- Population simulation ----------------------------------------------
+    let config = population::PopulationConfig::default();
+    let report = population::run(&config);
+    println!(
+        "\npopulation: {} honest, {} rogue, {} colluders over {} rounds",
+        config.honest_clients, config.rogue_clients, config.colluders, config.rounds
+    );
+    println!("round  honest-proceed  rogue-guarded");
+    for metrics in report.rounds.iter().step_by(10) {
+        println!(
+            "{:>5}  {:>14.2}  {:>13.2}",
+            metrics.round,
+            metrics.honest_proceed_rate(),
+            metrics.rogue_guard_rate()
+        );
+    }
+    println!(
+        "final quarter: honest proceed {:.2}, rogue guarded {:.2}",
+        report.final_honest_proceed_rate(),
+        report.final_rogue_guard_rate()
+    );
+}

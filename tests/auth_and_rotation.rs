@@ -1,0 +1,202 @@
+//! Integration: Sect. 4.1 — authentication, session keys bound into
+//! RMCs, challenge–response, and issuer secret rotation with re-issue.
+
+use std::sync::Arc;
+
+use oasis::crypto::challenge::{respond, ChallengeService};
+use oasis::crypto::KeyPair;
+use oasis::prelude::*;
+
+fn service() -> Arc<oasis_core::OasisService> {
+    let facts = Arc::new(FactStore::new());
+    facts.define("password_ok", 1).unwrap();
+    facts.insert("password_ok", vec![Value::id("alice")]).unwrap();
+    let svc = OasisService::new(ServiceConfig::new("svc"), facts);
+    svc.define_role("logged_in", &[("u", ValueType::Id)], true)
+        .unwrap();
+    svc.add_activation_rule(
+        "logged_in",
+        vec![Term::var("U")],
+        vec![Atom::env_fact("password_ok", vec![Term::var("U")])],
+        vec![0],
+    )
+    .unwrap();
+    svc
+}
+
+#[test]
+fn session_key_bound_into_rmc_supports_challenge_response() {
+    let svc = service();
+    let alice = PrincipalId::new("alice");
+
+    // "A key-pair can be created by the principal and the public key sent
+    // to the service to be bound into the certificate."
+    let session_pair = KeyPair::generate();
+    let rmc = svc
+        .activate_role_with_key(
+            &alice,
+            &RoleName::new("logged_in"),
+            &[Value::id("alice")],
+            &[],
+            session_pair.public_key(),
+            &EnvContext::new(0),
+        )
+        .unwrap();
+    assert_eq!(rmc.holder_key, Some(session_pair.public_key()));
+
+    // "The service can establish at any time that the caller holds the
+    // corresponding private key by running a challenge–response protocol."
+    let challenger = ChallengeService::new(100);
+    let bound_key = rmc.holder_key.unwrap();
+    let challenge = challenger.issue(bound_key, 10);
+    let response = respond(&session_pair, &challenge, b"svc");
+    assert!(challenger.verify(&bound_key, &response, b"svc", 15).is_ok());
+}
+
+#[test]
+fn thief_with_stolen_rmc_fails_the_challenge() {
+    let svc = service();
+    let alice = PrincipalId::new("alice");
+    let session_pair = KeyPair::generate();
+    let rmc = svc
+        .activate_role_with_key(
+            &alice,
+            &RoleName::new("logged_in"),
+            &[Value::id("alice")],
+            &[],
+            session_pair.public_key(),
+            &EnvContext::new(0),
+        )
+        .unwrap();
+
+    // The thief has the certificate bytes but not the private key.
+    let thief_pair = KeyPair::generate();
+    let challenger = ChallengeService::new(100);
+    let bound_key = rmc.holder_key.unwrap();
+    let challenge = challenger.issue(bound_key, 10);
+    let response = respond(&thief_pair, &challenge, b"svc");
+    assert!(challenger.verify(&bound_key, &response, b"svc", 15).is_err());
+
+    // And swapping their own key into the RMC breaks its MAC.
+    let mut doctored = rmc;
+    doctored.holder_key = Some(thief_pair.public_key());
+    assert!(svc
+        .validate_own(&Credential::Rmc(doctored), &alice, 20)
+        .is_err());
+}
+
+#[test]
+fn rotation_keeps_old_certs_until_retirement_then_requires_reissue() {
+    let svc = service();
+    let alice = PrincipalId::new("alice");
+    let old_rmc = svc
+        .activate_role(
+            &alice,
+            &RoleName::new("logged_in"),
+            &[Value::id("alice")],
+            &[],
+            &EnvContext::new(0),
+        )
+        .unwrap();
+
+    // Rotate twice; old certificates still validate under live epochs.
+    svc.secret().rotate();
+    svc.secret().rotate();
+    assert!(svc
+        .validate_own(&Credential::Rmc(old_rmc.clone()), &alice, 10)
+        .is_ok());
+
+    // "It is likely that appointment certificates would be re-issued,
+    // encrypted with a new server secret, from time to time": re-issue,
+    // then retire the old epochs.
+    let new_rmc = svc
+        .activate_role(
+            &alice,
+            &RoleName::new("logged_in"),
+            &[Value::id("alice")],
+            &[],
+            &EnvContext::new(11),
+        )
+        .unwrap();
+    assert!(new_rmc.epoch > old_rmc.epoch);
+    let current = svc.secret().current_epoch();
+    svc.secret().retire_before(current);
+
+    assert!(
+        svc.validate_own(&Credential::Rmc(old_rmc), &alice, 12).is_err(),
+        "pre-rotation certificate must die with its epoch"
+    );
+    assert!(svc
+        .validate_own(&Credential::Rmc(new_rmc), &alice, 12)
+        .is_ok());
+}
+
+#[test]
+fn challenges_expire_and_never_replay() {
+    let challenger = ChallengeService::new(10);
+    let pair = KeyPair::generate();
+    let key = pair.public_key();
+
+    // Expiry.
+    let stale = challenger.issue(key, 0);
+    let stale_resp = respond(&pair, &stale, b"ctx");
+    assert!(challenger.verify(&key, &stale_resp, b"ctx", 11).is_err());
+
+    // Replay.
+    let fresh = challenger.issue(key, 20);
+    let resp = respond(&pair, &fresh, b"ctx");
+    challenger.verify(&key, &resp, b"ctx", 21).unwrap();
+    assert!(challenger.verify(&key, &resp, b"ctx", 22).is_err());
+
+    // Housekeeping.
+    challenger.issue(key, 30);
+    assert!(challenger.pending() >= 1);
+    challenger.evict_expired(1_000);
+    assert_eq!(challenger.pending(), 0);
+}
+
+#[test]
+fn appointment_bound_to_long_lived_key() {
+    // Sect. 4.1: appointment certificates "can be made principal-specific
+    // by including a persistent principal id … such as a long-lived public
+    // key of the principal".
+    let svc = service();
+    let alice = PrincipalId::new("alice");
+    let login = svc
+        .activate_role(
+            &alice,
+            &RoleName::new("logged_in"),
+            &[Value::id("alice")],
+            &[],
+            &EnvContext::new(0),
+        )
+        .unwrap();
+    svc.grant_appointer("logged_in", "delegate").unwrap();
+
+    let bob = PrincipalId::new("bob");
+    let bob_pair = KeyPair::generate();
+    let cert = svc
+        .issue_appointment(
+            &alice,
+            &[Credential::Rmc(login)],
+            "delegate",
+            vec![],
+            &bob,
+            None,
+            Some(bob_pair.public_key()),
+            &EnvContext::new(1),
+        )
+        .unwrap();
+    assert_eq!(cert.holder_key, Some(bob_pair.public_key()));
+    assert!(svc
+        .validate_own(&Credential::Appointment(cert.clone()), &bob, 2)
+        .is_ok());
+
+    // The bound key lets any service challenge the presenter, any time.
+    let challenger = ChallengeService::new(50);
+    let ch = challenger.issue(cert.holder_key.unwrap(), 5);
+    let resp = respond(&bob_pair, &ch, b"svc");
+    assert!(challenger
+        .verify(&cert.holder_key.unwrap(), &resp, b"svc", 6)
+        .is_ok());
+}

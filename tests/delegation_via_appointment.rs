@@ -1,0 +1,288 @@
+//! Integration: building *delegation* out of appointment, as Sect. 2
+//! prescribes: "If an application requires delegation then it can be
+//! built using appointment. The role of the delegator must be granted the
+//! privilege of issuing appointment certificates, and a role must be
+//! established to hold the privileges to be assigned. Finally an
+//! activation rule must be defined to ensure that the appointment
+//! certificate is presented in an appropriate context."
+
+use std::sync::Arc;
+
+use oasis::prelude::*;
+
+/// A ward where the charge nurse can delegate medication sign-off to a
+/// staff nurse for the duration of a shift.
+struct Ward {
+    service: Arc<oasis_core::OasisService>,
+    facts: Arc<FactStore<Value>>,
+}
+
+fn build() -> Ward {
+    let facts = Arc::new(FactStore::new());
+    facts.define("staff", 2).unwrap(); // staff(person, grade)
+    let service = OasisService::new(ServiceConfig::new("ward"), Arc::clone(&facts));
+
+    service
+        .define_role("on_shift", &[("who", ValueType::Id), ("grade", ValueType::Id)], true)
+        .unwrap();
+    service
+        .add_activation_rule(
+            "on_shift",
+            vec![Term::var("W"), Term::var("G")],
+            vec![Atom::env_fact("staff", vec![Term::var("W"), Term::var("G")])],
+            vec![0],
+        )
+        .unwrap();
+
+    // The role holding the privileges to be assigned.
+    service
+        .define_role("medication_signoff", &[("who", ValueType::Id)], false)
+        .unwrap();
+    // Charge nurses hold it directly…
+    service
+        .add_activation_rule(
+            "medication_signoff",
+            vec![Term::var("W")],
+            vec![Atom::prereq(
+                "on_shift",
+                vec![Term::var("W"), Term::val(Value::id("charge_nurse"))],
+            )],
+            vec![0],
+        )
+        .unwrap();
+    // …staff nurses only via a delegation certificate, and only while on
+    // shift (the "appropriate context" of the recipe). The delegation is
+    // transient: it expires with the shift.
+    service
+        .add_activation_rule(
+            "medication_signoff",
+            vec![Term::var("W")],
+            vec![
+                Atom::prereq("on_shift", vec![Term::var("W"), Term::val(Value::id("staff_nurse"))]),
+                Atom::appointment("signoff_delegated", vec![Term::var("W")]),
+            ],
+            vec![0, 1],
+        )
+        .unwrap();
+    // The delegator's role carries the appointing privilege.
+    service.grant_appointer("on_shift", "signoff_delegated").unwrap();
+
+    service.add_invocation_rule(
+        "sign_medication",
+        vec![],
+        vec![Atom::prereq("medication_signoff", vec![Term::Wildcard])],
+    );
+
+    Ward { service, facts }
+}
+
+fn on_shift(ward: &Ward, who: &str, grade: &str) -> oasis_core::cert::Rmc {
+    ward.facts
+        .insert("staff", vec![Value::id(who), Value::id(grade)])
+        .unwrap();
+    ward.service
+        .activate_role(
+            &PrincipalId::new(who),
+            &RoleName::new("on_shift"),
+            &[Value::id(who), Value::id(grade)],
+            &[],
+            &EnvContext::new(0),
+        )
+        .unwrap()
+}
+
+#[test]
+fn delegation_grants_the_delegatee_but_requires_context() {
+    let ward = build();
+    let charge = on_shift(&ward, "pat", "charge_nurse");
+    let staff = on_shift(&ward, "sam", "staff_nurse");
+    let sam = PrincipalId::new("sam");
+    let ctx = EnvContext::new(1);
+
+    // Before delegation: denied.
+    assert!(ward
+        .service
+        .activate_role(
+            &sam,
+            &RoleName::new("medication_signoff"),
+            &[Value::id("sam")],
+            &[Credential::Rmc(staff.clone())],
+            &ctx,
+        )
+        .is_err());
+
+    // The charge nurse delegates (bounded to the shift by expiry).
+    let delegation = ward
+        .service
+        .issue_appointment(
+            &PrincipalId::new("pat"),
+            &[Credential::Rmc(charge.clone())],
+            "signoff_delegated",
+            vec![Value::id("sam")],
+            &sam,
+            Some(480), // end of shift
+            None,
+            &ctx,
+        )
+        .unwrap();
+
+    let signoff = ward
+        .service
+        .activate_role(
+            &sam,
+            &RoleName::new("medication_signoff"),
+            &[Value::id("sam")],
+            &[
+                Credential::Rmc(staff.clone()),
+                Credential::Appointment(delegation.clone()),
+            ],
+            &ctx,
+        )
+        .unwrap();
+    assert!(ward
+        .service
+        .invoke(&sam, "sign_medication", &[], &[Credential::Rmc(signoff.clone())], &ctx)
+        .is_ok());
+
+    // The context requirement bites: off shift, the delegation alone is
+    // not enough to re-activate.
+    ward.facts
+        .retract("staff", &[Value::id("sam"), Value::id("staff_nurse")])
+        .unwrap();
+    // The active role collapsed too (membership retained the shift role).
+    assert!(ward
+        .service
+        .invoke(&sam, "sign_medication", &[], &[Credential::Rmc(signoff)], &EnvContext::new(2))
+        .is_err());
+    assert!(ward
+        .service
+        .activate_role(
+            &sam,
+            &RoleName::new("medication_signoff"),
+            &[Value::id("sam")],
+            &[Credential::Rmc(staff), Credential::Appointment(delegation)],
+            &EnvContext::new(2),
+        )
+        .is_err());
+}
+
+#[test]
+fn delegation_is_not_transferable() {
+    let ward = build();
+    let charge = on_shift(&ward, "pat", "charge_nurse");
+    let _staff = on_shift(&ward, "sam", "staff_nurse");
+    let other = on_shift(&ward, "toni", "staff_nurse");
+    let ctx = EnvContext::new(1);
+
+    let delegation = ward
+        .service
+        .issue_appointment(
+            &PrincipalId::new("pat"),
+            &[Credential::Rmc(charge)],
+            "signoff_delegated",
+            vec![Value::id("sam")],
+            &PrincipalId::new("sam"),
+            Some(480),
+            None,
+            &ctx,
+        )
+        .unwrap();
+
+    // Toni presents Sam's delegation: the certificate's MAC binds Sam, so
+    // validation rejects it before the rule is even tried.
+    assert!(ward
+        .service
+        .activate_role(
+            &PrincipalId::new("toni"),
+            &RoleName::new("medication_signoff"),
+            &[Value::id("toni")],
+            &[Credential::Rmc(other), Credential::Appointment(delegation)],
+            &ctx,
+        )
+        .is_err());
+}
+
+#[test]
+fn delegator_need_not_hold_the_privilege() {
+    // The paper's point that appointers need not be entitled themselves:
+    // a ward administrator (not medically qualified) can be made the
+    // delegator instead of the charge nurse.
+    let ward = build();
+    ward.service
+        .grant_appointer("on_shift", "signoff_delegated")
+        .unwrap(); // idempotent grant; admins are on_shift too
+    let admin = on_shift(&ward, "ada", "administrator");
+    let staff = on_shift(&ward, "sam", "staff_nurse");
+    let ctx = EnvContext::new(1);
+
+    let delegation = ward
+        .service
+        .issue_appointment(
+            &PrincipalId::new("ada"),
+            &[Credential::Rmc(admin.clone())],
+            "signoff_delegated",
+            vec![Value::id("sam")],
+            &PrincipalId::new("sam"),
+            None,
+            None,
+            &ctx,
+        )
+        .unwrap();
+
+    // The administrator cannot activate the privileged role…
+    assert!(ward
+        .service
+        .activate_role(
+            &PrincipalId::new("ada"),
+            &RoleName::new("medication_signoff"),
+            &[Value::id("ada")],
+            &[Credential::Rmc(admin)],
+            &ctx,
+        )
+        .is_err());
+    // …but the nurse she appointed can.
+    assert!(ward
+        .service
+        .activate_role(
+            &PrincipalId::new("sam"),
+            &RoleName::new("medication_signoff"),
+            &[Value::id("sam")],
+            &[Credential::Rmc(staff), Credential::Appointment(delegation)],
+            &ctx,
+        )
+        .is_ok());
+}
+
+#[test]
+fn expired_delegation_lapses() {
+    let ward = build();
+    let charge = on_shift(&ward, "pat", "charge_nurse");
+    let staff = on_shift(&ward, "sam", "staff_nurse");
+    let sam = PrincipalId::new("sam");
+
+    let delegation = ward
+        .service
+        .issue_appointment(
+            &PrincipalId::new("pat"),
+            &[Credential::Rmc(charge)],
+            "signoff_delegated",
+            vec![Value::id("sam")],
+            &sam,
+            Some(480),
+            None,
+            &EnvContext::new(1),
+        )
+        .unwrap();
+
+    // After the shift boundary the certificate no longer validates.
+    assert!(ward
+        .service
+        .activate_role(
+            &sam,
+            &RoleName::new("medication_signoff"),
+            &[Value::id("sam")],
+            &[Credential::Rmc(staff), Credential::Appointment(delegation)],
+            &EnvContext::new(481),
+        )
+        .is_err());
+}

@@ -1,0 +1,291 @@
+//! Integration: failure injection — CIV replica crashes mid-stream,
+//! issuer outages, lost revocation events, partitions in the simulated
+//! network, and the defence layers (replication, TTL backstops,
+//! heartbeats) the architecture prescribes for each.
+
+use std::cell::RefCell;
+use std::rc::Rc;
+use std::sync::Arc;
+
+use oasis::prelude::*;
+use oasis::events::{HeartbeatMonitor, SourceHealth, SourceId};
+use oasis::sim::{Latency, LinkConfig, SimNet, Simulation};
+use oasis_core::CredentialValidator;
+
+fn guest_world() -> (Arc<Domain>, Arc<oasis_core::OasisService>, Credential, PrincipalId) {
+    let domain = Domain::new("d", EventBus::new());
+    let svc = domain.create_service("svc");
+    svc.define_role("guest", &[("u", ValueType::Id)], true).unwrap();
+    svc.add_activation_rule("guest", vec![Term::var("U")], vec![], vec![])
+        .unwrap();
+    let alice = PrincipalId::new("alice");
+    let rmc = svc
+        .activate_role(
+            &alice,
+            &RoleName::new("guest"),
+            &[Value::id("alice")],
+            &[],
+            &EnvContext::new(0),
+        )
+        .unwrap();
+    (domain, svc, Credential::Rmc(rmc), alice)
+}
+
+#[test]
+fn validation_survives_one_and_two_replica_crashes() {
+    let (domain, _svc, cred, alice) = guest_world();
+    let civ = domain.civ();
+    civ.validate(&cred, &alice, 1).unwrap();
+
+    civ.fail_replica(0).unwrap();
+    assert!(civ.validate(&cred, &alice, 2).is_ok(), "replica 1 serves");
+    civ.fail_replica(1).unwrap();
+    assert!(civ.validate(&cred, &alice, 3).is_ok(), "replica 2 serves");
+    civ.fail_replica(2).unwrap();
+    assert!(civ.validate(&cred, &alice, 4).is_err(), "no replicas left");
+
+    civ.recover_replica(0).unwrap();
+    assert!(civ.validate(&cred, &alice, 5).is_ok());
+}
+
+#[test]
+fn issuer_outage_bridged_by_replica_memory_then_revocation_still_wins() {
+    let (domain, svc, cred, alice) = guest_world();
+    let civ = domain.civ();
+    civ.validate(&cred, &alice, 1).unwrap();
+
+    // Issuer goes down; the replica vouches from memory.
+    civ.set_issuer_up(svc.id(), false);
+    assert!(civ.validate(&cred, &alice, 2).is_ok());
+
+    // The issuer comes back just long enough to revoke, then dies again.
+    civ.set_issuer_up(svc.id(), true);
+    svc.revoke_certificate(cred.crr().cert_id, "compromised", 3);
+    civ.set_issuer_up(svc.id(), false);
+
+    // The revocation log wins over the stale validation memory.
+    assert!(civ.validate(&cred, &alice, 4).is_err());
+}
+
+#[test]
+fn replica_crash_during_revocation_storm_recovers_consistently() {
+    let domain = Domain::new("d", EventBus::new());
+    let svc = domain.create_service("svc");
+    svc.define_role("guest", &[("n", ValueType::Int)], true).unwrap();
+    svc.add_activation_rule("guest", vec![Term::var("N")], vec![], vec![])
+        .unwrap();
+    let alice = PrincipalId::new("alice");
+    let ctx = EnvContext::new(0);
+    let rmcs: Vec<_> = (0..50)
+        .map(|n| {
+            svc.activate_role(&alice, &RoleName::new("guest"), &[Value::Int(n)], &[], &ctx)
+                .unwrap()
+        })
+        .collect();
+    let civ = domain.civ();
+    for rmc in &rmcs {
+        civ.validate_at_replica(1, &Credential::Rmc(rmc.clone()), &alice, 1)
+            .unwrap();
+    }
+
+    // Replica 1 crashes partway through a revocation storm.
+    for rmc in &rmcs[..20] {
+        svc.revoke_certificate(rmc.crr.cert_id, "storm", 2);
+    }
+    civ.fail_replica(1).unwrap();
+    for rmc in &rmcs[20..40] {
+        svc.revoke_certificate(rmc.crr.cert_id, "storm", 3);
+    }
+
+    // While down (and with the issuer unreachable), the crashed replica
+    // would wrongly vouch for revocations it missed.
+    civ.set_issuer_up(svc.id(), false);
+    let missed = &rmcs[25];
+    assert!(civ
+        .validate_at_replica(1, &Credential::Rmc(missed.clone()), &alice, 4)
+        .is_ok());
+
+    // Recovery replays the log: all 40 revocations now hold at replica 1.
+    civ.recover_replica(1).unwrap();
+    for rmc in &rmcs[..40] {
+        assert!(civ
+            .validate_at_replica(1, &Credential::Rmc(rmc.clone()), &alice, 5)
+            .is_err());
+    }
+    // The 10 never-revoked certificates still vouch from memory.
+    for rmc in &rmcs[40..] {
+        assert!(civ
+            .validate_at_replica(1, &Credential::Rmc(rmc.clone()), &alice, 5)
+            .is_ok());
+    }
+}
+
+#[test]
+fn lost_revocation_event_is_bounded_by_ttl_backstop() {
+    // A proxy whose push channel is gone (modelling a lost event /
+    // partitioned event fabric) keeps serving a revoked credential — but
+    // only until its TTL, which bounds the damage.
+    let (domain, svc, cred, alice) = guest_world();
+    let ttl = 50;
+    let proxy = EcrProxy::without_push(
+        {
+            let civ: Arc<dyn CredentialValidator> = domain.civ().clone();
+            civ
+        },
+        ttl,
+    );
+    proxy.validate(&cred, &alice, 0).unwrap();
+    svc.revoke_certificate(cred.crr().cert_id, "gone", 1);
+
+    let mut stale_accepts = 0;
+    for t in 2..200 {
+        if proxy.validate(&cred, &alice, t).is_ok() {
+            stale_accepts += 1;
+        }
+    }
+    assert!(stale_accepts > 0, "without push there IS a staleness window");
+    assert!(
+        stale_accepts <= ttl as usize,
+        "but it is bounded by the TTL: {stale_accepts} > {ttl}"
+    );
+}
+
+#[test]
+fn partitioned_issuer_detected_by_heartbeats_in_simulation() {
+    // Drive a heartbeat monitor from the discrete-event simulation: the
+    // issuer beats every 10 ticks over the simulated network; a partition
+    // at t=100 silences it, and the holder observes Late → Dead at the
+    // prescribed thresholds.
+    let mut sim = Simulation::new(5);
+    let net = Rc::new(RefCell::new(SimNet::new(LinkConfig {
+        latency: Latency::Constant(2),
+        loss: 0.0,
+    })));
+    let monitor = Rc::new(HeartbeatMonitor::new(3));
+    let issuer = SourceId::new("issuer");
+    monitor.register(issuer.clone(), 10, 0);
+
+    // Issuer beats every 10 ticks until t=200.
+    for t in (10..200).step_by(10) {
+        let net = Rc::clone(&net);
+        let monitor = Rc::clone(&monitor);
+        let issuer = issuer.clone();
+        sim.schedule_at(t, move |sim| {
+            let monitor = Rc::clone(&monitor);
+            let issuer = issuer.clone();
+            net.borrow_mut().send(sim, "issuer", "holder", move |sim| {
+                monitor.beat(&issuer, sim.now());
+            });
+        });
+    }
+    // Partition at t=100.
+    {
+        let net = Rc::clone(&net);
+        sim.schedule_at(100, move |_| {
+            net.borrow_mut().partition("issuer", "holder");
+        });
+    }
+    // Observations.
+    let observations = Rc::new(RefCell::new(Vec::new()));
+    for t in [95u64, 105, 115, 140] {
+        let monitor = Rc::clone(&monitor);
+        let issuer = issuer.clone();
+        let observations = Rc::clone(&observations);
+        sim.schedule_at(t, move |sim| {
+            observations
+                .borrow_mut()
+                .push((sim.now(), monitor.health(&issuer, sim.now()).unwrap()));
+        });
+    }
+    sim.run();
+
+    let obs = observations.borrow();
+    assert_eq!(obs[0].1, SourceHealth::Healthy, "before the partition");
+    // Last beat delivered was sent at t=90, arriving t=92. At t=105 the
+    // monitor is inside one interval+slack; by 115 it is Late; by 140,
+    // past 3 intervals, Dead.
+    assert_eq!(obs[2].1, SourceHealth::Late, "one missed interval");
+    assert_eq!(obs[3].1, SourceHealth::Dead, "silence past the threshold");
+}
+
+#[test]
+fn heartbeat_guarded_cache_closes_the_lost_event_window() {
+    // The full Fig 5 belt-and-braces configuration: an ECR cache that is
+    // push-invalidated AND heartbeat-guarded. When the event channel
+    // fails silently (here: the revocation event is published on a bus
+    // the proxy is not subscribed to, modelling a partition), the missing
+    // heartbeats alone stop the cache from vouching.
+    let (domain, svc, cred, alice) = guest_world();
+
+    let monitor = Arc::new(HeartbeatMonitor::new(3));
+    let issuer_source = SourceId::new(svc.id().as_str());
+    monitor.register(issuer_source.clone(), 10, 0);
+
+    // Subscribe the proxy to a *disconnected* bus: pushes never arrive.
+    let dead_bus: EventBus<CertEvent> = EventBus::new();
+    let upstream: Arc<dyn CredentialValidator> = domain.civ().clone();
+    let proxy = EcrProxy::with_heartbeats(upstream, &dead_bus, u64::MAX, monitor.clone());
+
+    monitor.beat(&issuer_source, 5);
+    proxy.validate(&cred, &alice, 6).unwrap();
+    proxy.validate(&cred, &alice, 7).unwrap();
+    assert_eq!(proxy.stats().hits, 1);
+
+    // Revocation happens; the push never reaches the proxy (dead bus).
+    svc.revoke_certificate(cred.crr().cert_id, "gone", 8);
+    // …and the partition also stops the heartbeats. Once the issuer is
+    // no longer Healthy, the cache refuses to vouch and the callback
+    // discovers the revocation.
+    assert!(
+        proxy.validate(&cred, &alice, 9).is_ok(),
+        "inside the heartbeat window the stale cache still answers — the bounded risk"
+    );
+    assert!(
+        proxy.validate(&cred, &alice, 50).is_err(),
+        "past the heartbeat window the guard forces a callback, which denies"
+    );
+    assert!(proxy.stats().heartbeat_bypasses >= 1);
+}
+
+#[test]
+fn lossy_network_eventually_delivers_with_retries() {
+    // A 40%-lossy link: a sender retrying every 5 ticks until acked gets
+    // the revocation through; the simulation is deterministic per seed.
+    let mut sim = Simulation::new(11);
+    let net = Rc::new(RefCell::new(SimNet::new(LinkConfig {
+        latency: Latency::Constant(1),
+        loss: 0.4,
+    })));
+    let delivered = Rc::new(RefCell::new(None::<u64>));
+
+    fn attempt(
+        sim: &mut Simulation,
+        net: Rc<RefCell<SimNet>>,
+        delivered: Rc<RefCell<Option<u64>>>,
+    ) {
+        if delivered.borrow().is_some() {
+            return;
+        }
+        let ok = {
+            let d2 = Rc::clone(&delivered);
+            net.borrow_mut().send(sim, "a", "b", move |sim| {
+                d2.borrow_mut().get_or_insert(sim.now());
+            })
+        };
+        let _ = ok;
+        let net2 = Rc::clone(&net);
+        let d3 = Rc::clone(&delivered);
+        sim.schedule_in(5, move |sim| attempt(sim, net2, d3));
+    }
+
+    {
+        let net = Rc::clone(&net);
+        let delivered = Rc::clone(&delivered);
+        sim.schedule_at(0, move |sim| attempt(sim, net, delivered));
+    }
+    sim.run_until(1_000);
+    assert!(
+        delivered.borrow().is_some(),
+        "retries must eventually deliver over a 40% lossy link"
+    );
+}

@@ -1,0 +1,227 @@
+//! Integration: Fig 5's active security at scale — revocation cascades
+//! across services and domains, heartbeat-guarded caching, and the
+//! push-vs-poll comparison the architecture is built around.
+
+use std::sync::Arc;
+
+use oasis::prelude::*;
+use oasis::events::{HeartbeatMonitor, SourceHealth, SourceId};
+use oasis_core::CredentialKind;
+
+/// Builds `depth` chained services, each in its own domain, where the
+/// role at service i+1 requires the role at service i. Returns the
+/// federation and the chain of RMCs.
+fn chain(depth: usize) -> (Arc<Federation>, Vec<Arc<oasis_core::OasisService>>, Vec<oasis_core::cert::Rmc>) {
+    let federation = Federation::new();
+    let mut services = Vec::new();
+    for i in 0..depth {
+        let domain = Domain::new(format!("domain-{i}"), federation.bus().clone());
+        federation.register(&domain);
+        let svc = domain.create_service(format!("svc-{i}"));
+        svc.set_validator(federation.validator_for(format!("domain-{i}")));
+        svc.define_role("link", &[("u", ValueType::Id)], i == 0).unwrap();
+        if i == 0 {
+            svc.add_activation_rule("link", vec![Term::var("U")], vec![], vec![])
+                .unwrap();
+        } else {
+            svc.add_activation_rule(
+                "link",
+                vec![Term::var("U")],
+                vec![Atom::prereq_at(
+                    format!("svc-{}", i - 1),
+                    "link",
+                    vec![Term::var("U")],
+                )],
+                vec![0],
+            )
+            .unwrap();
+            federation.add_sla(
+                Sla::between(format!("domain-{i}"), format!("domain-{}", i - 1)).accept(
+                    SlaClause {
+                        issuer: format!("svc-{}", i - 1).into(),
+                        name: "link".into(),
+                        kind: CredentialKind::Rmc,
+                    },
+                ),
+            );
+        }
+        services.push(svc);
+    }
+
+    let alice = PrincipalId::new("alice");
+    let ctx = EnvContext::new(0);
+    let mut rmcs: Vec<oasis_core::cert::Rmc> = Vec::new();
+    for (i, svc) in services.iter().enumerate() {
+        let presented: Vec<Credential> = rmcs
+            .last()
+            .map(|r| vec![Credential::Rmc(r.clone())])
+            .unwrap_or_default();
+        let rmc = svc
+            .activate_role(
+                &alice,
+                &RoleName::new("link"),
+                &[Value::id("alice")],
+                &presented,
+                &ctx,
+            )
+            .unwrap_or_else(|e| panic!("link {i}: {e}"));
+        rmcs.push(rmc);
+    }
+    (federation, services, rmcs)
+}
+
+#[test]
+fn cross_domain_chain_collapses_from_the_root() {
+    let (_federation, services, rmcs) = chain(8);
+    services[0].revoke_certificate(rmcs[0].crr.cert_id, "logout", 1);
+    let alice = PrincipalId::new("alice");
+    for (svc, rmc) in services.iter().zip(&rmcs) {
+        assert!(
+            svc.validate_own(&Credential::Rmc(rmc.clone()), &alice, 2).is_err(),
+            "{} should be revoked",
+            rmc.crr
+        );
+    }
+}
+
+#[test]
+fn cutting_the_chain_midway_preserves_the_prefix() {
+    let (_federation, services, rmcs) = chain(8);
+    services[4].revoke_certificate(rmcs[4].crr.cert_id, "mid cut", 1);
+    let alice = PrincipalId::new("alice");
+    for (i, (svc, rmc)) in services.iter().zip(&rmcs).enumerate() {
+        let valid = svc.validate_own(&Credential::Rmc(rmc.clone()), &alice, 2).is_ok();
+        assert_eq!(valid, i < 4, "link {i}");
+    }
+}
+
+#[test]
+fn every_domain_civ_logged_the_cascade() {
+    let (federation, services, rmcs) = chain(4);
+    services[0].revoke_certificate(rmcs[0].crr.cert_id, "logout", 1);
+    // 4 revocations happened; every domain's CIV observed all of them via
+    // the shared bus.
+    for i in 0..4 {
+        let domain = federation
+            .domain(&oasis_core::DomainId::new(format!("domain-{i}")))
+            .unwrap();
+        assert_eq!(domain.civ().log_len(), 4, "domain-{i}");
+    }
+}
+
+#[test]
+fn push_invalidation_beats_ttl_polling() {
+    // The architectural claim behind Fig 5: with an event channel, a cache
+    // never serves a revoked credential; with TTL-only caching it keeps
+    // serving it until the TTL lapses.
+    let (federation, services, rmcs) = chain(2);
+    let alice = PrincipalId::new("alice");
+    let root_rmc = &rmcs[0];
+
+    let upstream_push = federation.validator_for("domain-1");
+    let upstream_poll = federation.validator_for("domain-1");
+    let with_push = EcrProxy::new(upstream_push, federation.bus(), 1_000);
+    let ttl_only = EcrProxy::without_push(upstream_poll, 1_000);
+
+    use oasis_core::CredentialValidator;
+    with_push
+        .validate(&Credential::Rmc(root_rmc.clone()), &alice, 0)
+        .unwrap();
+    ttl_only
+        .validate(&Credential::Rmc(root_rmc.clone()), &alice, 0)
+        .unwrap();
+
+    services[0].revoke_certificate(root_rmc.crr.cert_id, "logout", 10);
+
+    // Pushed cache: denied immediately.
+    assert!(with_push
+        .validate(&Credential::Rmc(root_rmc.clone()), &alice, 11)
+        .is_err());
+    // TTL cache: still vouching for a revoked credential…
+    assert!(ttl_only
+        .validate(&Credential::Rmc(root_rmc.clone()), &alice, 11)
+        .is_ok());
+    // …for the remainder of its TTL.
+    assert!(ttl_only
+        .validate(&Credential::Rmc(root_rmc.clone()), &alice, 1_000)
+        .is_ok());
+    assert!(ttl_only
+        .validate(&Credential::Rmc(root_rmc.clone()), &alice, 1_001)
+        .is_err());
+}
+
+#[test]
+fn heartbeats_tell_holders_when_to_distrust_the_channel() {
+    // Fig 5 labels the inter-service edges "heartbeats or change events":
+    // if the issuer goes silent, a holder must stop trusting its cache
+    // even though no revocation arrived.
+    let monitor = HeartbeatMonitor::new(3);
+    let issuer = SourceId::new("svc-0");
+    monitor.register(issuer.clone(), 10, 0);
+
+    for t in [10, 20, 30] {
+        monitor.beat(&issuer, t);
+        assert_eq!(monitor.health(&issuer, t), Some(SourceHealth::Healthy));
+    }
+    // Partition: beats stop arriving.
+    assert_eq!(monitor.health(&issuer, 45), Some(SourceHealth::Late));
+    assert_eq!(monitor.health(&issuer, 100), Some(SourceHealth::Dead));
+    assert_eq!(monitor.overdue(100).len(), 1);
+}
+
+#[test]
+fn fanout_cascade_event_counts_scale_linearly() {
+    // One root supporting N leaves across a service boundary: revoking the
+    // root publishes exactly N+1 revocation events on the bus.
+    let facts = Arc::new(FactStore::new());
+    let bus: EventBus<CertEvent> = EventBus::new();
+    let root_svc = OasisService::new(
+        ServiceConfig::new("root").with_bus(bus.clone()),
+        Arc::clone(&facts),
+    );
+    root_svc.define_role("root", &[], true).unwrap();
+    root_svc.add_activation_rule("root", vec![], vec![], vec![]).unwrap();
+    let leaf_svc = OasisService::new(
+        ServiceConfig::new("leaf").with_bus(bus.clone()),
+        Arc::clone(&facts),
+    );
+    leaf_svc
+        .define_role("leaf", &[("n", ValueType::Int)], false)
+        .unwrap();
+    leaf_svc
+        .add_activation_rule(
+            "leaf",
+            vec![Term::var("N")],
+            vec![Atom::prereq_at("root", "root", vec![])],
+            vec![0],
+        )
+        .unwrap();
+    let registry = Arc::new(LocalRegistry::new());
+    registry.register(&root_svc);
+    registry.register(&leaf_svc);
+    leaf_svc.set_validator(registry);
+
+    let alice = PrincipalId::new("alice");
+    let ctx = EnvContext::new(0);
+    let root = root_svc
+        .activate_role(&alice, &RoleName::new("root"), &[], &[], &ctx)
+        .unwrap();
+    let n = 64;
+    for i in 0..n {
+        leaf_svc
+            .activate_role(
+                &alice,
+                &RoleName::new("leaf"),
+                &[Value::Int(i)],
+                &[Credential::Rmc(root.clone())],
+                &ctx,
+            )
+            .unwrap();
+    }
+
+    let before = bus.stats().published;
+    root_svc.revoke_certificate(root.crr.cert_id, "logout", 1);
+    let published = bus.stats().published - before;
+    assert_eq!(published, (n as u64) + 1);
+    assert_eq!(leaf_svc.record_stats(), (0, n as usize, 0));
+}

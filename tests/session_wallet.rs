@@ -1,0 +1,237 @@
+//! Integration: the client-side session wallet against live services —
+//! accumulation, presentation, pruning after server-side cascades.
+
+use std::sync::Arc;
+
+use oasis::prelude::*;
+
+struct World {
+    facts: Arc<FactStore<Value>>,
+    login: Arc<oasis_core::OasisService>,
+    ward: Arc<oasis_core::OasisService>,
+    registry: Arc<LocalRegistry>,
+}
+
+fn build() -> World {
+    let facts = Arc::new(FactStore::new());
+    facts.define("password_ok", 1).unwrap();
+    let bus: EventBus<CertEvent> = EventBus::new();
+
+    let login = OasisService::new(
+        ServiceConfig::new("login").with_bus(bus.clone()),
+        Arc::clone(&facts),
+    );
+    login
+        .define_role("logged_in", &[("u", ValueType::Id)], true)
+        .unwrap();
+    login
+        .add_activation_rule(
+            "logged_in",
+            vec![Term::var("U")],
+            vec![Atom::env_fact("password_ok", vec![Term::var("U")])],
+            vec![0],
+        )
+        .unwrap();
+
+    let ward = OasisService::new(
+        ServiceConfig::new("ward").with_bus(bus.clone()),
+        Arc::clone(&facts),
+    );
+    ward.define_role("nurse", &[("u", ValueType::Id)], false)
+        .unwrap();
+    ward.add_activation_rule(
+        "nurse",
+        vec![Term::var("U")],
+        vec![Atom::prereq_at("login", "logged_in", vec![Term::var("U")])],
+        vec![0],
+    )
+    .unwrap();
+    ward.add_invocation_rule(
+        "chart",
+        vec![],
+        vec![Atom::prereq("nurse", vec![Term::Wildcard])],
+    );
+
+    let registry = Arc::new(LocalRegistry::new());
+    registry.register(&login);
+    registry.register(&ward);
+    login.set_validator(registry.clone());
+    ward.set_validator(registry.clone());
+
+    World {
+        facts,
+        login,
+        ward,
+        registry,
+    }
+}
+
+fn establish(world: &World) -> Session {
+    world
+        .facts
+        .insert("password_ok", vec![Value::id("nia")])
+        .unwrap();
+    let nia = PrincipalId::new("nia");
+    let mut session = Session::start(nia.clone());
+    let ctx = EnvContext::new(0);
+
+    let login = world
+        .login
+        .activate_role(
+            &nia,
+            &RoleName::new("logged_in"),
+            &[Value::id("nia")],
+            session.credentials(),
+            &ctx,
+        )
+        .unwrap();
+    session.add_rmc(login);
+    let nurse = world
+        .ward
+        .activate_role(
+            &nia,
+            &RoleName::new("nurse"),
+            &[Value::id("nia")],
+            session.credentials(),
+            &ctx,
+        )
+        .unwrap();
+    session.add_rmc(nurse);
+    session
+}
+
+#[test]
+fn wallet_presents_everything_needed() {
+    let world = build();
+    let session = establish(&world);
+    assert_eq!(session.len(), 2);
+    let view = session.view();
+    assert_eq!(view.active_roles.len(), 2);
+    assert!(world
+        .ward
+        .invoke(
+            session.principal(),
+            "chart",
+            &[],
+            session.credentials(),
+            &EnvContext::new(1),
+        )
+        .is_ok());
+}
+
+#[test]
+fn prune_reflects_server_side_cascade() {
+    let world = build();
+    let mut session = establish(&world);
+    let login_crr = session
+        .rmc_for(&ServiceId::new("login"), &RoleName::new("logged_in"))
+        .unwrap()
+        .crr
+        .clone();
+
+    // Logout at the root: the ward role collapses server-side.
+    world.login.revoke_certificate(login_crr.cert_id, "logout", 5);
+
+    // The wallet still *holds* both certificates…
+    assert_eq!(session.len(), 2);
+    // …but pruning against the issuers empties it.
+    let dropped = session.prune_invalid(world.registry.as_ref(), 6);
+    assert_eq!(dropped.len(), 2);
+    assert!(session.is_empty());
+    assert!(world
+        .ward
+        .invoke(
+            session.principal(),
+            "chart",
+            &[],
+            session.credentials(),
+            &EnvContext::new(7),
+        )
+        .is_err());
+}
+
+#[test]
+fn partial_prune_keeps_surviving_roles() {
+    let world = build();
+    let mut session = establish(&world);
+    let nurse_crr = session
+        .rmc_for(&ServiceId::new("ward"), &RoleName::new("nurse"))
+        .unwrap()
+        .crr
+        .clone();
+
+    // Only the leaf is revoked: the root survives.
+    world.ward.revoke_certificate(nurse_crr.cert_id, "reassigned", 5);
+    let dropped = session.prune_invalid(world.registry.as_ref(), 6);
+    assert_eq!(dropped, vec![nurse_crr]);
+    assert_eq!(session.len(), 1);
+    assert!(session
+        .rmc_for(&ServiceId::new("login"), &RoleName::new("logged_in"))
+        .is_some());
+
+    // And the surviving root can re-derive the leaf.
+    let nia = session.principal().clone();
+    let nurse = world
+        .ward
+        .activate_role(
+            &nia,
+            &RoleName::new("nurse"),
+            &[Value::id("nia")],
+            session.credentials(),
+            &EnvContext::new(10),
+        )
+        .unwrap();
+    session.add_rmc(nurse);
+    assert_eq!(session.len(), 2);
+}
+
+#[test]
+fn end_session_then_prune_empties_the_wallet() {
+    let world = build();
+    let mut session = establish(&world);
+    assert_eq!(session.len(), 2);
+
+    // The paper's logout: deactivating the initial role terminates the
+    // session. `end_session` revokes every RMC the login service issued
+    // to the principal; the cascade takes the ward role with it.
+    let revoked = world.login.end_session(session.principal(), "logout", 5);
+    assert_eq!(revoked, 1, "one root RMC at the login service");
+
+    let dropped = session.prune_invalid(world.registry.as_ref(), 6);
+    assert_eq!(dropped.len(), 2);
+    assert!(session.is_empty());
+
+    // A fresh session works immediately (logout is not a lockout).
+    let fresh = establish(&world);
+    assert_eq!(fresh.len(), 2);
+}
+
+#[test]
+fn sessions_are_per_principal() {
+    let world = build();
+    let _nia = establish(&world);
+    // A second principal cannot ride on the first's wallet entries: even
+    // if handed the certificates, validation binds the presenter.
+    world
+        .facts
+        .insert("password_ok", vec![Value::id("imposter")])
+        .unwrap();
+    let imposter = PrincipalId::new("imposter");
+    let mut stolen_wallet = Session::start(imposter.clone());
+    // Steal nia's login RMC (simulate exfiltration).
+    let nia_session = establish(&world);
+    for cred in nia_session.credentials() {
+        stolen_wallet.add_credential(cred.clone());
+    }
+    let err = world
+        .ward
+        .invoke(
+            &imposter,
+            "chart",
+            &[],
+            stolen_wallet.credentials(),
+            &EnvContext::new(1),
+        )
+        .unwrap_err();
+    assert!(matches!(err, OasisError::InvocationDenied { .. }));
+}
