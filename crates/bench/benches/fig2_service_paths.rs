@@ -89,24 +89,20 @@ fn bench(c: &mut Criterion) {
         let world = ServiceWorld::new(rows);
         let (dr, creds) = establish(&world);
         let ctx = EnvContext::new(0);
-        group.bench_with_input(
-            BenchmarkId::new("activate", rows),
-            &rows,
-            |b, _| {
-                b.iter(|| {
-                    world
-                        .service
-                        .activate_role(
-                            &dr,
-                            &RoleName::new("treating_doctor"),
-                            &[Value::id("dr-0"), Value::id("p0")],
-                            &creds[..1],
-                            &ctx,
-                        )
-                        .unwrap()
-                });
-            },
-        );
+        group.bench_with_input(BenchmarkId::new("activate", rows), &rows, |b, _| {
+            b.iter(|| {
+                world
+                    .service
+                    .activate_role(
+                        &dr,
+                        &RoleName::new("treating_doctor"),
+                        &[Value::id("dr-0"), Value::id("p0")],
+                        &creds[..1],
+                        &ctx,
+                    )
+                    .unwrap()
+            });
+        });
         group.bench_with_input(BenchmarkId::new("invoke", rows), &rows, |b, _| {
             b.iter(|| {
                 world
@@ -121,7 +117,13 @@ fn bench(c: &mut Criterion) {
             b.iter(|| {
                 world
                     .service
-                    .invoke(&dr, "read_record", &[Value::id("p-unregistered")], &creds, &ctx)
+                    .invoke(
+                        &dr,
+                        "read_record",
+                        &[Value::id("p-unregistered")],
+                        &creds,
+                        &ctx,
+                    )
                     .unwrap_err()
             });
         });

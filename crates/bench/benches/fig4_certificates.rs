@@ -13,11 +13,11 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 
+use oasis::core::cert::Rmc;
+use oasis::core::{CertId, Crr};
 use oasis::crypto::{IssuerSecret, SecretEpoch, SecretKey};
 use oasis::prelude::*;
 use oasis_bench::table_header;
-use oasis::core::cert::Rmc;
-use oasis::core::{CertId, Crr};
 use rand::{Rng, SeedableRng};
 use rand_chacha::ChaCha8Rng;
 
@@ -28,7 +28,9 @@ fn sample_rmc(key: &SecretKey, principal: &PrincipalId, params: usize) -> Rmc {
         principal,
         Crr::new(ServiceId::new("svc"), CertId(1)),
         RoleName::new("treating_doctor"),
-        (0..params).map(|i| Value::id(format!("param-{i}"))).collect(),
+        (0..params)
+            .map(|i| Value::id(format!("param-{i}")))
+            .collect(),
         0,
         None,
     )

@@ -20,9 +20,9 @@ use std::sync::Arc;
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 
+use oasis::core::CredentialValidator;
 use oasis::prelude::*;
 use oasis_bench::{table_header, ChainWorld};
-use oasis::core::CredentialValidator;
 
 /// Builds a root service plus one leaf service with `fanout` dependent
 /// certificates, and returns a closure-friendly bundle.
@@ -40,7 +40,8 @@ fn fanout_world(fanout: usize) -> FanoutWorld {
         Arc::clone(&facts),
     );
     root.define_role("root", &[], true).unwrap();
-    root.add_activation_rule("root", vec![], vec![], vec![]).unwrap();
+    root.add_activation_rule("root", vec![], vec![], vec![])
+        .unwrap();
     let leaves = OasisService::new(
         ServiceConfig::new("leaves").with_bus(bus),
         Arc::clone(&facts),
@@ -111,7 +112,9 @@ fn print_cascade_series() {
         let world = ChainWorld::new(depth);
         let rmcs = world.activate_chain(&PrincipalId::new("alice"));
         let t0 = std::time::Instant::now();
-        world.service.revoke_certificate(rmcs[0].crr.cert_id, "logout", 1);
+        world
+            .service
+            .revoke_certificate(rmcs[0].crr.cert_id, "logout", 1);
         let elapsed = t0.elapsed();
         let (active, revoked, _) = world.service.record_stats();
         assert_eq!(active, 0);
@@ -143,7 +146,9 @@ fn print_staleness_series() {
         };
         let cred = Credential::Rmc(world.root_rmc.clone());
         proxy.validate(&cred, &alice, 0).unwrap();
-        world.root.revoke_certificate(world.root_rmc.crr.cert_id, "logout", 1);
+        world
+            .root
+            .revoke_certificate(world.root_rmc.crr.cert_id, "logout", 1);
 
         // 1000 checks at t = 2, 3, …: how many still accept?
         let mut stale = 0;
@@ -164,7 +169,11 @@ fn print_staleness_series() {
 /// network delivery) or at their next poll (uniform phase within the
 /// polling interval, plus the same network delivery). Returns the p99
 /// staleness window in ticks.
-fn simulated_window(latency: oasis::sim::Latency, fanout: usize, poll_interval: Option<u64>) -> u64 {
+fn simulated_window(
+    latency: oasis::sim::Latency,
+    fanout: usize,
+    poll_interval: Option<u64>,
+) -> u64 {
     use oasis::sim::{Histogram, LinkConfig, SimNet, Simulation};
     use rand::Rng;
     use std::cell::RefCell;
@@ -251,7 +260,9 @@ fn bench(c: &mut Criterion) {
                     (world, rmcs)
                 },
                 |(world, rmcs)| {
-                    world.service.revoke_certificate(rmcs[0].crr.cert_id, "logout", 1);
+                    world
+                        .service
+                        .revoke_certificate(rmcs[0].crr.cert_id, "logout", 1);
                 },
             );
         });
@@ -268,7 +279,8 @@ fn bench(c: &mut Criterion) {
     for certs in [100usize, 1_000] {
         let facts = Arc::new(FactStore::new());
         let svc = OasisService::new(ServiceConfig::new("sweep"), facts);
-        svc.define_role("timed", &[("n", ValueType::Int)], true).unwrap();
+        svc.define_role("timed", &[("n", ValueType::Int)], true)
+            .unwrap();
         svc.add_activation_rule(
             "timed",
             vec![Term::var("N")],
@@ -304,7 +316,10 @@ fn bench(c: &mut Criterion) {
     // Event-bus throughput underneath it all.
     let bus: EventBus<u64> = EventBus::new();
     let _subs: Vec<_> = (0..8)
-        .map(|_| bus.subscribe_bounded("t", 16, oasis::events::OverflowPolicy::DropOldest).unwrap())
+        .map(|_| {
+            bus.subscribe_bounded("t", 16, oasis::events::OverflowPolicy::DropOldest)
+                .unwrap()
+        })
         .collect();
     let topic = oasis::events::Topic::new("t");
     c.bench_function("fig5_bus_publish_fanout8", |b| {

@@ -35,9 +35,13 @@ fn print_op_costs() {
         println!("{label:<24} {:>10.2?}", t0.elapsed() / iters);
     };
 
-    time("keypair-generate", 200, Box::new(|| {
-        let _ = KeyPair::generate();
-    }));
+    time(
+        "keypair-generate",
+        200,
+        Box::new(|| {
+            let _ = KeyPair::generate();
+        }),
+    );
     time("hmac-sign-4-fields", 2_000, {
         let key = secret.current();
         Box::new(move || {
@@ -76,7 +80,13 @@ fn print_activation_overhead() {
     for _ in 0..iters {
         world
             .service
-            .activate_role(&dr, &RoleName::new("logged_in"), &[Value::id("dr-0")], &[], &ctx)
+            .activate_role(
+                &dr,
+                &RoleName::new("logged_in"),
+                &[Value::id("dr-0")],
+                &[],
+                &ctx,
+            )
             .unwrap();
     }
     println!("plain      {:>15.2?}", t0.elapsed() / iters);
@@ -177,7 +187,9 @@ fn bench(c: &mut Criterion) {
                         let key = pair.public_key();
                         let ch = challenge_service.issue(key, 0);
                         let resp = respond(&pair, &ch, b"hospital");
-                        challenge_service.verify(&key, &resp, b"hospital", 1).unwrap();
+                        challenge_service
+                            .verify(&key, &resp, b"hospital", 1)
+                            .unwrap();
                     }
                     world
                         .service

@@ -1,0 +1,255 @@
+//! TAB-C — service hot-path concurrency and the validation cache.
+//!
+//! Sect. 6 positions OASIS services as engines "handling high volumes of
+//! requests from large numbers of users". Two structural changes carry
+//! that load: certificate state is lock-striped into shards so requests
+//! touching different certificates do not serialise, and successful
+//! foreign-credential validations are memoised so repeat presentations
+//! skip the callback to the issuing service.
+//!
+//! Cross-service validation is a *network* callback in a deployment; it
+//! is modelled here by a validator that sleeps for a fixed latency before
+//! delegating to the real registry. Throughput therefore scales with the
+//! number of worker threads that can overlap callbacks — which is
+//! exactly what the shard split buys: none of them serialise on a global
+//! service lock while a callback is in flight.
+//!
+//! Reported series (also emitted to `BENCH_concurrency.json`):
+//! validations/sec at 1, 2, 4 and 8 threads, cold (every validation pays
+//! the callback) and warm (validation cache enabled, TTL covering the
+//! run); the 1→8-thread scaling factor; cache hit statistics.
+
+use std::sync::Arc;
+use std::thread;
+use std::time::{Duration, Instant};
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use oasis::prelude::*;
+use oasis_bench::table_header;
+
+/// Models the issuer being across the network: a fixed round-trip latency
+/// in front of the real (in-process) registry validation.
+struct RemoteRegistry {
+    inner: Arc<LocalRegistry>,
+    latency: Duration,
+}
+
+impl CredentialValidator for RemoteRegistry {
+    fn validate(
+        &self,
+        credential: &Credential,
+        presenter: &PrincipalId,
+        now: u64,
+    ) -> Result<(), OasisError> {
+        thread::sleep(self.latency);
+        self.inner.validate(credential, presenter, now)
+    }
+}
+
+/// Simulated issuer-callback round trip. Small enough to keep the bench
+/// quick, large enough to dominate the in-process validation cost.
+const CALLBACK_LATENCY: Duration = Duration::from_micros(500);
+
+struct World {
+    login: Arc<oasis::core::OasisService>,
+    hospital: Arc<oasis::core::OasisService>,
+}
+
+/// login.logged_in feeds hospital.doctor_on_duty; the hospital validates
+/// login's certificates through a [`RemoteRegistry`]. `cache_ttl` enables
+/// the validation cache on the hospital side.
+fn world(cache_ttl: Option<u64>) -> World {
+    let facts = Arc::new(FactStore::new());
+    facts.define("password_ok", 1).unwrap();
+    let bus = EventBus::new();
+
+    let login = OasisService::new(
+        ServiceConfig::new("login").with_bus(bus.clone()),
+        Arc::clone(&facts),
+    );
+    login
+        .define_role("logged_in", &[("u", ValueType::Id)], true)
+        .unwrap();
+    login
+        .add_activation_rule(
+            "logged_in",
+            vec![Term::var("U")],
+            vec![Atom::env_fact("password_ok", vec![Term::var("U")])],
+            vec![0],
+        )
+        .unwrap();
+
+    let mut config = ServiceConfig::new("hospital").with_bus(bus.clone());
+    if let Some(ttl) = cache_ttl {
+        config = config.with_validation_cache(ttl);
+    }
+    let hospital = OasisService::new(config, Arc::clone(&facts));
+    hospital
+        .define_role("doctor_on_duty", &[("d", ValueType::Id)], false)
+        .unwrap();
+    hospital
+        .add_activation_rule(
+            "doctor_on_duty",
+            vec![Term::var("D")],
+            vec![Atom::prereq_at("login", "logged_in", vec![Term::var("D")])],
+            vec![0],
+        )
+        .unwrap();
+
+    let registry = Arc::new(LocalRegistry::new());
+    registry.register(&login);
+    registry.register(&hospital);
+    login.set_validator(registry.clone());
+    hospital.set_validator(Arc::new(RemoteRegistry {
+        inner: registry,
+        latency: CALLBACK_LATENCY,
+    }));
+
+    World { login, hospital }
+}
+
+/// One live login credential per worker thread.
+fn credentials(w: &World, workers: usize) -> Vec<(PrincipalId, Credential)> {
+    (0..workers)
+        .map(|t| {
+            let me = PrincipalId::new(format!("dr-{t}"));
+            w.login
+                .facts()
+                .insert("password_ok", vec![Value::id(format!("dr-{t}"))])
+                .unwrap();
+            let rmc = w
+                .login
+                .activate_role(
+                    &me,
+                    &RoleName::new("logged_in"),
+                    &[Value::id(format!("dr-{t}"))],
+                    &[],
+                    &EnvContext::new(1),
+                )
+                .unwrap();
+            (me, Credential::Rmc(rmc))
+        })
+        .collect()
+}
+
+/// Runs `per_thread` foreign-credential validations on each of `threads`
+/// workers and returns aggregate validations/sec.
+fn run_validations(w: &World, threads: usize, per_thread: usize) -> f64 {
+    let creds = credentials(w, threads);
+    let start = Instant::now();
+    let handles: Vec<_> = creds
+        .into_iter()
+        .map(|(me, cred)| {
+            let hospital = Arc::clone(&w.hospital);
+            thread::spawn(move || {
+                for i in 0..per_thread {
+                    hospital
+                        .validate_credential(&cred, &me, 2 + i as u64)
+                        .unwrap();
+                }
+            })
+        })
+        .collect();
+    for h in handles {
+        h.join().unwrap();
+    }
+    (threads * per_thread) as f64 / start.elapsed().as_secs_f64()
+}
+
+fn scaling_series() -> String {
+    const PER_THREAD: usize = 400;
+    let thread_counts = [1usize, 2, 4, 8];
+
+    table_header(
+        "TAB-C hot-path concurrency",
+        "sharded certificate state overlaps issuer callbacks; the cache removes them",
+        "threads  cold-val/s  warm-val/s  cold-scaling",
+    );
+
+    let mut cold = Vec::new();
+    let mut warm = Vec::new();
+    let mut hits = 0u64;
+    let mut misses = 0u64;
+    for &threads in &thread_counts {
+        // Cold: no cache — every validation pays the modelled round trip.
+        let w = world(None);
+        cold.push(run_validations(&w, threads, PER_THREAD));
+
+        // Warm: cache enabled with a TTL covering the whole run — one
+        // round trip per credential, the rest are hits.
+        let w = world(Some(u64::MAX));
+        warm.push(run_validations(&w, threads, PER_THREAD));
+        let stats = w.hospital.validation_cache_stats().unwrap();
+        hits += stats.hits;
+        misses += stats.misses;
+    }
+    let scaling = cold.last().unwrap() / cold.first().unwrap();
+    for (i, &threads) in thread_counts.iter().enumerate() {
+        println!(
+            "{threads:>7}  {:>10.0}  {:>10.0}  {:>11.2}x",
+            cold[i],
+            warm[i],
+            cold[i] / cold[0],
+        );
+    }
+    println!("1→8-thread cold scaling: {scaling:.2}x (target ≥2x)");
+    println!("warm cache: {hits} hits, {misses} misses");
+    assert!(
+        scaling >= 2.0,
+        "expected ≥2x throughput from 1→8 threads, measured {scaling:.2}x"
+    );
+
+    // Machine-readable record for EXPERIMENTS.md and CI trending.
+    let fmt_series = |xs: &[f64]| {
+        xs.iter()
+            .map(|v| format!("{v:.1}"))
+            .collect::<Vec<_>>()
+            .join(", ")
+    };
+    format!(
+        "{{\n  \"bench\": \"table_concurrency\",\n  \"callback_latency_us\": {},\n  \"threads\": [1, 2, 4, 8],\n  \"cold_validations_per_sec\": [{}],\n  \"warm_validations_per_sec\": [{}],\n  \"cold_scaling_1_to_8\": {:.2},\n  \"warm_cache_hits\": {},\n  \"warm_cache_misses\": {}\n}}\n",
+        CALLBACK_LATENCY.as_micros(),
+        fmt_series(&cold),
+        fmt_series(&warm),
+        scaling,
+        hits,
+        misses,
+    )
+}
+
+fn bench_concurrency(c: &mut Criterion) {
+    let json = scaling_series();
+    let out = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_concurrency.json");
+    std::fs::write(out, json).expect("write BENCH_concurrency.json");
+    println!("wrote {out}");
+
+    // Criterion timings for the two headline per-operation costs.
+    let mut group = c.benchmark_group("validation");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(1));
+    group.bench_function(BenchmarkId::new("foreign", "cold"), |b| {
+        let w = world(None);
+        let (me, cred) = credentials(&w, 1).pop().unwrap();
+        let mut now = 2u64;
+        b.iter(|| {
+            now += 1;
+            w.hospital.validate_credential(&cred, &me, now).unwrap()
+        });
+    });
+    group.bench_function(BenchmarkId::new("foreign", "warm"), |b| {
+        let w = world(Some(u64::MAX));
+        let (me, cred) = credentials(&w, 1).pop().unwrap();
+        let mut now = 2u64;
+        b.iter(|| {
+            now += 1;
+            w.hospital.validate_credential(&cred, &me, now).unwrap()
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_concurrency);
+criterion_main!(benches);

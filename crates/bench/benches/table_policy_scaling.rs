@@ -69,7 +69,9 @@ fn alternatives_world(alternatives: usize) -> (Arc<oasis::core::OasisService>, P
         facts.define_if_absent(format!("gate{i}"), 1).unwrap();
     }
     let service = OasisService::new(ServiceConfig::new("alt"), facts);
-    service.define_role("member", &[("u", ValueType::Id)], true).unwrap();
+    service
+        .define_role("member", &[("u", ValueType::Id)], true)
+        .unwrap();
     for i in 0..alternatives.saturating_sub(1) {
         // Unsatisfiable alternatives: empty gate relations.
         service
@@ -131,12 +133,7 @@ fn bench(c: &mut Criterion) {
         let policy = Policy::parse(&text).unwrap();
         group.bench_with_input(BenchmarkId::new("compile", roles), &roles, |b, _| {
             b.iter_with_setup(
-                || {
-                    OasisService::new(
-                        ServiceConfig::new("generated"),
-                        Arc::new(FactStore::new()),
-                    )
-                },
+                || OasisService::new(ServiceConfig::new("generated"), Arc::new(FactStore::new())),
                 |service| policy.apply_to(&service).unwrap(),
             );
         });

@@ -31,7 +31,9 @@ impl ChainWorld {
             .add_activation_rule("level0", vec![], vec![], vec![])
             .unwrap();
         for i in 1..depth {
-            service.define_role(format!("level{i}"), &[], false).unwrap();
+            service
+                .define_role(format!("level{i}"), &[], false)
+                .unwrap();
             service
                 .add_activation_rule(
                     format!("level{i}"),
@@ -89,10 +91,15 @@ impl ServiceWorld {
         facts.define("password_ok", 1).unwrap();
         facts.define("registered", 2).unwrap();
         facts.define("excluded", 2).unwrap();
-        facts.insert("password_ok", vec![Value::id("dr-0")]).unwrap();
+        facts
+            .insert("password_ok", vec![Value::id("dr-0")])
+            .unwrap();
         for p in 0..patients {
             facts
-                .insert("registered", vec![Value::id("dr-0"), Value::id(format!("p{p}"))])
+                .insert(
+                    "registered",
+                    vec![Value::id("dr-0"), Value::id(format!("p{p}"))],
+                )
                 .unwrap();
         }
         let service = OasisService::new(ServiceConfig::new("hospital"), Arc::clone(&facts));

@@ -9,15 +9,13 @@
 
 use std::fmt;
 
-use parking_lot::Mutex;
-use serde::{Deserialize, Serialize};
-
 use crate::cert::Crr;
 use crate::ids::{PrincipalId, RoleName};
 use crate::value::Value;
+use parking_lot::Mutex;
 
 /// What a single audit entry records.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub enum AuditKind {
     /// A role was activated and an RMC issued.
     RoleActivated {
@@ -110,7 +108,7 @@ impl AuditKind {
 }
 
 /// One audit entry: what happened, when, in sequence order.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct AuditEntry {
     /// Monotonic sequence number within this log.
     pub seq: u64,
@@ -168,7 +166,12 @@ impl AuditLog {
 
     /// Entries satisfying a predicate.
     pub fn entries_where(&self, f: impl Fn(&AuditEntry) -> bool) -> Vec<AuditEntry> {
-        self.entries.lock().iter().filter(|e| f(e)).cloned().collect()
+        self.entries
+            .lock()
+            .iter()
+            .filter(|e| f(e))
+            .cloned()
+            .collect()
     }
 
     /// Entries with the given kind tag (see [`AuditKind::tag`]).

@@ -20,8 +20,6 @@
 
 use std::fmt;
 
-use serde::{Deserialize, Serialize};
-
 use oasis_crypto::{MacSignature, PublicKey, SecretEpoch, SecretKey};
 
 use crate::ids::{CertId, PrincipalId, RoleName, ServiceId};
@@ -29,7 +27,7 @@ use crate::value::Value;
 
 /// Credential record reference: locates the issuer and the issuer-side
 /// record of a certificate (the "CRR" of Fig 4).
-#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct Crr {
     /// The issuing service.
     pub issuer: ServiceId,
@@ -51,7 +49,7 @@ impl fmt::Display for Crr {
 }
 
 /// Which kind of certificate a credential record describes.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum CredentialKind {
     /// A role membership certificate.
     Rmc,
@@ -103,11 +101,7 @@ fn mac_fields(
     fields
 }
 
-fn sign_cert(
-    secret: &SecretKey,
-    principal: &PrincipalId,
-    fields: &[Vec<u8>],
-) -> MacSignature {
+fn sign_cert(secret: &SecretKey, principal: &PrincipalId, fields: &[Vec<u8>]) -> MacSignature {
     let refs: Vec<&[u8]> = fields.iter().map(Vec::as_slice).collect();
     oasis_crypto::sign_fields(secret, principal.as_bytes(), &refs)
 }
@@ -127,7 +121,7 @@ fn verify_cert(
 /// The RMC's readable fields are protected by the signature; the holding
 /// principal's id is a *hidden* signature input (Fig 4), so presenting a
 /// stolen RMC under a different principal id fails verification.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Rmc {
     /// Where the issuer-side credential record lives.
     pub crr: Crr,
@@ -215,7 +209,7 @@ impl fmt::Display for Rmc {
 /// appointment certificates to one or more other principals" (Sect. 2).
 /// Unlike an RMC its lifetime is independent of any session, so it carries
 /// an optional expiry and is bound to a *persistent* principal id.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct AppointmentCertificate {
     /// Where the issuer-side credential record lives.
     pub crr: Crr,
@@ -306,7 +300,7 @@ impl fmt::Display for AppointmentCertificate {
 }
 
 /// Either certificate kind, as presented in a credential list.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub enum Credential {
     /// A role membership certificate.
     Rmc(Rmc),
@@ -400,7 +394,7 @@ impl fmt::Display for Credential {
 
 /// The lifecycle state of an issued certificate, held in its issuer-side
 /// credential record.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub enum CredStatus {
     /// Valid and usable.
     Active,
@@ -438,7 +432,7 @@ impl fmt::Display for CredStatus {
 
 /// The issuer-side record of an issued certificate ("CR" in Figs 1, 2
 /// and 5): who holds it, what it says, and whether it is still valid.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct CredRecord {
     /// The reference that certificates carry to locate this record.
     pub crr: Crr,

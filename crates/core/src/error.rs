@@ -1,17 +1,14 @@
 //! The error type for the OASIS core.
 
-use thiserror::Error;
-
 use crate::cert::Crr;
 use crate::ids::{PrincipalId, RoleName, ServiceId};
 use crate::rule::RuleId;
 use crate::value::ValueType;
 
 /// Errors reported by the OASIS core.
-#[derive(Debug, Error, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub enum OasisError {
     /// A role definition repeated a parameter name.
-    #[error("role `{role}` declares parameter `{param}` twice")]
     DuplicateParam {
         /// The role being defined.
         role: RoleName,
@@ -20,15 +17,12 @@ pub enum OasisError {
     },
 
     /// A role was defined twice at one service.
-    #[error("role `{0}` is already defined at this service")]
     DuplicateRole(RoleName),
 
     /// A role name was not defined at the service.
-    #[error("unknown role `{0}`")]
     UnknownRole(RoleName),
 
     /// Wrong number of arguments for a role.
-    #[error("role `{role}` takes {expected} parameters, got {actual}")]
     ArityMismatch {
         /// The role.
         role: RoleName,
@@ -39,7 +33,6 @@ pub enum OasisError {
     },
 
     /// An argument had the wrong type.
-    #[error("role `{role}` parameter `{param}` expects {expected}, got {actual}")]
     TypeMismatch {
         /// The role.
         role: RoleName,
@@ -52,7 +45,6 @@ pub enum OasisError {
     },
 
     /// A membership index pointed outside the rule's condition list.
-    #[error("rule {rule}: membership index {index} out of range ({conditions} conditions)")]
     BadMembershipIndex {
         /// The rule.
         rule: RuleId,
@@ -64,7 +56,6 @@ pub enum OasisError {
 
     /// No activation rule for the role was satisfied by the presented
     /// credentials and environment.
-    #[error("activation of `{role}` denied for {principal}: no rule satisfied")]
     ActivationDenied {
         /// The requested role.
         role: RoleName,
@@ -73,7 +64,6 @@ pub enum OasisError {
     },
 
     /// No invocation rule authorised the method call.
-    #[error("invocation of `{method}` denied for {principal}")]
     InvocationDenied {
         /// The method.
         method: String,
@@ -82,7 +72,6 @@ pub enum OasisError {
     },
 
     /// A certificate failed validation.
-    #[error("credential {crr} invalid: {reason}")]
     InvalidCredential {
         /// The credential's record reference.
         crr: Crr,
@@ -91,16 +80,13 @@ pub enum OasisError {
     },
 
     /// A certificate's issuer-side record was not found.
-    #[error("no credential record for {0}")]
     UnknownCertificate(Crr),
 
     /// A credential was presented to a service that did not issue it and
     /// that has no validator configured for the issuer.
-    #[error("no validator reaches issuer `{0}`")]
     NoValidator(ServiceId),
 
     /// The principal holds no role privileged to issue this appointment.
-    #[error("{principal} holds no role entitled to issue appointment `{appointment}`")]
     NotAppointer {
         /// The would-be appointer.
         principal: PrincipalId,
@@ -110,6 +96,67 @@ pub enum OasisError {
 
     /// An underlying fact-store operation failed (usually an undefined
     /// relation referenced from a rule).
-    #[error("fact store: {0}")]
-    Facts(#[from] oasis_facts::FactError),
+    Facts(oasis_facts::FactError),
+}
+
+impl std::fmt::Display for OasisError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::DuplicateParam { role, param } => {
+                write!(f, "role `{role}` declares parameter `{param}` twice")
+            }
+            Self::DuplicateRole(x0) => write!(f, "role `{x0}` is already defined at this service"),
+            Self::UnknownRole(x0) => write!(f, "unknown role `{x0}`"),
+            Self::ArityMismatch {
+                role,
+                expected,
+                actual,
+            } => write!(f, "role `{role}` takes {expected} parameters, got {actual}"),
+            Self::TypeMismatch {
+                role,
+                param,
+                expected,
+                actual,
+            } => write!(
+                f,
+                "role `{role}` parameter `{param}` expects {expected}, got {actual}"
+            ),
+            Self::BadMembershipIndex {
+                rule,
+                index,
+                conditions,
+            } => write!(
+                f,
+                "rule {rule}: membership index {index} out of range ({conditions} conditions)"
+            ),
+            Self::ActivationDenied { role, principal } => write!(
+                f,
+                "activation of `{role}` denied for {principal}: no rule satisfied"
+            ),
+            Self::InvocationDenied { method, principal } => {
+                write!(f, "invocation of `{method}` denied for {principal}")
+            }
+            Self::InvalidCredential { crr, reason } => {
+                write!(f, "credential {crr} invalid: {reason}")
+            }
+            Self::UnknownCertificate(x0) => write!(f, "no credential record for {x0}"),
+            Self::NoValidator(x0) => write!(f, "no validator reaches issuer `{x0}`"),
+            Self::NotAppointer {
+                principal,
+                appointment,
+            } => write!(
+                f,
+                "{principal} holds no role entitled to issue appointment `{appointment}`"
+            ),
+            Self::Facts(x0) => write!(f, "fact store: {x0}"),
+        }
+    }
+}
+
+impl std::error::Error for OasisError {}
+
+impl From<oasis_facts::FactError> for OasisError {
+    fn from(e: oasis_facts::FactError) -> Self {
+        Self::Facts(e)
+    }
 }

@@ -1,21 +1,23 @@
 //! Newtype identifiers used throughout the OASIS model.
 
 use std::fmt;
-
-use serde::{Deserialize, Serialize};
+use std::sync::Arc;
 
 macro_rules! string_id {
     ($(#[$doc:meta])* $name:ident, $prefix:literal) => {
         $(#[$doc])*
+        // Backed by `Arc<str>` so that the clones the hot path makes
+        // (issuing certificates, audit records, cascade reasons) are
+        // refcount bumps rather than heap copies.
         #[derive(
-            Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize,
+            Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord,
         )]
-        pub struct $name(String);
+        pub struct $name(Arc<str>);
 
         impl $name {
             /// Creates an identifier from any string-like value.
             pub fn new(s: impl Into<String>) -> Self {
-                Self(s.into())
+                Self(s.into().into())
             }
 
             /// The identifier text.
@@ -37,13 +39,13 @@ macro_rules! string_id {
 
         impl From<&str> for $name {
             fn from(s: &str) -> Self {
-                Self(s.to_string())
+                Self(s.into())
             }
         }
 
         impl From<String> for $name {
             fn from(s: String) -> Self {
-                Self(s)
+                Self(s.into())
             }
         }
 
@@ -85,9 +87,7 @@ string_id!(
 /// Issuer-local identifier of a certificate; unique per issuing service.
 /// Together with the issuer's [`ServiceId`] it forms a
 /// [`Crr`](crate::cert::Crr) — the credential record reference of Fig 4.
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct CertId(pub u64);
 
 impl fmt::Display for CertId {
@@ -97,9 +97,7 @@ impl fmt::Display for CertId {
 }
 
 /// Identifies a session at the service that issued its initial role.
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct SessionId(pub u64);
 
 impl fmt::Display for SessionId {

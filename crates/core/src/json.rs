@@ -1,0 +1,261 @@
+//! JSON conversions for the core types that cross the wire protocol.
+//!
+//! Enums use a single-key externally-tagged object (`{"Rmc": {...}}`);
+//! structs are plain objects. These impls live here (not in `oasis-wire`)
+//! because Rust's orphan rule requires either the trait or the type to be
+//! local.
+
+use oasis_json::{FromJson, Json, JsonError, ToJson};
+
+use crate::cert::{AppointmentCertificate, Credential, Crr, Rmc};
+use crate::ids::{CertId, PrincipalId, RoleName, ServiceId, SessionId};
+use crate::value::Value;
+
+macro_rules! string_id_json {
+    ($($t:ident),* $(,)?) => {$(
+        impl ToJson for $t {
+            fn to_json(&self) -> Json {
+                Json::Str(self.as_str().to_string())
+            }
+        }
+
+        impl FromJson for $t {
+            fn from_json(json: &Json) -> Result<Self, JsonError> {
+                json.as_str()
+                    .map($t::new)
+                    .ok_or_else(|| JsonError::expected(stringify!($t)))
+            }
+        }
+    )*};
+}
+
+string_id_json!(PrincipalId, ServiceId, RoleName);
+
+macro_rules! u64_id_json {
+    ($($t:ident),* $(,)?) => {$(
+        impl ToJson for $t {
+            fn to_json(&self) -> Json {
+                self.0.to_json()
+            }
+        }
+
+        impl FromJson for $t {
+            fn from_json(json: &Json) -> Result<Self, JsonError> {
+                u64::from_json(json).map($t)
+            }
+        }
+    )*};
+}
+
+u64_id_json!(CertId, SessionId);
+
+impl ToJson for Value {
+    fn to_json(&self) -> Json {
+        match self {
+            Value::Id(s) => Json::obj(vec![("Id", Json::str(s.clone()))]),
+            Value::Str(s) => Json::obj(vec![("Str", Json::str(s.clone()))]),
+            Value::Int(i) => Json::obj(vec![("Int", Json::I64(*i))]),
+            Value::Bool(b) => Json::obj(vec![("Bool", Json::Bool(*b))]),
+            Value::Time(t) => Json::obj(vec![("Time", t.to_json())]),
+        }
+    }
+}
+
+impl FromJson for Value {
+    fn from_json(json: &Json) -> Result<Self, JsonError> {
+        let pairs = json
+            .as_obj()
+            .ok_or_else(|| JsonError::expected("Value object"))?;
+        let [(tag, payload)] = pairs else {
+            return Err(JsonError::expected("single-variant Value object"));
+        };
+        match tag.as_str() {
+            "Id" => String::from_json(payload).map(Value::Id),
+            "Str" => String::from_json(payload).map(Value::Str),
+            "Int" => i64::from_json(payload).map(Value::Int),
+            "Bool" => bool::from_json(payload).map(Value::Bool),
+            "Time" => u64::from_json(payload).map(Value::Time),
+            other => Err(JsonError::new(format!("unknown Value variant `{other}`"))),
+        }
+    }
+}
+
+impl ToJson for Crr {
+    fn to_json(&self) -> Json {
+        Json::obj(vec![
+            ("issuer", self.issuer.to_json()),
+            ("cert_id", self.cert_id.to_json()),
+        ])
+    }
+}
+
+impl FromJson for Crr {
+    fn from_json(json: &Json) -> Result<Self, JsonError> {
+        Ok(Crr {
+            issuer: ServiceId::from_json(json.field("issuer")?)?,
+            cert_id: CertId::from_json(json.field("cert_id")?)?,
+        })
+    }
+}
+
+impl ToJson for Rmc {
+    fn to_json(&self) -> Json {
+        Json::obj(vec![
+            ("crr", self.crr.to_json()),
+            ("role", self.role.to_json()),
+            ("args", self.args.to_json()),
+            ("issued_at", self.issued_at.to_json()),
+            ("holder_key", self.holder_key.to_json()),
+            ("epoch", self.epoch.to_json()),
+            ("signature", self.signature.to_json()),
+        ])
+    }
+}
+
+impl FromJson for Rmc {
+    fn from_json(json: &Json) -> Result<Self, JsonError> {
+        Ok(Rmc {
+            crr: FromJson::from_json(json.field("crr")?)?,
+            role: FromJson::from_json(json.field("role")?)?,
+            args: FromJson::from_json(json.field("args")?)?,
+            issued_at: FromJson::from_json(json.field("issued_at")?)?,
+            holder_key: FromJson::from_json(json.field("holder_key")?)?,
+            epoch: FromJson::from_json(json.field("epoch")?)?,
+            signature: FromJson::from_json(json.field("signature")?)?,
+        })
+    }
+}
+
+impl ToJson for AppointmentCertificate {
+    fn to_json(&self) -> Json {
+        Json::obj(vec![
+            ("crr", self.crr.to_json()),
+            ("name", self.name.to_json()),
+            ("args", self.args.to_json()),
+            ("issued_at", self.issued_at.to_json()),
+            ("expires_at", self.expires_at.to_json()),
+            ("holder_key", self.holder_key.to_json()),
+            ("epoch", self.epoch.to_json()),
+            ("signature", self.signature.to_json()),
+        ])
+    }
+}
+
+impl FromJson for AppointmentCertificate {
+    fn from_json(json: &Json) -> Result<Self, JsonError> {
+        Ok(AppointmentCertificate {
+            crr: FromJson::from_json(json.field("crr")?)?,
+            name: FromJson::from_json(json.field("name")?)?,
+            args: FromJson::from_json(json.field("args")?)?,
+            issued_at: FromJson::from_json(json.field("issued_at")?)?,
+            expires_at: FromJson::from_json(json.field("expires_at")?)?,
+            holder_key: FromJson::from_json(json.field("holder_key")?)?,
+            epoch: FromJson::from_json(json.field("epoch")?)?,
+            signature: FromJson::from_json(json.field("signature")?)?,
+        })
+    }
+}
+
+impl ToJson for Credential {
+    fn to_json(&self) -> Json {
+        match self {
+            Credential::Rmc(c) => Json::obj(vec![("Rmc", c.to_json())]),
+            Credential::Appointment(c) => Json::obj(vec![("Appointment", c.to_json())]),
+        }
+    }
+}
+
+impl FromJson for Credential {
+    fn from_json(json: &Json) -> Result<Self, JsonError> {
+        let pairs = json
+            .as_obj()
+            .ok_or_else(|| JsonError::expected("Credential object"))?;
+        let [(tag, payload)] = pairs else {
+            return Err(JsonError::expected("single-variant Credential object"));
+        };
+        match tag.as_str() {
+            "Rmc" => Rmc::from_json(payload).map(Credential::Rmc),
+            "Appointment" => {
+                AppointmentCertificate::from_json(payload).map(Credential::Appointment)
+            }
+            other => Err(JsonError::new(format!(
+                "unknown Credential variant `{other}`"
+            ))),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use oasis_crypto::{IssuerSecret, SecretEpoch, SecretKey};
+
+    fn sample_rmc() -> Rmc {
+        let secret = IssuerSecret::from_key(SecretKey::from_bytes([9; 32]));
+        let pair = oasis_crypto::KeyPair::from_seed([3; 32]);
+        Rmc::issue(
+            &secret.current(),
+            SecretEpoch(0),
+            &PrincipalId::new("alice"),
+            Crr::new(ServiceId::new("svc"), CertId(1)),
+            RoleName::new("doctor"),
+            vec![Value::id("dr-1"), Value::Int(-3), Value::Time(u64::MAX)],
+            100,
+            Some(pair.public_key()),
+        )
+    }
+
+    fn round_trip<T: ToJson + FromJson + PartialEq + std::fmt::Debug>(value: &T) {
+        let text = value.to_json().to_string();
+        let back = T::from_json(&Json::parse(&text).unwrap()).unwrap();
+        assert_eq!(&back, value, "{text}");
+    }
+
+    #[test]
+    fn values_round_trip() {
+        for v in [
+            Value::id("x"),
+            Value::str("free \"text\""),
+            Value::Int(i64::MIN),
+            Value::Bool(true),
+            Value::Time(u64::MAX),
+        ] {
+            round_trip(&v);
+        }
+    }
+
+    #[test]
+    fn rmc_round_trips_and_still_verifies() {
+        let rmc = sample_rmc();
+        let text = rmc.to_json().to_string();
+        let back = Rmc::from_json(&Json::parse(&text).unwrap()).unwrap();
+        assert_eq!(back, rmc);
+        let secret = IssuerSecret::from_key(SecretKey::from_bytes([9; 32]));
+        assert!(back.verify(&secret.current(), &PrincipalId::new("alice")));
+    }
+
+    #[test]
+    fn credential_variants_round_trip() {
+        round_trip(&Credential::Rmc(sample_rmc()));
+        let secret = IssuerSecret::from_key(SecretKey::from_bytes([9; 32]));
+        let appt = AppointmentCertificate::issue(
+            &secret.current(),
+            SecretEpoch(0),
+            &PrincipalId::new("bob"),
+            Crr::new(ServiceId::new("svc"), CertId(2)),
+            "employed".into(),
+            vec![],
+            5,
+            Some(90),
+            None,
+        );
+        round_trip(&Credential::Appointment(appt));
+    }
+
+    #[test]
+    fn missing_fields_are_descriptive_errors() {
+        let err = Crr::from_json(&Json::parse("{\"issuer\":\"svc\"}").unwrap()).unwrap_err();
+        assert!(err.to_string().contains("cert_id"));
+        assert!(Value::from_json(&Json::parse("{\"Nope\":1}").unwrap()).is_err());
+    }
+}

@@ -74,6 +74,7 @@ pub mod cert;
 pub mod env;
 mod error;
 pub mod ids;
+mod json;
 pub mod pattern;
 pub mod role;
 pub mod rule;
@@ -84,8 +85,8 @@ pub mod value;
 
 pub use audit::{AuditEntry, AuditKind, AuditLog};
 pub use cert::{
-    AppointmentCertificate, CertEvent, CertEventKind, CredStatus, Credential, CredentialKind,
-    CredRecord, Crr,
+    AppointmentCertificate, CertEvent, CertEventKind, CredRecord, CredStatus, Credential,
+    CredentialKind, Crr,
 };
 pub use env::{CmpOp, EnvContext};
 pub use error::OasisError;
@@ -93,7 +94,7 @@ pub use ids::{CertId, DomainId, PrincipalId, RoleName, ServiceId, SessionId};
 pub use pattern::{Bindings, Term, VarName};
 pub use role::{ParamSchema, RoleDef};
 pub use rule::{ActivationRule, Atom, InvocationRule, RuleId};
-pub use service::{ActivationOutcome, OasisService, ServiceConfig};
+pub use service::{ActivationOutcome, OasisService, ServiceConfig, ValidationCacheStats};
 pub use session::{Session, SessionView};
 pub use validate::{CredentialValidator, LocalRegistry, ValidationOutcome};
 pub use value::{Value, ValueType};

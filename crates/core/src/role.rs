@@ -1,7 +1,5 @@
 //! Role definitions: service-specific, parametrised, possibly initial.
 
-use serde::{Deserialize, Serialize};
-
 use crate::error::OasisError;
 use crate::ids::RoleName;
 use crate::value::{Value, ValueType};
@@ -16,7 +14,7 @@ pub type ParamSchema = Vec<(String, ValueType)>;
 /// patient: id)`. A role flagged `initial` has at least one activation
 /// rule with no prerequisite roles, so activating it starts a session
 /// (e.g. `logged_in_user`).
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct RoleDef {
     name: RoleName,
     params: ParamSchema,
@@ -30,11 +28,7 @@ impl RoleDef {
     ///
     /// Returns [`OasisError::DuplicateParam`] if two parameters share a
     /// name.
-    pub fn new(
-        name: RoleName,
-        params: ParamSchema,
-        initial: bool,
-    ) -> Result<Self, OasisError> {
+    pub fn new(name: RoleName, params: ParamSchema, initial: bool) -> Result<Self, OasisError> {
         for (i, (p, _)) in params.iter().enumerate() {
             if params[..i].iter().any(|(q, _)| q == p) {
                 return Err(OasisError::DuplicateParam {
@@ -152,9 +146,7 @@ mod tests {
     #[test]
     fn check_args_validates_types() {
         let role = doctor_role();
-        assert!(role
-            .check_args(&[Value::id("d"), Value::id("p")])
-            .is_ok());
+        assert!(role.check_args(&[Value::id("d"), Value::id("p")]).is_ok());
         assert!(matches!(
             role.check_args(&[Value::id("d"), Value::Int(3)]),
             Err(OasisError::TypeMismatch { .. })

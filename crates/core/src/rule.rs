@@ -20,8 +20,6 @@
 
 use std::fmt;
 
-use serde::{Deserialize, Serialize};
-
 use oasis_facts::FactStore;
 
 use crate::cert::{Credential, CredentialKind, Crr};
@@ -32,7 +30,7 @@ use crate::pattern::{Bindings, Term, VarName};
 use crate::value::Value;
 
 /// Identifies a rule within one service.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct RuleId(pub u64);
 
 impl fmt::Display for RuleId {
@@ -42,7 +40,7 @@ impl fmt::Display for RuleId {
 }
 
 /// One condition of a rule body.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub enum Atom {
     /// The principal must hold an RMC for `role` issued by `service`
     /// (`None` = the service defining the rule).
@@ -209,7 +207,11 @@ fn fmt_args(f: &mut fmt::Formatter<'_>, args: &[Term]) -> fmt::Result {
 impl fmt::Display for Atom {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            Atom::Prereq { service, role, args } => {
+            Atom::Prereq {
+                service,
+                role,
+                args,
+            } => {
                 write!(f, "prereq ")?;
                 if let Some(s) = service {
                     write!(f, "{s}.")?;
@@ -248,7 +250,7 @@ impl fmt::Display for Atom {
 
 /// A role activation rule: `role(head_args) ← conditions`, with the
 /// membership rule given as the indices of the retained conditions.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ActivationRule {
     /// Rule identifier, unique within the defining service.
     pub id: RuleId,
@@ -302,7 +304,7 @@ impl fmt::Display for ActivationRule {
 /// A service-use rule: the conditions for invoking `method(head_args)`
 /// (paths 3–4 of Fig 2). Invocations are instantaneous, so there is no
 /// membership component.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct InvocationRule {
     /// Rule identifier, unique within the defining service.
     pub id: RuleId,
@@ -394,25 +396,42 @@ impl SolveState<'_> {
     /// Attempts to satisfy conditions `idx..`, extending `bindings` and
     /// `used` in place. On failure both are restored to their state at
     /// entry.
-    fn solve_from(&mut self, idx: usize, bindings: &mut Bindings, used: &mut Vec<(usize, Crr)>) -> bool {
+    fn solve_from(
+        &mut self,
+        idx: usize,
+        bindings: &mut Bindings,
+        used: &mut Vec<(usize, Crr)>,
+    ) -> bool {
         let Some(atom) = self.conditions.get(idx) else {
             return true; // all conditions satisfied
         };
         match atom {
-            Atom::Prereq { service, role, args } => {
-                self.solve_credential(idx, bindings, used, |cred| {
+            Atom::Prereq {
+                service,
+                role,
+                args,
+            } => self.solve_credential(
+                idx,
+                bindings,
+                used,
+                |cred| {
                     cred.kind() == CredentialKind::Rmc
                         && cred.name() == role.as_str()
                         && cred.issuer() == service.as_ref().unwrap_or(self.self_service)
-                }, args)
-            }
-            Atom::Appointment { issuer, name, args } => {
-                self.solve_credential(idx, bindings, used, |cred| {
+                },
+                args,
+            ),
+            Atom::Appointment { issuer, name, args } => self.solve_credential(
+                idx,
+                bindings,
+                used,
+                |cred| {
                     cred.kind() == CredentialKind::Appointment
                         && cred.name() == name
                         && cred.issuer() == issuer.as_ref().unwrap_or(self.self_service)
-                }, args)
-            }
+                },
+                args,
+            ),
             Atom::EnvFact {
                 relation,
                 args,
@@ -677,7 +696,10 @@ mod tests {
         let sol = solve(
             &svc(),
             &[
-                Atom::env_fact("registered", vec![Term::val(Value::id("d1")), Term::var("P")]),
+                Atom::env_fact(
+                    "registered",
+                    vec![Term::val(Value::id("d1")), Term::var("P")],
+                ),
                 Atom::compare(Term::var("P"), CmpOp::Eq, Term::val(Value::id("p2"))),
             ],
             Bindings::new(),
@@ -702,14 +724,28 @@ mod tests {
             "excluded",
             vec![Term::val(Value::id("p1")), Term::val(Value::id("d1"))],
         )];
-        assert!(solve(&svc(), &excluded, Bindings::new(), &[], &f, &EnvContext::new(0)).is_none());
+        assert!(solve(
+            &svc(),
+            &excluded,
+            Bindings::new(),
+            &[],
+            &f,
+            &EnvContext::new(0)
+        )
+        .is_none());
         let not_excluded = [Atom::env_not_fact(
             "excluded",
             vec![Term::val(Value::id("p1")), Term::val(Value::id("d2"))],
         )];
-        assert!(
-            solve(&svc(), &not_excluded, Bindings::new(), &[], &f, &EnvContext::new(0)).is_some()
-        );
+        assert!(solve(
+            &svc(),
+            &not_excluded,
+            Bindings::new(),
+            &[],
+            &f,
+            &EnvContext::new(0)
+        )
+        .is_some());
     }
 
     #[test]
@@ -732,8 +768,24 @@ mod tests {
             CmpOp::Lt,
             Term::val(Value::Time(100)),
         )];
-        assert!(solve(&svc(), &body, Bindings::new(), &[], &facts(), &EnvContext::new(50)).is_some());
-        assert!(solve(&svc(), &body, Bindings::new(), &[], &facts(), &EnvContext::new(150)).is_none());
+        assert!(solve(
+            &svc(),
+            &body,
+            Bindings::new(),
+            &[],
+            &facts(),
+            &EnvContext::new(50)
+        )
+        .is_some());
+        assert!(solve(
+            &svc(),
+            &body,
+            Bindings::new(),
+            &[],
+            &facts(),
+            &EnvContext::new(150)
+        )
+        .is_none());
     }
 
     #[test]
@@ -755,9 +807,10 @@ mod tests {
 
     #[test]
     fn predicate_atom_dispatches() {
-        let ctx = EnvContext::new(0).with_predicate("even", |args, _| {
-            matches!(args, [Value::Int(i)] if i % 2 == 0)
-        });
+        let ctx = EnvContext::new(0).with_predicate(
+            "even",
+            |args, _| matches!(args, [Value::Int(i)] if i % 2 == 0),
+        );
         let ok = [Atom::predicate("even", vec![Term::val(Value::Int(4))])];
         assert!(solve(&svc(), &ok, Bindings::new(), &[], &facts(), &ctx).is_some());
         let bad = [Atom::predicate("even", vec![Term::val(Value::Int(3))])];

@@ -14,9 +14,44 @@
 //! the rule's *membership rule*; revocation events and fact retractions
 //! propagate through the event bus and collapse dependent certificates
 //! immediately and transitively.
+//!
+//! # Concurrency
+//!
+//! The service's interior state is split along its access pattern:
+//!
+//! * **Policy** (roles, activation/invocation rules, appointers) is
+//!   read-mostly — written during setup, read on every activation and
+//!   invocation — and lives behind a single [`RwLock`]. Rule vectors are
+//!   held in `Arc`s so the hot path clones a pointer, not the rules.
+//! * **Certificate records** (the credential records, the
+//!   supporting-credential dependency index, and the retained-fact index)
+//!   are written on every issue/revoke and are striped across
+//!   [`SHARD_COUNT`] mutex-guarded shards: a record lives in the shard of
+//!   its [`CertId`], dependency and fact entries in the shard of their
+//!   key's hash.
+//!
+//! Lock discipline, which keeps the service deadlock-free:
+//!
+//! * at most **one shard lock** is held at any time — multi-shard
+//!   operations (session teardown, expiry sweeps, membership rechecks,
+//!   statistics) visit shards one at a time in ascending index order;
+//! * **no lock is held** across an event-bus publication or a validator
+//!   callback, so revocation cascades re-entering on the publisher's
+//!   thread start from a lock-free state;
+//! * the policy lock is never held while a shard lock is taken.
+//!
+//! Foreign-credential validations (callbacks to other issuers) can be
+//! memoised with a TTL through
+//! [`ServiceConfig::with_validation_cache`]; cached entries are evicted
+//! the moment a revocation event for the credential crosses the shared
+//! bus, so the cache never outlives a revocation that this service can
+//! observe.
 
+use std::borrow::Cow;
+use std::collections::hash_map::DefaultHasher;
 use std::collections::{HashMap, HashSet};
 use std::fmt;
+use std::hash::{Hash, Hasher};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Weak};
 
@@ -40,12 +75,28 @@ use crate::rule::{solve, ActivationRule, Atom, InvocationRule, RuleId, Solution}
 use crate::validate::CredentialValidator;
 use crate::value::{Value, ValueType};
 
+/// Number of lock stripes over the certificate-record state. A power of
+/// two so shard routing is a mask; 16 stripes keep contention negligible
+/// for tens of threads while costing only a few hundred bytes of mutexes.
+pub const SHARD_COUNT: usize = 16;
+
+fn shard_of_hash<K: Hash + ?Sized>(key: &K) -> usize {
+    let mut hasher = DefaultHasher::new();
+    key.hash(&mut hasher);
+    (hasher.finish() as usize) & (SHARD_COUNT - 1)
+}
+
+fn shard_of_cert(cert_id: CertId) -> usize {
+    (cert_id.0 as usize) & (SHARD_COUNT - 1)
+}
+
 /// Configuration for constructing an [`OasisService`].
 #[derive(Debug)]
 pub struct ServiceConfig {
     id: ServiceId,
     bus: Option<EventBus<CertEvent>>,
     secret: Option<IssuerSecret>,
+    validation_cache_ttl: Option<u64>,
 }
 
 impl ServiceConfig {
@@ -55,6 +106,7 @@ impl ServiceConfig {
             id: id.into(),
             bus: None,
             secret: None,
+            validation_cache_ttl: None,
         }
     }
 
@@ -71,6 +123,21 @@ impl ServiceConfig {
     #[must_use]
     pub fn with_secret(mut self, secret: IssuerSecret) -> Self {
         self.secret = Some(secret);
+        self
+    }
+
+    /// Enables the foreign-credential validation cache: a successful
+    /// issuer callback for `(credential, presenter)` is remembered for
+    /// `ttl` units of virtual time, and repeat validations within the
+    /// window skip the callback. Revocation events arriving on the
+    /// service's bus evict matching entries immediately, so within a
+    /// shared-bus federation the cache never returns success for a
+    /// credential this service could know is revoked. Off by default:
+    /// without a shared bus, a cached entry can outlive a revocation at
+    /// the issuer for up to `ttl`.
+    #[must_use]
+    pub fn with_validation_cache(mut self, ttl: u64) -> Self {
+        self.validation_cache_ttl = Some(ttl);
         self
     }
 }
@@ -117,17 +184,105 @@ struct RecordState {
 /// fact present (`true`) or absent (`false`).
 type FactIndex = HashMap<(String, Vec<Value>), Vec<(CertId, bool)>>;
 
+/// The read-mostly half of the service state: written during policy
+/// definition, read (briefly, under a shared lock) on every activation
+/// and invocation.
 #[derive(Default)]
-struct ServiceState {
+struct PolicyTable {
     roles: HashMap<RoleName, RoleDef>,
-    activation_rules: HashMap<RoleName, Vec<ActivationRule>>,
-    invocation_rules: HashMap<String, Vec<InvocationRule>>,
+    activation_rules: HashMap<RoleName, Arc<Vec<ActivationRule>>>,
+    invocation_rules: HashMap<String, Arc<Vec<InvocationRule>>>,
     /// appointment name → roles privileged to issue it.
     appointers: HashMap<String, HashSet<RoleName>>,
+}
+
+/// One stripe of the write-hot certificate state. Records are routed by
+/// [`CertId`], dependency and fact entries by the hash of their key, so
+/// the three maps of one shard do not necessarily describe the same
+/// certificates.
+#[derive(Default)]
+struct CertShard {
     records: HashMap<CertId, RecordState>,
     /// supporting credential → certificates that retain it.
     dep_index: HashMap<Crr, HashSet<CertId>>,
     fact_index: FactIndex,
+}
+
+/// Counters from the foreign-credential validation cache (see
+/// [`ServiceConfig::with_validation_cache`]).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ValidationCacheStats {
+    /// Validations answered from the cache, with no issuer callback.
+    pub hits: u64,
+    /// Validations that went through to the issuer (and were cached on
+    /// success).
+    pub misses: u64,
+    /// Entries evicted by revocation events from the bus.
+    pub invalidations: u64,
+}
+
+/// Memo of successful foreign validations keyed `(credential, presenter)`,
+/// TTL-bounded in virtual time and evicted eagerly on revocation events.
+struct ValidationCache {
+    ttl: u64,
+    /// `(crr, presenter)` → virtual time the callback succeeded.
+    entries: Mutex<HashMap<(Crr, PrincipalId), u64>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    invalidations: AtomicU64,
+}
+
+impl ValidationCache {
+    fn new(ttl: u64) -> Self {
+        Self {
+            ttl,
+            entries: Mutex::new(HashMap::new()),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            invalidations: AtomicU64::new(0),
+        }
+    }
+
+    /// Whether a cached success for `(crr, presenter)` is still fresh at
+    /// `now`. Entries from the future (virtual clocks may be reset) are
+    /// treated as stale.
+    fn lookup(&self, crr: &Crr, presenter: &PrincipalId, now: u64) -> bool {
+        let entries = self.entries.lock();
+        let fresh = entries
+            .get(&(crr.clone(), presenter.clone()))
+            .is_some_and(|&at| now >= at && now - at <= self.ttl);
+        drop(entries);
+        if fresh {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+        } else {
+            self.misses.fetch_add(1, Ordering::Relaxed);
+        }
+        fresh
+    }
+
+    fn store(&self, crr: Crr, presenter: PrincipalId, now: u64) {
+        self.entries.lock().insert((crr, presenter), now);
+    }
+
+    /// Drops every entry for `crr`, whoever presented it.
+    fn invalidate(&self, crr: &Crr) {
+        let mut entries = self.entries.lock();
+        let before = entries.len();
+        entries.retain(|(entry_crr, _), _| entry_crr != crr);
+        let evicted = (before - entries.len()) as u64;
+        drop(entries);
+        if evicted > 0 {
+            self.invalidations.fetch_add(evicted, Ordering::Relaxed);
+        }
+    }
+
+    fn stats(&self) -> ValidationCacheStats {
+        ValidationCacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            invalidations: self.invalidations.load(Ordering::Relaxed),
+        }
+    }
 }
 
 /// A service secured by OASIS access control (Fig 2), owning its roles,
@@ -136,13 +291,18 @@ struct ServiceState {
 /// Constructed with [`OasisService::new`], which returns an `Arc` because
 /// the service subscribes itself to the event bus and the fact store for
 /// active security. See the [crate-level example](crate).
+///
+/// All operations are safe to call from many threads at once; see the
+/// [module docs](self) for the locking architecture.
 pub struct OasisService {
     id: ServiceId,
     secret: IssuerSecret,
     bus: EventBus<CertEvent>,
     facts: Arc<FactStore<Value>>,
     audit: AuditLog,
-    state: Mutex<ServiceState>,
+    policy: RwLock<PolicyTable>,
+    shards: [Mutex<CertShard>; SHARD_COUNT],
+    vcache: Option<ValidationCache>,
     validator: RwLock<Option<Arc<dyn CredentialValidator>>>,
     next_cert: AtomicU64,
     next_rule: AtomicU64,
@@ -153,11 +313,11 @@ pub struct OasisService {
 
 impl fmt::Debug for OasisService {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        let state = self.state.lock();
+        let records: usize = self.shards.iter().map(|s| s.lock().records.len()).sum();
         f.debug_struct("OasisService")
             .field("id", &self.id)
-            .field("roles", &state.roles.len())
-            .field("records", &state.records.len())
+            .field("roles", &self.policy.read().roles.len())
+            .field("records", &records)
             .finish()
     }
 }
@@ -172,7 +332,9 @@ impl OasisService {
             bus: config.bus.unwrap_or_default(),
             facts: Arc::clone(&facts),
             audit: AuditLog::new(),
-            state: Mutex::new(ServiceState::default()),
+            policy: RwLock::new(PolicyTable::default()),
+            shards: std::array::from_fn(|_| Mutex::new(CertShard::default())),
+            vcache: config.validation_cache_ttl.map(ValidationCache::new),
             validator: RwLock::new(None),
             next_cert: AtomicU64::new(1),
             next_rule: AtomicU64::new(1),
@@ -180,12 +342,16 @@ impl OasisService {
         });
 
         // Revocation push: collapse certificates depending on a revoked
-        // credential the moment the event is published (same thread).
+        // credential the moment the event is published (same thread), and
+        // evict any cached validation of it.
         let weak = Arc::downgrade(&service);
         service
             .bus
             .subscribe_fn("cred.revoked.#", move |event| {
                 if let Some(svc) = Weak::upgrade(&weak) {
+                    if let Some(cache) = &svc.vcache {
+                        cache.invalidate(&event.payload.crr);
+                    }
                     svc.handle_revocation_event(&event.payload);
                 }
             })
@@ -228,11 +394,21 @@ impl OasisService {
         &self.secret
     }
 
+    /// Counters from the validation cache, or `None` when the cache is
+    /// not enabled (see [`ServiceConfig::with_validation_cache`]).
+    pub fn validation_cache_stats(&self) -> Option<ValidationCacheStats> {
+        self.vcache.as_ref().map(ValidationCache::stats)
+    }
+
     /// Installs the validator used for credentials issued by *other*
     /// services (a [`LocalRegistry`](crate::validate::LocalRegistry), a
     /// domain CIV client, or a network client).
     pub fn set_validator(&self, validator: Arc<dyn CredentialValidator>) {
         *self.validator.write() = Some(validator);
+    }
+
+    fn record_shard(&self, cert_id: CertId) -> &Mutex<CertShard> {
+        &self.shards[shard_of_cert(cert_id)]
     }
 
     // ------------------------------------------------------------------
@@ -252,22 +428,19 @@ impl OasisService {
         initial: bool,
     ) -> Result<(), OasisError> {
         let name = name.into();
-        let schema = params
-            .iter()
-            .map(|(n, t)| ((*n).to_string(), *t))
-            .collect();
+        let schema = params.iter().map(|(n, t)| ((*n).to_string(), *t)).collect();
         let def = RoleDef::new(name.clone(), schema, initial)?;
-        let mut state = self.state.lock();
-        if state.roles.contains_key(&name) {
+        let mut policy = self.policy.write();
+        if policy.roles.contains_key(&name) {
             return Err(OasisError::DuplicateRole(name));
         }
-        state.roles.insert(name, def);
+        policy.roles.insert(name, def);
         Ok(())
     }
 
     /// The definition of a role, if present.
     pub fn role(&self, name: &RoleName) -> Option<RoleDef> {
-        self.state.lock().roles.get(name).cloned()
+        self.policy.read().roles.get(name).cloned()
     }
 
     /// Adds an activation rule `role(head_args) ← conditions`, with
@@ -295,11 +468,11 @@ impl OasisService {
             membership,
         };
         rule.validate()?;
-        let mut state = self.state.lock();
-        if !state.roles.contains_key(&role) {
+        let mut policy = self.policy.write();
+        if !policy.roles.contains_key(&role) {
             return Err(OasisError::UnknownRole(role));
         }
-        state.activation_rules.entry(role).or_default().push(rule);
+        Arc::make_mut(policy.activation_rules.entry(role).or_default()).push(rule);
         Ok(id)
     }
 
@@ -318,8 +491,8 @@ impl OasisService {
             head_args,
             conditions,
         };
-        let mut state = self.state.lock();
-        state.invocation_rules.entry(method).or_default().push(rule);
+        let mut policy = self.policy.write();
+        Arc::make_mut(policy.invocation_rules.entry(method).or_default()).push(rule);
         id
     }
 
@@ -335,11 +508,11 @@ impl OasisService {
         appointment: impl Into<String>,
     ) -> Result<(), OasisError> {
         let role = role.into();
-        let mut state = self.state.lock();
-        if !state.roles.contains_key(&role) {
+        let mut policy = self.policy.write();
+        if !policy.roles.contains_key(&role) {
             return Err(OasisError::UnknownRole(role));
         }
-        state
+        policy
             .appointers
             .entry(appointment.into())
             .or_default()
@@ -375,7 +548,10 @@ impl OasisService {
         let Some(key) = self.secret.key_for(credential.epoch()) else {
             return Err(OasisError::InvalidCredential {
                 crr,
-                reason: format!("secret {} retired; certificate must be re-issued", credential.epoch()),
+                reason: format!(
+                    "secret {} retired; certificate must be re-issued",
+                    credential.epoch()
+                ),
             });
         };
         if !credential.verify(&key, presenter) {
@@ -397,8 +573,9 @@ impl OasisService {
             }
         }
 
-        let state = self.state.lock();
-        let Some(rec) = state.records.get(&crr.cert_id) else {
+        let shard = self.record_shard(crr.cert_id).lock();
+        let Some(rec) = shard.records.get(&crr.cert_id) else {
+            drop(shard);
             return Err(OasisError::UnknownCertificate(crr));
         };
         if rec.record.principal != *presenter {
@@ -417,7 +594,9 @@ impl OasisService {
     }
 
     /// Validates any credential: own certificates directly, foreign ones
-    /// through the configured validator (callback to the issuer).
+    /// through the configured validator (callback to the issuer), with
+    /// successful foreign validations memoised when the validation cache
+    /// is enabled.
     ///
     /// # Errors
     ///
@@ -432,26 +611,45 @@ impl OasisService {
         if credential.issuer() == &self.id {
             return self.validate_own(credential, presenter, now);
         }
+        if let Some(cache) = &self.vcache {
+            if cache.lookup(credential.crr(), presenter, now) {
+                return Ok(());
+            }
+        }
         let validator = self.validator.read().clone();
-        match validator {
+        let result = match validator {
             Some(v) => v.validate(credential, presenter, now),
             None => Err(OasisError::NoValidator(credential.issuer().clone())),
+        };
+        if result.is_ok() {
+            if let Some(cache) = &self.vcache {
+                cache.store(credential.crr().clone(), presenter.clone(), now);
+            }
         }
+        result
     }
 
     /// Filters the presented credentials down to those that validate,
-    /// auditing each rejection.
-    fn validated(
+    /// auditing each rejection. Returns the input slice unchanged — no
+    /// clones — in the common case where every credential validates.
+    fn validated<'c>(
         &self,
-        presented: &[Credential],
+        presented: &'c [Credential],
         presenter: &PrincipalId,
         now: u64,
-    ) -> Vec<Credential> {
-        let mut valid = Vec::with_capacity(presented.len());
-        for cred in presented {
+    ) -> Cow<'c, [Credential]> {
+        let mut surviving: Option<Vec<Credential>> = None;
+        for (idx, cred) in presented.iter().enumerate() {
             match self.validate_credential(cred, presenter, now) {
-                Ok(()) => valid.push(cred.clone()),
+                Ok(()) => {
+                    if let Some(valid) = surviving.as_mut() {
+                        valid.push(cred.clone());
+                    }
+                }
                 Err(err) => {
+                    if surviving.is_none() {
+                        surviving = Some(presented[..idx].to_vec());
+                    }
                     self.audit.record(
                         now,
                         AuditKind::CredentialRejected {
@@ -463,7 +661,10 @@ impl OasisService {
                 }
             }
         }
-        valid
+        match surviving {
+            Some(valid) => Cow::Owned(valid),
+            None => Cow::Borrowed(presented),
+        }
     }
 
     // ------------------------------------------------------------------
@@ -525,13 +726,13 @@ impl OasisService {
     ) -> Result<ActivationOutcome, OasisError> {
         self.last_now.store(ctx.now(), Ordering::Relaxed);
         let (role_def, rules) = {
-            let state = self.state.lock();
-            let def = state
+            let policy = self.policy.read();
+            let def = policy
                 .roles
                 .get(role)
                 .cloned()
                 .ok_or_else(|| OasisError::UnknownRole(role.clone()))?;
-            let rules = state
+            let rules = policy
                 .activation_rules
                 .get(role)
                 .cloned()
@@ -542,7 +743,7 @@ impl OasisService {
 
         let creds = self.validated(presented, principal, ctx.now());
 
-        for rule in &rules {
+        for rule in rules.iter() {
             let mut seed = Bindings::new();
             if !seed.unify_all(&rule.head_args, args) {
                 continue;
@@ -551,14 +752,7 @@ impl OasisService {
                 solve(&self.id, &rule.conditions, seed, &creds, &self.facts, ctx)
             {
                 return self.issue_rmc(
-                    principal,
-                    role,
-                    args,
-                    rule,
-                    &solution,
-                    &creds,
-                    holder_key,
-                    ctx,
+                    principal, role, args, rule, &solution, &creds, holder_key, ctx,
                 );
             }
         }
@@ -608,9 +802,7 @@ impl OasisService {
         for &idx in &rule.membership {
             let atom = &rule.conditions[idx];
             if atom.is_credential() {
-                if let Some((_, used_crr)) =
-                    solution.used.iter().find(|(cond, _)| *cond == idx)
-                {
+                if let Some((_, used_crr)) = solution.used.iter().find(|(cond, _)| *cond == idx) {
                     if !depends_on.contains(used_crr) {
                         depends_on.push(used_crr.clone());
                     }
@@ -631,61 +823,60 @@ impl OasisService {
             status: CredStatus::Active,
         };
 
-        {
-            let mut state = self.state.lock();
-            for dep in &depends_on {
-                state
-                    .dep_index
-                    .entry(dep.clone())
-                    .or_default()
-                    .insert(cert_id);
-            }
-            for atom in &retained_checks {
-                if let Atom::EnvFact {
-                    relation,
-                    args,
-                    negated,
-                } = atom
-                {
-                    if let Some(tuple) =
-                        args.iter().map(term_as_const).collect::<Option<Vec<_>>>()
-                    {
-                        state
-                            .fact_index
-                            .entry((relation.clone(), tuple))
-                            .or_default()
-                            .push((cert_id, !negated));
-                    }
+        // Dependency and fact edges go in first (one shard lock at a
+        // time), then the record itself. A revocation racing this window
+        // may find an edge pointing at a record that does not exist yet
+        // and drop the cascade — the re-validation below closes exactly
+        // that hole.
+        for dep in &depends_on {
+            self.shards[shard_of_hash(dep)]
+                .lock()
+                .dep_index
+                .entry(dep.clone())
+                .or_default()
+                .insert(cert_id);
+        }
+        for atom in &retained_checks {
+            if let Atom::EnvFact {
+                relation,
+                args,
+                negated,
+            } = atom
+            {
+                if let Some(tuple) = args.iter().map(term_as_const).collect::<Option<Vec<_>>>() {
+                    let key = (relation.clone(), tuple);
+                    self.shards[shard_of_hash(&key)]
+                        .lock()
+                        .fact_index
+                        .entry(key)
+                        .or_default()
+                        .push((cert_id, !negated));
                 }
             }
-            state.records.insert(
-                cert_id,
-                RecordState {
-                    record,
-                    depends_on,
-                    retained_checks,
-                },
-            );
         }
+        let retained_creds = depends_on.clone();
+        self.record_shard(cert_id).lock().records.insert(
+            cert_id,
+            RecordState {
+                record,
+                depends_on,
+                retained_checks,
+            },
+        );
 
         // Close the race with concurrent revocation: the supporting
         // credentials were validated *before* the dependency edges above
         // existed, so a revocation landing in between would have found no
         // dependents. Re-validate now that the edges are in place; any
         // revocation from here on cascades normally.
-        let retained_creds = {
-            let state = self.state.lock();
-            state
-                .records
-                .get(&cert_id)
-                .map(|r| r.depends_on.clone())
-                .unwrap_or_default()
-        };
         for dep in &retained_creds {
             let Some(cred) = creds.iter().find(|c| c.crr() == dep) else {
                 continue;
             };
-            if self.validate_credential(cred, principal, ctx.now()).is_err() {
+            if self
+                .validate_credential(cred, principal, ctx.now())
+                .is_err()
+            {
                 self.revoke_certificate(
                     cert_id,
                     &format!("supporting credential {dep} was revoked during activation"),
@@ -744,13 +935,16 @@ impl OasisService {
         ctx: &EnvContext,
     ) -> Result<Invocation, OasisError> {
         self.last_now.store(ctx.now(), Ordering::Relaxed);
-        let rules = {
-            let state = self.state.lock();
-            state.invocation_rules.get(method).cloned().unwrap_or_default()
-        };
+        let rules = self
+            .policy
+            .read()
+            .invocation_rules
+            .get(method)
+            .cloned()
+            .unwrap_or_default();
         let creds = self.validated(presented, principal, ctx.now());
 
-        for rule in &rules {
+        for rule in rules.iter() {
             let mut seed = Bindings::new();
             if !seed.unify_all(&rule.head_args, args) {
                 continue;
@@ -820,16 +1014,17 @@ impl OasisService {
         ctx: &EnvContext,
     ) -> Result<AppointmentCertificate, OasisError> {
         self.last_now.store(ctx.now(), Ordering::Relaxed);
-        let allowed_roles = {
-            let state = self.state.lock();
-            state.appointers.get(name).cloned().unwrap_or_default()
-        };
+        let allowed_roles = self
+            .policy
+            .read()
+            .appointers
+            .get(name)
+            .cloned()
+            .unwrap_or_default();
 
         let creds = self.validated(appointer_creds, appointer, ctx.now());
         let entitled = creds.iter().any(|c| match c {
-            Credential::Rmc(rmc) => {
-                rmc.crr.issuer == self.id && allowed_roles.contains(&rmc.role)
-            }
+            Credential::Rmc(rmc) => rmc.crr.issuer == self.id && allowed_roles.contains(&rmc.role),
             Credential::Appointment(_) => false,
         });
         if !entitled {
@@ -863,7 +1058,7 @@ impl OasisService {
             expires_at,
             status: CredStatus::Active,
         };
-        self.state.lock().records.insert(
+        self.record_shard(cert_id).lock().records.insert(
             cert_id,
             RecordState {
                 record,
@@ -896,8 +1091,8 @@ impl OasisService {
     pub fn revoke_certificate(&self, cert_id: CertId, reason: &str, now: u64) -> bool {
         self.last_now.store(now, Ordering::Relaxed);
         let crr = {
-            let mut state = self.state.lock();
-            let Some(rec) = state.records.get_mut(&cert_id) else {
+            let mut shard = self.record_shard(cert_id).lock();
+            let Some(rec) = shard.records.get_mut(&cert_id) else {
                 return false;
             };
             if !rec.record.status.is_active() {
@@ -917,7 +1112,8 @@ impl OasisService {
             },
         );
         // Publishing triggers dependent collapse synchronously (subscribed
-        // callbacks run on this thread) — the "active security" property.
+        // callbacks run on this thread, with no shard lock held) — the
+        // "active security" property.
         self.bus.publish_at(
             &revocation_topic(&self.id),
             CertEvent {
@@ -939,19 +1135,22 @@ impl OasisService {
     /// certificates are *not* touched — their lifetime is independent of
     /// sessions. Returns how many certificates were revoked directly.
     pub fn end_session(&self, principal: &PrincipalId, reason: &str, now: u64) -> usize {
-        let to_revoke: Vec<CertId> = {
-            let state = self.state.lock();
-            state
-                .records
-                .values()
-                .filter(|r| {
-                    r.record.status.is_active()
-                        && r.record.kind == CredentialKind::Rmc
-                        && r.record.principal == *principal
-                })
-                .map(|r| r.record.crr.cert_id)
-                .collect()
-        };
+        let mut to_revoke: Vec<CertId> = Vec::new();
+        // Ascending shard order, one lock at a time.
+        for shard in &self.shards {
+            let shard = shard.lock();
+            to_revoke.extend(
+                shard
+                    .records
+                    .values()
+                    .filter(|r| {
+                        r.record.status.is_active()
+                            && r.record.kind == CredentialKind::Rmc
+                            && r.record.principal == *principal
+                    })
+                    .map(|r| r.record.crr.cert_id),
+            );
+        }
         let mut revoked = 0;
         for cert_id in to_revoke {
             // Cascades may have revoked later entries already.
@@ -966,8 +1165,8 @@ impl OasisService {
     /// like a revocation but recorded as expiry.
     fn expire_certificate(&self, cert_id: CertId, now: u64) {
         let crr = {
-            let mut state = self.state.lock();
-            let Some(rec) = state.records.get_mut(&cert_id) else {
+            let mut shard = self.record_shard(cert_id).lock();
+            let Some(rec) = shard.records.get_mut(&cert_id) else {
                 return;
             };
             if !rec.record.status.is_active() {
@@ -976,7 +1175,8 @@ impl OasisService {
             rec.record.status = CredStatus::Expired { at: now };
             rec.record.crr.clone()
         };
-        self.audit.record(now, AuditKind::CertExpired { crr: crr.clone() });
+        self.audit
+            .record(now, AuditKind::CertExpired { crr: crr.clone() });
         self.bus.publish_at(
             &revocation_topic(&self.id),
             CertEvent {
@@ -993,18 +1193,19 @@ impl OasisService {
     /// at `now`; returns how many lapsed. (Expiry is otherwise noticed
     /// lazily at validation time.)
     pub fn expire_certificates(&self, now: u64) -> usize {
-        let due: Vec<CertId> = {
-            let state = self.state.lock();
-            state
-                .records
-                .iter()
-                .filter(|(_, r)| {
-                    r.record.status.is_active()
-                        && r.record.expires_at.is_some_and(|d| now > d)
-                })
-                .map(|(id, _)| *id)
-                .collect()
-        };
+        let mut due: Vec<CertId> = Vec::new();
+        for shard in &self.shards {
+            let shard = shard.lock();
+            due.extend(
+                shard
+                    .records
+                    .iter()
+                    .filter(|(_, r)| {
+                        r.record.status.is_active() && r.record.expires_at.is_some_and(|d| now > d)
+                    })
+                    .map(|(id, _)| *id),
+            );
+        }
         for cert_id in &due {
             self.expire_certificate(*cert_id, now);
         }
@@ -1016,8 +1217,8 @@ impl OasisService {
     fn handle_revocation_event(&self, event: &CertEvent) {
         let CertEventKind::Revoked { reason } = &event.kind;
         let dependents: Vec<CertId> = {
-            let mut state = self.state.lock();
-            state
+            let mut shard = self.shards[shard_of_hash(&event.crr)].lock();
+            shard
                 .dep_index
                 .remove(&event.crr)
                 .map(|set| {
@@ -1031,7 +1232,10 @@ impl OasisService {
         for cert_id in dependents {
             self.revoke_certificate(
                 cert_id,
-                &format!("cascade: supporting credential {} revoked ({reason})", event.crr),
+                &format!(
+                    "cascade: supporting credential {} revoked ({reason})",
+                    event.crr
+                ),
                 now,
             );
         }
@@ -1047,8 +1251,8 @@ impl OasisService {
         };
         let key = (change.relation().to_string(), change.tuple().to_vec());
         let hit: Vec<CertId> = {
-            let mut state = self.state.lock();
-            match state.fact_index.get_mut(&key) {
+            let mut shard = self.shards[shard_of_hash(&key)].lock();
+            match shard.fact_index.get_mut(&key) {
                 Some(entries) => {
                     let (fire, keep): (Vec<_>, Vec<_>) = entries
                         .drain(..)
@@ -1060,7 +1264,11 @@ impl OasisService {
             }
         };
         let now = self.last_now.load(Ordering::Relaxed);
-        let verb = if expected_present { "retracted" } else { "asserted" };
+        let verb = if expected_present {
+            "retracted"
+        } else {
+            "asserted"
+        };
         for cert_id in hit {
             self.revoke_certificate(
                 cert_id,
@@ -1084,19 +1292,28 @@ impl OasisService {
     /// typically on a heartbeat). Returns the revoked certificates.
     pub fn recheck_memberships(&self, ctx: &EnvContext) -> Vec<Crr> {
         self.last_now.store(ctx.now(), Ordering::Relaxed);
-        let to_check: Vec<(CertId, Vec<Atom>)> = {
-            let state = self.state.lock();
-            state
-                .records
-                .iter()
-                .filter(|(_, r)| r.record.status.is_active() && !r.retained_checks.is_empty())
-                .map(|(id, r)| (*id, r.retained_checks.clone()))
-                .collect()
-        };
+        let mut to_check: Vec<(CertId, Vec<Atom>)> = Vec::new();
+        // Ascending shard order, one lock at a time; checks are evaluated
+        // after the locks are released (solve may be arbitrarily slow).
+        for shard in &self.shards {
+            let shard = shard.lock();
+            to_check.extend(
+                shard
+                    .records
+                    .iter()
+                    .filter(|(_, r)| r.record.status.is_active() && !r.retained_checks.is_empty())
+                    .map(|(id, r)| (*id, r.retained_checks.clone())),
+            );
+        }
         let mut revoked = Vec::new();
         for (cert_id, checks) in to_check {
             let ok = solve(&self.id, &checks, Bindings::new(), &[], &self.facts, ctx).is_some();
-            if !ok && self.revoke_certificate(cert_id, "membership condition no longer holds", ctx.now())
+            if !ok
+                && self.revoke_certificate(
+                    cert_id,
+                    "membership condition no longer holds",
+                    ctx.now(),
+                )
             {
                 revoked.push(Crr::new(self.id.clone(), cert_id));
             }
@@ -1110,14 +1327,18 @@ impl OasisService {
 
     /// The credential record for a certificate, if this service issued it.
     pub fn record(&self, cert_id: CertId) -> Option<CredRecord> {
-        self.state.lock().records.get(&cert_id).map(|r| r.record.clone())
+        self.record_shard(cert_id)
+            .lock()
+            .records
+            .get(&cert_id)
+            .map(|r| r.record.clone())
     }
 
     /// The credentials a certificate's membership rule retains — i.e. the
     /// supporting credentials whose revocation will collapse it (Fig 5's
     /// event-channel edges, viewed from the dependent side).
     pub fn dependencies(&self, cert_id: CertId) -> Option<Vec<Crr>> {
-        self.state
+        self.record_shard(cert_id)
             .lock()
             .records
             .get(&cert_id)
@@ -1126,13 +1347,15 @@ impl OasisService {
 
     /// Number of records in each status: `(active, revoked, expired)`.
     pub fn record_stats(&self) -> (usize, usize, usize) {
-        let state = self.state.lock();
         let mut counts = (0, 0, 0);
-        for r in state.records.values() {
-            match r.record.status {
-                CredStatus::Active => counts.0 += 1,
-                CredStatus::Revoked { .. } => counts.1 += 1,
-                CredStatus::Expired { .. } => counts.2 += 1,
+        for shard in &self.shards {
+            let shard = shard.lock();
+            for r in shard.records.values() {
+                match r.record.status {
+                    CredStatus::Active => counts.0 += 1,
+                    CredStatus::Revoked { .. } => counts.1 += 1,
+                    CredStatus::Expired { .. } => counts.2 += 1,
+                }
             }
         }
         counts
@@ -1140,29 +1363,29 @@ impl OasisService {
 
     /// All roles defined at this service, sorted by name.
     pub fn roles(&self) -> Vec<RoleDef> {
-        let state = self.state.lock();
-        let mut roles: Vec<RoleDef> = state.roles.values().cloned().collect();
+        let policy = self.policy.read();
+        let mut roles: Vec<RoleDef> = policy.roles.values().cloned().collect();
         roles.sort_by(|a, b| a.name().cmp(b.name()));
         roles
     }
 
     /// The activation rules installed for a role, in trial order.
     pub fn activation_rules(&self, role: &RoleName) -> Vec<ActivationRule> {
-        self.state
-            .lock()
+        self.policy
+            .read()
             .activation_rules
             .get(role)
-            .cloned()
+            .map(|rules| rules.as_ref().clone())
             .unwrap_or_default()
     }
 
     /// The invocation rules installed for a method, in trial order.
     pub fn invocation_rules(&self, method: &str) -> Vec<InvocationRule> {
-        self.state
-            .lock()
+        self.policy
+            .read()
             .invocation_rules
             .get(method)
-            .cloned()
+            .map(|rules| rules.as_ref().clone())
             .unwrap_or_default()
     }
 
@@ -1181,13 +1404,13 @@ impl OasisService {
     /// These are warnings, not errors: the flag is descriptive metadata
     /// and services may stage policy installation.
     pub fn policy_warnings(&self) -> Vec<String> {
-        let state = self.state.lock();
+        let policy = self.policy.read();
         let mut warnings = Vec::new();
-        let mut names: Vec<&RoleName> = state.roles.keys().collect();
+        let mut names: Vec<&RoleName> = policy.roles.keys().collect();
         names.sort();
         for name in names {
-            let def = &state.roles[name];
-            let rules = state.activation_rules.get(name);
+            let def = &policy.roles[name];
+            let rules = policy.activation_rules.get(name);
             match rules {
                 None => warnings.push(format!(
                     "role `{name}` has no activation rules and can never be activated"
@@ -1216,13 +1439,17 @@ impl OasisService {
 
     /// All active credential records (for operator tooling).
     pub fn active_records(&self) -> Vec<CredRecord> {
-        let state = self.state.lock();
-        let mut records: Vec<CredRecord> = state
-            .records
-            .values()
-            .filter(|r| r.record.status.is_active())
-            .map(|r| r.record.clone())
-            .collect();
+        let mut records: Vec<CredRecord> = Vec::new();
+        for shard in &self.shards {
+            let shard = shard.lock();
+            records.extend(
+                shard
+                    .records
+                    .values()
+                    .filter(|r| r.record.status.is_active())
+                    .map(|r| r.record.clone()),
+            );
+        }
         records.sort_by_key(|r| r.crr.cert_id);
         records
     }
@@ -1244,7 +1471,11 @@ fn substitute_atom(atom: &Atom, bindings: &Bindings) -> Atom {
     };
     let sub_terms = |ts: &[Term]| ts.iter().map(sub_term).collect();
     match atom {
-        Atom::Prereq { service, role, args } => Atom::Prereq {
+        Atom::Prereq {
+            service,
+            role,
+            args,
+        } => Atom::Prereq {
             service: service.clone(),
             role: role.clone(),
             args: sub_terms(args),

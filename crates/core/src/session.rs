@@ -98,11 +98,7 @@ impl Session {
     ///
     /// After a revocation cascade on the server side (Fig 5), this brings
     /// the client's wallet back in line with the authoritative state.
-    pub fn prune_invalid(
-        &mut self,
-        validator: &dyn CredentialValidator,
-        now: u64,
-    ) -> Vec<Crr> {
+    pub fn prune_invalid(&mut self, validator: &dyn CredentialValidator, now: u64) -> Vec<Crr> {
         let principal = self.principal.clone();
         let mut dropped = Vec::new();
         self.credentials.retain(|c| {
@@ -261,7 +257,10 @@ mod tests {
         s.add_rmc(rmc("login", 1, "logged_in"));
         s.add_rmc(rmc("hospital", 2, "doctor"));
         let dropped = s.prune_invalid(&RejectService(ServiceId::new("hospital")), 0);
-        assert_eq!(dropped, vec![Crr::new(ServiceId::new("hospital"), CertId(2))]);
+        assert_eq!(
+            dropped,
+            vec![Crr::new(ServiceId::new("hospital"), CertId(2))]
+        );
         assert_eq!(s.len(), 1);
     }
 }

@@ -6,8 +6,8 @@ use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 
 use oasis_core::{
-    Atom, CmpOp, Credential, EnvContext, OasisService, PrincipalId, RoleName, ServiceConfig,
-    Term, Value, ValueType,
+    Atom, CmpOp, Credential, EnvContext, OasisService, PrincipalId, RoleName, ServiceConfig, Term,
+    Value, ValueType,
 };
 use oasis_facts::FactStore;
 
@@ -29,8 +29,8 @@ fn predicate_membership_revoked_on_recheck() {
 
     let link_up = Arc::new(AtomicBool::new(true));
     let flag = Arc::clone(&link_up);
-    let ctx = EnvContext::new(0)
-        .with_predicate("link_up", move |_, _| flag.load(Ordering::Relaxed));
+    let ctx =
+        EnvContext::new(0).with_predicate("link_up", move |_, _| flag.load(Ordering::Relaxed));
 
     let alice = PrincipalId::new("alice");
     let rmc = svc
@@ -81,10 +81,22 @@ fn ambient_values_gate_activation_and_invocation() {
     let at_home = EnvContext::new(0).with_ambient("host", Value::id("laptop"));
 
     assert!(svc
-        .activate_role(&alice, &RoleName::new("console_operator"), &[], &[], &at_home)
+        .activate_role(
+            &alice,
+            &RoleName::new("console_operator"),
+            &[],
+            &[],
+            &at_home
+        )
         .is_err());
     let rmc = svc
-        .activate_role(&alice, &RoleName::new("console_operator"), &[], &[], &at_console)
+        .activate_role(
+            &alice,
+            &RoleName::new("console_operator"),
+            &[],
+            &[],
+            &at_console,
+        )
         .unwrap();
 
     // Even holding the RMC, the invocation itself is host-gated.
@@ -159,8 +171,10 @@ fn concurrent_revocation_and_activation_do_not_deadlock() {
     let facts = Arc::new(FactStore::new());
     let svc = OasisService::new(ServiceConfig::new("svc"), Arc::clone(&facts));
     svc.define_role("root", &[], true).unwrap();
-    svc.add_activation_rule("root", vec![], vec![], vec![]).unwrap();
-    svc.define_role("leaf", &[("n", ValueType::Int)], false).unwrap();
+    svc.add_activation_rule("root", vec![], vec![], vec![])
+        .unwrap();
+    svc.define_role("leaf", &[("n", ValueType::Int)], false)
+        .unwrap();
     svc.add_activation_rule(
         "leaf",
         vec![Term::var("N")],
@@ -231,7 +245,8 @@ fn end_session_revokes_rmcs_but_not_appointments() {
     let facts = Arc::new(FactStore::new());
     let svc = OasisService::new(ServiceConfig::new("svc"), Arc::clone(&facts));
     svc.define_role("login", &[], true).unwrap();
-    svc.add_activation_rule("login", vec![], vec![], vec![]).unwrap();
+    svc.add_activation_rule("login", vec![], vec![], vec![])
+        .unwrap();
     svc.define_role("inner", &[], false).unwrap();
     svc.add_activation_rule(
         "inner",
@@ -286,7 +301,9 @@ fn end_session_revokes_rmcs_but_not_appointments() {
         .validate_own(&Credential::Rmc(alice_inner), &alice, 11)
         .is_err());
     // Bob's session and the appointment both survive.
-    assert!(svc.validate_own(&Credential::Rmc(bob_login), &bob, 11).is_ok());
+    assert!(svc
+        .validate_own(&Credential::Rmc(bob_login), &bob, 11)
+        .is_ok());
     assert!(svc
         .validate_own(&Credential::Appointment(badge), &bob, 11)
         .is_ok());

@@ -14,8 +14,11 @@ fn service() -> Arc<OasisService> {
 fn roles_and_rules_listings() {
     let svc = service();
     svc.define_role("zeta", &[], false).unwrap();
-    svc.define_role("alpha", &[("x", ValueType::Id)], true).unwrap();
-    let r1 = svc.add_activation_rule("alpha", vec![Term::var("X")], vec![], vec![]).unwrap();
+    svc.define_role("alpha", &[("x", ValueType::Id)], true)
+        .unwrap();
+    let r1 = svc
+        .add_activation_rule("alpha", vec![Term::var("X")], vec![], vec![])
+        .unwrap();
     let r2 = svc
         .add_activation_rule(
             "zeta",
@@ -42,7 +45,8 @@ fn roles_and_rules_listings() {
 fn consistent_policy_has_no_warnings() {
     let svc = service();
     svc.define_role("login", &[], true).unwrap();
-    svc.add_activation_rule("login", vec![], vec![], vec![]).unwrap();
+    svc.add_activation_rule("login", vec![], vec![], vec![])
+        .unwrap();
     svc.define_role("inner", &[], false).unwrap();
     svc.add_activation_rule(
         "inner",
@@ -51,7 +55,11 @@ fn consistent_policy_has_no_warnings() {
         vec![0],
     )
     .unwrap();
-    assert!(svc.policy_warnings().is_empty(), "{:?}", svc.policy_warnings());
+    assert!(
+        svc.policy_warnings().is_empty(),
+        "{:?}",
+        svc.policy_warnings()
+    );
 }
 
 #[test]
@@ -68,7 +76,8 @@ fn ruleless_role_flagged() {
 fn unflagged_session_starter_flagged() {
     let svc = service();
     svc.define_role("sneaky", &[], false).unwrap();
-    svc.add_activation_rule("sneaky", vec![], vec![], vec![]).unwrap();
+    svc.add_activation_rule("sneaky", vec![], vec![], vec![])
+        .unwrap();
     let warnings = svc.policy_warnings();
     assert_eq!(warnings.len(), 1);
     assert!(warnings[0].contains("not flagged initial"));
@@ -94,7 +103,8 @@ fn appointment_only_rule_counts_as_session_starter() {
 fn initial_role_that_cannot_start_session_flagged() {
     let svc = service();
     svc.define_role("base", &[], true).unwrap();
-    svc.add_activation_rule("base", vec![], vec![], vec![]).unwrap();
+    svc.add_activation_rule("base", vec![], vec![], vec![])
+        .unwrap();
     svc.define_role("fake_initial", &[], true).unwrap();
     svc.add_activation_rule(
         "fake_initial",
@@ -115,9 +125,11 @@ fn mixed_rules_make_initial_consistent() {
     // initial role (either path works; one starts sessions).
     let svc = service();
     svc.define_role("base", &[], true).unwrap();
-    svc.add_activation_rule("base", vec![], vec![], vec![]).unwrap();
+    svc.add_activation_rule("base", vec![], vec![], vec![])
+        .unwrap();
     svc.define_role("either", &[], true).unwrap();
-    svc.add_activation_rule("either", vec![], vec![], vec![]).unwrap();
+    svc.add_activation_rule("either", vec![], vec![], vec![])
+        .unwrap();
     svc.add_activation_rule(
         "either",
         vec![],

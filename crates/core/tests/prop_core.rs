@@ -10,8 +10,8 @@ use std::sync::Arc;
 use proptest::prelude::*;
 
 use oasis_core::{
-    Atom, CertId, Credential, EnvContext, OasisService, PrincipalId, RoleName, ServiceConfig,
-    Term, Value,
+    Atom, CertId, Credential, EnvContext, OasisService, PrincipalId, RoleName, ServiceConfig, Term,
+    Value,
 };
 use oasis_crypto::{IssuerSecret, SecretEpoch, SecretKey};
 use oasis_facts::FactStore;

@@ -5,8 +5,8 @@
 use std::sync::Arc;
 
 use oasis_core::{
-    Atom, CmpOp, Credential, CredStatus, EnvContext, LocalRegistry, OasisError,
-    OasisService, PrincipalId, RoleName, ServiceConfig, Term, Value, ValueType,
+    Atom, CmpOp, CredStatus, Credential, EnvContext, LocalRegistry, OasisError, OasisService,
+    PrincipalId, RoleName, ServiceConfig, Term, Value, ValueType,
 };
 use oasis_events::EventBus;
 use oasis_facts::FactStore;
@@ -28,7 +28,10 @@ fn role(s: &str) -> RoleName {
 }
 
 /// A login service with an initial role guarded by a fact lookup.
-fn login_service(facts: &Arc<FactStore<Value>>, bus: &EventBus<oasis_core::CertEvent>) -> Arc<OasisService> {
+fn login_service(
+    facts: &Arc<FactStore<Value>>,
+    bus: &EventBus<oasis_core::CertEvent>,
+) -> Arc<OasisService> {
     let svc = OasisService::new(
         ServiceConfig::new("login").with_bus(bus.clone()),
         Arc::clone(facts),
@@ -48,12 +51,20 @@ fn login_service(facts: &Arc<FactStore<Value>>, bus: &EventBus<oasis_core::CertE
 #[test]
 fn initial_role_activation_issues_verified_rmc() {
     let facts = facts();
-    facts.insert("password_ok", vec![Value::id("alice")]).unwrap();
+    facts
+        .insert("password_ok", vec![Value::id("alice")])
+        .unwrap();
     let bus = EventBus::new();
     let svc = login_service(&facts, &bus);
 
     let rmc = svc
-        .activate_role(&alice(), &role("logged_in"), &[Value::id("alice")], &[], &EnvContext::new(1))
+        .activate_role(
+            &alice(),
+            &role("logged_in"),
+            &[Value::id("alice")],
+            &[],
+            &EnvContext::new(1),
+        )
         .unwrap();
 
     assert_eq!(rmc.role, role("logged_in"));
@@ -73,7 +84,13 @@ fn activation_denied_without_satisfying_fact() {
     let bus = EventBus::new();
     let svc = login_service(&facts, &bus);
     let err = svc
-        .activate_role(&alice(), &role("logged_in"), &[Value::id("alice")], &[], &EnvContext::new(0))
+        .activate_role(
+            &alice(),
+            &role("logged_in"),
+            &[Value::id("alice")],
+            &[],
+            &EnvContext::new(0),
+        )
         .unwrap_err();
     assert!(matches!(err, OasisError::ActivationDenied { .. }));
     assert_eq!(svc.audit().entries_tagged("activation_denied").len(), 1);
@@ -169,15 +186,29 @@ fn fig1() -> Fig1 {
 }
 
 /// Runs the full Fig 1 chain for alice/patient p1, returning the three RMCs.
-fn activate_chain(f: &Fig1) -> (oasis_core::cert::Rmc, oasis_core::cert::Rmc, oasis_core::cert::Rmc) {
-    f.facts.insert("password_ok", vec![Value::id("alice")]).unwrap();
+fn activate_chain(
+    f: &Fig1,
+) -> (
+    oasis_core::cert::Rmc,
+    oasis_core::cert::Rmc,
+    oasis_core::cert::Rmc,
+) {
+    f.facts
+        .insert("password_ok", vec![Value::id("alice")])
+        .unwrap();
     f.facts
         .insert("registered", vec![Value::id("alice"), Value::id("p1")])
         .unwrap();
     let ctx = EnvContext::new(10);
     let login_rmc = f
         .login
-        .activate_role(&alice(), &role("logged_in"), &[Value::id("alice")], &[], &ctx)
+        .activate_role(
+            &alice(),
+            &role("logged_in"),
+            &[Value::id("alice")],
+            &[],
+            &ctx,
+        )
         .unwrap();
     let duty_rmc = f
         .hospital
@@ -221,11 +252,19 @@ fn prerequisite_chain_builds_session_tree() {
 #[test]
 fn cross_service_prereq_requires_validator() {
     let f = fig1();
-    f.facts.insert("password_ok", vec![Value::id("alice")]).unwrap();
+    f.facts
+        .insert("password_ok", vec![Value::id("alice")])
+        .unwrap();
     let ctx = EnvContext::new(0);
     let login_rmc = f
         .login
-        .activate_role(&alice(), &role("logged_in"), &[Value::id("alice")], &[], &ctx)
+        .activate_role(
+            &alice(),
+            &role("logged_in"),
+            &[Value::id("alice")],
+            &[],
+            &ctx,
+        )
         .unwrap();
 
     // A hospital with no validator cannot accept the foreign credential.
@@ -252,7 +291,10 @@ fn cross_service_prereq_requires_validator() {
         .unwrap_err();
     // The foreign credential is rejected (no validator), so the rule fails.
     assert!(matches!(err, OasisError::ActivationDenied { .. }));
-    assert_eq!(lonely.audit().entries_tagged("credential_rejected").len(), 1);
+    assert_eq!(
+        lonely.audit().entries_tagged("credential_rejected").len(),
+        1
+    );
 }
 
 #[test]
@@ -348,7 +390,9 @@ fn exclusion_fact_insertion_deactivates_role() {
 #[test]
 fn exclusion_blocks_activation_up_front() {
     let f = fig1();
-    f.facts.insert("password_ok", vec![Value::id("alice")]).unwrap();
+    f.facts
+        .insert("password_ok", vec![Value::id("alice")])
+        .unwrap();
     f.facts
         .insert("registered", vec![Value::id("alice"), Value::id("p1")])
         .unwrap();
@@ -358,7 +402,13 @@ fn exclusion_blocks_activation_up_front() {
     let ctx = EnvContext::new(0);
     let login_rmc = f
         .login
-        .activate_role(&alice(), &role("logged_in"), &[Value::id("alice")], &[], &ctx)
+        .activate_role(
+            &alice(),
+            &role("logged_in"),
+            &[Value::id("alice")],
+            &[],
+            &ctx,
+        )
         .unwrap();
     let duty_rmc = f
         .hospital
@@ -486,7 +536,9 @@ fn appointment_issue_requires_privileged_role() {
         Err(OasisError::NotAppointer { .. })
     ));
 
-    f.hospital.grant_appointer("doctor_on_duty", "assigned").unwrap();
+    f.hospital
+        .grant_appointer("doctor_on_duty", "assigned")
+        .unwrap();
     let cert = f
         .hospital
         .issue_appointment(
@@ -517,7 +569,9 @@ fn appointment_survives_appointer_session_end() {
     let f = fig1();
     let (_, duty_rmc, _) = activate_chain(&f);
     let bob = PrincipalId::new("bob");
-    f.hospital.grant_appointer("doctor_on_duty", "assigned").unwrap();
+    f.hospital
+        .grant_appointer("doctor_on_duty", "assigned")
+        .unwrap();
     let cert = f
         .hospital
         .issue_appointment(
@@ -548,7 +602,9 @@ fn expired_appointment_rejected_and_marked() {
     let f = fig1();
     let (_, duty_rmc, _) = activate_chain(&f);
     let bob = PrincipalId::new("bob");
-    f.hospital.grant_appointer("doctor_on_duty", "standin").unwrap();
+    f.hospital
+        .grant_appointer("doctor_on_duty", "standin")
+        .unwrap();
     let cert = f
         .hospital
         .issue_appointment(
@@ -583,7 +639,9 @@ fn expire_certificates_sweep() {
     let f = fig1();
     let (_, duty_rmc, _) = activate_chain(&f);
     let bob = PrincipalId::new("bob");
-    f.hospital.grant_appointer("doctor_on_duty", "standin").unwrap();
+    f.hospital
+        .grant_appointer("doctor_on_duty", "standin")
+        .unwrap();
     for deadline in [100, 200] {
         f.hospital
             .issue_appointment(
@@ -649,7 +707,9 @@ fn membership_recheck_revokes_on_time_window() {
 fn non_retained_conditions_do_not_deactivate() {
     let facts = facts();
     let svc = OasisService::new(ServiceConfig::new("svc"), Arc::clone(&facts));
-    facts.insert("password_ok", vec![Value::id("alice")]).unwrap();
+    facts
+        .insert("password_ok", vec![Value::id("alice")])
+        .unwrap();
     svc.define_role("r", &[("u", ValueType::Id)], true).unwrap();
     // password_ok is checked at activation but NOT retained (empty
     // membership rule).
@@ -661,7 +721,13 @@ fn non_retained_conditions_do_not_deactivate() {
     )
     .unwrap();
     let rmc = svc
-        .activate_role(&alice(), &role("r"), &[Value::id("alice")], &[], &EnvContext::new(0))
+        .activate_role(
+            &alice(),
+            &role("r"),
+            &[Value::id("alice")],
+            &[],
+            &EnvContext::new(0),
+        )
         .unwrap();
 
     facts.retract("password_ok", &[Value::id("alice")]).unwrap();
@@ -757,7 +823,11 @@ fn wide_fanout_cascade_collapses_all_dependents() {
         Arc::clone(&facts),
     );
     leaves
-        .define_role("leaf", &[("u", ValueType::Id), ("n", ValueType::Int)], false)
+        .define_role(
+            "leaf",
+            &[("u", ValueType::Id), ("n", ValueType::Int)],
+            false,
+        )
         .unwrap();
     leaves
         .add_activation_rule(
@@ -772,10 +842,18 @@ fn wide_fanout_cascade_collapses_all_dependents() {
     registry.register(&leaves);
     leaves.set_validator(registry);
 
-    facts.insert("password_ok", vec![Value::id("alice")]).unwrap();
+    facts
+        .insert("password_ok", vec![Value::id("alice")])
+        .unwrap();
     let ctx = EnvContext::new(0);
     let root = login
-        .activate_role(&alice(), &role("logged_in"), &[Value::id("alice")], &[], &ctx)
+        .activate_role(
+            &alice(),
+            &role("logged_in"),
+            &[Value::id("alice")],
+            &[],
+            &ctx,
+        )
         .unwrap();
     for n in 0..50 {
         leaves
@@ -799,7 +877,8 @@ fn deep_chain_cascade_collapses_transitively() {
     let facts = facts();
     let svc = OasisService::new(ServiceConfig::new("chain"), Arc::clone(&facts));
     svc.define_role("level0", &[], true).unwrap();
-    svc.add_activation_rule("level0", vec![], vec![], vec![]).unwrap();
+    svc.add_activation_rule("level0", vec![], vec![], vec![])
+        .unwrap();
     for i in 1..30 {
         svc.define_role(format!("level{i}"), &[], false).unwrap();
         svc.add_activation_rule(
@@ -837,7 +916,8 @@ fn first_matching_rule_wins_among_alternatives() {
     // Two ways into the same role: by appointment OR by fact.
     let facts = facts();
     let svc = OasisService::new(ServiceConfig::new("svc"), Arc::clone(&facts));
-    svc.define_role("member", &[("u", ValueType::Id)], true).unwrap();
+    svc.define_role("member", &[("u", ValueType::Id)], true)
+        .unwrap();
     let r1 = svc
         .add_activation_rule(
             "member",
@@ -856,7 +936,9 @@ fn first_matching_rule_wins_among_alternatives() {
         .unwrap();
     assert_ne!(r1, r2);
 
-    facts.insert("password_ok", vec![Value::id("alice")]).unwrap();
+    facts
+        .insert("password_ok", vec![Value::id("alice")])
+        .unwrap();
     // No appointment certificate presented: rule 2 fires.
     let outcome = svc
         .activate_role_detailed(

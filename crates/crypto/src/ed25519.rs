@@ -1,0 +1,606 @@
+//! In-tree Ed25519 (RFC 8032) signing and verification.
+//!
+//! Implemented from the specification: 51-bit-limb field arithmetic over
+//! 2^255 − 19, extended twisted-Edwards coordinates with the complete
+//! (a = −1, 2d) addition formula, and bit-serial reduction modulo the group
+//! order for scalar arithmetic. Scalar multiplication is variable-time,
+//! which is acceptable here: the workspace signs with ephemeral session
+//! keys inside a single process and never handles remote-attacker-timed
+//! long-term keys. Correctness is pinned by the RFC 8032 test vectors in
+//! the module tests.
+
+use std::sync::OnceLock;
+
+use crate::hash::Sha512;
+
+// ---------------------------------------------------------------------------
+// Field arithmetic mod p = 2^255 - 19 (five 51-bit limbs)
+// ---------------------------------------------------------------------------
+
+const MASK51: u64 = (1 << 51) - 1;
+
+/// 2·p in limb form, added before subtraction to keep limbs non-negative.
+const TWO_P: [u64; 5] = [
+    0xFFFFFFFFFFFDA,
+    0xFFFFFFFFFFFFE,
+    0xFFFFFFFFFFFFE,
+    0xFFFFFFFFFFFFE,
+    0xFFFFFFFFFFFFE,
+];
+
+#[derive(Clone, Copy, Debug)]
+struct Fe([u64; 5]);
+
+impl Fe {
+    const ZERO: Fe = Fe([0; 5]);
+    const ONE: Fe = Fe([1, 0, 0, 0, 0]);
+
+    fn from_u64(v: u64) -> Fe {
+        Fe([v & MASK51, v >> 51, 0, 0, 0]).carried()
+    }
+
+    /// Little-endian load; bit 255 is ignored per RFC 8032.
+    fn from_bytes(b: &[u8; 32]) -> Fe {
+        let load = |i: usize| u64::from_le_bytes(b[i..i + 8].try_into().unwrap());
+        Fe([
+            load(0) & MASK51,
+            (load(6) >> 3) & MASK51,
+            (load(12) >> 6) & MASK51,
+            (load(19) >> 1) & MASK51,
+            (load(24) >> 12) & MASK51,
+        ])
+    }
+
+    /// One round of carry propagation with 19-folding of the top limb.
+    fn carried(self) -> Fe {
+        let mut l = self.0;
+        for _ in 0..2 {
+            let mut carry = 0u64;
+            for limb in &mut l {
+                let v = *limb + carry;
+                *limb = v & MASK51;
+                carry = v >> 51;
+            }
+            l[0] += 19 * carry;
+        }
+        Fe(l)
+    }
+
+    fn add(self, other: Fe) -> Fe {
+        let mut l = self.0;
+        for (a, b) in l.iter_mut().zip(other.0) {
+            *a += b;
+        }
+        Fe(l).carried()
+    }
+
+    fn sub(self, other: Fe) -> Fe {
+        let mut l = self.0;
+        for ((a, b), p2) in l.iter_mut().zip(other.0).zip(TWO_P) {
+            *a = *a + p2 - b;
+        }
+        Fe(l).carried()
+    }
+
+    fn neg(self) -> Fe {
+        Fe::ZERO.sub(self)
+    }
+
+    fn mul(self, other: Fe) -> Fe {
+        let a = self.0;
+        let b = other.0;
+        let m = |x: u64, y: u64| x as u128 * y as u128;
+        let r0 =
+            m(a[0], b[0]) + 19 * (m(a[1], b[4]) + m(a[2], b[3]) + m(a[3], b[2]) + m(a[4], b[1]));
+        let r1 =
+            m(a[0], b[1]) + m(a[1], b[0]) + 19 * (m(a[2], b[4]) + m(a[3], b[3]) + m(a[4], b[2]));
+        let r2 =
+            m(a[0], b[2]) + m(a[1], b[1]) + m(a[2], b[0]) + 19 * (m(a[3], b[4]) + m(a[4], b[3]));
+        let r3 = m(a[0], b[3]) + m(a[1], b[2]) + m(a[2], b[1]) + m(a[3], b[0]) + 19 * m(a[4], b[4]);
+        let r4 = m(a[0], b[4]) + m(a[1], b[3]) + m(a[2], b[2]) + m(a[3], b[1]) + m(a[4], b[0]);
+
+        let mut out = [0u64; 5];
+        let mut carry: u128 = 0;
+        for (slot, r) in out.iter_mut().zip([r0, r1, r2, r3, r4]) {
+            let v = r + carry;
+            *slot = (v as u64) & MASK51;
+            carry = v >> 51;
+        }
+        out[0] += 19 * carry as u64;
+        Fe(out).carried()
+    }
+
+    fn square(self) -> Fe {
+        self.mul(self)
+    }
+
+    /// Variable-time exponentiation by a little-endian 256-bit exponent.
+    fn pow(self, exp_le: &[u8; 32]) -> Fe {
+        let mut acc = Fe::ONE;
+        for bit in (0..256).rev() {
+            acc = acc.square();
+            if (exp_le[bit / 8] >> (bit % 8)) & 1 == 1 {
+                acc = acc.mul(self);
+            }
+        }
+        acc
+    }
+
+    fn invert(self) -> Fe {
+        // p - 2 = 2^255 - 21.
+        let mut exp = [0xFFu8; 32];
+        exp[0] = 0xEB;
+        exp[31] = 0x7F;
+        self.pow(&exp)
+    }
+
+    /// Candidate square root: self^((p+3)/8) = self^(2^252 - 2).
+    fn sqrt_candidate(self) -> Fe {
+        let mut exp = [0xFFu8; 32];
+        exp[0] = 0xFE;
+        exp[31] = 0x0F;
+        self.pow(&exp)
+    }
+
+    /// Canonical little-endian encoding (fully reduced mod p).
+    fn to_bytes(self) -> [u8; 32] {
+        let mut l = self.carried().0;
+        // q = 1 iff the value is >= p.
+        let mut q = (l[0] + 19) >> 51;
+        for limb in &l[1..] {
+            q = (limb + q) >> 51;
+        }
+        l[0] += 19 * q;
+        let mut carry = 0u64;
+        for limb in &mut l {
+            let v = *limb + carry;
+            *limb = v & MASK51;
+            carry = v >> 51;
+        }
+        // carry (bit 255) is discarded: value is now < 2^255 and < p.
+        let mut out = [0u8; 32];
+        let mut acc: u128 = 0;
+        let mut acc_bits = 0u32;
+        let mut idx = 0;
+        for limb in l {
+            acc |= (limb as u128) << acc_bits;
+            acc_bits += 51;
+            while acc_bits >= 8 {
+                out[idx] = acc as u8;
+                acc >>= 8;
+                acc_bits -= 8;
+                idx += 1;
+            }
+        }
+        if idx < 32 {
+            out[idx] = acc as u8;
+        }
+        out
+    }
+
+    fn equals(self, other: Fe) -> bool {
+        self.to_bytes() == other.to_bytes()
+    }
+
+    fn is_negative(self) -> bool {
+        self.to_bytes()[0] & 1 == 1
+    }
+
+    fn is_zero(self) -> bool {
+        self.to_bytes() == [0u8; 32]
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Curve constants (derived once at runtime)
+// ---------------------------------------------------------------------------
+
+struct Constants {
+    /// 2·d where d = −121665/121666.
+    d2: Fe,
+    d: Fe,
+    /// √−1 = 2^((p−1)/4).
+    sqrt_m1: Fe,
+    base: Point,
+}
+
+fn constants() -> &'static Constants {
+    static CONSTANTS: OnceLock<Constants> = OnceLock::new();
+    CONSTANTS.get_or_init(|| {
+        let d = Fe::from_u64(121_665)
+            .neg()
+            .mul(Fe::from_u64(121_666).invert());
+        // (p − 1)/4 = 2^253 − 5.
+        let mut exp = [0xFFu8; 32];
+        exp[0] = 0xFB;
+        exp[31] = 0x1F;
+        let sqrt_m1 = Fe::from_u64(2).pow(&exp);
+        // Base point: y = 4/5, x positive (sign bit 0).
+        let y = Fe::from_u64(4).mul(Fe::from_u64(5).invert());
+        let base = decompress_with(&y.to_bytes(), d, sqrt_m1).expect("base point decompresses");
+        Constants {
+            d2: d.add(d),
+            d,
+            sqrt_m1,
+            base,
+        }
+    })
+}
+
+// ---------------------------------------------------------------------------
+// Point arithmetic (extended coordinates, a = −1)
+// ---------------------------------------------------------------------------
+
+#[derive(Clone, Copy, Debug)]
+struct Point {
+    x: Fe,
+    y: Fe,
+    z: Fe,
+    t: Fe,
+}
+
+impl Point {
+    const IDENTITY: Point = Point {
+        x: Fe::ZERO,
+        y: Fe::ONE,
+        z: Fe::ONE,
+        t: Fe::ZERO,
+    };
+
+    /// Complete unified addition (add-2008-hwcd-3); valid for doubling too.
+    fn add(self, other: Point) -> Point {
+        let k2d = constants().d2;
+        let a = self.y.sub(self.x).mul(other.y.sub(other.x));
+        let b = self.y.add(self.x).mul(other.y.add(other.x));
+        let c = self.t.mul(k2d).mul(other.t);
+        let d = self.z.add(self.z).mul(other.z);
+        let e = b.sub(a);
+        let f = d.sub(c);
+        let g = d.add(c);
+        let h = b.add(a);
+        Point {
+            x: e.mul(f),
+            y: g.mul(h),
+            t: e.mul(h),
+            z: f.mul(g),
+        }
+    }
+
+    /// Variable-time scalar multiplication over a 256-bit LE scalar.
+    /// The addition formula is complete, so doubling the identity is fine.
+    fn scalar_mul(self, scalar_le: &[u8; 32]) -> Point {
+        let mut acc = Point::IDENTITY;
+        for bit in (0..256).rev() {
+            acc = acc.add(acc);
+            if (scalar_le[bit / 8] >> (bit % 8)) & 1 == 1 {
+                acc = acc.add(self);
+            }
+        }
+        acc
+    }
+
+    fn encode(self) -> [u8; 32] {
+        let zinv = self.z.invert();
+        let x = self.x.mul(zinv);
+        let y = self.y.mul(zinv);
+        let mut out = y.to_bytes();
+        out[31] |= (x.is_negative() as u8) << 7;
+        out
+    }
+}
+
+fn decompress_with(bytes: &[u8; 32], d: Fe, sqrt_m1: Fe) -> Option<Point> {
+    let sign = bytes[31] >> 7;
+    let y = Fe::from_bytes(bytes);
+    // Reject non-canonical y (>= p): re-encoding must reproduce the input.
+    let mut canonical = *bytes;
+    canonical[31] &= 0x7F;
+    if y.to_bytes() != canonical {
+        return None;
+    }
+    let y2 = y.square();
+    let u = y2.sub(Fe::ONE);
+    let v = d.mul(y2).add(Fe::ONE);
+    let w = u.mul(v.invert());
+    let mut x = w.sqrt_candidate();
+    let x2 = x.square();
+    if x2.equals(w) {
+        // x is a square root already.
+    } else if x2.equals(w.neg()) {
+        x = x.mul(sqrt_m1);
+    } else {
+        return None;
+    }
+    if x.is_zero() && sign == 1 {
+        return None;
+    }
+    if x.is_negative() != (sign == 1) {
+        x = x.neg();
+    }
+    Some(Point {
+        x,
+        y,
+        z: Fe::ONE,
+        t: x.mul(y),
+    })
+}
+
+fn decompress(bytes: &[u8; 32]) -> Option<Point> {
+    let c = constants();
+    decompress_with(bytes, c.d, c.sqrt_m1)
+}
+
+// ---------------------------------------------------------------------------
+// Scalar arithmetic mod l = 2^252 + 27742317777372353535851937790883648493
+// ---------------------------------------------------------------------------
+
+const L: [u64; 4] = [
+    0x5812631a5cf5d3ed,
+    0x14def9dea2f79cd6,
+    0,
+    0x1000000000000000,
+];
+
+fn geq_l(v: &[u64; 4]) -> bool {
+    for i in (0..4).rev() {
+        if v[i] > L[i] {
+            return true;
+        }
+        if v[i] < L[i] {
+            return false;
+        }
+    }
+    true
+}
+
+fn sub_l(v: &mut [u64; 4]) {
+    let mut borrow = 0u64;
+    for (limb, l) in v.iter_mut().zip(L) {
+        let (d1, b1) = limb.overflowing_sub(l);
+        let (d2, b2) = d1.overflowing_sub(borrow);
+        *limb = d2;
+        borrow = (b1 | b2) as u64;
+    }
+    debug_assert_eq!(borrow, 0);
+}
+
+/// Bit-serial reduction of a little-endian 512-bit value modulo l.
+fn reduce_wide(limbs: &[u64; 8]) -> [u8; 32] {
+    let mut r = [0u64; 4];
+    for bit in (0..512).rev() {
+        // r = (r << 1) | bit; r stays < 2l < 2^254 so the shift cannot overflow.
+        let mut carry = (limbs[bit / 64] >> (bit % 64)) & 1;
+        for limb in &mut r {
+            let new_carry = *limb >> 63;
+            *limb = (*limb << 1) | carry;
+            carry = new_carry;
+        }
+        if geq_l(&r) {
+            sub_l(&mut r);
+        }
+    }
+    let mut out = [0u8; 32];
+    for (i, limb) in r.iter().enumerate() {
+        out[i * 8..(i + 1) * 8].copy_from_slice(&limb.to_le_bytes());
+    }
+    out
+}
+
+fn scalar_from_hash(digest: &[u8; 64]) -> [u8; 32] {
+    let mut limbs = [0u64; 8];
+    for (i, limb) in limbs.iter_mut().enumerate() {
+        *limb = u64::from_le_bytes(digest[i * 8..(i + 1) * 8].try_into().unwrap());
+    }
+    reduce_wide(&limbs)
+}
+
+/// (k·a + r) mod l, all inputs little-endian 256-bit.
+fn muladd(k: &[u8; 32], a: &[u8; 32], r: &[u8; 32]) -> [u8; 32] {
+    let load =
+        |b: &[u8; 32], i: usize| u64::from_le_bytes(b[i * 8..(i + 1) * 8].try_into().unwrap());
+    let ka: [u64; 4] = std::array::from_fn(|i| load(k, i));
+    let aa: [u64; 4] = std::array::from_fn(|i| load(a, i));
+    let ra: [u64; 4] = std::array::from_fn(|i| load(r, i));
+
+    let mut wide = [0u64; 8];
+    for (i, &ki) in ka.iter().enumerate() {
+        let mut carry = 0u128;
+        for (j, &aj) in aa.iter().enumerate() {
+            let v = wide[i + j] as u128 + ki as u128 * aj as u128 + carry;
+            wide[i + j] = v as u64;
+            carry = v >> 64;
+        }
+        wide[i + 4] = wide[i + 4].wrapping_add(carry as u64);
+    }
+    let mut carry = 0u128;
+    for (i, &ri) in ra.iter().enumerate() {
+        let v = wide[i] as u128 + ri as u128 + carry;
+        wide[i] = v as u64;
+        carry = v >> 64;
+    }
+    let mut i = 4;
+    while carry != 0 && i < 8 {
+        let v = wide[i] as u128 + carry;
+        wide[i] = v as u64;
+        carry = v >> 64;
+        i += 1;
+    }
+    reduce_wide(&wide)
+}
+
+fn scalar_below_l(s: &[u8; 32]) -> bool {
+    let limbs: [u64; 4] =
+        std::array::from_fn(|i| u64::from_le_bytes(s[i * 8..(i + 1) * 8].try_into().unwrap()));
+    !geq_l(&limbs)
+}
+
+// ---------------------------------------------------------------------------
+// Public API
+// ---------------------------------------------------------------------------
+
+/// An Ed25519 signing key derived from a 32-byte seed.
+#[derive(Clone)]
+pub struct SigningKey {
+    scalar: [u8; 32],
+    prefix: [u8; 32],
+    public: [u8; 32],
+}
+
+impl SigningKey {
+    /// Expands a seed into the signing scalar, prefix, and public key.
+    pub fn from_seed(seed: &[u8; 32]) -> Self {
+        let digest = Sha512::digest(seed);
+        let mut scalar = [0u8; 32];
+        scalar.copy_from_slice(&digest[..32]);
+        scalar[0] &= 248;
+        scalar[31] &= 127;
+        scalar[31] |= 64;
+        let mut prefix = [0u8; 32];
+        prefix.copy_from_slice(&digest[32..]);
+        let public = constants().base.scalar_mul(&scalar).encode();
+        Self {
+            scalar,
+            prefix,
+            public,
+        }
+    }
+
+    /// The compressed public key.
+    pub fn public_key_bytes(&self) -> [u8; 32] {
+        self.public
+    }
+
+    /// Produces a detached signature over `message`.
+    pub fn sign(&self, message: &[u8]) -> [u8; 64] {
+        let mut h = Sha512::new();
+        h.update(&self.prefix);
+        h.update(message);
+        let r = scalar_from_hash(&h.finalize());
+        let r_point = constants().base.scalar_mul(&r).encode();
+
+        let mut h = Sha512::new();
+        h.update(&r_point);
+        h.update(&self.public);
+        h.update(message);
+        let k = scalar_from_hash(&h.finalize());
+
+        let s = muladd(&k, &self.scalar, &r);
+        let mut signature = [0u8; 64];
+        signature[..32].copy_from_slice(&r_point);
+        signature[32..].copy_from_slice(&s);
+        signature
+    }
+}
+
+/// Verifies `signature` over `message` by `public`. Never panics; malformed
+/// keys or signatures simply fail.
+pub fn verify(public: &[u8; 32], message: &[u8], signature: &[u8; 64]) -> bool {
+    let Some(a) = decompress(public) else {
+        return false;
+    };
+    let r_bytes: [u8; 32] = signature[..32].try_into().unwrap();
+    let s_bytes: [u8; 32] = signature[32..].try_into().unwrap();
+    if !scalar_below_l(&s_bytes) {
+        return false;
+    }
+    let Some(r_point) = decompress(&r_bytes) else {
+        return false;
+    };
+    let mut h = Sha512::new();
+    h.update(&r_bytes);
+    h.update(public);
+    h.update(message);
+    let k = scalar_from_hash(&h.finalize());
+
+    let lhs = constants().base.scalar_mul(&s_bytes);
+    let rhs = r_point.add(a.scalar_mul(&k));
+    lhs.encode() == rhs.encode()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::hex;
+
+    fn unhex32(s: &str) -> [u8; 32] {
+        hex::decode(s).unwrap().try_into().unwrap()
+    }
+
+    fn unhex64(s: &str) -> [u8; 64] {
+        hex::decode(s).unwrap().try_into().unwrap()
+    }
+
+    // RFC 8032 §7.1 test vector 1 (empty message).
+    const SEED1: &str = "9d61b19deffd5a60ba844af492ec2cc44449c5697b326919703bac031cae7f60";
+    const PUB1: &str = "d75a980182b10ab7d54bfed3c964073a0ee172f3daa62325af021a68f707511a";
+    const SIG1: &str = "e5564300c360ac729086e2cc806e828a84877f1eb8e5d974d873e06522490155\
+                        5fb8821590a33bacc61e39701cf9b46bd25bf5f0595bbe24655141438e7a100b";
+
+    // RFC 8032 §7.1 test vector 2 (one-byte message 0x72).
+    const SEED2: &str = "4ccd089b28ff96da9db6c346ec114e0f5b8a319f35aba624da8cf6ed4fb8a6fb";
+    const PUB2: &str = "3d4017c3e843895a92b70aa74d1b7ebc9c982ccf2ec4968cc0cd55f12af4660c";
+    const SIG2: &str = "92a009a9f0d4cab8720e820b5f642540a2b27b5416503f8fb3762223ebdb69da\
+                        085ac1e43e15996e458f3613d0f11d8c387b2eaeb4302aeeb00d291612bb0c00";
+
+    #[test]
+    fn rfc8032_vector_1() {
+        let key = SigningKey::from_seed(&unhex32(SEED1));
+        assert_eq!(hex::encode(&key.public_key_bytes()), PUB1);
+        let sig = key.sign(b"");
+        assert_eq!(sig, unhex64(&SIG1.replace(char::is_whitespace, "")));
+        assert!(verify(&key.public_key_bytes(), b"", &sig));
+    }
+
+    #[test]
+    fn rfc8032_vector_2() {
+        let key = SigningKey::from_seed(&unhex32(SEED2));
+        assert_eq!(hex::encode(&key.public_key_bytes()), PUB2);
+        let sig = key.sign(&[0x72]);
+        assert_eq!(sig, unhex64(&SIG2.replace(char::is_whitespace, "")));
+        assert!(verify(&key.public_key_bytes(), &[0x72], &sig));
+    }
+
+    #[test]
+    fn tampered_signature_rejected() {
+        let key = SigningKey::from_seed(&[7; 32]);
+        let mut sig = key.sign(b"message");
+        sig[40] ^= 1;
+        assert!(!verify(&key.public_key_bytes(), b"message", &sig));
+    }
+
+    #[test]
+    fn wrong_message_rejected() {
+        let key = SigningKey::from_seed(&[7; 32]);
+        let sig = key.sign(b"message");
+        assert!(!verify(&key.public_key_bytes(), b"other", &sig));
+    }
+
+    #[test]
+    fn invalid_public_keys_fail_closed() {
+        let sig = SigningKey::from_seed(&[1; 32]).sign(b"m");
+        // Non-canonical y (all 0xFF) and a y with no matching x must both
+        // fail without panicking.
+        assert!(!verify(&[0xFF; 32], b"m", &sig));
+        let mut not_on_curve = [0u8; 32];
+        not_on_curve[0] = 2;
+        assert!(!verify(&not_on_curve, b"m", &sig));
+    }
+
+    #[test]
+    fn field_inversion_round_trips() {
+        let x = Fe::from_u64(0xDEADBEEF);
+        assert!(x.mul(x.invert()).equals(Fe::ONE));
+    }
+
+    #[test]
+    fn scalar_reduction_matches_definition() {
+        // (l + 5) mod l == 5.
+        let mut wide = [0u64; 8];
+        wide[..4].copy_from_slice(&L);
+        wide[0] += 5;
+        let reduced = reduce_wide(&wide);
+        let mut expected = [0u8; 32];
+        expected[0] = 5;
+        assert_eq!(reduced, expected);
+    }
+}

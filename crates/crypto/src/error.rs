@@ -1,16 +1,14 @@
 //! Error types for the cryptographic substrate.
 
-use thiserror::Error;
+use std::fmt;
 
 /// Errors reported by the cryptographic substrate.
-#[derive(Debug, Error, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub enum CryptoError {
     /// A MAC or signature failed verification.
-    #[error("signature verification failed")]
     BadSignature,
 
     /// A byte string had the wrong length for the key or signature type.
-    #[error("invalid length for {what}: expected {expected}, got {actual}")]
     InvalidLength {
         /// What was being decoded.
         what: &'static str,
@@ -21,18 +19,40 @@ pub enum CryptoError {
     },
 
     /// A secret epoch was not recognised (already retired or never issued).
-    #[error("unknown or retired secret epoch {0}")]
     UnknownEpoch(u64),
 
     /// A challenge response referenced an unknown or already-consumed nonce.
-    #[error("unknown, expired, or replayed nonce")]
     BadNonce,
 
     /// A challenge response was made with the wrong key.
-    #[error("challenge response does not prove possession of the presented key")]
     ChallengeFailed,
 
     /// Hex or binary decoding failed.
-    #[error("malformed encoding: {0}")]
     Malformed(String),
 }
+
+impl fmt::Display for CryptoError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::BadSignature => f.write_str("signature verification failed"),
+            Self::InvalidLength {
+                what,
+                expected,
+                actual,
+            } => write!(
+                f,
+                "invalid length for {what}: expected {expected}, got {actual}"
+            ),
+            Self::UnknownEpoch(epoch) => {
+                write!(f, "unknown or retired secret epoch {epoch}")
+            }
+            Self::BadNonce => f.write_str("unknown, expired, or replayed nonce"),
+            Self::ChallengeFailed => {
+                f.write_str("challenge response does not prove possession of the presented key")
+            }
+            Self::Malformed(detail) => write!(f, "malformed encoding: {detail}"),
+        }
+    }
+}
+
+impl std::error::Error for CryptoError {}

@@ -1,0 +1,113 @@
+//! In-tree HMAC-SHA256 (RFC 2104), used by the certificate signature
+//! function `F`. Verification is constant-time.
+
+use crate::hash::Sha256;
+
+const BLOCK: usize = 64;
+
+/// Incremental HMAC-SHA256.
+#[derive(Clone)]
+pub struct HmacSha256 {
+    inner: Sha256,
+    opad_key: [u8; BLOCK],
+}
+
+impl HmacSha256 {
+    /// Creates a MAC keyed by `key` (any length; long keys are hashed).
+    pub fn new(key: &[u8]) -> Self {
+        let mut padded = [0u8; BLOCK];
+        if key.len() > BLOCK {
+            padded[..32].copy_from_slice(&Sha256::digest(key));
+        } else {
+            padded[..key.len()].copy_from_slice(key);
+        }
+        let mut ipad_key = [0u8; BLOCK];
+        let mut opad_key = [0u8; BLOCK];
+        for i in 0..BLOCK {
+            ipad_key[i] = padded[i] ^ 0x36;
+            opad_key[i] = padded[i] ^ 0x5c;
+        }
+        let mut inner = Sha256::new();
+        inner.update(&ipad_key);
+        Self { inner, opad_key }
+    }
+
+    /// Absorbs more input.
+    pub fn update(&mut self, data: &[u8]) {
+        self.inner.update(data);
+    }
+
+    /// Returns the 32-byte tag.
+    pub fn finalize(self) -> [u8; 32] {
+        let inner_digest = self.inner.finalize();
+        let mut outer = Sha256::new();
+        outer.update(&self.opad_key);
+        outer.update(&inner_digest);
+        outer.finalize()
+    }
+
+    /// Constant-time comparison of the final tag against `expected`.
+    pub fn verify(self, expected: &[u8; 32]) -> bool {
+        constant_time_eq(&self.finalize(), expected)
+    }
+}
+
+/// Constant-time equality for equal-length byte strings.
+pub fn constant_time_eq(a: &[u8], b: &[u8]) -> bool {
+    if a.len() != b.len() {
+        return false;
+    }
+    let mut acc = 0u8;
+    for (x, y) in a.iter().zip(b.iter()) {
+        acc |= x ^ y;
+    }
+    acc == 0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::hex;
+
+    #[test]
+    fn rfc_style_vector() {
+        // Verified against Python's hmac module.
+        let mut mac = HmacSha256::new(b"key");
+        mac.update(b"The quick brown fox jumps over the lazy dog");
+        assert_eq!(
+            hex::encode(&mac.finalize()),
+            "f7bc83f430538424b13298e6aa6fb143ef4d59a14946175997479dbc2d1a3cd8"
+        );
+    }
+
+    #[test]
+    fn long_keys_are_hashed_down() {
+        let long_key = vec![0x42u8; 200];
+        let mut a = HmacSha256::new(&long_key);
+        a.update(b"m");
+        let mut b = HmacSha256::new(&Sha256::digest(&long_key));
+        b.update(b"m");
+        assert_eq!(a.finalize(), b.finalize());
+    }
+
+    #[test]
+    fn verify_accepts_and_rejects() {
+        let mut mac = HmacSha256::new(b"k");
+        mac.update(b"data");
+        let tag = mac.clone().finalize();
+        assert!(mac.clone().verify(&tag));
+        let mut bad = tag;
+        bad[0] ^= 1;
+        assert!(!mac.verify(&bad));
+    }
+
+    #[test]
+    fn incremental_matches_oneshot() {
+        let mut a = HmacSha256::new(b"k");
+        a.update(b"hello ");
+        a.update(b"world");
+        let mut b = HmacSha256::new(b"k");
+        b.update(b"hello world");
+        assert_eq!(a.finalize(), b.finalize());
+    }
+}

@@ -1,0 +1,100 @@
+//! JSON conversions for the crypto types that travel inside certificates
+//! on the wire. Byte strings are hex-encoded.
+
+use oasis_json::{FromJson, Json, JsonError, ToJson};
+
+use crate::hex;
+use crate::keys::{PublicKey, SignatureBytes};
+use crate::secret::SecretEpoch;
+use crate::sign::MacSignature;
+
+impl ToJson for PublicKey {
+    fn to_json(&self) -> Json {
+        Json::Str(hex::encode(&self.0))
+    }
+}
+
+impl FromJson for PublicKey {
+    fn from_json(json: &Json) -> Result<Self, JsonError> {
+        let s = json
+            .as_str()
+            .ok_or_else(|| JsonError::expected("hex public key string"))?;
+        PublicKey::from_hex(s).map_err(|e| JsonError::new(format!("public key: {e}")))
+    }
+}
+
+impl ToJson for MacSignature {
+    fn to_json(&self) -> Json {
+        Json::Str(hex::encode(&self.0))
+    }
+}
+
+impl FromJson for MacSignature {
+    fn from_json(json: &Json) -> Result<Self, JsonError> {
+        let s = json
+            .as_str()
+            .ok_or_else(|| JsonError::expected("hex MAC string"))?;
+        MacSignature::from_hex(s).map_err(|e| JsonError::new(format!("mac: {e}")))
+    }
+}
+
+impl ToJson for SignatureBytes {
+    fn to_json(&self) -> Json {
+        Json::Str(hex::encode(&self.0))
+    }
+}
+
+impl FromJson for SignatureBytes {
+    fn from_json(json: &Json) -> Result<Self, JsonError> {
+        let s = json
+            .as_str()
+            .ok_or_else(|| JsonError::expected("hex signature string"))?;
+        let bytes = hex::decode(s).ok_or_else(|| JsonError::new("signature: bad hex"))?;
+        let arr: [u8; 64] = bytes
+            .try_into()
+            .map_err(|_| JsonError::new("signature: wrong length"))?;
+        Ok(SignatureBytes(arr))
+    }
+}
+
+impl ToJson for SecretEpoch {
+    fn to_json(&self) -> Json {
+        self.0.to_json()
+    }
+}
+
+impl FromJson for SecretEpoch {
+    fn from_json(json: &Json) -> Result<Self, JsonError> {
+        u64::from_json(json).map(SecretEpoch)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn public_key_round_trips() {
+        let pk = crate::KeyPair::from_seed([7; 32]).public_key();
+        let back = PublicKey::from_json(&pk.to_json()).unwrap();
+        assert_eq!(back, pk);
+        assert!(PublicKey::from_json(&Json::Str("zz".into())).is_err());
+        assert!(PublicKey::from_json(&Json::I64(3)).is_err());
+    }
+
+    #[test]
+    fn mac_and_epoch_round_trip() {
+        let mac = MacSignature([0xAB; 32]);
+        assert_eq!(MacSignature::from_json(&mac.to_json()).unwrap(), mac);
+        let epoch = SecretEpoch(u64::MAX);
+        assert_eq!(SecretEpoch::from_json(&epoch.to_json()).unwrap(), epoch);
+    }
+
+    #[test]
+    fn signature_bytes_round_trip() {
+        let sig = SignatureBytes([0x5A; 64]);
+        let back = SignatureBytes::from_json(&sig.to_json()).unwrap();
+        assert_eq!(back.0, sig.0);
+        assert!(SignatureBytes::from_json(&Json::Str("aabb".into())).is_err());
+    }
+}

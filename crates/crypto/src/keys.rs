@@ -10,15 +10,14 @@
 
 use std::fmt;
 
-use ed25519_dalek::{Signer, Verifier};
 use rand::RngCore;
-use serde::{Deserialize, Serialize};
 
+use crate::ed25519;
 use crate::error::CryptoError;
 use crate::hex;
 
 /// A principal's Ed25519 public key (32 bytes).
-#[derive(Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, Hash)]
 pub struct PublicKey(pub [u8; 32]);
 
 impl PublicKey {
@@ -48,11 +47,7 @@ impl PublicKey {
 
     /// Verifies an Ed25519 `signature` over `message` by this key.
     pub fn verify(&self, message: &[u8], signature: &SignatureBytes) -> bool {
-        let Ok(vk) = ed25519_dalek::VerifyingKey::from_bytes(&self.0) else {
-            return false;
-        };
-        let sig = ed25519_dalek::Signature::from_bytes(&signature.0);
-        vk.verify(message, &sig).is_ok()
+        ed25519::verify(&self.0, message, &signature.0)
     }
 }
 
@@ -69,22 +64,8 @@ impl fmt::Display for PublicKey {
 }
 
 /// A detached Ed25519 signature (64 bytes).
-#[derive(Clone, Copy, Serialize, Deserialize)]
-pub struct SignatureBytes(#[serde(with = "serde_sig")] pub [u8; 64]);
-
-mod serde_sig {
-    use serde::{Deserialize, Deserializer, Serialize, Serializer};
-
-    pub fn serialize<S: Serializer>(bytes: &[u8; 64], ser: S) -> Result<S::Ok, S::Error> {
-        bytes.as_slice().serialize(ser)
-    }
-
-    pub fn deserialize<'de, D: Deserializer<'de>>(de: D) -> Result<[u8; 64], D::Error> {
-        let v = Vec::<u8>::deserialize(de)?;
-        v.try_into()
-            .map_err(|_| serde::de::Error::custom("signature must be 64 bytes"))
-    }
-}
+#[derive(Clone, Copy)]
+pub struct SignatureBytes(pub [u8; 64]);
 
 impl PartialEq for SignatureBytes {
     fn eq(&self, other: &Self) -> bool {
@@ -118,7 +99,7 @@ impl fmt::Display for SignatureBytes {
 /// assert!(pair.public_key().verify(b"challenge", &sig));
 /// ```
 pub struct KeyPair {
-    signing: ed25519_dalek::SigningKey,
+    signing: ed25519::SigningKey,
 }
 
 impl KeyPair {
@@ -133,18 +114,18 @@ impl KeyPair {
     /// (reproducible tests and simulations).
     pub fn from_seed(seed: [u8; 32]) -> Self {
         Self {
-            signing: ed25519_dalek::SigningKey::from_bytes(&seed),
+            signing: ed25519::SigningKey::from_seed(&seed),
         }
     }
 
     /// The public half, safe to publish and bind into certificates.
     pub fn public_key(&self) -> PublicKey {
-        PublicKey(self.signing.verifying_key().to_bytes())
+        PublicKey(self.signing.public_key_bytes())
     }
 
     /// Signs a message with the private half.
     pub fn sign(&self, message: &[u8]) -> SignatureBytes {
-        SignatureBytes(self.signing.sign(message).to_bytes())
+        SignatureBytes(self.signing.sign(message))
     }
 }
 

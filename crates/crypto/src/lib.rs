@@ -43,8 +43,12 @@
 #![warn(missing_docs)]
 
 pub mod challenge;
+pub mod ed25519;
 mod error;
+pub mod hash;
 pub mod hex;
+pub mod hmac;
+mod json;
 pub mod keys;
 pub mod nonce;
 pub mod secret;

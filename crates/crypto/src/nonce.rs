@@ -67,7 +67,9 @@ impl NonceCache {
     /// (deadline inclusive).
     pub fn issue(&self, now: u64, ttl: u64) -> Nonce {
         let nonce = Nonce::random();
-        self.outstanding.lock().insert(nonce, now.saturating_add(ttl));
+        self.outstanding
+            .lock()
+            .insert(nonce, now.saturating_add(ttl));
         nonce
     }
 
@@ -122,7 +124,10 @@ mod tests {
         let cache = NonceCache::new();
         let n = cache.issue(0, 5);
         assert!(!cache.consume(&n, 6));
-        assert!(!cache.consume(&n, 3), "expired consume still burns the nonce");
+        assert!(
+            !cache.consume(&n, 3),
+            "expired consume still burns the nonce"
+        );
     }
 
     #[test]

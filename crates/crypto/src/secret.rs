@@ -12,10 +12,8 @@ use std::fmt;
 
 use parking_lot::RwLock;
 use rand::RngCore;
-use serde::{Deserialize, Serialize};
-
 /// Identifies one generation of an issuer's signing secret.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct SecretEpoch(pub u64);
 
 impl fmt::Display for SecretEpoch {
@@ -110,7 +108,12 @@ impl IssuerSecret {
     /// The key for the current epoch.
     pub fn current(&self) -> SecretKey {
         let epochs = self.epochs.read();
-        epochs.live.last().expect("at least one live epoch").1.clone()
+        epochs
+            .live
+            .last()
+            .expect("at least one live epoch")
+            .1
+            .clone()
     }
 
     /// The key for a specific epoch, if that epoch is still live.
@@ -205,8 +208,14 @@ mod tests {
     fn debug_never_leaks_key_material() {
         let s = SecretKey::from_bytes([0xAB; 32]);
         let repr = format!("{s:?}");
-        assert!(!repr.contains("ab"), "debug output must not contain key bytes");
-        assert!(!repr.contains("171"), "debug output must not contain key bytes");
+        assert!(
+            !repr.contains("ab"),
+            "debug output must not contain key bytes"
+        );
+        assert!(
+            !repr.contains("171"),
+            "debug output must not contain key bytes"
+        );
     }
 
     #[test]

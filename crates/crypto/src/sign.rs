@@ -6,21 +6,16 @@
 //! it, `["ab", "c"]` and `["a", "bc"]` would MAC identically and an
 //! attacker could shift bytes between a role name and a parameter.
 
-use hmac::{Hmac, KeyInit, Mac};
-use serde::{Deserialize, Serialize};
-use sha2::Sha256;
-
 use crate::hex;
+use crate::hmac::HmacSha256;
 use crate::secret::SecretKey;
-
-type HmacSha256 = Hmac<Sha256>;
 
 /// A 32-byte HMAC-SHA256 certificate signature.
 ///
 /// Displayed as lowercase hex. Comparison of signatures for *verification*
 /// must go through [`verify_fields`], which is constant-time; `PartialEq`
 /// on this type is ordinary comparison intended for tests and map keys.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct MacSignature(pub [u8; 32]);
 
 impl MacSignature {
@@ -57,8 +52,7 @@ impl std::fmt::Display for MacSignature {
 }
 
 fn mac_of(key: &SecretKey, principal_id: &[u8], fields: &[&[u8]]) -> HmacSha256 {
-    let mut mac =
-        HmacSha256::new_from_slice(key.material()).expect("HMAC accepts any key length");
+    let mut mac = HmacSha256::new(key.material());
     // Canonical encoding: u64-LE length prefix before every component.
     mac.update(&(principal_id.len() as u64).to_le_bytes());
     mac.update(principal_id);
@@ -86,8 +80,7 @@ fn mac_of(key: &SecretKey, principal_id: &[u8], fields: &[&[u8]]) -> HmacSha256 
 /// assert!(verify_fields(&key, b"alice", &[b"role", b"param"], &sig));
 /// ```
 pub fn sign_fields(key: &SecretKey, principal_id: &[u8], fields: &[&[u8]]) -> MacSignature {
-    let digest = mac_of(key, principal_id, fields).finalize().into_bytes();
-    MacSignature(digest.into())
+    MacSignature(mac_of(key, principal_id, fields).finalize())
 }
 
 /// Verifies a signature in constant time.
@@ -97,9 +90,7 @@ pub fn verify_fields(
     fields: &[&[u8]],
     signature: &MacSignature,
 ) -> bool {
-    mac_of(key, principal_id, fields)
-        .verify_slice(&signature.0)
-        .is_ok()
+    mac_of(key, principal_id, fields).verify(&signature.0)
 }
 
 #[cfg(test)]

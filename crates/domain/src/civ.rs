@@ -244,9 +244,9 @@ impl CivService {
         now: u64,
     ) -> Result<(), OasisError> {
         self.validations.fetch_add(1, Ordering::Relaxed);
-        let replica = self.replica(index).map_err(|_| {
-            OasisError::NoValidator(credential.issuer().clone())
-        })?;
+        let replica = self
+            .replica(index)
+            .map_err(|_| OasisError::NoValidator(credential.issuer().clone()))?;
         let crr = credential.crr().clone();
 
         // Fast-path deny from the replicated revocation set.
@@ -325,14 +325,10 @@ mod tests {
     fn setup() -> (Arc<Domain>, Arc<OasisService>, Credential, PrincipalId) {
         let domain = Domain::new("hospital", EventBus::new());
         let svc = domain.create_service("records");
-        svc.define_role("guest", &[("u", ValueType::Id)], true).unwrap();
-        svc.add_activation_rule(
-            "guest",
-            vec![oasis_core::Term::var("U")],
-            vec![],
-            vec![],
-        )
-        .unwrap();
+        svc.define_role("guest", &[("u", ValueType::Id)], true)
+            .unwrap();
+        svc.add_activation_rule("guest", vec![oasis_core::Term::var("U")], vec![], vec![])
+            .unwrap();
         let alice = PrincipalId::new("alice");
         let rmc = svc
             .activate_role(
@@ -439,7 +435,10 @@ mod tests {
         let (domain, _svc, _cred, _alice) = setup();
         assert!(matches!(
             domain.civ().fail_replica(99),
-            Err(crate::DomainError::NoSuchReplica { index: 99, factor: 3 })
+            Err(crate::DomainError::NoSuchReplica {
+                index: 99,
+                factor: 3
+            })
         ));
     }
 }

@@ -416,9 +416,7 @@ mod tests {
         let proxy = EcrProxy::new(upstream.clone(), &bus, 1_000);
         let (cred, alice) = sample_credential();
         proxy.validate(&cred, &alice, 0).unwrap();
-        proxy
-            .validate(&cred, &PrincipalId::new("bob"), 0)
-            .unwrap();
+        proxy.validate(&cred, &PrincipalId::new("bob"), 0).unwrap();
         assert_eq!(upstream.calls.load(Ordering::Relaxed), 2);
         assert_eq!(proxy.len(), 2);
         proxy.invalidate(cred.crr());

@@ -1,22 +1,17 @@
 //! Error types for the domain layer.
 
-use thiserror::Error;
-
 use oasis_core::{DomainId, ServiceId};
 
 /// Errors reported by the domain layer.
-#[derive(Debug, Error, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub enum DomainError {
     /// A domain id was not registered with the federation.
-    #[error("unknown domain `{0}`")]
     UnknownDomain(DomainId),
 
     /// A service id could not be resolved to any domain.
-    #[error("service `{0}` belongs to no registered domain")]
     UnknownService(ServiceId),
 
     /// A cross-domain credential was presented without a covering SLA.
-    #[error("no service-level agreement lets `{consumer}` accept `{name}` from `{issuer}`")]
     NoAgreement {
         /// The domain refusing the credential.
         consumer: DomainId,
@@ -27,11 +22,9 @@ pub enum DomainError {
     },
 
     /// The CIV service has no live replica able to answer.
-    #[error("CIV service for `{0}` is unavailable (no live replica)")]
     CivUnavailable(DomainId),
 
     /// A replica index was out of range.
-    #[error("no replica {index} (replication factor {factor})")]
     NoSuchReplica {
         /// Requested replica.
         index: usize,
@@ -39,3 +32,28 @@ pub enum DomainError {
         factor: usize,
     },
 }
+
+impl std::fmt::Display for DomainError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::UnknownDomain(x0) => write!(f, "unknown domain `{x0}`"),
+            Self::UnknownService(x0) => write!(f, "service `{x0}` belongs to no registered domain"),
+            Self::NoAgreement {
+                consumer,
+                issuer,
+                name,
+            } => write!(
+                f,
+                "no service-level agreement lets `{consumer}` accept `{name}` from `{issuer}`"
+            ),
+            Self::CivUnavailable(x0) => {
+                write!(f, "CIV service for `{x0}` is unavailable (no live replica)")
+            }
+            Self::NoSuchReplica { index, factor } => {
+                write!(f, "no replica {index} (replication factor {factor})")
+            }
+        }
+    }
+}
+
+impl std::error::Error for DomainError {}

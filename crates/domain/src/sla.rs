@@ -14,8 +14,8 @@ use std::sync::Arc;
 use parking_lot::RwLock;
 
 use oasis_core::{
-    CertEvent, Credential, CredentialKind, CredentialValidator, DomainId, OasisError,
-    PrincipalId, ServiceId,
+    CertEvent, Credential, CredentialKind, CredentialValidator, DomainId, OasisError, PrincipalId,
+    ServiceId,
 };
 use oasis_events::EventBus;
 
@@ -166,14 +166,9 @@ impl Federation {
         name: &str,
         kind: CredentialKind,
     ) -> bool {
-        self.slas
-            .read()
-            .iter()
-            .any(|sla| {
-                sla.consumer == *consumer
-                    && sla.producer == *producer
-                    && sla.covers(issuer, name, kind)
-            })
+        self.slas.read().iter().any(|sla| {
+            sla.consumer == *consumer && sla.producer == *producer && sla.covers(issuer, name, kind)
+        })
     }
 
     /// A validator for services of `home`: local credentials validate via
@@ -297,13 +292,11 @@ mod tests {
     #[test]
     fn sla_clause_admits_exactly_the_named_shape() {
         let (federation, cred, dr) = setup();
-        federation.add_sla(
-            Sla::between("national", "hospital").accept(SlaClause {
-                issuer: "records".into(),
-                name: "treating_doctor".into(),
-                kind: CredentialKind::Rmc,
-            }),
-        );
+        federation.add_sla(Sla::between("national", "hospital").accept(SlaClause {
+            issuer: "records".into(),
+            name: "treating_doctor".into(),
+            kind: CredentialKind::Rmc,
+        }));
         let validator = federation.validator_for("national");
         assert!(validator.validate(&cred, &dr, 1).is_ok());
         // The MAC still binds the principal: a thief fails even with an SLA.
@@ -315,13 +308,11 @@ mod tests {
     #[test]
     fn sla_does_not_cover_other_names_or_kinds() {
         let (federation, cred, dr) = setup();
-        federation.add_sla(
-            Sla::between("national", "hospital").accept(SlaClause {
-                issuer: "records".into(),
-                name: "nurse".into(), // different role
-                kind: CredentialKind::Rmc,
-            }),
-        );
+        federation.add_sla(Sla::between("national", "hospital").accept(SlaClause {
+            issuer: "records".into(),
+            name: "nurse".into(), // different role
+            kind: CredentialKind::Rmc,
+        }));
         let validator = federation.validator_for("national");
         assert!(validator.validate(&cred, &dr, 1).is_err());
     }
@@ -330,13 +321,11 @@ mod tests {
     fn sla_is_directional() {
         let (federation, cred, dr) = setup();
         // The *reverse* agreement does not help.
-        federation.add_sla(
-            Sla::between("hospital", "national").accept(SlaClause {
-                issuer: "records".into(),
-                name: "treating_doctor".into(),
-                kind: CredentialKind::Rmc,
-            }),
-        );
+        federation.add_sla(Sla::between("hospital", "national").accept(SlaClause {
+            issuer: "records".into(),
+            name: "treating_doctor".into(),
+            kind: CredentialKind::Rmc,
+        }));
         let validator = federation.validator_for("national");
         assert!(validator.validate(&cred, &dr, 1).is_err());
     }
@@ -351,13 +340,11 @@ mod tests {
     #[test]
     fn cross_domain_revocation_propagates_through_shared_bus() {
         let (federation, cred, dr) = setup();
-        federation.add_sla(
-            Sla::between("national", "hospital").accept(SlaClause {
-                issuer: "records".into(),
-                name: "treating_doctor".into(),
-                kind: CredentialKind::Rmc,
-            }),
-        );
+        federation.add_sla(Sla::between("national", "hospital").accept(SlaClause {
+            issuer: "records".into(),
+            name: "treating_doctor".into(),
+            kind: CredentialKind::Rmc,
+        }));
         let validator = federation.validator_for("national");
         validator.validate(&cred, &dr, 1).unwrap();
 

@@ -383,7 +383,10 @@ impl<M> EventBus<M> {
             .delivered
             .fetch_add(delivered as u64, Ordering::Relaxed);
         if delivered == 0 {
-            self.inner.stats.dead_letters.fetch_add(1, Ordering::Relaxed);
+            self.inner
+                .stats
+                .dead_letters
+                .fetch_add(1, Ordering::Relaxed);
         }
         delivered
     }

@@ -146,7 +146,12 @@ impl<M> ChannelReceiver<M> {
             if self.shared.senders.load(Ordering::Acquire) == 0 {
                 return Err(EventError::Disconnected);
             }
-            if self.shared.available.wait_for(&mut queue, timeout).timed_out() {
+            if self
+                .shared
+                .available
+                .wait_for(&mut queue, timeout)
+                .timed_out()
+            {
                 return Err(EventError::Empty);
             }
         }

@@ -1,12 +1,9 @@
 //! Error types for the event middleware.
 
-use thiserror::Error;
-
 /// Errors reported by the event middleware.
-#[derive(Debug, Error, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub enum EventError {
     /// A topic or pattern string was malformed.
-    #[error("invalid topic `{topic}`: {reason}")]
     InvalidTopic {
         /// The offending topic or pattern text.
         topic: String,
@@ -15,18 +12,28 @@ pub enum EventError {
     },
 
     /// A receive was attempted on a subscription with no pending events.
-    #[error("no event pending")]
     Empty,
 
     /// The channel or bus side this endpoint talks to has been dropped.
-    #[error("peer disconnected")]
     Disconnected,
 
     /// A subscription id did not name a live subscription.
-    #[error("unknown subscription {0}")]
     UnknownSubscription(u64),
 
     /// A bounded subscription mailbox overflowed and the event was dropped.
-    #[error("subscription mailbox overflow; event dropped")]
     Overflow,
 }
+
+impl std::fmt::Display for EventError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::InvalidTopic { topic, reason } => write!(f, "invalid topic `{topic}`: {reason}"),
+            Self::Empty => write!(f, "no event pending"),
+            Self::Disconnected => write!(f, "peer disconnected"),
+            Self::UnknownSubscription(x0) => write!(f, "unknown subscription {x0}"),
+            Self::Overflow => write!(f, "subscription mailbox overflow; event dropped"),
+        }
+    }
+}
+
+impl std::error::Error for EventError {}

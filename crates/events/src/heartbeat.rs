@@ -155,12 +155,12 @@ impl HeartbeatMonitor {
         let sources = self.sources.read();
         let mut out: Vec<(SourceId, SourceHealth)> = sources
             .iter()
-            .filter_map(|(id, state)| {
-                match Self::classify(state, now, self.dead_after) {
+            .filter_map(
+                |(id, state)| match Self::classify(state, now, self.dead_after) {
                     SourceHealth::Healthy => None,
                     health => Some((id.clone(), health)),
-                }
-            })
+                },
+            )
             .collect();
         out.sort_by(|a, b| a.0.cmp(&b.0));
         out

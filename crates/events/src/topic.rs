@@ -7,8 +7,6 @@
 use std::fmt;
 use std::str::FromStr;
 
-use serde::{Deserialize, Serialize};
-
 use crate::error::EventError;
 
 /// A concrete, fully-specified event topic.
@@ -24,7 +22,7 @@ use crate::error::EventError;
 /// let t = Topic::new("cred.revoked.hospital");
 /// assert_eq!(t.segments().count(), 3);
 /// ```
-#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct Topic(String);
 
 impl Topic {

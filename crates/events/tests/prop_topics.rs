@@ -16,16 +16,12 @@ fn topic_strategy() -> impl Strategy<Value = String> {
 
 fn pattern_strategy() -> impl Strategy<Value = String> {
     let seg = prop_oneof![segment(), Just("*".to_string())];
-    (
-        proptest::collection::vec(seg, 1..5),
-        proptest::bool::ANY,
-    )
-        .prop_map(|(mut segs, hash)| {
-            if hash {
-                segs.push("#".to_string());
-            }
-            segs.join(".")
-        })
+    (proptest::collection::vec(seg, 1..5), proptest::bool::ANY).prop_map(|(mut segs, hash)| {
+        if hash {
+            segs.push("#".to_string());
+        }
+        segs.join(".")
+    })
 }
 
 /// Reference matcher, written independently of the production code.

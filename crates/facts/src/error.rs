@@ -1,20 +1,15 @@
 //! Error types for the fact store.
 
-use thiserror::Error;
-
 /// Errors reported by the fact store.
-#[derive(Debug, Error, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub enum FactError {
     /// A relation name was not defined.
-    #[error("unknown relation `{0}`")]
     UnknownRelation(String),
 
     /// A relation was defined twice.
-    #[error("relation `{0}` already defined")]
     DuplicateRelation(String),
 
     /// A tuple or pattern did not match the relation's arity.
-    #[error("relation `{relation}` has arity {expected}, got {actual} columns")]
     ArityMismatch {
         /// Relation being accessed.
         relation: String,
@@ -25,6 +20,25 @@ pub enum FactError {
     },
 
     /// A relation was declared with arity zero.
-    #[error("relation `{0}` must have at least one column")]
     ZeroArity(String),
 }
+
+impl std::fmt::Display for FactError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::UnknownRelation(x0) => write!(f, "unknown relation `{x0}`"),
+            Self::DuplicateRelation(x0) => write!(f, "relation `{x0}` already defined"),
+            Self::ArityMismatch {
+                relation,
+                expected,
+                actual,
+            } => write!(
+                f,
+                "relation `{relation}` has arity {expected}, got {actual} columns"
+            ),
+            Self::ZeroArity(x0) => write!(f, "relation `{x0}` must have at least one column"),
+        }
+    }
+}
+
+impl std::error::Error for FactError {}

@@ -118,11 +118,7 @@ impl<V: Clone + Eq + Hash> Relation<V> {
             Some(ids) => ids.iter().copied().collect(),
             // No bound columns at all: every live tuple matches.
             None => {
-                return self
-                    .tuples
-                    .iter()
-                    .filter_map(|slot| slot.clone())
-                    .collect();
+                return self.tuples.iter().filter_map(|slot| slot.clone()).collect();
             }
         };
 

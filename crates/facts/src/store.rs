@@ -485,7 +485,9 @@ mod tests {
         let restored = FactStore::restore(dump).unwrap();
         assert_eq!(restored.len("registered").unwrap(), 2);
         assert!(restored.contains("registered", &t2("d2", "p2")).unwrap());
-        assert!(restored.contains("groups", &["admins".to_string()]).unwrap());
+        assert!(restored
+            .contains("groups", &["admins".to_string()])
+            .unwrap());
     }
 
     #[test]

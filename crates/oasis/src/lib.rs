@@ -14,7 +14,7 @@
 //! | [`domain`] | domains, CIV replication, ECR caches, SLAs, federation |
 //! | [`trust`] | audit certificates, interaction histories, risk assessment |
 //! | [`sim`] | deterministic discrete-event simulation of distributed deployments |
-//! | [`wire`] | tokio TCP transport for networked OASIS services |
+//! | [`wire`] | synchronous TCP transport for networked OASIS services |
 //!
 //! The repository's `examples/` directory walks through the paper's
 //! scenarios (`cargo run --example quickstart`), and `crates/bench`

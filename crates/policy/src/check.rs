@@ -82,7 +82,13 @@ fn check_service(service: &ServiceBlock) -> Result<(), PolicyError> {
             });
         };
         check_args_against_schema(rule.pos, &rule.role, &rule.head_args, schema)?;
-        check_conditions(service, &role_schemas, &appt_schemas, &rule.head_args, &rule.conditions)?;
+        check_conditions(
+            service,
+            &role_schemas,
+            &appt_schemas,
+            &rule.head_args,
+            &rule.conditions,
+        )?;
         if let Some(membership) = &rule.membership {
             for &idx in membership {
                 if idx >= rule.conditions.len() {
@@ -98,7 +104,13 @@ fn check_service(service: &ServiceBlock) -> Result<(), PolicyError> {
 
     // Invocation rules.
     for inv in &service.invocations {
-        check_conditions(service, &role_schemas, &appt_schemas, &inv.head_args, &inv.conditions)?;
+        check_conditions(
+            service,
+            &role_schemas,
+            &appt_schemas,
+            &inv.head_args,
+            &inv.conditions,
+        )?;
     }
 
     check_groundability(service, &role_schemas)?;
@@ -197,9 +209,7 @@ fn check_conditions(
                 }
                 bound.extend(args.iter().filter_map(term_vars).map(str::to_string));
             }
-            ConditionKind::Fact {
-                args, negated, ..
-            } => {
+            ConditionKind::Fact { args, negated, .. } => {
                 if *negated {
                     for var in args.iter().filter_map(term_vars) {
                         if !bound.contains(var) && !reserved(var) {
@@ -350,10 +360,7 @@ mod tests {
 
     #[test]
     fn duplicate_role_rejected() {
-        let err = check_src(
-            "service s { role r(); role r(); }",
-        )
-        .unwrap_err();
+        let err = check_src("service s { role r(); role r(); }").unwrap_err();
         assert!(matches!(err, PolicyError::Duplicate { .. }));
     }
 
@@ -365,19 +372,13 @@ mod tests {
 
     #[test]
     fn unknown_local_prereq_rejected() {
-        let err = check_src(
-            "service s { role r(); rule r() <- prereq ghost(); }",
-        )
-        .unwrap_err();
+        let err = check_src("service s { role r(); rule r() <- prereq ghost(); }").unwrap_err();
         assert!(matches!(err, PolicyError::UnknownRole { .. }));
     }
 
     #[test]
     fn foreign_prereq_not_checked_locally() {
-        check_src(
-            "service s { role r(); rule r() <- prereq other::ghost(X, Y, Z); }",
-        )
-        .unwrap();
+        check_src("service s { role r(); rule r() <- prereq other::ghost(X, Y, Z); }").unwrap();
     }
 
     #[test]
@@ -395,8 +396,7 @@ mod tests {
 
     #[test]
     fn literal_types_checked() {
-        let err =
-            check_src("service s { role r(a: id); rule r(42) <- ; }").unwrap_err();
+        let err = check_src("service s { role r(a: id); rule r(42) <- ; }").unwrap_err();
         assert!(matches!(err, PolicyError::ArgType { index: 0, .. }));
     }
 
@@ -415,19 +415,15 @@ mod tests {
 
     #[test]
     fn membership_range_checked() {
-        let err = check_src(
-            "service s { role r(); rule r() <- env f(x) membership [1]; }",
-        )
-        .unwrap_err();
+        let err =
+            check_src("service s { role r(); rule r() <- env f(x) membership [1]; }").unwrap_err();
         assert!(matches!(err, PolicyError::MembershipRange { index: 1, .. }));
     }
 
     #[test]
     fn unsafe_negation_detected() {
-        let err = check_src(
-            "service s { role r(); rule r() <- env not excluded(X); }",
-        )
-        .unwrap_err();
+        let err =
+            check_src("service s { role r(); rule r() <- env not excluded(X); }").unwrap_err();
         assert!(matches!(err, PolicyError::UnsafeNegation { .. }));
     }
 
@@ -444,18 +440,12 @@ mod tests {
 
     #[test]
     fn reserved_vars_are_always_safe() {
-        check_src(
-            "service s { role r(); rule r() <- env $now < @100; }",
-        )
-        .unwrap();
+        check_src("service s { role r(); rule r() <- env $now < @100; }").unwrap();
     }
 
     #[test]
     fn unbound_compare_variable_rejected() {
-        let err = check_src(
-            "service s { role r(); rule r() <- env X < 3; }",
-        )
-        .unwrap_err();
+        let err = check_src("service s { role r(); rule r() <- env X < 3; }").unwrap_err();
         assert!(matches!(err, PolicyError::UnsafeNegation { .. }));
     }
 
@@ -487,10 +477,7 @@ mod tests {
 
     #[test]
     fn self_cycle_detected() {
-        let err = check_src(
-            "service s { role a(); rule a() <- prereq a(); }",
-        )
-        .unwrap_err();
+        let err = check_src("service s { role a(); rule a() <- prereq a(); }").unwrap_err();
         assert!(matches!(err, PolicyError::UngroundableRole { .. }));
     }
 

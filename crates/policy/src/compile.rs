@@ -25,11 +25,8 @@ pub(crate) fn apply(ast: &PolicyAst, service: &Arc<OasisService>) -> Result<(), 
     }
 
     for role in &block.roles {
-        let params: Vec<(&str, oasis_core::ValueType)> = role
-            .params
-            .iter()
-            .map(|(n, t)| (n.as_str(), *t))
-            .collect();
+        let params: Vec<(&str, oasis_core::ValueType)> =
+            role.params.iter().map(|(n, t)| (n.as_str(), *t)).collect();
         service.define_role(role.name.as_str(), &params, role.initial)?;
     }
 

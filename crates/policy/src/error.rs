@@ -1,7 +1,5 @@
 //! Policy-language errors with source positions.
 
-use thiserror::Error;
-
 /// A position in the policy source text (1-based).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct Pos {
@@ -18,10 +16,9 @@ impl std::fmt::Display for Pos {
 }
 
 /// Errors raised while parsing, checking, or applying a policy.
-#[derive(Debug, Error, Clone, PartialEq)]
+#[derive(Debug, Clone, PartialEq)]
 pub enum PolicyError {
     /// The lexer met a character it cannot start a token with.
-    #[error("{pos}: unexpected character `{found}`")]
     UnexpectedChar {
         /// Where.
         pos: Pos,
@@ -30,14 +27,12 @@ pub enum PolicyError {
     },
 
     /// A string literal ran to end of input.
-    #[error("{pos}: unterminated string literal")]
     UnterminatedString {
         /// Where the literal started.
         pos: Pos,
     },
 
     /// A number or time literal did not fit its type.
-    #[error("{pos}: malformed literal `{text}`")]
     BadLiteral {
         /// Where.
         pos: Pos,
@@ -46,7 +41,6 @@ pub enum PolicyError {
     },
 
     /// The parser expected something else.
-    #[error("{pos}: expected {expected}, found `{found}`")]
     Unexpected {
         /// Where.
         pos: Pos,
@@ -57,7 +51,6 @@ pub enum PolicyError {
     },
 
     /// A rule or condition referenced an undefined role.
-    #[error("{pos}: unknown role `{role}` in service `{service}`")]
     UnknownRole {
         /// Where.
         pos: Pos,
@@ -68,7 +61,6 @@ pub enum PolicyError {
     },
 
     /// A condition referenced an undefined appointment kind.
-    #[error("{pos}: unknown appointment `{name}` in service `{service}`")]
     UnknownAppointment {
         /// Where.
         pos: Pos,
@@ -79,7 +71,6 @@ pub enum PolicyError {
     },
 
     /// Arity mismatch against a declared role or appointment.
-    #[error("{pos}: `{name}` takes {expected} arguments, got {actual}")]
     Arity {
         /// Where.
         pos: Pos,
@@ -92,7 +83,6 @@ pub enum PolicyError {
     },
 
     /// A constant argument's type contradicts the declared schema.
-    #[error("{pos}: `{name}` argument {index} expects {expected}, got a {actual}")]
     ArgType {
         /// Where.
         pos: Pos,
@@ -107,7 +97,6 @@ pub enum PolicyError {
     },
 
     /// A name was declared twice in one service block.
-    #[error("{pos}: `{name}` is declared twice in service `{service}`")]
     Duplicate {
         /// Where the second declaration is.
         pos: Pos,
@@ -118,7 +107,6 @@ pub enum PolicyError {
     },
 
     /// A membership index is out of range for its rule.
-    #[error("{pos}: membership index {index} out of range (rule has {conditions} conditions)")]
     MembershipRange {
         /// Where.
         pos: Pos,
@@ -130,7 +118,6 @@ pub enum PolicyError {
 
     /// A negated condition uses a variable no earlier positive condition
     /// or head parameter binds (unsafe negation-as-failure).
-    #[error("{pos}: unsafe negation: variable `{var}` is not bound by the head or an earlier positive condition")]
     UnsafeNegation {
         /// Where.
         pos: Pos,
@@ -141,7 +128,6 @@ pub enum PolicyError {
     /// No sequence of rule applications can ever activate this role
     /// (every rule depends, directly or transitively, on the role itself
     /// or on another ungroundable local role).
-    #[error("role `{role}` in service `{service}` can never be activated (circular prerequisites)")]
     UngroundableRole {
         /// The service block.
         service: String,
@@ -150,11 +136,9 @@ pub enum PolicyError {
     },
 
     /// `apply_to` was called with a service whose id matches no block.
-    #[error("policy has no service block named `{0}`")]
     NoSuchService(String),
 
     /// An error surfaced from the core while installing the policy.
-    #[error("installing policy: {0}")]
     Core(String),
 }
 
@@ -163,3 +147,62 @@ impl From<oasis_core::OasisError> for PolicyError {
         PolicyError::Core(e.to_string())
     }
 }
+
+impl std::fmt::Display for PolicyError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::UnexpectedChar { pos, found } => write!(
+                f,
+                "{pos}: unexpected character `{found}`"
+            ),
+            Self::UnterminatedString { pos } => write!(
+                f,
+                "{pos}: unterminated string literal"
+            ),
+            Self::BadLiteral { pos, text } => write!(
+                f,
+                "{pos}: malformed literal `{text}`"
+            ),
+            Self::Unexpected { pos, expected, found } => write!(
+                f,
+                "{pos}: expected {expected}, found `{found}`"
+            ),
+            Self::UnknownRole { pos, service, role } => write!(
+                f,
+                "{pos}: unknown role `{role}` in service `{service}`"
+            ),
+            Self::UnknownAppointment { pos, service, name } => write!(
+                f,
+                "{pos}: unknown appointment `{name}` in service `{service}`"
+            ),
+            Self::Arity { pos, name, expected, actual } => write!(
+                f,
+                "{pos}: `{name}` takes {expected} arguments, got {actual}"
+            ),
+            Self::ArgType { pos, name, index, expected, actual } => write!(
+                f,
+                "{pos}: `{name}` argument {index} expects {expected}, got a {actual}"
+            ),
+            Self::Duplicate { pos, service, name } => write!(
+                f,
+                "{pos}: `{name}` is declared twice in service `{service}`"
+            ),
+            Self::MembershipRange { pos, index, conditions } => write!(
+                f,
+                "{pos}: membership index {index} out of range (rule has {conditions} conditions)"
+            ),
+            Self::UnsafeNegation { pos, var } => write!(
+                f,
+                "{pos}: unsafe negation: variable `{var}` is not bound by the head or an earlier positive condition"
+            ),
+            Self::UngroundableRole { service, role } => write!(
+                f,
+                "role `{role}` in service `{service}` can never be activated (circular prerequisites)"
+            ),
+            Self::NoSuchService(x0) => write!(f, "policy has no service block named `{x0}`"),
+            Self::Core(x0) => write!(f, "installing policy: {x0}"),
+        }
+    }
+}
+
+impl std::error::Error for PolicyError {}

@@ -135,91 +135,154 @@ pub(crate) fn lex(source: &str) -> Result<Vec<Spanned>, PolicyError> {
                 }
             }
             '{' => {
-                out.push(Spanned { tok: Tok::LBrace, pos: start });
+                out.push(Spanned {
+                    tok: Tok::LBrace,
+                    pos: start,
+                });
                 bump!();
             }
             '}' => {
-                out.push(Spanned { tok: Tok::RBrace, pos: start });
+                out.push(Spanned {
+                    tok: Tok::RBrace,
+                    pos: start,
+                });
                 bump!();
             }
             '(' => {
-                out.push(Spanned { tok: Tok::LParen, pos: start });
+                out.push(Spanned {
+                    tok: Tok::LParen,
+                    pos: start,
+                });
                 bump!();
             }
             ')' => {
-                out.push(Spanned { tok: Tok::RParen, pos: start });
+                out.push(Spanned {
+                    tok: Tok::RParen,
+                    pos: start,
+                });
                 bump!();
             }
             '[' => {
-                out.push(Spanned { tok: Tok::LBracket, pos: start });
+                out.push(Spanned {
+                    tok: Tok::LBracket,
+                    pos: start,
+                });
                 bump!();
             }
             ']' => {
-                out.push(Spanned { tok: Tok::RBracket, pos: start });
+                out.push(Spanned {
+                    tok: Tok::RBracket,
+                    pos: start,
+                });
                 bump!();
             }
             ',' => {
-                out.push(Spanned { tok: Tok::Comma, pos: start });
+                out.push(Spanned {
+                    tok: Tok::Comma,
+                    pos: start,
+                });
                 bump!();
             }
             ';' => {
-                out.push(Spanned { tok: Tok::Semi, pos: start });
+                out.push(Spanned {
+                    tok: Tok::Semi,
+                    pos: start,
+                });
                 bump!();
             }
             '.' => {
-                out.push(Spanned { tok: Tok::Dot, pos: start });
+                out.push(Spanned {
+                    tok: Tok::Dot,
+                    pos: start,
+                });
                 bump!();
             }
             '?' => {
-                out.push(Spanned { tok: Tok::Question, pos: start });
+                out.push(Spanned {
+                    tok: Tok::Question,
+                    pos: start,
+                });
                 bump!();
             }
             ':' => {
                 bump!();
                 if i < chars.len() && chars[i] == ':' {
                     bump!();
-                    out.push(Spanned { tok: Tok::ColonColon, pos: start });
+                    out.push(Spanned {
+                        tok: Tok::ColonColon,
+                        pos: start,
+                    });
                 } else {
-                    out.push(Spanned { tok: Tok::Colon, pos: start });
+                    out.push(Spanned {
+                        tok: Tok::Colon,
+                        pos: start,
+                    });
                 }
             }
             '<' => {
                 bump!();
                 if i < chars.len() && chars[i] == '-' {
                     bump!();
-                    out.push(Spanned { tok: Tok::Arrow, pos: start });
+                    out.push(Spanned {
+                        tok: Tok::Arrow,
+                        pos: start,
+                    });
                 } else if i < chars.len() && chars[i] == '=' {
                     bump!();
-                    out.push(Spanned { tok: Tok::Le, pos: start });
+                    out.push(Spanned {
+                        tok: Tok::Le,
+                        pos: start,
+                    });
                 } else {
-                    out.push(Spanned { tok: Tok::Lt, pos: start });
+                    out.push(Spanned {
+                        tok: Tok::Lt,
+                        pos: start,
+                    });
                 }
             }
             '>' => {
                 bump!();
                 if i < chars.len() && chars[i] == '=' {
                     bump!();
-                    out.push(Spanned { tok: Tok::Ge, pos: start });
+                    out.push(Spanned {
+                        tok: Tok::Ge,
+                        pos: start,
+                    });
                 } else {
-                    out.push(Spanned { tok: Tok::Gt, pos: start });
+                    out.push(Spanned {
+                        tok: Tok::Gt,
+                        pos: start,
+                    });
                 }
             }
             '=' => {
                 bump!();
                 if i < chars.len() && chars[i] == '=' {
                     bump!();
-                    out.push(Spanned { tok: Tok::EqEq, pos: start });
+                    out.push(Spanned {
+                        tok: Tok::EqEq,
+                        pos: start,
+                    });
                 } else {
-                    return Err(PolicyError::UnexpectedChar { pos: start, found: '=' });
+                    return Err(PolicyError::UnexpectedChar {
+                        pos: start,
+                        found: '=',
+                    });
                 }
             }
             '!' => {
                 bump!();
                 if i < chars.len() && chars[i] == '=' {
                     bump!();
-                    out.push(Spanned { tok: Tok::NotEq, pos: start });
+                    out.push(Spanned {
+                        tok: Tok::NotEq,
+                        pos: start,
+                    });
                 } else {
-                    return Err(PolicyError::UnexpectedChar { pos: start, found: '!' });
+                    return Err(PolicyError::UnexpectedChar {
+                        pos: start,
+                        found: '!',
+                    });
                 }
             }
             '"' => {
@@ -255,7 +318,10 @@ pub(crate) fn lex(source: &str) -> Result<Vec<Spanned>, PolicyError> {
                         }
                     }
                 }
-                out.push(Spanned { tok: Tok::Str(s), pos: start });
+                out.push(Spanned {
+                    tok: Tok::Str(s),
+                    pos: start,
+                });
             }
             '@' => {
                 bump!();
@@ -268,7 +334,10 @@ pub(crate) fn lex(source: &str) -> Result<Vec<Spanned>, PolicyError> {
                     pos: start,
                     text: format!("@{text}"),
                 })?;
-                out.push(Spanned { tok: Tok::Time(value), pos: start });
+                out.push(Spanned {
+                    tok: Tok::Time(value),
+                    pos: start,
+                });
             }
             '-' | '0'..='9' => {
                 let mut text = String::new();
@@ -281,13 +350,19 @@ pub(crate) fn lex(source: &str) -> Result<Vec<Spanned>, PolicyError> {
                     bump!();
                 }
                 if text == "-" || text.is_empty() {
-                    return Err(PolicyError::UnexpectedChar { pos: start, found: c });
+                    return Err(PolicyError::UnexpectedChar {
+                        pos: start,
+                        found: c,
+                    });
                 }
                 let value = text.parse::<i64>().map_err(|_| PolicyError::BadLiteral {
                     pos: start,
                     text: text.clone(),
                 })?;
-                out.push(Spanned { tok: Tok::Int(value), pos: start });
+                out.push(Spanned {
+                    tok: Tok::Int(value),
+                    pos: start,
+                });
             }
             '_' => {
                 // Bare underscore is the wildcard; `_foo` is a variable.
@@ -298,9 +373,15 @@ pub(crate) fn lex(source: &str) -> Result<Vec<Spanned>, PolicyError> {
                     bump!();
                 }
                 if text == "_" {
-                    out.push(Spanned { tok: Tok::Underscore, pos: start });
+                    out.push(Spanned {
+                        tok: Tok::Underscore,
+                        pos: start,
+                    });
                 } else {
-                    out.push(Spanned { tok: Tok::Variable(text), pos: start });
+                    out.push(Spanned {
+                        tok: Tok::Variable(text),
+                        pos: start,
+                    });
                 }
             }
             '$' => {
@@ -310,7 +391,10 @@ pub(crate) fn lex(source: &str) -> Result<Vec<Spanned>, PolicyError> {
                     text.push(chars[i]);
                     bump!();
                 }
-                out.push(Spanned { tok: Tok::Variable(text), pos: start });
+                out.push(Spanned {
+                    tok: Tok::Variable(text),
+                    pos: start,
+                });
             }
             c if c.is_ascii_uppercase() => {
                 let mut text = String::new();
@@ -318,25 +402,30 @@ pub(crate) fn lex(source: &str) -> Result<Vec<Spanned>, PolicyError> {
                     text.push(chars[i]);
                     bump!();
                 }
-                out.push(Spanned { tok: Tok::Variable(text), pos: start });
+                out.push(Spanned {
+                    tok: Tok::Variable(text),
+                    pos: start,
+                });
             }
             c if c.is_ascii_lowercase() => {
                 let mut text = String::new();
-                while i < chars.len() && (chars[i].is_alphanumeric() || chars[i] == '_' || chars[i] == '-')
+                while i < chars.len()
+                    && (chars[i].is_alphanumeric() || chars[i] == '_' || chars[i] == '-')
                 {
                     // Allow dashes inside identifiers (patient ids like
                     // `p-1`), but not as the final character before
                     // whitespace followed by a digit… keep it simple:
                     // dash only when followed by alphanumeric.
-                    if chars[i] == '-'
-                        && !(i + 1 < chars.len() && chars[i + 1].is_alphanumeric())
-                    {
+                    if chars[i] == '-' && !(i + 1 < chars.len() && chars[i + 1].is_alphanumeric()) {
                         break;
                     }
                     text.push(chars[i]);
                     bump!();
                 }
-                out.push(Spanned { tok: Tok::Ident(text), pos: start });
+                out.push(Spanned {
+                    tok: Tok::Ident(text),
+                    pos: start,
+                });
             }
             other => {
                 return Err(PolicyError::UnexpectedChar {
@@ -476,6 +565,9 @@ mod tests {
             lex("\"unterminated"),
             Err(PolicyError::UnterminatedString { .. })
         ));
-        assert!(matches!(lex("= x"), Err(PolicyError::UnexpectedChar { .. })));
+        assert!(matches!(
+            lex("= x"),
+            Err(PolicyError::UnexpectedChar { .. })
+        ));
     }
 }

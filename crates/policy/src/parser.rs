@@ -119,11 +119,9 @@ impl Parser {
                     "appointer" => block.appointers.push(self.appointer_decl()?),
                     "rule" => block.rules.push(self.rule_decl()?),
                     "invoke" => block.invocations.push(self.invoke_decl()?),
-                    _ => {
-                        return self.unexpected(
-                            "`role`, `initial`, `appointment`, `appointer`, `rule`, `invoke`, or `}`",
-                        )
-                    }
+                    _ => return self.unexpected(
+                        "`role`, `initial`, `appointment`, `appointer`, `rule`, `invoke`, or `}`",
+                    ),
                 },
                 _ => {
                     return self.unexpected(
@@ -529,7 +527,11 @@ mod tests {
              }",
         );
         match &ast.services[0].rules[0].conditions[0].kind {
-            ConditionKind::Appointment { service, name, args } => {
+            ConditionKind::Appointment {
+                service,
+                name,
+                args,
+            } => {
                 assert_eq!(service.as_deref(), Some("hospital.admin"));
                 assert_eq!(name, "employed_as_doctor");
                 assert_eq!(args.len(), 2);
@@ -555,7 +557,9 @@ mod tests {
             conds[1].kind,
             ConditionKind::Compare { op: CmpOp::Le, .. }
         ));
-        assert!(matches!(&conds[2].kind, ConditionKind::Predicate { name, .. } if name == "on_site"));
+        assert!(
+            matches!(&conds[2].kind, ConditionKind::Predicate { name, .. } if name == "on_site")
+        );
     }
 
     #[test]

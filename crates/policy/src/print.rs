@@ -136,7 +136,12 @@ fn condition_text(cond: &Condition) -> String {
             format!("env {not}{relation}({})", terms_text(args))
         }
         ConditionKind::Compare { left, op, right } => {
-            format!("env {} {} {}", term_text(left), op.symbol(), term_text(right))
+            format!(
+                "env {} {} {}",
+                term_text(left),
+                op.symbol(),
+                term_text(right)
+            )
         }
         ConditionKind::Predicate { name, args } => {
             format!("env ?{name}({})", terms_text(args))

@@ -28,7 +28,9 @@ impl std::str::FromStr for ToolMode {
             "check" => Ok(ToolMode::Check),
             "format" | "fmt" => Ok(ToolMode::Format),
             "describe" => Ok(ToolMode::Describe),
-            other => Err(format!("unknown mode `{other}` (expected check|format|describe)")),
+            other => Err(format!(
+                "unknown mode `{other}` (expected check|format|describe)"
+            )),
         }
     }
 }
@@ -210,9 +212,13 @@ service hospital {
         let out = run(ToolMode::Describe, SAMPLE);
         assert_eq!(out.exit_code, 0);
         assert!(out.text.contains("role logged_in/1 (initial) — 1 rule(s)"));
-        assert!(out.text.contains("appointment assigned/2 — issued by [doctor]"));
+        assert!(out
+            .text
+            .contains("appointment assigned/2 — issued by [doctor]"));
         assert!(out.text.contains("method read/1"));
-        assert!(out.text.contains("accepts rmc other.svc::treating  [needs SLA]"));
+        assert!(out
+            .text
+            .contains("accepts rmc other.svc::treating  [needs SLA]"));
     }
 
     #[test]
@@ -230,4 +236,3 @@ service hospital {
         assert_eq!(main_with_args(&["bogus".into(), "x".into()]), 2);
     }
 }
-

@@ -3,13 +3,11 @@
 use std::fmt;
 use std::sync::atomic::{AtomicU64, Ordering};
 
-use serde::{Deserialize, Serialize};
-
 use oasis_core::{PrincipalId, ServiceId};
 use oasis_crypto::{IssuerSecret, MacSignature};
 
 /// How an interaction subject to contract ended.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Outcome {
     /// Both sides honoured the contract.
     Fulfilled,
@@ -36,7 +34,7 @@ impl fmt::Display for Outcome {
 
 /// A certified record of one interaction between a client principal and a
 /// provider service, signed by the notarising CIV service.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct AuditCertificate {
     /// Issuer-local certificate number.
     pub serial: u64,
@@ -134,7 +132,8 @@ impl CivNotary {
         // Audit certificates are not principal-specific the way RMCs are —
         // both parties hold them — so the "principal" MAC input is the
         // notary id itself.
-        let signature = oasis_crypto::sign_fields(&self.secret.current(), self.id.as_bytes(), &refs);
+        let signature =
+            oasis_crypto::sign_fields(&self.secret.current(), self.id.as_bytes(), &refs);
         AuditCertificate {
             serial,
             civ: self.id.clone(),
@@ -166,11 +165,9 @@ impl CivNotary {
         let refs: Vec<&[u8]> = fields.iter().map(Vec::as_slice).collect();
         // Check against every live epoch, as certificates may be old.
         self.secret.live_epochs().iter().any(|epoch| {
-            self.secret
-                .key_for(*epoch)
-                .is_some_and(|key| {
-                    oasis_crypto::verify_fields(&key, self.id.as_bytes(), &refs, &cert.signature)
-                })
+            self.secret.key_for(*epoch).is_some_and(|key| {
+                oasis_crypto::verify_fields(&key, self.id.as_bytes(), &refs, &cert.signature)
+            })
         })
     }
 

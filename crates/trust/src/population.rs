@@ -184,7 +184,10 @@ pub fn run(config: &PopulationConfig) -> PopulationReport {
     let provider_count = (config.providers + config.rogue_providers).max(1);
     let providers: Vec<(ServiceId, bool)> = (0..provider_count)
         .map(|i| {
-            let rogue = i >= config.providers.max(if config.rogue_providers == 0 { 1 } else { 0 });
+            let rogue = i
+                >= config
+                    .providers
+                    .max(if config.rogue_providers == 0 { 1 } else { 0 });
             let name = if rogue {
                 format!("rogue-provider-{i}")
             } else {
@@ -266,12 +269,8 @@ pub fn run(config: &PopulationConfig) -> PopulationReport {
             // *impersonating* the federation CIV would be dropped here;
             // the rogue CIV's certificates are genuine-but-worthless and
             // survive into the weighting step).
-            let score = assessor.score_client(
-                client.history.certificates(),
-                &client.id,
-                now,
-                &civ_weight,
-            );
+            let score =
+                assessor.score_client(client.history.certificates(), &client.id, now, &civ_weight);
             let decision = config.policy.decide(score);
 
             let is_rogue = client.kind != ClientKind::Honest;

@@ -1,6 +1,6 @@
 //! The client side: a call/return connection to a [`WireServer`](crate::WireServer).
 
-use tokio::net::TcpStream;
+use std::net::{TcpStream, ToSocketAddrs};
 
 use oasis_core::cert::Rmc;
 use oasis_core::{Credential, Crr, PrincipalId, Value};
@@ -9,7 +9,11 @@ use crate::error::WireError;
 use crate::frame::{read_frame, write_frame};
 use crate::proto::{Request, Response};
 
-/// An async OASIS client over TCP.
+/// A blocking OASIS client over TCP.
+///
+/// The engine (`oasis-core`) is synchronous — validation callbacks run
+/// inside `activate_role`/`invoke` — so the client is synchronous too and
+/// is usable directly from those callbacks.
 pub struct WireClient {
     stream: TcpStream,
 }
@@ -28,15 +32,21 @@ impl WireClient {
     /// # Errors
     ///
     /// [`WireError::Io`] if the connection fails.
-    pub async fn connect(addr: impl tokio::net::ToSocketAddrs) -> Result<Self, WireError> {
-        Ok(Self {
-            stream: TcpStream::connect(addr).await?,
-        })
+    pub fn connect(addr: impl ToSocketAddrs) -> Result<Self, WireError> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true).ok();
+        Ok(Self { stream })
     }
 
-    async fn call(&mut self, request: &Request) -> Result<Response, WireError> {
-        write_frame(&mut self.stream, request).await?;
-        match read_frame::<_, Response>(&mut self.stream).await? {
+    /// One request/response exchange.
+    ///
+    /// # Errors
+    ///
+    /// Transport errors, or [`WireError::Remote`] for an application
+    /// error reported by the server.
+    pub fn call(&mut self, request: &Request) -> Result<Response, WireError> {
+        write_frame(&mut self.stream, request)?;
+        match read_frame::<_, Response>(&mut self.stream)? {
             Some(Response::Error { message }) => Err(WireError::Remote(message)),
             Some(response) => Ok(response),
             None => Err(WireError::Closed),
@@ -48,8 +58,8 @@ impl WireClient {
     /// # Errors
     ///
     /// Transport errors, or [`WireError::UnexpectedResponse`].
-    pub async fn ping(&mut self) -> Result<(), WireError> {
-        match self.call(&Request::Ping).await? {
+    pub fn ping(&mut self) -> Result<(), WireError> {
+        match self.call(&Request::Ping)? {
             Response::Pong => Ok(()),
             other => Err(WireError::UnexpectedResponse(format!("{other:?}"))),
         }
@@ -61,7 +71,7 @@ impl WireClient {
     ///
     /// [`WireError::Remote`] carrying the service's denial, or transport
     /// errors.
-    pub async fn activate(
+    pub fn activate(
         &mut self,
         principal: &PrincipalId,
         role: &str,
@@ -76,7 +86,7 @@ impl WireClient {
             credentials,
             now,
         };
-        match self.call(&request).await? {
+        match self.call(&request)? {
             Response::Activated { rmc } => Ok(*rmc),
             other => Err(WireError::UnexpectedResponse(format!("{other:?}"))),
         }
@@ -88,7 +98,7 @@ impl WireClient {
     /// # Errors
     ///
     /// [`WireError::Remote`] carrying the denial, or transport errors.
-    pub async fn invoke(
+    pub fn invoke(
         &mut self,
         principal: &PrincipalId,
         method: &str,
@@ -103,7 +113,7 @@ impl WireClient {
             credentials,
             now,
         };
-        match self.call(&request).await? {
+        match self.call(&request)? {
             Response::Invoked { used } => Ok(used),
             other => Err(WireError::UnexpectedResponse(format!("{other:?}"))),
         }
@@ -116,7 +126,7 @@ impl WireClient {
     ///
     /// [`WireError::Remote`] with the rejection reason, or transport
     /// errors.
-    pub async fn validate(
+    pub fn validate(
         &mut self,
         credential: &Credential,
         presenter: &PrincipalId,
@@ -127,7 +137,7 @@ impl WireClient {
             presenter: presenter.clone(),
             now,
         };
-        match self.call(&request).await? {
+        match self.call(&request)? {
             Response::Valid => Ok(()),
             other => Err(WireError::UnexpectedResponse(format!("{other:?}"))),
         }
@@ -139,18 +149,13 @@ impl WireClient {
     /// # Errors
     ///
     /// Transport errors, or [`WireError::UnexpectedResponse`].
-    pub async fn revoke(
-        &mut self,
-        cert_id: u64,
-        reason: &str,
-        now: u64,
-    ) -> Result<bool, WireError> {
+    pub fn revoke(&mut self, cert_id: u64, reason: &str, now: u64) -> Result<bool, WireError> {
         let request = Request::Revoke {
             cert_id,
             reason: reason.to_string(),
             now,
         };
-        match self.call(&request).await? {
+        match self.call(&request)? {
             Response::Revoked { was_active } => Ok(was_active),
             other => Err(WireError::UnexpectedResponse(format!("{other:?}"))),
         }

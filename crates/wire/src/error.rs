@@ -1,16 +1,12 @@
 //! Wire-layer errors.
 
-use thiserror::Error;
-
 /// Errors raised by the TCP transport.
-#[derive(Debug, Error)]
+#[derive(Debug)]
 pub enum WireError {
     /// Socket-level failure.
-    #[error("i/o: {0}")]
-    Io(#[from] std::io::Error),
+    Io(std::io::Error),
 
     /// A frame exceeded the protocol's size limit.
-    #[error("frame of {got} bytes exceeds limit of {limit}")]
     FrameTooLarge {
         /// Declared frame size.
         got: usize,
@@ -19,18 +15,53 @@ pub enum WireError {
     },
 
     /// A frame's payload was not valid JSON for the expected type.
-    #[error("malformed frame: {0}")]
-    Malformed(#[from] serde_json::Error),
+    Malformed(oasis_json::JsonError),
 
     /// The peer closed the connection mid-exchange.
-    #[error("connection closed by peer")]
     Closed,
 
     /// The server answered with an application error.
-    #[error("remote error: {0}")]
     Remote(String),
 
     /// The server answered with the wrong response variant.
-    #[error("protocol violation: unexpected response {0}")]
     UnexpectedResponse(String),
+}
+
+impl std::fmt::Display for WireError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::Io(e) => write!(f, "i/o: {e}"),
+            Self::FrameTooLarge { got, limit } => {
+                write!(f, "frame of {got} bytes exceeds limit of {limit}")
+            }
+            Self::Malformed(e) => write!(f, "malformed frame: {e}"),
+            Self::Closed => write!(f, "connection closed by peer"),
+            Self::Remote(message) => write!(f, "remote error: {message}"),
+            Self::UnexpectedResponse(got) => {
+                write!(f, "protocol violation: unexpected response {got}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for WireError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            Self::Io(e) => Some(e),
+            Self::Malformed(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for WireError {
+    fn from(e: std::io::Error) -> Self {
+        Self::Io(e)
+    }
+}
+
+impl From<oasis_json::JsonError> for WireError {
+    fn from(e: oasis_json::JsonError) -> Self {
+        Self::Malformed(e)
+    }
 }

@@ -4,9 +4,9 @@
 //! bytes of JSON. Frames are capped at [`MAX_FRAME`] to keep a misbehaving
 //! peer from ballooning server memory.
 
-use serde::de::DeserializeOwned;
-use serde::Serialize;
-use tokio::io::{AsyncReadExt, AsyncWriteExt};
+use std::io::{Read, Write};
+
+use oasis_json::{FromJson, Json, ToJson};
 
 use crate::error::WireError;
 
@@ -19,21 +19,21 @@ pub const MAX_FRAME: usize = 16 * 1024 * 1024;
 ///
 /// [`WireError::FrameTooLarge`] for oversized messages, [`WireError::Io`]
 /// for socket failures.
-pub async fn write_frame<W, M>(writer: &mut W, message: &M) -> Result<(), WireError>
+pub fn write_frame<W, M>(writer: &mut W, message: &M) -> Result<(), WireError>
 where
-    W: AsyncWriteExt + Unpin,
-    M: Serialize,
+    W: Write,
+    M: ToJson,
 {
-    let payload = serde_json::to_vec(message)?;
+    let payload = message.to_json().to_string().into_bytes();
     if payload.len() > MAX_FRAME {
         return Err(WireError::FrameTooLarge {
             got: payload.len(),
             limit: MAX_FRAME,
         });
     }
-    writer.write_all(&(payload.len() as u32).to_be_bytes()).await?;
-    writer.write_all(&payload).await?;
-    writer.flush().await?;
+    writer.write_all(&(payload.len() as u32).to_be_bytes())?;
+    writer.write_all(&payload)?;
+    writer.flush()?;
     Ok(())
 }
 
@@ -44,14 +44,14 @@ where
 ///
 /// [`WireError::FrameTooLarge`], [`WireError::Malformed`],
 /// [`WireError::Closed`] (EOF mid-frame), or [`WireError::Io`].
-pub async fn read_frame<R, M>(reader: &mut R) -> Result<Option<M>, WireError>
+pub fn read_frame<R, M>(reader: &mut R) -> Result<Option<M>, WireError>
 where
-    R: AsyncReadExt + Unpin,
-    M: DeserializeOwned,
+    R: Read,
+    M: FromJson,
 {
     let mut len_bytes = [0u8; 4];
-    match reader.read_exact(&mut len_bytes).await {
-        Ok(_) => {}
+    match reader.read_exact(&mut len_bytes) {
+        Ok(()) => {}
         Err(e) if e.kind() == std::io::ErrorKind::UnexpectedEof => return Ok(None),
         Err(e) => return Err(e.into()),
     }
@@ -65,70 +65,70 @@ where
     let mut payload = vec![0u8; len];
     reader
         .read_exact(&mut payload)
-        .await
         .map_err(|e| match e.kind() {
             std::io::ErrorKind::UnexpectedEof => WireError::Closed,
             _ => WireError::Io(e),
         })?;
-    Ok(Some(serde_json::from_slice(&payload)?))
+    let text = std::str::from_utf8(&payload)
+        .map_err(|_| WireError::Malformed(oasis_json::JsonError::new("frame is not utf-8")))?;
+    let value = Json::parse(text)?;
+    Ok(Some(M::from_json(&value)?))
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
 
-    #[tokio::test]
-    async fn round_trip_through_duplex() {
-        let (mut a, mut b) = tokio::io::duplex(1024);
-        write_frame(&mut a, &vec![1u32, 2, 3]).await.unwrap();
-        let got: Option<Vec<u32>> = read_frame(&mut b).await.unwrap();
+    #[test]
+    fn round_trip_through_buffer() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, &vec![1u32, 2, 3]).unwrap();
+        let got: Option<Vec<u32>> = read_frame(&mut buf.as_slice()).unwrap();
         assert_eq!(got, Some(vec![1, 2, 3]));
     }
 
-    #[tokio::test]
-    async fn multiple_frames_in_order() {
-        let (mut a, mut b) = tokio::io::duplex(1024);
-        write_frame(&mut a, &"first".to_string()).await.unwrap();
-        write_frame(&mut a, &"second".to_string()).await.unwrap();
-        let one: Option<String> = read_frame(&mut b).await.unwrap();
-        let two: Option<String> = read_frame(&mut b).await.unwrap();
+    #[test]
+    fn multiple_frames_in_order() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, &"first".to_string()).unwrap();
+        write_frame(&mut buf, &"second".to_string()).unwrap();
+        let mut reader = buf.as_slice();
+        let one: Option<String> = read_frame(&mut reader).unwrap();
+        let two: Option<String> = read_frame(&mut reader).unwrap();
         assert_eq!(one.as_deref(), Some("first"));
         assert_eq!(two.as_deref(), Some("second"));
     }
 
-    #[tokio::test]
-    async fn clean_eof_returns_none() {
-        let (a, mut b) = tokio::io::duplex(64);
-        drop(a);
-        let got: Option<String> = read_frame(&mut b).await.unwrap();
+    #[test]
+    fn clean_eof_returns_none() {
+        let empty: &[u8] = &[];
+        let got: Option<String> = read_frame(&mut { empty }).unwrap();
         assert!(got.is_none());
     }
 
-    #[tokio::test]
-    async fn eof_mid_frame_is_closed_error() {
-        let (mut a, mut b) = tokio::io::duplex(64);
+    #[test]
+    fn eof_mid_frame_is_closed_error() {
         // Announce 100 bytes but send only 3.
-        a.write_all(&100u32.to_be_bytes()).await.unwrap();
-        a.write_all(b"abc").await.unwrap();
-        drop(a);
-        let err = read_frame::<_, String>(&mut b).await.unwrap_err();
+        let mut buf = Vec::new();
+        buf.extend_from_slice(&100u32.to_be_bytes());
+        buf.extend_from_slice(b"abc");
+        let err = read_frame::<_, String>(&mut buf.as_slice()).unwrap_err();
         assert!(matches!(err, WireError::Closed));
     }
 
-    #[tokio::test]
-    async fn oversized_header_rejected_without_allocation() {
-        let (mut a, mut b) = tokio::io::duplex(64);
-        a.write_all(&u32::MAX.to_be_bytes()).await.unwrap();
-        let err = read_frame::<_, String>(&mut b).await.unwrap_err();
+    #[test]
+    fn oversized_header_rejected_without_allocation() {
+        let buf = u32::MAX.to_be_bytes().to_vec();
+        let err = read_frame::<_, String>(&mut buf.as_slice()).unwrap_err();
         assert!(matches!(err, WireError::FrameTooLarge { .. }));
     }
 
-    #[tokio::test]
-    async fn garbage_payload_is_malformed() {
-        let (mut a, mut b) = tokio::io::duplex(64);
-        a.write_all(&3u32.to_be_bytes()).await.unwrap();
-        a.write_all(b"{{{").await.unwrap();
-        let err = read_frame::<_, String>(&mut b).await.unwrap_err();
+    #[test]
+    fn garbage_payload_is_malformed() {
+        let mut buf = Vec::new();
+        buf.extend_from_slice(&3u32.to_be_bytes());
+        buf.extend_from_slice(b"{{{");
+        let err = read_frame::<_, String>(&mut buf.as_slice()).unwrap_err();
         assert!(matches!(err, WireError::Malformed(_)));
     }
 }

@@ -1,25 +1,26 @@
 //! Networked OASIS services over TCP.
 //!
 //! The reproduction's substitution for the paper's middleware transport:
-//! a length-prefixed JSON protocol over tokio TCP exposing the four
-//! operations of Fig 2 — role activation, invocation, validation
-//! callback, and revocation — so that an OASIS session genuinely crosses
-//! process and host boundaries.
+//! a length-prefixed JSON protocol over TCP exposing the four operations
+//! of Fig 2 — role activation, invocation, validation callback, and
+//! revocation — so that an OASIS session genuinely crosses process and
+//! host boundaries. The transport is synchronous (thread-per-connection),
+//! matching the synchronous engine whose validation callbacks run inline.
 //!
 //! * [`frame`] — the wire framing (u32 length prefix, JSON payload).
 //! * [`proto`] — the request/response message types.
 //! * [`WireServer`] — hosts an [`OasisService`](oasis_core::OasisService).
-//! * [`WireClient`] — an async client for principals and for remote
+//! * [`WireClient`] — a blocking client for principals and for remote
 //!   validation callbacks.
 //!
 //! # Example
 //!
 //! ```no_run
-//! # async fn demo() -> Result<(), oasis_wire::WireError> {
+//! # fn demo() -> Result<(), oasis_wire::WireError> {
 //! use oasis_wire::WireClient;
 //!
-//! let mut client = WireClient::connect("127.0.0.1:7450").await?;
-//! client.ping().await?;
+//! let mut client = WireClient::connect("127.0.0.1:7450")?;
+//! client.ping()?;
 //! # Ok(())
 //! # }
 //! ```

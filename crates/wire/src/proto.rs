@@ -5,13 +5,12 @@
 //! four operations mirror Fig 2 plus the issuer-side revocation entry
 //! point of Fig 5.
 
-use serde::{Deserialize, Serialize};
-
 use oasis_core::cert::Rmc;
 use oasis_core::{Credential, Crr, PrincipalId, Value};
+use oasis_json::{FromJson, Json, JsonError, ToJson};
 
 /// A client-to-server message.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub enum Request {
     /// Activate `role(args)` (paths 1–2 of Fig 2).
     Activate {
@@ -63,7 +62,7 @@ pub enum Request {
 }
 
 /// A server-to-client reply.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub enum Response {
     /// Activation succeeded; here is the RMC.
     Activated {
@@ -91,6 +90,167 @@ pub enum Response {
     },
 }
 
+impl ToJson for Request {
+    fn to_json(&self) -> Json {
+        match self {
+            Request::Activate {
+                principal,
+                role,
+                args,
+                credentials,
+                now,
+            } => tagged(
+                "Activate",
+                vec![
+                    ("principal", principal.to_json()),
+                    ("role", role.to_json()),
+                    ("args", args.to_json()),
+                    ("credentials", credentials.to_json()),
+                    ("now", now.to_json()),
+                ],
+            ),
+            Request::Invoke {
+                principal,
+                method,
+                args,
+                credentials,
+                now,
+            } => tagged(
+                "Invoke",
+                vec![
+                    ("principal", principal.to_json()),
+                    ("method", method.to_json()),
+                    ("args", args.to_json()),
+                    ("credentials", credentials.to_json()),
+                    ("now", now.to_json()),
+                ],
+            ),
+            Request::Validate {
+                credential,
+                presenter,
+                now,
+            } => tagged(
+                "Validate",
+                vec![
+                    ("credential", credential.to_json()),
+                    ("presenter", presenter.to_json()),
+                    ("now", now.to_json()),
+                ],
+            ),
+            Request::Revoke {
+                cert_id,
+                reason,
+                now,
+            } => tagged(
+                "Revoke",
+                vec![
+                    ("cert_id", cert_id.to_json()),
+                    ("reason", reason.to_json()),
+                    ("now", now.to_json()),
+                ],
+            ),
+            Request::Ping => Json::Str("Ping".into()),
+        }
+    }
+}
+
+impl FromJson for Request {
+    fn from_json(json: &Json) -> Result<Self, JsonError> {
+        if json.as_str() == Some("Ping") {
+            return Ok(Request::Ping);
+        }
+        let (tag, body) = untag(json, "Request")?;
+        match tag {
+            "Activate" => Ok(Request::Activate {
+                principal: FromJson::from_json(body.field("principal")?)?,
+                role: FromJson::from_json(body.field("role")?)?,
+                args: FromJson::from_json(body.field("args")?)?,
+                credentials: FromJson::from_json(body.field("credentials")?)?,
+                now: FromJson::from_json(body.field("now")?)?,
+            }),
+            "Invoke" => Ok(Request::Invoke {
+                principal: FromJson::from_json(body.field("principal")?)?,
+                method: FromJson::from_json(body.field("method")?)?,
+                args: FromJson::from_json(body.field("args")?)?,
+                credentials: FromJson::from_json(body.field("credentials")?)?,
+                now: FromJson::from_json(body.field("now")?)?,
+            }),
+            "Validate" => Ok(Request::Validate {
+                credential: FromJson::from_json(body.field("credential")?)?,
+                presenter: FromJson::from_json(body.field("presenter")?)?,
+                now: FromJson::from_json(body.field("now")?)?,
+            }),
+            "Revoke" => Ok(Request::Revoke {
+                cert_id: FromJson::from_json(body.field("cert_id")?)?,
+                reason: FromJson::from_json(body.field("reason")?)?,
+                now: FromJson::from_json(body.field("now")?)?,
+            }),
+            other => Err(JsonError::new(format!("unknown Request variant `{other}`"))),
+        }
+    }
+}
+
+impl ToJson for Response {
+    fn to_json(&self) -> Json {
+        match self {
+            Response::Activated { rmc } => tagged("Activated", vec![("rmc", rmc.to_json())]),
+            Response::Invoked { used } => tagged("Invoked", vec![("used", used.to_json())]),
+            Response::Valid => Json::Str("Valid".into()),
+            Response::Revoked { was_active } => {
+                tagged("Revoked", vec![("was_active", was_active.to_json())])
+            }
+            Response::Pong => Json::Str("Pong".into()),
+            Response::Error { message } => tagged("Error", vec![("message", message.to_json())]),
+        }
+    }
+}
+
+impl FromJson for Response {
+    fn from_json(json: &Json) -> Result<Self, JsonError> {
+        match json.as_str() {
+            Some("Valid") => return Ok(Response::Valid),
+            Some("Pong") => return Ok(Response::Pong),
+            _ => {}
+        }
+        let (tag, body) = untag(json, "Response")?;
+        match tag {
+            "Activated" => Ok(Response::Activated {
+                rmc: FromJson::from_json(body.field("rmc")?)?,
+            }),
+            "Invoked" => Ok(Response::Invoked {
+                used: FromJson::from_json(body.field("used")?)?,
+            }),
+            "Revoked" => Ok(Response::Revoked {
+                was_active: FromJson::from_json(body.field("was_active")?)?,
+            }),
+            "Error" => Ok(Response::Error {
+                message: FromJson::from_json(body.field("message")?)?,
+            }),
+            other => Err(JsonError::new(format!(
+                "unknown Response variant `{other}`"
+            ))),
+        }
+    }
+}
+
+/// Builds the externally-tagged form `{"Tag": {fields...}}`.
+fn tagged(tag: &str, fields: Vec<(&str, Json)>) -> Json {
+    Json::obj(vec![(tag, Json::obj(fields))])
+}
+
+/// Splits `{"Tag": body}` into `(tag, body)`.
+fn untag<'j>(json: &'j Json, what: &str) -> Result<(&'j str, &'j Json), JsonError> {
+    let pairs = json
+        .as_obj()
+        .ok_or_else(|| JsonError::new(format!("expected {what} object")))?;
+    match pairs {
+        [(tag, body)] => Ok((tag.as_str(), body)),
+        _ => Err(JsonError::new(format!(
+            "expected single-variant {what} object"
+        ))),
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -113,8 +273,8 @@ mod tests {
             },
         ];
         for req in requests {
-            let json = serde_json::to_string(&req).unwrap();
-            let back: Request = serde_json::from_str(&json).unwrap();
+            let json = oasis_json::to_string(&req);
+            let back: Request = oasis_json::from_str(&json).unwrap();
             assert_eq!(req, back);
         }
     }
@@ -136,8 +296,8 @@ mod tests {
             },
         ];
         for resp in responses {
-            let json = serde_json::to_string(&resp).unwrap();
-            let back: Response = serde_json::from_str(&json).unwrap();
+            let json = oasis_json::to_string(&resp);
+            let back: Response = oasis_json::from_str(&json).unwrap();
             assert_eq!(resp, back);
         }
     }

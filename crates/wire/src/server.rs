@@ -1,8 +1,7 @@
 //! The server side: an [`OasisService`] behind a TCP listener.
 
+use std::net::{TcpListener, TcpStream};
 use std::sync::Arc;
-
-use tokio::net::{TcpListener, TcpStream};
 
 use oasis_core::{CertId, EnvContext, OasisService, RoleName};
 
@@ -36,8 +35,8 @@ impl WireServer {
     /// # Errors
     ///
     /// [`WireError::Io`] if the address cannot be bound.
-    pub async fn bind(service: Arc<OasisService>, addr: &str) -> Result<Self, WireError> {
-        Self::bind_with_context(service, addr, Arc::new(EnvContext::new)).await
+    pub fn bind(service: Arc<OasisService>, addr: &str) -> Result<Self, WireError> {
+        Self::bind_with_context(service, addr, Arc::new(EnvContext::new))
     }
 
     /// As [`WireServer::bind`], with a custom [`ContextFactory`].
@@ -45,12 +44,12 @@ impl WireServer {
     /// # Errors
     ///
     /// [`WireError::Io`] if the address cannot be bound.
-    pub async fn bind_with_context(
+    pub fn bind_with_context(
         service: Arc<OasisService>,
         addr: &str,
         context: ContextFactory,
     ) -> Result<Self, WireError> {
-        let listener = TcpListener::bind(addr).await?;
+        let listener = TcpListener::bind(addr)?;
         Ok(Self {
             service,
             listener,
@@ -67,34 +66,49 @@ impl WireServer {
         Ok(self.listener.local_addr()?)
     }
 
-    /// Accepts and serves connections forever (run inside
-    /// `tokio::spawn`). Each connection gets its own task; a protocol
-    /// error terminates only that connection.
-    pub async fn serve(self) -> Result<(), WireError> {
+    /// Accepts and serves connections forever (run on a dedicated
+    /// thread). Each connection gets its own thread; a protocol error
+    /// terminates only that connection.
+    pub fn serve(self) -> Result<(), WireError> {
         loop {
-            let (stream, _) = self.listener.accept().await?;
+            let (stream, _) = self.listener.accept()?;
             let service = Arc::clone(&self.service);
             let context = Arc::clone(&self.context);
-            tokio::spawn(async move {
+            std::thread::spawn(move || {
                 // Connection errors are expected (clients hang up); they
                 // must not take the server down.
-                let _ = handle_connection(stream, service, context).await;
+                let _ = handle_connection(stream, service, context);
             });
         }
     }
+
+    /// Spawns [`serve`](Self::serve) on a background thread and returns
+    /// the bound address — the common pattern for tests and examples.
+    ///
+    /// # Errors
+    ///
+    /// [`WireError::Io`] if the socket refuses to report its address.
+    pub fn serve_in_background(self) -> Result<std::net::SocketAddr, WireError> {
+        let addr = self.local_addr()?;
+        std::thread::spawn(move || {
+            let _ = self.serve();
+        });
+        Ok(addr)
+    }
 }
 
-async fn handle_connection(
+fn handle_connection(
     mut stream: TcpStream,
     service: Arc<OasisService>,
     context: ContextFactory,
 ) -> Result<(), WireError> {
+    stream.set_nodelay(true).ok();
     loop {
-        let Some(request) = read_frame::<_, Request>(&mut stream).await? else {
+        let Some(request) = read_frame::<_, Request>(&mut stream)? else {
             return Ok(()); // clean disconnect
         };
         let response = handle_request(&service, &context, request);
-        write_frame(&mut stream, &response).await?;
+        write_frame(&mut stream, &response)?;
     }
 }
 
@@ -113,13 +127,8 @@ fn handle_request(
             now,
         } => {
             let ctx = context(now);
-            match service.activate_role(
-                &principal,
-                &RoleName::new(role),
-                &args,
-                &credentials,
-                &ctx,
-            ) {
+            match service.activate_role(&principal, &RoleName::new(role), &args, &credentials, &ctx)
+            {
                 Ok(rmc) => Response::Activated { rmc: Box::new(rmc) },
                 Err(e) => Response::Error {
                     message: e.to_string(),
@@ -162,4 +171,3 @@ fn handle_request(
         },
     }
 }
-

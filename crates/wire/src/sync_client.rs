@@ -1,134 +1,27 @@
-//! A blocking client and a network-backed credential validator.
+//! A network-backed credential validator.
 //!
 //! The OASIS engine (`oasis-core`) is synchronous; validation callbacks
 //! happen inside `activate_role`/`invoke`. When the issuer lives behind a
 //! TCP socket, the callback must block on the network — which is exactly
 //! what the paper's architecture expects of an "OASIS-aware service"
-//! validating "via callback to the issuer" (Sect. 4). [`BlockingClient`]
-//! is a std-net client for the same frame protocol, and
-//! [`RemoteValidator`] adapts it to the
+//! validating "via callback to the issuer" (Sect. 4). [`RemoteValidator`]
+//! adapts the blocking [`WireClient`] to the
 //! [`CredentialValidator`](oasis_core::CredentialValidator) trait with
 //! one connection per issuer, re-dialled on failure.
 
 use std::collections::HashMap;
-use std::io::{Read, Write};
-use std::net::{SocketAddr, TcpStream};
+use std::net::SocketAddr;
 
 use parking_lot::Mutex;
-use serde::de::DeserializeOwned;
-use serde::Serialize;
 
 use oasis_core::{Credential, CredentialValidator, OasisError, PrincipalId, ServiceId};
 
+use crate::client::WireClient;
 use crate::error::WireError;
-use crate::frame::MAX_FRAME;
-use crate::proto::{Request, Response};
 
-fn write_frame_blocking<M: Serialize>(stream: &mut TcpStream, message: &M) -> Result<(), WireError> {
-    let payload = serde_json::to_vec(message)?;
-    if payload.len() > MAX_FRAME {
-        return Err(WireError::FrameTooLarge {
-            got: payload.len(),
-            limit: MAX_FRAME,
-        });
-    }
-    stream.write_all(&(payload.len() as u32).to_be_bytes())?;
-    stream.write_all(&payload)?;
-    stream.flush()?;
-    Ok(())
-}
-
-fn read_frame_blocking<M: DeserializeOwned>(stream: &mut TcpStream) -> Result<M, WireError> {
-    let mut len_bytes = [0u8; 4];
-    stream
-        .read_exact(&mut len_bytes)
-        .map_err(|e| match e.kind() {
-            std::io::ErrorKind::UnexpectedEof => WireError::Closed,
-            _ => WireError::Io(e),
-        })?;
-    let len = u32::from_be_bytes(len_bytes) as usize;
-    if len > MAX_FRAME {
-        return Err(WireError::FrameTooLarge {
-            got: len,
-            limit: MAX_FRAME,
-        });
-    }
-    let mut payload = vec![0u8; len];
-    stream
-        .read_exact(&mut payload)
-        .map_err(|e| match e.kind() {
-            std::io::ErrorKind::UnexpectedEof => WireError::Closed,
-            _ => WireError::Io(e),
-        })?;
-    Ok(serde_json::from_slice(&payload)?)
-}
-
-/// A synchronous (std-net) client for the OASIS wire protocol.
-///
-/// Functionally equivalent to [`WireClient`](crate::WireClient) but
-/// usable from non-async code — in particular from inside the engine's
-/// validation callbacks.
-pub struct BlockingClient {
-    stream: TcpStream,
-}
-
-impl std::fmt::Debug for BlockingClient {
-    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("BlockingClient")
-            .field("peer", &self.stream.peer_addr().ok())
-            .finish()
-    }
-}
-
-impl BlockingClient {
-    /// Connects to a serving address.
-    ///
-    /// # Errors
-    ///
-    /// [`WireError::Io`] if the connection fails.
-    pub fn connect(addr: SocketAddr) -> Result<Self, WireError> {
-        let stream = TcpStream::connect(addr)?;
-        stream.set_nodelay(true).ok();
-        Ok(Self { stream })
-    }
-
-    /// One request/response exchange.
-    ///
-    /// # Errors
-    ///
-    /// Transport errors, or [`WireError::Remote`] for an application
-    /// error reported by the server.
-    pub fn call(&mut self, request: &Request) -> Result<Response, WireError> {
-        write_frame_blocking(&mut self.stream, request)?;
-        match read_frame_blocking::<Response>(&mut self.stream)? {
-            Response::Error { message } => Err(WireError::Remote(message)),
-            response => Ok(response),
-        }
-    }
-
-    /// Validation callback: asks the serving issuer whether `credential`
-    /// is good for `presenter`.
-    ///
-    /// # Errors
-    ///
-    /// [`WireError::Remote`] with the rejection reason, or transport
-    /// errors.
-    pub fn validate(
-        &mut self,
-        credential: &Credential,
-        presenter: &PrincipalId,
-        now: u64,
-    ) -> Result<(), WireError> {
-        match self.call(&Request::Validate {
-            credential: Box::new(credential.clone()),
-            presenter: presenter.clone(),
-            now,
-        })? {
-            Response::Valid => Ok(()),
-            other => Err(WireError::UnexpectedResponse(format!("{other:?}"))),
-        }
-    }
-}
+/// The historical name for the synchronous client, kept for callers that
+/// want to emphasise its blocking nature. [`WireClient`] *is* blocking.
+pub type BlockingClient = WireClient;
 
 /// A [`CredentialValidator`] that performs validation callbacks over TCP
 /// to a directory of issuer addresses.
@@ -137,7 +30,7 @@ impl BlockingClient {
 /// transport error (the issuer may have restarted).
 pub struct RemoteValidator {
     issuers: Mutex<HashMap<ServiceId, SocketAddr>>,
-    connections: Mutex<HashMap<ServiceId, BlockingClient>>,
+    connections: Mutex<HashMap<ServiceId, WireClient>>,
 }
 
 impl std::fmt::Debug for RemoteValidator {
@@ -182,9 +75,7 @@ impl RemoteValidator {
         let mut connections = self.connections.lock();
         let client = match connections.entry(issuer.clone()) {
             std::collections::hash_map::Entry::Occupied(e) => e.into_mut(),
-            std::collections::hash_map::Entry::Vacant(e) => {
-                e.insert(BlockingClient::connect(addr)?)
-            }
+            std::collections::hash_map::Entry::Vacant(e) => e.insert(WireClient::connect(addr)?),
         };
         client.validate(credential, presenter, now)
     }

@@ -7,18 +7,20 @@ use std::net::SocketAddr;
 use std::sync::Arc;
 
 use oasis_core::{
-    Atom, Credential, EnvContext, OasisService, PrincipalId, RoleName, ServiceConfig, Term,
-    Value, ValueType,
+    Atom, Credential, EnvContext, OasisService, PrincipalId, RoleName, ServiceConfig, Term, Value,
+    ValueType,
 };
 use oasis_facts::FactStore;
 use oasis_wire::{proto, BlockingClient, RemoteValidator, WireServer};
 
-/// Starts the issuer ("login") service on a TCP socket inside a dedicated
-/// runtime thread; returns its address and a handle to the service.
+/// Starts the issuer ("login") service on a TCP socket served from a
+/// background thread; returns its address and a handle to the service.
 fn spawn_issuer() -> (SocketAddr, Arc<OasisService>) {
     let facts = Arc::new(FactStore::new());
     facts.define("password_ok", 1).unwrap();
-    facts.insert("password_ok", vec![Value::id("alice")]).unwrap();
+    facts
+        .insert("password_ok", vec![Value::id("alice")])
+        .unwrap();
     let svc = OasisService::new(ServiceConfig::new("login"), facts);
     svc.define_role("logged_in", &[("u", ValueType::Id)], true)
         .unwrap();
@@ -30,20 +32,10 @@ fn spawn_issuer() -> (SocketAddr, Arc<OasisService>) {
     )
     .unwrap();
 
-    let service = Arc::clone(&svc);
-    let (tx, rx) = std::sync::mpsc::channel();
-    std::thread::spawn(move || {
-        let runtime = tokio::runtime::Builder::new_current_thread()
-            .enable_all()
-            .build()
-            .unwrap();
-        runtime.block_on(async move {
-            let server = WireServer::bind(service, "127.0.0.1:0").await.unwrap();
-            tx.send(server.local_addr().unwrap()).unwrap();
-            let _ = server.serve().await;
-        });
-    });
-    let addr = rx.recv().unwrap();
+    let addr = WireServer::bind(Arc::clone(&svc), "127.0.0.1:0")
+        .unwrap()
+        .serve_in_background()
+        .unwrap();
     (addr, svc)
 }
 

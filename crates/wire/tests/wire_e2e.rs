@@ -1,5 +1,5 @@
 //! End-to-end: a real OASIS service served over localhost TCP, driven by
-//! the async client — activation, invocation, validation callback, and
+//! the blocking client — activation, invocation, validation callback, and
 //! revocation all crossing the socket.
 
 use std::sync::Arc;
@@ -58,28 +58,25 @@ fn hospital() -> Arc<OasisService> {
     svc
 }
 
-async fn start_server(service: Arc<OasisService>) -> std::net::SocketAddr {
-    let server = WireServer::bind(service, "127.0.0.1:0").await.unwrap();
-    let addr = server.local_addr().unwrap();
-    tokio::spawn(async move {
-        let _ = server.serve().await;
-    });
-    addr
+fn start_server(service: Arc<OasisService>) -> std::net::SocketAddr {
+    WireServer::bind(service, "127.0.0.1:0")
+        .unwrap()
+        .serve_in_background()
+        .unwrap()
 }
 
-#[tokio::test]
-async fn full_session_over_tcp() {
+#[test]
+fn full_session_over_tcp() {
     let service = hospital();
-    let addr = start_server(Arc::clone(&service)).await;
-    let mut client = WireClient::connect(addr).await.unwrap();
-    client.ping().await.unwrap();
+    let addr = start_server(Arc::clone(&service));
+    let mut client = WireClient::connect(addr).unwrap();
+    client.ping().unwrap();
 
     let dr = oasis_core::PrincipalId::new("dr-jones");
 
     // Path 1–2: activate the initial role, then the dependent role.
     let login = client
         .activate(&dr, "logged_in", vec![Value::id("dr-jones")], vec![], 1)
-        .await
         .unwrap();
     assert_eq!(login.role.as_str(), "logged_in");
 
@@ -91,7 +88,6 @@ async fn full_session_over_tcp() {
             vec![Credential::Rmc(login.clone())],
             2,
         )
-        .await
         .unwrap();
 
     // Path 3–4: invoke, authorised by the parametrised RMC.
@@ -103,63 +99,66 @@ async fn full_session_over_tcp() {
             vec![Credential::Rmc(treating.clone())],
             3,
         )
-        .await
         .unwrap();
     assert_eq!(used, vec![treating.crr.clone()]);
 
     // Validation callback works across the wire.
     client
         .validate(&Credential::Rmc(treating.clone()), &dr, 4)
-        .await
         .unwrap();
 
     // Revoking the root collapses the chain server-side; the callback now
     // reports the dependent certificate revoked.
-    assert!(client
-        .revoke(login.crr.cert_id.0, "logout", 5)
-        .await
-        .unwrap());
+    assert!(client.revoke(login.crr.cert_id.0, "logout", 5).unwrap());
     let err = client
         .validate(&Credential::Rmc(treating), &dr, 6)
-        .await
         .unwrap_err();
-    assert!(matches!(err, WireError::Remote(ref m) if m.contains("revoked")), "{err}");
+    assert!(
+        matches!(err, WireError::Remote(ref m) if m.contains("revoked")),
+        "{err}"
+    );
 }
 
-#[tokio::test]
-async fn denial_is_reported_as_remote_error() {
+#[test]
+fn denial_is_reported_as_remote_error() {
     let service = hospital();
-    let addr = start_server(service).await;
-    let mut client = WireClient::connect(addr).await.unwrap();
+    let addr = start_server(service);
+    let mut client = WireClient::connect(addr).unwrap();
     let nurse = oasis_core::PrincipalId::new("nurse-no-password");
     let err = client
-        .activate(&nurse, "logged_in", vec![Value::id("nurse-no-password")], vec![], 1)
-        .await
+        .activate(
+            &nurse,
+            "logged_in",
+            vec![Value::id("nurse-no-password")],
+            vec![],
+            1,
+        )
         .unwrap_err();
-    assert!(matches!(err, WireError::Remote(ref m) if m.contains("denied")), "{err}");
+    assert!(
+        matches!(err, WireError::Remote(ref m) if m.contains("denied")),
+        "{err}"
+    );
 }
 
-#[tokio::test]
-async fn stolen_rmc_fails_validation_over_the_wire() {
+#[test]
+fn stolen_rmc_fails_validation_over_the_wire() {
     let service = hospital();
-    let addr = start_server(service).await;
-    let mut client = WireClient::connect(addr).await.unwrap();
+    let addr = start_server(service);
+    let mut client = WireClient::connect(addr).unwrap();
     let dr = oasis_core::PrincipalId::new("dr-jones");
     let rmc = client
         .activate(&dr, "logged_in", vec![Value::id("dr-jones")], vec![], 1)
-        .await
         .unwrap();
     // The thief presents the stolen certificate under their own identity.
     let thief = oasis_core::PrincipalId::new("mallory");
     let err = client
         .validate(&Credential::Rmc(rmc), &thief, 2)
-        .await
         .unwrap_err();
     assert!(matches!(err, WireError::Remote(_)));
 }
 
-#[tokio::test]
-async fn many_concurrent_clients() {
+#[test]
+fn many_concurrent_clients() {
     let service = hospital();
     let facts = Arc::clone(service.facts());
     for i in 0..20 {
@@ -167,12 +166,12 @@ async fn many_concurrent_clients() {
             .insert("password_ok", vec![Value::id(format!("dr-{i}"))])
             .unwrap();
     }
-    let addr = start_server(service).await;
+    let addr = start_server(service);
 
     let mut handles = Vec::new();
     for i in 0..20 {
-        handles.push(tokio::spawn(async move {
-            let mut client = WireClient::connect(addr).await.unwrap();
+        handles.push(std::thread::spawn(move || {
+            let mut client = WireClient::connect(addr).unwrap();
             let principal = oasis_core::PrincipalId::new(format!("dr-{i}"));
             client
                 .activate(
@@ -182,20 +181,19 @@ async fn many_concurrent_clients() {
                     vec![],
                     1,
                 )
-                .await
                 .unwrap()
         }));
     }
     let mut cert_ids = std::collections::HashSet::new();
     for handle in handles {
-        let rmc = handle.await.unwrap();
+        let rmc = handle.join().unwrap();
         assert!(cert_ids.insert(rmc.crr.cert_id));
     }
     assert_eq!(cert_ids.len(), 20);
 }
 
-#[tokio::test]
-async fn server_side_context_factory_applies() {
+#[test]
+fn server_side_context_factory_applies() {
     // A role gated on $now < 100, activated through the wire: the server's
     // context factory controls the clock the rule sees.
     let facts = Arc::new(FactStore::new());
@@ -212,20 +210,15 @@ async fn server_side_context_factory_applies() {
         vec![],
     )
     .unwrap();
-    let server = WireServer::bind_with_context(
-        svc,
-        "127.0.0.1:0",
-        Arc::new(EnvContext::new),
-    )
-    .await
-    .unwrap();
-    let addr = server.local_addr().unwrap();
-    tokio::spawn(async move {
-        let _ = server.serve().await;
-    });
+    let addr = WireServer::bind_with_context(svc, "127.0.0.1:0", Arc::new(EnvContext::new))
+        .unwrap()
+        .serve_in_background()
+        .unwrap();
 
-    let mut client = WireClient::connect(addr).await.unwrap();
+    let mut client = WireClient::connect(addr).unwrap();
     let p = oasis_core::PrincipalId::new("p");
-    assert!(client.activate(&p, "day_role", vec![], vec![], 50).await.is_ok());
-    assert!(client.activate(&p, "day_role", vec![], vec![], 150).await.is_err());
+    assert!(client.activate(&p, "day_role", vec![], vec![], 50).is_ok());
+    assert!(client
+        .activate(&p, "day_role", vec![], vec![], 150)
+        .is_err());
 }

@@ -53,7 +53,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             Atom::appointment_from(
                 "mutual-life.membership",
                 "scheme_member",
-                vec![Term::val(Value::id("gene-test-scheme")), Term::var("Expiry")],
+                vec![
+                    Term::val(Value::id("gene-test-scheme")),
+                    Term::var("Expiry"),
+                ],
             ),
             Atom::compare(Term::var("$now"), CmpOp::Lt, Term::var("Expiry")),
         ],

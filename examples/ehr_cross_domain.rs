@@ -12,7 +12,6 @@
 //! record (path 2). The treatment note is then appended, audited, through
 //! the same path (paths 3–4).
 
-
 use oasis::prelude::*;
 use oasis_core::CredentialKind;
 
@@ -92,10 +91,13 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     }));
 
     // --- The session ---------------------------------------------------------
-    hospital.facts().insert("on_shift", vec![Value::id("dr-jones")])?;
     hospital
         .facts()
-        .insert("registered", vec![Value::id("dr-jones"), Value::id("pat-7")])?;
+        .insert("on_shift", vec![Value::id("dr-jones")])?;
+    hospital.facts().insert(
+        "registered",
+        vec![Value::id("dr-jones"), Value::id("pat-7")],
+    )?;
 
     let dr = PrincipalId::new("dr-jones");
     let ctx = EnvContext::new(100);
@@ -156,7 +158,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // End of shift back home: the hospital retracts on_shift, the RMC chain
     // collapses, and — through the shared event fabric — the national
     // domain's CIV learns of the revocation too.
-    hospital.facts().retract("on_shift", &[Value::id("dr-jones")])?;
+    hospital
+        .facts()
+        .retract("on_shift", &[Value::id("dr-jones")])?;
     let stale = ehr.invoke(
         &dr,
         "append_to_ehr",

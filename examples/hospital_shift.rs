@@ -26,11 +26,18 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     let ae = OasisService::new(ServiceConfig::new("a-and-e"), Arc::clone(&facts));
 
-    ae.define_role("on_duty", &[("who", ValueType::Id), ("job", ValueType::Id)], true)?;
+    ae.define_role(
+        "on_duty",
+        &[("who", ValueType::Id), ("job", ValueType::Id)],
+        true,
+    )?;
     ae.add_activation_rule(
         "on_duty",
         vec![Term::var("W"), Term::var("J")],
-        vec![Atom::env_fact("staff", vec![Term::var("W"), Term::var("J")])],
+        vec![Atom::env_fact(
+            "staff",
+            vec![Term::var("W"), Term::var("J")],
+        )],
         vec![0],
     )?;
 
@@ -44,7 +51,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         "treating_doctor",
         vec![Term::var("D"), Term::var("P")],
         vec![
-            Atom::prereq("on_duty", vec![Term::var("D"), Term::val(Value::id("doctor"))]),
+            Atom::prereq(
+                "on_duty",
+                vec![Term::var("D"), Term::val(Value::id("doctor"))],
+            ),
             Atom::appointment("allocated", vec![Term::var("D"), Term::var("P")]),
         ],
         vec![0], // membership retains the duty role, not the appointment

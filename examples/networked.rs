@@ -10,8 +10,7 @@ use std::sync::Arc;
 use oasis::prelude::*;
 use oasis::wire::{WireClient, WireServer};
 
-#[tokio::main(flavor = "current_thread")]
-async fn main() -> Result<(), Box<dyn std::error::Error>> {
+fn main() -> Result<(), Box<dyn std::error::Error>> {
     // --- Server side ------------------------------------------------------
     let facts = Arc::new(FactStore::new());
     facts.define("password_ok", 1)?;
@@ -31,54 +30,43 @@ async fn main() -> Result<(), Box<dyn std::error::Error>> {
         vec![Atom::prereq("logged_in", vec![Term::Wildcard])],
     );
 
-    let server = WireServer::bind(Arc::clone(&hospital), "127.0.0.1:0").await?;
-    let addr = server.local_addr()?;
-    tokio::spawn(async move {
-        let _ = server.serve().await;
-    });
+    let server = WireServer::bind(Arc::clone(&hospital), "127.0.0.1:0")?;
+    let addr = server.serve_in_background()?;
     println!("hospital serving on {addr}");
 
     // --- The doctor's client -----------------------------------------------
     let dr = PrincipalId::new("dr-jones");
-    let mut client = WireClient::connect(addr).await?;
-    client.ping().await?;
+    let mut client = WireClient::connect(addr)?;
+    client.ping()?;
 
-    let rmc = client
-        .activate(&dr, "logged_in", vec![Value::id("dr-jones")], vec![], 1)
-        .await?;
+    let rmc = client.activate(&dr, "logged_in", vec![Value::id("dr-jones")], vec![], 1)?;
     println!("activated over TCP: {rmc}");
 
-    let used = client
-        .invoke(
-            &dr,
-            "list_patients",
-            vec![],
-            vec![Credential::Rmc(rmc.clone())],
-            2,
-        )
-        .await?;
+    let used = client.invoke(
+        &dr,
+        "list_patients",
+        vec![],
+        vec![Credential::Rmc(rmc.clone())],
+        2,
+    )?;
     println!("list_patients authorised by {used:?}");
 
     // --- A second, OASIS-aware service validating by callback ----------------
     // The pharmacy did not issue the RMC; it phones the hospital (the CRR
     // names the issuer) to validate, just as the architecture prescribes.
-    let mut pharmacy_view = WireClient::connect(addr).await?;
-    pharmacy_view
-        .validate(&Credential::Rmc(rmc.clone()), &dr, 3)
-        .await?;
+    let mut pharmacy_view = WireClient::connect(addr)?;
+    pharmacy_view.validate(&Credential::Rmc(rmc.clone()), &dr, 3)?;
     println!("pharmacy validated the certificate by callback");
 
     // A thief replaying the certificate fails the callback: the MAC binds
     // the principal id.
     let thief = PrincipalId::new("mallory");
-    let stolen = pharmacy_view
-        .validate(&Credential::Rmc(rmc.clone()), &thief, 4)
-        .await;
+    let stolen = pharmacy_view.validate(&Credential::Rmc(rmc.clone()), &thief, 4);
     println!("thief's callback: {}", stolen.unwrap_err());
 
     // Logout revokes server-side; the callback immediately reflects it.
-    client.revoke(rmc.crr.cert_id.0, "logout", 5).await?;
-    let after = pharmacy_view.validate(&Credential::Rmc(rmc), &dr, 6).await;
+    client.revoke(rmc.crr.cert_id.0, "logout", 5)?;
+    let after = pharmacy_view.validate(&Credential::Rmc(rmc), &dr, 6);
     println!("after logout: {}", after.unwrap_err());
     Ok(())
 }

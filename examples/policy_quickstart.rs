@@ -40,7 +40,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     policy.apply_to(&hospital)?;
     // The compiler declared password_ok/registered/excluded for us.
     facts.insert("password_ok", vec![Value::id("dr-jones")])?;
-    facts.insert("registered", vec![Value::id("dr-jones"), Value::id("pat-1")])?;
+    facts.insert(
+        "registered",
+        vec![Value::id("dr-jones"), Value::id("pat-1")],
+    )?;
 
     for warning in hospital.policy_warnings() {
         println!("warning: {warning}");

@@ -57,7 +57,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // --- A session -----------------------------------------------------
     facts.insert("password_ok", vec![Value::id("dr-jones")])?;
-    facts.insert("registered", vec![Value::id("dr-jones"), Value::id("pat-1")])?;
+    facts.insert(
+        "registered",
+        vec![Value::id("dr-jones"), Value::id("pat-1")],
+    )?;
 
     let dr = PrincipalId::new("dr-jones");
     let mut session = Session::start(dr.clone());

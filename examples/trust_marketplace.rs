@@ -12,9 +12,7 @@
 //! minority.
 
 use oasis::prelude::*;
-use oasis::trust::{
-    population, CivNotary, Decision, Outcome, RiskPolicy, TrustAssessor,
-};
+use oasis::trust::{population, CivNotary, Decision, Outcome, RiskPolicy, TrustAssessor};
 use oasis_core::ServiceId;
 
 fn main() {
@@ -55,7 +53,10 @@ fn main() {
     let newcomer = PrincipalId::new("drifter");
     let empty: Vec<oasis::trust::AuditCertificate> = Vec::new();
     let score = assessor.score_client(&empty, &newcomer, 60, &weight);
-    println!("library assesses a newcomer: {score} → {}", policy.decide(score));
+    println!(
+        "library assesses a newcomer: {score} → {}",
+        policy.decide(score)
+    );
 
     // --- The collusion attack ----------------------------------------------
     // Mallory and an accomplice fabricate a glowing history via a rogue

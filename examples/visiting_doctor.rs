@@ -76,7 +76,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
 
     // --- The story -----------------------------------------------------------
-    hospital.facts().insert("hr_verified_md", vec![Value::id("hr-1")])?;
+    hospital
+        .facts()
+        .insert("hr_verified_md", vec![Value::id("hr-1")])?;
     let hr = PrincipalId::new("hr-1");
     let dr = PrincipalId::new("dr-jones");
     let ctx = EnvContext::new(0);
@@ -110,7 +112,13 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         &ctx,
     )?;
     println!("institute granted {visiting}");
-    labs.invoke(&dr, "use_sequencer", &[], &[Credential::Rmc(visiting.clone())], &ctx)?;
+    labs.invoke(
+        &dr,
+        "use_sequencer",
+        &[],
+        &[Credential::Rmc(visiting.clone())],
+        &ctx,
+    )?;
     println!("sequencer time booked");
 
     // A chancer with no home appointment gets only the guest role.
@@ -136,7 +144,13 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // the issuer, and the visiting role — whose membership rule retained
     // it — collapses across the domain boundary, immediately.
     admin.revoke_certificate(employment.crr.cert_id, "employment ended", 50);
-    let after = labs.invoke(&dr, "use_sequencer", &[], &[Credential::Rmc(visiting)], &EnvContext::new(51));
+    let after = labs.invoke(
+        &dr,
+        "use_sequencer",
+        &[],
+        &[Credential::Rmc(visiting)],
+        &EnvContext::new(51),
+    );
     println!("after employment ends: {}", after.unwrap_err());
 
     // --- Group membership, anonymously ------------------------------------
@@ -161,12 +175,15 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     stives_desk.add_activation_rule(
         "friend",
         vec![],
-        vec![Atom::appointment_from(
-            "tate-london.desk",
-            "friend_of_the_tate",
-            // organisation and membership period — no personal details
-            vec![Term::val(Value::id("tate")), Term::var("Expiry")],
-        ), Atom::compare(Term::var("$now"), CmpOp::Le, Term::var("Expiry"))],
+        vec![
+            Atom::appointment_from(
+                "tate-london.desk",
+                "friend_of_the_tate",
+                // organisation and membership period — no personal details
+                vec![Term::val(Value::id("tate")), Term::var("Expiry")],
+            ),
+            Atom::compare(Term::var("$now"), CmpOp::Le, Term::var("Expiry")),
+        ],
         vec![],
     )?;
     federation.add_sla(
@@ -179,7 +196,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     let registrar = PrincipalId::new("registrar-1");
     let member = PrincipalId::new("art-lover-77");
-    let reg_role = london_desk.activate_role(&registrar, &RoleName::new("registrar"), &[], &[], &ctx)?;
+    let reg_role =
+        london_desk.activate_role(&registrar, &RoleName::new("registrar"), &[], &[], &ctx)?;
     let card = london_desk.issue_appointment(
         &registrar,
         &[Credential::Rmc(reg_role)],

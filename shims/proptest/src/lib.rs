@@ -1,0 +1,807 @@
+//! Minimal, dependency-free replacement for the `proptest` crate.
+//!
+//! Implements the subset this workspace's property tests use: the
+//! [`Strategy`] trait with `prop_map`/`prop_filter`/`boxed`, strategies for
+//! integer ranges, `any::<T>()`, tuples, arrays, [`Just`], a character-class
+//! regex subset for `&str` patterns (`"[a-z]{1,8}"`, `"\\PC{0,120}"`, ...),
+//! `collection::{vec, btree_set}`, `bool::ANY`, `prop_oneof!`,
+//! `prop_compose!`, and the `proptest!` test macro with
+//! `#![proptest_config(...)]` support.
+//!
+//! Differences from upstream: no shrinking (a failing case reports its
+//! generated inputs via normal assertion messages), and generation is
+//! seeded deterministically per test name + case index so failures
+//! reproduce across runs.
+
+use std::collections::BTreeSet;
+use std::ops::{Range, RangeInclusive};
+use std::sync::Arc;
+
+// ---------------------------------------------------------------------------
+// Deterministic RNG
+// ---------------------------------------------------------------------------
+
+/// Per-test deterministic generator (xoshiro256++ seeded from the test name
+/// and case index).
+pub struct TestRng {
+    state: [u64; 4],
+}
+
+impl TestRng {
+    pub fn for_case(test_name: &str, case: u32) -> Self {
+        let mut hash = 0xcbf2_9ce4_8422_2325u64;
+        for byte in test_name.bytes() {
+            hash ^= byte as u64;
+            hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        let base = std::env::var("PROPTEST_SEED")
+            .ok()
+            .and_then(|s| s.parse::<u64>().ok())
+            .unwrap_or(0);
+        let mut seed = hash ^ base ^ (case as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        let mut state = [0u64; 4];
+        for word in &mut state {
+            seed = seed.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = seed;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            *word = z ^ (z >> 31);
+        }
+        Self { state }
+    }
+
+    pub fn next_u64(&mut self) -> u64 {
+        let [mut s0, mut s1, mut s2, mut s3] = self.state;
+        let result = s0.wrapping_add(s3).rotate_left(23).wrapping_add(s0);
+        let t = s1 << 17;
+        s2 ^= s0;
+        s3 ^= s1;
+        s1 ^= s2;
+        s0 ^= s3;
+        s2 ^= t;
+        s3 = s3.rotate_left(45);
+        self.state = [s0, s1, s2, s3];
+        result
+    }
+
+    /// Uniform value in `0..bound` (`bound` must be non-zero).
+    pub fn below(&mut self, bound: usize) -> usize {
+        debug_assert!(bound > 0);
+        ((self.next_u64() as u128 * bound as u128) >> 64) as usize
+    }
+
+    /// Uniform length in the given inclusive range.
+    fn len_in(&mut self, lo: usize, hi: usize) -> usize {
+        if hi <= lo {
+            lo
+        } else {
+            lo + self.below(hi - lo + 1)
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Strategy trait and combinators
+// ---------------------------------------------------------------------------
+
+pub trait Strategy: Clone {
+    type Value;
+
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    fn prop_map<U, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> U + Clone,
+    {
+        Map { inner: self, f }
+    }
+
+    fn prop_filter<F>(self, reason: impl Into<String>, f: F) -> Filter<Self, F>
+    where
+        Self: Sized,
+        F: Fn(&Self::Value) -> bool + Clone,
+    {
+        Filter {
+            inner: self,
+            reason: reason.into(),
+            predicate: f,
+        }
+    }
+
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+        Self::Value: 'static,
+    {
+        let inner = self;
+        BoxedStrategy::from_fn(move |rng| inner.generate(rng))
+    }
+}
+
+#[derive(Clone)]
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S, F, U> Strategy for Map<S, F>
+where
+    S: Strategy,
+    F: Fn(S::Value) -> U + Clone,
+{
+    type Value = U;
+    fn generate(&self, rng: &mut TestRng) -> U {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+#[derive(Clone)]
+pub struct Filter<S, F> {
+    inner: S,
+    reason: String,
+    predicate: F,
+}
+
+impl<S, F> Strategy for Filter<S, F>
+where
+    S: Strategy,
+    F: Fn(&S::Value) -> bool + Clone,
+{
+    type Value = S::Value;
+    fn generate(&self, rng: &mut TestRng) -> S::Value {
+        for _ in 0..10_000 {
+            let candidate = self.inner.generate(rng);
+            if (self.predicate)(&candidate) {
+                return candidate;
+            }
+        }
+        panic!("prop_filter exhausted attempts: {}", self.reason);
+    }
+}
+
+/// Type-erased strategy; the building block of `prop_oneof!`/`prop_compose!`.
+pub struct BoxedStrategy<V> {
+    generator: Arc<dyn Fn(&mut TestRng) -> V>,
+}
+
+impl<V> Clone for BoxedStrategy<V> {
+    fn clone(&self) -> Self {
+        Self {
+            generator: Arc::clone(&self.generator),
+        }
+    }
+}
+
+impl<V> BoxedStrategy<V> {
+    pub fn from_fn(f: impl Fn(&mut TestRng) -> V + 'static) -> Self {
+        Self {
+            generator: Arc::new(f),
+        }
+    }
+}
+
+impl<V> Strategy for BoxedStrategy<V> {
+    type Value = V;
+    fn generate(&self, rng: &mut TestRng) -> V {
+        (self.generator)(rng)
+    }
+}
+
+/// Uniform choice between alternatives (the `prop_oneof!` expansion).
+pub struct Union<V> {
+    arms: Vec<BoxedStrategy<V>>,
+}
+
+impl<V> Clone for Union<V> {
+    fn clone(&self) -> Self {
+        Self {
+            arms: self.arms.clone(),
+        }
+    }
+}
+
+impl<V> Union<V> {
+    pub fn new(arms: Vec<BoxedStrategy<V>>) -> Self {
+        assert!(!arms.is_empty(), "prop_oneof! needs at least one arm");
+        Self { arms }
+    }
+}
+
+impl<V> Strategy for Union<V> {
+    type Value = V;
+    fn generate(&self, rng: &mut TestRng) -> V {
+        let idx = rng.below(self.arms.len());
+        self.arms[idx].generate(rng)
+    }
+}
+
+/// Always yields a clone of the given value.
+#[derive(Clone)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+    fn generate(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// any::<T>()
+// ---------------------------------------------------------------------------
+
+pub trait Arbitrary {
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+pub struct Any<T> {
+    _marker: std::marker::PhantomData<fn() -> T>,
+}
+
+impl<T> Clone for Any<T> {
+    fn clone(&self) -> Self {
+        Self {
+            _marker: std::marker::PhantomData,
+        }
+    }
+}
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any {
+        _marker: std::marker::PhantomData,
+    }
+}
+
+macro_rules! impl_arbitrary_int {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut TestRng) -> $t {
+                // Bias 1-in-8 draws toward boundary values; property tests
+                // lean on extremes far more than a uniform draw would hit.
+                if rng.below(8) == 0 {
+                    const EDGES: [$t; 4] = [0, 1, <$t>::MAX, <$t>::MIN];
+                    EDGES[rng.below(4)]
+                } else {
+                    rng.next_u64() as $t
+                }
+            }
+        }
+    )*};
+}
+
+impl_arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut TestRng) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl<const N: usize> Arbitrary for [u8; N] {
+    fn arbitrary(rng: &mut TestRng) -> [u8; N] {
+        std::array::from_fn(|_| rng.next_u64() as u8)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Ranges as strategies
+// ---------------------------------------------------------------------------
+
+macro_rules! impl_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                let span = (self.end as i128 - self.start as i128) as u128;
+                let draw = ((rng.next_u64() as u128 * span) >> 64) as i128;
+                (self.start as i128 + draw) as $t
+            }
+        }
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "empty range strategy");
+                let span = (hi as i128 - lo as i128 + 1) as u128;
+                let draw = ((rng.next_u64() as u128 * span) >> 64) as i128;
+                (lo as i128 + draw) as $t
+            }
+        }
+    )*};
+}
+
+impl_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+// ---------------------------------------------------------------------------
+// Tuples and arrays of strategies
+// ---------------------------------------------------------------------------
+
+macro_rules! impl_tuple_strategy {
+    ($(($($name:ident),+))*) => {$(
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+            #[allow(non_snake_case)]
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                let ($($name,)+) = self;
+                ($($name.generate(rng),)+)
+            }
+        }
+    )*};
+}
+
+impl_tuple_strategy! {
+    (A, B)
+    (A, B, C)
+    (A, B, C, D)
+    (A, B, C, D, E)
+    (A, B, C, D, E, F)
+}
+
+impl<S: Strategy, const N: usize> Strategy for [S; N] {
+    type Value = [S::Value; N];
+    fn generate(&self, rng: &mut TestRng) -> Self::Value {
+        std::array::from_fn(|i| self[i].generate(rng))
+    }
+}
+
+// ---------------------------------------------------------------------------
+// String patterns (character-class regex subset)
+// ---------------------------------------------------------------------------
+
+#[derive(Clone, Debug)]
+enum PatternItem {
+    /// Inclusive character ranges, e.g. `[a-z0-9_]`.
+    Class(Vec<(char, char)>),
+    /// `\PC` — any non-control character.
+    NotControl,
+}
+
+#[derive(Clone, Debug)]
+struct Pattern {
+    items: Vec<(PatternItem, u32, u32)>,
+}
+
+fn parse_class(chars: &mut std::iter::Peekable<std::str::Chars<'_>>) -> Vec<(char, char)> {
+    let mut ranges = Vec::new();
+    let mut pending: Option<char> = None;
+    loop {
+        let c = chars.next().expect("unterminated character class");
+        match c {
+            ']' => break,
+            '-' if pending.is_some() && chars.peek() != Some(&']') => {
+                let lo = pending.take().unwrap();
+                let hi = chars.next().expect("dangling range in class");
+                assert!(lo <= hi, "inverted range in class");
+                ranges.push((lo, hi));
+            }
+            '\\' => {
+                if let Some(prev) = pending.take() {
+                    ranges.push((prev, prev));
+                }
+                let esc = chars.next().expect("dangling escape in class");
+                let lit = match esc {
+                    'n' => '\n',
+                    't' => '\t',
+                    'r' => '\r',
+                    other => other,
+                };
+                pending = Some(lit);
+            }
+            other => {
+                if let Some(prev) = pending.take() {
+                    ranges.push((prev, prev));
+                }
+                pending = Some(other);
+            }
+        }
+    }
+    if let Some(prev) = pending {
+        ranges.push((prev, prev));
+    }
+    assert!(!ranges.is_empty(), "empty character class");
+    ranges
+}
+
+fn parse_repeat(chars: &mut std::iter::Peekable<std::str::Chars<'_>>) -> (u32, u32) {
+    if chars.peek() != Some(&'{') {
+        return (1, 1);
+    }
+    chars.next();
+    let mut spec = String::new();
+    loop {
+        match chars.next().expect("unterminated repetition") {
+            '}' => break,
+            c => spec.push(c),
+        }
+    }
+    match spec.split_once(',') {
+        Some((lo, hi)) => (
+            lo.trim().parse().expect("bad repetition bound"),
+            hi.trim().parse().expect("bad repetition bound"),
+        ),
+        None => {
+            let n = spec.trim().parse().expect("bad repetition count");
+            (n, n)
+        }
+    }
+}
+
+fn parse_pattern(pattern: &str) -> Pattern {
+    let mut chars = pattern.chars().peekable();
+    let mut items = Vec::new();
+    while let Some(c) = chars.next() {
+        let item = match c {
+            '[' => PatternItem::Class(parse_class(&mut chars)),
+            '\\' => match chars.next().expect("dangling escape") {
+                'P' => {
+                    let category = chars.next().expect("missing \\P category");
+                    assert_eq!(category, 'C', "only \\PC is supported");
+                    PatternItem::NotControl
+                }
+                'n' => PatternItem::Class(vec![('\n', '\n')]),
+                't' => PatternItem::Class(vec![('\t', '\t')]),
+                'r' => PatternItem::Class(vec![('\r', '\r')]),
+                other => PatternItem::Class(vec![(other, other)]),
+            },
+            other => PatternItem::Class(vec![(other, other)]),
+        };
+        let (lo, hi) = parse_repeat(&mut chars);
+        items.push((item, lo, hi));
+    }
+    Pattern { items }
+}
+
+fn generate_from_class(ranges: &[(char, char)], rng: &mut TestRng) -> char {
+    let total: u32 = ranges
+        .iter()
+        .map(|(lo, hi)| *hi as u32 - *lo as u32 + 1)
+        .sum();
+    let mut pick = rng.below(total as usize) as u32;
+    for (lo, hi) in ranges {
+        let size = *hi as u32 - *lo as u32 + 1;
+        if pick < size {
+            return char::from_u32(*lo as u32 + pick).expect("valid class char");
+        }
+        pick -= size;
+    }
+    unreachable!("class pick out of bounds")
+}
+
+fn generate_not_control(rng: &mut TestRng) -> char {
+    // Mostly printable ASCII; occasionally printable non-ASCII.
+    loop {
+        let c = if rng.below(8) == 0 {
+            const POOLS: [(u32, u32); 3] = [(0x00A1, 0x024F), (0x0391, 0x03C9), (0x4E00, 0x4EFF)];
+            let (lo, hi) = POOLS[rng.below(POOLS.len())];
+            char::from_u32(lo + rng.below((hi - lo + 1) as usize) as u32)
+        } else {
+            char::from_u32(0x20 + rng.below(0x7F - 0x20) as u32)
+        };
+        match c {
+            Some(c) if !c.is_control() => return c,
+            _ => continue,
+        }
+    }
+}
+
+impl Strategy for &'static str {
+    type Value = String;
+    fn generate(&self, rng: &mut TestRng) -> String {
+        let pattern = parse_pattern(self);
+        let mut out = String::new();
+        for (item, lo, hi) in &pattern.items {
+            let count = rng.len_in(*lo as usize, *hi as usize);
+            for _ in 0..count {
+                out.push(match item {
+                    PatternItem::Class(ranges) => generate_from_class(ranges, rng),
+                    PatternItem::NotControl => generate_not_control(rng),
+                });
+            }
+        }
+        out
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Collections
+// ---------------------------------------------------------------------------
+
+pub mod collection {
+    use super::*;
+
+    #[derive(Clone, Copy, Debug)]
+    pub struct SizeRange {
+        pub lo: usize,
+        /// Inclusive upper bound.
+        pub hi: usize,
+    }
+
+    impl From<Range<usize>> for SizeRange {
+        fn from(r: Range<usize>) -> Self {
+            assert!(r.start < r.end, "empty size range");
+            Self {
+                lo: r.start,
+                hi: r.end - 1,
+            }
+        }
+    }
+
+    impl From<RangeInclusive<usize>> for SizeRange {
+        fn from(r: RangeInclusive<usize>) -> Self {
+            Self {
+                lo: *r.start(),
+                hi: *r.end(),
+            }
+        }
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            Self { lo: n, hi: n }
+        }
+    }
+
+    #[derive(Clone)]
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let len = rng.len_in(self.size.lo, self.size.hi);
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+
+    #[derive(Clone)]
+    pub struct BTreeSetStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    impl<S: Strategy> Strategy for BTreeSetStrategy<S>
+    where
+        S::Value: Ord,
+    {
+        type Value = BTreeSet<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> BTreeSet<S::Value> {
+            let target = rng.len_in(self.size.lo, self.size.hi);
+            let mut set = BTreeSet::new();
+            let mut attempts = 0;
+            while set.len() < target && attempts < target * 20 + 20 {
+                set.insert(self.element.generate(rng));
+                attempts += 1;
+            }
+            set
+        }
+    }
+
+    pub fn btree_set<S: Strategy>(element: S, size: impl Into<SizeRange>) -> BTreeSetStrategy<S>
+    where
+        S::Value: Ord,
+    {
+        BTreeSetStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+}
+
+pub mod bool {
+    use super::{Strategy, TestRng};
+
+    #[derive(Clone, Copy, Debug)]
+    pub struct BoolAny;
+
+    impl Strategy for BoolAny {
+        type Value = bool;
+        fn generate(&self, rng: &mut TestRng) -> bool {
+            rng.next_u64() & 1 == 1
+        }
+    }
+
+    pub const ANY: BoolAny = BoolAny;
+}
+
+// ---------------------------------------------------------------------------
+// Config
+// ---------------------------------------------------------------------------
+
+#[derive(Clone, Debug)]
+pub struct ProptestConfig {
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    pub fn with_cases(cases: u32) -> Self {
+        Self { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        let cases = std::env::var("PROPTEST_CASES")
+            .ok()
+            .and_then(|s| s.parse().ok())
+            .unwrap_or(64);
+        Self { cases }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Macros
+// ---------------------------------------------------------------------------
+
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl! { ($config) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl! { ($crate::ProptestConfig::default()) $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    ( ($config:expr) ) => {};
+    ( ($config:expr)
+      $(#[$meta:meta])*
+      fn $name:ident($($binding:ident in $strategy:expr),* $(,)?) $body:block
+      $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let __pt_config = $config;
+            for __pt_case in 0..__pt_config.cases {
+                let mut __pt_rng = $crate::TestRng::for_case(
+                    concat!(module_path!(), "::", stringify!($name)),
+                    __pt_case,
+                );
+                $(
+                    let $binding = $crate::Strategy::generate(&($strategy), &mut __pt_rng);
+                )*
+                $body
+            }
+        }
+        $crate::__proptest_impl! { ($config) $($rest)* }
+    };
+}
+
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($arm:expr),+ $(,)?) => {
+        $crate::Union::new(vec![$($crate::Strategy::boxed($arm)),+])
+    };
+}
+
+#[macro_export]
+macro_rules! prop_compose {
+    (
+        $(#[$meta:meta])*
+        $vis:vis fn $name:ident($($outer:tt)*)($($binding:ident in $strategy:expr),* $(,)?) -> $ret:ty $body:block
+    ) => {
+        $(#[$meta])*
+        $vis fn $name($($outer)*) -> $crate::BoxedStrategy<$ret> {
+            $crate::BoxedStrategy::from_fn(move |__pt_rng: &mut $crate::TestRng| {
+                $(
+                    let $binding = $crate::Strategy::generate(&($strategy), __pt_rng);
+                )*
+                $body
+            })
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! prop_assert {
+    ($($args:tt)*) => { assert!($($args)*) };
+}
+
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($args:tt)*) => { assert_eq!($($args)*) };
+}
+
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($args:tt)*) => { assert_ne!($($args)*) };
+}
+
+pub mod prelude {
+    pub use crate::{
+        any, prop_assert, prop_assert_eq, prop_assert_ne, prop_compose, prop_oneof, proptest,
+        Arbitrary, BoxedStrategy, Just, ProptestConfig, Strategy,
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+    use super::TestRng;
+
+    #[test]
+    fn string_patterns_respect_class_and_length() {
+        let mut rng = TestRng::for_case("string_patterns", 0);
+        for _ in 0..200 {
+            let s = Strategy::generate(&"[a-z]{1,8}", &mut rng);
+            assert!((1..=8).contains(&s.chars().count()));
+            assert!(s.chars().all(|c| c.is_ascii_lowercase()));
+
+            let t = Strategy::generate(&"[A-Z][a-zA-Z0-9_]{0,5}", &mut rng);
+            assert!(t.chars().next().unwrap().is_ascii_uppercase());
+            assert!(t.chars().count() <= 6);
+
+            let u = Strategy::generate(&"[ -~\\n\\t]{0,300}", &mut rng);
+            assert!(u.chars().count() <= 300);
+            assert!(u
+                .chars()
+                .all(|c| (' '..='~').contains(&c) || c == '\n' || c == '\t'));
+
+            let v = Strategy::generate(&"\\PC{0,120}", &mut rng);
+            assert!(v.chars().all(|c| !c.is_control()));
+        }
+    }
+
+    #[test]
+    fn oneof_and_map_compose() {
+        let strat = prop_oneof![
+            (0u64..10).prop_map(|n| n.to_string()),
+            Just("fixed".to_string()),
+        ];
+        let mut rng = TestRng::for_case("oneof", 0);
+        for _ in 0..50 {
+            let v = Strategy::generate(&strat, &mut rng);
+            assert!(v == "fixed" || v.parse::<u64>().unwrap() < 10);
+        }
+    }
+
+    #[test]
+    fn collections_respect_sizes() {
+        let mut rng = TestRng::for_case("collections", 0);
+        for _ in 0..50 {
+            let v = Strategy::generate(&crate::collection::vec(any::<u8>(), 2..5), &mut rng);
+            assert!((2..5).contains(&v.len()));
+            let s = Strategy::generate(&crate::collection::btree_set(0u8..4, 0..3), &mut rng);
+            assert!(s.len() < 3);
+        }
+    }
+
+    #[test]
+    fn deterministic_per_case() {
+        let a: u64 = Strategy::generate(&(0u64..1000), &mut TestRng::for_case("x", 3));
+        let b: u64 = Strategy::generate(&(0u64..1000), &mut TestRng::for_case("x", 3));
+        assert_eq!(a, b);
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(16))]
+
+        /// The macro itself must compile with config, docs, and trailing commas.
+        #[test]
+        fn macro_smoke(x in 0u8..5, label in "[a-c]{1,2}",) {
+            prop_assert!(x < 5);
+            prop_assert_ne!(label.len(), 0);
+            prop_assert_eq!(label.len(), label.chars().count());
+        }
+    }
+}

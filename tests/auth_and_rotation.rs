@@ -10,7 +10,9 @@ use oasis::prelude::*;
 fn service() -> Arc<oasis_core::OasisService> {
     let facts = Arc::new(FactStore::new());
     facts.define("password_ok", 1).unwrap();
-    facts.insert("password_ok", vec![Value::id("alice")]).unwrap();
+    facts
+        .insert("password_ok", vec![Value::id("alice")])
+        .unwrap();
     let svc = OasisService::new(ServiceConfig::new("svc"), facts);
     svc.define_role("logged_in", &[("u", ValueType::Id)], true)
         .unwrap();
@@ -75,7 +77,9 @@ fn thief_with_stolen_rmc_fails_the_challenge() {
     let bound_key = rmc.holder_key.unwrap();
     let challenge = challenger.issue(bound_key, 10);
     let response = respond(&thief_pair, &challenge, b"svc");
-    assert!(challenger.verify(&bound_key, &response, b"svc", 15).is_err());
+    assert!(challenger
+        .verify(&bound_key, &response, b"svc", 15)
+        .is_err());
 
     // And swapping their own key into the RMC breaks its MAC.
     let mut doctored = rmc;
@@ -123,7 +127,8 @@ fn rotation_keeps_old_certs_until_retirement_then_requires_reissue() {
     svc.secret().retire_before(current);
 
     assert!(
-        svc.validate_own(&Credential::Rmc(old_rmc), &alice, 12).is_err(),
+        svc.validate_own(&Credential::Rmc(old_rmc), &alice, 12)
+            .is_err(),
         "pre-rotation certificate must die with its epoch"
     );
     assert!(svc

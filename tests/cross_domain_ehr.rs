@@ -145,7 +145,11 @@ fn request_ehr_succeeds_under_sla_and_audits_originator() {
     let audited = world.ehr.audit().entries_tagged("invoked");
     assert_eq!(audited.len(), 1);
     match &audited[0].kind {
-        oasis_core::AuditKind::Invoked { credentials, principal, .. } => {
+        oasis_core::AuditKind::Invoked {
+            credentials,
+            principal,
+            ..
+        } => {
             assert_eq!(credentials, &vec![rmc.crr.clone()]);
             assert_eq!(principal, &dr);
         }
@@ -229,7 +233,13 @@ fn without_sla_the_same_request_is_refused() {
         )
         .unwrap();
     let err = ehr
-        .invoke(&dr, "request_ehr", &[], &[Credential::Rmc(rmc)], &EnvContext::new(1))
+        .invoke(
+            &dr,
+            "request_ehr",
+            &[],
+            &[Credential::Rmc(rmc)],
+            &EnvContext::new(1),
+        )
         .unwrap_err();
     assert!(matches!(err, OasisError::InvocationDenied { .. }));
     // The SLA refusal is visible in the audit as a rejected credential.

@@ -23,13 +23,20 @@ fn build() -> Ward {
     let service = OasisService::new(ServiceConfig::new("ward"), Arc::clone(&facts));
 
     service
-        .define_role("on_shift", &[("who", ValueType::Id), ("grade", ValueType::Id)], true)
+        .define_role(
+            "on_shift",
+            &[("who", ValueType::Id), ("grade", ValueType::Id)],
+            true,
+        )
         .unwrap();
     service
         .add_activation_rule(
             "on_shift",
             vec![Term::var("W"), Term::var("G")],
-            vec![Atom::env_fact("staff", vec![Term::var("W"), Term::var("G")])],
+            vec![Atom::env_fact(
+                "staff",
+                vec![Term::var("W"), Term::var("G")],
+            )],
             vec![0],
         )
         .unwrap();
@@ -58,14 +65,19 @@ fn build() -> Ward {
             "medication_signoff",
             vec![Term::var("W")],
             vec![
-                Atom::prereq("on_shift", vec![Term::var("W"), Term::val(Value::id("staff_nurse"))]),
+                Atom::prereq(
+                    "on_shift",
+                    vec![Term::var("W"), Term::val(Value::id("staff_nurse"))],
+                ),
                 Atom::appointment("signoff_delegated", vec![Term::var("W")]),
             ],
             vec![0, 1],
         )
         .unwrap();
     // The delegator's role carries the appointing privilege.
-    service.grant_appointer("on_shift", "signoff_delegated").unwrap();
+    service
+        .grant_appointer("on_shift", "signoff_delegated")
+        .unwrap();
 
     service.add_invocation_rule(
         "sign_medication",
@@ -141,7 +153,13 @@ fn delegation_grants_the_delegatee_but_requires_context() {
         .unwrap();
     assert!(ward
         .service
-        .invoke(&sam, "sign_medication", &[], &[Credential::Rmc(signoff.clone())], &ctx)
+        .invoke(
+            &sam,
+            "sign_medication",
+            &[],
+            &[Credential::Rmc(signoff.clone())],
+            &ctx
+        )
         .is_ok());
 
     // The context requirement bites: off shift, the delegation alone is
@@ -152,7 +170,13 @@ fn delegation_grants_the_delegatee_but_requires_context() {
     // The active role collapsed too (membership retained the shift role).
     assert!(ward
         .service
-        .invoke(&sam, "sign_medication", &[], &[Credential::Rmc(signoff)], &EnvContext::new(2))
+        .invoke(
+            &sam,
+            "sign_medication",
+            &[],
+            &[Credential::Rmc(signoff)],
+            &EnvContext::new(2)
+        )
         .is_err());
     assert!(ward
         .service

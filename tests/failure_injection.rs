@@ -7,15 +7,21 @@ use std::cell::RefCell;
 use std::rc::Rc;
 use std::sync::Arc;
 
-use oasis::prelude::*;
 use oasis::events::{HeartbeatMonitor, SourceHealth, SourceId};
+use oasis::prelude::*;
 use oasis::sim::{Latency, LinkConfig, SimNet, Simulation};
 use oasis_core::CredentialValidator;
 
-fn guest_world() -> (Arc<Domain>, Arc<oasis_core::OasisService>, Credential, PrincipalId) {
+fn guest_world() -> (
+    Arc<Domain>,
+    Arc<oasis_core::OasisService>,
+    Credential,
+    PrincipalId,
+) {
     let domain = Domain::new("d", EventBus::new());
     let svc = domain.create_service("svc");
-    svc.define_role("guest", &[("u", ValueType::Id)], true).unwrap();
+    svc.define_role("guest", &[("u", ValueType::Id)], true)
+        .unwrap();
     svc.add_activation_rule("guest", vec![Term::var("U")], vec![], vec![])
         .unwrap();
     let alice = PrincipalId::new("alice");
@@ -71,7 +77,8 @@ fn issuer_outage_bridged_by_replica_memory_then_revocation_still_wins() {
 fn replica_crash_during_revocation_storm_recovers_consistently() {
     let domain = Domain::new("d", EventBus::new());
     let svc = domain.create_service("svc");
-    svc.define_role("guest", &[("n", ValueType::Int)], true).unwrap();
+    svc.define_role("guest", &[("n", ValueType::Int)], true)
+        .unwrap();
     svc.add_activation_rule("guest", vec![Term::var("N")], vec![], vec![])
         .unwrap();
     let alice = PrincipalId::new("alice");
@@ -143,7 +150,10 @@ fn lost_revocation_event_is_bounded_by_ttl_backstop() {
             stale_accepts += 1;
         }
     }
-    assert!(stale_accepts > 0, "without push there IS a staleness window");
+    assert!(
+        stale_accepts > 0,
+        "without push there IS a staleness window"
+    );
     assert!(
         stale_accepts <= ttl as usize,
         "but it is bounded by the TTL: {stale_accepts} > {ttl}"

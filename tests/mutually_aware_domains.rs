@@ -20,7 +20,9 @@ fn build() -> World {
     let admin = hospital.create_service("hospital.admin");
     admin.set_validator(federation.validator_for("hospital"));
     hospital.facts().define("is_hr", 1).unwrap();
-    admin.define_role("hr", &[("w", ValueType::Id)], true).unwrap();
+    admin
+        .define_role("hr", &[("w", ValueType::Id)], true)
+        .unwrap();
     admin
         .add_activation_rule(
             "hr",
@@ -60,7 +62,11 @@ fn build() -> World {
     }
 }
 
-fn employment(world: &World, doctor: &str, expires: Option<u64>) -> oasis_core::AppointmentCertificate {
+fn employment(
+    world: &World,
+    doctor: &str,
+    expires: Option<u64>,
+) -> oasis_core::AppointmentCertificate {
     world
         .admin
         .facts()
@@ -124,7 +130,11 @@ fn stolen_appointment_fails_at_the_away_domain() {
         .unwrap_err();
     assert!(matches!(err, OasisError::ActivationDenied { .. }));
     assert_eq!(
-        world.labs.audit().entries_tagged("credential_rejected").len(),
+        world
+            .labs
+            .audit()
+            .entries_tagged("credential_rejected")
+            .len(),
         1
     );
 }
@@ -144,7 +154,10 @@ fn home_revocation_strips_visiting_role_across_domains() {
             &EnvContext::new(10),
         )
         .unwrap();
-    assert!(world.labs.validate_own(&Credential::Rmc(rmc.clone()), &dr, 11).is_ok());
+    assert!(world
+        .labs
+        .validate_own(&Credential::Rmc(rmc.clone()), &dr, 11)
+        .is_ok());
 
     world
         .admin
@@ -189,7 +202,10 @@ fn expired_appointment_cannot_reactivate_but_active_session_lapses_lazily() {
         .unwrap_err();
     assert!(matches!(err, OasisError::ActivationDenied { .. }));
     let record = world.admin.record(cert.crr.cert_id).unwrap();
-    assert!(matches!(record.status, oasis_core::CredStatus::Expired { .. }));
+    assert!(matches!(
+        record.status,
+        oasis_core::CredStatus::Expired { .. }
+    ));
 }
 
 #[test]
@@ -198,10 +214,7 @@ fn reciprocal_agreement_is_separate() {
     // The institute→hospital direction was never agreed; an institute
     // credential presented at the hospital is refused.
     let labs_guest = {
-        world
-            .labs
-            .define_role("researcher", &[], true)
-            .unwrap();
+        world.labs.define_role("researcher", &[], true).unwrap();
         world
             .labs
             .add_activation_rule("researcher", vec![], vec![], vec![])

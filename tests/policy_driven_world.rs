@@ -93,7 +93,13 @@ fn run_session(world: &World) -> (PrincipalId, oasis_core::cert::Rmc) {
     let ctx = EnvContext::new(100);
     let login = world
         .login
-        .activate_role(&dr, &RoleName::new("logged_in"), &[Value::id("dr-a")], &[], &ctx)
+        .activate_role(
+            &dr,
+            &RoleName::new("logged_in"),
+            &[Value::id("dr-a")],
+            &[],
+            &ctx,
+        )
         .unwrap();
     let duty = world
         .records
@@ -140,17 +146,35 @@ fn policy_file_drives_the_full_scenario() {
     // Local invocation via policy-defined rule.
     world
         .records
-        .invoke(&dr, "read_record", &[Value::id("p-1")], &[Credential::Rmc(treating.clone())], &ctx)
+        .invoke(
+            &dr,
+            "read_record",
+            &[Value::id("p-1")],
+            &[Credential::Rmc(treating.clone())],
+            &ctx,
+        )
         .unwrap();
     // Cross-domain invocation under the SLA.
     world
         .ehr
-        .invoke(&dr, "request_ehr", &[Value::id("p-1")], &[Credential::Rmc(treating.clone())], &ctx)
+        .invoke(
+            &dr,
+            "request_ehr",
+            &[Value::id("p-1")],
+            &[Credential::Rmc(treating.clone())],
+            &ctx,
+        )
         .unwrap();
     // The time-window constraint in write_record applies.
     world
         .records
-        .invoke(&dr, "write_record", &[Value::id("p-1")], &[Credential::Rmc(treating.clone())], &ctx)
+        .invoke(
+            &dr,
+            "write_record",
+            &[Value::id("p-1")],
+            &[Credential::Rmc(treating.clone())],
+            &ctx,
+        )
         .unwrap();
     assert!(world
         .records
@@ -195,7 +219,10 @@ fn national_exclusion_is_independent_of_hospital_state() {
     world
         .national
         .facts()
-        .insert("nationally_excluded", vec![Value::id("p-1"), Value::id("dr-a")])
+        .insert(
+            "nationally_excluded",
+            vec![Value::id("p-1"), Value::id("dr-a")],
+        )
         .unwrap();
     // The national service refuses…
     assert!(world

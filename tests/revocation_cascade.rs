@@ -4,14 +4,20 @@
 
 use std::sync::Arc;
 
-use oasis::prelude::*;
 use oasis::events::{HeartbeatMonitor, SourceHealth, SourceId};
+use oasis::prelude::*;
 use oasis_core::CredentialKind;
 
 /// Builds `depth` chained services, each in its own domain, where the
 /// role at service i+1 requires the role at service i. Returns the
 /// federation and the chain of RMCs.
-fn chain(depth: usize) -> (Arc<Federation>, Vec<Arc<oasis_core::OasisService>>, Vec<oasis_core::cert::Rmc>) {
+fn chain(
+    depth: usize,
+) -> (
+    Arc<Federation>,
+    Vec<Arc<oasis_core::OasisService>>,
+    Vec<oasis_core::cert::Rmc>,
+) {
     let federation = Federation::new();
     let mut services = Vec::new();
     for i in 0..depth {
@@ -19,7 +25,8 @@ fn chain(depth: usize) -> (Arc<Federation>, Vec<Arc<oasis_core::OasisService>>, 
         federation.register(&domain);
         let svc = domain.create_service(format!("svc-{i}"));
         svc.set_validator(federation.validator_for(format!("domain-{i}")));
-        svc.define_role("link", &[("u", ValueType::Id)], i == 0).unwrap();
+        svc.define_role("link", &[("u", ValueType::Id)], i == 0)
+            .unwrap();
         if i == 0 {
             svc.add_activation_rule("link", vec![Term::var("U")], vec![], vec![])
                 .unwrap();
@@ -77,7 +84,8 @@ fn cross_domain_chain_collapses_from_the_root() {
     let alice = PrincipalId::new("alice");
     for (svc, rmc) in services.iter().zip(&rmcs) {
         assert!(
-            svc.validate_own(&Credential::Rmc(rmc.clone()), &alice, 2).is_err(),
+            svc.validate_own(&Credential::Rmc(rmc.clone()), &alice, 2)
+                .is_err(),
             "{} should be revoked",
             rmc.crr
         );
@@ -90,7 +98,9 @@ fn cutting_the_chain_midway_preserves_the_prefix() {
     services[4].revoke_certificate(rmcs[4].crr.cert_id, "mid cut", 1);
     let alice = PrincipalId::new("alice");
     for (i, (svc, rmc)) in services.iter().zip(&rmcs).enumerate() {
-        let valid = svc.validate_own(&Credential::Rmc(rmc.clone()), &alice, 2).is_ok();
+        let valid = svc
+            .validate_own(&Credential::Rmc(rmc.clone()), &alice, 2)
+            .is_ok();
         assert_eq!(valid, i < 4, "link {i}");
     }
 }
@@ -180,7 +190,9 @@ fn fanout_cascade_event_counts_scale_linearly() {
         Arc::clone(&facts),
     );
     root_svc.define_role("root", &[], true).unwrap();
-    root_svc.add_activation_rule("root", vec![], vec![], vec![]).unwrap();
+    root_svc
+        .add_activation_rule("root", vec![], vec![], vec![])
+        .unwrap();
     let leaf_svc = OasisService::new(
         ServiceConfig::new("leaf").with_bus(bus.clone()),
         Arc::clone(&facts),

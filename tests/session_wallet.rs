@@ -130,7 +130,9 @@ fn prune_reflects_server_side_cascade() {
         .clone();
 
     // Logout at the root: the ward role collapses server-side.
-    world.login.revoke_certificate(login_crr.cert_id, "logout", 5);
+    world
+        .login
+        .revoke_certificate(login_crr.cert_id, "logout", 5);
 
     // The wallet still *holds* both certificates…
     assert_eq!(session.len(), 2);
@@ -161,7 +163,9 @@ fn partial_prune_keeps_surviving_roles() {
         .clone();
 
     // Only the leaf is revoked: the root survives.
-    world.ward.revoke_certificate(nurse_crr.cert_id, "reassigned", 5);
+    world
+        .ward
+        .revoke_certificate(nurse_crr.cert_id, "reassigned", 5);
     let dropped = session.prune_invalid(world.registry.as_ref(), 6);
     assert_eq!(dropped, vec![nurse_crr]);
     assert_eq!(session.len(), 1);
