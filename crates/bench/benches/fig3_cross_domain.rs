@@ -93,20 +93,20 @@ fn simulate_exchange(latency: Latency, calls: usize, cached: bool) -> Histogram 
             // client → ehr
             let hist = Rc::clone(&hist);
             let validated = Rc::clone(&validated);
-            let mut inner_net = SimNet::new(LinkConfig { latency, loss: 0.0 });
+            let mut inner_net = SimNet::new(LinkConfig::clean(latency));
             inner_net.send(sim, "client", "ehr", move |sim| {
                 let needs_callback = !(cached && *validated.borrow());
                 let hist2 = Rc::clone(&hist);
-                let mut net2 = SimNet::new(LinkConfig { latency, loss: 0.0 });
+                let mut net2 = SimNet::new(LinkConfig::clean(latency));
                 if needs_callback {
                     let validated2 = Rc::clone(&validated);
                     net2.send(sim, "ehr", "hospital-civ", move |sim| {
                         *validated2.borrow_mut() = true;
                         let hist3 = Rc::clone(&hist2);
-                        let mut net3 = SimNet::new(LinkConfig { latency, loss: 0.0 });
+                        let mut net3 = SimNet::new(LinkConfig::clean(latency));
                         net3.send(sim, "hospital-civ", "ehr", move |sim| {
                             let hist4 = Rc::clone(&hist3);
-                            let mut net4 = SimNet::new(LinkConfig { latency, loss: 0.0 });
+                            let mut net4 = SimNet::new(LinkConfig::clean(latency));
                             net4.send(sim, "ehr", "client", move |sim| {
                                 hist4.borrow_mut().record(sim.now() - start);
                             });

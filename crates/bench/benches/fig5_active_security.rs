@@ -185,14 +185,14 @@ fn simulated_window(
         let windows = Rc::clone(&windows);
         let phase = poll_interval.map(|p| sim.rng().random_range(0..p));
         sim.schedule_at(0, move |sim| {
-            let mut net = SimNet::new(LinkConfig { latency, loss: 0.0 });
+            let mut net = SimNet::new(LinkConfig::clean(latency));
             match phase {
                 // Polling: the holder notices at its next poll tick, then
                 // pays one round trip to learn the status.
                 Some(wait) => {
                     let windows = Rc::clone(&windows);
                     sim.schedule_in(wait, move |sim| {
-                        let mut net = SimNet::new(LinkConfig { latency, loss: 0.0 });
+                        let mut net = SimNet::new(LinkConfig::clean(latency));
                         net.send(sim, "issuer", "holder", move |sim| {
                             windows.borrow_mut().record(sim.now());
                         });

@@ -1,0 +1,286 @@
+//! TAB-D — validation latency under issuer failure: circuit breaker
+//! open vs closed.
+//!
+//! Sect. 4's validation callback is a network round trip, and when the
+//! issuer is down every callback burns its full deadline — once per
+//! retry. The [`ResilientValidator`] breaker exists to convert that
+//! repeated deadline-burning into an immediate local refusal after the
+//! first few failures. This table measures exactly that trade on the
+//! full service hot path (`validate_credential` with a heartbeat-watched
+//! issuer):
+//!
+//! * `healthy_hit` — issuer healthy, entry cached: the fast path.
+//! * `outage_no_breaker` — issuer down, breaker disabled: every
+//!   validation pays the modelled deadline once per retry attempt.
+//! * `outage_breaker_open` — issuer down, breaker open: validations
+//!   fast-fail with [`CircuitOpen`](oasis::core::OasisError::CircuitOpen)
+//!   without touching the network.
+//!
+//! Reported (also emitted to `BENCH_degradation.json`): p50/p99 latency
+//! per series and the open-breaker speedup over the no-breaker outage
+//! path.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread;
+use std::time::{Duration, Instant};
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use oasis::core::retry::RetryPolicy;
+use oasis::core::{BreakerConfig, HeartbeatConfig, ResilientValidator};
+use oasis::prelude::*;
+use oasis_bench::table_header;
+
+/// Modelled issuer round trip — and, symmetrically, the deadline an
+/// attempt burns when the issuer is down.
+const CALLBACK_LATENCY: Duration = Duration::from_micros(500);
+
+/// Attempts per validation (first try + retries) when the issuer is down.
+const ATTEMPTS: u32 = 3;
+
+/// A registry-backed issuer endpoint that answers after the modelled
+/// round trip while up, and burns the same deadline before timing out
+/// while down.
+struct FlakyIssuer {
+    inner: Arc<LocalRegistry>,
+    up: AtomicBool,
+}
+
+impl CredentialValidator for FlakyIssuer {
+    fn validate(
+        &self,
+        credential: &Credential,
+        presenter: &PrincipalId,
+        now: u64,
+    ) -> Result<(), OasisError> {
+        thread::sleep(CALLBACK_LATENCY);
+        if self.up.load(Ordering::Relaxed) {
+            self.inner.validate(credential, presenter, now)
+        } else {
+            Err(OasisError::IssuerTimeout(credential.issuer().clone()))
+        }
+    }
+}
+
+struct World {
+    #[allow(dead_code)]
+    login: Arc<oasis::core::OasisService>,
+    hospital: Arc<oasis::core::OasisService>,
+    issuer: Arc<FlakyIssuer>,
+    resilient: Arc<ResilientValidator>,
+    cred: Credential,
+    doctor: PrincipalId,
+}
+
+/// login.logged_in feeds a heartbeat-watching hospital whose validator is
+/// a [`ResilientValidator`] over the flaky issuer endpoint.
+fn world(breaker: BreakerConfig) -> World {
+    let facts = Arc::new(FactStore::new());
+    facts.define("password_ok", 1).unwrap();
+    facts
+        .insert("password_ok", vec![Value::id("alice")])
+        .unwrap();
+
+    let login = OasisService::new(ServiceConfig::new("login"), Arc::clone(&facts));
+    login
+        .define_role("logged_in", &[("u", ValueType::Id)], true)
+        .unwrap();
+    login
+        .add_activation_rule(
+            "logged_in",
+            vec![Term::var("U")],
+            vec![Atom::env_fact("password_ok", vec![Term::var("U")])],
+            vec![0],
+        )
+        .unwrap();
+
+    let hospital = OasisService::new(
+        ServiceConfig::new("hospital")
+            .with_validation_cache(1_000_000)
+            .with_heartbeats(HeartbeatConfig::default()),
+        Arc::clone(&facts),
+    );
+
+    let registry = Arc::new(LocalRegistry::new());
+    registry.register(&login);
+    let issuer = Arc::new(FlakyIssuer {
+        inner: registry,
+        up: AtomicBool::new(true),
+    });
+    let resilient = Arc::new(
+        ResilientValidator::new(issuer.clone() as Arc<dyn CredentialValidator>)
+            .with_retry(RetryPolicy::immediate(ATTEMPTS))
+            .with_breaker(breaker),
+    );
+    hospital.set_validator(resilient.clone());
+    hospital.watch_issuer(&ServiceId::new("login"), 10, 0);
+
+    let doctor = PrincipalId::new("alice");
+    let rmc = login
+        .activate_role(
+            &doctor,
+            &RoleName::new("logged_in"),
+            &[Value::id("alice")],
+            &[],
+            &EnvContext::new(0),
+        )
+        .unwrap();
+
+    World {
+        login,
+        hospital,
+        issuer,
+        resilient,
+        cred: Credential::Rmc(rmc),
+        doctor,
+    }
+}
+
+fn percentile(sorted: &[u64], p: f64) -> u64 {
+    let idx = ((p / 100.0) * (sorted.len() - 1) as f64).round() as usize;
+    sorted[idx]
+}
+
+/// Runs `samples` validations at virtual time `now` and returns the
+/// sorted per-call latencies in nanoseconds.
+fn measure(w: &World, now: u64, samples: usize) -> Vec<u64> {
+    let mut lat: Vec<u64> = (0..samples)
+        .map(|_| {
+            let start = Instant::now();
+            let _ = w.hospital.validate_credential(&w.cred, &w.doctor, now);
+            start.elapsed().as_nanos() as u64
+        })
+        .collect();
+    lat.sort_unstable();
+    lat
+}
+
+struct Series {
+    name: &'static str,
+    p50_us: f64,
+    p99_us: f64,
+    samples: usize,
+}
+
+fn degradation_table() -> String {
+    const SAMPLES: usize = 300;
+
+    table_header(
+        "TAB-D validation latency under issuer failure",
+        "the breaker converts per-call deadline burning into local refusal",
+        "series               p50        p99",
+    );
+
+    // Healthy, cached: beat now, validate once to populate, then measure
+    // hits at the same tick.
+    let w = world(BreakerConfig::default());
+    w.hospital.issuer_beat(&ServiceId::new("login"), 1);
+    w.hospital
+        .validate_credential(&w.cred, &w.doctor, 1)
+        .unwrap();
+    let healthy = measure(&w, 2, SAMPLES);
+
+    // Outage without a breaker (threshold effectively infinite): the
+    // issuer has gone silent (late from tick 11), every validation is
+    // suspect and pays the deadline once per attempt.
+    let w = world(BreakerConfig {
+        failure_threshold: u32::MAX,
+        cooldown_ticks: 1,
+    });
+    w.issuer.up.store(false, Ordering::Relaxed);
+    let no_breaker = measure(&w, 50, SAMPLES);
+
+    // Outage with the breaker open: prime it past the threshold, then
+    // measure fast-fails inside the cooldown window.
+    let w = world(BreakerConfig {
+        failure_threshold: 1,
+        cooldown_ticks: 1_000_000,
+    });
+    w.issuer.up.store(false, Ordering::Relaxed);
+    let _ = w.hospital.validate_credential(&w.cred, &w.doctor, 50);
+    assert_eq!(w.resilient.breaker_state(&ServiceId::new("login")), "open");
+    let open = measure(&w, 51, SAMPLES);
+    assert!(
+        w.resilient.stats().breaker_fast_fails >= SAMPLES as u64,
+        "open-breaker series must be answered by fast-fails"
+    );
+
+    let us = |ns: u64| ns as f64 / 1_000.0;
+    let series = [
+        ("healthy_hit", &healthy),
+        ("outage_no_breaker", &no_breaker),
+        ("outage_breaker_open", &open),
+    ]
+    .map(|(name, lat)| Series {
+        name,
+        p50_us: us(percentile(lat, 50.0)),
+        p99_us: us(percentile(lat, 99.0)),
+        samples: lat.len(),
+    });
+
+    for s in &series {
+        println!("{:<20} {:>7.1}us  {:>7.1}us", s.name, s.p50_us, s.p99_us);
+    }
+    let speedup = series[1].p50_us / series[2].p50_us.max(0.001);
+    println!("open-breaker speedup over no-breaker outage p50: {speedup:.0}x");
+    assert!(
+        series[2].p99_us < series[1].p50_us,
+        "an open breaker must fast-fail well under the no-breaker outage \
+         p50: {:.1}us vs {:.1}us",
+        series[2].p99_us,
+        series[1].p50_us
+    );
+
+    let json_series = series
+        .iter()
+        .map(|s| {
+            format!(
+                "    {{\"name\": \"{}\", \"p50_us\": {:.1}, \"p99_us\": {:.1}, \"samples\": {}}}",
+                s.name, s.p50_us, s.p99_us, s.samples
+            )
+        })
+        .collect::<Vec<_>>()
+        .join(",\n");
+    format!(
+        "{{\n  \"bench\": \"table_degradation\",\n  \"callback_latency_us\": {},\n  \"attempts_per_validation\": {},\n  \"series\": [\n{}\n  ],\n  \"open_breaker_speedup_p50\": {:.1}\n}}\n",
+        CALLBACK_LATENCY.as_micros(),
+        ATTEMPTS,
+        json_series,
+        speedup,
+    )
+}
+
+fn bench_degradation(c: &mut Criterion) {
+    let json = degradation_table();
+    let out = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_degradation.json");
+    std::fs::write(out, json).expect("write BENCH_degradation.json");
+    println!("wrote {out}");
+
+    let mut group = c.benchmark_group("degraded_validation");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(1));
+    group.bench_function(BenchmarkId::new("breaker", "closed_healthy"), |b| {
+        let w = world(BreakerConfig::default());
+        w.hospital.issuer_beat(&ServiceId::new("login"), 1);
+        w.hospital
+            .validate_credential(&w.cred, &w.doctor, 1)
+            .unwrap();
+        b.iter(|| w.hospital.validate_credential(&w.cred, &w.doctor, 2));
+    });
+    group.bench_function(BenchmarkId::new("breaker", "open_fast_fail"), |b| {
+        let w = world(BreakerConfig {
+            failure_threshold: 1,
+            cooldown_ticks: 1_000_000,
+        });
+        w.issuer.up.store(false, Ordering::Relaxed);
+        let _ = w.hospital.validate_credential(&w.cred, &w.doctor, 50);
+        b.iter(|| w.hospital.validate_credential(&w.cred, &w.doctor, 51));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_degradation);
+criterion_main!(benches);

@@ -86,6 +86,17 @@ pub enum OasisError {
     /// that has no validator configured for the issuer.
     NoValidator(ServiceId),
 
+    /// A validation callback to a foreign issuer timed out. Transient:
+    /// the issuer may answer a retry, so this does not prove the
+    /// credential bad — only that its validity could not be confirmed.
+    IssuerTimeout(ServiceId),
+
+    /// The per-issuer circuit breaker is open: recent callbacks to this
+    /// issuer all failed, so the call fast-failed without touching the
+    /// network. Transient — the breaker will probe the issuer again
+    /// after its cooldown.
+    CircuitOpen(ServiceId),
+
     /// The principal holds no role privileged to issue this appointment.
     NotAppointer {
         /// The would-be appointer.
@@ -141,6 +152,11 @@ impl std::fmt::Display for OasisError {
             }
             Self::UnknownCertificate(x0) => write!(f, "no credential record for {x0}"),
             Self::NoValidator(x0) => write!(f, "no validator reaches issuer `{x0}`"),
+            Self::IssuerTimeout(x0) => write!(f, "validation callback to issuer `{x0}` timed out"),
+            Self::CircuitOpen(x0) => write!(
+                f,
+                "circuit breaker open for issuer `{x0}`: recent callbacks failed"
+            ),
             Self::NotAppointer {
                 principal,
                 appointment,

@@ -76,6 +76,8 @@ mod error;
 pub mod ids;
 mod json;
 pub mod pattern;
+pub mod resilient;
+pub mod retry;
 pub mod role;
 pub mod rule;
 pub mod service;
@@ -92,9 +94,16 @@ pub use env::{CmpOp, EnvContext};
 pub use error::OasisError;
 pub use ids::{CertId, DomainId, PrincipalId, RoleName, ServiceId, SessionId};
 pub use pattern::{Bindings, Term, VarName};
+pub use resilient::{
+    classify_error, BreakerConfig, ErrorClass, ResilientStats, ResilientValidator,
+};
+pub use retry::{Backoff, RetryPolicy};
 pub use role::{ParamSchema, RoleDef};
 pub use rule::{ActivationRule, Atom, InvocationRule, RuleId};
-pub use service::{ActivationOutcome, OasisService, ServiceConfig, ValidationCacheStats};
+pub use service::{
+    ActivationOutcome, DegradationPolicy, DegradationStats, HeartbeatConfig, OasisService,
+    ServiceConfig, ValidationCacheStats,
+};
 pub use session::{Session, SessionView};
 pub use validate::{CredentialValidator, LocalRegistry, ValidationOutcome};
 pub use value::{Value, ValueType};

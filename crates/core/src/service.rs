@@ -58,7 +58,7 @@ use std::sync::{Arc, Weak};
 use parking_lot::{Mutex, RwLock};
 
 use oasis_crypto::{IssuerSecret, PublicKey};
-use oasis_events::EventBus;
+use oasis_events::{EventBus, HeartbeatMonitor, SourceHealth, SourceId};
 use oasis_facts::{FactChange, FactStore};
 
 use crate::audit::{AuditKind, AuditLog};
@@ -70,6 +70,7 @@ use crate::env::EnvContext;
 use crate::error::OasisError;
 use crate::ids::{CertId, PrincipalId, RoleName, ServiceId};
 use crate::pattern::{Bindings, Term};
+use crate::resilient::{classify_error, ErrorClass};
 use crate::role::RoleDef;
 use crate::rule::{solve, ActivationRule, Atom, InvocationRule, RuleId, Solution};
 use crate::validate::CredentialValidator;
@@ -90,6 +91,136 @@ fn shard_of_cert(cert_id: CertId) -> usize {
     (cert_id.0 as usize) & (SHARD_COUNT - 1)
 }
 
+/// What a service does with cached validations for a foreign issuer
+/// whose heartbeats have stopped (Fig 5: "silence means missed
+/// revocations").
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub enum DegradationPolicy {
+    /// Refuse to grant on authority that cannot be freshly confirmed: a
+    /// suspect cache entry is never served, and once the issuer is dead
+    /// for the configured grace period, dependent roles are deactivated
+    /// through the revocation cascade. The default.
+    #[default]
+    FailSafe,
+    /// Availability over safety: while the issuer is late, a cached
+    /// validation up to `max_stale_ticks` old may still be served when a
+    /// fresh callback fails. Dead issuers are still evicted — staleness
+    /// beyond the late window is never tolerated.
+    FailOpen {
+        /// Maximum cache-entry age (virtual ticks) servable while the
+        /// issuer is late and unreachable.
+        max_stale_ticks: u64,
+    },
+}
+
+/// Tuning for the failure-aware validation layer
+/// ([`ServiceConfig::with_heartbeats`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HeartbeatConfig {
+    /// Missed intervals before an issuer is classified dead (≥ 1; the
+    /// window between one interval and this many is the *late* state).
+    pub dead_after: u64,
+    /// Virtual ticks an issuer must remain dead before a fail-safe
+    /// service deactivates the roles depending on its credentials.
+    pub grace: u64,
+    /// Default policy for issuers without a per-issuer override.
+    pub policy: DegradationPolicy,
+}
+
+impl Default for HeartbeatConfig {
+    fn default() -> Self {
+        Self {
+            dead_after: 3,
+            grace: 10,
+            policy: DegradationPolicy::FailSafe,
+        }
+    }
+}
+
+/// Counters from the failure-aware validation layer (see
+/// [`ServiceConfig::with_heartbeats`]), alongside
+/// [`ValidationCacheStats`] and the decorator-side
+/// [`ResilientStats`](crate::ResilientStats).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct DegradationStats {
+    /// Validations forced to a fresh callback because the issuer was
+    /// late (the cache hit was suspect).
+    pub suspect_revalidations: u64,
+    /// Suspect cache entries served anyway under
+    /// [`DegradationPolicy::FailOpen`].
+    pub stale_served: u64,
+    /// Suspect cache entries *refused* (fail-safe, or older than the
+    /// fail-open bound) when the fresh callback failed.
+    pub stale_refused: u64,
+    /// Cache entries evicted because their issuer turned dead.
+    pub dead_evictions: u64,
+    /// Issuers whose dependent certificates were deactivated after the
+    /// grace period.
+    pub degraded_issuers: u64,
+    /// Certificates revoked by those degradations (directly; cascades
+    /// may collapse more).
+    pub degraded_certs: u64,
+    /// Dead issuers that heartbeated again and returned to service.
+    pub issuer_recoveries: u64,
+}
+
+#[derive(Default)]
+struct DegradationCounters {
+    suspect_revalidations: AtomicU64,
+    stale_served: AtomicU64,
+    stale_refused: AtomicU64,
+    dead_evictions: AtomicU64,
+    degraded_issuers: AtomicU64,
+    degraded_certs: AtomicU64,
+    issuer_recoveries: AtomicU64,
+}
+
+/// Per-dead-issuer bookkeeping: when death was first observed, and which
+/// irreversible steps have already run.
+#[derive(Debug, Clone, Copy)]
+struct DeadIssuer {
+    since: u64,
+    evicted: bool,
+    degraded: bool,
+}
+
+/// The failure-aware half of the service: issuer heartbeats, degradation
+/// policies, and the dead-issuer ledger.
+struct FailureAware {
+    monitor: HeartbeatMonitor,
+    grace: u64,
+    default_policy: DegradationPolicy,
+    overrides: RwLock<HashMap<ServiceId, DegradationPolicy>>,
+    dead: Mutex<HashMap<ServiceId, DeadIssuer>>,
+    counters: DegradationCounters,
+}
+
+impl FailureAware {
+    fn policy_for(&self, issuer: &ServiceId) -> DegradationPolicy {
+        self.overrides
+            .read()
+            .get(issuer)
+            .copied()
+            .unwrap_or(self.default_policy)
+    }
+
+    fn source(issuer: &ServiceId) -> SourceId {
+        SourceId::new(issuer.as_str())
+    }
+
+    fn stats(&self) -> DegradationStats {
+        DegradationStats {
+            suspect_revalidations: self.counters.suspect_revalidations.load(Ordering::Relaxed),
+            stale_served: self.counters.stale_served.load(Ordering::Relaxed),
+            stale_refused: self.counters.stale_refused.load(Ordering::Relaxed),
+            dead_evictions: self.counters.dead_evictions.load(Ordering::Relaxed),
+            degraded_issuers: self.counters.degraded_issuers.load(Ordering::Relaxed),
+            degraded_certs: self.counters.degraded_certs.load(Ordering::Relaxed),
+            issuer_recoveries: self.counters.issuer_recoveries.load(Ordering::Relaxed),
+        }
+    }
+}
+
 /// Configuration for constructing an [`OasisService`].
 #[derive(Debug)]
 pub struct ServiceConfig {
@@ -97,6 +228,7 @@ pub struct ServiceConfig {
     bus: Option<EventBus<CertEvent>>,
     secret: Option<IssuerSecret>,
     validation_cache_ttl: Option<u64>,
+    heartbeats: Option<HeartbeatConfig>,
 }
 
 impl ServiceConfig {
@@ -107,6 +239,7 @@ impl ServiceConfig {
             bus: None,
             secret: None,
             validation_cache_ttl: None,
+            heartbeats: None,
         }
     }
 
@@ -138,6 +271,25 @@ impl ServiceConfig {
     #[must_use]
     pub fn with_validation_cache(mut self, ttl: u64) -> Self {
         self.validation_cache_ttl = Some(ttl);
+        self
+    }
+
+    /// Enables the failure-aware validation layer: foreign issuers
+    /// registered with [`OasisService::watch_issuer`] are heartbeat
+    /// sources, and cached validations degrade with the issuer's health
+    /// (Fig 5's "heartbeats or change events" links):
+    ///
+    /// * **healthy** — cache hits behave as configured by
+    ///   [`ServiceConfig::with_validation_cache`];
+    /// * **late** — hits are *suspect*: a fresh callback is required, and
+    ///   on callback failure the [`DegradationPolicy`] decides;
+    /// * **dead** — the issuer's cache entries are evicted, and under
+    ///   [`DegradationPolicy::FailSafe`] its dependent roles are
+    ///   deactivated once [`HeartbeatConfig::grace`] ticks pass (driven
+    ///   by [`OasisService::tick_heartbeats`]).
+    #[must_use]
+    pub fn with_heartbeats(mut self, config: HeartbeatConfig) -> Self {
+        self.heartbeats = Some(config);
         self
     }
 }
@@ -247,11 +399,9 @@ impl ValidationCache {
     /// `now`. Entries from the future (virtual clocks may be reset) are
     /// treated as stale.
     fn lookup(&self, crr: &Crr, presenter: &PrincipalId, now: u64) -> bool {
-        let entries = self.entries.lock();
-        let fresh = entries
-            .get(&(crr.clone(), presenter.clone()))
-            .is_some_and(|&at| now >= at && now - at <= self.ttl);
-        drop(entries);
+        let fresh = self
+            .age(crr, presenter, now)
+            .is_some_and(|age| age <= self.ttl);
         if fresh {
             self.hits.fetch_add(1, Ordering::Relaxed);
         } else {
@@ -260,8 +410,35 @@ impl ValidationCache {
         fresh
     }
 
+    /// Age (ticks since the successful callback) of the entry for
+    /// `(crr, presenter)`, regardless of TTL; `None` if absent or from
+    /// the future. Does not touch the hit/miss counters — callers on the
+    /// degraded path account explicitly.
+    fn age(&self, crr: &Crr, presenter: &PrincipalId, now: u64) -> Option<u64> {
+        self.entries
+            .lock()
+            .get(&(crr.clone(), presenter.clone()))
+            .and_then(|&at| now.checked_sub(at))
+    }
+
     fn store(&self, crr: Crr, presenter: PrincipalId, now: u64) {
         self.entries.lock().insert((crr, presenter), now);
+    }
+
+    /// Drops every entry whose credential was issued by `issuer`,
+    /// returning how many were evicted. Used when an issuer turns dead:
+    /// with its event channel silent, none of its cached validations can
+    /// be trusted to reflect revocations any more.
+    fn invalidate_issuer(&self, issuer: &ServiceId) -> u64 {
+        let mut entries = self.entries.lock();
+        let before = entries.len();
+        entries.retain(|(entry_crr, _), _| entry_crr.issuer != *issuer);
+        let evicted = (before - entries.len()) as u64;
+        drop(entries);
+        if evicted > 0 {
+            self.invalidations.fetch_add(evicted, Ordering::Relaxed);
+        }
+        evicted
     }
 
     /// Drops every entry for `crr`, whoever presented it.
@@ -303,6 +480,7 @@ pub struct OasisService {
     policy: RwLock<PolicyTable>,
     shards: [Mutex<CertShard>; SHARD_COUNT],
     vcache: Option<ValidationCache>,
+    fa: Option<FailureAware>,
     validator: RwLock<Option<Arc<dyn CredentialValidator>>>,
     next_cert: AtomicU64,
     next_rule: AtomicU64,
@@ -335,6 +513,14 @@ impl OasisService {
             policy: RwLock::new(PolicyTable::default()),
             shards: std::array::from_fn(|_| Mutex::new(CertShard::default())),
             vcache: config.validation_cache_ttl.map(ValidationCache::new),
+            fa: config.heartbeats.map(|hb| FailureAware {
+                monitor: HeartbeatMonitor::new(hb.dead_after),
+                grace: hb.grace,
+                default_policy: hb.policy,
+                overrides: RwLock::new(HashMap::new()),
+                dead: Mutex::new(HashMap::new()),
+                counters: DegradationCounters::default(),
+            }),
             validator: RwLock::new(None),
             next_cert: AtomicU64::new(1),
             next_rule: AtomicU64::new(1),
@@ -409,6 +595,174 @@ impl OasisService {
 
     fn record_shard(&self, cert_id: CertId) -> &Mutex<CertShard> {
         &self.shards[shard_of_cert(cert_id)]
+    }
+
+    // ------------------------------------------------------------------
+    // Failure awareness (issuer heartbeats and degradation)
+    // ------------------------------------------------------------------
+
+    /// Starts monitoring `issuer` as a heartbeat source expected to beat
+    /// every `interval` ticks, with an implicit first beat at `now`.
+    /// Re-watching a known issuer resets its beat clock and clears any
+    /// dead-issuer state. Returns `false` when the failure-aware layer is
+    /// off ([`ServiceConfig::with_heartbeats`] not configured).
+    pub fn watch_issuer(&self, issuer: &ServiceId, interval: u64, now: u64) -> bool {
+        match &self.fa {
+            Some(fa) => {
+                fa.monitor
+                    .register(FailureAware::source(issuer), interval, now);
+                fa.dead.lock().remove(issuer);
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Overrides the [`DegradationPolicy`] for one issuer (others keep the
+    /// [`HeartbeatConfig::policy`] default). Returns `false` when the
+    /// failure-aware layer is off.
+    pub fn set_issuer_policy(&self, issuer: &ServiceId, policy: DegradationPolicy) -> bool {
+        match &self.fa {
+            Some(fa) => {
+                fa.overrides.write().insert(issuer.clone(), policy);
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Records a heartbeat from `issuer` at `now`. A beat from an issuer
+    /// previously observed dead clears its dead-issuer state (its evicted
+    /// cache entries stay evicted, and any degraded roles stay revoked —
+    /// clients re-activate against the live issuer). Returns `false` if
+    /// the issuer is not watched or the layer is off.
+    pub fn issuer_beat(&self, issuer: &ServiceId, now: u64) -> bool {
+        let Some(fa) = &self.fa else {
+            return false;
+        };
+        self.last_now.store(now, Ordering::Relaxed);
+        if !fa.monitor.beat(&FailureAware::source(issuer), now) {
+            return false;
+        }
+        if fa.dead.lock().remove(issuer).is_some() {
+            fa.counters
+                .issuer_recoveries
+                .fetch_add(1, Ordering::Relaxed);
+        }
+        true
+    }
+
+    /// The health of a watched issuer at `now`, or `None` when the issuer
+    /// is unwatched or the failure-aware layer is off.
+    pub fn issuer_health(&self, issuer: &ServiceId, now: u64) -> Option<SourceHealth> {
+        self.fa
+            .as_ref()?
+            .monitor
+            .health(&FailureAware::source(issuer), now)
+    }
+
+    /// Counters from the failure-aware layer, or `None` when it is off.
+    pub fn degradation_stats(&self) -> Option<DegradationStats> {
+        self.fa.as_ref().map(FailureAware::stats)
+    }
+
+    /// Advances the failure-aware layer to `now`: issuers newly observed
+    /// dead get their cached validations evicted, and dead issuers past
+    /// the [`HeartbeatConfig::grace`] period under
+    /// [`DegradationPolicy::FailSafe`] have their dependent certificates
+    /// deactivated through the ordinary revocation cascade. Call this
+    /// periodically (each simulator tick, or on a maintenance timer).
+    /// Returns the CRRs revoked directly by degradation.
+    pub fn tick_heartbeats(&self, now: u64) -> Vec<Crr> {
+        let Some(fa) = &self.fa else {
+            return Vec::new();
+        };
+        self.last_now.store(now, Ordering::Relaxed);
+        for (source, health) in fa.monitor.overdue(now) {
+            if health == SourceHealth::Dead {
+                self.note_issuer_dead(&ServiceId::new(source.0), now);
+            }
+        }
+        // Collect grace-expired fail-safe issuers under the ledger lock,
+        // then revoke with no lock held (cascades re-enter the shards).
+        let mut expired: Vec<ServiceId> = Vec::new();
+        {
+            let mut dead = fa.dead.lock();
+            for (issuer, entry) in dead.iter_mut() {
+                if entry.degraded || now.saturating_sub(entry.since) < fa.grace {
+                    continue;
+                }
+                if fa.policy_for(issuer) == DegradationPolicy::FailSafe {
+                    entry.degraded = true;
+                    expired.push(issuer.clone());
+                }
+            }
+        }
+        expired.sort();
+        let mut revoked = Vec::new();
+        for issuer in expired {
+            fa.counters.degraded_issuers.fetch_add(1, Ordering::Relaxed);
+            revoked.extend(self.deactivate_issuer_dependents(&issuer, now));
+        }
+        revoked
+    }
+
+    /// Enters `issuer` in the dead ledger (first observation stamps
+    /// `since`) and evicts its cached validations, once.
+    fn note_issuer_dead(&self, issuer: &ServiceId, now: u64) {
+        let Some(fa) = &self.fa else {
+            return;
+        };
+        let mut dead = fa.dead.lock();
+        let entry = dead.entry(issuer.clone()).or_insert(DeadIssuer {
+            since: now,
+            evicted: false,
+            degraded: false,
+        });
+        if entry.evicted {
+            return;
+        }
+        entry.evicted = true;
+        drop(dead);
+        if let Some(cache) = &self.vcache {
+            let evicted = cache.invalidate_issuer(issuer);
+            fa.counters
+                .dead_evictions
+                .fetch_add(evicted, Ordering::Relaxed);
+        }
+    }
+
+    /// Revokes every active certificate that retains a credential issued
+    /// by `issuer` (the fail-safe degradation step). Cascades collapse
+    /// transitive dependents as for any other revocation.
+    fn deactivate_issuer_dependents(&self, issuer: &ServiceId, now: u64) -> Vec<Crr> {
+        let mut victims: Vec<Crr> = Vec::new();
+        // Ascending shard order, one lock at a time.
+        for shard in &self.shards {
+            let shard = shard.lock();
+            victims.extend(
+                shard
+                    .records
+                    .values()
+                    .filter(|r| {
+                        r.record.status.is_active()
+                            && r.depends_on.iter().any(|dep| dep.issuer == *issuer)
+                    })
+                    .map(|r| r.record.crr.clone()),
+            );
+        }
+        victims.sort_by_key(|crr| crr.cert_id.0);
+        let fa = self.fa.as_ref().expect("degradation requires heartbeats");
+        let reason = format!("issuer `{issuer}` dead: fail-safe degradation");
+        let mut revoked = Vec::new();
+        for crr in victims {
+            // Cascades may have collapsed later victims already.
+            if self.revoke_certificate(crr.cert_id, &reason, now) {
+                fa.counters.degraded_certs.fetch_add(1, Ordering::Relaxed);
+                revoked.push(crr);
+            }
+        }
+        revoked
     }
 
     // ------------------------------------------------------------------
@@ -598,10 +952,19 @@ impl OasisService {
     /// successful foreign validations memoised when the validation cache
     /// is enabled.
     ///
+    /// When the failure-aware layer is on
+    /// ([`ServiceConfig::with_heartbeats`]) and the credential's issuer is
+    /// a watched heartbeat source, the cache is only authoritative while
+    /// the issuer is healthy: a *late* issuer forces a fresh callback
+    /// (with the [`DegradationPolicy`] deciding what a callback failure
+    /// means), and a *dead* issuer's entries are evicted outright.
+    ///
     /// # Errors
     ///
     /// As [`OasisService::validate_own`], plus [`OasisError::NoValidator`]
-    /// when a foreign issuer is unreachable.
+    /// when a foreign issuer is unreachable, or whatever transient error
+    /// ([`OasisError::IssuerTimeout`], [`OasisError::CircuitOpen`]) the
+    /// configured validator reports for an unreachable issuer.
     pub fn validate_credential(
         &self,
         credential: &Credential,
@@ -611,22 +974,106 @@ impl OasisService {
         if credential.issuer() == &self.id {
             return self.validate_own(credential, presenter, now);
         }
-        if let Some(cache) = &self.vcache {
-            if cache.lookup(credential.crr(), presenter, now) {
-                return Ok(());
+        let issuer = credential.issuer().clone();
+        let health = self
+            .fa
+            .as_ref()
+            .and_then(|fa| fa.monitor.health(&FailureAware::source(&issuer), now));
+        match health {
+            // Unwatched issuer, or failure-awareness off: the cache is
+            // trusted within its TTL, exactly as before.
+            None | Some(SourceHealth::Healthy) => {
+                if let Some(cache) = &self.vcache {
+                    if cache.lookup(credential.crr(), presenter, now) {
+                        return Ok(());
+                    }
+                }
+                let result = self.issuer_callback(credential, presenter, now);
+                if result.is_ok() {
+                    if let Some(cache) = &self.vcache {
+                        cache.store(credential.crr().clone(), presenter.clone(), now);
+                    }
+                }
+                result
+            }
+            // Late: cached authority is suspect; require a fresh answer.
+            Some(SourceHealth::Late) => self.validate_suspect(credential, presenter, now, &issuer),
+            // Dead: cached authority is void; only a live answer grants.
+            Some(SourceHealth::Dead) => {
+                self.note_issuer_dead(&issuer, now);
+                let result = self.issuer_callback(credential, presenter, now);
+                if result.is_ok() {
+                    // The issuer answered, so only its heartbeat path is
+                    // broken; fresh authority is safe to memoise.
+                    if let Some(cache) = &self.vcache {
+                        cache.store(credential.crr().clone(), presenter.clone(), now);
+                    }
+                }
+                result
             }
         }
+    }
+
+    /// The late-issuer validation path: a cache hit alone no longer
+    /// grants. A fresh callback is attempted; if it fails *transiently*,
+    /// the degradation policy decides whether the suspect cache entry may
+    /// still be served. A fatal answer (revoked, bad signature) always
+    /// wins — stale cache never overrides an authoritative rejection.
+    fn validate_suspect(
+        &self,
+        credential: &Credential,
+        presenter: &PrincipalId,
+        now: u64,
+        issuer: &ServiceId,
+    ) -> Result<(), OasisError> {
+        let fa = self.fa.as_ref().expect("suspect path requires heartbeats");
+        fa.counters
+            .suspect_revalidations
+            .fetch_add(1, Ordering::Relaxed);
+        let result = self.issuer_callback(credential, presenter, now);
+        match result {
+            Ok(()) => {
+                if let Some(cache) = &self.vcache {
+                    cache.store(credential.crr().clone(), presenter.clone(), now);
+                }
+                Ok(())
+            }
+            Err(error) if classify_error(&error) == ErrorClass::Transient => {
+                let age = self
+                    .vcache
+                    .as_ref()
+                    .and_then(|cache| cache.age(credential.crr(), presenter, now));
+                match (fa.policy_for(issuer), age) {
+                    (DegradationPolicy::FailOpen { max_stale_ticks }, Some(age))
+                        if age <= max_stale_ticks =>
+                    {
+                        fa.counters.stale_served.fetch_add(1, Ordering::Relaxed);
+                        Ok(())
+                    }
+                    (_, Some(_)) => {
+                        fa.counters.stale_refused.fetch_add(1, Ordering::Relaxed);
+                        Err(error)
+                    }
+                    (_, None) => Err(error),
+                }
+            }
+            Err(error) => Err(error),
+        }
+    }
+
+    /// Performs the callback to a foreign issuer through the configured
+    /// validator.
+    fn issuer_callback(
+        &self,
+        credential: &Credential,
+        presenter: &PrincipalId,
+        now: u64,
+    ) -> Result<(), OasisError> {
         let validator = self.validator.read().clone();
-        let result = match validator {
+        match validator {
             Some(v) => v.validate(credential, presenter, now),
             None => Err(OasisError::NoValidator(credential.issuer().clone())),
-        };
-        if result.is_ok() {
-            if let Some(cache) = &self.vcache {
-                cache.store(credential.crr().clone(), presenter.clone(), now);
-            }
         }
-        result
     }
 
     /// Filters the presented credentials down to those that validate,

@@ -45,6 +45,11 @@ impl fmt::Display for CallbackId {
     }
 }
 
+/// Topic prefix under which the bus announces mailbox-overflow drops:
+/// a payload discarded from a bounded mailbox subscribed to topic `t` is
+/// republished on `bus.overflow.t` (see [`EventBus::publish_at`]).
+pub const OVERFLOW_TOPIC_PREFIX: &str = "bus.overflow";
+
 /// An event as delivered to a subscriber.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct DeliveredEvent<M> {
@@ -91,20 +96,21 @@ impl<M> Mailbox<M> {
         }
     }
 
-    /// Pushes an event, returning `true` if an event was dropped due to
-    /// overflow (either the incoming one or the oldest queued one).
-    fn push(&self, event: DeliveredEvent<M>) -> bool {
+    /// Pushes an event, returning the event an overflow discarded (the
+    /// incoming one under [`OverflowPolicy::DropNewest`], the oldest
+    /// queued one under [`OverflowPolicy::DropOldest`]), or `None` when
+    /// nothing was dropped.
+    fn push(&self, event: DeliveredEvent<M>) -> Option<DeliveredEvent<M>> {
         let mut queue = self.queue.lock();
-        let mut dropped = false;
+        let mut dropped = None;
         if let Some(cap) = self.capacity {
             if queue.len() >= cap {
                 match self.policy {
                     OverflowPolicy::DropNewest => {
-                        return true;
+                        return Some(event);
                     }
                     OverflowPolicy::DropOldest => {
-                        queue.pop_front();
-                        dropped = true;
+                        dropped = queue.pop_front();
                     }
                 }
             }
@@ -333,6 +339,16 @@ impl<M> EventBus<M> {
     ///
     /// Events matching no subscription are counted as dead letters in
     /// [`BusStats`].
+    ///
+    /// # Overflow self-events
+    ///
+    /// When a bounded mailbox overflows, the discarded payload is
+    /// republished on [`OVERFLOW_TOPIC_PREFIX`]`.<original topic>` so
+    /// monitors (and tests) can observe exactly what was lost — a dropped
+    /// revocation notice is a safety event, not a statistic. Self-events
+    /// are counted in [`BusStats::overflow_events`] and are never
+    /// themselves re-announced: a drop on a `bus.overflow.*` topic only
+    /// increments [`BusStats::dropped_overflow`].
     pub fn publish_at(&self, topic: &Topic, payload: M, timestamp: u64) -> usize
     where
         M: Clone,
@@ -353,6 +369,7 @@ impl<M> EventBus<M> {
         };
 
         let mut delivered = 0;
+        let mut overflowed: Vec<DeliveredEvent<M>> = Vec::new();
         {
             // read_recursive: a callback may itself publish (revocation
             // cascades re-enter the bus on the publisher's thread); a plain
@@ -360,8 +377,9 @@ impl<M> EventBus<M> {
             let queued = self.inner.queued.read_recursive();
             for sub in queued.values() {
                 if sub.pattern.matches(topic) {
-                    if sub.mailbox.push(event.clone()) {
+                    if let Some(dropped) = sub.mailbox.push(event.clone()) {
                         self.inner.stats.dropped.fetch_add(1, Ordering::Relaxed);
+                        overflowed.push(dropped);
                     }
                     delivered += 1;
                 }
@@ -387,6 +405,25 @@ impl<M> EventBus<M> {
                 .stats
                 .dead_letters
                 .fetch_add(1, Ordering::Relaxed);
+        }
+        // Announce drops after the delivery loops (no locks held), unless
+        // the drop happened on an overflow topic itself — the announcement
+        // stream must not amplify its own losses.
+        if !topic.as_str().starts_with(OVERFLOW_TOPIC_PREFIX) {
+            for dropped in overflowed {
+                self.inner
+                    .stats
+                    .overflow_events
+                    .fetch_add(1, Ordering::Relaxed);
+                self.publish_at(
+                    &Topic::new(format!(
+                        "{OVERFLOW_TOPIC_PREFIX}.{}",
+                        dropped.topic.as_str()
+                    )),
+                    dropped.payload,
+                    timestamp,
+                );
+            }
         }
         delivered
     }
@@ -585,6 +622,61 @@ mod tests {
         }
         let got: Vec<u8> = sub.drain().into_iter().map(|e| e.payload).collect();
         assert_eq!(got, vec![2, 3]);
+    }
+
+    #[test]
+    fn overflow_publishes_self_event_with_dropped_payload() {
+        let bus: EventBus<u8> = EventBus::new();
+        let monitor = bus.subscribe("bus.overflow.#").unwrap();
+        let _narrow = bus
+            .subscribe_bounded("t", 1, OverflowPolicy::DropNewest)
+            .unwrap();
+        bus.publish(&Topic::new("t"), 1);
+        bus.publish(&Topic::new("t"), 2);
+        let lost = monitor.drain();
+        assert_eq!(lost.len(), 1);
+        assert_eq!(lost[0].topic.as_str(), "bus.overflow.t");
+        assert_eq!(lost[0].payload, 2, "DropNewest discards the incoming event");
+        let stats = bus.stats();
+        assert_eq!(stats.dropped_overflow, 1);
+        assert_eq!(stats.overflow_events, 1);
+    }
+
+    #[test]
+    fn overflow_self_event_carries_oldest_under_drop_oldest() {
+        let bus: EventBus<u8> = EventBus::new();
+        let monitor = bus.subscribe("bus.overflow.#").unwrap();
+        let sub = bus
+            .subscribe_bounded("t", 1, OverflowPolicy::DropOldest)
+            .unwrap();
+        bus.publish_at(&Topic::new("t"), 1, 7);
+        bus.publish_at(&Topic::new("t"), 2, 8);
+        let lost = monitor.drain();
+        assert_eq!(lost.len(), 1);
+        assert_eq!(lost[0].payload, 1, "DropOldest discards the queued event");
+        assert_eq!(lost[0].timestamp, 8, "stamped with the drop-time publish");
+        assert_eq!(sub.try_recv().unwrap().payload, 2);
+    }
+
+    #[test]
+    fn overflow_of_the_overflow_topic_does_not_recurse() {
+        let bus: EventBus<u8> = EventBus::new();
+        // A monitor so congested it loses the announcements themselves.
+        let monitor = bus
+            .subscribe_bounded("bus.overflow.#", 1, OverflowPolicy::DropNewest)
+            .unwrap();
+        let _narrow = bus
+            .subscribe_bounded("t", 1, OverflowPolicy::DropNewest)
+            .unwrap();
+        for i in 0..4 {
+            bus.publish(&Topic::new("t"), i);
+        }
+        // 3 drops on `t` → 3 announcements, of which the monitor kept 1
+        // and dropped 2; those 2 drops are counted but not re-announced.
+        assert_eq!(monitor.pending(), 1);
+        let stats = bus.stats();
+        assert_eq!(stats.overflow_events, 3);
+        assert_eq!(stats.dropped_overflow, 5);
     }
 
     #[test]

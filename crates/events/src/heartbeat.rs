@@ -115,6 +115,24 @@ impl HeartbeatMonitor {
         self.sources.write().remove(source).is_some()
     }
 
+    /// Changes a source's expected interval without touching its last
+    /// beat — unlike [`HeartbeatMonitor::register`], which also resets the
+    /// beat clock. Returns `false` if the source is unknown.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `interval` is zero.
+    pub fn set_interval(&self, source: &SourceId, interval: u64) -> bool {
+        assert!(interval >= 1, "interval must be at least 1");
+        match self.sources.write().get_mut(source) {
+            Some(state) => {
+                state.interval = interval;
+                true
+            }
+            None => false,
+        }
+    }
+
     /// Records a heartbeat from `source` at time `now`. Beats older than the
     /// last recorded beat are ignored (late-arriving network messages).
     /// Returns `false` if the source is unknown.
@@ -250,5 +268,69 @@ mod tests {
     fn zero_interval_rejected() {
         let m = HeartbeatMonitor::new(1);
         m.register(SourceId::new("x"), 0, 0);
+    }
+
+    #[test]
+    fn boundary_ticks_classify_inclusively() {
+        // interval 10, dead_after 3: elapsed ∈ [0,10] healthy,
+        // (10,30] late, (30,∞) dead — boundaries belong to the milder
+        // state.
+        let (m, s) = monitor();
+        assert_eq!(m.health(&s, 10), Some(SourceHealth::Healthy));
+        assert_eq!(m.health(&s, 11), Some(SourceHealth::Late));
+        assert_eq!(m.health(&s, 30), Some(SourceHealth::Late));
+        assert_eq!(m.health(&s, 31), Some(SourceHealth::Dead));
+    }
+
+    #[test]
+    fn beat_exactly_at_interval_stays_healthy() {
+        let (m, s) = monitor();
+        for t in [10, 20, 30, 40] {
+            m.beat(&s, t);
+        }
+        assert_eq!(m.health(&s, 50), Some(SourceHealth::Healthy));
+    }
+
+    #[test]
+    fn set_interval_reclassifies_without_resetting_beat() {
+        let (m, s) = monitor();
+        m.beat(&s, 10);
+        assert_eq!(m.health(&s, 25), Some(SourceHealth::Late));
+        // Widening the interval mid-flight forgives the same silence...
+        assert!(m.set_interval(&s, 20));
+        assert_eq!(m.health(&s, 25), Some(SourceHealth::Healthy));
+        // ...and narrowing it condemns it, still against the old beat.
+        assert!(m.set_interval(&s, 4));
+        assert_eq!(m.health(&s, 25), Some(SourceHealth::Dead));
+        assert!(!m.set_interval(&SourceId::new("ghost"), 5));
+    }
+
+    #[test]
+    fn reregister_resets_the_beat_clock() {
+        let (m, s) = monitor();
+        assert_eq!(m.health(&s, 40), Some(SourceHealth::Dead));
+        m.register(s.clone(), 10, 40);
+        assert_eq!(m.health(&s, 45), Some(SourceHealth::Healthy));
+        assert_eq!(m.source_count(), 1, "re-registration is idempotent");
+    }
+
+    #[test]
+    fn dead_source_beating_again_recovers_fully() {
+        let (m, s) = monitor();
+        assert_eq!(m.health(&s, 100), Some(SourceHealth::Dead));
+        assert!(m.beat(&s, 100));
+        assert_eq!(m.health(&s, 100), Some(SourceHealth::Healthy));
+        // And the full lifecycle repeats from the new beat.
+        assert_eq!(m.health(&s, 111), Some(SourceHealth::Late));
+        assert_eq!(m.health(&s, 131), Some(SourceHealth::Dead));
+        assert!(m.beat(&s, 140));
+        assert_eq!(m.health(&s, 141), Some(SourceHealth::Healthy));
+    }
+
+    #[test]
+    #[should_panic(expected = "interval")]
+    fn set_interval_rejects_zero() {
+        let (m, s) = monitor();
+        m.set_interval(&s, 0);
     }
 }

@@ -42,7 +42,10 @@ mod heartbeat;
 mod stats;
 mod topic;
 
-pub use bus::{CallbackId, DeliveredEvent, EventBus, OverflowPolicy, Subscription, SubscriptionId};
+pub use bus::{
+    CallbackId, DeliveredEvent, EventBus, OverflowPolicy, Subscription, SubscriptionId,
+    OVERFLOW_TOPIC_PREFIX,
+};
 pub use channel::{channel, ChannelReceiver, ChannelSender};
 pub use error::EventError;
 pub use heartbeat::{HeartbeatMonitor, SourceHealth, SourceId};

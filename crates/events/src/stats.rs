@@ -9,6 +9,7 @@ pub(crate) struct StatsCounters {
     pub(crate) delivered: AtomicU64,
     pub(crate) dropped: AtomicU64,
     pub(crate) dead_letters: AtomicU64,
+    pub(crate) overflow_events: AtomicU64,
 }
 
 impl StatsCounters {
@@ -18,6 +19,7 @@ impl StatsCounters {
             delivered: self.delivered.load(Ordering::Relaxed),
             dropped_overflow: self.dropped.load(Ordering::Relaxed),
             dead_letters: self.dead_letters.load(Ordering::Relaxed),
+            overflow_events: self.overflow_events.load(Ordering::Relaxed),
         }
     }
 }
@@ -45,6 +47,9 @@ pub struct BusStats {
     pub dropped_overflow: u64,
     /// Publications that matched no subscription at all.
     pub dead_letters: u64,
+    /// `bus.overflow.*` self-events published to announce those drops
+    /// (see [`EventBus::publish_at`](crate::EventBus::publish_at)).
+    pub overflow_events: u64,
 }
 
 impl BusStats {

@@ -1,0 +1,262 @@
+//! Scripted fault injection for chaos experiments.
+//!
+//! A [`FaultPlan`] is a deterministic schedule of network and process
+//! faults — partitions, crashes, heals, heartbeat pauses — applied to a
+//! [`SimNet`] as virtual time advances. Scripting the faults (rather than
+//! sampling them) makes chaos runs exactly repeatable and lets a test
+//! assert on *when* degradation and recovery must happen.
+
+use std::collections::HashSet;
+
+use crate::net::{NodeId, SimNet};
+
+/// One scripted fault (or its inverse).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Fault {
+    /// Cut both directions between two nodes.
+    Partition {
+        /// One endpoint of the cut.
+        a: NodeId,
+        /// The other endpoint.
+        b: NodeId,
+    },
+    /// Restore both directions between two nodes.
+    Heal {
+        /// One endpoint of the healed link.
+        a: NodeId,
+        /// The other endpoint.
+        b: NodeId,
+    },
+    /// Crash a node: all its traffic drops until [`Fault::Recover`].
+    Crash {
+        /// The node that goes down.
+        node: NodeId,
+    },
+    /// Bring a crashed node back up.
+    Recover {
+        /// The node that comes back.
+        node: NodeId,
+    },
+    /// Stop a node's heartbeat emission without touching its traffic —
+    /// a wedged process whose sockets still answer. The driver decides
+    /// what "paused" means by consulting
+    /// [`FaultPlan::heartbeats_paused`].
+    PauseHeartbeats {
+        /// The node whose beats stop.
+        node: NodeId,
+    },
+    /// Resume a node's heartbeat emission.
+    ResumeHeartbeats {
+        /// The node whose beats resume.
+        node: NodeId,
+    },
+}
+
+/// A time-ordered script of faults to apply to a [`SimNet`].
+///
+/// Build the plan up front with the scheduling methods, then call
+/// [`FaultPlan::apply_due`] from the simulation loop (or a scheduled
+/// tick) to enact every fault whose time has come. Applied faults are
+/// consumed; the returned list tells the driver what just happened.
+///
+/// # Example
+///
+/// ```
+/// use oasis_sim::{Fault, FaultPlan, Latency, LinkConfig, SimNet, Simulation};
+///
+/// let mut sim = Simulation::new(1);
+/// let mut net = SimNet::new(LinkConfig::clean(Latency::Constant(1)));
+/// let mut plan = FaultPlan::new();
+/// plan.partition_at(10, "issuer", "service");
+/// plan.heal_at(20, "issuer", "service");
+///
+/// plan.apply_due(5, &mut net);
+/// assert!(!net.is_partitioned("issuer", "service"));
+/// plan.apply_due(10, &mut net);
+/// assert!(net.is_partitioned("issuer", "service"));
+/// plan.apply_due(25, &mut net);
+/// assert!(!net.is_partitioned("issuer", "service"));
+/// ```
+#[derive(Debug, Default)]
+pub struct FaultPlan {
+    /// `(tick, fault)` pairs, kept sorted by tick (stable for equal
+    /// ticks: insertion order breaks ties, so a same-tick crash+heal
+    /// sequence applies in the order it was scripted).
+    scheduled: Vec<(u64, Fault)>,
+    paused: HashSet<NodeId>,
+}
+
+impl FaultPlan {
+    /// An empty plan: nothing ever fails.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Schedules an arbitrary fault at `tick`.
+    pub fn schedule(&mut self, tick: u64, fault: Fault) {
+        let pos = self.scheduled.partition_point(|(t, _)| *t <= tick);
+        self.scheduled.insert(pos, (tick, fault));
+    }
+
+    /// Schedules a partition between `a` and `b` at `tick`.
+    pub fn partition_at(&mut self, tick: u64, a: impl Into<NodeId>, b: impl Into<NodeId>) {
+        self.schedule(
+            tick,
+            Fault::Partition {
+                a: a.into(),
+                b: b.into(),
+            },
+        );
+    }
+
+    /// Schedules the heal of a partition at `tick`.
+    pub fn heal_at(&mut self, tick: u64, a: impl Into<NodeId>, b: impl Into<NodeId>) {
+        self.schedule(
+            tick,
+            Fault::Heal {
+                a: a.into(),
+                b: b.into(),
+            },
+        );
+    }
+
+    /// Schedules a node crash at `tick`.
+    pub fn crash_at(&mut self, tick: u64, node: impl Into<NodeId>) {
+        self.schedule(tick, Fault::Crash { node: node.into() });
+    }
+
+    /// Schedules a node recovery at `tick`.
+    pub fn recover_at(&mut self, tick: u64, node: impl Into<NodeId>) {
+        self.schedule(tick, Fault::Recover { node: node.into() });
+    }
+
+    /// Schedules a heartbeat pause at `tick`.
+    pub fn pause_heartbeats_at(&mut self, tick: u64, node: impl Into<NodeId>) {
+        self.schedule(tick, Fault::PauseHeartbeats { node: node.into() });
+    }
+
+    /// Schedules a heartbeat resume at `tick`.
+    pub fn resume_heartbeats_at(&mut self, tick: u64, node: impl Into<NodeId>) {
+        self.schedule(tick, Fault::ResumeHeartbeats { node: node.into() });
+    }
+
+    /// Applies (and consumes) every fault scheduled at or before `now`,
+    /// in schedule order, returning what was applied. Network faults act
+    /// on `net`; heartbeat faults only update the pause set consulted by
+    /// [`FaultPlan::heartbeats_paused`].
+    pub fn apply_due(&mut self, now: u64, net: &mut SimNet) -> Vec<Fault> {
+        let due = self.scheduled.partition_point(|(t, _)| *t <= now);
+        let applied: Vec<Fault> = self.scheduled.drain(..due).map(|(_, f)| f).collect();
+        for fault in &applied {
+            match fault {
+                Fault::Partition { a, b } => net.partition(a.clone(), b.clone()),
+                Fault::Heal { a, b } => net.heal(a.clone(), b.clone()),
+                Fault::Crash { node } => net.crash(node.clone()),
+                Fault::Recover { node } => net.recover(node.clone()),
+                Fault::PauseHeartbeats { node } => {
+                    self.paused.insert(node.clone());
+                }
+                Fault::ResumeHeartbeats { node } => {
+                    self.paused.remove(node);
+                }
+            }
+        }
+        applied
+    }
+
+    /// Whether `node`'s heartbeat emission is currently paused.
+    pub fn heartbeats_paused(&self, node: &str) -> bool {
+        self.paused.contains(node)
+    }
+
+    /// Faults not yet applied.
+    pub fn pending(&self) -> usize {
+        self.scheduled.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::latency::Latency;
+    use crate::net::LinkConfig;
+
+    fn net() -> SimNet {
+        SimNet::new(LinkConfig::clean(Latency::Constant(1)))
+    }
+
+    #[test]
+    fn faults_apply_at_their_tick_and_are_consumed() {
+        let mut net = net();
+        let mut plan = FaultPlan::new();
+        plan.partition_at(10, "a", "b");
+        plan.crash_at(20, "c");
+        assert_eq!(plan.pending(), 2);
+
+        assert!(plan.apply_due(9, &mut net).is_empty());
+        assert!(!net.is_partitioned("a", "b"));
+
+        let applied = plan.apply_due(10, &mut net);
+        assert_eq!(
+            applied,
+            vec![Fault::Partition {
+                a: "a".into(),
+                b: "b".into()
+            }]
+        );
+        assert!(net.is_partitioned("a", "b"));
+        assert_eq!(plan.pending(), 1);
+
+        // Past-due faults apply even if a tick was skipped.
+        let applied = plan.apply_due(100, &mut net);
+        assert_eq!(applied.len(), 1);
+        assert!(net.is_crashed("c"));
+        assert_eq!(plan.pending(), 0);
+    }
+
+    #[test]
+    fn same_tick_faults_apply_in_script_order() {
+        let mut net = net();
+        let mut plan = FaultPlan::new();
+        plan.crash_at(5, "x");
+        plan.recover_at(5, "x");
+        let applied = plan.apply_due(5, &mut net);
+        assert_eq!(applied.len(), 2);
+        assert!(!net.is_crashed("x"), "crash then recover nets out");
+    }
+
+    #[test]
+    fn heal_and_recover_reverse_their_faults() {
+        let mut net = net();
+        let mut plan = FaultPlan::new();
+        plan.partition_at(1, "a", "b");
+        plan.crash_at(1, "i");
+        plan.heal_at(2, "a", "b");
+        plan.recover_at(3, "i");
+
+        plan.apply_due(1, &mut net);
+        assert!(net.is_partitioned("a", "b"));
+        assert!(net.is_crashed("i"));
+        plan.apply_due(2, &mut net);
+        assert!(!net.is_partitioned("a", "b"));
+        assert!(net.is_crashed("i"), "recover not due yet");
+        plan.apply_due(3, &mut net);
+        assert!(!net.is_crashed("i"));
+    }
+
+    #[test]
+    fn heartbeat_pause_is_tracked_without_touching_the_net() {
+        let mut net = net();
+        let mut plan = FaultPlan::new();
+        plan.pause_heartbeats_at(7, "issuer");
+        plan.resume_heartbeats_at(9, "issuer");
+
+        plan.apply_due(6, &mut net);
+        assert!(!plan.heartbeats_paused("issuer"));
+        plan.apply_due(7, &mut net);
+        assert!(plan.heartbeats_paused("issuer"));
+        assert_eq!(net.stats(), (0, 0), "no traffic side effects");
+        plan.apply_due(9, &mut net);
+        assert!(!plan.heartbeats_paused("issuer"));
+    }
+}

@@ -10,7 +10,10 @@
 //!
 //! * [`Simulation`] — the event loop: schedule closures at virtual times.
 //! * [`Latency`] / [`LinkConfig`] / [`SimNet`] — network modelling with
-//!   per-link latency distributions, loss, and partitions.
+//!   per-link latency distributions, loss, duplication, jitter,
+//!   partitions, and node crashes.
+//! * [`FaultPlan`] — scripted chaos: partitions, crashes, and heartbeat
+//!   pauses applied at fixed virtual times.
 //! * [`Histogram`] — metric collection for the benchmark harness.
 //!
 //! # Example
@@ -33,11 +36,13 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod fault;
 mod histogram;
 mod latency;
 mod net;
 mod sim;
 
+pub use fault::{Fault, FaultPlan};
 pub use histogram::Histogram;
 pub use latency::Latency;
 pub use net::{LinkConfig, NodeId, SimNet};

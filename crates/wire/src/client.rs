@@ -1,6 +1,7 @@
 //! The client side: a call/return connection to a [`WireServer`](crate::WireServer).
 
 use std::net::{TcpStream, ToSocketAddrs};
+use std::time::Duration;
 
 use oasis_core::cert::Rmc;
 use oasis_core::{Credential, Crr, PrincipalId, Value};
@@ -8,6 +9,57 @@ use oasis_core::{Credential, Crr, PrincipalId, Value};
 use crate::error::WireError;
 use crate::frame::{read_frame, write_frame};
 use crate::proto::{Request, Response};
+
+/// Deadlines for the blocking client's socket operations. `None` means
+/// block indefinitely for that operation.
+///
+/// Expired deadlines surface as [`WireError::TimedOut`] naming the
+/// operation, so callers (notably
+/// [`RemoteValidator`](crate::RemoteValidator)) can classify the failure
+/// as transient.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WireTimeouts {
+    /// Deadline for establishing the TCP connection.
+    pub connect: Option<Duration>,
+    /// Deadline for each read from the stream.
+    pub read: Option<Duration>,
+    /// Deadline for each write to the stream.
+    pub write: Option<Duration>,
+}
+
+impl Default for WireTimeouts {
+    /// Five seconds for each operation — generous for a LAN callback,
+    /// bounded enough that a partitioned issuer cannot hang a validation
+    /// forever.
+    fn default() -> Self {
+        Self {
+            connect: Some(Duration::from_secs(5)),
+            read: Some(Duration::from_secs(5)),
+            write: Some(Duration::from_secs(5)),
+        }
+    }
+}
+
+impl WireTimeouts {
+    /// No deadlines at all: every operation blocks indefinitely (the
+    /// pre-timeout behaviour).
+    pub fn none() -> Self {
+        Self {
+            connect: None,
+            read: None,
+            write: None,
+        }
+    }
+
+    /// The same deadline for connect, read, and write.
+    pub fn all(deadline: Duration) -> Self {
+        Self {
+            connect: Some(deadline),
+            read: Some(deadline),
+            write: Some(deadline),
+        }
+    }
+}
 
 /// A blocking OASIS client over TCP.
 ///
@@ -27,14 +79,59 @@ impl std::fmt::Debug for WireClient {
 }
 
 impl WireClient {
-    /// Connects to a serving address.
+    /// Connects to a serving address with the default deadlines
+    /// ([`WireTimeouts::default`]: 5 s per operation).
     ///
     /// # Errors
     ///
-    /// [`WireError::Io`] if the connection fails.
+    /// [`WireError::Io`] if the connection fails, or
+    /// [`WireError::TimedOut`] if it does not complete in time.
     pub fn connect(addr: impl ToSocketAddrs) -> Result<Self, WireError> {
-        let stream = TcpStream::connect(addr)?;
+        Self::connect_with(addr, WireTimeouts::default())
+    }
+
+    /// Connects with explicit deadlines. With `timeouts.connect` set,
+    /// each resolved address is tried in turn under that deadline.
+    ///
+    /// # Errors
+    ///
+    /// [`WireError::TimedOut`] when a deadline expires, [`WireError::Io`]
+    /// for other socket failures.
+    pub fn connect_with(
+        addr: impl ToSocketAddrs,
+        timeouts: WireTimeouts,
+    ) -> Result<Self, WireError> {
+        let stream = match timeouts.connect {
+            None => TcpStream::connect(addr)?,
+            Some(deadline) => {
+                let mut last: Option<std::io::Error> = None;
+                let mut connected = None;
+                for candidate in addr.to_socket_addrs()? {
+                    match TcpStream::connect_timeout(&candidate, deadline) {
+                        Ok(s) => {
+                            connected = Some(s);
+                            break;
+                        }
+                        Err(e) => last = Some(e),
+                    }
+                }
+                match connected {
+                    Some(s) => s,
+                    None => {
+                        let err = last.unwrap_or_else(|| {
+                            std::io::Error::new(
+                                std::io::ErrorKind::AddrNotAvailable,
+                                "address resolved to nothing",
+                            )
+                        });
+                        return Err(WireError::Io(err).normalise_timeout("connect"));
+                    }
+                }
+            }
+        };
         stream.set_nodelay(true).ok();
+        stream.set_read_timeout(timeouts.read)?;
+        stream.set_write_timeout(timeouts.write)?;
         Ok(Self { stream })
     }
 
@@ -42,11 +139,14 @@ impl WireClient {
     ///
     /// # Errors
     ///
-    /// Transport errors, or [`WireError::Remote`] for an application
+    /// Transport errors ([`WireError::TimedOut`] when a read or write
+    /// deadline expires), or [`WireError::Remote`] for an application
     /// error reported by the server.
     pub fn call(&mut self, request: &Request) -> Result<Response, WireError> {
-        write_frame(&mut self.stream, request)?;
-        match read_frame::<_, Response>(&mut self.stream)? {
+        write_frame(&mut self.stream, request).map_err(|e| e.normalise_timeout("write"))?;
+        match read_frame::<_, Response>(&mut self.stream)
+            .map_err(|e| e.normalise_timeout("read"))?
+        {
             Some(Response::Error { message }) => Err(WireError::Remote(message)),
             Some(response) => Ok(response),
             None => Err(WireError::Closed),

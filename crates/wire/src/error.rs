@@ -20,6 +20,14 @@ pub enum WireError {
     /// The peer closed the connection mid-exchange.
     Closed,
 
+    /// A connect, read, or write exceeded its configured deadline (see
+    /// [`WireTimeouts`](crate::WireTimeouts)). Transient: the peer may be
+    /// slow, partitioned, or restarting — retry with backoff.
+    TimedOut {
+        /// The operation that timed out (`"connect"`, `"read"`, `"write"`).
+        op: &'static str,
+    },
+
     /// The server answered with an application error.
     Remote(String),
 
@@ -36,10 +44,38 @@ impl std::fmt::Display for WireError {
             }
             Self::Malformed(e) => write!(f, "malformed frame: {e}"),
             Self::Closed => write!(f, "connection closed by peer"),
+            Self::TimedOut { op } => write!(f, "{op} timed out"),
             Self::Remote(message) => write!(f, "remote error: {message}"),
             Self::UnexpectedResponse(got) => {
                 write!(f, "protocol violation: unexpected response {got}")
             }
+        }
+    }
+}
+
+impl WireError {
+    /// Whether this error is a deadline expiry (directly, or an I/O error
+    /// of a timeout kind that was not yet normalised).
+    pub fn is_timeout(&self) -> bool {
+        match self {
+            Self::TimedOut { .. } => true,
+            Self::Io(e) => matches!(
+                e.kind(),
+                std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+            ),
+            _ => false,
+        }
+    }
+
+    /// Normalises timeout-kind I/O errors into [`WireError::TimedOut`]
+    /// for operation `op`; leaves every other error untouched. Blocking
+    /// sockets report expired read/write deadlines as
+    /// `WouldBlock`/`TimedOut` I/O errors depending on platform.
+    pub(crate) fn normalise_timeout(self, op: &'static str) -> Self {
+        if self.is_timeout() {
+            Self::TimedOut { op }
+        } else {
+            self
         }
     }
 }

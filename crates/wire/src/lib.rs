@@ -35,7 +35,7 @@ pub mod proto;
 mod server;
 mod sync_client;
 
-pub use client::WireClient;
+pub use client::{WireClient, WireTimeouts};
 pub use error::WireError;
 pub use server::{ContextFactory, WireServer};
 pub use sync_client::{BlockingClient, RemoteValidator};

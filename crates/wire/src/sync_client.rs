@@ -7,16 +7,18 @@
 //! validating "via callback to the issuer" (Sect. 4). [`RemoteValidator`]
 //! adapts the blocking [`WireClient`] to the
 //! [`CredentialValidator`](oasis_core::CredentialValidator) trait with
-//! one connection per issuer, re-dialled on failure.
+//! one connection per issuer, re-dialled with capped exponential backoff
+//! (the shared [`oasis_core::retry`] schedule) on transport failure.
 
 use std::collections::HashMap;
 use std::net::SocketAddr;
 
 use parking_lot::Mutex;
 
+use oasis_core::retry::{Backoff, RetryPolicy};
 use oasis_core::{Credential, CredentialValidator, OasisError, PrincipalId, ServiceId};
 
-use crate::client::WireClient;
+use crate::client::{WireClient, WireTimeouts};
 use crate::error::WireError;
 
 /// The historical name for the synchronous client, kept for callers that
@@ -26,17 +28,26 @@ pub type BlockingClient = WireClient;
 /// A [`CredentialValidator`] that performs validation callbacks over TCP
 /// to a directory of issuer addresses.
 ///
-/// Connections are cached per issuer and re-dialled once after a
-/// transport error (the issuer may have restarted).
+/// Connections are cached per issuer. On a transport error (broken pipe,
+/// expired deadline) the connection is dropped and the call re-dialled
+/// under the configured [`RetryPolicy`] — issuers restart, networks blip.
+/// A *remote* answer (acceptance or rejection) is authoritative and never
+/// retried. When retries are exhausted the error maps to
+/// [`OasisError::IssuerTimeout`] if the last failure was a deadline
+/// expiry, [`OasisError::NoValidator`] otherwise — both transient to the
+/// [`ResilientValidator`](oasis_core::ResilientValidator) layered above.
 pub struct RemoteValidator {
     issuers: Mutex<HashMap<ServiceId, SocketAddr>>,
     connections: Mutex<HashMap<ServiceId, WireClient>>,
+    timeouts: WireTimeouts,
+    retry: RetryPolicy,
 }
 
 impl std::fmt::Debug for RemoteValidator {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("RemoteValidator")
             .field("issuers", &self.issuers.lock().len())
+            .field("timeouts", &self.timeouts)
             .finish()
     }
 }
@@ -48,12 +59,33 @@ impl Default for RemoteValidator {
 }
 
 impl RemoteValidator {
-    /// Creates an empty directory.
+    /// Creates an empty directory with default socket deadlines and a
+    /// single re-dial (the historical behaviour, now with a short pause
+    /// before the second attempt).
     pub fn new() -> Self {
         Self {
             issuers: Mutex::new(HashMap::new()),
             connections: Mutex::new(HashMap::new()),
+            timeouts: WireTimeouts::default(),
+            retry: RetryPolicy {
+                max_attempts: 2,
+                ..RetryPolicy::default()
+            },
         }
+    }
+
+    /// Replaces the socket deadlines used for new connections.
+    #[must_use]
+    pub fn with_timeouts(mut self, timeouts: WireTimeouts) -> Self {
+        self.timeouts = timeouts;
+        self
+    }
+
+    /// Replaces the re-dial schedule.
+    #[must_use]
+    pub fn with_retry(mut self, retry: RetryPolicy) -> Self {
+        self.retry = retry;
+        self
     }
 
     /// Registers (or updates) the network address of an issuer.
@@ -75,7 +107,9 @@ impl RemoteValidator {
         let mut connections = self.connections.lock();
         let client = match connections.entry(issuer.clone()) {
             std::collections::hash_map::Entry::Occupied(e) => e.into_mut(),
-            std::collections::hash_map::Entry::Vacant(e) => e.insert(WireClient::connect(addr)?),
+            std::collections::hash_map::Entry::Vacant(e) => {
+                e.insert(WireClient::connect_with(addr, self.timeouts)?)
+            }
         };
         client.validate(credential, presenter, now)
     }
@@ -92,23 +126,35 @@ impl CredentialValidator for RemoteValidator {
         let Some(addr) = self.issuers.lock().get(&issuer).copied() else {
             return Err(OasisError::NoValidator(issuer));
         };
-        match self.try_validate(&issuer, addr, credential, presenter, now) {
-            Ok(()) => Ok(()),
-            Err(WireError::Remote(reason)) => Err(OasisError::InvalidCredential {
-                crr: credential.crr().clone(),
-                reason,
-            }),
-            Err(_transport) => {
-                // Drop the broken connection and retry once on a fresh
-                // dial — issuers restart.
-                self.connections.lock().remove(&issuer);
-                match self.try_validate(&issuer, addr, credential, presenter, now) {
-                    Ok(()) => Ok(()),
-                    Err(WireError::Remote(reason)) => Err(OasisError::InvalidCredential {
+        let mut backoff = Backoff::new(self.retry);
+        loop {
+            match self.try_validate(&issuer, addr, credential, presenter, now) {
+                Ok(()) => return Ok(()),
+                // The issuer answered: authoritative, never retried.
+                Err(WireError::Remote(reason)) => {
+                    return Err(OasisError::InvalidCredential {
                         crr: credential.crr().clone(),
                         reason,
-                    }),
-                    Err(_) => Err(OasisError::NoValidator(issuer)),
+                    })
+                }
+                Err(transport) => {
+                    // Broken or deadline-expired connection: drop it and
+                    // re-dial after the backoff delay, if any remain.
+                    self.connections.lock().remove(&issuer);
+                    match backoff.next_delay() {
+                        Some(delay) => {
+                            if !delay.is_zero() {
+                                std::thread::sleep(delay);
+                            }
+                        }
+                        None => {
+                            return Err(if transport.is_timeout() {
+                                OasisError::IssuerTimeout(issuer)
+                            } else {
+                                OasisError::NoValidator(issuer)
+                            })
+                        }
+                    }
                 }
             }
         }

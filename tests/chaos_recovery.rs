@@ -1,0 +1,583 @@
+//! Chaos: a two-service deployment driven through a lossy, duplicating,
+//! jittery simulated network with scripted faults, asserting the three
+//! recovery invariants of the failure-aware validation layer:
+//!
+//! 1. **No revocation is ever missed** — once a certificate is revoked at
+//!    its issuer, every later validation at the relying service denies,
+//!    whether the revocation event arrived, was lost to a partition, or
+//!    the issuer was down when it happened.
+//! 2. **Fail-safe never grants on stale authority** — while the issuer is
+//!    late or dead, cached validations are refused rather than served
+//!    (`stale_served` stays 0), and dependent roles are deactivated
+//!    within the grace period of the issuer being observed dead.
+//! 3. **The system recovers after heal** — heartbeats clear the dead
+//!    ledger, the circuit breaker closes on the first live answer, roles
+//!    re-activate against fresh authority, and cache hits resume.
+//!
+//! The whole run is deterministic per seed (`CHAOS_SEED`, default 42) and
+//! writes a JSONL event trace to `target/chaos/trace-<seed>.jsonl` for
+//! post-mortem inspection — CI uploads it when the job fails.
+
+use std::cell::RefCell;
+use std::rc::Rc;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+use oasis::events::{OverflowPolicy, SourceHealth};
+use oasis::sim::{FaultPlan, Latency, LinkConfig, SimNet, Simulation};
+use oasis_core::cert::Rmc;
+use oasis_core::retry::RetryPolicy;
+use oasis_core::{
+    Atom, BreakerConfig, Credential, CredentialValidator, DegradationPolicy, EnvContext,
+    HeartbeatConfig, LocalRegistry, OasisError, OasisService, PrincipalId, ResilientValidator,
+    RoleName, ServiceConfig, ServiceId, Term, Value, ValueType,
+};
+use oasis_facts::FactStore;
+
+/// Callback reachability switch: while "down" (the issuer process is
+/// crashed) callbacks time out instead of answering.
+struct Gate {
+    inner: Arc<LocalRegistry>,
+    up: AtomicBool,
+}
+
+impl CredentialValidator for Gate {
+    fn validate(
+        &self,
+        credential: &Credential,
+        presenter: &PrincipalId,
+        now: u64,
+    ) -> Result<(), OasisError> {
+        if self.up.load(Ordering::SeqCst) {
+            self.inner.validate(credential, presenter, now)
+        } else {
+            Err(OasisError::IssuerTimeout(credential.issuer().clone()))
+        }
+    }
+}
+
+fn alice() -> PrincipalId {
+    PrincipalId::new("alice")
+}
+
+fn login_id() -> ServiceId {
+    ServiceId::new("login")
+}
+
+fn login_in(login: &OasisService, now: u64) -> Rmc {
+    login
+        .activate_role(
+            &alice(),
+            &RoleName::new("logged_in"),
+            &[Value::id("alice")],
+            &[],
+            &EnvContext::new(now),
+        )
+        .unwrap()
+}
+
+/// Runs the full chaos scenario for one seed, asserting the invariants
+/// inline, and returns the event trace (one JSON object per line).
+fn run_scenario(seed: u64) -> Vec<String> {
+    // --- World: a login issuer and a failure-aware hospital -----------
+    let facts = Arc::new(FactStore::new());
+    facts.define("password_ok", 1).unwrap();
+    facts
+        .insert("password_ok", vec![Value::id("alice")])
+        .unwrap();
+
+    let login = OasisService::new(ServiceConfig::new("login"), Arc::clone(&facts));
+    login
+        .define_role("logged_in", &[("user", ValueType::Id)], true)
+        .unwrap();
+    login
+        .add_activation_rule(
+            "logged_in",
+            vec![Term::var("U")],
+            vec![Atom::env_fact("password_ok", vec![Term::var("U")])],
+            vec![0],
+        )
+        .unwrap();
+
+    let hospital = OasisService::new(
+        ServiceConfig::new("hospital")
+            .with_validation_cache(5)
+            .with_heartbeats(HeartbeatConfig {
+                dead_after: 3,
+                grace: 10,
+                policy: DegradationPolicy::FailSafe,
+            }),
+        Arc::clone(&facts),
+    );
+    hospital
+        .define_role("doctor_on_duty", &[("doctor", ValueType::Id)], false)
+        .unwrap();
+    hospital
+        .add_activation_rule(
+            "doctor_on_duty",
+            vec![Term::var("D")],
+            vec![Atom::prereq_at("login", "logged_in", vec![Term::var("D")])],
+            vec![0],
+        )
+        .unwrap();
+    hospital.add_invocation_rule(
+        "read_record",
+        vec![Term::var("D")],
+        vec![Atom::prereq("doctor_on_duty", vec![Term::var("D")])],
+    );
+
+    let registry = Arc::new(LocalRegistry::new());
+    registry.register(&login);
+    let gate = Arc::new(Gate {
+        inner: registry,
+        up: AtomicBool::new(true),
+    });
+    let resilient = Arc::new(
+        ResilientValidator::new(gate.clone() as Arc<dyn CredentialValidator>)
+            .with_retry(RetryPolicy::immediate(2))
+            .with_breaker(BreakerConfig {
+                failure_threshold: 3,
+                cooldown_ticks: 30,
+            }),
+    );
+    hospital.set_validator(resilient.clone());
+    hospital.watch_issuer(&login_id(), 10, 0);
+
+    // Role state at t=0: alice is logged in and on duty.
+    let login_rmc = login_in(&login, 0);
+    let duty = hospital
+        .activate_role(
+            &alice(),
+            &RoleName::new("doctor_on_duty"),
+            &[Value::id("alice")],
+            &[Credential::Rmc(login_rmc.clone())],
+            &EnvContext::new(0),
+        )
+        .unwrap();
+
+    // Overflow observation: a one-slot subscriber that is never drained,
+    // so the healthy-phase revocation burst must overflow it, and a
+    // watcher for the bus's overflow self-events.
+    let tiny = hospital
+        .bus()
+        .subscribe_bounded("cred.revoked.#", 1, OverflowPolicy::DropNewest)
+        .unwrap();
+    let overflow_watch = hospital.bus().subscribe("bus.overflow.#").unwrap();
+
+    // --- Simulated network and scripted faults ------------------------
+    let mut sim = Simulation::new(seed);
+    let net = Rc::new(RefCell::new(SimNet::new(LinkConfig {
+        latency: Latency::Constant(1),
+        loss: 0.05,
+        duplicate: 0.10,
+        jitter: 2,
+    })));
+    let plan = Rc::new(RefCell::new(FaultPlan::new()));
+    plan.borrow_mut().crash_at(91, "login");
+    plan.borrow_mut().recover_at(160, "login");
+
+    let trace = Rc::new(RefCell::new(Vec::<String>::new()));
+    let log = {
+        let trace = Rc::clone(&trace);
+        move |tick: u64, event: &str| {
+            trace
+                .borrow_mut()
+                .push(format!("{{\"tick\":{tick},\"event\":\"{event}\"}}"));
+        }
+    };
+
+    // Fault driver: every tick, enact due faults; a crashed login also
+    // means its callback endpoint stops answering.
+    for t in 1..=240u64 {
+        let plan = Rc::clone(&plan);
+        let net = Rc::clone(&net);
+        let gate = Arc::clone(&gate);
+        let log = log.clone();
+        sim.schedule_at(t, move |sim| {
+            for fault in plan
+                .borrow_mut()
+                .apply_due(sim.now(), &mut net.borrow_mut())
+            {
+                log(sim.now(), &format!("fault {fault:?}"));
+                match fault {
+                    oasis::sim::Fault::Crash { .. } => gate.up.store(false, Ordering::SeqCst),
+                    oasis::sim::Fault::Recover { .. } => gate.up.store(true, Ordering::SeqCst),
+                    _ => {}
+                }
+            }
+        });
+    }
+
+    // Heartbeats: login beats every 10 ticks over the network; crashes
+    // and pauses silence it, in-flight beats still land.
+    for t in (10..=240u64).step_by(10) {
+        let net = Rc::clone(&net);
+        let plan = Rc::clone(&plan);
+        let hospital = Arc::clone(&hospital);
+        sim.schedule_at(t, move |sim| {
+            if plan.borrow().heartbeats_paused("login") {
+                return;
+            }
+            let hospital = Arc::clone(&hospital);
+            net.borrow_mut().send(sim, "login", "hospital", move |sim| {
+                hospital.issuer_beat(&login_id(), sim.now());
+            });
+        });
+    }
+
+    // Revocation events cross the network: pump the login bus into the
+    // hospital bus through the (faulty) link every tick.
+    let feed = Rc::new(login.bus().subscribe("cred.revoked.#").unwrap());
+    for t in 1..=240u64 {
+        let net = Rc::clone(&net);
+        let feed = Rc::clone(&feed);
+        let hospital = Arc::clone(&hospital);
+        sim.schedule_at(t, move |sim| {
+            for ev in feed.drain() {
+                let hospital = Arc::clone(&hospital);
+                let topic = ev.topic.clone();
+                net.borrow_mut().send(sim, "login", "hospital", move |sim| {
+                    hospital.bus().publish_at(&topic, ev.payload, sim.now());
+                });
+            }
+        });
+    }
+
+    // Heartbeat sweeper: the hospital's maintenance tick every 5 ticks;
+    // record when the issuer is first seen dead and when degradation
+    // revokes the dependents.
+    let dead_seen = Rc::new(RefCell::new(None::<u64>));
+    let degraded_at = Rc::new(RefCell::new(None::<u64>));
+    for t in (5..=240u64).step_by(5) {
+        let hospital = Arc::clone(&hospital);
+        let dead_seen = Rc::clone(&dead_seen);
+        let degraded_at = Rc::clone(&degraded_at);
+        let log = log.clone();
+        sim.schedule_at(t, move |sim| {
+            let now = sim.now();
+            if dead_seen.borrow().is_none()
+                && hospital.issuer_health(&login_id(), now) == Some(SourceHealth::Dead)
+            {
+                *dead_seen.borrow_mut() = Some(now);
+                log(now, "issuer login observed dead");
+            }
+            let revoked = hospital.tick_heartbeats(now);
+            if !revoked.is_empty() {
+                *degraded_at.borrow_mut() = Some(now);
+                log(
+                    now,
+                    &format!("degraded {} dependent cert(s)", revoked.len()),
+                );
+            }
+        });
+    }
+
+    // --- Phase 1 (healthy): cache hits, and a revocation burst --------
+    {
+        let hospital = Arc::clone(&hospital);
+        let cred = Credential::Rmc(login_rmc.clone());
+        let log = log.clone();
+        sim.schedule_at(2, move |sim| {
+            assert!(
+                hospital
+                    .validate_credential(&cred, &alice(), sim.now())
+                    .is_ok(),
+                "healthy: cached validation serves"
+            );
+            assert!(hospital.validation_cache_stats().unwrap().hits >= 1);
+            log(sim.now(), "healthy cache hit");
+        });
+    }
+    // Eight throwaway sessions revoked in a burst: their events cross the
+    // lossy link and flood the one-slot subscriber into overflow.
+    let throwaways: Vec<Rmc> = (0..8).map(|_| login_in(&login, 1)).collect();
+    for (i, rmc) in throwaways.iter().enumerate() {
+        let login = Arc::clone(&login);
+        let cert = rmc.crr.cert_id;
+        sim.schedule_at(20 + i as u64, move |sim| {
+            login.revoke_certificate(cert, "session closed", sim.now());
+        });
+    }
+    {
+        let hospital = Arc::clone(&hospital);
+        let creds: Vec<Credential> = throwaways.iter().cloned().map(Credential::Rmc).collect();
+        let log = log.clone();
+        sim.schedule_at(40, move |sim| {
+            for cred in &creds {
+                assert!(
+                    hospital
+                        .validate_credential(cred, &alice(), sim.now())
+                        .is_err(),
+                    "revoked throwaway must not validate, event lost or not"
+                );
+            }
+            log(sim.now(), "all burst revocations enforced");
+        });
+    }
+    {
+        let hospital = Arc::clone(&hospital);
+        let duty = duty.clone();
+        let login_rmc = login_rmc.clone();
+        let log = log.clone();
+        sim.schedule_at(50, move |sim| {
+            hospital
+                .invoke(
+                    &alice(),
+                    "read_record",
+                    &[Value::id("alice")],
+                    &[
+                        Credential::Rmc(duty.clone()),
+                        Credential::Rmc(login_rmc.clone()),
+                    ],
+                    &EnvContext::new(sim.now()),
+                )
+                .expect("healthy: duty role invokes");
+            log(sim.now(), "healthy invoke ok");
+        });
+    }
+
+    // --- Phase 2 (crash at 91): revocation lost, fail-safe holds ------
+    {
+        let login = Arc::clone(&login);
+        let cert = login_rmc.crr.cert_id;
+        let log = log.clone();
+        sim.schedule_at(95, move |sim| {
+            // The event is published while the network drops everything
+            // from the crashed node: the hospital never hears it.
+            login.revoke_certificate(cert, "compromised", sim.now());
+            log(sim.now(), "login credential revoked during crash");
+        });
+    }
+    // Late issuer + unreachable callback: fail-safe refuses, repeated
+    // refusals trip the breaker.
+    for t in [105u64, 107, 109, 112] {
+        let hospital = Arc::clone(&hospital);
+        let cred = Credential::Rmc(login_rmc.clone());
+        let resilient = Arc::clone(&resilient);
+        let log = log.clone();
+        sim.schedule_at(t, move |sim| {
+            assert!(
+                hospital
+                    .validate_credential(&cred, &alice(), sim.now())
+                    .is_err(),
+                "fail-safe: no grant while the issuer is silent"
+            );
+            if sim.now() == 112 {
+                assert_eq!(resilient.breaker_state(&login_id()), "open");
+                log(sim.now(), "breaker open");
+            }
+        });
+    }
+    {
+        let hospital = Arc::clone(&hospital);
+        let duty = duty.clone();
+        let login_rmc = login_rmc.clone();
+        let log = log.clone();
+        sim.schedule_at(140, move |sim| {
+            assert!(
+                hospital
+                    .invoke(
+                        &alice(),
+                        "read_record",
+                        &[Value::id("alice")],
+                        &[
+                            Credential::Rmc(duty.clone()),
+                            Credential::Rmc(login_rmc.clone())
+                        ],
+                        &EnvContext::new(sim.now()),
+                    )
+                    .is_err(),
+                "degraded duty role must not invoke"
+            );
+            log(sim.now(), "degraded invoke denied");
+        });
+    }
+
+    // --- Phase 3 (heal at 160): recovery ------------------------------
+    // Beats themselves cross the lossy link, so the first one to land
+    // after the heal is seed-dependent: probe each tick from the end of
+    // the breaker cooldown and act on the first healthy observation.
+    let fresh_cred = Rc::new(RefCell::new(None::<Credential>));
+    for t in 171..=220u64 {
+        let login = Arc::clone(&login);
+        let hospital = Arc::clone(&hospital);
+        let resilient = Arc::clone(&resilient);
+        let cred = Credential::Rmc(login_rmc.clone());
+        let fresh_cred = Rc::clone(&fresh_cred);
+        let log = log.clone();
+        sim.schedule_at(t, move |sim| {
+            let now = sim.now();
+            if fresh_cred.borrow().is_some()
+                || hospital.issuer_health(&login_id(), now) != Some(SourceHealth::Healthy)
+            {
+                return;
+            }
+            log(now, "heartbeats resumed after heal");
+            // The half-open probe reaches the live issuer, which answers
+            // authoritatively: the credential was revoked during the
+            // outage and stays revoked.
+            assert!(
+                hospital.validate_credential(&cred, &alice(), now).is_err(),
+                "revocation survives the outage"
+            );
+            assert_eq!(resilient.breaker_state(&login_id()), "closed");
+            log(now, "breaker closed by live answer");
+
+            let fresh = login_in(&login, now);
+            let duty2 = hospital
+                .activate_role(
+                    &alice(),
+                    &RoleName::new("doctor_on_duty"),
+                    &[Value::id("alice")],
+                    &[Credential::Rmc(fresh.clone())],
+                    &EnvContext::new(now),
+                )
+                .expect("roles re-activate after heal");
+            log(now, "duty re-activated");
+            hospital
+                .invoke(
+                    &alice(),
+                    "read_record",
+                    &[Value::id("alice")],
+                    &[Credential::Rmc(duty2), Credential::Rmc(fresh.clone())],
+                    &EnvContext::new(now),
+                )
+                .expect("recovered invoke succeeds");
+            log(now, "recovered invoke ok");
+            *fresh_cred.borrow_mut() = Some(Credential::Rmc(fresh));
+        });
+    }
+    // Cache hits resume once a healthy heartbeat window opens (individual
+    // beats can still be lost to the 5% link loss, so probe until one
+    // lands): two back-to-back validations inside a healthy window must
+    // hit the cache on the second.
+    let hit_resumed = Rc::new(RefCell::new(None::<u64>));
+    for t in 172..=238u64 {
+        let hospital = Arc::clone(&hospital);
+        let fresh_cred = Rc::clone(&fresh_cred);
+        let hit_resumed = Rc::clone(&hit_resumed);
+        let log = log.clone();
+        sim.schedule_at(t, move |sim| {
+            let now = sim.now();
+            if hit_resumed.borrow().is_some()
+                || hospital.issuer_health(&login_id(), now) != Some(SourceHealth::Healthy)
+            {
+                return;
+            }
+            let Some(cred) = fresh_cred.borrow().clone() else {
+                return;
+            };
+            hospital
+                .validate_credential(&cred, &alice(), now)
+                .expect("healthy validation succeeds");
+            let hits_before = hospital.validation_cache_stats().unwrap().hits;
+            hospital
+                .validate_credential(&cred, &alice(), now)
+                .expect("healthy validation succeeds");
+            assert!(
+                hospital.validation_cache_stats().unwrap().hits > hits_before,
+                "a healthy issuer must serve the second validation from cache"
+            );
+            *hit_resumed.borrow_mut() = Some(now);
+            log(now, "cache hits resumed");
+        });
+    }
+
+    sim.run();
+
+    assert!(
+        hit_resumed.borrow().is_some(),
+        "some healthy window after heal must serve cache hits"
+    );
+
+    // --- Post-run invariants ------------------------------------------
+    let dead = dead_seen.borrow().expect("issuer must be observed dead");
+    let degraded = degraded_at
+        .borrow()
+        .expect("fail-safe must degrade the dependents");
+    assert!(
+        degraded >= dead && degraded <= dead + 10 + 5,
+        "degradation within the grace period (sweeper granularity): \
+         dead at {dead}, degraded at {degraded}"
+    );
+
+    let ds = hospital.degradation_stats().unwrap();
+    assert_eq!(ds.stale_served, 0, "fail-safe never serves stale authority");
+    assert!(ds.stale_refused >= 1);
+    assert!(ds.dead_evictions >= 1);
+    assert_eq!(ds.degraded_issuers, 1);
+    assert!(ds.degraded_certs >= 1);
+    assert_eq!(ds.issuer_recoveries, 1, "heal clears the dead ledger once");
+
+    let rs = resilient.stats();
+    assert!(rs.breaker_opens >= 1);
+    assert!(rs.breaker_closes >= 1, "breaker closed after heal");
+    assert!(rs.retries >= 1, "transient failures were retried");
+
+    assert!(
+        hospital.bus().stats().overflow_events >= 1,
+        "the revocation burst must overflow the one-slot subscriber"
+    );
+    assert!(
+        !overflow_watch.drain().is_empty(),
+        "overflow self-events are observable on bus.overflow.#"
+    );
+    drop(tiny);
+
+    let (sent, dropped) = net.borrow().stats();
+    trace.borrow_mut().push(format!(
+        "{{\"tick\":240,\"event\":\"net sent={sent} dropped={dropped} duplicated={}\"}}",
+        net.borrow().duplicated()
+    ));
+    assert!(dropped >= 1, "the crash window must have dropped traffic");
+
+    let replay = trace.borrow().clone();
+    replay
+}
+
+fn chaos_seed() -> u64 {
+    std::env::var("CHAOS_SEED")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(42)
+}
+
+fn write_trace(seed: u64, trace: &[String]) {
+    let dir = concat!(env!("CARGO_MANIFEST_DIR"), "/../../target/chaos");
+    if std::fs::create_dir_all(dir).is_ok() {
+        let path = format!("{dir}/trace-{seed}.jsonl");
+        let _ = std::fs::write(&path, trace.join("\n") + "\n");
+    }
+}
+
+#[test]
+fn chaos_crash_degrade_heal_recover() {
+    let seed = chaos_seed();
+    let trace = run_scenario(seed);
+    write_trace(seed, &trace);
+    // The trace must show the full arc: death observed, degradation,
+    // breaker lifecycle, recovery.
+    let all = trace.join("\n");
+    for landmark in [
+        "healthy cache hit",
+        "all burst revocations enforced",
+        "login credential revoked during crash",
+        "breaker open",
+        "issuer login observed dead",
+        "degraded 1 dependent cert(s)",
+        "breaker closed by live answer",
+        "cache hits resumed",
+    ] {
+        assert!(all.contains(landmark), "trace missing {landmark:?}:\n{all}");
+    }
+}
+
+#[test]
+fn chaos_run_is_deterministic_per_seed() {
+    let seed = chaos_seed();
+    assert_eq!(
+        run_scenario(seed),
+        run_scenario(seed),
+        "identical seeds must replay identical traces"
+    );
+}

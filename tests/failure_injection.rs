@@ -167,10 +167,9 @@ fn partitioned_issuer_detected_by_heartbeats_in_simulation() {
     // at t=100 silences it, and the holder observes Late → Dead at the
     // prescribed thresholds.
     let mut sim = Simulation::new(5);
-    let net = Rc::new(RefCell::new(SimNet::new(LinkConfig {
-        latency: Latency::Constant(2),
-        loss: 0.0,
-    })));
+    let net = Rc::new(RefCell::new(SimNet::new(LinkConfig::clean(
+        Latency::Constant(2),
+    ))));
     let monitor = Rc::new(HeartbeatMonitor::new(3));
     let issuer = SourceId::new("issuer");
     monitor.register(issuer.clone(), 10, 0);
@@ -265,6 +264,7 @@ fn lossy_network_eventually_delivers_with_retries() {
     let net = Rc::new(RefCell::new(SimNet::new(LinkConfig {
         latency: Latency::Constant(1),
         loss: 0.4,
+        ..LinkConfig::default()
     })));
     let delivered = Rc::new(RefCell::new(None::<u64>));
 
