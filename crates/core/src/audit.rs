@@ -89,6 +89,13 @@ pub enum AuditKind {
         /// The certificate.
         crr: Crr,
     },
+    /// The service rebuilt its state from the durability journal.
+    Recovered {
+        /// Journal events replayed after the snapshot.
+        events_replayed: u64,
+        /// Credential records restored (all statuses).
+        records_restored: u64,
+    },
 }
 
 impl AuditKind {
@@ -103,6 +110,7 @@ impl AuditKind {
             AuditKind::AppointmentIssued { .. } => "appointment_issued",
             AuditKind::CertRevoked { .. } => "cert_revoked",
             AuditKind::CertExpired { .. } => "cert_expired",
+            AuditKind::Recovered { .. } => "recovered",
         }
     }
 }

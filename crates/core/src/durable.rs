@@ -1,0 +1,452 @@
+//! Durability types: the security-event journal and service snapshots.
+//!
+//! OASIS credential records are *authoritative* state — Fig 5's cascade
+//! semantics only work if the issuer's record of what was issued, what
+//! it depends on, and what has been revoked survives a crash. This
+//! module defines the event vocabulary journalled by
+//! [`OasisService`](crate::OasisService) through an
+//! [`oasis_store::DurableStore`]:
+//!
+//! * every state change is appended (and synced) *before* it is
+//!   acknowledged to the caller — write-ahead journalling;
+//! * [`OasisService::recover`](crate::OasisService::recover) rebuilds
+//!   the full record/dependency/cache state by loading the latest
+//!   [`ServiceSnapshot`] and replaying the journal suffix idempotently;
+//! * per-topic revocation watermarks ([`Watermark`]) are journalled as
+//!   [`SecurityEvent::RevocationApplied`], so a restarted service knows
+//!   exactly which bus events it has applied and can ask the publisher's
+//!   retained ring for the gap
+//!   ([`OasisService::catch_up`](crate::OasisService::catch_up)).
+//!
+//! The `oasis-store` crate stays generic (bytes, frames, checksums);
+//! the *meaning* of a journal record — what replaying it does to a
+//! service — is defined here.
+
+use oasis_json::{FromJson, Json, JsonError, ToJson};
+use oasis_store::DurableStore;
+
+use crate::cert::{CredRecord, Crr};
+use crate::ids::{CertId, PrincipalId};
+use crate::rule::Atom;
+
+/// One security-relevant state change, journalled before it is applied.
+///
+/// Replay is idempotent: applying a prefix of the journal and then the
+/// whole journal yields the same state as applying the whole journal
+/// once, so a crash *after* the append but *before* the in-memory apply
+/// is healed by recovery.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SecurityEvent {
+    /// A certificate (RMC or appointment) was issued, together with the
+    /// dependency edges and retained environmental checks its
+    /// membership rule established.
+    CertIssued {
+        /// The issuer-side credential record.
+        record: CredRecord,
+        /// Supporting credentials retained by the membership rule.
+        depends_on: Vec<Crr>,
+        /// Ground environmental conditions retained by the rule.
+        retained_checks: Vec<Atom>,
+    },
+    /// A foreign credential validated successfully (issuer callback
+    /// answered yes) and was memoised. Replaying repopulates the
+    /// validation cache so a restart does not stampede issuers.
+    ValidationGranted {
+        /// The validated credential's record reference.
+        crr: Crr,
+        /// Who presented it.
+        presenter: PrincipalId,
+        /// Virtual time of the successful callback.
+        at: u64,
+    },
+    /// A certificate this service issued was revoked.
+    CertRevoked {
+        /// The local certificate id.
+        cert_id: CertId,
+        /// Why.
+        reason: String,
+        /// Virtual time of the revocation.
+        at: u64,
+    },
+    /// A certificate this service issued lapsed at its deadline.
+    CertExpired {
+        /// The local certificate id.
+        cert_id: CertId,
+        /// Virtual time the expiry was recorded.
+        at: u64,
+    },
+    /// A *foreign* revocation event from the bus was applied locally
+    /// (cache evicted, dependents collapsed). Journalling the event's
+    /// sequence numbers per topic gives recovery an exact watermark for
+    /// gap detection.
+    RevocationApplied {
+        /// The bus topic the event arrived on (`cred.revoked.<issuer>`).
+        topic: String,
+        /// Per-topic sequence number of the applied event.
+        topic_seq: u64,
+        /// Bus-global sequence number of the applied event.
+        global_seq: u64,
+        /// The revoked credential.
+        crr: Crr,
+    },
+    /// The issuer secret rotated to a new epoch.
+    EpochChanged {
+        /// The new current epoch.
+        epoch: u64,
+        /// Virtual time of the rotation.
+        at: u64,
+    },
+}
+
+/// One credential record plus its live dependency state, as captured in
+/// a [`ServiceSnapshot`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct SnapshotRecord {
+    /// The credential record (any status — revoked history is kept).
+    pub record: CredRecord,
+    /// Supporting credentials retained by the membership rule.
+    pub depends_on: Vec<Crr>,
+    /// Retained ground environmental conditions.
+    pub retained_checks: Vec<Atom>,
+}
+
+/// The last bus event applied from one revocation topic.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Watermark {
+    /// The topic (`cred.revoked.<issuer>`).
+    pub topic: String,
+    /// Per-topic sequence of the last applied event.
+    pub topic_seq: u64,
+    /// Bus-global sequence of the last applied event.
+    pub global_seq: u64,
+}
+
+/// Full recoverable state of an [`OasisService`](crate::OasisService)
+/// at a journal sequence number.
+///
+/// Policy (roles and rules) is *not* snapshotted: it is code-like
+/// configuration the operator re-installs at startup, not runtime state.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct ServiceSnapshot {
+    /// The next certificate id to allocate.
+    pub next_cert: u64,
+    /// Every credential record with its dependency state.
+    pub records: Vec<SnapshotRecord>,
+    /// Per-topic revocation watermarks at snapshot time.
+    pub watermarks: Vec<Watermark>,
+}
+
+/// What [`OasisService::recover`](crate::OasisService::recover) did.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct RecoveryReport {
+    /// Journal sequence the loaded snapshot covered (0 = no snapshot).
+    pub snapshot_covered_seq: u64,
+    /// Whether snapshot bytes were present but corrupt (recovery fell
+    /// back to replaying the whole journal).
+    pub snapshot_corrupt: bool,
+    /// Journal events replayed after the snapshot.
+    pub events_replayed: u64,
+    /// Credential records restored (all statuses).
+    pub records_restored: u64,
+    /// Revocations/expiries applied during replay.
+    pub revocations_replayed: u64,
+    /// Cached foreign validations restored.
+    pub validations_restored: u64,
+    /// Bytes of torn journal tail healed at open.
+    pub torn_tail_bytes: u64,
+    /// Per-topic revocation watermarks after recovery — the starting
+    /// point for [`OasisService::catch_up`](crate::OasisService::catch_up).
+    pub watermarks: Vec<Watermark>,
+    /// True when state was restored and the service should catch up on
+    /// missed revocation events before trusting its validation cache.
+    pub catchup_required: bool,
+}
+
+/// What one [`OasisService::catch_up`](crate::OasisService::catch_up)
+/// call did for one topic.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct CatchUpReport {
+    /// Events the publisher's retained ring replayed to us.
+    pub replayed: u64,
+    /// Of those, events actually applied (not already seen).
+    pub applied: u64,
+    /// Whether the replay was gap-free. `false` means the ring had
+    /// already evicted part of the range: every cached validation for
+    /// that issuer has been dropped in compensation.
+    pub complete: bool,
+}
+
+/// The concrete journal + snapshot store an `OasisService` recovers from.
+pub type ServiceJournal = DurableStore<SecurityEvent, ServiceSnapshot>;
+
+impl ToJson for SecurityEvent {
+    fn to_json(&self) -> Json {
+        match self {
+            SecurityEvent::CertIssued {
+                record,
+                depends_on,
+                retained_checks,
+            } => Json::obj(vec![(
+                "CertIssued",
+                Json::obj(vec![
+                    ("record", record.to_json()),
+                    ("depends_on", depends_on.to_json()),
+                    ("retained_checks", retained_checks.to_json()),
+                ]),
+            )]),
+            SecurityEvent::ValidationGranted { crr, presenter, at } => Json::obj(vec![(
+                "ValidationGranted",
+                Json::obj(vec![
+                    ("crr", crr.to_json()),
+                    ("presenter", presenter.to_json()),
+                    ("at", at.to_json()),
+                ]),
+            )]),
+            SecurityEvent::CertRevoked {
+                cert_id,
+                reason,
+                at,
+            } => Json::obj(vec![(
+                "CertRevoked",
+                Json::obj(vec![
+                    ("cert_id", cert_id.to_json()),
+                    ("reason", reason.to_json()),
+                    ("at", at.to_json()),
+                ]),
+            )]),
+            SecurityEvent::CertExpired { cert_id, at } => Json::obj(vec![(
+                "CertExpired",
+                Json::obj(vec![("cert_id", cert_id.to_json()), ("at", at.to_json())]),
+            )]),
+            SecurityEvent::RevocationApplied {
+                topic,
+                topic_seq,
+                global_seq,
+                crr,
+            } => Json::obj(vec![(
+                "RevocationApplied",
+                Json::obj(vec![
+                    ("topic", topic.to_json()),
+                    ("topic_seq", topic_seq.to_json()),
+                    ("global_seq", global_seq.to_json()),
+                    ("crr", crr.to_json()),
+                ]),
+            )]),
+            SecurityEvent::EpochChanged { epoch, at } => Json::obj(vec![(
+                "EpochChanged",
+                Json::obj(vec![("epoch", epoch.to_json()), ("at", at.to_json())]),
+            )]),
+        }
+    }
+}
+
+impl FromJson for SecurityEvent {
+    fn from_json(json: &Json) -> Result<Self, JsonError> {
+        let pairs = json
+            .as_obj()
+            .ok_or_else(|| JsonError::expected("SecurityEvent object"))?;
+        let [(tag, payload)] = pairs else {
+            return Err(JsonError::expected("single-variant SecurityEvent object"));
+        };
+        match tag.as_str() {
+            "CertIssued" => Ok(SecurityEvent::CertIssued {
+                record: FromJson::from_json(payload.field("record")?)?,
+                depends_on: FromJson::from_json(payload.field("depends_on")?)?,
+                retained_checks: FromJson::from_json(payload.field("retained_checks")?)?,
+            }),
+            "ValidationGranted" => Ok(SecurityEvent::ValidationGranted {
+                crr: FromJson::from_json(payload.field("crr")?)?,
+                presenter: FromJson::from_json(payload.field("presenter")?)?,
+                at: FromJson::from_json(payload.field("at")?)?,
+            }),
+            "CertRevoked" => Ok(SecurityEvent::CertRevoked {
+                cert_id: FromJson::from_json(payload.field("cert_id")?)?,
+                reason: FromJson::from_json(payload.field("reason")?)?,
+                at: FromJson::from_json(payload.field("at")?)?,
+            }),
+            "CertExpired" => Ok(SecurityEvent::CertExpired {
+                cert_id: FromJson::from_json(payload.field("cert_id")?)?,
+                at: FromJson::from_json(payload.field("at")?)?,
+            }),
+            "RevocationApplied" => Ok(SecurityEvent::RevocationApplied {
+                topic: FromJson::from_json(payload.field("topic")?)?,
+                topic_seq: FromJson::from_json(payload.field("topic_seq")?)?,
+                global_seq: FromJson::from_json(payload.field("global_seq")?)?,
+                crr: FromJson::from_json(payload.field("crr")?)?,
+            }),
+            "EpochChanged" => Ok(SecurityEvent::EpochChanged {
+                epoch: FromJson::from_json(payload.field("epoch")?)?,
+                at: FromJson::from_json(payload.field("at")?)?,
+            }),
+            other => Err(JsonError::new(format!(
+                "unknown SecurityEvent variant `{other}`"
+            ))),
+        }
+    }
+}
+
+impl ToJson for SnapshotRecord {
+    fn to_json(&self) -> Json {
+        Json::obj(vec![
+            ("record", self.record.to_json()),
+            ("depends_on", self.depends_on.to_json()),
+            ("retained_checks", self.retained_checks.to_json()),
+        ])
+    }
+}
+
+impl FromJson for SnapshotRecord {
+    fn from_json(json: &Json) -> Result<Self, JsonError> {
+        Ok(SnapshotRecord {
+            record: FromJson::from_json(json.field("record")?)?,
+            depends_on: FromJson::from_json(json.field("depends_on")?)?,
+            retained_checks: FromJson::from_json(json.field("retained_checks")?)?,
+        })
+    }
+}
+
+impl ToJson for Watermark {
+    fn to_json(&self) -> Json {
+        Json::obj(vec![
+            ("topic", self.topic.to_json()),
+            ("topic_seq", self.topic_seq.to_json()),
+            ("global_seq", self.global_seq.to_json()),
+        ])
+    }
+}
+
+impl FromJson for Watermark {
+    fn from_json(json: &Json) -> Result<Self, JsonError> {
+        Ok(Watermark {
+            topic: FromJson::from_json(json.field("topic")?)?,
+            topic_seq: FromJson::from_json(json.field("topic_seq")?)?,
+            global_seq: FromJson::from_json(json.field("global_seq")?)?,
+        })
+    }
+}
+
+impl ToJson for ServiceSnapshot {
+    fn to_json(&self) -> Json {
+        Json::obj(vec![
+            ("next_cert", self.next_cert.to_json()),
+            ("records", self.records.to_json()),
+            ("watermarks", self.watermarks.to_json()),
+        ])
+    }
+}
+
+impl FromJson for ServiceSnapshot {
+    fn from_json(json: &Json) -> Result<Self, JsonError> {
+        Ok(ServiceSnapshot {
+            next_cert: FromJson::from_json(json.field("next_cert")?)?,
+            records: FromJson::from_json(json.field("records")?)?,
+            watermarks: FromJson::from_json(json.field("watermarks")?)?,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cert::{CredStatus, CredentialKind};
+    use crate::ids::ServiceId;
+    use crate::pattern::Term;
+    use crate::value::Value;
+
+    fn sample_record(id: u64, status: CredStatus) -> CredRecord {
+        CredRecord {
+            crr: Crr::new(ServiceId::new("svc"), CertId(id)),
+            principal: PrincipalId::new("alice"),
+            kind: CredentialKind::Rmc,
+            name: "doctor".into(),
+            args: vec![Value::id("dr-1")],
+            issued_at: 3,
+            expires_at: None,
+            status,
+        }
+    }
+
+    fn round_trip<T: ToJson + FromJson + PartialEq + std::fmt::Debug>(value: &T) {
+        let text = oasis_json::to_string(value);
+        let back: T = oasis_json::from_str(&text).unwrap();
+        assert_eq!(&back, value, "{text}");
+    }
+
+    #[test]
+    fn every_event_variant_round_trips() {
+        let crr = Crr::new(ServiceId::new("nhs"), CertId(9));
+        for event in [
+            SecurityEvent::CertIssued {
+                record: sample_record(1, CredStatus::Active),
+                depends_on: vec![crr.clone()],
+                retained_checks: vec![Atom::EnvFact {
+                    relation: "on_duty".into(),
+                    args: vec![Term::val(Value::id("dr-1"))],
+                    negated: false,
+                }],
+            },
+            SecurityEvent::ValidationGranted {
+                crr: crr.clone(),
+                presenter: PrincipalId::new("alice"),
+                at: 7,
+            },
+            SecurityEvent::CertRevoked {
+                cert_id: CertId(1),
+                reason: "logout".into(),
+                at: 8,
+            },
+            SecurityEvent::CertExpired {
+                cert_id: CertId(2),
+                at: 9,
+            },
+            SecurityEvent::RevocationApplied {
+                topic: "cred.revoked.nhs".into(),
+                topic_seq: 4,
+                global_seq: 17,
+                crr,
+            },
+            SecurityEvent::EpochChanged { epoch: 2, at: 10 },
+        ] {
+            round_trip(&event);
+        }
+    }
+
+    #[test]
+    fn snapshots_round_trip() {
+        round_trip(&ServiceSnapshot::default());
+        round_trip(&ServiceSnapshot {
+            next_cert: 5,
+            records: vec![SnapshotRecord {
+                record: sample_record(
+                    4,
+                    CredStatus::Revoked {
+                        reason: "cascade".into(),
+                        at: 11,
+                    },
+                ),
+                depends_on: vec![Crr::new(ServiceId::new("login"), CertId(2))],
+                retained_checks: vec![],
+            }],
+            watermarks: vec![Watermark {
+                topic: "cred.revoked.login".into(),
+                topic_seq: 3,
+                global_seq: 12,
+            }],
+        });
+    }
+
+    #[test]
+    fn events_survive_a_durable_store_cycle() {
+        let store: ServiceJournal = ServiceJournal::in_memory();
+        store
+            .append(&SecurityEvent::CertRevoked {
+                cert_id: CertId(1),
+                reason: "test".into(),
+                at: 1,
+            })
+            .unwrap();
+        let recovered = store.load().unwrap();
+        assert_eq!(recovered.events.len(), 1);
+        assert!(recovered.snapshot.is_none());
+    }
+}

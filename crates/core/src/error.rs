@@ -108,6 +108,12 @@ pub enum OasisError {
     /// An underlying fact-store operation failed (usually an undefined
     /// relation referenced from a rule).
     Facts(oasis_facts::FactError),
+
+    /// The durability journal rejected a write. State changes are
+    /// journalled *before* they are acknowledged, so a failed append
+    /// aborts the operation rather than risking an unrecoverable
+    /// acknowledgement.
+    Journal(String),
 }
 
 impl std::fmt::Display for OasisError {
@@ -165,6 +171,7 @@ impl std::fmt::Display for OasisError {
                 "{principal} holds no role entitled to issue appointment `{appointment}`"
             ),
             Self::Facts(x0) => write!(f, "fact store: {x0}"),
+            Self::Journal(x0) => write!(f, "durability journal: {x0}"),
         }
     }
 }

@@ -7,8 +7,14 @@
 
 use oasis_json::{FromJson, Json, JsonError, ToJson};
 
-use crate::cert::{AppointmentCertificate, Credential, Crr, Rmc};
+use crate::cert::{
+    AppointmentCertificate, CertEvent, CertEventKind, CredRecord, CredStatus, Credential,
+    CredentialKind, Crr, Rmc,
+};
+use crate::env::CmpOp;
 use crate::ids::{CertId, PrincipalId, RoleName, ServiceId, SessionId};
+use crate::pattern::{Term, VarName};
+use crate::rule::Atom;
 use crate::value::Value;
 
 macro_rules! string_id_json {
@@ -185,6 +191,295 @@ impl FromJson for Credential {
     }
 }
 
+impl ToJson for CredentialKind {
+    fn to_json(&self) -> Json {
+        match self {
+            CredentialKind::Rmc => Json::str("rmc"),
+            CredentialKind::Appointment => Json::str("appointment"),
+        }
+    }
+}
+
+impl FromJson for CredentialKind {
+    fn from_json(json: &Json) -> Result<Self, JsonError> {
+        match json.as_str() {
+            Some("rmc") => Ok(CredentialKind::Rmc),
+            Some("appointment") => Ok(CredentialKind::Appointment),
+            _ => Err(JsonError::expected("CredentialKind string")),
+        }
+    }
+}
+
+impl ToJson for CertEventKind {
+    fn to_json(&self) -> Json {
+        match self {
+            CertEventKind::Revoked { reason } => Json::obj(vec![(
+                "Revoked",
+                Json::obj(vec![("reason", Json::str(reason.clone()))]),
+            )]),
+        }
+    }
+}
+
+impl FromJson for CertEventKind {
+    fn from_json(json: &Json) -> Result<Self, JsonError> {
+        let pairs = json
+            .as_obj()
+            .ok_or_else(|| JsonError::expected("CertEventKind object"))?;
+        let [(tag, payload)] = pairs else {
+            return Err(JsonError::expected("single-variant CertEventKind object"));
+        };
+        match tag.as_str() {
+            "Revoked" => Ok(CertEventKind::Revoked {
+                reason: String::from_json(payload.field("reason")?)?,
+            }),
+            other => Err(JsonError::new(format!(
+                "unknown CertEventKind variant `{other}`"
+            ))),
+        }
+    }
+}
+
+impl ToJson for CertEvent {
+    fn to_json(&self) -> Json {
+        Json::obj(vec![
+            ("crr", self.crr.to_json()),
+            ("kind", self.kind.to_json()),
+        ])
+    }
+}
+
+impl FromJson for CertEvent {
+    fn from_json(json: &Json) -> Result<Self, JsonError> {
+        Ok(CertEvent {
+            crr: Crr::from_json(json.field("crr")?)?,
+            kind: CertEventKind::from_json(json.field("kind")?)?,
+        })
+    }
+}
+
+impl ToJson for CredStatus {
+    fn to_json(&self) -> Json {
+        match self {
+            CredStatus::Active => Json::obj(vec![("Active", Json::Null)]),
+            CredStatus::Revoked { reason, at } => Json::obj(vec![(
+                "Revoked",
+                Json::obj(vec![
+                    ("reason", Json::str(reason.clone())),
+                    ("at", at.to_json()),
+                ]),
+            )]),
+            CredStatus::Expired { at } => {
+                Json::obj(vec![("Expired", Json::obj(vec![("at", at.to_json())]))])
+            }
+        }
+    }
+}
+
+impl FromJson for CredStatus {
+    fn from_json(json: &Json) -> Result<Self, JsonError> {
+        let pairs = json
+            .as_obj()
+            .ok_or_else(|| JsonError::expected("CredStatus object"))?;
+        let [(tag, payload)] = pairs else {
+            return Err(JsonError::expected("single-variant CredStatus object"));
+        };
+        match tag.as_str() {
+            "Active" => Ok(CredStatus::Active),
+            "Revoked" => Ok(CredStatus::Revoked {
+                reason: String::from_json(payload.field("reason")?)?,
+                at: u64::from_json(payload.field("at")?)?,
+            }),
+            "Expired" => Ok(CredStatus::Expired {
+                at: u64::from_json(payload.field("at")?)?,
+            }),
+            other => Err(JsonError::new(format!(
+                "unknown CredStatus variant `{other}`"
+            ))),
+        }
+    }
+}
+
+impl ToJson for CredRecord {
+    fn to_json(&self) -> Json {
+        Json::obj(vec![
+            ("crr", self.crr.to_json()),
+            ("principal", self.principal.to_json()),
+            ("kind", self.kind.to_json()),
+            ("name", self.name.to_json()),
+            ("args", self.args.to_json()),
+            ("issued_at", self.issued_at.to_json()),
+            ("expires_at", self.expires_at.to_json()),
+            ("status", self.status.to_json()),
+        ])
+    }
+}
+
+impl FromJson for CredRecord {
+    fn from_json(json: &Json) -> Result<Self, JsonError> {
+        Ok(CredRecord {
+            crr: FromJson::from_json(json.field("crr")?)?,
+            principal: FromJson::from_json(json.field("principal")?)?,
+            kind: FromJson::from_json(json.field("kind")?)?,
+            name: FromJson::from_json(json.field("name")?)?,
+            args: FromJson::from_json(json.field("args")?)?,
+            issued_at: FromJson::from_json(json.field("issued_at")?)?,
+            expires_at: FromJson::from_json(json.field("expires_at")?)?,
+            status: FromJson::from_json(json.field("status")?)?,
+        })
+    }
+}
+
+impl ToJson for VarName {
+    fn to_json(&self) -> Json {
+        Json::str(self.0.clone())
+    }
+}
+
+impl FromJson for VarName {
+    fn from_json(json: &Json) -> Result<Self, JsonError> {
+        json.as_str()
+            .map(VarName::new)
+            .ok_or_else(|| JsonError::expected("VarName string"))
+    }
+}
+
+impl ToJson for Term {
+    fn to_json(&self) -> Json {
+        match self {
+            Term::Const(v) => Json::obj(vec![("Const", v.to_json())]),
+            Term::Var(v) => Json::obj(vec![("Var", v.to_json())]),
+            Term::Wildcard => Json::obj(vec![("Wildcard", Json::Null)]),
+        }
+    }
+}
+
+impl FromJson for Term {
+    fn from_json(json: &Json) -> Result<Self, JsonError> {
+        let pairs = json
+            .as_obj()
+            .ok_or_else(|| JsonError::expected("Term object"))?;
+        let [(tag, payload)] = pairs else {
+            return Err(JsonError::expected("single-variant Term object"));
+        };
+        match tag.as_str() {
+            "Const" => Value::from_json(payload).map(Term::Const),
+            "Var" => VarName::from_json(payload).map(Term::Var),
+            "Wildcard" => Ok(Term::Wildcard),
+            other => Err(JsonError::new(format!("unknown Term variant `{other}`"))),
+        }
+    }
+}
+
+impl ToJson for CmpOp {
+    fn to_json(&self) -> Json {
+        Json::str(self.symbol())
+    }
+}
+
+impl FromJson for CmpOp {
+    fn from_json(json: &Json) -> Result<Self, JsonError> {
+        match json.as_str() {
+            Some("==") => Ok(CmpOp::Eq),
+            Some("!=") => Ok(CmpOp::Ne),
+            Some("<") => Ok(CmpOp::Lt),
+            Some("<=") => Ok(CmpOp::Le),
+            Some(">") => Ok(CmpOp::Gt),
+            Some(">=") => Ok(CmpOp::Ge),
+            _ => Err(JsonError::expected("CmpOp symbol string")),
+        }
+    }
+}
+
+impl ToJson for Atom {
+    fn to_json(&self) -> Json {
+        match self {
+            Atom::Prereq {
+                service,
+                role,
+                args,
+            } => Json::obj(vec![(
+                "Prereq",
+                Json::obj(vec![
+                    ("service", service.to_json()),
+                    ("role", role.to_json()),
+                    ("args", args.to_json()),
+                ]),
+            )]),
+            Atom::Appointment { issuer, name, args } => Json::obj(vec![(
+                "Appointment",
+                Json::obj(vec![
+                    ("issuer", issuer.to_json()),
+                    ("name", name.to_json()),
+                    ("args", args.to_json()),
+                ]),
+            )]),
+            Atom::EnvFact {
+                relation,
+                args,
+                negated,
+            } => Json::obj(vec![(
+                "EnvFact",
+                Json::obj(vec![
+                    ("relation", relation.to_json()),
+                    ("args", args.to_json()),
+                    ("negated", Json::Bool(*negated)),
+                ]),
+            )]),
+            Atom::EnvCompare { left, op, right } => Json::obj(vec![(
+                "EnvCompare",
+                Json::obj(vec![
+                    ("left", left.to_json()),
+                    ("op", op.to_json()),
+                    ("right", right.to_json()),
+                ]),
+            )]),
+            Atom::EnvPredicate { name, args } => Json::obj(vec![(
+                "EnvPredicate",
+                Json::obj(vec![("name", name.to_json()), ("args", args.to_json())]),
+            )]),
+        }
+    }
+}
+
+impl FromJson for Atom {
+    fn from_json(json: &Json) -> Result<Self, JsonError> {
+        let pairs = json
+            .as_obj()
+            .ok_or_else(|| JsonError::expected("Atom object"))?;
+        let [(tag, payload)] = pairs else {
+            return Err(JsonError::expected("single-variant Atom object"));
+        };
+        match tag.as_str() {
+            "Prereq" => Ok(Atom::Prereq {
+                service: FromJson::from_json(payload.field("service")?)?,
+                role: FromJson::from_json(payload.field("role")?)?,
+                args: FromJson::from_json(payload.field("args")?)?,
+            }),
+            "Appointment" => Ok(Atom::Appointment {
+                issuer: FromJson::from_json(payload.field("issuer")?)?,
+                name: FromJson::from_json(payload.field("name")?)?,
+                args: FromJson::from_json(payload.field("args")?)?,
+            }),
+            "EnvFact" => Ok(Atom::EnvFact {
+                relation: FromJson::from_json(payload.field("relation")?)?,
+                args: FromJson::from_json(payload.field("args")?)?,
+                negated: bool::from_json(payload.field("negated")?)?,
+            }),
+            "EnvCompare" => Ok(Atom::EnvCompare {
+                left: FromJson::from_json(payload.field("left")?)?,
+                op: FromJson::from_json(payload.field("op")?)?,
+                right: FromJson::from_json(payload.field("right")?)?,
+            }),
+            "EnvPredicate" => Ok(Atom::EnvPredicate {
+                name: FromJson::from_json(payload.field("name")?)?,
+                args: FromJson::from_json(payload.field("args")?)?,
+            }),
+            other => Err(JsonError::new(format!("unknown Atom variant `{other}`"))),
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -250,6 +545,72 @@ mod tests {
             None,
         );
         round_trip(&Credential::Appointment(appt));
+    }
+
+    #[test]
+    fn cred_records_round_trip_in_every_status() {
+        for status in [
+            CredStatus::Active,
+            CredStatus::Revoked {
+                reason: "appointment withdrawn".into(),
+                at: 40,
+            },
+            CredStatus::Expired { at: 99 },
+        ] {
+            round_trip(&CredRecord {
+                crr: Crr::new(ServiceId::new("svc"), CertId(7)),
+                principal: PrincipalId::new("alice"),
+                kind: CredentialKind::Rmc,
+                name: "doctor".into(),
+                args: vec![Value::id("dr-1"), Value::Int(2)],
+                issued_at: 10,
+                expires_at: Some(500),
+                status,
+            });
+        }
+        round_trip(&CredentialKind::Appointment);
+    }
+
+    #[test]
+    fn rule_atoms_round_trip() {
+        for atom in [
+            Atom::Prereq {
+                service: None,
+                role: RoleName::new("logged_in"),
+                args: vec![Term::var("uid"), Term::Wildcard],
+            },
+            Atom::Appointment {
+                issuer: Some(ServiceId::new("nhs")),
+                name: "employed_as_doctor".into(),
+                args: vec![Term::val(Value::id("dr-1"))],
+            },
+            Atom::EnvFact {
+                relation: "on_duty".into(),
+                args: vec![Term::var("uid")],
+                negated: true,
+            },
+            Atom::EnvCompare {
+                left: Term::var("t"),
+                op: CmpOp::Le,
+                right: Term::val(Value::Time(100)),
+            },
+            Atom::EnvPredicate {
+                name: "within_ward".into(),
+                args: vec![Term::var("w")],
+            },
+        ] {
+            round_trip(&atom);
+        }
+        for op in [
+            CmpOp::Eq,
+            CmpOp::Ne,
+            CmpOp::Lt,
+            CmpOp::Le,
+            CmpOp::Gt,
+            CmpOp::Ge,
+        ] {
+            round_trip(&op);
+        }
     }
 
     #[test]

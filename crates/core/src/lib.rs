@@ -71,6 +71,7 @@
 
 pub mod audit;
 pub mod cert;
+pub mod durable;
 pub mod env;
 mod error;
 pub mod ids;
@@ -89,6 +90,10 @@ pub use audit::{AuditEntry, AuditKind, AuditLog};
 pub use cert::{
     AppointmentCertificate, CertEvent, CertEventKind, CredRecord, CredStatus, Credential,
     CredentialKind, Crr,
+};
+pub use durable::{
+    CatchUpReport, RecoveryReport, SecurityEvent, ServiceJournal, ServiceSnapshot, SnapshotRecord,
+    Watermark,
 };
 pub use env::{CmpOp, EnvContext};
 pub use error::OasisError;

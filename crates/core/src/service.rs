@@ -52,19 +52,24 @@ use std::collections::hash_map::DefaultHasher;
 use std::collections::{HashMap, HashSet};
 use std::fmt;
 use std::hash::{Hash, Hasher};
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Weak};
 
 use parking_lot::{Mutex, RwLock};
 
-use oasis_crypto::{IssuerSecret, PublicKey};
-use oasis_events::{EventBus, HeartbeatMonitor, SourceHealth, SourceId};
+use oasis_crypto::{IssuerSecret, PublicKey, SecretEpoch};
+use oasis_events::{DeliveredEvent, EventBus, HeartbeatMonitor, SourceHealth, SourceId, Topic};
 use oasis_facts::{FactChange, FactStore};
+use oasis_store::JournalStats;
 
 use crate::audit::{AuditKind, AuditLog};
 use crate::cert::{
     revocation_topic, AppointmentCertificate, CertEvent, CertEventKind, CredRecord, CredStatus,
     Credential, CredentialKind, Crr, Rmc,
+};
+use crate::durable::{
+    CatchUpReport, RecoveryReport, SecurityEvent, ServiceJournal, ServiceSnapshot, SnapshotRecord,
+    Watermark,
 };
 use crate::env::EnvContext;
 use crate::error::OasisError;
@@ -221,14 +226,59 @@ impl FailureAware {
     }
 }
 
+/// The durability half of the service: the write-ahead journal of
+/// [`SecurityEvent`]s, snapshot cadence, and crash-recovery bookkeeping
+/// (see the `durable` module docs).
+struct Durable {
+    store: ServiceJournal,
+    /// Auto-snapshot after this many journal appends (`None` = manual
+    /// snapshots only).
+    snapshot_every: Option<u64>,
+    appends_since_snapshot: AtomicU64,
+    /// Held (shared) across every journal-append → in-memory-apply
+    /// window, and exclusively by [`OasisService::snapshot`], so a
+    /// snapshot's `covered_seq` never claims an event whose effect is
+    /// not yet applied.
+    commit: RwLock<()>,
+    /// True while [`OasisService::recover`] replays: suppresses
+    /// journalling (replay must not re-journal itself) and bus
+    /// publication.
+    replaying: AtomicBool,
+    /// True after recovery restored state, until
+    /// [`OasisService::complete_catchup`]: the validation cache is
+    /// treated as suspect because revocations may have been missed
+    /// while the service was down.
+    catchup: AtomicBool,
+    /// Chaos hook: simulate a crash between the next journal append and
+    /// its in-memory apply.
+    crash_after_append: AtomicBool,
+    /// topic → `(topic_seq, global_seq)` of the last bus event applied.
+    watermarks: Mutex<HashMap<String, (u64, u64)>>,
+}
+
 /// Configuration for constructing an [`OasisService`].
-#[derive(Debug)]
 pub struct ServiceConfig {
     id: ServiceId,
     bus: Option<EventBus<CertEvent>>,
     secret: Option<IssuerSecret>,
     validation_cache_ttl: Option<u64>,
     heartbeats: Option<HeartbeatConfig>,
+    journal: Option<ServiceJournal>,
+    snapshot_every: Option<u64>,
+    revocation_retention: Option<usize>,
+}
+
+impl fmt::Debug for ServiceConfig {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("ServiceConfig")
+            .field("id", &self.id)
+            .field("validation_cache_ttl", &self.validation_cache_ttl)
+            .field("heartbeats", &self.heartbeats)
+            .field("journal", &self.journal.is_some())
+            .field("snapshot_every", &self.snapshot_every)
+            .field("revocation_retention", &self.revocation_retention)
+            .finish_non_exhaustive()
+    }
 }
 
 impl ServiceConfig {
@@ -240,6 +290,9 @@ impl ServiceConfig {
             secret: None,
             validation_cache_ttl: None,
             heartbeats: None,
+            journal: None,
+            snapshot_every: None,
+            revocation_retention: None,
         }
     }
 
@@ -290,6 +343,40 @@ impl ServiceConfig {
     #[must_use]
     pub fn with_heartbeats(mut self, config: HeartbeatConfig) -> Self {
         self.heartbeats = Some(config);
+        self
+    }
+
+    /// Makes the service durable: every security-relevant state change
+    /// (certificate issue, revocation, expiry, foreign-revocation
+    /// delivery, validation grant, epoch change) is appended to
+    /// `journal` *before* it is acknowledged, and
+    /// [`OasisService::recover`] rebuilds the full record and cache
+    /// state from it after a crash.
+    #[must_use]
+    pub fn with_journal(mut self, journal: ServiceJournal) -> Self {
+        self.journal = Some(journal);
+        self
+    }
+
+    /// With a journal configured, writes a [`ServiceSnapshot`] (and
+    /// truncates the journal) automatically after every `appends`
+    /// journal appends, bounding replay time after a crash. Manual
+    /// [`OasisService::snapshot`] calls remain available either way.
+    #[must_use]
+    pub fn with_snapshot_every(mut self, appends: u64) -> Self {
+        self.snapshot_every = Some(appends.max(1));
+        self
+    }
+
+    /// Retains the last `capacity` events on this service's own
+    /// revocation topic in the bus's replay ring
+    /// ([`EventBus::retain`]), so subscribers that crash can close
+    /// their delivery gap with [`OasisService::catch_up`] /
+    /// [`EventBus::replay_after`] instead of missing revocations
+    /// silently.
+    #[must_use]
+    pub fn with_revocation_retention(mut self, capacity: usize) -> Self {
+        self.revocation_retention = Some(capacity.max(1));
         self
     }
 }
@@ -481,6 +568,7 @@ pub struct OasisService {
     shards: [Mutex<CertShard>; SHARD_COUNT],
     vcache: Option<ValidationCache>,
     fa: Option<FailureAware>,
+    durable: Option<Durable>,
     validator: RwLock<Option<Arc<dyn CredentialValidator>>>,
     next_cert: AtomicU64,
     next_rule: AtomicU64,
@@ -521,24 +609,40 @@ impl OasisService {
                 dead: Mutex::new(HashMap::new()),
                 counters: DegradationCounters::default(),
             }),
+            durable: config.journal.map(|store| Durable {
+                store,
+                snapshot_every: config.snapshot_every,
+                appends_since_snapshot: AtomicU64::new(0),
+                commit: RwLock::new(()),
+                replaying: AtomicBool::new(false),
+                catchup: AtomicBool::new(false),
+                crash_after_append: AtomicBool::new(false),
+                watermarks: Mutex::new(HashMap::new()),
+            }),
             validator: RwLock::new(None),
             next_cert: AtomicU64::new(1),
             next_rule: AtomicU64::new(1),
             last_now: AtomicU64::new(0),
         });
 
+        if let Some(capacity) = config.revocation_retention {
+            service
+                .bus
+                .retain(revocation_topic(&service.id).as_str(), capacity)
+                .expect("exact topic is a valid pattern and capacity >= 1");
+        }
+
         // Revocation push: collapse certificates depending on a revoked
         // credential the moment the event is published (same thread), and
-        // evict any cached validation of it.
+        // evict any cached validation of it. Durable services also
+        // journal the delivery watermark per topic (gap detection after
+        // a crash).
         let weak = Arc::downgrade(&service);
         service
             .bus
             .subscribe_fn("cred.revoked.#", move |event| {
                 if let Some(svc) = Weak::upgrade(&weak) {
-                    if let Some(cache) = &svc.vcache {
-                        cache.invalidate(&event.payload.crr);
-                    }
-                    svc.handle_revocation_event(&event.payload);
+                    svc.handle_revocation_delivery(event);
                 }
             })
             .expect("static pattern is valid");
@@ -595,6 +699,551 @@ impl OasisService {
 
     fn record_shard(&self, cert_id: CertId) -> &Mutex<CertShard> {
         &self.shards[shard_of_cert(cert_id)]
+    }
+
+    // ------------------------------------------------------------------
+    // Durability: write-ahead journal, snapshots, recovery, catch-up
+    // ------------------------------------------------------------------
+
+    /// Appends `event` to the journal (no-op without a journal, or
+    /// while recovery is replaying).
+    ///
+    /// # Errors
+    ///
+    /// [`OasisError::Journal`] when the backing store rejects the
+    /// append — the caller decides whether that aborts the operation
+    /// (issuance: yes) or merely loses durability (revocation: no).
+    fn journal(&self, event: &SecurityEvent) -> Result<(), OasisError> {
+        let Some(d) = &self.durable else {
+            return Ok(());
+        };
+        if d.replaying.load(Ordering::Relaxed) {
+            return Ok(());
+        }
+        d.store
+            .append(event)
+            .map_err(|e| OasisError::Journal(e.to_string()))?;
+        d.appends_since_snapshot.fetch_add(1, Ordering::Relaxed);
+        Ok(())
+    }
+
+    /// True exactly once after [`OasisService::chaos_arm_crash_after_journal`]:
+    /// the caller must return *without* applying the journalled change,
+    /// simulating a crash inside the append→apply window.
+    fn chaos_crash_pending(&self) -> bool {
+        self.durable
+            .as_ref()
+            .is_some_and(|d| d.crash_after_append.swap(false, Ordering::Relaxed))
+    }
+
+    /// Arms the kill-during-commit chaos hook: the next journalled
+    /// operation appends its event and then "crashes" (returns a
+    /// failure) without applying it in memory. Recovery replay must
+    /// heal exactly this window. Returns `false` without a journal.
+    #[doc(hidden)]
+    pub fn chaos_arm_crash_after_journal(&self) -> bool {
+        match &self.durable {
+            Some(d) => {
+                d.crash_after_append.store(true, Ordering::Relaxed);
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Takes an automatic snapshot when the configured append budget is
+    /// spent. Called from mutating operations *after* their in-memory
+    /// apply, with no lock held.
+    fn maybe_autosnapshot(&self) {
+        let Some(d) = &self.durable else {
+            return;
+        };
+        let Some(every) = d.snapshot_every else {
+            return;
+        };
+        if d.appends_since_snapshot.load(Ordering::Relaxed) >= every {
+            let _ = self.snapshot();
+        }
+    }
+
+    /// Memoises a successful foreign validation and journals it, so a
+    /// recovered service restores its cache warmth instead of
+    /// stampeding issuers with callbacks.
+    fn remember_validation(&self, crr: &Crr, presenter: &PrincipalId, now: u64) {
+        if let Some(cache) = &self.vcache {
+            cache.store(crr.clone(), presenter.clone(), now);
+            let _ = self.journal(&SecurityEvent::ValidationGranted {
+                crr: crr.clone(),
+                presenter: presenter.clone(),
+                at: now,
+            });
+            self.maybe_autosnapshot();
+        }
+    }
+
+    /// Rotates the issuer secret to a fresh epoch, journalling the
+    /// policy-epoch change. Certificates issued under previous epochs
+    /// keep verifying until those epochs are retired.
+    pub fn rotate_secret(&self, now: u64) -> SecretEpoch {
+        self.last_now.store(now, Ordering::Relaxed);
+        let epoch = self.secret.rotate();
+        let _ = self.journal(&SecurityEvent::EpochChanged {
+            epoch: epoch.0,
+            at: now,
+        });
+        self.maybe_autosnapshot();
+        epoch
+    }
+
+    /// Journal append/byte/heal counters, or `None` without a journal.
+    pub fn journal_stats(&self) -> Option<JournalStats> {
+        self.durable.as_ref().map(|d| d.store.journal_stats())
+    }
+
+    /// Writes a [`ServiceSnapshot`] of the full record, dependency, and
+    /// watermark state and truncates the journal records it covers.
+    /// Returns how many journal records were truncated (0 without a
+    /// journal).
+    ///
+    /// # Errors
+    ///
+    /// [`OasisError::Journal`] when the snapshot store rejects the
+    /// write; the journal is left untouched in that case.
+    pub fn snapshot(&self) -> Result<u64, OasisError> {
+        let Some(d) = &self.durable else {
+            return Ok(0);
+        };
+        // Exclusive against every journal-append → apply window: no
+        // event ≤ covered_seq can still be unapplied while we scan.
+        let commit = d.commit.write();
+        let covered = d.store.last_seq();
+        let mut records: Vec<SnapshotRecord> = Vec::new();
+        for shard in &self.shards {
+            let shard = shard.lock();
+            records.extend(shard.records.values().map(|r| SnapshotRecord {
+                record: r.record.clone(),
+                depends_on: r.depends_on.clone(),
+                retained_checks: r.retained_checks.clone(),
+            }));
+        }
+        drop(commit);
+        records.sort_by_key(|r| r.record.crr.cert_id.0);
+        let watermarks = self.watermarks();
+        let snap = ServiceSnapshot {
+            next_cert: self.next_cert.load(Ordering::Relaxed),
+            records,
+            watermarks,
+        };
+        let truncated = d
+            .store
+            .write_snapshot(covered, &snap)
+            .map_err(|e| OasisError::Journal(e.to_string()))?;
+        d.appends_since_snapshot.store(0, Ordering::Relaxed);
+        Ok(truncated)
+    }
+
+    /// The per-topic revocation watermarks currently held, sorted by
+    /// topic (empty without a journal).
+    pub fn watermarks(&self) -> Vec<Watermark> {
+        let Some(d) = &self.durable else {
+            return Vec::new();
+        };
+        let wm = d.watermarks.lock();
+        let mut out: Vec<Watermark> = wm
+            .iter()
+            .map(|(topic, &(topic_seq, global_seq))| Watermark {
+                topic: topic.clone(),
+                topic_seq,
+                global_seq,
+            })
+            .collect();
+        drop(wm);
+        out.sort_by(|a, b| a.topic.cmp(&b.topic));
+        out
+    }
+
+    /// Rebuilds the service's certificate, dependency, cache, and
+    /// watermark state from the journal: loads the newest valid
+    /// snapshot (a corrupt one is *ignored*, falling back to full
+    /// replay) and replays the journal suffix idempotently. Policy
+    /// (roles and rules) is configuration, not state — re-install it
+    /// before or after calling this.
+    ///
+    /// When any state was restored, the report's `catchup_required` is
+    /// set and [`OasisService::catchup_pending`] turns true: until
+    /// [`OasisService::catch_up`] (or [`OasisService::complete_catchup`])
+    /// runs, cached foreign validations are treated as suspect, because
+    /// revocations may have been published while this service was down.
+    ///
+    /// Secret material is intentionally never journalled; a service
+    /// whose secret rotated before the crash must be reconstructed with
+    /// [`ServiceConfig::with_secret`].
+    ///
+    /// # Errors
+    ///
+    /// [`OasisError::Journal`] when the backing store cannot be read at
+    /// all. Torn tails and corrupt snapshots are *not* errors — they
+    /// are healed/skipped and reported in the [`RecoveryReport`].
+    pub fn recover(&self, now: u64) -> Result<RecoveryReport, OasisError> {
+        let Some(d) = &self.durable else {
+            return Ok(RecoveryReport::default());
+        };
+        self.last_now.store(now, Ordering::Relaxed);
+        let recovered = d
+            .store
+            .load()
+            .map_err(|e| OasisError::Journal(e.to_string()))?;
+        // A torn tail may have been healed when the journal was opened
+        // (before this call) or surface now at load time; report both.
+        let mut report = RecoveryReport {
+            snapshot_corrupt: recovered.snapshot_corrupt,
+            torn_tail_bytes: recovered.tail.torn_bytes + d.store.open_tail().torn_bytes,
+            ..RecoveryReport::default()
+        };
+        d.replaying.store(true, Ordering::Relaxed);
+        if let Some((covered, snapshot)) = recovered.snapshot {
+            report.snapshot_covered_seq = covered;
+            self.apply_snapshot(snapshot, &mut report);
+        }
+        for (_seq, event) in &recovered.events {
+            self.apply_event(event, &mut report);
+            report.events_replayed += 1;
+        }
+        d.replaying.store(false, Ordering::Relaxed);
+        report.watermarks = self.watermarks();
+        if report.records_restored > 0
+            || report.events_replayed > 0
+            || report.snapshot_covered_seq > 0
+        {
+            d.catchup.store(true, Ordering::Relaxed);
+            report.catchup_required = true;
+        }
+        self.audit.record(
+            now,
+            AuditKind::Recovered {
+                events_replayed: report.events_replayed,
+                records_restored: report.records_restored,
+            },
+        );
+        Ok(report)
+    }
+
+    /// Applies a loaded snapshot: records and their dependency edges,
+    /// the next certificate id, and the delivery watermarks.
+    fn apply_snapshot(&self, snapshot: ServiceSnapshot, report: &mut RecoveryReport) {
+        for entry in snapshot.records {
+            let cert_id = entry.record.crr.cert_id;
+            if self
+                .record_shard(cert_id)
+                .lock()
+                .records
+                .contains_key(&cert_id)
+            {
+                continue;
+            }
+            self.install_record(RecordState {
+                record: entry.record,
+                depends_on: entry.depends_on,
+                retained_checks: entry.retained_checks,
+            });
+            report.records_restored += 1;
+        }
+        self.next_cert
+            .fetch_max(snapshot.next_cert, Ordering::Relaxed);
+        if let Some(d) = &self.durable {
+            let mut wm = d.watermarks.lock();
+            for mark in snapshot.watermarks {
+                let entry = wm.entry(mark.topic).or_insert((0, 0));
+                entry.0 = entry.0.max(mark.topic_seq);
+                entry.1 = entry.1.max(mark.global_seq);
+            }
+        }
+    }
+
+    /// Replays one journalled event. Idempotent: replaying an event
+    /// whose effect is already present (snapshot overlap, duplicate
+    /// replay, crash-after-apply) changes nothing.
+    fn apply_event(&self, event: &SecurityEvent, report: &mut RecoveryReport) {
+        match event {
+            SecurityEvent::CertIssued {
+                record,
+                depends_on,
+                retained_checks,
+            } => {
+                let cert_id = record.crr.cert_id;
+                if self
+                    .record_shard(cert_id)
+                    .lock()
+                    .records
+                    .contains_key(&cert_id)
+                {
+                    return;
+                }
+                self.install_record(RecordState {
+                    record: record.clone(),
+                    depends_on: depends_on.clone(),
+                    retained_checks: retained_checks.clone(),
+                });
+                self.next_cert.fetch_max(cert_id.0 + 1, Ordering::Relaxed);
+                report.records_restored += 1;
+            }
+            SecurityEvent::ValidationGranted { crr, presenter, at } => {
+                if let Some(cache) = &self.vcache {
+                    cache.store(crr.clone(), presenter.clone(), *at);
+                    report.validations_restored += 1;
+                }
+            }
+            SecurityEvent::CertRevoked {
+                cert_id,
+                reason,
+                at,
+            } => {
+                if self.replay_status_change(
+                    *cert_id,
+                    CredStatus::Revoked {
+                        reason: reason.clone(),
+                        at: *at,
+                    },
+                ) {
+                    report.revocations_replayed += 1;
+                }
+            }
+            SecurityEvent::CertExpired { cert_id, at } => {
+                if self.replay_status_change(*cert_id, CredStatus::Expired { at: *at }) {
+                    report.revocations_replayed += 1;
+                }
+            }
+            SecurityEvent::RevocationApplied {
+                topic,
+                topic_seq,
+                global_seq,
+                crr,
+            } => {
+                if let Some(cache) = &self.vcache {
+                    cache.invalidate(crr);
+                }
+                // The live cascade consumed this dependency entry and
+                // journalled each collapsed certificate as its own
+                // CertRevoked event, so replay only mirrors the index
+                // removal and the watermark.
+                self.shards[shard_of_hash(crr)].lock().dep_index.remove(crr);
+                if let Some(d) = &self.durable {
+                    let mut wm = d.watermarks.lock();
+                    let entry = wm.entry(topic.clone()).or_insert((0, 0));
+                    entry.0 = entry.0.max(*topic_seq);
+                    entry.1 = entry.1.max(*global_seq);
+                }
+            }
+            // Secret material is never journalled; the epoch marker is
+            // an audit fact, not replayable state.
+            SecurityEvent::EpochChanged { .. } => {}
+        }
+    }
+
+    /// Marks a record's status during replay, mirroring the index
+    /// cleanup the live revocation path performs. Returns whether the
+    /// record was active (i.e. the replay changed anything).
+    fn replay_status_change(&self, cert_id: CertId, status: CredStatus) -> bool {
+        let crr = {
+            let mut shard = self.record_shard(cert_id).lock();
+            let Some(rec) = shard.records.get_mut(&cert_id) else {
+                return false;
+            };
+            if !rec.record.status.is_active() {
+                return false;
+            }
+            rec.record.status = status;
+            rec.record.crr.clone()
+        };
+        // The live publish→subscribe cycle removed the revoked
+        // certificate's own dependency entry (cascade bookkeeping).
+        self.shards[shard_of_hash(&crr)]
+            .lock()
+            .dep_index
+            .remove(&crr);
+        true
+    }
+
+    /// Inserts a record and its dependency/fact edges — edges first,
+    /// then the record, one shard lock at a time (same ordering as
+    /// live issuance). Inactive records get no edges: nothing may
+    /// cascade off a revoked certificate.
+    fn install_record(&self, state: RecordState) {
+        let cert_id = state.record.crr.cert_id;
+        if state.record.status.is_active() {
+            for dep in &state.depends_on {
+                self.shards[shard_of_hash(dep)]
+                    .lock()
+                    .dep_index
+                    .entry(dep.clone())
+                    .or_default()
+                    .insert(cert_id);
+            }
+            for atom in &state.retained_checks {
+                if let Atom::EnvFact {
+                    relation,
+                    args,
+                    negated,
+                } = atom
+                {
+                    if let Some(tuple) = args.iter().map(term_as_const).collect::<Option<Vec<_>>>()
+                    {
+                        let key = (relation.clone(), tuple);
+                        self.shards[shard_of_hash(&key)]
+                            .lock()
+                            .fact_index
+                            .entry(key)
+                            .or_default()
+                            .push((cert_id, !negated));
+                    }
+                }
+            }
+        }
+        self.record_shard(cert_id)
+            .lock()
+            .records
+            .insert(cert_id, state);
+    }
+
+    /// Whether recovery restored state that has not yet been reconciled
+    /// with the bus ([`OasisService::catch_up`]). While pending, cached
+    /// foreign validations never grant on their own.
+    pub fn catchup_pending(&self) -> bool {
+        self.durable
+            .as_ref()
+            .is_some_and(|d| d.catchup.load(Ordering::Relaxed))
+    }
+
+    /// Clears the catch-up-pending flag. [`OasisService::catch_up`]
+    /// does this implicitly only when its replay was gap-free; call it
+    /// directly when the operator accepts the risk (or no issuers are
+    /// involved).
+    pub fn complete_catchup(&self) {
+        if let Some(d) = &self.durable {
+            d.catchup.store(false, Ordering::Relaxed);
+        }
+    }
+
+    /// Closes the revocation-delivery gap for one topic after recovery:
+    /// replays every event after our persisted watermark from the
+    /// publisher's retained ring on `source`
+    /// ([`EventBus::replay_after`]) and applies each one exactly once
+    /// (already-seen sequence numbers are skipped).
+    ///
+    /// If the ring had already evicted part of the gap (`complete` is
+    /// `false` in the report), every cached validation for that topic's
+    /// issuer is dropped — missed revocations can then only be
+    /// discovered by fresh issuer callbacks, which is the safe side.
+    /// A gap-free replay clears [`OasisService::catchup_pending`].
+    pub fn catch_up(&self, source: &EventBus<CertEvent>, topic: &str, now: u64) -> CatchUpReport {
+        let after = self.watermark_for(topic);
+        let (events, complete) = source.replay_after(&Topic::new(topic), after);
+        self.catch_up_with(topic, &events, complete, now)
+    }
+
+    /// The persisted per-topic watermark: the highest `topic_seq` this
+    /// service has applied from `topic` (0 when none). This is the
+    /// `after` value to hand a remote publisher when requesting a
+    /// resync over the wire.
+    pub fn watermark_for(&self, topic: &str) -> u64 {
+        self.durable
+            .as_ref()
+            .and_then(|d| d.watermarks.lock().get(topic).map(|&(ts, _)| ts))
+            .unwrap_or(0)
+    }
+
+    /// Replays this service's own retained ring for `topic` — the
+    /// publisher side of a catch-up resync. A server hosting this
+    /// service answers a subscriber's resync request with exactly this.
+    /// Requires [`ServiceConfig::with_revocation_retention`] (an
+    /// unretained topic replays nothing, and `complete` is only `true`
+    /// if nothing was ever published on it).
+    pub fn replay_retained(
+        &self,
+        topic: &str,
+        after_topic_seq: u64,
+    ) -> (Vec<DeliveredEvent<CertEvent>>, bool) {
+        self.bus.replay_after(&Topic::new(topic), after_topic_seq)
+    }
+
+    /// As [`OasisService::catch_up`], but applying an event batch
+    /// fetched elsewhere — typically a wire-layer resync response from
+    /// the publisher. `complete` must be the publisher's gap-free flag
+    /// for the batch; passing `true` for an incomplete batch silently
+    /// loses revocations.
+    pub fn catch_up_with(
+        &self,
+        topic: &str,
+        events: &[DeliveredEvent<CertEvent>],
+        complete: bool,
+        now: u64,
+    ) -> CatchUpReport {
+        self.last_now.store(now, Ordering::Relaxed);
+        let mut report = CatchUpReport {
+            replayed: events.len() as u64,
+            applied: 0,
+            complete,
+        };
+        for event in events {
+            if self.apply_resynced(event) {
+                report.applied += 1;
+            }
+        }
+        if complete {
+            self.complete_catchup();
+        } else if let Some(cache) = &self.vcache {
+            if let Some(issuer) = topic.strip_prefix("cred.revoked.") {
+                cache.invalidate_issuer(&ServiceId::new(issuer));
+            }
+        }
+        report
+    }
+
+    /// Applies one resynced revocation event unless its sequence number
+    /// is at or below the topic watermark (already applied before the
+    /// crash, or duplicated by overlapping catch-ups).
+    fn apply_resynced(&self, event: &DeliveredEvent<CertEvent>) -> bool {
+        if let Some(d) = &self.durable {
+            let wm = d.watermarks.lock();
+            if let Some(&(topic_seq, _)) = wm.get(event.topic.as_str()) {
+                if event.topic_seq <= topic_seq {
+                    return false;
+                }
+            }
+        }
+        self.handle_revocation_delivery(event);
+        true
+    }
+
+    /// Every `cred.revoked.*` delivery lands here — live from the bus
+    /// or resynced by [`OasisService::catch_up`]: evict the cache,
+    /// journal the watermark (foreign topics only: our own revocations
+    /// are already journalled as [`SecurityEvent::CertRevoked`]), and
+    /// run the dependency cascade.
+    fn handle_revocation_delivery(&self, event: &DeliveredEvent<CertEvent>) {
+        if let Some(cache) = &self.vcache {
+            cache.invalidate(&event.payload.crr);
+        }
+        if let Some(d) = self
+            .durable
+            .as_ref()
+            .filter(|_| event.topic != revocation_topic(&self.id))
+        {
+            let _commit = d.commit.read();
+            let _ = self.journal(&SecurityEvent::RevocationApplied {
+                topic: event.topic.as_str().to_string(),
+                topic_seq: event.topic_seq,
+                global_seq: event.global_seq,
+                crr: event.payload.crr.clone(),
+            });
+            let mut wm = d.watermarks.lock();
+            let entry = wm.entry(event.topic.as_str().to_string()).or_insert((0, 0));
+            entry.0 = entry.0.max(event.topic_seq);
+            entry.1 = entry.1.max(event.global_seq);
+            drop(wm);
+        }
+        self.handle_revocation_event(&event.payload);
+        self.maybe_autosnapshot();
     }
 
     // ------------------------------------------------------------------
@@ -975,6 +1624,19 @@ impl OasisService {
             return self.validate_own(credential, presenter, now);
         }
         let issuer = credential.issuer().clone();
+        // After a recovery, until catch-up confirms no revocation was
+        // missed while the service was down, a cache hit alone never
+        // grants: the entry may predate a revocation we did not see.
+        if self.catchup_pending() {
+            if self.fa.is_some() {
+                return self.validate_suspect(credential, presenter, now, &issuer);
+            }
+            let result = self.issuer_callback(credential, presenter, now);
+            if result.is_ok() {
+                self.remember_validation(credential.crr(), presenter, now);
+            }
+            return result;
+        }
         let health = self
             .fa
             .as_ref()
@@ -990,9 +1652,7 @@ impl OasisService {
                 }
                 let result = self.issuer_callback(credential, presenter, now);
                 if result.is_ok() {
-                    if let Some(cache) = &self.vcache {
-                        cache.store(credential.crr().clone(), presenter.clone(), now);
-                    }
+                    self.remember_validation(credential.crr(), presenter, now);
                 }
                 result
             }
@@ -1005,9 +1665,7 @@ impl OasisService {
                 if result.is_ok() {
                     // The issuer answered, so only its heartbeat path is
                     // broken; fresh authority is safe to memoise.
-                    if let Some(cache) = &self.vcache {
-                        cache.store(credential.crr().clone(), presenter.clone(), now);
-                    }
+                    self.remember_validation(credential.crr(), presenter, now);
                 }
                 result
             }
@@ -1033,9 +1691,7 @@ impl OasisService {
         let result = self.issuer_callback(credential, presenter, now);
         match result {
             Ok(()) => {
-                if let Some(cache) = &self.vcache {
-                    cache.store(credential.crr().clone(), presenter.clone(), now);
-                }
+                self.remember_validation(credential.crr(), presenter, now);
                 Ok(())
             }
             Err(error) if classify_error(&error) == ErrorClass::Transient => {
@@ -1270,46 +1926,34 @@ impl OasisService {
             status: CredStatus::Active,
         };
 
-        // Dependency and fact edges go in first (one shard lock at a
-        // time), then the record itself. A revocation racing this window
-        // may find an edge pointing at a record that does not exist yet
-        // and drop the cascade — the re-validation below closes exactly
-        // that hole.
-        for dep in &depends_on {
-            self.shards[shard_of_hash(dep)]
-                .lock()
-                .dep_index
-                .entry(dep.clone())
-                .or_default()
-                .insert(cert_id);
-        }
-        for atom in &retained_checks {
-            if let Atom::EnvFact {
-                relation,
-                args,
-                negated,
-            } = atom
-            {
-                if let Some(tuple) = args.iter().map(term_as_const).collect::<Option<Vec<_>>>() {
-                    let key = (relation.clone(), tuple);
-                    self.shards[shard_of_hash(&key)]
-                        .lock()
-                        .fact_index
-                        .entry(key)
-                        .or_default()
-                        .push((cert_id, !negated));
-                }
-            }
-        }
+        // Journal before acknowledging: a journal failure aborts the
+        // issuance (the certificate must never outlive a crash its
+        // issuer cannot remember). The commit guard keeps a concurrent
+        // snapshot from covering this append before the record lands.
         let retained_creds = depends_on.clone();
-        self.record_shard(cert_id).lock().records.insert(
-            cert_id,
-            RecordState {
+        {
+            let _commit = self.durable.as_ref().map(|d| d.commit.read());
+            self.journal(&SecurityEvent::CertIssued {
+                record: record.clone(),
+                depends_on: depends_on.clone(),
+                retained_checks: retained_checks.clone(),
+            })?;
+            if self.chaos_crash_pending() {
+                return Err(OasisError::Journal(
+                    "chaos: crashed between journal append and apply".into(),
+                ));
+            }
+            // Dependency and fact edges go in first (one shard lock at a
+            // time), then the record itself. A revocation racing this
+            // window may find an edge pointing at a record that does not
+            // exist yet and drop the cascade — the re-validation below
+            // closes exactly that hole.
+            self.install_record(RecordState {
                 record,
                 depends_on,
                 retained_checks,
-            },
-        );
+            });
+        }
 
         // Close the race with concurrent revocation: the supporting
         // credentials were validated *before* the dependency edges above
@@ -1353,6 +1997,7 @@ impl OasisService {
                 crr,
             },
         );
+        self.maybe_autosnapshot();
 
         Ok(ActivationOutcome {
             rmc,
@@ -1505,14 +2150,27 @@ impl OasisService {
             expires_at,
             status: CredStatus::Active,
         };
-        self.record_shard(cert_id).lock().records.insert(
-            cert_id,
-            RecordState {
-                record,
+        {
+            let _commit = self.durable.as_ref().map(|d| d.commit.read());
+            self.journal(&SecurityEvent::CertIssued {
+                record: record.clone(),
                 depends_on: Vec::new(),
                 retained_checks: Vec::new(),
-            },
-        );
+            })?;
+            if self.chaos_crash_pending() {
+                return Err(OasisError::Journal(
+                    "chaos: crashed between journal append and apply".into(),
+                ));
+            }
+            self.record_shard(cert_id).lock().records.insert(
+                cert_id,
+                RecordState {
+                    record,
+                    depends_on: Vec::new(),
+                    retained_checks: Vec::new(),
+                },
+            );
+        }
 
         self.audit.record(
             ctx.now(),
@@ -1523,6 +2181,7 @@ impl OasisService {
                 crr,
             },
         );
+        self.maybe_autosnapshot();
         Ok(cert)
     }
 
@@ -1537,12 +2196,37 @@ impl OasisService {
     /// Returns `true` if the certificate was active.
     pub fn revoke_certificate(&self, cert_id: CertId, reason: &str, now: u64) -> bool {
         self.last_now.store(now, Ordering::Relaxed);
+        // Check without mutating first: the journal entry must precede
+        // the in-memory change, and must only be written for a
+        // revocation that will actually happen.
+        {
+            let shard = self.record_shard(cert_id).lock();
+            match shard.records.get(&cert_id) {
+                Some(rec) if rec.record.status.is_active() => {}
+                _ => return false,
+            }
+        }
         let crr = {
+            let _commit = self.durable.as_ref().map(|d| d.commit.read());
+            // A journal failure does NOT abort a revocation: losing the
+            // entry risks resurrecting the certificate on recovery, but
+            // refusing to revoke would keep live authority standing —
+            // strictly worse. The append error is deliberately dropped.
+            let _ = self.journal(&SecurityEvent::CertRevoked {
+                cert_id,
+                reason: reason.to_string(),
+                at: now,
+            });
+            if self.chaos_crash_pending() {
+                return false;
+            }
             let mut shard = self.record_shard(cert_id).lock();
             let Some(rec) = shard.records.get_mut(&cert_id) else {
                 return false;
             };
             if !rec.record.status.is_active() {
+                // Lost a race with a concurrent revocation; the extra
+                // journal entry replays as a no-op.
                 return false;
             }
             rec.record.status = CredStatus::Revoked {
@@ -1571,6 +2255,7 @@ impl OasisService {
             },
             now,
         );
+        self.maybe_autosnapshot();
         true
     }
 
@@ -1611,7 +2296,21 @@ impl OasisService {
     /// Marks a certificate expired and collapses its dependents, exactly
     /// like a revocation but recorded as expiry.
     fn expire_certificate(&self, cert_id: CertId, now: u64) {
+        {
+            let shard = self.record_shard(cert_id).lock();
+            match shard.records.get(&cert_id) {
+                Some(rec) if rec.record.status.is_active() => {}
+                _ => return,
+            }
+        }
         let crr = {
+            let _commit = self.durable.as_ref().map(|d| d.commit.read());
+            // As with revocation, a journal failure loses durability
+            // but never blocks the expiry itself.
+            let _ = self.journal(&SecurityEvent::CertExpired { cert_id, at: now });
+            if self.chaos_crash_pending() {
+                return;
+            }
             let mut shard = self.record_shard(cert_id).lock();
             let Some(rec) = shard.records.get_mut(&cert_id) else {
                 return;
@@ -1634,6 +2333,7 @@ impl OasisService {
             },
             now,
         );
+        self.maybe_autosnapshot();
     }
 
     /// Proactively expires every appointment certificate past its deadline

@@ -14,6 +14,8 @@
 use std::fmt;
 use std::sync::atomic::{AtomicU64, Ordering};
 
+use oasis_json::{FromJson, Json, JsonError, ToJson};
+
 use crate::cert::{Credential, Crr, Rmc};
 use crate::ids::{PrincipalId, RoleName, ServiceId, SessionId};
 use crate::validate::CredentialValidator;
@@ -136,6 +138,46 @@ impl Session {
     pub fn is_empty(&self) -> bool {
         self.credentials.is_empty()
     }
+
+    /// Serialises the wallet (id, principal, credentials in order) to a
+    /// JSON string, so a client can persist it across restarts and
+    /// resume with [`Session::restore`] instead of re-activating every
+    /// role from scratch.
+    pub fn save(&self) -> String {
+        oasis_json::to_string(self)
+    }
+
+    /// Restores a wallet saved by [`Session::save`]. The session keeps
+    /// its original id. Restored credentials may have been revoked
+    /// while the client was down — call [`Session::prune_invalid`]
+    /// against the issuers before trusting the wallet.
+    ///
+    /// # Errors
+    ///
+    /// [`JsonError`] when the text is not valid saved-session JSON.
+    pub fn restore(text: &str) -> Result<Self, JsonError> {
+        oasis_json::from_str(text)
+    }
+}
+
+impl ToJson for Session {
+    fn to_json(&self) -> Json {
+        Json::obj(vec![
+            ("id", self.id.to_json()),
+            ("principal", self.principal.to_json()),
+            ("credentials", self.credentials.to_json()),
+        ])
+    }
+}
+
+impl FromJson for Session {
+    fn from_json(json: &Json) -> Result<Self, JsonError> {
+        Ok(Self {
+            id: SessionId::from_json(json.field("id")?)?,
+            principal: PrincipalId::from_json(json.field("principal")?)?,
+            credentials: Vec::<Credential>::from_json(json.field("credentials")?)?,
+        })
+    }
 }
 
 /// A read-only summary of a session's active roles.
@@ -230,6 +272,19 @@ mod tests {
         assert_eq!(view.active_roles[1].1, RoleName::new("doctor"));
         let shown = view.to_string();
         assert!(shown.contains("hospital.doctor(x)"));
+    }
+
+    #[test]
+    fn wallet_save_restore_round_trips() {
+        let mut s = Session::start(PrincipalId::new("alice"));
+        s.add_rmc(rmc("login", 1, "logged_in"));
+        s.add_rmc(rmc("hospital", 2, "doctor"));
+        let saved = s.save();
+        let back = Session::restore(&saved).unwrap();
+        assert_eq!(back.id(), s.id());
+        assert_eq!(back.principal(), s.principal());
+        assert_eq!(back.credentials(), s.credentials());
+        assert!(Session::restore("{not json").is_err());
     }
 
     #[test]

@@ -167,10 +167,19 @@ struct CallbackSub<M> {
     callback: Callback<M>,
 }
 
+/// One retention rule: topics matching `pattern` keep their last
+/// `capacity` events in a replayable ring.
+struct RetentionCfg {
+    pattern: TopicPattern,
+    capacity: usize,
+}
+
 struct Inner<M> {
     queued: RwLock<HashMap<SubscriptionId, QueuedSub<M>>>,
     callbacks: RwLock<HashMap<CallbackId, CallbackSub<M>>>,
     topic_seq: Mutex<HashMap<Topic, u64>>,
+    retention: RwLock<Vec<RetentionCfg>>,
+    rings: Mutex<HashMap<Topic, VecDeque<DeliveredEvent<M>>>>,
     next_sub: AtomicU64,
     next_cb: AtomicU64,
     global_seq: AtomicU64,
@@ -229,6 +238,8 @@ impl<M> EventBus<M> {
                 queued: RwLock::new(HashMap::new()),
                 callbacks: RwLock::new(HashMap::new()),
                 topic_seq: Mutex::new(HashMap::new()),
+                retention: RwLock::new(Vec::new()),
+                rings: Mutex::new(HashMap::new()),
                 next_sub: AtomicU64::new(1),
                 next_cb: AtomicU64::new(1),
                 global_seq: AtomicU64::new(0),
@@ -367,6 +378,9 @@ impl<M> EventBus<M> {
             timestamp,
             payload,
         };
+        // Retain before delivery so a subscriber that resyncs from
+        // inside an inline callback already sees this event.
+        self.retain_event(&event);
 
         let mut delivered = 0;
         let mut overflowed: Vec<DeliveredEvent<M>> = Vec::new();
@@ -426,6 +440,109 @@ impl<M> EventBus<M> {
             }
         }
         delivered
+    }
+
+    /// Copies `event` into the retained ring of its topic, if any
+    /// retention rule matches, evicting the oldest retained event when
+    /// the ring is at capacity.
+    fn retain_event(&self, event: &DeliveredEvent<M>)
+    where
+        M: Clone,
+    {
+        let retention = self.inner.retention.read();
+        let Some(cfg) = retention.iter().find(|c| c.pattern.matches(&event.topic)) else {
+            return;
+        };
+        let capacity = cfg.capacity;
+        drop(retention);
+        let mut rings = self.inner.rings.lock();
+        let ring = rings.entry(event.topic.clone()).or_default();
+        if ring.len() >= capacity {
+            ring.pop_front();
+            self.inner
+                .stats
+                .retained_evictions
+                .fetch_add(1, Ordering::Relaxed);
+        }
+        ring.push_back(event.clone());
+    }
+
+    /// Enables bounded retention for topics matching `pattern`: each
+    /// matching topic keeps its most recent `capacity` events in a ring
+    /// replayable through [`EventBus::replay_after`]. Evicted events
+    /// count in [`BusStats::retained_evictions`]; a subscriber whose
+    /// watermark predates the ring learns its catch-up is incomplete.
+    ///
+    /// The first matching rule wins when several patterns overlap.
+    /// Events published before retention was enabled are not retained.
+    ///
+    /// # Errors
+    ///
+    /// [`EventError::InvalidTopic`] if `pattern` does not parse, or
+    /// [`EventError::InvalidCapacity`] for a zero capacity.
+    pub fn retain(&self, pattern: impl AsRef<str>, capacity: usize) -> Result<(), EventError> {
+        if capacity == 0 {
+            return Err(EventError::InvalidCapacity);
+        }
+        let pattern = TopicPattern::parse(pattern.as_ref())?;
+        self.inner
+            .retention
+            .write()
+            .push(RetentionCfg { pattern, capacity });
+        Ok(())
+    }
+
+    /// Replays the retained events of `topic` with `topic_seq >
+    /// after_topic_seq`, oldest first. The second component is `true`
+    /// when the replay is *gap-free*: every event published on the
+    /// topic after the watermark is included. `false` means the ring
+    /// has already evicted part of the range (or retention was not
+    /// active for it) — the caller must treat its derived state as
+    /// unverifiable and rebuild it from an authoritative source.
+    pub fn replay_after(
+        &self,
+        topic: &Topic,
+        after_topic_seq: u64,
+    ) -> (Vec<DeliveredEvent<M>>, bool)
+    where
+        M: Clone,
+    {
+        let current = self.inner.topic_seq.lock().get(topic).copied().unwrap_or(0);
+        if current <= after_topic_seq {
+            return (Vec::new(), true);
+        }
+        let rings = self.inner.rings.lock();
+        let events: Vec<DeliveredEvent<M>> = rings
+            .get(topic)
+            .map(|ring| {
+                ring.iter()
+                    .filter(|e| e.topic_seq > after_topic_seq)
+                    .cloned()
+                    .collect()
+            })
+            .unwrap_or_default();
+        drop(rings);
+        let expected = current - after_topic_seq;
+        let complete = events.len() as u64 == expected
+            && events.first().map(|e| e.topic_seq) == Some(after_topic_seq + 1);
+        (events, complete)
+    }
+
+    /// How many events the retained ring of `topic` currently holds.
+    pub fn retained_len(&self, topic: &Topic) -> usize {
+        self.inner
+            .rings
+            .lock()
+            .get(topic)
+            .map(VecDeque::len)
+            .unwrap_or(0)
+    }
+
+    /// The current per-topic sequence number of `topic` (0 if nothing
+    /// was ever published on it). A durable subscriber compares this
+    /// with its persisted watermark to detect missed events.
+    pub fn topic_seq(&self, topic: &Topic) -> u64 {
+        self.inner.topic_seq.lock().get(topic).copied().unwrap_or(0)
     }
 
     /// Number of live subscriptions (queued + callback).
@@ -677,6 +794,66 @@ mod tests {
         let stats = bus.stats();
         assert_eq!(stats.overflow_events, 3);
         assert_eq!(stats.dropped_overflow, 5);
+    }
+
+    #[test]
+    fn retained_ring_replays_after_watermark() {
+        let bus: EventBus<u8> = EventBus::new();
+        bus.retain("cred.revoked.*", 8).unwrap();
+        let topic = Topic::new("cred.revoked.login");
+        for i in 0..5 {
+            bus.publish_at(&topic, i, u64::from(i));
+        }
+        let (events, complete) = bus.replay_after(&topic, 2);
+        assert!(complete);
+        let got: Vec<u8> = events.iter().map(|e| e.payload).collect();
+        assert_eq!(got, vec![2, 3, 4]);
+        assert_eq!(events[0].topic_seq, 3);
+        // Watermark at the head: nothing to replay, still complete.
+        let (none, complete) = bus.replay_after(&topic, 5);
+        assert!(none.is_empty());
+        assert!(complete);
+    }
+
+    #[test]
+    fn eviction_makes_replay_incomplete_and_is_counted() {
+        let bus: EventBus<u8> = EventBus::new();
+        bus.retain("t", 2).unwrap();
+        let topic = Topic::new("t");
+        for i in 0..5 {
+            bus.publish(&topic, i);
+        }
+        assert_eq!(bus.stats().retained_evictions, 3);
+        assert_eq!(bus.retained_len(&topic), 2);
+        // Events 1..=3 are gone; a subscriber at watermark 0 cannot be
+        // made whole from the ring.
+        let (events, complete) = bus.replay_after(&topic, 0);
+        assert!(!complete);
+        assert_eq!(events.len(), 2);
+        // A subscriber whose watermark is inside the ring is fine.
+        let (events, complete) = bus.replay_after(&topic, 3);
+        assert!(complete);
+        assert_eq!(events.len(), 2);
+    }
+
+    #[test]
+    fn unretained_topic_with_history_replays_incomplete() {
+        let bus: EventBus<u8> = EventBus::new();
+        let topic = Topic::new("t");
+        bus.publish(&topic, 1);
+        bus.retain("t", 4).unwrap();
+        bus.publish(&topic, 2);
+        // Seq 1 predates retention: replay from 0 must admit the gap.
+        let (events, complete) = bus.replay_after(&topic, 0);
+        assert!(!complete);
+        assert_eq!(events.len(), 1);
+        assert_eq!(bus.topic_seq(&topic), 2);
+    }
+
+    #[test]
+    fn zero_capacity_retention_rejected() {
+        let bus: EventBus<u8> = EventBus::new();
+        assert_eq!(bus.retain("t", 0), Err(EventError::InvalidCapacity));
     }
 
     #[test]

@@ -22,6 +22,9 @@ pub enum EventError {
 
     /// A bounded subscription mailbox overflowed and the event was dropped.
     Overflow,
+
+    /// A retention ring was requested with capacity zero.
+    InvalidCapacity,
 }
 
 impl std::fmt::Display for EventError {
@@ -32,6 +35,7 @@ impl std::fmt::Display for EventError {
             Self::Disconnected => write!(f, "peer disconnected"),
             Self::UnknownSubscription(x0) => write!(f, "unknown subscription {x0}"),
             Self::Overflow => write!(f, "subscription mailbox overflow; event dropped"),
+            Self::InvalidCapacity => write!(f, "retention capacity must be at least 1"),
         }
     }
 }

@@ -20,6 +20,30 @@
 //! deterministic simulator in `oasis-sim` and the benchmarks can drive it
 //! reproducibly.
 //!
+//! # Overflow self-events (`bus.overflow.<topic>`)
+//!
+//! A bounded mailbox that overflows silently would turn a dropped
+//! revocation notice into an invisible security hole. The bus therefore
+//! *announces every drop*: when a bounded subscription on topic `t`
+//! discards an event, the discarded payload is republished on
+//! `bus.overflow.t` (the [`OVERFLOW_TOPIC_PREFIX`]). Monitors subscribe
+//! to `bus.overflow.#` to observe exactly which events were lost, and
+//! [`BusStats::overflow_events`] counts the announcements. Drops on an
+//! overflow topic itself are counted but never re-announced, so the
+//! announcement stream cannot amplify its own losses.
+//!
+//! # Retained rings and catch-up replay
+//!
+//! Delivery alone cannot serve a subscriber that was *down* when an
+//! event was published — exactly the crash window durable services must
+//! close. [`EventBus::retain`] keeps a bounded per-topic ring of recent
+//! events; a restarting subscriber compares its persisted
+//! [`DeliveredEvent::topic_seq`] watermark against
+//! [`EventBus::topic_seq`] and replays the gap with
+//! [`EventBus::replay_after`], which also reports whether the replay is
+//! gap-free or the ring has already evicted part of the range
+//! ([`BusStats::retained_evictions`]).
+//!
 //! # Example
 //!
 //! ```

@@ -10,6 +10,7 @@ pub(crate) struct StatsCounters {
     pub(crate) dropped: AtomicU64,
     pub(crate) dead_letters: AtomicU64,
     pub(crate) overflow_events: AtomicU64,
+    pub(crate) retained_evictions: AtomicU64,
 }
 
 impl StatsCounters {
@@ -20,6 +21,7 @@ impl StatsCounters {
             dropped_overflow: self.dropped.load(Ordering::Relaxed),
             dead_letters: self.dead_letters.load(Ordering::Relaxed),
             overflow_events: self.overflow_events.load(Ordering::Relaxed),
+            retained_evictions: self.retained_evictions.load(Ordering::Relaxed),
         }
     }
 }
@@ -50,6 +52,11 @@ pub struct BusStats {
     /// `bus.overflow.*` self-events published to announce those drops
     /// (see [`EventBus::publish_at`](crate::EventBus::publish_at)).
     pub overflow_events: u64,
+    /// Events evicted from per-topic retained rings
+    /// ([`EventBus::retain`](crate::EventBus::retain)) to make room for
+    /// newer ones. A non-zero count means a sufficiently stale
+    /// subscriber's catch-up replay may be incomplete.
+    pub retained_evictions: u64,
 }
 
 impl BusStats {

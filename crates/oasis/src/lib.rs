@@ -14,6 +14,7 @@
 //! | [`domain`] | domains, CIV replication, ECR caches, SLAs, federation |
 //! | [`trust`] | audit certificates, interaction histories, risk assessment |
 //! | [`sim`] | deterministic discrete-event simulation of distributed deployments |
+//! | [`store`] | the durability layer: checksummed security-event journal and snapshots |
 //! | [`wire`] | synchronous TCP transport for networked OASIS services |
 //!
 //! The repository's `examples/` directory walks through the paper's
@@ -30,6 +31,7 @@ pub use oasis_events as events;
 pub use oasis_facts as facts;
 pub use oasis_policy as policy;
 pub use oasis_sim as sim;
+pub use oasis_store as store;
 pub use oasis_trust as trust;
 pub use oasis_wire as wire;
 

@@ -5,6 +5,24 @@
 //! [`SimNet`] as virtual time advances. Scripting the faults (rather than
 //! sampling them) makes chaos runs exactly repeatable and lets a test
 //! assert on *when* degradation and recovery must happen.
+//!
+//! # Crash durability
+//!
+//! [`Fault::Crash`] models fail-stop: the node's volatile state (record
+//! maps, caches, bus subscriptions) is gone, but whatever its
+//! durability journal had *acknowledged* survives. The driver models
+//! this by dropping the service instance while keeping a cloned handle
+//! to its storage backend, then handing the same handle to the
+//! restarted instance after [`Fault::Recover`].
+//!
+//! Real crashes also tear the last disk write. The journal-damage
+//! faults ([`Fault::TearJournalTail`], [`Fault::CorruptJournalTail`])
+//! script that: they accumulate as [`JournalDamage`] descriptors which
+//! the driver drains ([`FaultPlan::take_journal_damage`]) and applies
+//! to the crashed node's backend (e.g. `MemBackend::truncate_tail` /
+//! `corrupt_tail` in `oasis-store`) *before* restarting it. Recovery
+//! must then heal the tail: stop at the last valid record, never
+//! panic, never resurrect a record past the damage point.
 
 use std::collections::HashSet;
 
@@ -50,6 +68,42 @@ pub enum Fault {
         /// The node whose beats resume.
         node: NodeId,
     },
+    /// Chop bytes off the end of a node's durability journal — the torn
+    /// final write of a crash mid-append. Accumulates as
+    /// [`JournalDamage::TornTail`] for the driver to apply to the
+    /// node's storage backend.
+    TearJournalTail {
+        /// The node whose journal is torn.
+        node: NodeId,
+        /// How many bytes the torn write loses.
+        bytes: u64,
+    },
+    /// Flip a byte near the end of a node's durability journal — a
+    /// partial sector write that completed with garbage. Accumulates as
+    /// [`JournalDamage::FlippedByte`].
+    CorruptJournalTail {
+        /// The node whose journal is corrupted.
+        node: NodeId,
+        /// Distance of the flipped byte from the end of the journal.
+        offset_from_end: u64,
+    },
+}
+
+/// Scripted damage to one node's durability journal, drained by the
+/// driver via [`FaultPlan::take_journal_damage`] and applied to the
+/// node's storage backend before restart.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum JournalDamage {
+    /// The tail of the journal is missing `bytes` bytes.
+    TornTail {
+        /// How many bytes to truncate from the end.
+        bytes: u64,
+    },
+    /// The byte `offset_from_end` bytes before the end is flipped.
+    FlippedByte {
+        /// Distance from the end of the journal.
+        offset_from_end: u64,
+    },
 }
 
 /// A time-ordered script of faults to apply to a [`SimNet`].
@@ -84,6 +138,7 @@ pub struct FaultPlan {
     /// sequence applies in the order it was scripted).
     scheduled: Vec<(u64, Fault)>,
     paused: HashSet<NodeId>,
+    journal_damage: Vec<(NodeId, JournalDamage)>,
 }
 
 impl FaultPlan {
@@ -140,6 +195,29 @@ impl FaultPlan {
         self.schedule(tick, Fault::ResumeHeartbeats { node: node.into() });
     }
 
+    /// Schedules a torn journal tail at `tick` — usually the same tick
+    /// as a [`FaultPlan::crash_at`] on the same node.
+    pub fn tear_journal_at(&mut self, tick: u64, node: impl Into<NodeId>, bytes: u64) {
+        self.schedule(
+            tick,
+            Fault::TearJournalTail {
+                node: node.into(),
+                bytes,
+            },
+        );
+    }
+
+    /// Schedules a flipped journal byte at `tick`.
+    pub fn corrupt_journal_at(&mut self, tick: u64, node: impl Into<NodeId>, offset_from_end: u64) {
+        self.schedule(
+            tick,
+            Fault::CorruptJournalTail {
+                node: node.into(),
+                offset_from_end,
+            },
+        );
+    }
+
     /// Applies (and consumes) every fault scheduled at or before `now`,
     /// in schedule order, returning what was applied. Network faults act
     /// on `net`; heartbeat faults only update the pause set consulted by
@@ -159,6 +237,21 @@ impl FaultPlan {
                 Fault::ResumeHeartbeats { node } => {
                     self.paused.remove(node);
                 }
+                Fault::TearJournalTail { node, bytes } => {
+                    self.journal_damage
+                        .push((node.clone(), JournalDamage::TornTail { bytes: *bytes }));
+                }
+                Fault::CorruptJournalTail {
+                    node,
+                    offset_from_end,
+                } => {
+                    self.journal_damage.push((
+                        node.clone(),
+                        JournalDamage::FlippedByte {
+                            offset_from_end: *offset_from_end,
+                        },
+                    ));
+                }
             }
         }
         applied
@@ -167,6 +260,13 @@ impl FaultPlan {
     /// Whether `node`'s heartbeat emission is currently paused.
     pub fn heartbeats_paused(&self, node: &str) -> bool {
         self.paused.contains(node)
+    }
+
+    /// Drains the journal damage applied so far: `(node, damage)` in
+    /// application order. The driver applies each to the node's storage
+    /// backend before restarting the node.
+    pub fn take_journal_damage(&mut self) -> Vec<(NodeId, JournalDamage)> {
+        std::mem::take(&mut self.journal_damage)
     }
 
     /// Faults not yet applied.
@@ -242,6 +342,34 @@ mod tests {
         assert!(net.is_crashed("i"), "recover not due yet");
         plan.apply_due(3, &mut net);
         assert!(!net.is_crashed("i"));
+    }
+
+    #[test]
+    fn journal_damage_accumulates_and_drains() {
+        let mut net = net();
+        let mut plan = FaultPlan::new();
+        plan.crash_at(5, "issuer");
+        plan.tear_journal_at(5, "issuer", 3);
+        plan.corrupt_journal_at(6, "issuer", 0);
+
+        plan.apply_due(4, &mut net);
+        assert!(plan.take_journal_damage().is_empty());
+
+        plan.apply_due(6, &mut net);
+        assert!(net.is_crashed("issuer"));
+        let damage = plan.take_journal_damage();
+        assert_eq!(
+            damage,
+            vec![
+                ("issuer".into(), JournalDamage::TornTail { bytes: 3 }),
+                (
+                    "issuer".into(),
+                    JournalDamage::FlippedByte { offset_from_end: 0 }
+                ),
+            ]
+        );
+        assert!(plan.take_journal_damage().is_empty(), "drained");
+        assert_eq!(net.stats(), (0, 0), "no traffic side effects");
     }
 
     #[test]

@@ -42,7 +42,7 @@ mod latency;
 mod net;
 mod sim;
 
-pub use fault::{Fault, FaultPlan};
+pub use fault::{Fault, FaultPlan, JournalDamage};
 pub use histogram::Histogram;
 pub use latency::Latency;
 pub use net::{LinkConfig, NodeId, SimNet};

@@ -1,0 +1,47 @@
+//! The error type for durable storage.
+
+use std::fmt;
+
+/// Errors reported by the journal and snapshot stores.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum StoreError {
+    /// An underlying I/O operation failed (file backends only).
+    Io(String),
+
+    /// A record or snapshot failed to serialise or deserialise.
+    Codec(String),
+
+    /// A snapshot blob was present but failed its checksum — it is
+    /// ignored rather than trusted, and recovery falls back to a full
+    /// journal replay.
+    CorruptSnapshot {
+        /// Why the blob was rejected.
+        reason: String,
+    },
+}
+
+impl fmt::Display for StoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::Io(e) => write!(f, "storage I/O: {e}"),
+            Self::Codec(e) => write!(f, "journal codec: {e}"),
+            Self::CorruptSnapshot { reason } => {
+                write!(f, "snapshot rejected: {reason}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for StoreError {}
+
+impl From<std::io::Error> for StoreError {
+    fn from(e: std::io::Error) -> Self {
+        Self::Io(e.to_string())
+    }
+}
+
+impl From<oasis_json::JsonError> for StoreError {
+    fn from(e: oasis_json::JsonError) -> Self {
+        Self::Codec(e.to_string())
+    }
+}

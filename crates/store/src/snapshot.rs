@@ -1,0 +1,118 @@
+//! Snapshot storage: one checksummed blob holding the full state as
+//! of a journal sequence number.
+//!
+//! A snapshot frame mirrors the journal's record frame —
+//! `[len: u32][covered_seq: u64][checksum: u64][payload]` — where
+//! `covered_seq` is the last journal sequence number the snapshot
+//! subsumes. Writing a new snapshot atomically replaces the previous
+//! one; there is never more than one. A snapshot that fails its
+//! checksum is *ignored*, not trusted: recovery reports it and falls
+//! back to replaying the full journal.
+
+use std::marker::PhantomData;
+use std::sync::Arc;
+
+use oasis_crypto::hash::Sha256;
+use oasis_json::{FromJson, Json, ToJson};
+
+use crate::backend::StorageBackend;
+use crate::error::StoreError;
+
+const HEADER: usize = 4 + 8 + 8;
+const MAX_PAYLOAD: usize = 256 * 1024 * 1024;
+
+/// Result of reading the snapshot region.
+pub struct SnapshotLoad<S> {
+    /// The decoded snapshot and the journal sequence it covers, if a
+    /// valid one was present.
+    pub snapshot: Option<(u64, S)>,
+    /// True when bytes were present but failed validation — the
+    /// caller should replay the whole journal instead.
+    pub corrupt: bool,
+}
+
+/// Typed snapshot store over a [`StorageBackend`].
+pub struct SnapshotStore<S> {
+    backend: Arc<dyn StorageBackend>,
+    _marker: PhantomData<fn() -> S>,
+}
+
+impl<S> Clone for SnapshotStore<S> {
+    fn clone(&self) -> Self {
+        Self {
+            backend: Arc::clone(&self.backend),
+            _marker: PhantomData,
+        }
+    }
+}
+
+fn checksum(covered_seq: u64, payload: &[u8]) -> u64 {
+    let mut buf = Vec::with_capacity(8 + payload.len());
+    buf.extend_from_slice(&covered_seq.to_le_bytes());
+    buf.extend_from_slice(payload);
+    let digest = Sha256::digest(&buf);
+    u64::from_le_bytes(digest[..8].try_into().expect("8-byte prefix"))
+}
+
+impl<S: ToJson + FromJson> SnapshotStore<S> {
+    /// Wraps `backend` as the snapshot region.
+    pub fn new(backend: Arc<dyn StorageBackend>) -> Self {
+        Self {
+            backend,
+            _marker: PhantomData,
+        }
+    }
+
+    /// Replaces the stored snapshot with `state`, recorded as covering
+    /// journal records up to and including `covered_seq`.
+    pub fn write(&self, covered_seq: u64, state: &S) -> Result<(), StoreError> {
+        let payload = oasis_json::to_string(state).into_bytes();
+        let mut out = Vec::with_capacity(HEADER + payload.len());
+        out.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+        out.extend_from_slice(&covered_seq.to_le_bytes());
+        out.extend_from_slice(&checksum(covered_seq, &payload).to_le_bytes());
+        out.extend_from_slice(&payload);
+        self.backend.replace(&out)
+    }
+
+    /// Reads the stored snapshot, treating any validation failure as
+    /// "no snapshot" (with `corrupt` set) rather than an error.
+    pub fn load(&self) -> Result<SnapshotLoad<S>, StoreError> {
+        let bytes = self.backend.read()?;
+        if bytes.is_empty() {
+            return Ok(SnapshotLoad {
+                snapshot: None,
+                corrupt: false,
+            });
+        }
+        let corrupt = SnapshotLoad {
+            snapshot: None,
+            corrupt: true,
+        };
+        if bytes.len() < HEADER {
+            return Ok(corrupt);
+        }
+        let len = u32::from_le_bytes(bytes[..4].try_into().unwrap()) as usize;
+        if len > MAX_PAYLOAD || bytes.len() - HEADER < len {
+            return Ok(corrupt);
+        }
+        let covered_seq = u64::from_le_bytes(bytes[4..12].try_into().unwrap());
+        let sum = u64::from_le_bytes(bytes[12..20].try_into().unwrap());
+        let payload = &bytes[HEADER..HEADER + len];
+        if checksum(covered_seq, payload) != sum {
+            return Ok(corrupt);
+        }
+        let text = match std::str::from_utf8(payload) {
+            Ok(t) => t,
+            Err(_) => return Ok(corrupt),
+        };
+        let state = match Json::parse(text).and_then(|j| S::from_json(&j)) {
+            Ok(s) => s,
+            Err(_) => return Ok(corrupt),
+        };
+        Ok(SnapshotLoad {
+            snapshot: Some((covered_seq, state)),
+            corrupt: false,
+        })
+    }
+}

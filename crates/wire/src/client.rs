@@ -4,7 +4,9 @@ use std::net::{TcpStream, ToSocketAddrs};
 use std::time::Duration;
 
 use oasis_core::cert::Rmc;
-use oasis_core::{Credential, Crr, PrincipalId, Value};
+use oasis_core::durable::CatchUpReport;
+use oasis_core::{CertEvent, Credential, Crr, OasisService, PrincipalId, Value};
+use oasis_events::DeliveredEvent;
 
 use crate::error::WireError;
 use crate::frame::{read_frame, write_frame};
@@ -259,5 +261,50 @@ impl WireClient {
             Response::Revoked { was_active } => Ok(was_active),
             other => Err(WireError::UnexpectedResponse(format!("{other:?}"))),
         }
+    }
+
+    /// Asks the remote publisher to replay its retained events on
+    /// `topic` strictly after `after_topic_seq`. Returns the events
+    /// (oldest first) and whether the replay was gap-free.
+    ///
+    /// # Errors
+    ///
+    /// Transport errors, or [`WireError::UnexpectedResponse`].
+    pub fn resync(
+        &mut self,
+        topic: &str,
+        after_topic_seq: u64,
+    ) -> Result<(Vec<DeliveredEvent<CertEvent>>, bool), WireError> {
+        let request = Request::Resync {
+            topic: topic.to_string(),
+            after_topic_seq,
+        };
+        match self.call(&request)? {
+            Response::Resynced { events, complete } => {
+                Ok((events.into_iter().map(Into::into).collect(), complete))
+            }
+            other => Err(WireError::UnexpectedResponse(format!("{other:?}"))),
+        }
+    }
+
+    /// One full catch-up cycle for a recovered service against a remote
+    /// issuer: read `service`'s persisted watermark for `topic`, fetch
+    /// the missed revocations from the issuer's retained ring, and
+    /// apply them ([`OasisService::catch_up_with`]). Gap-free replays
+    /// clear [`OasisService::catchup_pending`]; incomplete ones drop
+    /// every cached validation for the issuer instead.
+    ///
+    /// # Errors
+    ///
+    /// Transport errors, or [`WireError::UnexpectedResponse`].
+    pub fn catch_up(
+        &mut self,
+        service: &OasisService,
+        topic: &str,
+        now: u64,
+    ) -> Result<CatchUpReport, WireError> {
+        let after = service.watermark_for(topic);
+        let (events, complete) = self.resync(topic, after)?;
+        Ok(service.catch_up_with(topic, &events, complete, now))
     }
 }

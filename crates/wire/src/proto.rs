@@ -6,7 +6,8 @@
 //! point of Fig 5.
 
 use oasis_core::cert::Rmc;
-use oasis_core::{Credential, Crr, PrincipalId, Value};
+use oasis_core::{CertEvent, Credential, Crr, PrincipalId, Value};
+use oasis_events::{DeliveredEvent, Topic};
 use oasis_json::{FromJson, Json, JsonError, ToJson};
 
 /// A client-to-server message.
@@ -57,6 +58,17 @@ pub enum Request {
         /// Virtual time.
         now: u64,
     },
+    /// Catch-up resync (Fig 5 across a crash): replay the revocation
+    /// events this service retained on `topic` with per-topic sequence
+    /// numbers greater than `after_topic_seq`. A subscriber that was
+    /// down sends its persisted watermark here after recovery to close
+    /// the delivery gap.
+    Resync {
+        /// The retained topic (`cred.revoked.<issuer>`).
+        topic: String,
+        /// The subscriber's watermark: replay strictly after this.
+        after_topic_seq: u64,
+    },
     /// Liveness check.
     Ping,
 }
@@ -81,6 +93,15 @@ pub enum Response {
         /// Whether the certificate had been active.
         was_active: bool,
     },
+    /// The requested slice of the retained revocation ring.
+    Resynced {
+        /// The retained events after the watermark, oldest first.
+        events: Vec<RetainedEvent>,
+        /// Whether the replay was gap-free. `false` means the ring had
+        /// evicted part of the requested range; the subscriber must
+        /// treat its cached validations for this issuer as suspect.
+        complete: bool,
+    },
     /// Liveness answer.
     Pong,
     /// The operation failed.
@@ -88,6 +109,70 @@ pub enum Response {
         /// Human-readable failure description.
         message: String,
     },
+}
+
+/// One retained bus event in wire form — a
+/// [`DeliveredEvent<CertEvent>`] flattened for transport.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RetainedEvent {
+    /// The concrete topic the event was published on.
+    pub topic: String,
+    /// Per-topic sequence number.
+    pub topic_seq: u64,
+    /// Bus-global sequence number.
+    pub global_seq: u64,
+    /// Publisher's virtual timestamp.
+    pub timestamp: u64,
+    /// The revocation event itself.
+    pub payload: CertEvent,
+}
+
+impl From<DeliveredEvent<CertEvent>> for RetainedEvent {
+    fn from(event: DeliveredEvent<CertEvent>) -> Self {
+        Self {
+            topic: event.topic.as_str().to_string(),
+            topic_seq: event.topic_seq,
+            global_seq: event.global_seq,
+            timestamp: event.timestamp,
+            payload: event.payload,
+        }
+    }
+}
+
+impl From<RetainedEvent> for DeliveredEvent<CertEvent> {
+    fn from(event: RetainedEvent) -> Self {
+        Self {
+            topic: Topic::new(event.topic),
+            topic_seq: event.topic_seq,
+            global_seq: event.global_seq,
+            timestamp: event.timestamp,
+            payload: event.payload,
+        }
+    }
+}
+
+impl ToJson for RetainedEvent {
+    fn to_json(&self) -> Json {
+        Json::obj(vec![
+            ("topic", self.topic.to_json()),
+            ("topic_seq", self.topic_seq.to_json()),
+            ("global_seq", self.global_seq.to_json()),
+            ("timestamp", self.timestamp.to_json()),
+            ("payload", self.payload.to_json()),
+        ])
+    }
+}
+
+impl FromJson for RetainedEvent {
+    fn from_json(json: &Json) -> Result<Self, JsonError> {
+        Ok(Self {
+            topic: FromJson::from_json(json.field("topic")?)?,
+            topic_seq: FromJson::from_json(json.field("topic_seq")?)?,
+            global_seq: FromJson::from_json(json.field("global_seq")?)?,
+            timestamp: FromJson::from_json(json.field("timestamp")?)?,
+            payload: FromJson::from_json(json.field("payload")?)?,
+        })
+    }
 }
 
 impl ToJson for Request {
@@ -149,6 +234,16 @@ impl ToJson for Request {
                     ("now", now.to_json()),
                 ],
             ),
+            Request::Resync {
+                topic,
+                after_topic_seq,
+            } => tagged(
+                "Resync",
+                vec![
+                    ("topic", topic.to_json()),
+                    ("after_topic_seq", after_topic_seq.to_json()),
+                ],
+            ),
             Request::Ping => Json::Str("Ping".into()),
         }
     }
@@ -185,6 +280,10 @@ impl FromJson for Request {
                 reason: FromJson::from_json(body.field("reason")?)?,
                 now: FromJson::from_json(body.field("now")?)?,
             }),
+            "Resync" => Ok(Request::Resync {
+                topic: FromJson::from_json(body.field("topic")?)?,
+                after_topic_seq: FromJson::from_json(body.field("after_topic_seq")?)?,
+            }),
             other => Err(JsonError::new(format!("unknown Request variant `{other}`"))),
         }
     }
@@ -199,6 +298,13 @@ impl ToJson for Response {
             Response::Revoked { was_active } => {
                 tagged("Revoked", vec![("was_active", was_active.to_json())])
             }
+            Response::Resynced { events, complete } => tagged(
+                "Resynced",
+                vec![
+                    ("events", events.to_json()),
+                    ("complete", complete.to_json()),
+                ],
+            ),
             Response::Pong => Json::Str("Pong".into()),
             Response::Error { message } => tagged("Error", vec![("message", message.to_json())]),
         }
@@ -222,6 +328,10 @@ impl FromJson for Response {
             }),
             "Revoked" => Ok(Response::Revoked {
                 was_active: FromJson::from_json(body.field("was_active")?)?,
+            }),
+            "Resynced" => Ok(Response::Resynced {
+                events: FromJson::from_json(body.field("events")?)?,
+                complete: FromJson::from_json(body.field("complete")?)?,
             }),
             "Error" => Ok(Response::Error {
                 message: FromJson::from_json(body.field("message")?)?,
@@ -271,6 +381,10 @@ mod tests {
                 reason: "logout".into(),
                 now: 8,
             },
+            Request::Resync {
+                topic: "cred.revoked.login".into(),
+                after_topic_seq: 41,
+            },
         ];
         for req in requests {
             let json = oasis_json::to_string(&req);
@@ -293,6 +407,21 @@ mod tests {
                     oasis_core::ServiceId::new("svc"),
                     oasis_core::CertId(4),
                 )],
+            },
+            Response::Resynced {
+                events: vec![RetainedEvent {
+                    topic: "cred.revoked.login".into(),
+                    topic_seq: 42,
+                    global_seq: 99,
+                    timestamp: 7,
+                    payload: CertEvent {
+                        crr: Crr::new(oasis_core::ServiceId::new("login"), oasis_core::CertId(3)),
+                        kind: oasis_core::CertEventKind::Revoked {
+                            reason: "logout".into(),
+                        },
+                    },
+                }],
+                complete: false,
             },
         ];
         for resp in responses {

@@ -169,5 +169,15 @@ fn handle_request(
         } => Response::Revoked {
             was_active: service.revoke_certificate(CertId(cert_id), &reason, now),
         },
+        Request::Resync {
+            topic,
+            after_topic_seq,
+        } => {
+            let (events, complete) = service.replay_retained(&topic, after_topic_seq);
+            Response::Resynced {
+                events: events.into_iter().map(Into::into).collect(),
+                complete,
+            }
+        }
     }
 }

@@ -1,0 +1,154 @@
+//! Restart survives revocation: the durable-recovery walkthrough.
+//!
+//! A hospital service journals every security event to an append-only
+//! store. We grant a doctor role, kill the process, revoke the
+//! supporting login credential *while the hospital is down*, then
+//! restart: `recover()` rebuilds the pre-crash state from the journal,
+//! and `catch_up()` replays the missed revocation from the issuer's
+//! retained ring — so the dependent doctor role collapses before the
+//! service grants anything new.
+//!
+//! Run with `cargo run --example durable_restart`.
+
+use std::sync::Arc;
+
+use oasis::prelude::*;
+use oasis::store::MemBackend;
+use oasis_core::{Atom, ServiceJournal};
+
+fn login_service(bus: &EventBus<CertEvent>) -> Arc<OasisService> {
+    let facts = Arc::new(FactStore::new());
+    facts.define("password_ok", 1).unwrap();
+    facts
+        .insert("password_ok", vec![Value::id("alice")])
+        .unwrap();
+    let svc = OasisService::new(
+        ServiceConfig::new("login")
+            .with_bus(bus.clone())
+            // Retain revoked-credential events so that a subscriber that
+            // was down can later replay the gap.
+            .with_revocation_retention(128),
+        facts,
+    );
+    svc.define_role("logged_in", &[("user", ValueType::Id)], true)
+        .unwrap();
+    svc.add_activation_rule(
+        "logged_in",
+        vec![Term::var("U")],
+        vec![Atom::env_fact("password_ok", vec![Term::var("U")])],
+        vec![],
+    )
+    .unwrap();
+    svc
+}
+
+/// One hospital *process*: constructing this a second time over the same
+/// backends models a restart of the same service identity.
+fn hospital_service(
+    bus: &EventBus<CertEvent>,
+    login: &Arc<OasisService>,
+    journal: &MemBackend,
+    snapshot: &MemBackend,
+) -> Arc<OasisService> {
+    let store =
+        ServiceJournal::open(Arc::new(journal.clone()), Arc::new(snapshot.clone())).unwrap();
+    let svc = OasisService::new(
+        ServiceConfig::new("hospital")
+            .with_bus(bus.clone())
+            .with_validation_cache(1_000)
+            .with_journal(store),
+        Arc::new(FactStore::new()),
+    );
+    let registry = Arc::new(LocalRegistry::new());
+    registry.register(login);
+    svc.set_validator(registry);
+    svc.define_role("doctor_on_duty", &[("doctor", ValueType::Id)], false)
+        .unwrap();
+    svc.add_activation_rule(
+        "doctor_on_duty",
+        vec![Term::var("D")],
+        vec![Atom::prereq_at("login", "logged_in", vec![Term::var("D")])],
+        vec![0],
+    )
+    .unwrap();
+    svc
+}
+
+fn main() {
+    let bus: EventBus<CertEvent> = EventBus::new();
+    let login = login_service(&bus);
+    // In production these would be FileBackends on disk; MemBackend
+    // clones share storage, so the bytes outlive the service instance.
+    let journal = MemBackend::new();
+    let snapshot = MemBackend::new();
+
+    // --- First life: grant a doctor role, then "crash" ----------------
+    let alice = PrincipalId::new("alice");
+    let login_rmc = login
+        .activate_role(
+            &alice,
+            &RoleName::new("logged_in"),
+            &[Value::id("alice")],
+            &[],
+            &EnvContext::new(1),
+        )
+        .unwrap();
+    let doctor_crr = {
+        let hospital = hospital_service(&bus, &login, &journal, &snapshot);
+        let rmc = hospital
+            .activate_role(
+                &alice,
+                &RoleName::new("doctor_on_duty"),
+                &[Value::id("alice")],
+                &[Credential::Rmc(login_rmc.clone())],
+                &EnvContext::new(2),
+            )
+            .unwrap();
+        println!("[life 1] doctor_on_duty granted: {}", rmc.crr.cert_id);
+        rmc.crr
+        // The hospital process dies here; only the journal bytes remain.
+    };
+    println!("[crash ] hospital process gone; journal survives");
+
+    // --- While down: the supporting login credential is revoked --------
+    login.revoke_certificate(login_rmc.crr.cert_id, "compromised", 5);
+    println!("[down  ] login revoked alice's session — nobody was listening");
+
+    // --- Second life: recover, catch up, then carry on -----------------
+    let hospital = hospital_service(&bus, &login, &journal, &snapshot);
+    let report = hospital.recover(6).unwrap();
+    println!(
+        "[life 2] recovered: {} record(s), {} cached validation(s), catch-up required: {}",
+        report.records_restored, report.validations_restored, report.catchup_required
+    );
+
+    let catchup = hospital.catch_up(&bus, "cred.revoked.login", 7);
+    println!(
+        "[life 2] catch-up replayed {} event(s), applied {} (complete: {})",
+        catchup.replayed, catchup.applied, catchup.complete
+    );
+    let status = hospital.record(doctor_crr.cert_id).unwrap().status;
+    println!("[life 2] doctor_on_duty after catch-up: {status:?}");
+    assert!(matches!(status, CredStatus::Revoked { .. }));
+
+    // Normal service resumes: a fresh login supports a fresh grant.
+    let fresh_login = login
+        .activate_role(
+            &alice,
+            &RoleName::new("logged_in"),
+            &[Value::id("alice")],
+            &[],
+            &EnvContext::new(8),
+        )
+        .unwrap();
+    let fresh = hospital
+        .activate_role(
+            &alice,
+            &RoleName::new("doctor_on_duty"),
+            &[Value::id("alice")],
+            &[Credential::Rmc(fresh_login)],
+            &EnvContext::new(8),
+        )
+        .unwrap();
+    println!("[life 2] fresh grant after catch-up: {}", fresh.crr.cert_id);
+}

@@ -542,12 +542,16 @@ fn chaos_seed() -> u64 {
         .unwrap_or(42)
 }
 
-fn write_trace(seed: u64, trace: &[String]) {
+fn write_named_trace(name: &str, seed: u64, trace: &[String]) {
     let dir = concat!(env!("CARGO_MANIFEST_DIR"), "/../../target/chaos");
     if std::fs::create_dir_all(dir).is_ok() {
-        let path = format!("{dir}/trace-{seed}.jsonl");
+        let path = format!("{dir}/{name}-{seed}.jsonl");
         let _ = std::fs::write(&path, trace.join("\n") + "\n");
     }
+}
+
+fn write_trace(seed: u64, trace: &[String]) {
+    write_named_trace("trace", seed, trace);
 }
 
 #[test]
@@ -570,6 +574,140 @@ fn chaos_crash_degrade_heal_recover() {
     ] {
         assert!(all.contains(landmark), "trace missing {landmark:?}:\n{all}");
     }
+}
+
+/// Kill-during-commit: the process dies *between* journalling a security
+/// event and applying it in memory — the narrowest possible crash
+/// window. Replay must be idempotent: no RMC is double-issued (the
+/// certificate id space never collides) and no journalled revocation is
+/// lost, even though the dying process never saw it applied.
+#[test]
+fn chaos_kill_during_commit_replays_idempotently() {
+    use oasis::store::MemBackend;
+    use oasis_core::{CredStatus, ServiceJournal};
+
+    let seed = chaos_seed();
+    let mut trace: Vec<String> = Vec::new();
+    let mut log =
+        |tick: u64, event: &str| trace.push(format!("{{\"tick\":{tick},\"event\":\"{event}\"}}"));
+
+    let facts = Arc::new(FactStore::new());
+    facts.define("password_ok", 1).unwrap();
+    facts
+        .insert("password_ok", vec![Value::id("alice")])
+        .unwrap();
+    let journal = MemBackend::new();
+    let snapshot = MemBackend::new();
+    let durable_login = |journal: &MemBackend, snapshot: &MemBackend| {
+        let store = ServiceJournal::open(Arc::new(journal.clone()), Arc::new(snapshot.clone()))
+            .expect("journal opens");
+        let svc = OasisService::new(
+            ServiceConfig::new("login").with_journal(store),
+            Arc::clone(&facts),
+        );
+        svc.define_role("logged_in", &[("user", ValueType::Id)], true)
+            .unwrap();
+        svc.add_activation_rule(
+            "logged_in",
+            vec![Term::var("U")],
+            vec![Atom::env_fact("password_ok", vec![Term::var("U")])],
+            vec![0],
+        )
+        .unwrap();
+        svc
+    };
+
+    // Seed-dependent healthy prefix, then a crash inside each of the two
+    // commit windows: one on issue, one on revoke.
+    let pre = (seed % 3) as usize + 1;
+    let first_life = durable_login(&journal, &snapshot);
+    let mut issued = Vec::new();
+    for i in 0..pre {
+        issued.push(login_in(&first_life, i as u64));
+    }
+    log(0, &format!("healthy prefix issued {pre} cert(s)"));
+
+    // Crash window 1: the issue journals CertIssued, then dies before
+    // the in-memory apply. The caller never receives an RMC.
+    assert!(first_life.chaos_arm_crash_after_journal());
+    let torn_issue = first_life.activate_role(
+        &alice(),
+        &RoleName::new("logged_in"),
+        &[Value::id("alice")],
+        &[],
+        &EnvContext::new(10),
+    );
+    assert!(
+        matches!(&torn_issue, Err(OasisError::Journal(m)) if m.contains("chaos")),
+        "armed issue dies inside the commit window"
+    );
+    log(10, "issue crashed between append and apply");
+
+    // Crash window 2: the revocation journals CertRevoked, then dies;
+    // the dying process still sees the certificate as active.
+    let victim = issued[0].crr.cert_id;
+    assert!(first_life.chaos_arm_crash_after_journal());
+    assert!(
+        !first_life.revoke_certificate(victim, "compromised", 11),
+        "armed revoke dies before applying"
+    );
+    assert!(
+        first_life.record(victim).unwrap().status.is_active(),
+        "the dying process never saw the revocation applied"
+    );
+    let stats_at_death = first_life.record_stats();
+    drop(first_life);
+    log(11, "revoke crashed between append and apply; process dead");
+
+    // Second life: replay heals both windows, exactly once each.
+    let second_life = durable_login(&journal, &snapshot);
+    let report = second_life.recover(20).unwrap();
+    log(20, &format!("replayed {} event(s)", report.events_replayed));
+
+    // No lost revocation: the journalled-but-unapplied revoke lands.
+    assert!(
+        matches!(
+            second_life.record(victim).unwrap().status,
+            CredStatus::Revoked { .. }
+        ),
+        "journalled revocation survives the crash"
+    );
+    assert_eq!(report.revocations_replayed, 1);
+
+    // No double-issue: the torn issue's record exists exactly once, so
+    // total records = healthy prefix + the one torn issue, and the dead
+    // process's view is never *ahead* of the replayed one.
+    assert_eq!(report.records_restored as usize, pre + 1);
+    let (active, revoked, _) = second_life.record_stats();
+    assert_eq!(
+        active + revoked,
+        pre + 1,
+        "torn issue restored exactly once"
+    );
+    assert_eq!(
+        stats_at_death.0, pre,
+        "dead process never applied the torn issue"
+    );
+
+    // The id space never collides: a fresh grant allocates past every
+    // replayed certificate, including the torn one.
+    let fresh = login_in(&second_life, 21);
+    let max_replayed = (1..=pre as u64 + 1).max().unwrap();
+    assert!(
+        fresh.crr.cert_id.0 > max_replayed,
+        "fresh id {} must not reuse a replayed id",
+        fresh.crr.cert_id
+    );
+    log(21, "fresh grant after replay; id space intact");
+
+    // A second replay of the same journal is byte-for-byte idempotent.
+    let third_life = durable_login(&journal, &snapshot);
+    let report2 = third_life.recover(22).unwrap();
+    assert_eq!(report.records_restored + 1, report2.records_restored);
+    assert_eq!(report.revocations_replayed, report2.revocations_replayed);
+    log(22, "second replay idempotent");
+
+    write_named_trace("commit-trace", seed, &trace);
 }
 
 #[test]
