@@ -96,6 +96,16 @@ pub enum AuditKind {
         /// Credential records restored (all statuses).
         records_restored: u64,
     },
+    /// A transport-level fault the service survived (e.g. a transient
+    /// `accept()` failure retried with backoff, or a fatal one that shut
+    /// the listener down). Recorded so operators can distinguish "quiet
+    /// because idle" from "quiet because the front door is failing".
+    TransportFault {
+        /// The failing operation (e.g. `"accept"`).
+        op: String,
+        /// The underlying error, stringified.
+        detail: String,
+    },
 }
 
 impl AuditKind {
@@ -111,6 +121,7 @@ impl AuditKind {
             AuditKind::CertRevoked { .. } => "cert_revoked",
             AuditKind::CertExpired { .. } => "cert_expired",
             AuditKind::Recovered { .. } => "recovered",
+            AuditKind::TransportFault { .. } => "transport_fault",
         }
     }
 }

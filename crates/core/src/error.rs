@@ -97,6 +97,18 @@ pub enum OasisError {
     /// after its cooldown.
     CircuitOpen(ServiceId),
 
+    /// The service shed the request before doing any work because its
+    /// admission queues were full. Transient in the strongest sense: the
+    /// service is *alive* (it answered), just saturated — retry after the
+    /// hinted delay rather than after a generic backoff, and do not charge
+    /// the shed against the issuer's circuit breaker.
+    Overloaded {
+        /// The overloaded service.
+        service: ServiceId,
+        /// Server-estimated queue-drain time; retry no sooner than this.
+        retry_after_ms: u64,
+    },
+
     /// The principal holds no role privileged to issue this appointment.
     NotAppointer {
         /// The would-be appointer.
@@ -162,6 +174,13 @@ impl std::fmt::Display for OasisError {
             Self::CircuitOpen(x0) => write!(
                 f,
                 "circuit breaker open for issuer `{x0}`: recent callbacks failed"
+            ),
+            Self::Overloaded {
+                service,
+                retry_after_ms,
+            } => write!(
+                f,
+                "service `{service}` is overloaded: retry after {retry_after_ms}ms"
             ),
             Self::NotAppointer {
                 principal,

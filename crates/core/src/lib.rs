@@ -76,6 +76,7 @@ pub mod env;
 mod error;
 pub mod ids;
 mod json;
+pub mod overload;
 pub mod pattern;
 pub mod resilient;
 pub mod retry;
@@ -98,6 +99,10 @@ pub use durable::{
 pub use env::{CmpOp, EnvContext};
 pub use error::OasisError;
 pub use ids::{CertId, DomainId, PrincipalId, RoleName, ServiceId, SessionId};
+pub use overload::{
+    AdmissionController, AdmitError, Clock, Deadline, Lane, LaneConfig, LaneSnapshot, ManualClock,
+    OverloadConfig, OverloadStats, Permit, PollOutcome, Submission, Ticket, WallClock,
+};
 pub use pattern::{Bindings, Term, VarName};
 pub use resilient::{
     classify_error, BreakerConfig, ErrorClass, ResilientStats, ResilientValidator,

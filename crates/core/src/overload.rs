@@ -1,0 +1,969 @@
+//! Overload control: priority lanes, deadlines, and adaptive admission.
+//!
+//! OASIS's active-security guarantee — revocation takes effect immediately
+//! (§5 of the paper) — is only as strong as the service's behaviour under
+//! saturation. A validation flood must never starve the revocation traffic
+//! that collapses dependent role subtrees. This module provides the
+//! server-side half of that guarantee:
+//!
+//! * **Priority lanes** ([`Lane`]): every request is classified as
+//!   `Control` (revocation, resync, heartbeat), `Validation` (credential
+//!   callbacks), or `Issuance` (activation/invocation). Each lane has its
+//!   own bounded queue and its own concurrency limit, so when the service
+//!   saturates it sheds the *cheapest-to-retry* work first and control
+//!   traffic never queues behind a validation storm.
+//! * **Deadlines** ([`Deadline`]): clients propagate a budget with each
+//!   request; the [`AdmissionController`] drops requests whose deadline
+//!   passed while queued *before* doing any work, and never grants a permit
+//!   past the deadline.
+//! * **Adaptive concurrency** (AIMD): each lane's limit grows additively
+//!   while observed latency stays under the lane's target and backs off
+//!   multiplicatively when latency overshoots, so the limit tracks the
+//!   service's actual capacity instead of a hand-tuned constant.
+//! * **Shed hints**: rejected requests carry a `retry_after_ms` estimate
+//!   derived from the lane's queue depth and EWMA service time
+//!   ([`oasis_events::LoadTracker`]), so clients back off proportionally to
+//!   real load instead of guessing.
+//!
+//! Time is abstracted behind [`Clock`] so the deterministic simulator and
+//! the virtual-clock tests can drive queue-expiry logic tick by tick
+//! ([`ManualClock`]), while the wire server uses [`WallClock`].
+
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use oasis_events::LoadTracker;
+use parking_lot::{Condvar, Mutex};
+
+// ---------------------------------------------------------------------------
+// Clocks
+// ---------------------------------------------------------------------------
+
+/// A monotonic millisecond clock. Milliseconds are *units*, not necessarily
+/// wall time: the simulator drives a [`ManualClock`] in virtual ticks.
+pub trait Clock: Send + Sync {
+    /// Current time in milliseconds since an arbitrary epoch.
+    fn now_ms(&self) -> u64;
+}
+
+/// Wall-clock milliseconds since the clock was created.
+pub struct WallClock {
+    epoch: Instant,
+}
+
+impl Default for WallClock {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl WallClock {
+    /// A wall clock whose epoch is "now".
+    pub fn new() -> Self {
+        Self {
+            epoch: Instant::now(),
+        }
+    }
+}
+
+impl Clock for WallClock {
+    fn now_ms(&self) -> u64 {
+        self.epoch.elapsed().as_millis() as u64
+    }
+}
+
+/// A manually advanced clock for deterministic tests and the simulator.
+/// Monotonic by construction: `set` never moves time backwards.
+#[derive(Default)]
+pub struct ManualClock {
+    now_ms: AtomicU64,
+}
+
+impl ManualClock {
+    /// A manual clock starting at `start_ms`.
+    pub fn new(start_ms: u64) -> Self {
+        Self {
+            now_ms: AtomicU64::new(start_ms),
+        }
+    }
+
+    /// Advance to `ms` (no-op if time is already past it).
+    pub fn set(&self, ms: u64) {
+        self.now_ms.fetch_max(ms, Ordering::SeqCst);
+    }
+
+    /// Advance by `delta_ms`.
+    pub fn advance(&self, delta_ms: u64) {
+        self.now_ms.fetch_add(delta_ms, Ordering::SeqCst);
+    }
+}
+
+impl Clock for ManualClock {
+    fn now_ms(&self) -> u64 {
+        self.now_ms.load(Ordering::SeqCst)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Lanes and deadlines
+// ---------------------------------------------------------------------------
+
+/// Priority lane for admission. Ordering is the shedding policy: under
+/// saturation, `Issuance` and `Validation` work is dropped (it is cheap for
+/// the client to retry, and a stale *allow* is the dangerous direction)
+/// while `Control` traffic — revocation, resync, heartbeats — keeps its own
+/// queue and limit so active security stays prompt.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Lane {
+    /// Revocation, resync, and heartbeat traffic. Highest priority: a
+    /// delayed revocation extends the window in which a withdrawn
+    /// credential still grants access (paper §5, Fig 5).
+    Control,
+    /// Credential-validation callbacks from relying services.
+    Validation,
+    /// Role activation and method invocation. Lowest priority: a shed
+    /// activation denies service to one principal briefly; a shed
+    /// revocation extends everyone's exposure.
+    Issuance,
+}
+
+impl Lane {
+    /// All lanes, highest priority first.
+    pub const ALL: [Lane; 3] = [Lane::Control, Lane::Validation, Lane::Issuance];
+
+    /// Stable lowercase name for stats and traces.
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            Lane::Control => "control",
+            Lane::Validation => "validation",
+            Lane::Issuance => "issuance",
+        }
+    }
+
+    fn idx(&self) -> usize {
+        match self {
+            Lane::Control => 0,
+            Lane::Validation => 1,
+            Lane::Issuance => 2,
+        }
+    }
+}
+
+impl std::fmt::Display for Lane {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// An absolute millisecond deadline (or none). Computed once at admission
+/// from the client's *relative* budget so queue time counts against it.
+///
+/// The deadline is exclusive: a request is expired when `now >= deadline`,
+/// so a budget of `0` is expired at the instant of admission.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Deadline(Option<u64>);
+
+impl Deadline {
+    /// No deadline: the request waits as long as the queue allows.
+    pub fn none() -> Self {
+        Deadline(None)
+    }
+
+    /// Absolute deadline at `at_ms`.
+    pub fn at(at_ms: u64) -> Self {
+        Deadline(Some(at_ms))
+    }
+
+    /// Deadline from a client-supplied relative budget. `Some(0)` yields a
+    /// deadline that is already expired — the degenerate budget means "only
+    /// if you can do it instantly", which a queued server never can.
+    pub fn from_budget(now_ms: u64, budget_ms: Option<u64>) -> Self {
+        Deadline(budget_ms.map(|b| now_ms.saturating_add(b)))
+    }
+
+    /// True when the deadline has passed at `now_ms`.
+    pub fn expired(&self, now_ms: u64) -> bool {
+        match self.0 {
+            Some(at) => now_ms >= at,
+            None => false,
+        }
+    }
+
+    /// Milliseconds remaining at `now_ms` (`None` = unbounded).
+    pub fn remaining_ms(&self, now_ms: u64) -> Option<u64> {
+        self.0.map(|at| at.saturating_sub(now_ms))
+    }
+
+    /// The absolute deadline, if any.
+    pub fn at_ms(&self) -> Option<u64> {
+        self.0
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Configuration
+// ---------------------------------------------------------------------------
+
+/// Per-lane admission parameters.
+#[derive(Debug, Clone)]
+pub struct LaneConfig {
+    /// Starting concurrency limit (AIMD adjusts from here).
+    pub initial_limit: u32,
+    /// Floor the multiplicative decrease never goes below.
+    pub min_limit: u32,
+    /// Ceiling the additive increase never exceeds.
+    pub max_limit: u32,
+    /// Bounded queue depth; arrivals beyond this are shed.
+    pub queue_cap: usize,
+    /// Latency target in clock ms; completions above it trigger a
+    /// multiplicative decrease, completions at or below it an additive
+    /// increase.
+    pub target_latency_ms: u64,
+}
+
+impl LaneConfig {
+    /// A fixed-concurrency lane: AIMD pinned at `limit`, queue bound `cap`.
+    pub fn fixed(limit: u32, cap: usize, target_latency_ms: u64) -> Self {
+        Self {
+            initial_limit: limit,
+            min_limit: limit,
+            max_limit: limit,
+            queue_cap: cap,
+            target_latency_ms,
+        }
+    }
+}
+
+/// Full overload-control configuration for a service front door.
+#[derive(Debug, Clone)]
+pub struct OverloadConfig {
+    /// Connection-handling worker threads in the wire server.
+    pub workers: usize,
+    /// Accepted-but-unserviced connection queue bound; beyond it new
+    /// connections are dropped at accept time.
+    pub accept_queue: usize,
+    /// When false the controller admits everything immediately (emulating
+    /// the legacy unbounded server) while still tracking stats and
+    /// enforcing deadlines at admission.
+    pub shedding: bool,
+    /// Per-lane parameters, indexed by [`Lane::ALL`] order.
+    pub lanes: [LaneConfig; 3],
+}
+
+impl Default for OverloadConfig {
+    fn default() -> Self {
+        Self {
+            workers: 8,
+            accept_queue: 64,
+            shedding: true,
+            lanes: [
+                // Control: generous queue, never starved by other lanes.
+                LaneConfig {
+                    initial_limit: 4,
+                    min_limit: 2,
+                    max_limit: 16,
+                    queue_cap: 256,
+                    target_latency_ms: 50,
+                },
+                // Validation: first to shed under a storm.
+                LaneConfig {
+                    initial_limit: 4,
+                    min_limit: 1,
+                    max_limit: 16,
+                    queue_cap: 64,
+                    target_latency_ms: 50,
+                },
+                // Issuance: cheapest to retry end-to-end.
+                LaneConfig {
+                    initial_limit: 4,
+                    min_limit: 1,
+                    max_limit: 16,
+                    queue_cap: 32,
+                    target_latency_ms: 100,
+                },
+            ],
+        }
+    }
+}
+
+impl OverloadConfig {
+    /// Legacy-equivalent behaviour: admit everything, shed nothing.
+    /// Deadlines already expired at admission are still refused (doing
+    /// work the client has given up on helps nobody).
+    pub fn unlimited() -> Self {
+        Self {
+            shedding: false,
+            ..Self::default()
+        }
+    }
+
+    /// The configuration for one lane.
+    pub fn lane(&self, lane: Lane) -> &LaneConfig {
+        &self.lanes[lane.idx()]
+    }
+
+    /// Mutable access, for builder-style tweaks in tests and benches.
+    pub fn lane_mut(&mut self, lane: Lane) -> &mut LaneConfig {
+        &mut self.lanes[lane.idx()]
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Stats
+// ---------------------------------------------------------------------------
+
+/// Point-in-time view of one lane.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LaneSnapshot {
+    /// Requests granted a permit.
+    pub admitted: u64,
+    /// Requests refused because the lane queue was full.
+    pub shed: u64,
+    /// Requests whose deadline passed before execution started.
+    pub expired: u64,
+    /// Requests completed (permit dropped).
+    pub completed: u64,
+    /// Currently executing requests.
+    pub running: u32,
+    /// Currently queued requests.
+    pub queue_depth: usize,
+    /// Current AIMD concurrency limit (floor of the fractional limit).
+    pub limit: u32,
+    /// Smoothed observed latency in clock ms.
+    pub ewma_latency_ms: f64,
+}
+
+/// Snapshot of the whole admission controller, for stats plumbing and the
+/// chaos JSONL trace.
+#[derive(Debug, Clone, PartialEq)]
+pub struct OverloadStats {
+    /// Per-lane snapshots in [`Lane::ALL`] order.
+    pub lanes: [LaneSnapshot; 3],
+    /// Connections handed to the worker pool.
+    pub conns_accepted: u64,
+    /// Connections dropped because the accept queue was full.
+    pub conns_shed: u64,
+}
+
+impl OverloadStats {
+    /// The snapshot for one lane.
+    pub fn lane(&self, lane: Lane) -> &LaneSnapshot {
+        &self.lanes[lane.idx()]
+    }
+
+    /// Total requests shed across all lanes (excluding connection sheds).
+    pub fn total_shed(&self) -> u64 {
+        self.lanes.iter().map(|l| l.shed).sum()
+    }
+
+    /// Total requests expired across all lanes.
+    pub fn total_expired(&self) -> u64 {
+        self.lanes.iter().map(|l| l.expired).sum()
+    }
+
+    /// Compact single-line JSON for chaos traces (no serde dependency).
+    pub fn trace_json(&self) -> String {
+        let mut out = String::from("{");
+        for (i, lane) in Lane::ALL.iter().enumerate() {
+            let s = self.lane(*lane);
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!(
+                "\"{}\":{{\"admitted\":{},\"shed\":{},\"expired\":{},\"completed\":{},\"queue_depth\":{},\"limit\":{},\"ewma_ms\":{:.1}}}",
+                lane.as_str(),
+                s.admitted,
+                s.shed,
+                s.expired,
+                s.completed,
+                s.queue_depth,
+                s.limit,
+                s.ewma_latency_ms,
+            ));
+        }
+        out.push_str(&format!(
+            ",\"conns_accepted\":{},\"conns_shed\":{}}}",
+            self.conns_accepted, self.conns_shed
+        ));
+        out
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Controller internals
+// ---------------------------------------------------------------------------
+
+struct QueuedTicket {
+    id: u64,
+    deadline: Deadline,
+}
+
+struct LaneState {
+    limit: f64,
+    running: u32,
+    queue: VecDeque<QueuedTicket>,
+    next_ticket: u64,
+    last_decrease_ms: u64,
+    admitted: u64,
+    shed: u64,
+    expired: u64,
+    completed: u64,
+    load: LoadTracker,
+}
+
+impl LaneState {
+    fn new(cfg: &LaneConfig) -> Self {
+        Self {
+            limit: cfg.initial_limit.max(1) as f64,
+            running: 0,
+            queue: VecDeque::new(),
+            next_ticket: 0,
+            last_decrease_ms: 0,
+            admitted: 0,
+            shed: 0,
+            expired: 0,
+            completed: 0,
+            load: LoadTracker::new(),
+        }
+    }
+
+    /// Drop queued tickets whose deadline has passed. Their owners learn of
+    /// the expiry on their next `poll` (an expired ticket polls as
+    /// `Expired` whether or not it is still queued).
+    fn prune_expired(&mut self, now_ms: u64) {
+        self.queue.retain(|t| {
+            if t.deadline.expired(now_ms) {
+                self.expired += 1;
+                false
+            } else {
+                true
+            }
+        });
+    }
+}
+
+/// Outcome of a non-blocking [`AdmissionController::submit`].
+pub enum Submission {
+    /// A permit was granted immediately; the request may execute now.
+    Admitted(Permit),
+    /// The request was queued; poll the ticket until it resolves.
+    Queued(Ticket),
+    /// The lane queue is full; the request was shed without work.
+    Shed {
+        /// Server-estimated drain time: retry no sooner than this.
+        retry_after_ms: u64,
+    },
+    /// The deadline had already passed at submission.
+    Expired,
+}
+
+/// Failure outcome of a blocking [`AdmissionController::admit`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AdmitError {
+    /// The lane queue was full.
+    Shed {
+        /// Server-estimated drain time: retry no sooner than this.
+        retry_after_ms: u64,
+    },
+    /// The deadline passed before a permit could be granted.
+    Expired,
+}
+
+/// Outcome of polling a queued [`Ticket`].
+pub enum PollOutcome {
+    /// The ticket reached the head of the queue and capacity freed up.
+    Ready(Permit),
+    /// Still queued.
+    Waiting,
+    /// The deadline passed while queued; the ticket is dead.
+    Expired,
+}
+
+/// A queued admission request. Obtained from [`Submission::Queued`]; resolve
+/// it with [`AdmissionController::poll`].
+pub struct Ticket {
+    lane: Lane,
+    id: u64,
+    deadline: Deadline,
+    submitted_ms: u64,
+}
+
+impl Ticket {
+    /// The lane this ticket queues in.
+    pub fn lane(&self) -> Lane {
+        self.lane
+    }
+
+    /// The deadline carried by the queued request.
+    pub fn deadline(&self) -> Deadline {
+        self.deadline
+    }
+}
+
+/// An RAII execution permit. Holding it counts against the lane's
+/// concurrency limit; dropping it records the completion latency (feeding
+/// the AIMD limiter) and wakes queued waiters.
+pub struct Permit {
+    ctrl: Arc<AdmissionController>,
+    lane: Lane,
+    submitted_ms: u64,
+}
+
+impl Permit {
+    /// The lane the permit executes in.
+    pub fn lane(&self) -> Lane {
+        self.lane
+    }
+}
+
+impl Drop for Permit {
+    fn drop(&mut self) {
+        self.ctrl.finish(self.lane, self.submitted_ms);
+    }
+}
+
+/// Priority-aware admission controller with per-lane bounded queues,
+/// deadline enforcement, and AIMD concurrency adaptation. See the module
+/// docs for the model; see `WireServer::with_overload` in `oasis-wire` for
+/// the deployment point.
+pub struct AdmissionController {
+    config: OverloadConfig,
+    clock: Arc<dyn Clock>,
+    lanes: [Mutex<LaneState>; 3],
+    wakeups: [Condvar; 3],
+    conns_accepted: AtomicU64,
+    conns_shed: AtomicU64,
+}
+
+/// How long a blocking waiter sleeps between deadline re-checks. Condvar
+/// notifies from completing permits normally wake it sooner; the slice only
+/// bounds staleness against a clock that advances without completions
+/// (e.g. a [`ManualClock`] driven by a test thread).
+const WAIT_SLICE: Duration = Duration::from_millis(2);
+/// Wait slice for deadline-less waiters (notify-driven; the timeout is only
+/// a lost-wakeup backstop).
+const IDLE_WAIT_SLICE: Duration = Duration::from_millis(50);
+
+impl AdmissionController {
+    /// Controller on wall-clock time.
+    pub fn new(config: OverloadConfig) -> Arc<Self> {
+        Self::with_clock(config, Arc::new(WallClock::new()))
+    }
+
+    /// Controller on an explicit clock (virtual time in tests/sim).
+    pub fn with_clock(config: OverloadConfig, clock: Arc<dyn Clock>) -> Arc<Self> {
+        let lanes = [
+            Mutex::new(LaneState::new(config.lane(Lane::Control))),
+            Mutex::new(LaneState::new(config.lane(Lane::Validation))),
+            Mutex::new(LaneState::new(config.lane(Lane::Issuance))),
+        ];
+        Arc::new(Self {
+            config,
+            clock,
+            lanes,
+            wakeups: [Condvar::new(), Condvar::new(), Condvar::new()],
+            conns_accepted: AtomicU64::new(0),
+            conns_shed: AtomicU64::new(0),
+        })
+    }
+
+    /// The active configuration.
+    pub fn config(&self) -> &OverloadConfig {
+        &self.config
+    }
+
+    /// Current controller clock reading in ms.
+    pub fn now_ms(&self) -> u64 {
+        self.clock.now_ms()
+    }
+
+    /// Non-blocking admission. Grants a permit when the lane has spare
+    /// capacity and an empty queue, queues otherwise, sheds when the queue
+    /// is at its bound, and refuses outright when the deadline has already
+    /// passed.
+    pub fn submit(self: &Arc<Self>, lane: Lane, deadline: Deadline) -> Submission {
+        let now = self.clock.now_ms();
+        let cfg = self.config.lane(lane);
+        let mut state = self.lanes[lane.idx()].lock();
+        if deadline.expired(now) {
+            state.expired += 1;
+            return Submission::Expired;
+        }
+        if !self.config.shedding {
+            state.running += 1;
+            state.admitted += 1;
+            return Submission::Admitted(self.permit(lane, now, &mut state));
+        }
+        state.prune_expired(now);
+        if state.queue.is_empty() && (state.running as f64) < state.limit {
+            state.running += 1;
+            state.admitted += 1;
+            return Submission::Admitted(self.permit(lane, now, &mut state));
+        }
+        if state.queue.len() >= cfg.queue_cap {
+            state.shed += 1;
+            let hint = state
+                .load
+                .drain_estimate_ms(state.queue.len(), state.limit as u32);
+            return Submission::Shed {
+                retry_after_ms: hint,
+            };
+        }
+        let id = state.next_ticket;
+        state.next_ticket += 1;
+        state.queue.push_back(QueuedTicket { id, deadline });
+        Submission::Queued(Ticket {
+            lane,
+            id,
+            deadline,
+            submitted_ms: now,
+        })
+    }
+
+    fn permit(self: &Arc<Self>, lane: Lane, submitted_ms: u64, _state: &mut LaneState) -> Permit {
+        Permit {
+            ctrl: Arc::clone(self),
+            lane,
+            submitted_ms,
+        }
+    }
+
+    /// Poll a queued ticket: FIFO within the lane, granted as capacity
+    /// frees. Returns [`PollOutcome::Expired`] as soon as the ticket's
+    /// deadline passes, whether or not it is still queued.
+    pub fn poll(self: &Arc<Self>, ticket: &Ticket) -> PollOutcome {
+        let now = self.clock.now_ms();
+        let mut state = self.lanes[ticket.lane.idx()].lock();
+        if ticket.deadline.expired(now) {
+            // Count the expiry only if the ticket is still queued; a prune
+            // pass may already have counted and removed it.
+            let before = state.queue.len();
+            state.queue.retain(|t| t.id != ticket.id);
+            if state.queue.len() < before {
+                state.expired += 1;
+            }
+            return PollOutcome::Expired;
+        }
+        state.prune_expired(now);
+        let at_head = state.queue.front().is_some_and(|t| t.id == ticket.id);
+        if at_head && (state.running as f64) < state.limit {
+            state.queue.pop_front();
+            state.running += 1;
+            state.admitted += 1;
+            return PollOutcome::Ready(self.permit(ticket.lane, ticket.submitted_ms, &mut state));
+        }
+        PollOutcome::Waiting
+    }
+
+    /// Blocking admission: submit, then wait (condvar with deadline-sliced
+    /// timeouts) until a permit is granted, the deadline passes, or the
+    /// queue sheds the request.
+    pub fn admit(self: &Arc<Self>, lane: Lane, deadline: Deadline) -> Result<Permit, AdmitError> {
+        match self.submit(lane, deadline) {
+            Submission::Admitted(p) => Ok(p),
+            Submission::Shed { retry_after_ms } => Err(AdmitError::Shed { retry_after_ms }),
+            Submission::Expired => Err(AdmitError::Expired),
+            Submission::Queued(ticket) => loop {
+                match self.poll(&ticket) {
+                    PollOutcome::Ready(p) => return Ok(p),
+                    PollOutcome::Expired => return Err(AdmitError::Expired),
+                    PollOutcome::Waiting => {
+                        let slice = if deadline.at_ms().is_some() {
+                            WAIT_SLICE
+                        } else {
+                            IDLE_WAIT_SLICE
+                        };
+                        let mut state = self.lanes[lane.idx()].lock();
+                        self.wakeups[lane.idx()].wait_for(&mut state, slice);
+                    }
+                }
+            },
+        }
+    }
+
+    /// Record that an admitted request reached its execution point only
+    /// after its deadline (a racy admission at the deadline boundary). The
+    /// caller must drop the permit without doing work.
+    pub fn note_expired_after_admit(&self, lane: Lane) {
+        let mut state = self.lanes[lane.idx()].lock();
+        state.expired += 1;
+    }
+
+    /// Completion path: called from [`Permit::drop`].
+    fn finish(&self, lane: Lane, submitted_ms: u64) {
+        let now = self.clock.now_ms();
+        let latency = now.saturating_sub(submitted_ms);
+        let cfg = self.config.lane(lane);
+        {
+            let mut state = self.lanes[lane.idx()].lock();
+            state.running = state.running.saturating_sub(1);
+            state.completed += 1;
+            state.load.observe(latency);
+            if self.config.shedding {
+                if latency > cfg.target_latency_ms {
+                    // Multiplicative decrease, at most once per target
+                    // window so a burst of slow completions does not
+                    // collapse the limit to the floor in one step.
+                    if now.saturating_sub(state.last_decrease_ms) >= cfg.target_latency_ms {
+                        state.limit = (state.limit * 0.7).max(cfg.min_limit.max(1) as f64);
+                        state.last_decrease_ms = now;
+                    }
+                } else {
+                    let step = 1.0 / state.limit.max(1.0);
+                    state.limit = (state.limit + step).min(cfg.max_limit.max(1) as f64);
+                }
+            }
+        }
+        self.wakeups[lane.idx()].notify_all();
+    }
+
+    /// A `retry_after_ms` estimate for the lane's current load, without
+    /// submitting anything.
+    pub fn retry_after_hint(&self, lane: Lane) -> u64 {
+        let state = self.lanes[lane.idx()].lock();
+        state
+            .load
+            .drain_estimate_ms(state.queue.len(), state.limit as u32)
+    }
+
+    /// Record a connection handed to the worker pool.
+    pub fn note_conn_accepted(&self) {
+        self.conns_accepted.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Record a connection dropped because the accept queue was full.
+    pub fn note_conn_shed(&self) {
+        self.conns_shed.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Point-in-time stats snapshot.
+    pub fn stats(&self) -> OverloadStats {
+        let snap = |lane: Lane| {
+            let state = self.lanes[lane.idx()].lock();
+            LaneSnapshot {
+                admitted: state.admitted,
+                shed: state.shed,
+                expired: state.expired,
+                completed: state.completed,
+                running: state.running,
+                queue_depth: state.queue.len(),
+                limit: state.limit as u32,
+                ewma_latency_ms: state.load.ewma_ms(),
+            }
+        };
+        OverloadStats {
+            lanes: [
+                snap(Lane::Control),
+                snap(Lane::Validation),
+                snap(Lane::Issuance),
+            ],
+            conns_accepted: self.conns_accepted.load(Ordering::Relaxed),
+            conns_shed: self.conns_shed.load(Ordering::Relaxed),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_config() -> OverloadConfig {
+        let mut cfg = OverloadConfig::default();
+        for lane in Lane::ALL {
+            *cfg.lane_mut(lane) = LaneConfig {
+                initial_limit: 1,
+                min_limit: 1,
+                max_limit: 4,
+                queue_cap: 2,
+                target_latency_ms: 10,
+            };
+        }
+        cfg
+    }
+
+    fn manual(cfg: OverloadConfig) -> (Arc<AdmissionController>, Arc<ManualClock>) {
+        let clock = Arc::new(ManualClock::new(0));
+        let ctrl = AdmissionController::with_clock(cfg, Arc::clone(&clock) as Arc<dyn Clock>);
+        (ctrl, clock)
+    }
+
+    #[test]
+    fn grants_within_limit_queues_beyond() {
+        let (ctrl, _clock) = manual(tiny_config());
+        let p1 = match ctrl.submit(Lane::Validation, Deadline::none()) {
+            Submission::Admitted(p) => p,
+            _ => panic!("first request should be admitted"),
+        };
+        let t2 = match ctrl.submit(Lane::Validation, Deadline::none()) {
+            Submission::Queued(t) => t,
+            _ => panic!("second request should queue at limit 1"),
+        };
+        assert!(matches!(ctrl.poll(&t2), PollOutcome::Waiting));
+        drop(p1);
+        match ctrl.poll(&t2) {
+            PollOutcome::Ready(_p) => {}
+            _ => panic!("queued request should be granted after completion"),
+        }
+    }
+
+    #[test]
+    fn sheds_when_queue_full_with_positive_hint() {
+        let (ctrl, _clock) = manual(tiny_config());
+        let _p = ctrl.submit(Lane::Validation, Deadline::none());
+        let _t1 = ctrl.submit(Lane::Validation, Deadline::none());
+        let _t2 = ctrl.submit(Lane::Validation, Deadline::none());
+        match ctrl.submit(Lane::Validation, Deadline::none()) {
+            Submission::Shed { retry_after_ms } => assert!(retry_after_ms >= 1),
+            _ => panic!("queue_cap 2 exceeded: fourth request should shed"),
+        }
+        let stats = ctrl.stats();
+        assert_eq!(stats.lane(Lane::Validation).shed, 1);
+        assert_eq!(stats.lane(Lane::Validation).queue_depth, 2);
+    }
+
+    #[test]
+    fn lanes_are_independent() {
+        let (ctrl, _clock) = manual(tiny_config());
+        // Saturate validation completely.
+        let _vp = ctrl.submit(Lane::Validation, Deadline::none());
+        let _vt1 = ctrl.submit(Lane::Validation, Deadline::none());
+        let _vt2 = ctrl.submit(Lane::Validation, Deadline::none());
+        assert!(matches!(
+            ctrl.submit(Lane::Validation, Deadline::none()),
+            Submission::Shed { .. }
+        ));
+        // Control still admits immediately.
+        assert!(matches!(
+            ctrl.submit(Lane::Control, Deadline::none()),
+            Submission::Admitted(_)
+        ));
+    }
+
+    #[test]
+    fn zero_budget_expires_at_admission() {
+        let (ctrl, clock) = manual(tiny_config());
+        clock.set(100);
+        let d = Deadline::from_budget(clock.now_ms(), Some(0));
+        assert!(matches!(ctrl.submit(Lane::Control, d), Submission::Expired));
+        assert_eq!(ctrl.stats().lane(Lane::Control).expired, 1);
+    }
+
+    #[test]
+    fn queued_ticket_expires_when_clock_passes_deadline() {
+        let (ctrl, clock) = manual(tiny_config());
+        let _p = ctrl.submit(Lane::Validation, Deadline::none());
+        let t = match ctrl.submit(
+            Lane::Validation,
+            Deadline::from_budget(clock.now_ms(), Some(20)),
+        ) {
+            Submission::Queued(t) => t,
+            _ => panic!("should queue"),
+        };
+        assert!(matches!(ctrl.poll(&t), PollOutcome::Waiting));
+        clock.set(20);
+        assert!(matches!(ctrl.poll(&t), PollOutcome::Expired));
+        assert_eq!(ctrl.stats().lane(Lane::Validation).expired, 1);
+        // Polling again must not double-count.
+        assert!(matches!(ctrl.poll(&t), PollOutcome::Expired));
+        assert_eq!(ctrl.stats().lane(Lane::Validation).expired, 1);
+    }
+
+    #[test]
+    fn aimd_decreases_on_slow_completions_and_recovers() {
+        let mut cfg = tiny_config();
+        *cfg.lane_mut(Lane::Validation) = LaneConfig {
+            initial_limit: 8,
+            min_limit: 1,
+            max_limit: 16,
+            queue_cap: 64,
+            target_latency_ms: 10,
+        };
+        let (ctrl, clock) = manual(cfg);
+        // Slow completions: each takes 30ms > 10ms target.
+        for _ in 0..20 {
+            let p = match ctrl.submit(Lane::Validation, Deadline::none()) {
+                Submission::Admitted(p) => p,
+                _ => panic!("limit should not be exhausted by serial requests"),
+            };
+            clock.advance(30);
+            drop(p);
+        }
+        let squeezed = ctrl.stats().lane(Lane::Validation).limit;
+        assert!(squeezed < 8, "limit should shrink under slow completions");
+        assert!(squeezed >= 1, "limit must respect the floor");
+        // Fast completions: limit grows back (but stays capped).
+        for _ in 0..400 {
+            let p = match ctrl.submit(Lane::Validation, Deadline::none()) {
+                Submission::Admitted(p) => p,
+                _ => panic!("serial requests stay within limit"),
+            };
+            clock.advance(1);
+            drop(p);
+        }
+        let recovered = ctrl.stats().lane(Lane::Validation).limit;
+        assert!(
+            recovered > squeezed,
+            "limit should grow under fast completions"
+        );
+        assert!(recovered <= 16);
+    }
+
+    #[test]
+    fn shedding_disabled_admits_everything() {
+        let mut cfg = tiny_config();
+        cfg.shedding = false;
+        let (ctrl, _clock) = manual(cfg);
+        let mut permits = Vec::new();
+        for _ in 0..50 {
+            match ctrl.submit(Lane::Validation, Deadline::none()) {
+                Submission::Admitted(p) => permits.push(p),
+                _ => panic!("unlimited mode must admit everything"),
+            }
+        }
+        assert_eq!(ctrl.stats().lane(Lane::Validation).admitted, 50);
+        assert_eq!(ctrl.stats().lane(Lane::Validation).running, 50);
+        drop(permits);
+        assert_eq!(ctrl.stats().lane(Lane::Validation).running, 0);
+    }
+
+    #[test]
+    fn shedding_disabled_still_refuses_expired_deadlines() {
+        let mut cfg = tiny_config();
+        cfg.shedding = false;
+        let (ctrl, clock) = manual(cfg);
+        clock.set(10);
+        assert!(matches!(
+            ctrl.submit(Lane::Issuance, Deadline::at(5)),
+            Submission::Expired
+        ));
+    }
+
+    #[test]
+    fn blocking_admit_respects_deadline() {
+        let (ctrl, clock) = manual(tiny_config());
+        let _hold = ctrl.submit(Lane::Validation, Deadline::none());
+        let deadline = Deadline::from_budget(clock.now_ms(), Some(5));
+        let advancer = {
+            let clock = Arc::clone(&clock);
+            std::thread::spawn(move || {
+                std::thread::sleep(Duration::from_millis(20));
+                clock.set(5);
+            })
+        };
+        let res = ctrl.admit(Lane::Validation, deadline);
+        advancer.join().unwrap();
+        assert!(matches!(res, Err(AdmitError::Expired)));
+    }
+
+    #[test]
+    fn trace_json_is_well_formed() {
+        let (ctrl, _clock) = manual(tiny_config());
+        let _p = ctrl.submit(Lane::Control, Deadline::none());
+        let json = ctrl.stats().trace_json();
+        assert!(json.starts_with('{') && json.ends_with('}'));
+        assert!(json.contains("\"control\""));
+        assert!(json.contains("\"conns_shed\":0"));
+    }
+}

@@ -50,14 +50,16 @@ pub enum ErrorClass {
 /// Classifies a validation error as transient or fatal.
 ///
 /// Unreachable-issuer conditions ([`OasisError::NoValidator`],
-/// [`OasisError::IssuerTimeout`], [`OasisError::CircuitOpen`]) are
-/// transient; everything else — bad signature, revoked, unknown record,
-/// policy denials — is an authoritative answer and fatal.
+/// [`OasisError::IssuerTimeout`], [`OasisError::CircuitOpen`]) and
+/// saturation sheds ([`OasisError::Overloaded`]) are transient; everything
+/// else — bad signature, revoked, unknown record, policy denials — is an
+/// authoritative answer and fatal.
 pub fn classify_error(error: &OasisError) -> ErrorClass {
     match error {
-        OasisError::NoValidator(_) | OasisError::IssuerTimeout(_) | OasisError::CircuitOpen(_) => {
-            ErrorClass::Transient
-        }
+        OasisError::NoValidator(_)
+        | OasisError::IssuerTimeout(_)
+        | OasisError::CircuitOpen(_)
+        | OasisError::Overloaded { .. } => ErrorClass::Transient,
         _ => ErrorClass::Fatal,
     }
 }
@@ -106,8 +108,13 @@ pub struct ResilientStats {
     pub successes: u64,
     /// Individual retries performed (beyond first attempts).
     pub retries: u64,
-    /// Attempts that failed with a transient error.
+    /// Attempts that failed with a transient error (excluding overload
+    /// sheds, which are counted separately — a shed is an answer from a
+    /// live service, not evidence of a broken transport).
     pub transient_failures: u64,
+    /// Attempts the issuer shed with [`OasisError::Overloaded`]. These
+    /// never count toward opening the issuer's circuit breaker.
+    pub overload_sheds: u64,
     /// Attempts that failed with a fatal (authoritative) error.
     pub fatal_failures: u64,
     /// Times a breaker transitioned to open.
@@ -124,6 +131,7 @@ struct Counters {
     successes: AtomicU64,
     retries: AtomicU64,
     transient_failures: AtomicU64,
+    overload_sheds: AtomicU64,
     fatal_failures: AtomicU64,
     breaker_opens: AtomicU64,
     breaker_fast_fails: AtomicU64,
@@ -214,6 +222,7 @@ impl ResilientValidator {
             successes: self.counters.successes.load(Ordering::Relaxed),
             retries: self.counters.retries.load(Ordering::Relaxed),
             transient_failures: self.counters.transient_failures.load(Ordering::Relaxed),
+            overload_sheds: self.counters.overload_sheds.load(Ordering::Relaxed),
             fatal_failures: self.counters.fatal_failures.load(Ordering::Relaxed),
             breaker_opens: self.counters.breaker_opens.load(Ordering::Relaxed),
             breaker_fast_fails: self.counters.breaker_fast_fails.load(Ordering::Relaxed),
@@ -329,16 +338,41 @@ impl CredentialValidator for ResilientValidator {
                         return Err(error);
                     }
                     ErrorClass::Transient => {
-                        self.counters
-                            .transient_failures
-                            .fetch_add(1, Ordering::Relaxed);
+                        let shed_hint = match &error {
+                            OasisError::Overloaded { retry_after_ms, .. } => Some(*retry_after_ms),
+                            _ => None,
+                        };
+                        if shed_hint.is_some() {
+                            self.counters.overload_sheds.fetch_add(1, Ordering::Relaxed);
+                        } else {
+                            self.counters
+                                .transient_failures
+                                .fetch_add(1, Ordering::Relaxed);
+                        }
                         match backoff.next_delay() {
                             Some(delay) => {
                                 self.counters.retries.fetch_add(1, Ordering::Relaxed);
+                                // An overloaded issuer said exactly when to
+                                // come back: its hint replaces the generic
+                                // backoff delay, still bounded by the
+                                // policy's total-delay budget.
+                                let delay = match shed_hint {
+                                    Some(ms) => {
+                                        Duration::from_millis(ms).min(self.retry.total_delay_cap)
+                                    }
+                                    None => delay,
+                                };
                                 (self.sleeper)(delay);
                             }
                             None => {
-                                self.record_unreachable(issuer, now);
+                                // A shed is an answer from a live service;
+                                // it proves reachability rather than
+                                // refuting it, so it resets the breaker
+                                // instead of charging it.
+                                match shed_hint {
+                                    Some(_) => self.record_answer(issuer),
+                                    None => self.record_unreachable(issuer, now),
+                                }
                                 return Err(error);
                             }
                         }
@@ -496,6 +530,93 @@ mod tests {
         assert_eq!(validator.breaker_state(cred.issuer()), "closed");
     }
 
+    /// An inner validator that always sheds with a fixed retry hint.
+    struct Shedding {
+        retry_after_ms: u64,
+    }
+
+    impl CredentialValidator for Shedding {
+        fn validate(
+            &self,
+            credential: &Credential,
+            _presenter: &PrincipalId,
+            _now: u64,
+        ) -> Result<(), OasisError> {
+            Err(OasisError::Overloaded {
+                service: credential.issuer().clone(),
+                retry_after_ms: self.retry_after_ms,
+            })
+        }
+    }
+
+    #[test]
+    fn overload_hint_replaces_generic_backoff_delay() {
+        let slept: Arc<Mutex<Vec<Duration>>> = Arc::new(Mutex::new(Vec::new()));
+        let slept2 = Arc::clone(&slept);
+        let validator = ResilientValidator::new(Arc::new(Shedding { retry_after_ms: 37 }))
+            .with_retry(RetryPolicy {
+                max_attempts: 3,
+                base_delay: Duration::from_millis(10),
+                max_delay: Duration::from_millis(200),
+                total_delay_cap: Duration::from_secs(10),
+                jitter: 0.0,
+            })
+            .with_sleeper(move |d| slept2.lock().push(d));
+        let (_, _, cred) = world(true, 0);
+        let err = validator
+            .validate(&cred, &PrincipalId::new("alice"), 0)
+            .unwrap_err();
+        assert!(matches!(err, OasisError::Overloaded { .. }));
+        // Both retries slept the server's hint, not the 10/20ms schedule.
+        assert_eq!(
+            *slept.lock(),
+            vec![Duration::from_millis(37), Duration::from_millis(37)]
+        );
+    }
+
+    #[test]
+    fn overload_hint_is_clamped_to_total_delay_cap() {
+        let slept: Arc<Mutex<Vec<Duration>>> = Arc::new(Mutex::new(Vec::new()));
+        let slept2 = Arc::clone(&slept);
+        let validator = ResilientValidator::new(Arc::new(Shedding {
+            retry_after_ms: 60_000,
+        }))
+        .with_retry(RetryPolicy {
+            max_attempts: 2,
+            base_delay: Duration::from_millis(1),
+            max_delay: Duration::from_millis(1),
+            total_delay_cap: Duration::from_millis(250),
+            jitter: 0.0,
+        })
+        .with_sleeper(move |d| slept2.lock().push(d));
+        let (_, _, cred) = world(true, 0);
+        let _ = validator.validate(&cred, &PrincipalId::new("alice"), 0);
+        assert_eq!(*slept.lock(), vec![Duration::from_millis(250)]);
+    }
+
+    #[test]
+    fn overload_sheds_counted_separately_and_spare_the_breaker() {
+        let validator = ResilientValidator::new(Arc::new(Shedding { retry_after_ms: 5 }))
+            .with_retry(RetryPolicy::immediate(2))
+            .with_breaker(BreakerConfig {
+                failure_threshold: 1,
+                cooldown_ticks: 10,
+            });
+        let (_, _, cred) = world(true, 0);
+        let alice = PrincipalId::new("alice");
+        // Threshold is 1: a single exhausted *transport* sequence would
+        // open the breaker. Exhausted shed sequences must not.
+        for now in 0..4 {
+            let err = validator.validate(&cred, &alice, now).unwrap_err();
+            assert!(matches!(err, OasisError::Overloaded { .. }));
+        }
+        let stats = validator.stats();
+        assert_eq!(stats.overload_sheds, 8, "2 attempts x 4 calls");
+        assert_eq!(stats.transient_failures, 0);
+        assert_eq!(stats.breaker_opens, 0);
+        assert_eq!(validator.breaker_state(cred.issuer()), "closed");
+    }
+
     #[test]
     fn classification_table() {
         let sid = ServiceId::new("x");
@@ -509,6 +630,13 @@ mod tests {
         );
         assert_eq!(
             classify_error(&OasisError::CircuitOpen(sid.clone())),
+            ErrorClass::Transient
+        );
+        assert_eq!(
+            classify_error(&OasisError::Overloaded {
+                service: sid.clone(),
+                retry_after_ms: 10
+            }),
             ErrorClass::Transient
         );
         assert_eq!(

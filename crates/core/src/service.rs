@@ -74,6 +74,7 @@ use crate::durable::{
 use crate::env::EnvContext;
 use crate::error::OasisError;
 use crate::ids::{CertId, PrincipalId, RoleName, ServiceId};
+use crate::overload::{AdmissionController, OverloadStats};
 use crate::pattern::{Bindings, Term};
 use crate::resilient::{classify_error, ErrorClass};
 use crate::role::RoleDef;
@@ -570,6 +571,7 @@ pub struct OasisService {
     fa: Option<FailureAware>,
     durable: Option<Durable>,
     validator: RwLock<Option<Arc<dyn CredentialValidator>>>,
+    overload: RwLock<Option<Arc<AdmissionController>>>,
     next_cert: AtomicU64,
     next_rule: AtomicU64,
     /// Virtual time of the most recent operation; used to timestamp
@@ -620,6 +622,7 @@ impl OasisService {
                 watermarks: Mutex::new(HashMap::new()),
             }),
             validator: RwLock::new(None),
+            overload: RwLock::new(None),
             next_cert: AtomicU64::new(1),
             next_rule: AtomicU64::new(1),
             last_now: AtomicU64::new(0),
@@ -695,6 +698,31 @@ impl OasisService {
     /// domain CIV client, or a network client).
     pub fn set_validator(&self, validator: Arc<dyn CredentialValidator>) {
         *self.validator.write() = Some(validator);
+    }
+
+    /// Installs the admission controller guarding this service's front
+    /// door (normally done by `oasis-wire` when overload control is
+    /// enabled), making its stats visible through the service.
+    pub fn set_overload(&self, controller: Arc<AdmissionController>) {
+        *self.overload.write() = Some(controller);
+    }
+
+    /// The installed admission controller, if any.
+    pub fn overload(&self) -> Option<Arc<AdmissionController>> {
+        self.overload.read().clone()
+    }
+
+    /// Overload-control counters, or `None` when no admission controller
+    /// is installed (see [`OasisService::set_overload`]).
+    pub fn overload_stats(&self) -> Option<OverloadStats> {
+        self.overload.read().as_ref().map(|c| c.stats())
+    }
+
+    /// Virtual time of the most recent operation this service handled.
+    /// Event- and transport-driven code paths (which arrive without an
+    /// [`EnvContext`]) use it to timestamp audit entries.
+    pub fn last_seen_now(&self) -> u64 {
+        self.last_now.load(Ordering::Relaxed)
     }
 
     fn record_shard(&self, cert_id: CertId) -> &Mutex<CertShard> {

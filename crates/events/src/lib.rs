@@ -63,6 +63,7 @@ mod bus;
 mod channel;
 mod error;
 mod heartbeat;
+mod load;
 mod stats;
 mod topic;
 
@@ -73,5 +74,6 @@ pub use bus::{
 pub use channel::{channel, ChannelReceiver, ChannelSender};
 pub use error::EventError;
 pub use heartbeat::{HeartbeatMonitor, SourceHealth, SourceId};
+pub use load::LoadTracker;
 pub use stats::BusStats;
 pub use topic::{Topic, TopicPattern};

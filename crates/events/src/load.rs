@@ -1,0 +1,149 @@
+//! Load observation: exponentially weighted latency tracking.
+//!
+//! [`LoadTracker`] is the monitoring substrate the admission controller in
+//! `oasis-core` feeds with completion latencies. It keeps an EWMA of observed
+//! service time plus a peak watermark, and can convert "how many requests are
+//! ahead of you" into a `retry_after_ms` hint for shed clients
+//! ([`LoadTracker::drain_estimate_ms`]). Like [`crate::HeartbeatMonitor`] it
+//! is time-unit agnostic: callers decide whether a "ms" is a wall-clock
+//! millisecond or a virtual simulator tick.
+
+/// Exponentially weighted moving average of observed request latency.
+///
+/// `observe` is O(1) and lock-free from the caller's perspective (the caller
+/// provides exterior mutability — the admission controller holds one tracker
+/// per lane under its lane lock).
+#[derive(Debug, Clone)]
+pub struct LoadTracker {
+    ewma_ms: f64,
+    alpha: f64,
+    samples: u64,
+    peak_ms: u64,
+}
+
+impl Default for LoadTracker {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl LoadTracker {
+    /// Default smoothing factor: recent samples dominate quickly (a lane that
+    /// suddenly slows should raise hints within a handful of completions).
+    pub const DEFAULT_ALPHA: f64 = 0.2;
+
+    /// New tracker with [`LoadTracker::DEFAULT_ALPHA`].
+    pub fn new() -> Self {
+        Self::with_alpha(Self::DEFAULT_ALPHA)
+    }
+
+    /// New tracker with an explicit smoothing factor in `(0, 1]`.
+    ///
+    /// # Panics
+    /// Panics if `alpha` is not in `(0, 1]`.
+    pub fn with_alpha(alpha: f64) -> Self {
+        assert!(alpha > 0.0 && alpha <= 1.0, "alpha must be in (0, 1]");
+        Self {
+            ewma_ms: 0.0,
+            alpha,
+            samples: 0,
+            peak_ms: 0,
+        }
+    }
+
+    /// Record one completed request's latency.
+    pub fn observe(&mut self, latency_ms: u64) {
+        self.samples += 1;
+        self.peak_ms = self.peak_ms.max(latency_ms);
+        if self.samples == 1 {
+            self.ewma_ms = latency_ms as f64;
+        } else {
+            self.ewma_ms += self.alpha * (latency_ms as f64 - self.ewma_ms);
+        }
+    }
+
+    /// Current smoothed latency estimate (0.0 until the first sample).
+    pub fn ewma_ms(&self) -> f64 {
+        self.ewma_ms
+    }
+
+    /// Number of samples observed.
+    pub fn samples(&self) -> u64 {
+        self.samples
+    }
+
+    /// Largest single latency ever observed.
+    pub fn peak_ms(&self) -> u64 {
+        self.peak_ms
+    }
+
+    /// Estimate how long a newly arrived request would wait before *starting*
+    /// service, given `queued` requests ahead of it and `concurrency` parallel
+    /// executors: `ceil((queued + 1) / concurrency) * ewma`, floored at 1 so a
+    /// shed client never retries in a zero-ms tight loop.
+    pub fn drain_estimate_ms(&self, queued: usize, concurrency: u32) -> u64 {
+        let conc = concurrency.max(1) as u64;
+        let waves = (queued as u64 + 1).div_ceil(conc);
+        let per_wave = if self.samples == 0 {
+            1.0
+        } else {
+            self.ewma_ms.max(1.0)
+        };
+        ((waves as f64 * per_wave).ceil() as u64).max(1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn first_sample_seeds_ewma_exactly() {
+        let mut t = LoadTracker::new();
+        assert_eq!(t.ewma_ms(), 0.0);
+        t.observe(40);
+        assert_eq!(t.ewma_ms(), 40.0);
+        assert_eq!(t.samples(), 1);
+        assert_eq!(t.peak_ms(), 40);
+    }
+
+    #[test]
+    fn ewma_converges_toward_recent_latency() {
+        let mut t = LoadTracker::new();
+        t.observe(10);
+        for _ in 0..50 {
+            t.observe(100);
+        }
+        assert!(
+            t.ewma_ms() > 90.0,
+            "ewma {} should approach 100",
+            t.ewma_ms()
+        );
+        assert_eq!(t.peak_ms(), 100);
+    }
+
+    #[test]
+    fn drain_estimate_scales_with_queue_and_concurrency() {
+        let mut t = LoadTracker::new();
+        t.observe(20);
+        // 7 ahead + self = 8 requests, 4 lanes => 2 waves of ~20ms.
+        assert_eq!(t.drain_estimate_ms(7, 4), 40);
+        // Single executor: 8 waves.
+        assert_eq!(t.drain_estimate_ms(7, 1), 160);
+    }
+
+    #[test]
+    fn drain_estimate_never_zero() {
+        let t = LoadTracker::new();
+        assert!(t.drain_estimate_ms(0, 8) >= 1);
+        let mut t = LoadTracker::new();
+        t.observe(0);
+        assert!(t.drain_estimate_ms(0, 8) >= 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "alpha")]
+    fn zero_alpha_rejected() {
+        let _ = LoadTracker::with_alpha(0.0);
+    }
+}

@@ -10,7 +10,7 @@ use oasis_events::DeliveredEvent;
 
 use crate::error::WireError;
 use crate::frame::{read_frame, write_frame};
-use crate::proto::{Request, Response};
+use crate::proto::{Envelope, Request, Response};
 
 /// Deadlines for the blocking client's socket operations. `None` means
 /// block indefinitely for that operation.
@@ -70,6 +70,9 @@ impl WireTimeouts {
 /// is usable directly from those callbacks.
 pub struct WireClient {
     stream: TcpStream,
+    /// Default deadline budget attached to every call (see
+    /// [`WireClient::set_deadline_ms`]).
+    deadline_ms: Option<u64>,
 }
 
 impl std::fmt::Debug for WireClient {
@@ -134,22 +137,75 @@ impl WireClient {
         stream.set_nodelay(true).ok();
         stream.set_read_timeout(timeouts.read)?;
         stream.set_write_timeout(timeouts.write)?;
-        Ok(Self { stream })
+        Ok(Self {
+            stream,
+            deadline_ms: None,
+        })
     }
 
-    /// One request/response exchange.
+    /// Sets the default deadline budget (in ms) propagated with every
+    /// subsequent call; `None` removes it. The server computes the
+    /// absolute deadline when it reads the frame, counts queueing time
+    /// against it, and answers [`WireError::DeadlineExceeded`] instead of
+    /// executing a request whose budget ran out.
+    pub fn set_deadline_ms(&mut self, deadline_ms: Option<u64>) {
+        self.deadline_ms = deadline_ms;
+    }
+
+    /// Builder form of [`WireClient::set_deadline_ms`].
+    #[must_use]
+    pub fn with_deadline_ms(mut self, deadline_ms: u64) -> Self {
+        self.deadline_ms = Some(deadline_ms);
+        self
+    }
+
+    /// The currently configured default deadline budget.
+    pub fn deadline_ms(&self) -> Option<u64> {
+        self.deadline_ms
+    }
+
+    /// One request/response exchange, carrying the client's default
+    /// deadline budget (if any).
     ///
     /// # Errors
     ///
     /// Transport errors ([`WireError::TimedOut`] when a read or write
-    /// deadline expires), or [`WireError::Remote`] for an application
-    /// error reported by the server.
+    /// deadline expires), [`WireError::Overloaded`] when the server shed
+    /// the request, [`WireError::DeadlineExceeded`] when its budget ran
+    /// out server-side, or [`WireError::Remote`] for an application error
+    /// reported by the server.
     pub fn call(&mut self, request: &Request) -> Result<Response, WireError> {
-        write_frame(&mut self.stream, request).map_err(|e| e.normalise_timeout("write"))?;
+        self.call_with_deadline(request, self.deadline_ms)
+    }
+
+    /// As [`WireClient::call`], with an explicit per-call deadline budget
+    /// overriding the client default.
+    ///
+    /// # Errors
+    ///
+    /// As [`WireClient::call`].
+    pub fn call_with_deadline(
+        &mut self,
+        request: &Request,
+        deadline_ms: Option<u64>,
+    ) -> Result<Response, WireError> {
+        match deadline_ms {
+            // Bare request: byte-identical to the pre-deadline format.
+            None => write_frame(&mut self.stream, request),
+            Some(ms) => write_frame(
+                &mut self.stream,
+                &Envelope::with_deadline(request.clone(), ms),
+            ),
+        }
+        .map_err(|e| e.normalise_timeout("write"))?;
         match read_frame::<_, Response>(&mut self.stream)
             .map_err(|e| e.normalise_timeout("read"))?
         {
             Some(Response::Error { message }) => Err(WireError::Remote(message)),
+            Some(Response::Overloaded { retry_after_ms }) => {
+                Err(WireError::Overloaded { retry_after_ms })
+            }
+            Some(Response::DeadlineExceeded) => Err(WireError::DeadlineExceeded),
             Some(response) => Ok(response),
             None => Err(WireError::Closed),
         }

@@ -28,6 +28,19 @@ pub enum WireError {
         op: &'static str,
     },
 
+    /// The server shed the request before doing any work: its admission
+    /// queue for the request's priority lane was full. Transient — the
+    /// server is alive; retry after the hinted delay.
+    Overloaded {
+        /// Server-estimated queue-drain time in milliseconds.
+        retry_after_ms: u64,
+    },
+
+    /// The request's propagated deadline (`deadline_ms` in the wire
+    /// envelope) passed before the server started executing it; the
+    /// server dropped it without doing work.
+    DeadlineExceeded,
+
     /// The server answered with an application error.
     Remote(String),
 
@@ -45,6 +58,10 @@ impl std::fmt::Display for WireError {
             Self::Malformed(e) => write!(f, "malformed frame: {e}"),
             Self::Closed => write!(f, "connection closed by peer"),
             Self::TimedOut { op } => write!(f, "{op} timed out"),
+            Self::Overloaded { retry_after_ms } => {
+                write!(f, "server overloaded: retry after {retry_after_ms}ms")
+            }
+            Self::DeadlineExceeded => write!(f, "deadline exceeded before execution"),
             Self::Remote(message) => write!(f, "remote error: {message}"),
             Self::UnexpectedResponse(got) => {
                 write!(f, "protocol violation: unexpected response {got}")

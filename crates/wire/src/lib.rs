@@ -4,8 +4,12 @@
 //! a length-prefixed JSON protocol over TCP exposing the four operations
 //! of Fig 2 — role activation, invocation, validation callback, and
 //! revocation — so that an OASIS session genuinely crosses process and
-//! host boundaries. The transport is synchronous (thread-per-connection),
-//! matching the synchronous engine whose validation callbacks run inline.
+//! host boundaries. The transport is synchronous (a bounded worker pool
+//! of blocking connections), matching the synchronous engine whose
+//! validation callbacks run inline. The server admits every request
+//! through priority lanes with bounded queues and propagated deadlines
+//! (see [`server`](WireServer) and `oasis_core::overload`), so a
+//! validation flood is shed before it can starve revocation traffic.
 //!
 //! * [`frame`] — the wire framing (u32 length prefix, JSON payload).
 //! * [`proto`] — the request/response message types.

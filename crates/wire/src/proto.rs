@@ -4,9 +4,20 @@
 //! permitted by the framing but the bundled client is call/return). The
 //! four operations mirror Fig 2 plus the issuer-side revocation entry
 //! point of Fig 5.
+//!
+//! # Deadline envelope
+//!
+//! A client may wrap any request in `{"Deadline": {"ms": <budget>, "req":
+//! <request>}}` to propagate a relative deadline budget in milliseconds
+//! ([`Envelope`]). The server computes the absolute deadline when it
+//! *reads* the frame, so time spent in the server's admission queues
+//! counts against the budget, and drops the request without doing work
+//! once the deadline passes ([`Response::DeadlineExceeded`]). Bare
+//! requests (the pre-deadline wire format) parse unchanged, so old
+//! clients keep working against new servers.
 
 use oasis_core::cert::Rmc;
-use oasis_core::{CertEvent, Credential, Crr, PrincipalId, Value};
+use oasis_core::{CertEvent, Credential, Crr, Lane, PrincipalId, Value};
 use oasis_events::{DeliveredEvent, Topic};
 use oasis_json::{FromJson, Json, JsonError, ToJson};
 
@@ -73,6 +84,79 @@ pub enum Request {
     Ping,
 }
 
+impl Request {
+    /// The priority lane this request executes in under overload.
+    /// Revocation, resync, and liveness traffic outranks validation,
+    /// which outranks issuance: a delayed revocation extends the window
+    /// in which a withdrawn credential still grants access (paper §5),
+    /// while a shed validation or activation is cheap for the client to
+    /// retry.
+    pub fn lane(&self) -> Lane {
+        match self {
+            Request::Revoke { .. } | Request::Resync { .. } | Request::Ping => Lane::Control,
+            Request::Validate { .. } => Lane::Validation,
+            Request::Activate { .. } | Request::Invoke { .. } => Lane::Issuance,
+        }
+    }
+}
+
+/// A request plus its optional relative deadline budget — the unit the
+/// server actually reads off the wire. See the [module docs](self) for
+/// the encoding.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Envelope {
+    /// Relative deadline budget in ms (`None` = no deadline). A budget of
+    /// `0` means "only if instantaneous" and is already expired when the
+    /// server admits it.
+    pub deadline_ms: Option<u64>,
+    /// The wrapped request.
+    pub request: Request,
+}
+
+impl Envelope {
+    /// An envelope with no deadline (encodes as the bare request).
+    pub fn bare(request: Request) -> Self {
+        Self {
+            deadline_ms: None,
+            request,
+        }
+    }
+
+    /// An envelope carrying a deadline budget.
+    pub fn with_deadline(request: Request, deadline_ms: u64) -> Self {
+        Self {
+            deadline_ms: Some(deadline_ms),
+            request,
+        }
+    }
+}
+
+impl ToJson for Envelope {
+    fn to_json(&self) -> Json {
+        match self.deadline_ms {
+            None => self.request.to_json(),
+            Some(ms) => tagged(
+                "Deadline",
+                vec![("ms", ms.to_json()), ("req", self.request.to_json())],
+            ),
+        }
+    }
+}
+
+impl FromJson for Envelope {
+    fn from_json(json: &Json) -> Result<Self, JsonError> {
+        if let Some([(tag, body)]) = json.as_obj() {
+            if tag == "Deadline" {
+                return Ok(Envelope {
+                    deadline_ms: Some(FromJson::from_json(body.field("ms")?)?),
+                    request: FromJson::from_json(body.field("req")?)?,
+                });
+            }
+        }
+        Ok(Envelope::bare(Request::from_json(json)?))
+    }
+}
+
 /// A server-to-client reply.
 #[derive(Debug, Clone, PartialEq)]
 pub enum Response {
@@ -104,6 +188,16 @@ pub enum Response {
     },
     /// Liveness answer.
     Pong,
+    /// The server shed the request without doing any work: the admission
+    /// queue for its priority lane was full. Retry no sooner than the
+    /// hint.
+    Overloaded {
+        /// Server-estimated queue-drain time in milliseconds.
+        retry_after_ms: u64,
+    },
+    /// The request's propagated deadline passed before execution started;
+    /// the server dropped it without doing work.
+    DeadlineExceeded,
     /// The operation failed.
     Error {
         /// Human-readable failure description.
@@ -306,6 +400,11 @@ impl ToJson for Response {
                 ],
             ),
             Response::Pong => Json::Str("Pong".into()),
+            Response::Overloaded { retry_after_ms } => tagged(
+                "Overloaded",
+                vec![("retry_after_ms", retry_after_ms.to_json())],
+            ),
+            Response::DeadlineExceeded => Json::Str("DeadlineExceeded".into()),
             Response::Error { message } => tagged("Error", vec![("message", message.to_json())]),
         }
     }
@@ -316,6 +415,7 @@ impl FromJson for Response {
         match json.as_str() {
             Some("Valid") => return Ok(Response::Valid),
             Some("Pong") => return Ok(Response::Pong),
+            Some("DeadlineExceeded") => return Ok(Response::DeadlineExceeded),
             _ => {}
         }
         let (tag, body) = untag(json, "Response")?;
@@ -332,6 +432,9 @@ impl FromJson for Response {
             "Resynced" => Ok(Response::Resynced {
                 events: FromJson::from_json(body.field("events")?)?,
                 complete: FromJson::from_json(body.field("complete")?)?,
+            }),
+            "Overloaded" => Ok(Response::Overloaded {
+                retry_after_ms: FromJson::from_json(body.field("retry_after_ms")?)?,
             }),
             "Error" => Ok(Response::Error {
                 message: FromJson::from_json(body.field("message")?)?,
@@ -394,10 +497,71 @@ mod tests {
     }
 
     #[test]
+    fn envelopes_round_trip_and_bare_requests_still_parse() {
+        // With a deadline: encodes as the Deadline wrapper.
+        let env = Envelope::with_deadline(Request::Ping, 250);
+        let json = oasis_json::to_string(&env);
+        assert!(json.contains("Deadline"), "wrapper form: {json}");
+        let back: Envelope = oasis_json::from_str(&json).unwrap();
+        assert_eq!(env, back);
+
+        // Without a deadline: encodes as the bare request (old format).
+        let env = Envelope::bare(Request::Revoke {
+            cert_id: 3,
+            reason: "shift over".into(),
+            now: 9,
+        });
+        let json = oasis_json::to_string(&env);
+        assert!(!json.contains("Deadline"), "bare form: {json}");
+        let back: Envelope = oasis_json::from_str(&json).unwrap();
+        assert_eq!(env, back);
+
+        // An old client's raw request parses as a deadline-less envelope.
+        let raw = oasis_json::to_string(&Request::Ping);
+        let back: Envelope = oasis_json::from_str(&raw).unwrap();
+        assert_eq!(back, Envelope::bare(Request::Ping));
+    }
+
+    #[test]
+    fn lane_classification_prioritises_control() {
+        assert_eq!(Request::Ping.lane(), Lane::Control);
+        assert_eq!(
+            Request::Revoke {
+                cert_id: 1,
+                reason: String::new(),
+                now: 0
+            }
+            .lane(),
+            Lane::Control
+        );
+        assert_eq!(
+            Request::Resync {
+                topic: "t".into(),
+                after_topic_seq: 0
+            }
+            .lane(),
+            Lane::Control
+        );
+        assert_eq!(
+            Request::Activate {
+                principal: PrincipalId::new("a"),
+                role: "r".into(),
+                args: vec![],
+                credentials: vec![],
+                now: 0
+            }
+            .lane(),
+            Lane::Issuance
+        );
+    }
+
+    #[test]
     fn responses_round_trip_through_json() {
         let responses = vec![
             Response::Pong,
             Response::Valid,
+            Response::DeadlineExceeded,
+            Response::Overloaded { retry_after_ms: 75 },
             Response::Revoked { was_active: true },
             Response::Error {
                 message: "no".into(),

@@ -1,13 +1,43 @@
-//! The server side: an [`OasisService`] behind a TCP listener.
+//! The server side: an [`OasisService`] behind a TCP listener, with
+//! overload control.
+//!
+//! # Overload behaviour
+//!
+//! Connections are accepted into a bounded queue and served by a fixed
+//! worker pool (no thread-per-connection: a connection flood cannot
+//! exhaust threads). When the accept queue is full, new connections are
+//! dropped at accept time and counted in
+//! [`OverloadStats::conns_shed`](oasis_core::OverloadStats).
+//!
+//! Every request then passes the service's
+//! [`AdmissionController`]: it is classified into a priority lane
+//! ([`Request::lane`]) — revocation/resync/ping above validation above
+//! issuance — and either granted an execution permit, queued in its
+//! lane's bounded queue, shed with [`Response::Overloaded`] carrying a
+//! `retry_after_ms` hint, or dropped with [`Response::DeadlineExceeded`]
+//! if its propagated deadline passed first. A request is *never* executed
+//! after its deadline.
+//!
+//! Transient `accept()` failures (connection resets, fd exhaustion) are
+//! retried with capped backoff and recorded through the audit hook
+//! (`transport_fault` entries); only fatal listener errors stop the serve
+//! loop.
 
+use std::io::ErrorKind;
 use std::net::{TcpListener, TcpStream};
+use std::sync::mpsc::{sync_channel, Receiver, TrySendError};
 use std::sync::Arc;
+use std::time::Duration;
 
-use oasis_core::{CertId, EnvContext, OasisService, RoleName};
+use oasis_core::{
+    AdmissionController, AdmitError, AuditKind, CertId, Deadline, EnvContext, OasisService,
+    OverloadConfig, RoleName,
+};
+use parking_lot::Mutex;
 
 use crate::error::WireError;
 use crate::frame::{read_frame, write_frame};
-use crate::proto::{Request, Response};
+use crate::proto::{Envelope, Request, Response};
 
 /// Builds the evaluation context for a given client-supplied virtual
 /// time. Servers install ambient values and custom predicates here.
@@ -18,6 +48,7 @@ pub struct WireServer {
     service: Arc<OasisService>,
     listener: TcpListener,
     context: ContextFactory,
+    controller: Arc<AdmissionController>,
 }
 
 impl std::fmt::Debug for WireServer {
@@ -30,7 +61,8 @@ impl std::fmt::Debug for WireServer {
 
 impl WireServer {
     /// Binds to `addr` and prepares to serve `service` with a default
-    /// context (no ambient values or predicates).
+    /// context (no ambient values or predicates) and the default
+    /// [`OverloadConfig`].
     ///
     /// # Errors
     ///
@@ -50,11 +82,32 @@ impl WireServer {
         context: ContextFactory,
     ) -> Result<Self, WireError> {
         let listener = TcpListener::bind(addr)?;
+        let controller = AdmissionController::new(OverloadConfig::default());
+        service.set_overload(Arc::clone(&controller));
         Ok(Self {
             service,
             listener,
             context,
+            controller,
         })
+    }
+
+    /// Replaces the overload configuration (worker-pool size, accept
+    /// queue bound, per-lane limits; or [`OverloadConfig::unlimited`] to
+    /// emulate the legacy shed-nothing server). The fresh controller is
+    /// installed into the service so its stats stay reachable via
+    /// [`OasisService::overload_stats`].
+    #[must_use]
+    pub fn with_overload(mut self, config: OverloadConfig) -> Self {
+        self.controller = AdmissionController::new(config);
+        self.service.set_overload(Arc::clone(&self.controller));
+        self
+    }
+
+    /// The admission controller guarding this server. Grab a clone before
+    /// [`serve`](Self::serve) consumes the server if you need live stats.
+    pub fn controller(&self) -> Arc<AdmissionController> {
+        Arc::clone(&self.controller)
     }
 
     /// The actual bound address (useful with port 0).
@@ -66,19 +119,56 @@ impl WireServer {
         Ok(self.listener.local_addr()?)
     }
 
-    /// Accepts and serves connections forever (run on a dedicated
-    /// thread). Each connection gets its own thread; a protocol error
-    /// terminates only that connection.
+    /// Accepts and serves connections until a fatal listener error.
+    /// Connections are queued (bounded) to a fixed worker pool; a
+    /// protocol error terminates only its own connection. Transient
+    /// `accept` failures are retried with capped backoff and audited;
+    /// only fatal errors return.
+    ///
+    /// # Errors
+    ///
+    /// [`WireError::Io`] carrying the fatal `accept` error.
     pub fn serve(self) -> Result<(), WireError> {
-        loop {
-            let (stream, _) = self.listener.accept()?;
+        let config = self.controller.config().clone();
+        let (tx, rx) = sync_channel::<TcpStream>(config.accept_queue.max(1));
+        let rx = Arc::new(Mutex::new(rx));
+        for _ in 0..config.workers.max(1) {
+            let rx = Arc::clone(&rx);
             let service = Arc::clone(&self.service);
             let context = Arc::clone(&self.context);
-            std::thread::spawn(move || {
-                // Connection errors are expected (clients hang up); they
-                // must not take the server down.
-                let _ = handle_connection(stream, service, context);
-            });
+            let controller = Arc::clone(&self.controller);
+            std::thread::spawn(move || worker_loop(&rx, &service, &context, &controller));
+        }
+
+        let mut consecutive_errors: u32 = 0;
+        loop {
+            match self.listener.accept() {
+                Ok((stream, _)) => {
+                    consecutive_errors = 0;
+                    match tx.try_send(stream) {
+                        Ok(()) => self.controller.note_conn_accepted(),
+                        Err(TrySendError::Full(stream)) => {
+                            // Accept queue at its bound: shed the whole
+                            // connection rather than buffering unboundedly.
+                            self.controller.note_conn_shed();
+                            drop(stream);
+                        }
+                        // All workers gone — nothing can serve.
+                        Err(TrySendError::Disconnected(_)) => return Ok(()),
+                    }
+                }
+                Err(e) if transient_accept_error(&e) => {
+                    self.audit_fault("accept", &e);
+                    let backoff =
+                        Duration::from_millis((1u64 << consecutive_errors.min(7)).min(100));
+                    consecutive_errors = consecutive_errors.saturating_add(1);
+                    std::thread::sleep(backoff);
+                }
+                Err(e) => {
+                    self.audit_fault("accept-fatal", &e);
+                    return Err(WireError::Io(e));
+                }
+            }
         }
     }
 
@@ -95,20 +185,105 @@ impl WireServer {
         });
         Ok(addr)
     }
+
+    fn audit_fault(&self, op: &str, error: &std::io::Error) {
+        self.service.audit().record(
+            self.service.last_seen_now(),
+            AuditKind::TransportFault {
+                op: op.to_string(),
+                detail: error.to_string(),
+            },
+        );
+    }
+}
+
+/// Whether an `accept()` error is worth retrying. Resets of a pending
+/// connection, interrupted syscalls, and resource exhaustion (fd or
+/// buffer limits, which drain as connections close) are transient;
+/// anything else (e.g. the listener socket itself is gone) is fatal.
+fn transient_accept_error(e: &std::io::Error) -> bool {
+    if matches!(
+        e.kind(),
+        ErrorKind::ConnectionAborted
+            | ErrorKind::ConnectionReset
+            | ErrorKind::Interrupted
+            | ErrorKind::WouldBlock
+            | ErrorKind::TimedOut
+    ) {
+        return true;
+    }
+    // Linux errnos not (portably) covered by ErrorKind: ENFILE (23),
+    // EMFILE (24), ENOBUFS (105), ENOMEM (12) — load-induced, retryable.
+    matches!(e.raw_os_error(), Some(12) | Some(23) | Some(24) | Some(105))
+}
+
+fn worker_loop(
+    rx: &Mutex<Receiver<TcpStream>>,
+    service: &Arc<OasisService>,
+    context: &ContextFactory,
+    controller: &Arc<AdmissionController>,
+) {
+    loop {
+        // One idle worker at a time parks inside recv() holding the lock;
+        // it releases as soon as a connection arrives.
+        let stream = {
+            let guard = rx.lock();
+            guard.recv()
+        };
+        match stream {
+            Ok(stream) => {
+                // Connection errors are expected (clients hang up); they
+                // must not take the worker down.
+                let _ = handle_connection(stream, service, context, controller);
+            }
+            Err(_) => return, // acceptor shut down
+        }
+    }
 }
 
 fn handle_connection(
     mut stream: TcpStream,
-    service: Arc<OasisService>,
-    context: ContextFactory,
+    service: &Arc<OasisService>,
+    context: &ContextFactory,
+    controller: &Arc<AdmissionController>,
 ) -> Result<(), WireError> {
     stream.set_nodelay(true).ok();
     loop {
-        let Some(request) = read_frame::<_, Request>(&mut stream)? else {
+        let Some(envelope) = read_frame::<_, Envelope>(&mut stream)? else {
             return Ok(()); // clean disconnect
         };
-        let response = handle_request(&service, &context, request);
+        let response = admit_and_handle(service, context, controller, envelope);
         write_frame(&mut stream, &response)?;
+    }
+}
+
+/// Admission gate for one request: compute the absolute deadline at read
+/// time (so queueing counts against the client's budget), classify into a
+/// lane, and only execute under a granted, still-live permit.
+fn admit_and_handle(
+    service: &Arc<OasisService>,
+    context: &ContextFactory,
+    controller: &Arc<AdmissionController>,
+    envelope: Envelope,
+) -> Response {
+    let lane = envelope.request.lane();
+    let deadline = Deadline::from_budget(controller.now_ms(), envelope.deadline_ms);
+    match controller.admit(lane, deadline) {
+        Err(AdmitError::Shed { retry_after_ms }) => Response::Overloaded { retry_after_ms },
+        Err(AdmitError::Expired) => Response::DeadlineExceeded,
+        Ok(permit) => {
+            // The permit may have been granted in the same instant the
+            // deadline lapsed; re-check so no request ever executes past
+            // its deadline.
+            if deadline.expired(controller.now_ms()) {
+                controller.note_expired_after_admit(lane);
+                drop(permit);
+                return Response::DeadlineExceeded;
+            }
+            let response = handle_request(service, context, envelope.request);
+            drop(permit);
+            response
+        }
     }
 }
 
@@ -179,5 +354,38 @@ fn handle_request(
                 complete,
             }
         }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accept_error_classification() {
+        for kind in [
+            ErrorKind::ConnectionAborted,
+            ErrorKind::ConnectionReset,
+            ErrorKind::Interrupted,
+            ErrorKind::WouldBlock,
+            ErrorKind::TimedOut,
+        ] {
+            assert!(
+                transient_accept_error(&std::io::Error::new(kind, "x")),
+                "{kind:?} should be transient"
+            );
+        }
+        // EMFILE: per-process fd limit hit — drains as connections close.
+        assert!(transient_accept_error(&std::io::Error::from_raw_os_error(
+            24
+        )));
+        // EBADF: the listener itself is broken — fatal.
+        assert!(!transient_accept_error(&std::io::Error::from_raw_os_error(
+            9
+        )));
+        assert!(!transient_accept_error(&std::io::Error::new(
+            ErrorKind::PermissionDenied,
+            "x"
+        )));
     }
 }

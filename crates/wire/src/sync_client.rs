@@ -36,11 +36,21 @@ pub type BlockingClient = WireClient;
 /// [`OasisError::IssuerTimeout`] if the last failure was a deadline
 /// expiry, [`OasisError::NoValidator`] otherwise — both transient to the
 /// [`ResilientValidator`](oasis_core::ResilientValidator) layered above.
+///
+/// Overload responses are different from transport failures: a shed
+/// ([`WireError::Overloaded`]) or server-side deadline expiry
+/// ([`WireError::DeadlineExceeded`]) proves the issuer is alive, so the
+/// cached connection is *kept* (no re-dial) and the error surfaces
+/// immediately — as [`OasisError::Overloaded`] carrying the server's
+/// `retry_after_ms` hint, or [`OasisError::IssuerTimeout`]. Backing off
+/// by the hint is the job of the `ResilientValidator` above, which also
+/// keeps sheds out of the circuit-breaker accounting.
 pub struct RemoteValidator {
     issuers: Mutex<HashMap<ServiceId, SocketAddr>>,
     connections: Mutex<HashMap<ServiceId, WireClient>>,
     timeouts: WireTimeouts,
     retry: RetryPolicy,
+    deadline_ms: Option<u64>,
 }
 
 impl std::fmt::Debug for RemoteValidator {
@@ -71,7 +81,17 @@ impl RemoteValidator {
                 max_attempts: 2,
                 ..RetryPolicy::default()
             },
+            deadline_ms: None,
         }
+    }
+
+    /// Propagates a deadline budget (ms) with every validation callback:
+    /// a saturated issuer drops the callback once the budget lapses
+    /// instead of answering long after the verifier stopped caring.
+    #[must_use]
+    pub fn with_call_deadline_ms(mut self, deadline_ms: u64) -> Self {
+        self.deadline_ms = Some(deadline_ms);
+        self
     }
 
     /// Replaces the socket deadlines used for new connections.
@@ -108,7 +128,9 @@ impl RemoteValidator {
         let client = match connections.entry(issuer.clone()) {
             std::collections::hash_map::Entry::Occupied(e) => e.into_mut(),
             std::collections::hash_map::Entry::Vacant(e) => {
-                e.insert(WireClient::connect_with(addr, self.timeouts)?)
+                let mut client = WireClient::connect_with(addr, self.timeouts)?;
+                client.set_deadline_ms(self.deadline_ms);
+                e.insert(client)
             }
         };
         client.validate(credential, presenter, now)
@@ -137,6 +159,18 @@ impl CredentialValidator for RemoteValidator {
                         reason,
                     })
                 }
+                // The issuer shed the request: it is alive and the
+                // connection is good — keep it, surface the hint, and let
+                // the resilience layer above time the retry.
+                Err(WireError::Overloaded { retry_after_ms }) => {
+                    return Err(OasisError::Overloaded {
+                        service: issuer,
+                        retry_after_ms,
+                    })
+                }
+                // Our propagated budget ran out server-side; same shape
+                // as a local deadline expiry. The connection stays good.
+                Err(WireError::DeadlineExceeded) => return Err(OasisError::IssuerTimeout(issuer)),
                 Err(transport) => {
                     // Broken or deadline-expired connection: drop it and
                     // re-dial after the backoff delay, if any remain.
