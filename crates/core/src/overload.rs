@@ -17,9 +17,13 @@
 //!   passed while queued *before* doing any work, and never grants a permit
 //!   past the deadline.
 //! * **Adaptive concurrency** (AIMD): each lane's limit grows additively
-//!   while observed latency stays under the lane's target and backs off
-//!   multiplicatively when latency overshoots, so the limit tracks the
-//!   service's actual capacity instead of a hand-tuned constant.
+//!   while observed *service* latency (permit grant → completion) stays
+//!   under the lane's target and backs off multiplicatively when it
+//!   overshoots, so the limit tracks the service's actual capacity
+//!   instead of a hand-tuned constant. Queue wait is tracked as a
+//!   separate signal ([`LaneSnapshot::ewma_queue_wait_ms`]): if it fed
+//!   the limiter, any backlog would read as slow service and shrink the
+//!   limit exactly when work is queued.
 //! * **Shed hints**: rejected requests carry a `retry_after_ms` estimate
 //!   derived from the lane's queue depth and EWMA service time
 //!   ([`oasis_events::LoadTracker`]), so clients back off proportionally to
@@ -239,11 +243,19 @@ impl LaneConfig {
 /// Full overload-control configuration for a service front door.
 #[derive(Debug, Clone)]
 pub struct OverloadConfig {
-    /// Connection-handling worker threads in the wire server.
+    /// Connection-servicing worker threads in the wire server. Workers
+    /// multiplex over all live connections (one scheduling turn per
+    /// connection, then requeue), so this bounds *parallelism*, not the
+    /// number of concurrent or persistent clients.
     pub workers: usize,
-    /// Accepted-but-unserviced connection queue bound; beyond it new
+    /// Bound on connections parked in the worker rotation; beyond it new
     /// connections are dropped at accept time.
     pub accept_queue: usize,
+    /// Close a connection that has been idle (no frame read or written)
+    /// for this many clock ms, freeing its rotation slot. `0` disables
+    /// the timeout. Live peers are expected to heartbeat (`Ping`) well
+    /// within the window.
+    pub idle_conn_ms: u64,
     /// When false the controller admits everything immediately (emulating
     /// the legacy unbounded server) while still tracking stats and
     /// enforcing deadlines at admission.
@@ -257,6 +269,7 @@ impl Default for OverloadConfig {
         Self {
             workers: 8,
             accept_queue: 64,
+            idle_conn_ms: 60_000,
             shedding: true,
             lanes: [
                 // Control: generous queue, never starved by other lanes.
@@ -323,6 +336,9 @@ pub struct LaneSnapshot {
     pub shed: u64,
     /// Requests whose deadline passed before execution started.
     pub expired: u64,
+    /// Queued requests abandoned by their caller (the ticket was dropped
+    /// without resolving) and pruned from the queue.
+    pub cancelled: u64,
     /// Requests completed (permit dropped).
     pub completed: u64,
     /// Currently executing requests.
@@ -331,8 +347,13 @@ pub struct LaneSnapshot {
     pub queue_depth: usize,
     /// Current AIMD concurrency limit (floor of the fractional limit).
     pub limit: u32,
-    /// Smoothed observed latency in clock ms.
+    /// Smoothed observed *service* latency (permit grant to completion)
+    /// in clock ms — the AIMD feedback signal.
     pub ewma_latency_ms: f64,
+    /// Smoothed time from submission to permit grant in clock ms. Queue
+    /// wait is tracked separately so a backlog cannot masquerade as slow
+    /// service and collapse the AIMD limit.
+    pub ewma_queue_wait_ms: f64,
 }
 
 /// Snapshot of the whole admission controller, for stats plumbing and the
@@ -345,6 +366,9 @@ pub struct OverloadStats {
     pub conns_accepted: u64,
     /// Connections dropped because the accept queue was full.
     pub conns_shed: u64,
+    /// Connections closed by the server's idle timeout
+    /// (`OverloadConfig::idle_conn_ms`).
+    pub conns_idle_closed: u64,
 }
 
 impl OverloadStats {
@@ -372,20 +396,22 @@ impl OverloadStats {
                 out.push(',');
             }
             out.push_str(&format!(
-                "\"{}\":{{\"admitted\":{},\"shed\":{},\"expired\":{},\"completed\":{},\"queue_depth\":{},\"limit\":{},\"ewma_ms\":{:.1}}}",
+                "\"{}\":{{\"admitted\":{},\"shed\":{},\"expired\":{},\"cancelled\":{},\"completed\":{},\"queue_depth\":{},\"limit\":{},\"ewma_ms\":{:.1},\"queue_wait_ms\":{:.1}}}",
                 lane.as_str(),
                 s.admitted,
                 s.shed,
                 s.expired,
+                s.cancelled,
                 s.completed,
                 s.queue_depth,
                 s.limit,
                 s.ewma_latency_ms,
+                s.ewma_queue_wait_ms,
             ));
         }
         out.push_str(&format!(
-            ",\"conns_accepted\":{},\"conns_shed\":{}}}",
-            self.conns_accepted, self.conns_shed
+            ",\"conns_accepted\":{},\"conns_shed\":{},\"conns_idle_closed\":{}}}",
+            self.conns_accepted, self.conns_shed, self.conns_idle_closed
         ));
         out
     }
@@ -409,8 +435,10 @@ struct LaneState {
     admitted: u64,
     shed: u64,
     expired: u64,
+    cancelled: u64,
     completed: u64,
     load: LoadTracker,
+    queue_wait: LoadTracker,
 }
 
 impl LaneState {
@@ -424,8 +452,10 @@ impl LaneState {
             admitted: 0,
             shed: 0,
             expired: 0,
+            cancelled: 0,
             completed: 0,
             load: LoadTracker::new(),
+            queue_wait: LoadTracker::new(),
         }
     }
 
@@ -482,8 +512,11 @@ pub enum PollOutcome {
 }
 
 /// A queued admission request. Obtained from [`Submission::Queued`]; resolve
-/// it with [`AdmissionController::poll`].
+/// it with [`AdmissionController::poll`]. Dropping an unresolved ticket
+/// *cancels* it: its queue entry is pruned so an abandoned request can never
+/// stall the lane from the head of the queue.
 pub struct Ticket {
+    ctrl: Arc<AdmissionController>,
     lane: Lane,
     id: u64,
     deadline: Deadline,
@@ -502,13 +535,37 @@ impl Ticket {
     }
 }
 
+impl Drop for Ticket {
+    fn drop(&mut self) {
+        let removed = {
+            let mut state = self.ctrl.lanes[self.lane.idx()].lock();
+            let before = state.queue.len();
+            state.queue.retain(|t| t.id != self.id);
+            if state.queue.len() < before {
+                state.cancelled += 1;
+                true
+            } else {
+                false // already granted, expired, or pruned
+            }
+        };
+        if removed {
+            // The cancelled entry may have been the head; wake waiters so
+            // the next queued request can claim freed capacity promptly.
+            self.ctrl.wakeups[self.lane.idx()].notify_all();
+        }
+    }
+}
+
 /// An RAII execution permit. Holding it counts against the lane's
-/// concurrency limit; dropping it records the completion latency (feeding
-/// the AIMD limiter) and wakes queued waiters.
+/// concurrency limit; dropping it records the *service* latency measured
+/// from the grant (feeding the AIMD limiter) and wakes queued waiters.
+/// Queue wait is deliberately excluded from that signal: a backlog must
+/// not read as slow service, or the limit would decay exactly when work
+/// is queued.
 pub struct Permit {
     ctrl: Arc<AdmissionController>,
     lane: Lane,
-    submitted_ms: u64,
+    granted_ms: u64,
 }
 
 impl Permit {
@@ -520,7 +577,7 @@ impl Permit {
 
 impl Drop for Permit {
     fn drop(&mut self) {
-        self.ctrl.finish(self.lane, self.submitted_ms);
+        self.ctrl.finish(self.lane, self.granted_ms);
     }
 }
 
@@ -535,6 +592,7 @@ pub struct AdmissionController {
     wakeups: [Condvar; 3],
     conns_accepted: AtomicU64,
     conns_shed: AtomicU64,
+    conns_idle_closed: AtomicU64,
 }
 
 /// How long a blocking waiter sleeps between deadline re-checks. Condvar
@@ -566,6 +624,7 @@ impl AdmissionController {
             wakeups: [Condvar::new(), Condvar::new(), Condvar::new()],
             conns_accepted: AtomicU64::new(0),
             conns_shed: AtomicU64::new(0),
+            conns_idle_closed: AtomicU64::new(0),
         })
     }
 
@@ -594,13 +653,15 @@ impl AdmissionController {
         if !self.config.shedding {
             state.running += 1;
             state.admitted += 1;
-            return Submission::Admitted(self.permit(lane, now, &mut state));
+            state.queue_wait.observe(0);
+            return Submission::Admitted(self.permit(lane, now));
         }
         state.prune_expired(now);
         if state.queue.is_empty() && (state.running as f64) < state.limit {
             state.running += 1;
             state.admitted += 1;
-            return Submission::Admitted(self.permit(lane, now, &mut state));
+            state.queue_wait.observe(0);
+            return Submission::Admitted(self.permit(lane, now));
         }
         if state.queue.len() >= cfg.queue_cap {
             state.shed += 1;
@@ -615,6 +676,7 @@ impl AdmissionController {
         state.next_ticket += 1;
         state.queue.push_back(QueuedTicket { id, deadline });
         Submission::Queued(Ticket {
+            ctrl: Arc::clone(self),
             lane,
             id,
             deadline,
@@ -622,11 +684,11 @@ impl AdmissionController {
         })
     }
 
-    fn permit(self: &Arc<Self>, lane: Lane, submitted_ms: u64, _state: &mut LaneState) -> Permit {
+    fn permit(self: &Arc<Self>, lane: Lane, granted_ms: u64) -> Permit {
         Permit {
             ctrl: Arc::clone(self),
             lane,
-            submitted_ms,
+            granted_ms,
         }
     }
 
@@ -652,7 +714,12 @@ impl AdmissionController {
             state.queue.pop_front();
             state.running += 1;
             state.admitted += 1;
-            return PollOutcome::Ready(self.permit(ticket.lane, ticket.submitted_ms, &mut state));
+            state
+                .queue_wait
+                .observe(now.saturating_sub(ticket.submitted_ms));
+            // The grant timestamp is *now*: service latency starts here,
+            // not at submission, so queue wait never feeds the AIMD loop.
+            return PollOutcome::Ready(self.permit(ticket.lane, now));
         }
         PollOutcome::Waiting
     }
@@ -691,10 +758,11 @@ impl AdmissionController {
         state.expired += 1;
     }
 
-    /// Completion path: called from [`Permit::drop`].
-    fn finish(&self, lane: Lane, submitted_ms: u64) {
+    /// Completion path: called from [`Permit::drop`]. The latency fed to
+    /// the limiter is pure service time (grant → completion).
+    fn finish(&self, lane: Lane, granted_ms: u64) {
         let now = self.clock.now_ms();
-        let latency = now.saturating_sub(submitted_ms);
+        let latency = now.saturating_sub(granted_ms);
         let cfg = self.config.lane(lane);
         {
             let mut state = self.lanes[lane.idx()].lock();
@@ -738,6 +806,11 @@ impl AdmissionController {
         self.conns_shed.fetch_add(1, Ordering::Relaxed);
     }
 
+    /// Record a connection closed by the server's idle timeout.
+    pub fn note_conn_idle_closed(&self) {
+        self.conns_idle_closed.fetch_add(1, Ordering::Relaxed);
+    }
+
     /// Point-in-time stats snapshot.
     pub fn stats(&self) -> OverloadStats {
         let snap = |lane: Lane| {
@@ -746,11 +819,13 @@ impl AdmissionController {
                 admitted: state.admitted,
                 shed: state.shed,
                 expired: state.expired,
+                cancelled: state.cancelled,
                 completed: state.completed,
                 running: state.running,
                 queue_depth: state.queue.len(),
                 limit: state.limit as u32,
                 ewma_latency_ms: state.load.ewma_ms(),
+                ewma_queue_wait_ms: state.queue_wait.ewma_ms(),
             }
         };
         OverloadStats {
@@ -761,6 +836,7 @@ impl AdmissionController {
             ],
             conns_accepted: self.conns_accepted.load(Ordering::Relaxed),
             conns_shed: self.conns_shed.load(Ordering::Relaxed),
+            conns_idle_closed: self.conns_idle_closed.load(Ordering::Relaxed),
         }
     }
 }
@@ -955,6 +1031,104 @@ mod tests {
         let res = ctrl.admit(Lane::Validation, deadline);
         advancer.join().unwrap();
         assert!(matches!(res, Err(AdmitError::Expired)));
+    }
+
+    #[test]
+    fn dropped_ticket_is_pruned_and_does_not_stall_the_lane() {
+        let (ctrl, _clock) = manual(tiny_config());
+        let p = match ctrl.submit(Lane::Validation, Deadline::none()) {
+            Submission::Admitted(p) => p,
+            _ => panic!("free lane must admit"),
+        };
+        // Two deadline-less queued requests; the first is abandoned.
+        let abandoned = match ctrl.submit(Lane::Validation, Deadline::none()) {
+            Submission::Queued(t) => t,
+            _ => panic!("must queue"),
+        };
+        let survivor = match ctrl.submit(Lane::Validation, Deadline::none()) {
+            Submission::Queued(t) => t,
+            _ => panic!("must queue"),
+        };
+        drop(abandoned);
+        let stats = ctrl.stats().lane(Lane::Validation).clone();
+        assert_eq!(stats.cancelled, 1);
+        assert_eq!(stats.queue_depth, 1, "cancelled entry left the queue");
+        // With the abandoned head gone, the survivor is granted as soon as
+        // capacity frees — no permanent head-of-line stall.
+        drop(p);
+        assert!(matches!(ctrl.poll(&survivor), PollOutcome::Ready(_)));
+    }
+
+    #[test]
+    fn resolved_ticket_drop_counts_no_cancellation() {
+        let (ctrl, clock) = manual(tiny_config());
+        let p = ctrl.submit(Lane::Validation, Deadline::none());
+        let granted = match ctrl.submit(Lane::Validation, Deadline::none()) {
+            Submission::Queued(t) => t,
+            _ => panic!("must queue"),
+        };
+        let expired = match ctrl.submit(
+            Lane::Validation,
+            Deadline::from_budget(clock.now_ms(), Some(5)),
+        ) {
+            Submission::Queued(t) => t,
+            _ => panic!("must queue"),
+        };
+        clock.set(5);
+        assert!(matches!(ctrl.poll(&expired), PollOutcome::Expired));
+        drop(p);
+        let _permit = match ctrl.poll(&granted) {
+            PollOutcome::Ready(p) => p,
+            _ => panic!("head must be granted"),
+        };
+        drop(granted);
+        drop(expired);
+        assert_eq!(ctrl.stats().lane(Lane::Validation).cancelled, 0);
+    }
+
+    #[test]
+    fn aimd_measures_service_time_not_queue_wait() {
+        // limit 1, target 10ms: one long-held permit forces a queued
+        // ticket to wait far past the target before its grant.
+        let (ctrl, clock) = manual(tiny_config());
+        let holder = match ctrl.submit(Lane::Validation, Deadline::none()) {
+            Submission::Admitted(p) => p,
+            _ => panic!("free lane must admit"),
+        };
+        let queued = match ctrl.submit(Lane::Validation, Deadline::none()) {
+            Submission::Queued(t) => t,
+            _ => panic!("must queue"),
+        };
+        clock.set(1_000);
+        drop(holder); // slow completion; may trigger one decrease
+        clock.set(1_050); // past the decrease window
+        let limit_before = {
+            let state = ctrl.lanes[Lane::Validation.idx()].lock();
+            state.limit
+        };
+        let permit = match ctrl.poll(&queued) {
+            PollOutcome::Ready(p) => p,
+            _ => panic!("freed lane must grant the head"),
+        };
+        clock.advance(5); // service time 5ms, well under the 10ms target
+        drop(permit);
+        let state = ctrl.lanes[Lane::Validation.idx()].lock();
+        assert!(
+            state.limit > limit_before,
+            "a fast completion after a long queue wait must increase the \
+             limit ({} -> {}), not decay it toward the floor",
+            limit_before,
+            state.limit
+        );
+        drop(state);
+        // Queue wait surfaced through its own EWMA (samples: 0ms for the
+        // immediate grant, then 1050ms for the queued one).
+        let snap = ctrl.stats().lane(Lane::Validation).clone();
+        assert!(
+            snap.ewma_queue_wait_ms >= 100.0,
+            "queue wait is tracked separately: {}",
+            snap.ewma_queue_wait_ms
+        );
     }
 
     #[test]

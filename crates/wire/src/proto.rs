@@ -14,7 +14,14 @@
 //! counts against the budget, and drops the request without doing work
 //! once the deadline passes ([`Response::DeadlineExceeded`]). Bare
 //! requests (the pre-deadline wire format) parse unchanged, so old
-//! clients keep working against new servers.
+//! clients keep working against new servers — in *both* directions:
+//! because an old client's `Response` parser predates
+//! [`Response::Overloaded`] and [`Response::DeadlineExceeded`], the
+//! server only sends those variants to a connection that has
+//! demonstrated envelope support by sending a `Deadline` wrapper at
+//! least once. A connection that has only ever sent bare requests is
+//! shed with [`Response::Error`], which old clients already parse and
+//! treat as a remote error rather than a broken transport.
 
 use oasis_core::cert::Rmc;
 use oasis_core::{CertEvent, Credential, Crr, Lane, PrincipalId, Value};

@@ -3,11 +3,21 @@
 //!
 //! # Overload behaviour
 //!
-//! Connections are accepted into a bounded queue and served by a fixed
-//! worker pool (no thread-per-connection: a connection flood cannot
-//! exhaust threads). When the accept queue is full, new connections are
-//! dropped at accept time and counted in
-//! [`OverloadStats::conns_shed`](oasis_core::OverloadStats).
+//! Connections are accepted into a bounded rotation and *multiplexed*
+//! across a fixed worker pool (no thread-per-connection: a connection
+//! flood cannot exhaust threads). A worker takes one scheduling turn per
+//! connection — check for a readable frame, serve at most one request (or
+//! make one non-blocking admission poll for a request queued in its
+//! lane) — then parks the connection back in the rotation. No worker is
+//! ever pinned to a connection or blocked on lane admission, so any
+//! number of long-lived idle connections share the pool and a revocation
+//! arriving on the Nth persistent connection is read within one rotation
+//! even when far more clients than workers are connected. When
+//! the rotation is at its bound ([`OverloadConfig::accept_queue`]), new
+//! connections are dropped at accept time and counted in
+//! [`OverloadStats::conns_shed`](oasis_core::OverloadStats); connections
+//! idle past [`OverloadConfig::idle_conn_ms`] are closed to reclaim their
+//! slot (`conns_idle_closed`).
 //!
 //! Every request then passes the service's
 //! [`AdmissionController`]: it is classified into a priority lane
@@ -16,28 +26,42 @@
 //! lane's bounded queue, shed with [`Response::Overloaded`] carrying a
 //! `retry_after_ms` hint, or dropped with [`Response::DeadlineExceeded`]
 //! if its propagated deadline passed first. A request is *never* executed
-//! after its deadline.
+//! after its deadline. A connection that has never sent a deadline
+//! envelope is assumed to predate the overload protocol and is shed with
+//! the legacy [`Response::Error`] shape instead of `Overloaded`, which
+//! its parser would reject as malformed.
 //!
 //! Transient `accept()` failures (connection resets, fd exhaustion) are
 //! retried with capped backoff and recorded through the audit hook
 //! (`transport_fault` entries); only fatal listener errors stop the serve
 //! loop.
 
+use std::collections::VecDeque;
 use std::io::ErrorKind;
 use std::net::{TcpListener, TcpStream};
-use std::sync::mpsc::{sync_channel, Receiver, TrySendError};
 use std::sync::Arc;
 use std::time::Duration;
 
 use oasis_core::{
-    AdmissionController, AdmitError, AuditKind, CertId, Deadline, EnvContext, OasisService,
-    OverloadConfig, RoleName,
+    AdmissionController, AuditKind, CertId, Deadline, EnvContext, OasisService, OverloadConfig,
+    Permit, PollOutcome, RoleName, Submission, Ticket,
 };
-use parking_lot::Mutex;
+use parking_lot::{Condvar, Mutex};
 
 use crate::error::WireError;
 use crate::frame::{read_frame, write_frame};
 use crate::proto::{Envelope, Request, Response};
+
+/// How long a worker's readiness probe blocks on an idle connection (and
+/// how long it pauses before re-polling a queued admission ticket). Bounds
+/// each connection's share of a worker turn, so rotation latency across N
+/// parked connections is ~`N * POLL_SLICE / workers`.
+const POLL_SLICE: Duration = Duration::from_millis(2);
+
+/// Per-read/-write socket deadline once a frame has started arriving (or a
+/// response is being written). A peer that starts a frame and stalls loses
+/// its connection rather than a worker.
+const FRAME_IO_TIMEOUT: Duration = Duration::from_secs(5);
 
 /// Builds the evaluation context for a given client-supplied virtual
 /// time. Servers install ambient values and custom predicates here.
@@ -120,41 +144,47 @@ impl WireServer {
     }
 
     /// Accepts and serves connections until a fatal listener error.
-    /// Connections are queued (bounded) to a fixed worker pool; a
-    /// protocol error terminates only its own connection. Transient
-    /// `accept` failures are retried with capped backoff and audited;
-    /// only fatal errors return.
+    /// Connections enter a bounded rotation multiplexed across a fixed
+    /// worker pool; a protocol error terminates only its own connection.
+    /// Transient `accept` failures are retried with capped backoff and
+    /// audited; only fatal errors return.
     ///
     /// # Errors
     ///
     /// [`WireError::Io`] carrying the fatal `accept` error.
     pub fn serve(self) -> Result<(), WireError> {
         let config = self.controller.config().clone();
-        let (tx, rx) = sync_channel::<TcpStream>(config.accept_queue.max(1));
-        let rx = Arc::new(Mutex::new(rx));
+        let rotation = Arc::new(Rotation::new());
         for _ in 0..config.workers.max(1) {
-            let rx = Arc::clone(&rx);
+            let rotation = Arc::clone(&rotation);
             let service = Arc::clone(&self.service);
             let context = Arc::clone(&self.context);
             let controller = Arc::clone(&self.controller);
-            std::thread::spawn(move || worker_loop(&rx, &service, &context, &controller));
+            let config = config.clone();
+            std::thread::spawn(move || {
+                worker_loop(&rotation, &service, &context, &controller, &config);
+            });
         }
 
         let mut consecutive_errors: u32 = 0;
-        loop {
+        let result = loop {
             match self.listener.accept() {
                 Ok((stream, _)) => {
                     consecutive_errors = 0;
-                    match tx.try_send(stream) {
-                        Ok(()) => self.controller.note_conn_accepted(),
-                        Err(TrySendError::Full(stream)) => {
-                            // Accept queue at its bound: shed the whole
-                            // connection rather than buffering unboundedly.
-                            self.controller.note_conn_shed();
-                            drop(stream);
-                        }
-                        // All workers gone — nothing can serve.
-                        Err(TrySendError::Disconnected(_)) => return Ok(()),
+                    stream.set_nodelay(true).ok();
+                    stream.set_write_timeout(Some(FRAME_IO_TIMEOUT)).ok();
+                    let conn = Conn {
+                        stream,
+                        envelope_seen: false,
+                        last_active_ms: self.controller.now_ms(),
+                        pending: None,
+                    };
+                    // Rotation at its bound: shed the whole connection
+                    // rather than buffering unboundedly.
+                    if rotation.push_new(conn, config.accept_queue.max(1)) {
+                        self.controller.note_conn_accepted();
+                    } else {
+                        self.controller.note_conn_shed();
                     }
                 }
                 Err(e) if transient_accept_error(&e) => {
@@ -166,10 +196,12 @@ impl WireServer {
                 }
                 Err(e) => {
                     self.audit_fault("accept-fatal", &e);
-                    return Err(WireError::Io(e));
+                    break Err(WireError::Io(e));
                 }
             }
-        }
+        };
+        rotation.close();
+        result
     }
 
     /// Spawns [`serve`](Self::serve) on a background thread and returns
@@ -217,73 +249,284 @@ fn transient_accept_error(e: &std::io::Error) -> bool {
     matches!(e.raw_os_error(), Some(12) | Some(23) | Some(24) | Some(105))
 }
 
+/// A connection parked in the rotation between worker turns.
+struct Conn {
+    stream: TcpStream,
+    /// Whether this connection has ever sent a deadline envelope. Only
+    /// envelope-aware clients understand [`Response::Overloaded`]; legacy
+    /// clients are shed with the [`Response::Error`] shape they predate
+    /// the overload protocol with.
+    envelope_seen: bool,
+    /// Controller-clock timestamp of the last frame read or written.
+    last_active_ms: u64,
+    /// A request admitted into a lane queue, awaiting its permit. While
+    /// set, no further frames are read from this connection (the protocol
+    /// is call/return, so the client is waiting on this answer anyway).
+    pending: Option<PendingRequest>,
+}
+
+struct PendingRequest {
+    ticket: Ticket,
+    deadline: Deadline,
+    request: Request,
+}
+
+/// The shared pool of parked connections. Workers pop a connection, take
+/// one scheduling turn on it, and push it back — so the pool's workers
+/// multiplex over every live connection instead of pinning one each.
+struct Rotation {
+    state: Mutex<RotationState>,
+    ready: Condvar,
+}
+
+struct RotationState {
+    conns: VecDeque<Conn>,
+    open: bool,
+}
+
+impl Rotation {
+    fn new() -> Self {
+        Self {
+            state: Mutex::new(RotationState {
+                conns: VecDeque::new(),
+                open: true,
+            }),
+            ready: Condvar::new(),
+        }
+    }
+
+    /// Admit a newly accepted connection, unless the rotation already
+    /// holds `cap` parked connections.
+    fn push_new(&self, conn: Conn, cap: usize) -> bool {
+        let mut state = self.state.lock();
+        if state.conns.len() >= cap {
+            return false;
+        }
+        state.conns.push_back(conn);
+        drop(state);
+        self.ready.notify_one();
+        true
+    }
+
+    /// Re-park a connection after a worker turn. Never bounded: the
+    /// connection was already admitted.
+    fn push_back(&self, conn: Conn) {
+        self.state.lock().conns.push_back(conn);
+        self.ready.notify_one();
+    }
+
+    /// Next connection to service; blocks while the rotation is empty.
+    /// `None` once the acceptor has shut the rotation down.
+    fn pop(&self) -> Option<Conn> {
+        let mut state = self.state.lock();
+        loop {
+            if let Some(conn) = state.conns.pop_front() {
+                return Some(conn);
+            }
+            if !state.open {
+                return None;
+            }
+            self.ready.wait(&mut state);
+        }
+    }
+
+    fn close(&self) {
+        self.state.lock().open = false;
+        self.ready.notify_all();
+    }
+}
+
+/// What one readiness probe of a parked connection found.
+enum Readiness {
+    /// At least one byte of a frame is waiting.
+    Ready,
+    /// Nothing to read within the poll slice.
+    Idle,
+    /// EOF or a socket error: the connection is done.
+    Closed,
+}
+
+fn readiness(stream: &TcpStream) -> Readiness {
+    stream.set_read_timeout(Some(POLL_SLICE)).ok();
+    let mut byte = [0u8; 1];
+    match stream.peek(&mut byte) {
+        Ok(0) => Readiness::Closed,
+        Ok(_) => Readiness::Ready,
+        Err(e)
+            if matches!(
+                e.kind(),
+                ErrorKind::WouldBlock | ErrorKind::TimedOut | ErrorKind::Interrupted
+            ) =>
+        {
+            Readiness::Idle
+        }
+        Err(_) => Readiness::Closed,
+    }
+}
+
 fn worker_loop(
-    rx: &Mutex<Receiver<TcpStream>>,
+    rotation: &Rotation,
     service: &Arc<OasisService>,
     context: &ContextFactory,
     controller: &Arc<AdmissionController>,
+    config: &OverloadConfig,
 ) {
-    loop {
-        // One idle worker at a time parks inside recv() holding the lock;
-        // it releases as soon as a connection arrives.
-        let stream = {
-            let guard = rx.lock();
-            guard.recv()
-        };
-        match stream {
-            Ok(stream) => {
-                // Connection errors are expected (clients hang up); they
-                // must not take the worker down.
-                let _ = handle_connection(stream, service, context, controller);
+    while let Some(mut conn) = rotation.pop() {
+        if service_turn(&mut conn, service, context, controller, config) {
+            rotation.push_back(conn);
+        }
+        // else: the connection is dropped here (hangup, error, idle-out).
+    }
+}
+
+/// One scheduling turn for one connection. Returns whether the connection
+/// stays in the rotation. Never blocks beyond [`POLL_SLICE`] except while
+/// actually transferring a frame or executing a granted request.
+fn service_turn(
+    conn: &mut Conn,
+    service: &Arc<OasisService>,
+    context: &ContextFactory,
+    controller: &Arc<AdmissionController>,
+    config: &OverloadConfig,
+) -> bool {
+    // A request already queued in its lane: one non-blocking poll. The
+    // worker is never parked on lane admission — that would pin it just
+    // like thread-per-connection did.
+    if let Some(pending) = conn.pending.take() {
+        return match controller.poll(&pending.ticket) {
+            PollOutcome::Waiting => {
+                conn.pending = Some(pending);
+                // Pace the retry so a lone waiting connection does not
+                // spin through the pool.
+                std::thread::sleep(POLL_SLICE);
+                true
             }
-            Err(_) => return, // acceptor shut down
+            PollOutcome::Expired => respond(conn, controller, &Response::DeadlineExceeded),
+            PollOutcome::Ready(permit) => {
+                let response = execute(
+                    service,
+                    context,
+                    controller,
+                    permit,
+                    pending.deadline,
+                    pending.request,
+                );
+                respond(conn, controller, &response)
+            }
+        };
+    }
+
+    match readiness(&conn.stream) {
+        Readiness::Closed => false,
+        Readiness::Idle => {
+            let now = controller.now_ms();
+            if config.idle_conn_ms > 0
+                && now.saturating_sub(conn.last_active_ms) >= config.idle_conn_ms
+            {
+                controller.note_conn_idle_closed();
+                return false;
+            }
+            true
+        }
+        Readiness::Ready => {
+            conn.stream.set_read_timeout(Some(FRAME_IO_TIMEOUT)).ok();
+            let envelope = match read_frame::<_, Envelope>(&mut conn.stream) {
+                Ok(Some(envelope)) => envelope,
+                // Clean disconnect, or a peer that broke mid-frame.
+                Ok(None) | Err(_) => return false,
+            };
+            conn.last_active_ms = controller.now_ms();
+            conn.envelope_seen |= envelope.deadline_ms.is_some();
+            admit_one(conn, service, context, controller, envelope)
         }
     }
 }
 
-fn handle_connection(
-    mut stream: TcpStream,
-    service: &Arc<OasisService>,
-    context: &ContextFactory,
-    controller: &Arc<AdmissionController>,
-) -> Result<(), WireError> {
-    stream.set_nodelay(true).ok();
-    loop {
-        let Some(envelope) = read_frame::<_, Envelope>(&mut stream)? else {
-            return Ok(()); // clean disconnect
-        };
-        let response = admit_and_handle(service, context, controller, envelope);
-        write_frame(&mut stream, &response)?;
-    }
-}
-
-/// Admission gate for one request: compute the absolute deadline at read
-/// time (so queueing counts against the client's budget), classify into a
-/// lane, and only execute under a granted, still-live permit.
-fn admit_and_handle(
+/// Admission gate for one freshly read request: compute the absolute
+/// deadline at read time (so queueing counts against the client's budget),
+/// classify into a lane, and execute, park, or shed.
+fn admit_one(
+    conn: &mut Conn,
     service: &Arc<OasisService>,
     context: &ContextFactory,
     controller: &Arc<AdmissionController>,
     envelope: Envelope,
-) -> Response {
+) -> bool {
     let lane = envelope.request.lane();
     let deadline = Deadline::from_budget(controller.now_ms(), envelope.deadline_ms);
-    match controller.admit(lane, deadline) {
-        Err(AdmitError::Shed { retry_after_ms }) => Response::Overloaded { retry_after_ms },
-        Err(AdmitError::Expired) => Response::DeadlineExceeded,
-        Ok(permit) => {
-            // The permit may have been granted in the same instant the
-            // deadline lapsed; re-check so no request ever executes past
-            // its deadline.
-            if deadline.expired(controller.now_ms()) {
-                controller.note_expired_after_admit(lane);
-                drop(permit);
-                return Response::DeadlineExceeded;
-            }
-            let response = handle_request(service, context, envelope.request);
-            drop(permit);
-            response
+    match controller.submit(lane, deadline) {
+        Submission::Admitted(permit) => {
+            let response = execute(
+                service,
+                context,
+                controller,
+                permit,
+                deadline,
+                envelope.request,
+            );
+            respond(conn, controller, &response)
         }
+        Submission::Queued(ticket) => {
+            conn.pending = Some(PendingRequest {
+                ticket,
+                deadline,
+                request: envelope.request,
+            });
+            true
+        }
+        Submission::Shed { retry_after_ms } => {
+            let response = shed_response(conn.envelope_seen, retry_after_ms);
+            respond(conn, controller, &response)
+        }
+        Submission::Expired => respond(conn, controller, &Response::DeadlineExceeded),
+    }
+}
+
+/// Run a granted request, re-checking the deadline so no request ever
+/// executes past it — the permit may have been granted in the same instant
+/// the deadline lapsed.
+fn execute(
+    service: &Arc<OasisService>,
+    context: &ContextFactory,
+    controller: &Arc<AdmissionController>,
+    permit: Permit,
+    deadline: Deadline,
+    request: Request,
+) -> Response {
+    if deadline.expired(controller.now_ms()) {
+        controller.note_expired_after_admit(permit.lane());
+        drop(permit);
+        return Response::DeadlineExceeded;
+    }
+    let response = handle_request(service, context, request);
+    drop(permit);
+    response
+}
+
+/// The shed answer a connection can actually parse: envelope-aware clients
+/// get the structured hint, legacy clients the `Error` shape they already
+/// treat as a remote (non-transport) failure — an `Overloaded` variant
+/// they cannot parse would read as a broken transport and cost them the
+/// connection.
+fn shed_response(envelope_seen: bool, retry_after_ms: u64) -> Response {
+    if envelope_seen {
+        Response::Overloaded { retry_after_ms }
+    } else {
+        Response::Error {
+            message: format!("overloaded: lane saturated, retry after {retry_after_ms} ms"),
+        }
+    }
+}
+
+/// Write one response; a connection we cannot write to leaves the
+/// rotation.
+fn respond(conn: &mut Conn, controller: &Arc<AdmissionController>, response: &Response) -> bool {
+    match write_frame(&mut conn.stream, response) {
+        Ok(()) => {
+            conn.last_active_ms = controller.now_ms();
+            true
+        }
+        Err(_) => false,
     }
 }
 

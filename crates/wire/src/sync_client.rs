@@ -69,9 +69,18 @@ impl Default for RemoteValidator {
 }
 
 impl RemoteValidator {
-    /// Creates an empty directory with default socket deadlines and a
-    /// single re-dial (the historical behaviour, now with a short pause
-    /// before the second attempt).
+    /// Default per-call deadline budget. Generous — well past the socket
+    /// read deadline, so it never fires first — but its presence marks
+    /// every callback as envelope-aware, which is what lets an overloaded
+    /// issuer answer with a structured `Overloaded { retry_after_ms }`
+    /// instead of the legacy `Error` shape (see the
+    /// [`proto` docs](crate::proto)).
+    pub const DEFAULT_CALL_DEADLINE_MS: u64 = 30_000;
+
+    /// Creates an empty directory with default socket deadlines, a single
+    /// re-dial (the historical behaviour, now with a short pause before
+    /// the second attempt), and the default call deadline
+    /// ([`RemoteValidator::DEFAULT_CALL_DEADLINE_MS`]).
     pub fn new() -> Self {
         Self {
             issuers: Mutex::new(HashMap::new()),
@@ -81,7 +90,7 @@ impl RemoteValidator {
                 max_attempts: 2,
                 ..RetryPolicy::default()
             },
-            deadline_ms: None,
+            deadline_ms: Some(Self::DEFAULT_CALL_DEADLINE_MS),
         }
     }
 
@@ -91,6 +100,18 @@ impl RemoteValidator {
     #[must_use]
     pub fn with_call_deadline_ms(mut self, deadline_ms: u64) -> Self {
         self.deadline_ms = Some(deadline_ms);
+        self
+    }
+
+    /// Removes the call deadline: callbacks go out as bare (pre-envelope)
+    /// frames. Only useful against issuers old enough to reject the
+    /// `Deadline` wrapper; note that such a *legacy-format* connection is
+    /// shed with the `Error` shape, which this validator reports as
+    /// [`OasisError::InvalidCredential`] rather than
+    /// [`OasisError::Overloaded`].
+    #[must_use]
+    pub fn without_call_deadline(mut self) -> Self {
+        self.deadline_ms = None;
         self
     }
 

@@ -59,7 +59,10 @@ fn saturated_lane_sheds_while_control_keeps_answering() {
     let addr = server.serve_in_background().unwrap();
 
     let alice = PrincipalId::new("alice");
-    let mut client = WireClient::connect(addr).unwrap();
+    // The deadline marks the connection envelope-aware, so sheds arrive
+    // as structured `Overloaded` answers (legacy connections get the
+    // `Error` shape instead — see the dedicated test below).
+    let mut client = WireClient::connect(addr).unwrap().with_deadline_ms(60_000);
     let rmc = client
         .activate(&alice, "logged_in", vec![Value::id("alice")], vec![], 1)
         .unwrap();
@@ -146,4 +149,112 @@ fn remote_validator_surfaces_overload_and_keeps_its_connection() {
     validator.validate(&cred, &alice, 4).unwrap();
     let conns_after = service.overload_stats().unwrap().conns_accepted;
     assert_eq!(conns_before, conns_after, "no re-dial after a shed");
+}
+
+#[test]
+fn legacy_connections_shed_with_error_shape_until_envelope_seen() {
+    let service = login_service();
+    let server = WireServer::bind(Arc::clone(&service), "127.0.0.1:0")
+        .unwrap()
+        .with_overload(tight_validation_config());
+    let controller = server.controller();
+    let addr = server.serve_in_background().unwrap();
+
+    let alice = PrincipalId::new("alice");
+    // No deadline: this connection only ever sends bare (pre-envelope)
+    // frames, exactly like a client that predates the overload protocol.
+    let mut client = WireClient::connect(addr).unwrap();
+    let rmc = client
+        .activate(&alice, "logged_in", vec![Value::id("alice")], vec![], 1)
+        .unwrap();
+    let cred = Credential::Rmc(rmc);
+
+    let _permit = match controller.submit(Lane::Validation, Deadline::none()) {
+        Submission::Admitted(p) => p,
+        _ => panic!("free lane must admit"),
+    };
+
+    // A legacy connection cannot parse `Overloaded`; it is shed with the
+    // `Error` shape it already understands as a remote failure.
+    match client.validate(&cred, &alice, 2).unwrap_err() {
+        WireError::Remote(message) => {
+            assert!(message.contains("overloaded"), "shed reason: {message}");
+        }
+        other => panic!("legacy connection expected Remote error, got {other}"),
+    }
+
+    // One deadline envelope demonstrates support...
+    client.set_deadline_ms(Some(60_000));
+    assert!(matches!(
+        client.validate(&cred, &alice, 3).unwrap_err(),
+        WireError::Overloaded { .. }
+    ));
+
+    // ...and the capability sticks for the connection's lifetime, even
+    // for later deadline-less frames.
+    client.set_deadline_ms(None);
+    assert!(matches!(
+        client.validate(&cred, &alice, 4).unwrap_err(),
+        WireError::Overloaded { .. }
+    ));
+}
+
+#[test]
+fn more_persistent_connections_than_workers_all_get_served() {
+    let service = login_service();
+    let cfg = OverloadConfig {
+        workers: 2,
+        ..Default::default()
+    };
+    let server = WireServer::bind(Arc::clone(&service), "127.0.0.1:0")
+        .unwrap()
+        .with_overload(cfg);
+    let addr = server.serve_in_background().unwrap();
+
+    // Four times as many live, persistent connections as workers. Under a
+    // worker-per-connection design the third client would wait in the
+    // accept queue forever; the multiplexed rotation serves them all.
+    let alice = PrincipalId::new("alice");
+    let mut clients: Vec<WireClient> = (0..8).map(|_| WireClient::connect(addr).unwrap()).collect();
+    for round in 0..2 {
+        for (i, client) in clients.iter_mut().enumerate() {
+            client
+                .ping()
+                .unwrap_or_else(|e| panic!("round {round}, connection {i}: ping failed: {e}"));
+        }
+    }
+
+    // The active-security point: a revocation arriving on the *last*
+    // connection still goes through while every earlier connection stays
+    // open and idle.
+    let rmc = clients[0]
+        .activate(&alice, "logged_in", vec![Value::id("alice")], vec![], 1)
+        .unwrap();
+    assert!(clients[7].revoke(rmc.crr.cert_id.0, "logout", 2).unwrap());
+}
+
+#[test]
+fn idle_connections_are_closed_and_counted() {
+    let service = login_service();
+    let cfg = OverloadConfig {
+        idle_conn_ms: 80,
+        ..Default::default()
+    };
+    let server = WireServer::bind(Arc::clone(&service), "127.0.0.1:0")
+        .unwrap()
+        .with_overload(cfg);
+    let addr = server.serve_in_background().unwrap();
+
+    let mut client = WireClient::connect(addr).unwrap();
+    client.ping().unwrap();
+    std::thread::sleep(std::time::Duration::from_millis(400));
+
+    // The server reclaimed the idle connection's rotation slot; the next
+    // call finds the socket closed (EOF or reset, depending on timing).
+    let err = client.ping().unwrap_err();
+    assert!(
+        matches!(err, WireError::Closed | WireError::Io(_)),
+        "expected a closed connection, got {err}"
+    );
+    assert!(service.overload_stats().unwrap().conns_idle_closed >= 1);
 }
