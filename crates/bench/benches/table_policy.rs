@@ -1,0 +1,362 @@
+//! TAB-G — compiled decision plans vs the interpreted solver.
+//!
+//! The policy hot path (role activation, membership re-checks) was an
+//! interpreted Horn-clause search: per request, per rule, a linear scan
+//! of the presented credentials. Plan compilation replaces the scans
+//! with indexed lookups and the per-backtrack `HashMap` clones with a
+//! slot trail. This experiment measures the difference on the same
+//! policies through the same public API:
+//!
+//! * warm activation throughput, interpreted vs compiled, at 10/100/500
+//!   alternative rules per role (each probe rule joins two credential
+//!   conditions under a ground guard that never holds — the interpreted
+//!   engine enumerates the join cross-product per rule before the guard
+//!   fails, the compiled plan hoists the guard ahead of the join and
+//!   fails in one indexed fact probe);
+//! * recheck-storm latency: a full membership sweep over ~2 000
+//!   certificates with retained checks, interpreted vs compiled, plus
+//!   the compiled re-sweep when the fact epoch is unchanged (fact-only
+//!   checks are skipped entirely).
+//!
+//! Emits `BENCH_policy.json` at the repo root and asserts the headline
+//! acceptance bar: ≥10x compiled speedup on the 100-rule policy.
+//!
+//! Set `POLICY_BENCH_QUICK=1` (CI smoke) to shrink sizes and budgets.
+
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use oasis::prelude::*;
+use oasis_bench::table_header;
+
+fn quick() -> bool {
+    std::env::var("POLICY_BENCH_QUICK").is_ok_and(|v| v != "0")
+}
+
+/// A service whose `target` role has `rules` alternatives: all but the
+/// last join two `badge` prerequisites under a ground `gate_flag` guard
+/// that is never asserted, the last is satisfiable via a real
+/// prerequisite RMC plus a fact lookup. The principal presents that RMC
+/// buried among `filler` decoy `badge` RMCs (all genuinely issued by
+/// the service, so validation passes).
+///
+/// The probe rules are the hot-path shape the plan compiler targets:
+/// the reference solver evaluates left-to-right, so each probe costs a
+/// filler x filler credential-join cross-product (a `Bindings` clone
+/// per branch) before the trailing guard fails; the compiled plan
+/// schedules the ground guard before the join and answers each probe
+/// with a single indexed fact lookup.
+fn alternatives_world(
+    rules: usize,
+    filler: usize,
+    interpreted: bool,
+) -> (Arc<OasisService>, PrincipalId, Vec<Credential>) {
+    let facts = Arc::new(FactStore::new());
+    facts.define("open", 1).unwrap();
+    facts.define("registered", 1).unwrap();
+    // The guard relation stays empty: every probe rule is unsatisfiable,
+    // but only the compiled engine discovers that before the join.
+    facts.define("gate_flag", 1).unwrap();
+    facts.insert("open", vec![Value::id("alice")]).unwrap();
+    facts
+        .insert("registered", vec![Value::id("alice")])
+        .unwrap();
+
+    let config = if interpreted {
+        ServiceConfig::new("alt").with_interpreted_solver()
+    } else {
+        ServiceConfig::new("alt")
+    };
+    let service = OasisService::new(config, facts);
+    let alice = PrincipalId::new("alice");
+    let ctx = EnvContext::new(0);
+
+    // The real prerequisite and the decoys, all issued properly.
+    let mut presented: Vec<Credential> = Vec::new();
+    service
+        .define_role("entry", &[("u", ValueType::Id)], true)
+        .unwrap();
+    service
+        .add_activation_rule(
+            "entry",
+            vec![Term::var("U")],
+            vec![Atom::env_fact("open", vec![Term::var("U")])],
+            vec![0],
+        )
+        .unwrap();
+    service
+        .define_role("badge", &[("t", ValueType::Id), ("u", ValueType::Id)], true)
+        .unwrap();
+    service
+        .add_activation_rule(
+            "badge",
+            vec![Term::var("T"), Term::var("U")],
+            vec![Atom::env_fact("open", vec![Term::var("U")])],
+            vec![0],
+        )
+        .unwrap();
+    for i in 0..filler {
+        let rmc = service
+            .activate_role(
+                &alice,
+                &RoleName::new("badge"),
+                &[Value::id(format!("t{i}")), Value::id("alice")],
+                &[],
+                &ctx,
+            )
+            .unwrap();
+        presented.push(Credential::Rmc(rmc));
+    }
+    let entry = service
+        .activate_role(
+            &alice,
+            &RoleName::new("entry"),
+            &[Value::id("alice")],
+            &[],
+            &ctx,
+        )
+        .unwrap();
+    // Bury the useful credential in the middle of the presented set.
+    presented.insert(filler / 2, Credential::Rmc(entry));
+
+    service
+        .define_role("target", &[("u", ValueType::Id)], false)
+        .unwrap();
+    for i in 0..rules.saturating_sub(1) {
+        // Unsatisfiable, but only via the trailing ground guard: the
+        // reference solver first enumerates every (badge, badge) pair —
+        // a Bindings clone per branch — and fails the guard once per
+        // pair; the compiled plan hoists the guard (it reads no join
+        // output) and refutes the rule with one empty-relation probe.
+        service
+            .add_activation_rule(
+                "target",
+                vec![Term::var("U")],
+                vec![
+                    Atom::prereq("badge", vec![Term::var("X"), Term::Wildcard]),
+                    Atom::prereq("badge", vec![Term::var("Y"), Term::Wildcard]),
+                    Atom::env_fact("gate_flag", vec![Term::val(Value::Int(i as i64))]),
+                ],
+                vec![0],
+            )
+            .unwrap();
+    }
+    service
+        .add_activation_rule(
+            "target",
+            vec![Term::var("U")],
+            vec![
+                Atom::prereq("entry", vec![Term::var("U")]),
+                Atom::env_fact("registered", vec![Term::var("U")]),
+            ],
+            vec![0, 1],
+        )
+        .unwrap();
+
+    (service, alice, presented)
+}
+
+/// Warm activation throughput (ops/sec) over a fixed wall-clock budget.
+fn activation_throughput(
+    service: &OasisService,
+    alice: &PrincipalId,
+    presented: &[Credential],
+    budget: Duration,
+) -> f64 {
+    let target = RoleName::new("target");
+    let args = [Value::id("alice")];
+    let ctx = EnvContext::new(1);
+    // Warm-up: populate validation state and touch every rule once.
+    service
+        .activate_role(alice, &target, &args, presented, &ctx)
+        .unwrap();
+    let mut ops = 0u64;
+    let t0 = Instant::now();
+    while t0.elapsed() < budget {
+        for _ in 0..8 {
+            service
+                .activate_role(alice, &target, &args, presented, &ctx)
+                .unwrap();
+            ops += 1;
+        }
+    }
+    ops as f64 / t0.elapsed().as_secs_f64()
+}
+
+/// A service holding `certs` active RMCs with retained membership
+/// checks: half fact-only (`registered(u_i)` must stay asserted), half
+/// additionally time-sensitive (`$now` window).
+fn recheck_world(certs: usize, interpreted: bool) -> Arc<OasisService> {
+    let facts = Arc::new(FactStore::new());
+    facts.define("registered", 1).unwrap();
+    let config = if interpreted {
+        ServiceConfig::new("sweep").with_interpreted_solver()
+    } else {
+        ServiceConfig::new("sweep")
+    };
+    let service = OasisService::new(config, facts.clone());
+    service
+        .define_role("member", &[("u", ValueType::Id)], true)
+        .unwrap();
+    service
+        .add_activation_rule(
+            "member",
+            vec![Term::var("U")],
+            vec![Atom::env_fact("registered", vec![Term::var("U")])],
+            vec![0],
+        )
+        .unwrap();
+    service
+        .define_role("timed", &[("u", ValueType::Id)], true)
+        .unwrap();
+    service
+        .add_activation_rule(
+            "timed",
+            vec![Term::var("U")],
+            vec![
+                Atom::env_fact("registered", vec![Term::var("U")]),
+                Atom::compare(
+                    Term::var("$now"),
+                    CmpOp::Lt,
+                    Term::val(Value::Time(1_000_000)),
+                ),
+            ],
+            vec![0, 1],
+        )
+        .unwrap();
+    let ctx = EnvContext::new(0);
+    for i in 0..certs {
+        let user = Value::id(format!("u{i}"));
+        facts.insert("registered", vec![user.clone()]).unwrap();
+        let role = if i % 2 == 0 { "member" } else { "timed" };
+        service
+            .activate_role(
+                &PrincipalId::new(format!("u{i}")),
+                &RoleName::new(role),
+                &[user],
+                &[],
+                &ctx,
+            )
+            .unwrap();
+    }
+    service
+}
+
+fn sweep_ms(service: &OasisService, now: u64) -> f64 {
+    let ctx = EnvContext::new(now);
+    let t0 = Instant::now();
+    let revoked = service.recheck_memberships(&ctx);
+    assert!(revoked.is_empty(), "sweep must not revoke anything here");
+    t0.elapsed().as_secs_f64() * 1e3
+}
+
+fn series() -> String {
+    let quick = quick();
+    let rule_counts: &[usize] = if quick { &[10, 100] } else { &[10, 100, 500] };
+    let filler = 15usize;
+    let budget = Duration::from_millis(if quick { 150 } else { 400 });
+
+    table_header(
+        "TAB-G compiled decision plans",
+        "indexed plans turn per-request rule search into hash lookups",
+        "rules  interpreted/s  compiled/s  speedup",
+    );
+    let mut interp = Vec::new();
+    let mut compiled = Vec::new();
+    let mut speedups = Vec::new();
+    for &rules in rule_counts {
+        let (s_i, alice_i, creds_i) = alternatives_world(rules, filler, true);
+        let ops_i = activation_throughput(&s_i, &alice_i, &creds_i, budget);
+        let (s_c, alice_c, creds_c) = alternatives_world(rules, filler, false);
+        let ops_c = activation_throughput(&s_c, &alice_c, &creds_c, budget);
+        let speedup = ops_c / ops_i;
+        println!("{rules:>5}  {ops_i:>13.0}  {ops_c:>10.0}  {speedup:>6.1}x");
+        interp.push(ops_i);
+        compiled.push(ops_c);
+        speedups.push(speedup);
+    }
+    let at_100 = rule_counts.iter().position(|&r| r == 100).unwrap();
+    assert!(
+        speedups[at_100] >= 10.0,
+        "acceptance: compiled must be ≥10x interpreted at 100 rules, measured {:.1}x",
+        speedups[at_100]
+    );
+
+    let certs = if quick { 400 } else { 2_000 };
+    let interpreted_world = recheck_world(certs, true);
+    let compiled_world = recheck_world(certs, false);
+    let interp_sweep = sweep_ms(&interpreted_world, 1);
+    let cold_sweep = sweep_ms(&compiled_world, 1);
+    // Same epoch, later clock: fact-only checks skip, timed ones re-run.
+    let warm_sweep = sweep_ms(&compiled_world, 2);
+    table_header(
+        "TAB-G recheck storm",
+        "membership sweep latency; warm = unchanged fact epoch (fact-only checks skipped)",
+        "certs  interpreted-ms  compiled-ms  epoch-skip-ms",
+    );
+    println!("{certs:>5}  {interp_sweep:>14.2}  {cold_sweep:>11.2}  {warm_sweep:>13.2}");
+
+    let fmt = |xs: &[f64]| {
+        xs.iter()
+            .map(|v| format!("{v:.1}"))
+            .collect::<Vec<_>>()
+            .join(", ")
+    };
+    format!(
+        "{{\n  \"bench\": \"table_policy\",\n  \"quick\": {},\n  \"rule_counts\": [{}],\n  \"presented_credentials\": {},\n  \"interpreted_activations_per_sec\": [{}],\n  \"compiled_activations_per_sec\": [{}],\n  \"speedup\": [{}],\n  \"recheck_certs\": {},\n  \"recheck_interpreted_ms\": {:.2},\n  \"recheck_compiled_ms\": {:.2},\n  \"recheck_epoch_skip_ms\": {:.2}\n}}\n",
+        quick,
+        rule_counts
+            .iter()
+            .map(ToString::to_string)
+            .collect::<Vec<_>>()
+            .join(", "),
+        filler + 1,
+        fmt(&interp),
+        fmt(&compiled),
+        fmt(&speedups),
+        certs,
+        interp_sweep,
+        cold_sweep,
+        warm_sweep,
+    )
+}
+
+fn bench(c: &mut Criterion) {
+    let json = series();
+    let out = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_policy.json");
+    std::fs::write(out, json).expect("write BENCH_policy.json");
+    println!("wrote {out}");
+
+    // Criterion timings for the headline per-operation costs.
+    let mut group = c.benchmark_group("policy_activation");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(1));
+    for (label, interpreted) in [("compiled", false), ("interpreted", true)] {
+        let (service, alice, presented) = alternatives_world(100, 15, interpreted);
+        let target = RoleName::new("target");
+        let args = [Value::id("alice")];
+        let ctx = EnvContext::new(1);
+        group.bench_function(BenchmarkId::new(label, "100rules"), |b| {
+            b.iter(|| {
+                service
+                    .activate_role(&alice, &target, &args, &presented, &ctx)
+                    .unwrap()
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(1))
+        .warm_up_time(Duration::from_millis(300));
+    targets = bench
+}
+criterion_main!(benches);

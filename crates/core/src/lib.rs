@@ -78,6 +78,7 @@ pub mod ids;
 mod json;
 pub mod overload;
 pub mod pattern;
+pub mod plan;
 pub mod resilient;
 pub mod retry;
 pub mod role;
@@ -104,6 +105,7 @@ pub use overload::{
     OverloadConfig, OverloadStats, Permit, PollOutcome, Submission, Ticket, WallClock,
 };
 pub use pattern::{Bindings, Term, VarName};
+pub use plan::{CheckPlan, CredIndex, PlanStats, RulePlan};
 pub use resilient::{
     classify_error, BreakerConfig, ErrorClass, ResilientStats, ResilientValidator,
 };

@@ -40,7 +40,7 @@ impl fmt::Display for RuleId {
 }
 
 /// One condition of a rule body.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub enum Atom {
     /// The principal must hold an RMC for `role` issued by `service`
     /// (`None` = the service defining the rule).

@@ -76,6 +76,7 @@ use crate::error::OasisError;
 use crate::ids::{CertId, PrincipalId, RoleName, ServiceId};
 use crate::overload::{AdmissionController, OverloadStats};
 use crate::pattern::{Bindings, Term};
+use crate::plan::{CheckPlan, CredIndex, PlanStats, RulePlan};
 use crate::resilient::{classify_error, ErrorClass};
 use crate::role::RoleDef;
 use crate::rule::{solve, ActivationRule, Atom, InvocationRule, RuleId, Solution};
@@ -267,6 +268,7 @@ pub struct ServiceConfig {
     journal: Option<ServiceJournal>,
     snapshot_every: Option<u64>,
     revocation_retention: Option<usize>,
+    interpreted_solver: bool,
 }
 
 impl fmt::Debug for ServiceConfig {
@@ -294,6 +296,7 @@ impl ServiceConfig {
             journal: None,
             snapshot_every: None,
             revocation_retention: None,
+            interpreted_solver: false,
         }
     }
 
@@ -380,6 +383,19 @@ impl ServiceConfig {
         self.revocation_retention = Some(capacity.max(1));
         self
     }
+
+    /// Forces the interpreted backtracking solver
+    /// ([`solve`](crate::rule::solve)) for every activation, invocation,
+    /// and membership re-check, bypassing the compiled decision plans.
+    /// The plans are still built (their compile-time diagnostics remain
+    /// available) but never evaluated. Intended for differential testing
+    /// and benchmarking; the two engines are equivalent by construction
+    /// and by the parity suite.
+    #[must_use]
+    pub fn with_interpreted_solver(mut self) -> Self {
+        self.interpreted_solver = true;
+        self
+    }
 }
 
 /// The result of a successful role activation.
@@ -416,8 +432,25 @@ struct RecordState {
     depends_on: Vec<Crr>,
     /// Ground environmental conditions retained by the membership rule,
     /// re-evaluated on [`OasisService::recheck_memberships`]; fact atoms
-    /// are additionally indexed for push-based revocation.
+    /// are additionally indexed for push-based revocation. This is the
+    /// durable representation (journal and snapshots).
     retained_checks: Vec<Atom>,
+    /// The retained checks compiled once at install time; shared with
+    /// re-check sweeps via `Arc` so a sweep clones a pointer, not the
+    /// atom vector. `None` iff `retained_checks` is empty. Never
+    /// serialised — recompiled from `retained_checks` on recovery.
+    check: Option<Arc<CheckPlan>>,
+}
+
+impl RecordState {
+    fn new(record: CredRecord, depends_on: Vec<Crr>, retained_checks: Vec<Atom>) -> Self {
+        Self {
+            record,
+            depends_on,
+            retained_checks,
+            check: None,
+        }
+    }
 }
 
 /// `(relation, ground tuple)` → dependents and whether each expects the
@@ -434,6 +467,17 @@ struct PolicyTable {
     invocation_rules: HashMap<String, Arc<Vec<InvocationRule>>>,
     /// appointment name → roles privileged to issue it.
     appointers: HashMap<String, HashSet<RoleName>>,
+    /// Compiled decision plans, index-aligned with `activation_rules`.
+    /// Rebuilt incrementally under the same write lock that admits the
+    /// rule, so plan `i` always corresponds to rule `i`.
+    activation_plans: HashMap<RoleName, Arc<Vec<RulePlan>>>,
+    /// Compiled decision plans, index-aligned with `invocation_rules`.
+    invocation_plans: HashMap<String, Arc<Vec<RulePlan>>>,
+    /// Local prerequisite-role DAG: role → roles whose activation rules
+    /// name it as a prerequisite (edges for this service's own roles
+    /// only). Lets revocation tooling and filtered re-check sweeps
+    /// compute the affected set in O(affected).
+    prereq_children: HashMap<RoleName, HashSet<RoleName>>,
 }
 
 /// One stripe of the write-hot certificate state. Records are routed by
@@ -577,6 +621,14 @@ pub struct OasisService {
     /// Virtual time of the most recent operation; used to timestamp
     /// event-driven revocations, which arrive without a context.
     last_now: AtomicU64,
+    /// Whether the compiled-plan engine is in use (the default); `false`
+    /// routes everything through the interpreted reference solver.
+    use_plans: bool,
+    /// Fact-store epoch at the *start* of the last full membership
+    /// re-check sweep (`u64::MAX` = never swept). When the epoch has not
+    /// moved since, fact-only retained checks cannot have changed and
+    /// the sweep skips them.
+    last_sweep_epoch: AtomicU64,
 }
 
 impl fmt::Debug for OasisService {
@@ -626,6 +678,8 @@ impl OasisService {
             next_cert: AtomicU64::new(1),
             next_rule: AtomicU64::new(1),
             last_now: AtomicU64::new(0),
+            use_plans: !config.interpreted_solver,
+            last_sweep_epoch: AtomicU64::new(u64::MAX),
         });
 
         if let Some(capacity) = config.revocation_retention {
@@ -969,11 +1023,11 @@ impl OasisService {
             {
                 continue;
             }
-            self.install_record(RecordState {
-                record: entry.record,
-                depends_on: entry.depends_on,
-                retained_checks: entry.retained_checks,
-            });
+            self.install_record(RecordState::new(
+                entry.record,
+                entry.depends_on,
+                entry.retained_checks,
+            ));
             report.records_restored += 1;
         }
         self.next_cert
@@ -1007,11 +1061,11 @@ impl OasisService {
                 {
                     return;
                 }
-                self.install_record(RecordState {
-                    record: record.clone(),
-                    depends_on: depends_on.clone(),
-                    retained_checks: retained_checks.clone(),
-                });
+                self.install_record(RecordState::new(
+                    record.clone(),
+                    depends_on.clone(),
+                    retained_checks.clone(),
+                ));
                 self.next_cert.fetch_max(cert_id.0 + 1, Ordering::Relaxed);
                 report.records_restored += 1;
             }
@@ -1096,7 +1150,18 @@ impl OasisService {
     /// then the record, one shard lock at a time (same ordering as
     /// live issuance). Inactive records get no edges: nothing may
     /// cascade off a revoked certificate.
-    fn install_record(&self, state: RecordState) {
+    ///
+    /// Non-empty retained checks are compiled to a [`CheckPlan`] here —
+    /// before any shard lock is taken — so every install path (live
+    /// issuance, snapshot restore, journal replay) gets the compiled
+    /// form.
+    fn install_record(&self, mut state: RecordState) {
+        if !state.retained_checks.is_empty() {
+            state.check = Some(Arc::new(CheckPlan::compile(
+                &self.id,
+                state.retained_checks.clone(),
+            )));
+        }
         let cert_id = state.record.crr.cert_id;
         if state.record.status.is_active() {
             for dep in &state.depends_on {
@@ -1499,11 +1564,32 @@ impl OasisService {
             membership,
         };
         rule.validate()?;
+        let plan = RulePlan::compile(&self.id, &rule.head_args, &rule.conditions);
         let mut policy = self.policy.write();
         if !policy.roles.contains_key(&role) {
             return Err(OasisError::UnknownRole(role));
         }
-        Arc::make_mut(policy.activation_rules.entry(role).or_default()).push(rule);
+        // Prerequisite DAG: local prereq → this role. (Foreign prereqs
+        // are tracked per-certificate by the dependency index, not here.)
+        for cond in &rule.conditions {
+            if let Atom::Prereq {
+                service,
+                role: prereq,
+                ..
+            } = cond
+            {
+                if service.as_ref().is_none_or(|s| *s == self.id) {
+                    policy
+                        .prereq_children
+                        .entry(prereq.clone())
+                        .or_default()
+                        .insert(role.clone());
+                }
+            }
+        }
+        // Rules and plans stay index-aligned under this write lock.
+        Arc::make_mut(policy.activation_rules.entry(role.clone()).or_default()).push(rule);
+        Arc::make_mut(policy.activation_plans.entry(role).or_default()).push(plan);
         Ok(id)
     }
 
@@ -1522,8 +1608,10 @@ impl OasisService {
             head_args,
             conditions,
         };
+        let plan = RulePlan::compile(&self.id, &rule.head_args, &rule.conditions);
         let mut policy = self.policy.write();
-        Arc::make_mut(policy.invocation_rules.entry(method).or_default()).push(rule);
+        Arc::make_mut(policy.invocation_rules.entry(method.clone()).or_default()).push(rule);
+        Arc::make_mut(policy.invocation_plans.entry(method).or_default()).push(plan);
         id
     }
 
@@ -1856,35 +1944,57 @@ impl OasisService {
         ctx: &EnvContext,
     ) -> Result<ActivationOutcome, OasisError> {
         self.last_now.store(ctx.now(), Ordering::Relaxed);
-        let (role_def, rules) = {
+        // Argument checking happens under the read lock — no RoleDef
+        // clone per activation.
+        let (rules, plans) = {
             let policy = self.policy.read();
-            let def = policy
+            policy
                 .roles
                 .get(role)
-                .cloned()
-                .ok_or_else(|| OasisError::UnknownRole(role.clone()))?;
-            let rules = policy
-                .activation_rules
-                .get(role)
-                .cloned()
-                .unwrap_or_default();
-            (def, rules)
+                .ok_or_else(|| OasisError::UnknownRole(role.clone()))?
+                .check_args(args)?;
+            (
+                policy
+                    .activation_rules
+                    .get(role)
+                    .cloned()
+                    .unwrap_or_default(),
+                policy
+                    .activation_plans
+                    .get(role)
+                    .cloned()
+                    .unwrap_or_default(),
+            )
         };
-        role_def.check_args(args)?;
 
         let creds = self.validated(presented, principal, ctx.now());
 
-        for rule in rules.iter() {
-            let mut seed = Bindings::new();
-            if !seed.unify_all(&rule.head_args, args) {
-                continue;
+        // Compiled fast path: one credential index for the whole request,
+        // indexed candidate fetches per rule. Falls back to the
+        // interpreted reference solver when disabled or when the plan
+        // table is out of step with the rule table.
+        if self.use_plans && plans.len() == rules.len() {
+            let index = CredIndex::build(&creds);
+            for (rule, plan) in rules.iter().zip(plans.iter()) {
+                if let Some(solution) = plan.eval(args, &index, &self.facts, ctx) {
+                    return self.issue_rmc(
+                        principal, role, args, rule, solution, &creds, holder_key, ctx,
+                    );
+                }
             }
-            if let Some(solution) =
-                solve(&self.id, &rule.conditions, seed, &creds, &self.facts, ctx)
-            {
-                return self.issue_rmc(
-                    principal, role, args, rule, &solution, &creds, holder_key, ctx,
-                );
+        } else {
+            for rule in rules.iter() {
+                let mut seed = Bindings::new();
+                if !seed.unify_all(&rule.head_args, args) {
+                    continue;
+                }
+                if let Some(solution) =
+                    solve(&self.id, &rule.conditions, seed, &creds, &self.facts, ctx)
+                {
+                    return self.issue_rmc(
+                        principal, role, args, rule, solution, &creds, holder_key, ctx,
+                    );
+                }
             }
         }
 
@@ -1909,7 +2019,7 @@ impl OasisService {
         role: &RoleName,
         args: &[Value],
         rule: &ActivationRule,
-        solution: &Solution,
+        solution: Solution,
         creds: &[Credential],
         holder_key: Option<PublicKey>,
         ctx: &EnvContext,
@@ -1976,11 +2086,7 @@ impl OasisService {
             // window may find an edge pointing at a record that does not
             // exist yet and drop the cascade — the re-validation below
             // closes exactly that hole.
-            self.install_record(RecordState {
-                record,
-                depends_on,
-                retained_checks,
-            });
+            self.install_record(RecordState::new(record, depends_on, retained_checks));
         }
 
         // Close the race with concurrent revocation: the supporting
@@ -2030,7 +2136,7 @@ impl OasisService {
         Ok(ActivationOutcome {
             rmc,
             rule: rule.id,
-            bindings: solution.bindings.clone(),
+            bindings: solution.bindings,
         })
     }
 
@@ -2055,24 +2161,38 @@ impl OasisService {
         ctx: &EnvContext,
     ) -> Result<Invocation, OasisError> {
         self.last_now.store(ctx.now(), Ordering::Relaxed);
-        let rules = self
-            .policy
-            .read()
-            .invocation_rules
-            .get(method)
-            .cloned()
-            .unwrap_or_default();
+        let (rules, plans) = {
+            let policy = self.policy.read();
+            (
+                policy
+                    .invocation_rules
+                    .get(method)
+                    .cloned()
+                    .unwrap_or_default(),
+                policy
+                    .invocation_plans
+                    .get(method)
+                    .cloned()
+                    .unwrap_or_default(),
+            )
+        };
         let creds = self.validated(presented, principal, ctx.now());
 
-        for rule in rules.iter() {
-            let mut seed = Bindings::new();
-            if !seed.unify_all(&rule.head_args, args) {
-                continue;
-            }
-            if let Some(solution) =
-                solve(&self.id, &rule.conditions, seed, &creds, &self.facts, ctx)
-            {
-                let used: Vec<Crr> = solution.used.iter().map(|(_, c)| c.clone()).collect();
+        let use_plans = self.use_plans && plans.len() == rules.len();
+        let index = use_plans.then(|| CredIndex::build(&creds));
+        for (i, rule) in rules.iter().enumerate() {
+            let solution = match &index {
+                Some(index) => plans[i].eval(args, index, &self.facts, ctx),
+                None => {
+                    let mut seed = Bindings::new();
+                    if !seed.unify_all(&rule.head_args, args) {
+                        continue;
+                    }
+                    solve(&self.id, &rule.conditions, seed, &creds, &self.facts, ctx)
+                }
+            };
+            if let Some(solution) = solution {
+                let used: Vec<Crr> = solution.used.into_iter().map(|(_, c)| c).collect();
                 self.audit.record(
                     ctx.now(),
                     AuditKind::Invoked {
@@ -2085,7 +2205,7 @@ impl OasisService {
                 return Ok(Invocation {
                     method: method.to_string(),
                     rule: rule.id,
-                    bindings: solution.bindings.clone(),
+                    bindings: solution.bindings,
                     used,
                 });
             }
@@ -2190,14 +2310,10 @@ impl OasisService {
                     "chaos: crashed between journal append and apply".into(),
                 ));
             }
-            self.record_shard(cert_id).lock().records.insert(
-                cert_id,
-                RecordState {
-                    record,
-                    depends_on: Vec::new(),
-                    retained_checks: Vec::new(),
-                },
-            );
+            self.record_shard(cert_id)
+                .lock()
+                .records
+                .insert(cert_id, RecordState::new(record, Vec::new(), Vec::new()));
         }
 
         self.audit.record(
@@ -2465,35 +2581,147 @@ impl OasisService {
     /// conditions at the current context (time-window constraints and
     /// custom predicates cannot be push-notified, so services sweep them —
     /// typically on a heartbeat). Returns the revoked certificates.
+    ///
+    /// With the compiled engine, the sweep evaluates each record's
+    /// [`CheckPlan`] (compiled once at issuance), memoises identical
+    /// check bodies within the sweep, and — when the fact store's
+    /// mutation epoch has not moved since the last full sweep — skips
+    /// fact-only checks entirely: an unchanged epoch proves no fact
+    /// changed, and every fact-only check either passed the previous
+    /// sweep or held at issuance, so it still holds.
     pub fn recheck_memberships(&self, ctx: &EnvContext) -> Vec<Crr> {
+        self.recheck(ctx, None)
+    }
+
+    /// As [`OasisService::recheck_memberships`], but sweeps only RMCs
+    /// whose role is in `roles` or depends on one transitively through
+    /// the local prerequisite-role DAG — O(affected records) instead of
+    /// a full scan. Use after a targeted policy or environment change
+    /// known to affect specific roles.
+    pub fn recheck_role_memberships(&self, roles: &[RoleName], ctx: &EnvContext) -> Vec<Crr> {
+        let mut affected: HashSet<RoleName> = HashSet::new();
+        {
+            let policy = self.policy.read();
+            let mut queue: Vec<RoleName> = roles.to_vec();
+            while let Some(role) = queue.pop() {
+                if affected.insert(role.clone()) {
+                    if let Some(children) = policy.prereq_children.get(&role) {
+                        queue.extend(children.iter().cloned());
+                    }
+                }
+            }
+        }
+        self.recheck(ctx, Some(&affected))
+    }
+
+    fn recheck(&self, ctx: &EnvContext, roles: Option<&HashSet<RoleName>>) -> Vec<Crr> {
         self.last_now.store(ctx.now(), Ordering::Relaxed);
-        let mut to_check: Vec<(CertId, Vec<Atom>)> = Vec::new();
+        // Epoch read *before* collecting: a fact change racing the sweep
+        // lands at a higher epoch than the watermark we store, forcing
+        // the next sweep to look at everything.
+        let sweep_epoch = self.facts.epoch();
+        let skip_fact_only =
+            self.use_plans && self.last_sweep_epoch.load(Ordering::Acquire) == sweep_epoch;
+
+        enum Check {
+            Plan(Arc<CheckPlan>),
+            Atoms(Vec<Atom>),
+        }
+        let mut to_check: Vec<(CertId, Check)> = Vec::new();
         // Ascending shard order, one lock at a time; checks are evaluated
-        // after the locks are released (solve may be arbitrarily slow).
+        // after the locks are released (evaluation may be arbitrarily
+        // slow). Cloning an `Arc<CheckPlan>` is a pointer copy — the old
+        // per-record `Vec<Atom>` clone survives only as the interpreted
+        // fallback.
         for shard in &self.shards {
             let shard = shard.lock();
-            to_check.extend(
-                shard
-                    .records
-                    .iter()
-                    .filter(|(_, r)| r.record.status.is_active() && !r.retained_checks.is_empty())
-                    .map(|(id, r)| (*id, r.retained_checks.clone())),
-            );
+            for (id, r) in &shard.records {
+                if !r.record.status.is_active() || r.retained_checks.is_empty() {
+                    continue;
+                }
+                if let Some(filter) = roles {
+                    let covered = r.record.kind == CredentialKind::Rmc
+                        && filter.contains(&RoleName::new(r.record.name.clone()));
+                    if !covered {
+                        continue;
+                    }
+                }
+                match &r.check {
+                    Some(plan) if self.use_plans => {
+                        if skip_fact_only && !plan.is_time_sensitive() {
+                            continue;
+                        }
+                        to_check.push((*id, Check::Plan(Arc::clone(plan))));
+                    }
+                    _ => to_check.push((*id, Check::Atoms(r.retained_checks.clone()))),
+                }
+            }
         }
+
+        let no_creds: [Credential; 0] = [];
+        let empty_index = CredIndex::build(&no_creds);
+        // Identical retained bodies (common under templated policies)
+        // evaluate once per sweep.
+        let mut memo: HashMap<&[Atom], bool> = HashMap::new();
         let mut revoked = Vec::new();
-        for (cert_id, checks) in to_check {
-            let ok = solve(&self.id, &checks, Bindings::new(), &[], &self.facts, ctx).is_some();
+        for (cert_id, check) in &to_check {
+            let key: &[Atom] = match check {
+                Check::Plan(plan) => plan.atoms(),
+                Check::Atoms(atoms) => atoms,
+            };
+            let ok = match memo.get(key) {
+                Some(&ok) => ok,
+                None => {
+                    let ok = match check {
+                        Check::Plan(plan) => plan.eval(&empty_index, &self.facts, ctx),
+                        Check::Atoms(atoms) => {
+                            solve(&self.id, atoms, Bindings::new(), &[], &self.facts, ctx).is_some()
+                        }
+                    };
+                    memo.insert(key, ok);
+                    ok
+                }
+            };
             if !ok
                 && self.revoke_certificate(
-                    cert_id,
+                    *cert_id,
                     "membership condition no longer holds",
                     ctx.now(),
                 )
             {
-                revoked.push(Crr::new(self.id.clone(), cert_id));
+                revoked.push(Crr::new(self.id.clone(), *cert_id));
             }
         }
+        // Only a full sweep proves all fact-only checks held at
+        // `sweep_epoch`; a filtered sweep says nothing about the rest.
+        if roles.is_none() {
+            self.last_sweep_epoch.store(sweep_epoch, Ordering::Release);
+        }
         revoked
+    }
+
+    /// Roles that transitively depend on `role` through this service's
+    /// prerequisite-role DAG (excluding `role` itself unless it appears
+    /// in a cycle), sorted by name. These are the roles whose activation
+    /// rules can be affected when `role`'s memberships collapse.
+    pub fn role_dependents(&self, role: &RoleName) -> Vec<RoleName> {
+        let policy = self.policy.read();
+        let mut seen: HashSet<RoleName> = HashSet::new();
+        let mut queue: Vec<&RoleName> = policy
+            .prereq_children
+            .get(role)
+            .map(|c| c.iter().collect())
+            .unwrap_or_default();
+        while let Some(next) = queue.pop() {
+            if seen.insert(next.clone()) {
+                if let Some(children) = policy.prereq_children.get(next) {
+                    queue.extend(children.iter());
+                }
+            }
+        }
+        let mut out: Vec<RoleName> = seen.into_iter().collect();
+        out.sort();
+        out
     }
 
     // ------------------------------------------------------------------
@@ -2562,6 +2790,24 @@ impl OasisService {
             .get(method)
             .map(|rules| rules.as_ref().clone())
             .unwrap_or_default()
+    }
+
+    /// Counters over the compiled decision plans (activation and
+    /// invocation), for diagnostics: a nonzero `always_fail` usually
+    /// indicates a rule with a typo'd variable that can never bind.
+    pub fn plan_stats(&self) -> PlanStats {
+        let policy = self.policy.read();
+        let mut stats = PlanStats::default();
+        for plans in policy
+            .activation_plans
+            .values()
+            .chain(policy.invocation_plans.values())
+        {
+            for plan in plans.iter() {
+                stats.absorb(plan);
+            }
+        }
+        stats
     }
 
     /// Consistency warnings between role flags and installed rules.

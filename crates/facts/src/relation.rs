@@ -138,6 +138,43 @@ impl<V: Clone + Eq + Hash> Relation<V> {
         out
     }
 
+    /// Whether any tuple matches `pattern`, without materialising rows.
+    /// Short-circuits on the first hit; the fully-bound and no-bound
+    /// cases are O(1).
+    pub(crate) fn exists(&self, pattern: &[Option<V>]) -> bool {
+        debug_assert_eq!(pattern.len(), self.arity);
+
+        if pattern.iter().all(Option::is_some) {
+            let tuple: Vec<V> = pattern.iter().map(|v| v.clone().expect("bound")).collect();
+            return self.exact.contains_key(&tuple);
+        }
+
+        let mut seed: Option<&HashSet<TupleId>> = None;
+        for (col, value) in pattern.iter().enumerate() {
+            if let Some(v) = value {
+                match self.indexes[col].get(v) {
+                    Some(ids) => {
+                        if seed.is_none_or(|s| ids.len() < s.len()) {
+                            seed = Some(ids);
+                        }
+                    }
+                    None => return false,
+                }
+            }
+        }
+        let Some(ids) = seed else {
+            return self.live > 0;
+        };
+        ids.iter().any(|&id| {
+            self.tuples[id].as_ref().is_some_and(|tuple| {
+                pattern
+                    .iter()
+                    .zip(tuple.iter())
+                    .all(|(p, v)| p.as_ref().is_none_or(|bound| bound == v))
+            })
+        })
+    }
+
     /// Snapshot of every live tuple.
     pub(crate) fn all(&self) -> Vec<Vec<V>> {
         self.tuples.iter().filter_map(|slot| slot.clone()).collect()

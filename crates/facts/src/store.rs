@@ -62,6 +62,10 @@ pub struct FactStore<V> {
     relations: RwLock<HashMap<String, Relation<V>>>,
     watchers: RwLock<HashMap<WatchId, Watcher<V>>>,
     next_watch: AtomicU64,
+    /// Bumped on every effective insert/retract, before watchers run.
+    /// Readers that cache derived state (e.g. compiled membership
+    /// re-checks) compare epochs to skip work when nothing changed.
+    epoch: AtomicU64,
 }
 
 impl<V> fmt::Debug for FactStore<V> {
@@ -79,6 +83,7 @@ impl<V> Default for FactStore<V> {
             relations: RwLock::new(HashMap::new()),
             watchers: RwLock::new(HashMap::new()),
             next_watch: AtomicU64::new(1),
+            epoch: AtomicU64::new(0),
         }
     }
 }
@@ -170,6 +175,7 @@ impl<V: Clone + Eq + Hash> FactStore<V> {
                 .insert(tuple.clone())
         };
         if inserted {
+            self.epoch.fetch_add(1, Ordering::Release);
             self.notify(&FactChange::Inserted {
                 relation: relation.to_string(),
                 tuple,
@@ -193,6 +199,7 @@ impl<V: Clone + Eq + Hash> FactStore<V> {
                 .retract(tuple)
         };
         if retracted {
+            self.epoch.fetch_add(1, Ordering::Release);
             self.notify(&FactChange::Retracted {
                 relation: relation.to_string(),
                 tuple: tuple.to_vec(),
@@ -221,6 +228,29 @@ impl<V: Clone + Eq + Hash> FactStore<V> {
         let relations = self.relations.read();
         let rel = Self::check(&relations, relation, pattern)?;
         Ok(rel.query(pattern))
+    }
+
+    /// Whether any tuple matches `pattern` (`None` = wildcard), without
+    /// materialising the matching rows. Prefer this over [`query`] when
+    /// only existence matters — it short-circuits on the first hit.
+    ///
+    /// [`query`]: FactStore::query
+    ///
+    /// # Errors
+    ///
+    /// [`FactError::UnknownRelation`] / [`FactError::ArityMismatch`].
+    pub fn exists(&self, relation: &str, pattern: &[Option<V>]) -> Result<bool, FactError> {
+        let relations = self.relations.read();
+        let rel = Self::check(&relations, relation, pattern)?;
+        Ok(rel.exists(pattern))
+    }
+
+    /// The store's mutation epoch: a counter bumped on every *effective*
+    /// insert or retract. Two equal readings with no interleaving bump
+    /// guarantee no fact changed in between, letting callers skip
+    /// re-evaluating fact-only derived state.
+    pub fn epoch(&self) -> u64 {
+        self.epoch.load(Ordering::Acquire)
     }
 
     /// Number of tuples currently in `relation`.
@@ -520,6 +550,48 @@ mod tests {
         // Only new changes notify.
         restored.insert("registered", t2("x", "y")).unwrap();
         assert_eq!(*fired.lock(), 1);
+    }
+
+    #[test]
+    fn exists_short_circuits_and_matches_query() {
+        let s = store();
+        s.insert("registered", t2("d1", "p1")).unwrap();
+        s.insert("registered", t2("d1", "p2")).unwrap();
+
+        assert!(s
+            .exists("registered", &[Some("d1".to_string()), None])
+            .unwrap());
+        assert!(!s
+            .exists("registered", &[Some("d9".to_string()), None])
+            .unwrap());
+        assert!(s
+            .exists(
+                "registered",
+                &[Some("d1".to_string()), Some("p2".to_string())]
+            )
+            .unwrap());
+        assert!(s.exists("registered", &[None, None]).unwrap());
+        s.retract("registered", &t2("d1", "p1")).unwrap();
+        s.retract("registered", &t2("d1", "p2")).unwrap();
+        assert!(!s.exists("registered", &[None, None]).unwrap());
+        assert_eq!(
+            s.exists("ghost", &[None]),
+            Err(FactError::UnknownRelation("ghost".into()))
+        );
+    }
+
+    #[test]
+    fn epoch_counts_effective_changes_only() {
+        let s = store();
+        assert_eq!(s.epoch(), 0);
+        s.insert("registered", t2("d", "p")).unwrap();
+        assert_eq!(s.epoch(), 1);
+        s.insert("registered", t2("d", "p")).unwrap(); // duplicate
+        assert_eq!(s.epoch(), 1);
+        s.retract("registered", &t2("d", "p")).unwrap();
+        assert_eq!(s.epoch(), 2);
+        s.retract("registered", &t2("d", "p")).unwrap(); // absent
+        assert_eq!(s.epoch(), 2);
     }
 
     #[test]

@@ -2,7 +2,7 @@
 
 use std::sync::Arc;
 
-use oasis_core::{Atom, OasisService, ServiceId};
+use oasis_core::{Atom, OasisService, ServiceId, Term};
 
 use crate::ast::*;
 use crate::check::referenced_relations;
@@ -35,21 +35,68 @@ pub(crate) fn apply(ast: &PolicyAst, service: &Arc<OasisService>) -> Result<(), 
     }
 
     for rule in &block.rules {
-        let conditions: Vec<Atom> = rule.conditions.iter().map(compile_condition).collect();
+        let compiled: Vec<Atom> = rule.conditions.iter().map(compile_condition).collect();
+        let (conditions, membership) = fold_conditions(compiled, rule.effective_membership());
         service.add_activation_rule(
             rule.role.as_str(),
             rule.head_args.clone(),
             conditions,
-            rule.effective_membership(),
+            membership,
         )?;
     }
 
     for inv in &block.invocations {
-        let conditions: Vec<Atom> = inv.conditions.iter().map(compile_condition).collect();
+        let compiled: Vec<Atom> = inv.conditions.iter().map(compile_condition).collect();
+        let (conditions, _) = fold_conditions(compiled, Vec::new());
         service.add_invocation_rule(inv.method.as_str(), inv.head_args.clone(), conditions);
     }
 
     Ok(())
+}
+
+/// Drops tautological constant comparisons (`env 1 < 2`) from a lowered
+/// rule body, remapping the membership indices across the removals; a
+/// membership entry naming a dropped condition is itself dropped (a
+/// tautology needs no retention). *False* constant comparisons are kept
+/// — the core engine proves the rule unsatisfiable at plan-compile time,
+/// and the reference solver fails on the atom, so behaviour is
+/// identical either way.
+fn fold_conditions(atoms: Vec<Atom>, membership: Vec<usize>) -> (Vec<Atom>, Vec<usize>) {
+    let tautology = |atom: &Atom| {
+        matches!(
+            atom,
+            Atom::EnvCompare {
+                left: Term::Const(l),
+                op,
+                right: Term::Const(r),
+            } if op.eval(l, r)
+        )
+    };
+    if !atoms.iter().any(tautology) {
+        return (atoms, membership);
+    }
+    // remap[i] = new index of old condition i, or None if dropped.
+    let mut remap: Vec<Option<usize>> = Vec::with_capacity(atoms.len());
+    let mut kept: Vec<Atom> = Vec::with_capacity(atoms.len());
+    for atom in atoms {
+        if tautology(&atom) {
+            remap.push(None);
+        } else {
+            remap.push(Some(kept.len()));
+            kept.push(atom);
+        }
+    }
+    let membership = membership
+        .into_iter()
+        .filter_map(|i| match remap.get(i) {
+            Some(mapped) => *mapped,
+            // Out of range: keep as-is so rule validation still reports
+            // the bad index (it cannot alias a kept condition, since the
+            // kept list is no longer than the original).
+            None => Some(i),
+        })
+        .collect();
+    (kept, membership)
 }
 
 fn compile_condition(cond: &Condition) -> Atom {
