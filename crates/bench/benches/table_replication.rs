@@ -1,0 +1,215 @@
+//! TAB-H — quorum-replicated journal: append cost, failover time, and
+//! recovery gap vs replica count.
+//!
+//! The paper's ref [10] assumes the Certificate Issuing & Validation
+//! service survives node loss. PR 6 makes the journal a replicated log:
+//! every append is quorum-committed (`floor(n/2)+1` acks) before the
+//! caller proceeds. This table quantifies the robustness bill across
+//! cluster sizes 1 (unreplicated baseline), 3, and 5:
+//!
+//! * **append** — wall-clock cost of one quorum-committed journal
+//!   append through `ReplicatedStore` (in-process `LocalMesh`
+//!   transport, so the number measures protocol + fan-out cost, not
+//!   the network).
+//! * **failover** — virtual milliseconds from leader kill to a new
+//!   leader among the survivors (heartbeat 50ms, election timeout
+//!   150ms + deterministic per-id skew; driven on a 25ms tick grid).
+//! * **recovery gap** — quorum-acked entries missing on the promoted
+//!   leader after failover. The election restriction (vote quorum ∩
+//!   commit quorum ≠ ∅) makes this provably zero; the bench asserts
+//!   it stays zero across every trial.
+//!
+//! Reported (also emitted to `BENCH_replication.json`): append p50/p99
+//! per cluster size, failover p50/max, and the gap.
+
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use oasis::store::{LocalMesh, ReplicaConfig, ReplicaNode, ReplicatedStore, StorageBackend};
+use oasis_bench::table_header;
+
+/// Fixed record size so the journal length counts acked entries.
+const RECORD: &[u8] = b"0123456789abcdef";
+
+fn cluster(n: usize) -> (LocalMesh, Vec<Arc<ReplicaNode>>) {
+    let mesh = LocalMesh::new();
+    let ids: Vec<String> = (0..n).map(|i| format!("civ{i}")).collect();
+    let nodes: Vec<Arc<ReplicaNode>> = ids
+        .iter()
+        .enumerate()
+        .map(|(i, id)| {
+            let peers = ids.iter().filter(|p| *p != id).cloned().collect();
+            let cfg = ReplicaConfig::new(id.clone(), peers, format!("10.0.0.{i}:7450"));
+            let node = Arc::new(ReplicaNode::new(cfg, Arc::new(mesh.clone())));
+            mesh.register(Arc::clone(&node));
+            node
+        })
+        .collect();
+    (mesh, nodes)
+}
+
+fn settle(mesh: &LocalMesh) -> (Arc<ReplicaNode>, u64) {
+    let from = mesh.now();
+    for _ in 0..400 {
+        mesh.step(25);
+        if let Some(leader) = mesh.live_leader() {
+            return (leader, mesh.now() - from);
+        }
+    }
+    panic!("no leader elected after 400 steps");
+}
+
+fn leader_store(n: usize) -> (LocalMesh, Arc<ReplicaNode>, ReplicatedStore) {
+    let (mesh, _nodes) = cluster(n);
+    let (leader, _) = settle(&mesh);
+    let store = leader.replicated("journal");
+    (mesh, leader, store)
+}
+
+fn percentile(sorted: &[u64], p: f64) -> u64 {
+    let idx = ((p / 100.0) * (sorted.len() - 1) as f64).round() as usize;
+    sorted[idx]
+}
+
+/// One failover trial on a fresh `n`-node cluster: commit `pre`
+/// entries, kill the leader, and measure virtual time until a survivor
+/// leads, plus how many acked entries it is missing (the gap).
+fn failover_trial(n: usize, pre: usize) -> (u64, u64) {
+    let (mesh, leader, store) = leader_store(n);
+    for _ in 0..pre {
+        mesh.step(5);
+        store.append(RECORD).expect("healthy append commits");
+    }
+    mesh.kill(leader.id());
+    let (new_leader, failover_ms) = settle(&mesh);
+    let present = new_leader.region("journal").read().unwrap().len() / RECORD.len();
+    let gap = pre.saturating_sub(present) as u64;
+    (failover_ms, gap)
+}
+
+struct Series {
+    replicas: usize,
+    quorum: usize,
+    append_p50_us: f64,
+    append_p99_us: f64,
+    failover_p50_ms: Option<u64>,
+    failover_max_ms: Option<u64>,
+    recovery_gap_max: u64,
+    trials: usize,
+}
+
+fn replication_table() -> String {
+    const APPENDS: usize = 200;
+    const TRIALS: usize = 9;
+
+    table_header(
+        "TAB-H replicated journal: append cost, failover, recovery gap",
+        "quorum commit makes acked writes node-loss-safe at bounded cost",
+        "replicas  quorum  append p50  append p99  failover p50  gap",
+    );
+
+    let us = |ns: u64| ns as f64 / 1_000.0;
+    let mut series = Vec::new();
+    for n in [1usize, 3, 5] {
+        let (_mesh, leader, store) = leader_store(n);
+        let mut lat: Vec<u64> = (0..APPENDS)
+            .map(|_| {
+                let start = Instant::now();
+                store.append(RECORD).expect("append commits");
+                start.elapsed().as_nanos() as u64
+            })
+            .collect();
+        lat.sort_unstable();
+        assert_eq!(leader.stats().committed, APPENDS as u64);
+
+        // Failover is meaningless at n=1: the only node IS the data.
+        let (failovers, gaps): (Vec<u64>, Vec<u64>) = if n > 1 {
+            (0..TRIALS).map(|t| failover_trial(n, 4 + t)).unzip()
+        } else {
+            (Vec::new(), Vec::new())
+        };
+        let gap_max = gaps.iter().copied().max().unwrap_or(0);
+        assert_eq!(
+            gap_max, 0,
+            "{n} replicas: a quorum-acked entry went missing after failover"
+        );
+        let mut sorted_failovers = failovers.clone();
+        sorted_failovers.sort_unstable();
+
+        let s = Series {
+            replicas: n,
+            quorum: n / 2 + 1,
+            append_p50_us: us(percentile(&lat, 50.0)),
+            append_p99_us: us(percentile(&lat, 99.0)),
+            failover_p50_ms: (!sorted_failovers.is_empty())
+                .then(|| percentile(&sorted_failovers, 50.0)),
+            failover_max_ms: sorted_failovers.last().copied(),
+            recovery_gap_max: gap_max,
+            trials: failovers.len(),
+        };
+        println!(
+            "{:>8} {:>7} {:>9.1}us {:>9.1}us {:>11} {:>4}",
+            s.replicas,
+            s.quorum,
+            s.append_p50_us,
+            s.append_p99_us,
+            s.failover_p50_ms
+                .map_or("n/a".to_string(), |ms| format!("{ms}ms")),
+            s.recovery_gap_max,
+        );
+        series.push(s);
+    }
+
+    let json_series = series
+        .iter()
+        .map(|s| {
+            let fmt_opt = |v: Option<u64>| v.map_or("null".to_string(), |ms| ms.to_string());
+            format!(
+                "    {{\"replicas\": {}, \"quorum\": {}, \"append_p50_us\": {:.2}, \
+                 \"append_p99_us\": {:.2}, \"failover_p50_ms\": {}, \
+                 \"failover_max_ms\": {}, \"recovery_gap_max\": {}, \"failover_trials\": {}}}",
+                s.replicas,
+                s.quorum,
+                s.append_p50_us,
+                s.append_p99_us,
+                fmt_opt(s.failover_p50_ms),
+                fmt_opt(s.failover_max_ms),
+                s.recovery_gap_max,
+                s.trials,
+            )
+        })
+        .collect::<Vec<_>>()
+        .join(",\n");
+    format!(
+        "{{\n  \"bench\": \"table_replication\",\n  \"appends_per_series\": {},\n  \"series\": [\n{}\n  ]\n}}\n",
+        APPENDS, json_series,
+    )
+}
+
+fn bench_replication(c: &mut Criterion) {
+    let json = replication_table();
+    let out = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_replication.json");
+    std::fs::write(out, json).expect("write BENCH_replication.json");
+    println!("wrote {out}");
+
+    let mut group = c.benchmark_group("replication");
+    group
+        .sample_size(20)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(2));
+    for n in [1usize, 3, 5] {
+        group.bench_function(BenchmarkId::new("quorum_append", n), |b| {
+            let (_mesh, _leader, store) = leader_store(n);
+            b.iter(|| store.append(RECORD).expect("append commits"));
+        });
+    }
+    group.bench_function(BenchmarkId::new("failover", 3), |b| {
+        b.iter(|| failover_trial(3, 5));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_replication);
+criterion_main!(benches);

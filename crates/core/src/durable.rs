@@ -22,10 +22,11 @@
 //! the *meaning* of a journal record — what replaying it does to a
 //! service — is defined here.
 
+use oasis_events::{DeliveredEvent, Topic};
 use oasis_json::{FromJson, Json, JsonError, ToJson};
 use oasis_store::DurableStore;
 
-use crate::cert::{CredRecord, Crr};
+use crate::cert::{CertEvent, CredRecord, Crr};
 use crate::ids::{CertId, PrincipalId};
 use crate::rule::Atom;
 
@@ -96,6 +97,58 @@ pub enum SecurityEvent {
         /// Virtual time of the rotation.
         at: u64,
     },
+    /// This service published a retained event on its own revocation
+    /// topic, with the sequence numbers the bus assigned. Journalled
+    /// (and therefore replicated) so a restarted or failed-over node
+    /// can rebuild its retained ring with the *original* numbering and
+    /// keep serving gap-free `catch_up` replays to subscribers — the
+    /// publisher's ring is authoritative state, not a cache.
+    RetainedPublished {
+        /// The published event as the bus delivered it.
+        entry: RetainedEntry,
+    },
+}
+
+/// A retained publication in journal/snapshot form: a
+/// [`DeliveredEvent`] of the service's own revocation topic, with the
+/// bus-assigned sequence numbers that make replays gap-checkable.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RetainedEntry {
+    /// The topic published on (`cred.revoked.<this service>`).
+    pub topic: String,
+    /// Per-topic sequence the bus assigned.
+    pub topic_seq: u64,
+    /// Bus-global sequence the bus assigned.
+    pub global_seq: u64,
+    /// Virtual timestamp of the publication.
+    pub timestamp: u64,
+    /// The event payload.
+    pub event: CertEvent,
+}
+
+impl RetainedEntry {
+    /// Captures a delivered bus event for journalling.
+    pub fn from_delivered(event: &DeliveredEvent<CertEvent>) -> Self {
+        Self {
+            topic: event.topic.as_str().to_string(),
+            topic_seq: event.topic_seq,
+            global_seq: event.global_seq,
+            timestamp: event.timestamp,
+            event: event.payload.clone(),
+        }
+    }
+
+    /// Rebuilds the bus-side event for
+    /// [`EventBus::restore_retained`](oasis_events::EventBus::restore_retained).
+    pub fn to_delivered(&self) -> DeliveredEvent<CertEvent> {
+        DeliveredEvent {
+            topic: Topic::new(self.topic.clone()),
+            topic_seq: self.topic_seq,
+            global_seq: self.global_seq,
+            timestamp: self.timestamp,
+            payload: self.event.clone(),
+        }
+    }
 }
 
 /// One credential record plus its live dependency state, as captured in
@@ -134,6 +187,10 @@ pub struct ServiceSnapshot {
     pub records: Vec<SnapshotRecord>,
     /// Per-topic revocation watermarks at snapshot time.
     pub watermarks: Vec<Watermark>,
+    /// The service's own retained revocation ring at snapshot time, in
+    /// topic-sequence order. Restoring it lets a recovered (or
+    /// failed-over) publisher keep serving gap-free `catch_up` replays.
+    pub retained: Vec<RetainedEntry>,
 }
 
 /// What [`OasisService::recover`](crate::OasisService::recover) did.
@@ -160,6 +217,8 @@ pub struct RecoveryReport {
     /// True when state was restored and the service should catch up on
     /// missed revocation events before trusting its validation cache.
     pub catchup_required: bool,
+    /// Own-topic retained publications restored into the bus ring.
+    pub retained_restored: u64,
 }
 
 /// What one [`OasisService::catch_up`](crate::OasisService::catch_up)
@@ -236,6 +295,10 @@ impl ToJson for SecurityEvent {
                 "EpochChanged",
                 Json::obj(vec![("epoch", epoch.to_json()), ("at", at.to_json())]),
             )]),
+            SecurityEvent::RetainedPublished { entry } => Json::obj(vec![(
+                "RetainedPublished",
+                Json::obj(vec![("entry", entry.to_json())]),
+            )]),
         }
     }
 }
@@ -278,6 +341,9 @@ impl FromJson for SecurityEvent {
                 epoch: FromJson::from_json(payload.field("epoch")?)?,
                 at: FromJson::from_json(payload.field("at")?)?,
             }),
+            "RetainedPublished" => Ok(SecurityEvent::RetainedPublished {
+                entry: FromJson::from_json(payload.field("entry")?)?,
+            }),
             other => Err(JsonError::new(format!(
                 "unknown SecurityEvent variant `{other}`"
             ))),
@@ -301,6 +367,30 @@ impl FromJson for SnapshotRecord {
             record: FromJson::from_json(json.field("record")?)?,
             depends_on: FromJson::from_json(json.field("depends_on")?)?,
             retained_checks: FromJson::from_json(json.field("retained_checks")?)?,
+        })
+    }
+}
+
+impl ToJson for RetainedEntry {
+    fn to_json(&self) -> Json {
+        Json::obj(vec![
+            ("topic", self.topic.to_json()),
+            ("topic_seq", self.topic_seq.to_json()),
+            ("global_seq", self.global_seq.to_json()),
+            ("timestamp", self.timestamp.to_json()),
+            ("event", self.event.to_json()),
+        ])
+    }
+}
+
+impl FromJson for RetainedEntry {
+    fn from_json(json: &Json) -> Result<Self, JsonError> {
+        Ok(RetainedEntry {
+            topic: FromJson::from_json(json.field("topic")?)?,
+            topic_seq: FromJson::from_json(json.field("topic_seq")?)?,
+            global_seq: FromJson::from_json(json.field("global_seq")?)?,
+            timestamp: FromJson::from_json(json.field("timestamp")?)?,
+            event: FromJson::from_json(json.field("event")?)?,
         })
     }
 }
@@ -331,6 +421,7 @@ impl ToJson for ServiceSnapshot {
             ("next_cert", self.next_cert.to_json()),
             ("records", self.records.to_json()),
             ("watermarks", self.watermarks.to_json()),
+            ("retained", self.retained.to_json()),
         ])
     }
 }
@@ -341,6 +432,12 @@ impl FromJson for ServiceSnapshot {
             next_cert: FromJson::from_json(json.field("next_cert")?)?,
             records: FromJson::from_json(json.field("records")?)?,
             watermarks: FromJson::from_json(json.field("watermarks")?)?,
+            // Absent in snapshots written before retained-ring
+            // replication existed: default to an empty ring.
+            retained: match json.get("retained") {
+                Some(value) => FromJson::from_json(value)?,
+                None => Vec::new(),
+            },
         })
     }
 }
@@ -406,9 +503,44 @@ mod tests {
                 crr,
             },
             SecurityEvent::EpochChanged { epoch: 2, at: 10 },
+            SecurityEvent::RetainedPublished {
+                entry: sample_retained(3),
+            },
         ] {
             round_trip(&event);
         }
+    }
+
+    fn sample_retained(topic_seq: u64) -> RetainedEntry {
+        RetainedEntry {
+            topic: "cred.revoked.svc".into(),
+            topic_seq,
+            global_seq: topic_seq + 10,
+            timestamp: 21,
+            event: crate::cert::CertEvent {
+                crr: Crr::new(ServiceId::new("svc"), CertId(topic_seq)),
+                kind: crate::cert::CertEventKind::Revoked {
+                    reason: "logout".into(),
+                },
+            },
+        }
+    }
+
+    #[test]
+    fn retained_entries_convert_to_and_from_delivered_events() {
+        let entry = sample_retained(5);
+        let delivered = entry.to_delivered();
+        assert_eq!(delivered.topic.as_str(), "cred.revoked.svc");
+        assert_eq!(RetainedEntry::from_delivered(&delivered), entry);
+    }
+
+    #[test]
+    fn snapshots_without_a_retained_field_still_parse() {
+        // A snapshot written before retained-ring replication existed.
+        let legacy = r#"{"next_cert":1,"records":[],"watermarks":[]}"#;
+        let snap: ServiceSnapshot = oasis_json::from_str(legacy).unwrap();
+        assert!(snap.retained.is_empty());
+        assert_eq!(snap.next_cert, 1);
     }
 
     #[test]
@@ -432,6 +564,7 @@ mod tests {
                 topic_seq: 3,
                 global_seq: 12,
             }],
+            retained: vec![sample_retained(1), sample_retained(2)],
         });
     }
 

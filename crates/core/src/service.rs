@@ -68,8 +68,8 @@ use crate::cert::{
     Credential, CredentialKind, Crr, Rmc,
 };
 use crate::durable::{
-    CatchUpReport, RecoveryReport, SecurityEvent, ServiceJournal, ServiceSnapshot, SnapshotRecord,
-    Watermark,
+    CatchUpReport, RecoveryReport, RetainedEntry, SecurityEvent, ServiceJournal, ServiceSnapshot,
+    SnapshotRecord, Watermark,
 };
 use crate::env::EnvContext;
 use crate::error::OasisError;
@@ -256,6 +256,12 @@ struct Durable {
     crash_after_append: AtomicBool,
     /// topic → `(topic_seq, global_seq)` of the last bus event applied.
     watermarks: Mutex<HashMap<String, (u64, u64)>>,
+    /// True when the service retains its own revocation topic: every
+    /// own-topic publication is then journalled as
+    /// [`SecurityEvent::RetainedPublished`], so a recovered (or
+    /// replica-promoted) node rebuilds the retained ring with its
+    /// original sequence numbers and keeps serving gap-free catch-ups.
+    retain_publishes: bool,
 }
 
 /// Configuration for constructing an [`OasisService`].
@@ -672,6 +678,7 @@ impl OasisService {
                 catchup: AtomicBool::new(false),
                 crash_after_append: AtomicBool::new(false),
                 watermarks: Mutex::new(HashMap::new()),
+                retain_publishes: config.revocation_retention.is_some(),
             }),
             validator: RwLock::new(None),
             overload: RwLock::new(None),
@@ -911,10 +918,20 @@ impl OasisService {
         drop(commit);
         records.sort_by_key(|r| r.record.crr.cert_id.0);
         let watermarks = self.watermarks();
+        // Capture the own-topic retained ring (empty when retention is
+        // off): a replay from 0 returns exactly the ring contents.
+        let retained = self
+            .bus
+            .replay_after(&revocation_topic(&self.id), 0)
+            .0
+            .iter()
+            .map(RetainedEntry::from_delivered)
+            .collect();
         let snap = ServiceSnapshot {
             next_cert: self.next_cert.load(Ordering::Relaxed),
             records,
             watermarks,
+            retained,
         };
         let truncated = d
             .store
@@ -1040,6 +1057,10 @@ impl OasisService {
                 entry.1 = entry.1.max(mark.global_seq);
             }
         }
+        for entry in &snapshot.retained {
+            self.bus.restore_retained(entry.to_delivered());
+            report.retained_restored += 1;
+        }
     }
 
     /// Replays one journalled event. Idempotent: replaying an event
@@ -1119,6 +1140,13 @@ impl OasisService {
             // Secret material is never journalled; the epoch marker is
             // an audit fact, not replayable state.
             SecurityEvent::EpochChanged { .. } => {}
+            SecurityEvent::RetainedPublished { entry } => {
+                // Rebuild the own-topic retained ring with the original
+                // bus numbering; restore is idempotent and order-free,
+                // so snapshot/journal overlap is harmless.
+                self.bus.restore_retained(entry.to_delivered());
+                report.retained_restored += 1;
+            }
         }
     }
 
@@ -1337,6 +1365,37 @@ impl OasisService {
         }
         self.handle_revocation_event(&event.payload);
         self.maybe_autosnapshot();
+    }
+
+    /// Publishes on this service's own revocation topic and — when the
+    /// topic is retained and a journal is attached — journals the
+    /// publication with its bus-assigned sequence numbers
+    /// ([`SecurityEvent::RetainedPublished`]). The retained ring is the
+    /// authoritative source subscribers catch up from, so it must
+    /// survive a crash or replica failover with its numbering intact.
+    fn publish_revocation_event(&self, event: CertEvent, now: u64) {
+        let topic = revocation_topic(&self.id);
+        let (topic_seq, global_seq, _delivered) =
+            self.bus.publish_at_tracked(&topic, event.clone(), now);
+        if let Some(d) = self
+            .durable
+            .as_ref()
+            .filter(|d| d.retain_publishes && !d.replaying.load(Ordering::Relaxed))
+        {
+            let _commit = d.commit.read();
+            // Best-effort, like the CertRevoked append itself: losing
+            // the ring entry degrades catch-up completeness, never
+            // blocks the revocation.
+            let _ = self.journal(&SecurityEvent::RetainedPublished {
+                entry: RetainedEntry {
+                    topic: topic.as_str().to_string(),
+                    topic_seq,
+                    global_seq,
+                    timestamp: now,
+                    event,
+                },
+            });
+        }
     }
 
     // ------------------------------------------------------------------
@@ -2389,8 +2448,7 @@ impl OasisService {
         // Publishing triggers dependent collapse synchronously (subscribed
         // callbacks run on this thread, with no shard lock held) — the
         // "active security" property.
-        self.bus.publish_at(
-            &revocation_topic(&self.id),
+        self.publish_revocation_event(
             CertEvent {
                 crr,
                 kind: CertEventKind::Revoked {
@@ -2467,8 +2525,7 @@ impl OasisService {
         };
         self.audit
             .record(now, AuditKind::CertExpired { crr: crr.clone() });
-        self.bus.publish_at(
-            &revocation_topic(&self.id),
+        self.publish_revocation_event(
             CertEvent {
                 crr,
                 kind: CertEventKind::Revoked {

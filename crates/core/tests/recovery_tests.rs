@@ -337,6 +337,110 @@ fn catch_up_applies_revocations_published_while_down() {
 }
 
 #[test]
+fn recovered_publisher_serves_gap_free_catch_up_from_restored_ring() {
+    // The *publisher* crashes after revoking: its retained ring — the
+    // thing subscribers catch up from — must be rebuilt from the
+    // journal with the original sequence numbers, even on a brand-new
+    // bus (the failed-over-replica case).
+    let (store, jb, sb) = mem_store();
+    let bus: EventBus<oasis_core::CertEvent> = EventBus::new();
+    let facts = Arc::new(FactStore::new());
+    facts.define("password_ok", 1).unwrap();
+    facts
+        .insert("password_ok", vec![Value::id("alice")])
+        .unwrap();
+    let ctx = EnvContext::new(1);
+    let mut revoked = Vec::new();
+    {
+        let login = OasisService::new(
+            ServiceConfig::new("login")
+                .with_bus(bus)
+                .with_revocation_retention(64)
+                .with_journal(store),
+            Arc::clone(&facts),
+        );
+        install_login_policy(&login);
+        for i in 0..4 {
+            let rmc = login
+                .activate_role(
+                    &alice(),
+                    &RoleName::new("logged_in"),
+                    &[Value::id("alice")],
+                    &[],
+                    &ctx,
+                )
+                .unwrap();
+            if i % 2 == 0 {
+                assert!(login.revoke_certificate(rmc.crr.cert_id, "logout", 2 + i));
+                revoked.push(rmc.crr);
+            }
+        }
+        // Publisher crashes here; the old bus (and its ring) dies too.
+    }
+
+    let fresh_bus: EventBus<oasis_core::CertEvent> = EventBus::new();
+    let login = OasisService::new(
+        ServiceConfig::new("login")
+            .with_bus(fresh_bus.clone())
+            .with_revocation_retention(64)
+            .with_journal(reopen(&jb, &sb)),
+        facts,
+    );
+    install_login_policy(&login);
+    let report = login.recover(10).unwrap();
+    assert_eq!(report.retained_restored, 2, "both publications restored");
+
+    // A subscriber that had applied nothing asks for everything after 0:
+    // the replay must be gap-free with the original numbering.
+    let (events, complete) = login.replay_retained("cred.revoked.login", 0);
+    assert!(complete, "restored ring has no gaps");
+    assert_eq!(events.len(), 2);
+    assert_eq!(
+        events.iter().map(|e| e.topic_seq).collect::<Vec<_>>(),
+        vec![1, 2]
+    );
+    assert_eq!(
+        events
+            .iter()
+            .map(|e| e.payload.crr.clone())
+            .collect::<Vec<_>>(),
+        revoked
+    );
+
+    // New publications continue the sequence instead of colliding.
+    let rmc = login
+        .activate_role(
+            &alice(),
+            &RoleName::new("logged_in"),
+            &[Value::id("alice")],
+            &[],
+            &ctx,
+        )
+        .unwrap();
+    assert!(login.revoke_certificate(rmc.crr.cert_id, "logout", 11));
+    let (events, complete) = login.replay_retained("cred.revoked.login", 2);
+    assert!(complete);
+    assert_eq!(events.len(), 1);
+    assert_eq!(events[0].topic_seq, 3);
+
+    // Snapshot subsumes the ring: a second recovery from the snapshot
+    // alone restores all three entries.
+    login.snapshot().unwrap();
+    let login2 = OasisService::new(
+        ServiceConfig::new("login")
+            .with_bus(EventBus::new())
+            .with_revocation_retention(64)
+            .with_journal(reopen(&jb, &sb)),
+        Arc::new(FactStore::new()),
+    );
+    let report = login2.recover(12).unwrap();
+    assert_eq!(report.retained_restored, 3);
+    let (events, complete) = login2.replay_retained("cred.revoked.login", 0);
+    assert!(complete);
+    assert_eq!(events.len(), 3);
+}
+
+#[test]
 fn journal_append_failure_aborts_issuance() {
     // A store whose journal backend rejects appends after poisoning.
     let jb = MemBackend::new();

@@ -364,6 +364,18 @@ impl<M> EventBus<M> {
     where
         M: Clone,
     {
+        self.publish_at_tracked(topic, payload, timestamp).2
+    }
+
+    /// Like [`EventBus::publish_at`], but also returns the sequence
+    /// numbers the publication was assigned: `(topic_seq, global_seq,
+    /// delivered)`. Durable publishers journal these so a restarted
+    /// (or failed-over) node can restore its retained ring with the
+    /// *original* numbering and serve gap-free replays.
+    pub fn publish_at_tracked(&self, topic: &Topic, payload: M, timestamp: u64) -> (u64, u64, usize)
+    where
+        M: Clone,
+    {
         let global_seq = self.inner.global_seq.fetch_add(1, Ordering::Relaxed) + 1;
         let topic_seq = {
             let mut seqs = self.inner.topic_seq.lock();
@@ -439,7 +451,7 @@ impl<M> EventBus<M> {
                 );
             }
         }
-        delivered
+        (topic_seq, global_seq, delivered)
     }
 
     /// Copies `event` into the retained ring of its topic, if any
@@ -526,6 +538,54 @@ impl<M> EventBus<M> {
         let complete = events.len() as u64 == expected
             && events.first().map(|e| e.topic_seq) == Some(after_topic_seq + 1);
         (events, complete)
+    }
+
+    /// Restores a previously published event into its topic's retained
+    /// ring with its *original* sequence numbers, without delivering it
+    /// to any subscriber. Used by recovery: a restarted or failed-over
+    /// publisher replays its journalled publications through here so
+    /// [`EventBus::replay_after`] serves the same gap-free window the
+    /// lost node did.
+    ///
+    /// Idempotent (an event already in the ring is skipped) and
+    /// order-insensitive (events are inserted in `topic_seq` order).
+    /// The per-topic and global sequence counters are raised to cover
+    /// the event so later publications continue the numbering; this
+    /// happens even when no retention rule matches the topic.
+    pub fn restore_retained(&self, event: DeliveredEvent<M>)
+    where
+        M: Clone,
+    {
+        {
+            let mut seqs = self.inner.topic_seq.lock();
+            let entry = seqs.entry(event.topic.clone()).or_insert(0);
+            if event.topic_seq > *entry {
+                *entry = event.topic_seq;
+            }
+        }
+        self.inner
+            .global_seq
+            .fetch_max(event.global_seq, Ordering::Relaxed);
+        let retention = self.inner.retention.read();
+        let Some(cfg) = retention.iter().find(|c| c.pattern.matches(&event.topic)) else {
+            return;
+        };
+        let capacity = cfg.capacity;
+        drop(retention);
+        let mut rings = self.inner.rings.lock();
+        let ring = rings.entry(event.topic.clone()).or_default();
+        if ring.iter().any(|e| e.topic_seq == event.topic_seq) {
+            return;
+        }
+        let pos = ring.partition_point(|e| e.topic_seq < event.topic_seq);
+        ring.insert(pos, event);
+        while ring.len() > capacity {
+            ring.pop_front();
+            self.inner
+                .stats
+                .retained_evictions
+                .fetch_add(1, Ordering::Relaxed);
+        }
     }
 
     /// How many events the retained ring of `topic` currently holds.
@@ -917,5 +977,57 @@ mod tests {
         seqs.sort_unstable();
         seqs.dedup();
         assert_eq!(seqs.len(), 400, "global sequence numbers must be unique");
+    }
+
+    #[test]
+    fn restore_retained_rebuilds_gap_free_replay() {
+        let topic = Topic::new("cred.revoked.civ");
+        // Original bus publishes three retained events.
+        let bus: EventBus<u8> = EventBus::new();
+        bus.retain("cred.revoked.#", 16).unwrap();
+        let mut published = Vec::new();
+        for i in 1..=3u8 {
+            let (ts, gs, _) = bus.publish_at_tracked(&topic, i, u64::from(i) * 10);
+            published.push((ts, gs));
+        }
+        let (retained, complete) = bus.replay_after(&topic, 0);
+        assert!(complete);
+        // A failed-over bus restores from the journalled publications,
+        // delivered out of order and with one duplicate.
+        let promoted: EventBus<u8> = EventBus::new();
+        promoted.retain("cred.revoked.#", 16).unwrap();
+        promoted.restore_retained(retained[2].clone());
+        promoted.restore_retained(retained[0].clone());
+        promoted.restore_retained(retained[1].clone());
+        promoted.restore_retained(retained[1].clone());
+        let (replayed, complete) = promoted.replay_after(&topic, 0);
+        assert!(complete, "restored ring must serve a gap-free replay");
+        assert_eq!(replayed.len(), 3);
+        assert_eq!(
+            replayed.iter().map(|e| e.topic_seq).collect::<Vec<_>>(),
+            vec![1, 2, 3]
+        );
+        // Counters resumed: the next publication continues the numbering.
+        let (ts, gs, _) = promoted.publish_at_tracked(&topic, 9, 99);
+        assert_eq!(ts, 4);
+        assert!(gs > published[2].1);
+    }
+
+    #[test]
+    fn restore_retained_raises_counters_without_retention_rule() {
+        let topic = Topic::new("plain.topic");
+        let bus: EventBus<u8> = EventBus::new();
+        bus.restore_retained(DeliveredEvent {
+            topic: topic.clone(),
+            topic_seq: 7,
+            global_seq: 40,
+            timestamp: 0,
+            payload: 1,
+        });
+        assert_eq!(bus.topic_seq(&topic), 7);
+        assert_eq!(bus.retained_len(&topic), 0);
+        let (ts, gs, _) = bus.publish_at_tracked(&topic, 2, 0);
+        assert_eq!(ts, 8);
+        assert!(gs > 40);
     }
 }

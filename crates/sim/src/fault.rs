@@ -87,6 +87,26 @@ pub enum Fault {
         /// Distance of the flipped byte from the end of the journal.
         offset_from_end: u64,
     },
+    /// Kill whichever member of `group` is the replication leader at
+    /// the moment the fault fires. The plan cannot know the leader at
+    /// scripting time (an earlier fault may already have forced a
+    /// failover), so this accumulates as a pending kill that the
+    /// driver resolves against live cluster state via
+    /// [`FaultPlan::take_leader_kills`] and applies itself (e.g.
+    /// `LocalMesh::kill` in `oasis-store`).
+    KillLeader {
+        /// The replication group to decapitate.
+        group: Vec<NodeId>,
+    },
+    /// Cut `node` off from every member of `from` — a one-sided
+    /// network partition isolating a single node (the classic
+    /// "deposed leader keeps accepting doomed writes" scenario).
+    Isolate {
+        /// The node being fenced off.
+        node: NodeId,
+        /// The nodes it can no longer reach.
+        from: Vec<NodeId>,
+    },
 }
 
 /// Scripted damage to one node's durability journal, drained by the
@@ -139,6 +159,7 @@ pub struct FaultPlan {
     scheduled: Vec<(u64, Fault)>,
     paused: HashSet<NodeId>,
     journal_damage: Vec<(NodeId, JournalDamage)>,
+    leader_kills: Vec<Vec<NodeId>>,
 }
 
 impl FaultPlan {
@@ -218,6 +239,38 @@ impl FaultPlan {
         );
     }
 
+    /// Schedules the kill of whichever member of `group` leads the
+    /// replication group when the tick fires (driver-resolved — see
+    /// [`Fault::KillLeader`]).
+    pub fn kill_leader_at<I, N>(&mut self, tick: u64, group: I)
+    where
+        I: IntoIterator<Item = N>,
+        N: Into<NodeId>,
+    {
+        self.schedule(
+            tick,
+            Fault::KillLeader {
+                group: group.into_iter().map(Into::into).collect(),
+            },
+        );
+    }
+
+    /// Schedules the isolation of `node` from every member of `from`
+    /// at `tick`.
+    pub fn isolate_at<I, N>(&mut self, tick: u64, node: impl Into<NodeId>, from: I)
+    where
+        I: IntoIterator<Item = N>,
+        N: Into<NodeId>,
+    {
+        self.schedule(
+            tick,
+            Fault::Isolate {
+                node: node.into(),
+                from: from.into_iter().map(Into::into).collect(),
+            },
+        );
+    }
+
     /// Applies (and consumes) every fault scheduled at or before `now`,
     /// in schedule order, returning what was applied. Network faults act
     /// on `net`; heartbeat faults only update the pause set consulted by
@@ -252,6 +305,14 @@ impl FaultPlan {
                         },
                     ));
                 }
+                Fault::KillLeader { group } => {
+                    self.leader_kills.push(group.clone());
+                }
+                Fault::Isolate { node, from } => {
+                    for other in from {
+                        net.partition(node.clone(), other.clone());
+                    }
+                }
             }
         }
         applied
@@ -267,6 +328,14 @@ impl FaultPlan {
     /// backend before restarting the node.
     pub fn take_journal_damage(&mut self) -> Vec<(NodeId, JournalDamage)> {
         std::mem::take(&mut self.journal_damage)
+    }
+
+    /// Drains the pending leader kills: one group per fired
+    /// [`Fault::KillLeader`], in application order. The driver looks
+    /// up which group member currently leads and crashes it — the plan
+    /// stays deterministic while the victim is resolved live.
+    pub fn take_leader_kills(&mut self) -> Vec<Vec<NodeId>> {
+        std::mem::take(&mut self.leader_kills)
     }
 
     /// Faults not yet applied.
@@ -370,6 +439,43 @@ mod tests {
         );
         assert!(plan.take_journal_damage().is_empty(), "drained");
         assert_eq!(net.stats(), (0, 0), "no traffic side effects");
+    }
+
+    #[test]
+    fn kill_leader_accumulates_for_the_driver_to_resolve() {
+        let mut net = net();
+        let mut plan = FaultPlan::new();
+        plan.kill_leader_at(10, ["n0", "n1", "n2"]);
+
+        plan.apply_due(9, &mut net);
+        assert!(plan.take_leader_kills().is_empty());
+
+        let applied = plan.apply_due(10, &mut net);
+        assert_eq!(applied.len(), 1);
+        // The plan does not pick a victim; the driver resolves the
+        // live leader from the drained group.
+        let kills = plan.take_leader_kills();
+        let group: Vec<NodeId> = vec!["n0".into(), "n1".into(), "n2".into()];
+        assert_eq!(kills, vec![group]);
+        assert!(plan.take_leader_kills().is_empty(), "drained");
+        assert_eq!(net.stats(), (0, 0), "no direct net side effects");
+    }
+
+    #[test]
+    fn isolate_partitions_the_node_from_every_peer() {
+        let mut net = net();
+        let mut plan = FaultPlan::new();
+        plan.isolate_at(5, "leader", ["f1", "f2"]);
+        plan.heal_at(8, "leader", "f1");
+
+        plan.apply_due(5, &mut net);
+        assert!(net.is_partitioned("leader", "f1"));
+        assert!(net.is_partitioned("leader", "f2"));
+        assert!(!net.is_partitioned("f1", "f2"), "peers still connected");
+
+        plan.apply_due(8, &mut net);
+        assert!(!net.is_partitioned("leader", "f1"));
+        assert!(net.is_partitioned("leader", "f2"));
     }
 
     #[test]

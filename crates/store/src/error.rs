@@ -18,6 +18,25 @@ pub enum StoreError {
         /// Why the blob was rejected.
         reason: String,
     },
+
+    /// A replicated write was submitted to a node that is not the
+    /// current leader. The caller should re-dial `hint` (the leader's
+    /// client address) when known, or retry with backoff while an
+    /// election settles.
+    NotLeader {
+        /// The current leader's client address, if this node knows it.
+        hint: Option<String>,
+    },
+
+    /// A replicated write could not reach a majority of nodes. The
+    /// write is *not* acknowledged — it may exist on a minority and
+    /// will be overwritten by the next leader sync.
+    NoQuorum {
+        /// Acks required for commit (`floor(n/2)+1`).
+        needed: usize,
+        /// Acks actually collected (the writer included).
+        acked: usize,
+    },
 }
 
 impl fmt::Display for StoreError {
@@ -27,6 +46,13 @@ impl fmt::Display for StoreError {
             Self::Codec(e) => write!(f, "journal codec: {e}"),
             Self::CorruptSnapshot { reason } => {
                 write!(f, "snapshot rejected: {reason}")
+            }
+            Self::NotLeader { hint } => match hint {
+                Some(hint) => write!(f, "not the leader (leader at {hint})"),
+                None => write!(f, "not the leader (no leader known)"),
+            },
+            Self::NoQuorum { needed, acked } => {
+                write!(f, "no quorum: {acked}/{needed} acks")
             }
         }
     }

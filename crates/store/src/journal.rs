@@ -119,22 +119,44 @@ struct RawFrame<'a> {
     payload: &'a [u8],
 }
 
+/// Bounds-checked little-endian u32 read; `None` when the buffer is
+/// too short — a torn tail, never a panic.
+pub(crate) fn read_u32_le(bytes: &[u8], pos: usize) -> Option<u32> {
+    let raw = bytes.get(pos..pos.checked_add(4)?)?;
+    Some(u32::from_le_bytes(raw.try_into().ok()?))
+}
+
+/// Bounds-checked little-endian u64 read; `None` when short.
+pub(crate) fn read_u64_le(bytes: &[u8], pos: usize) -> Option<u64> {
+    let raw = bytes.get(pos..pos.checked_add(8)?)?;
+    Some(u64::from_le_bytes(raw.try_into().ok()?))
+}
+
 /// Scans `bytes`, returning the valid frames and the byte length of
 /// the valid prefix. Stops (without failing) at the first frame that
 /// is truncated, has an implausible length, fails its checksum, or
-/// regresses the sequence number.
+/// regresses the sequence number. Every header field and the payload
+/// slice is read through a bounds-checked path, so a buffer shorter
+/// than its declared frame is a torn tail, never a panic.
 fn scan(bytes: &[u8]) -> (Vec<RawFrame<'_>>, usize) {
     let mut frames = Vec::new();
     let mut pos = 0usize;
     let mut last_seq = 0u64;
-    while bytes.len() - pos >= HEADER {
-        let len = u32::from_le_bytes(bytes[pos..pos + 4].try_into().unwrap()) as usize;
-        if len > MAX_PAYLOAD || bytes.len() - pos - HEADER < len {
+    while let Some(len) = read_u32_le(bytes, pos).map(|l| l as usize) {
+        if len > MAX_PAYLOAD {
             break;
         }
-        let seq = u64::from_le_bytes(bytes[pos + 4..pos + 12].try_into().unwrap());
-        let sum = u64::from_le_bytes(bytes[pos + 12..pos + 20].try_into().unwrap());
-        let payload = &bytes[pos + HEADER..pos + HEADER + len];
+        let (Some(seq), Some(sum)) = (read_u64_le(bytes, pos + 4), read_u64_le(bytes, pos + 12))
+        else {
+            break;
+        };
+        let Some(payload) = pos
+            .checked_add(HEADER)
+            .and_then(|start| Some(start..start.checked_add(len)?))
+            .and_then(|range| bytes.get(range))
+        else {
+            break;
+        };
         if checksum(seq, payload) != sum || (last_seq != 0 && seq <= last_seq) {
             break;
         }
@@ -296,6 +318,31 @@ mod tests {
         let (j2, tail) = Journal::<Note>::open(Arc::new(backend)).unwrap();
         assert!(!tail.torn);
         assert_eq!(j2.append(&Note("c".into())).unwrap(), 3);
+    }
+
+    #[test]
+    fn truncation_at_every_byte_heals_never_panics() {
+        let reference = {
+            let (j, backend) = mem_journal();
+            j.append(&Note("alpha".into())).unwrap();
+            j.append(&Note("beta".into())).unwrap();
+            backend.read().unwrap()
+        };
+        for cut in 0..reference.len() {
+            let backend = MemBackend::new();
+            backend.append_garbage(&reference[..cut]);
+            let (j, tail) = Journal::<Note>::open(Arc::new(backend)).unwrap();
+            let loaded = j.load().unwrap();
+            // A cut inside frame k keeps exactly the frames before it:
+            // open heals, load decodes, nothing panics.
+            assert!(loaded.records.len() <= 2, "cut {cut}");
+            if tail.torn {
+                assert!(tail.torn_bytes as usize <= cut, "cut {cut}");
+            } else {
+                // Only a frame boundary survives a cut untorn.
+                assert!(loaded.records.iter().all(|(s, _)| *s >= 1), "cut {cut}");
+            }
+        }
     }
 
     #[test]

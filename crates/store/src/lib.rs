@@ -36,11 +36,16 @@
 mod backend;
 mod error;
 mod journal;
+pub mod replicated;
 mod snapshot;
 
 pub use backend::{FileBackend, MemBackend, StorageBackend};
 pub use error::StoreError;
 pub use journal::{Journal, JournalStats, LoadedJournal, TailReport};
+pub use replicated::{
+    LocalMesh, LogEntry, PeerReply, PeerRequest, RegionOp, ReplicaConfig, ReplicaNode,
+    ReplicaStats, ReplicatedStore, ReplicationTransport, Role,
+};
 pub use snapshot::{SnapshotLoad, SnapshotStore};
 
 use std::path::Path;

@@ -89,16 +89,27 @@ impl<S: ToJson + FromJson> SnapshotStore<S> {
             snapshot: None,
             corrupt: true,
         };
-        if bytes.len() < HEADER {
+        // Every header field and the payload slice is read through a
+        // bounds-checked path: a blob shorter than its declared frame
+        // is corrupt, never a panic.
+        let Some(len) = crate::journal::read_u32_le(&bytes, 0).map(|l| l as usize) else {
+            return Ok(corrupt);
+        };
+        if len > MAX_PAYLOAD {
             return Ok(corrupt);
         }
-        let len = u32::from_le_bytes(bytes[..4].try_into().unwrap()) as usize;
-        if len > MAX_PAYLOAD || bytes.len() - HEADER < len {
+        let (Some(covered_seq), Some(sum)) = (
+            crate::journal::read_u64_le(&bytes, 4),
+            crate::journal::read_u64_le(&bytes, 12),
+        ) else {
             return Ok(corrupt);
-        }
-        let covered_seq = u64::from_le_bytes(bytes[4..12].try_into().unwrap());
-        let sum = u64::from_le_bytes(bytes[12..20].try_into().unwrap());
-        let payload = &bytes[HEADER..HEADER + len];
+        };
+        let Some(payload) = HEADER
+            .checked_add(len)
+            .and_then(|end| bytes.get(HEADER..end))
+        else {
+            return Ok(corrupt);
+        };
         if checksum(covered_seq, payload) != sum {
             return Ok(corrupt);
         }
@@ -114,5 +125,57 @@ impl<S: ToJson + FromJson> SnapshotStore<S> {
             snapshot: Some((covered_seq, state)),
             corrupt: false,
         })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::backend::MemBackend;
+    use oasis_json::JsonError;
+
+    #[derive(Debug, Clone, PartialEq)]
+    struct Blob(String);
+
+    impl ToJson for Blob {
+        fn to_json(&self) -> Json {
+            Json::str(self.0.clone())
+        }
+    }
+
+    impl FromJson for Blob {
+        fn from_json(json: &Json) -> Result<Self, JsonError> {
+            Ok(Blob(
+                json.as_str()
+                    .ok_or_else(|| JsonError::expected("string"))?
+                    .to_string(),
+            ))
+        }
+    }
+
+    #[test]
+    fn truncation_at_every_byte_is_corrupt_never_panics() {
+        let reference = {
+            let backend = MemBackend::new();
+            let store: SnapshotStore<Blob> = SnapshotStore::new(Arc::new(backend.clone()));
+            store.write(17, &Blob("snapshot-state".into())).unwrap();
+            backend.read().unwrap()
+        };
+        for cut in 0..=reference.len() {
+            let backend = MemBackend::new();
+            backend.append_garbage(&reference[..cut]);
+            let store: SnapshotStore<Blob> = SnapshotStore::new(Arc::new(backend));
+            let load = store.load().unwrap();
+            if cut == reference.len() {
+                assert_eq!(load.snapshot, Some((17, Blob("snapshot-state".into()))));
+                assert!(!load.corrupt);
+            } else if cut == 0 {
+                assert!(load.snapshot.is_none());
+                assert!(!load.corrupt);
+            } else {
+                assert!(load.snapshot.is_none(), "cut {cut}");
+                assert!(load.corrupt, "cut {cut}");
+            }
+        }
     }
 }

@@ -5,6 +5,7 @@ use std::time::Duration;
 
 use oasis_core::cert::Rmc;
 use oasis_core::durable::CatchUpReport;
+use oasis_core::retry::{Backoff, RetryPolicy};
 use oasis_core::{CertEvent, Credential, Crr, OasisService, PrincipalId, Value};
 use oasis_events::DeliveredEvent;
 
@@ -73,6 +74,9 @@ pub struct WireClient {
     /// Default deadline budget attached to every call (see
     /// [`WireClient::set_deadline_ms`]).
     deadline_ms: Option<u64>,
+    /// The timeouts this connection was dialled with, kept so
+    /// [`WireClient::reconnect`] re-dials identically.
+    timeouts: WireTimeouts,
 }
 
 impl std::fmt::Debug for WireClient {
@@ -140,7 +144,23 @@ impl WireClient {
         Ok(Self {
             stream,
             deadline_ms: None,
+            timeouts,
         })
+    }
+
+    /// Drops the current connection and re-dials the same peer with the
+    /// original timeouts, keeping the configured deadline budget. Used
+    /// after a transport failure whose cause may be transient (peer
+    /// restarting, leader re-elected).
+    ///
+    /// # Errors
+    ///
+    /// As [`WireClient::connect_with`].
+    pub fn reconnect(&mut self) -> Result<(), WireError> {
+        let peer = self.stream.peer_addr()?;
+        let fresh = Self::connect_with(peer, self.timeouts)?;
+        self.stream = fresh.stream;
+        Ok(())
     }
 
     /// Sets the default deadline budget (in ms) propagated with every
@@ -206,6 +226,7 @@ impl WireClient {
                 Err(WireError::Overloaded { retry_after_ms })
             }
             Some(Response::DeadlineExceeded) => Err(WireError::DeadlineExceeded),
+            Some(Response::NotLeader { hint }) => Err(WireError::NotLeader { hint }),
             Some(response) => Ok(response),
             None => Err(WireError::Closed),
         }
@@ -350,17 +371,63 @@ impl WireClient {
     /// clear [`OasisService::catchup_pending`]; incomplete ones drop
     /// every cached validation for the issuer instead.
     ///
+    /// Transient transport failures (expired deadlines, a dropped
+    /// connection, a replica mid-election answering `NotLeader`) are
+    /// retried under the default [`RetryPolicy`], re-dialling the peer
+    /// between attempts — catch-up runs right after a restart, exactly
+    /// when the rest of the federation may also be coming back up, so a
+    /// single timeout must not strand the service with a suspect cache.
+    ///
     /// # Errors
     ///
-    /// Transport errors, or [`WireError::UnexpectedResponse`].
+    /// The final transport error once retries are exhausted, or
+    /// [`WireError::UnexpectedResponse`].
     pub fn catch_up(
         &mut self,
         service: &OasisService,
         topic: &str,
         now: u64,
     ) -> Result<CatchUpReport, WireError> {
+        self.catch_up_with_retry(service, topic, now, RetryPolicy::default())
+    }
+
+    /// As [`WireClient::catch_up`], with an explicit retry schedule
+    /// (`RetryPolicy::none()` restores the old give-up-on-first-timeout
+    /// behaviour).
+    ///
+    /// # Errors
+    ///
+    /// As [`WireClient::catch_up`].
+    pub fn catch_up_with_retry(
+        &mut self,
+        service: &OasisService,
+        topic: &str,
+        now: u64,
+        retry: RetryPolicy,
+    ) -> Result<CatchUpReport, WireError> {
         let after = service.watermark_for(topic);
-        let (events, complete) = self.resync(topic, after)?;
+        let mut backoff = Backoff::new(retry);
+        let (events, complete) = loop {
+            match self.resync(topic, after) {
+                Ok(replay) => break replay,
+                // An authoritative answer (remote error, wrong variant)
+                // will not change on retry.
+                Err(e @ (WireError::Remote(_) | WireError::UnexpectedResponse(_))) => {
+                    return Err(e)
+                }
+                Err(transport) => match backoff.next_delay() {
+                    Some(delay) => {
+                        if !delay.is_zero() {
+                            std::thread::sleep(delay);
+                        }
+                        // Best-effort: a failed re-dial leaves the old
+                        // stream in place for the next attempt.
+                        let _ = self.reconnect();
+                    }
+                    None => return Err(transport),
+                },
+            }
+        };
         Ok(service.catch_up_with(topic, &events, complete, now))
     }
 }

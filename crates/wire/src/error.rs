@@ -41,6 +41,15 @@ pub enum WireError {
     /// server dropped it without doing work.
     DeadlineExceeded,
 
+    /// The addressed node is a replica follower (or mid-election): the
+    /// write must go to the leader. Transient — re-dial the hinted
+    /// address when present, or retry candidates with backoff while the
+    /// election settles (see [`FailoverClient`](crate::FailoverClient)).
+    NotLeader {
+        /// The current leader's client address, when the follower knows it.
+        hint: Option<String>,
+    },
+
     /// The server answered with an application error.
     Remote(String),
 
@@ -62,6 +71,10 @@ impl std::fmt::Display for WireError {
                 write!(f, "server overloaded: retry after {retry_after_ms}ms")
             }
             Self::DeadlineExceeded => write!(f, "deadline exceeded before execution"),
+            Self::NotLeader { hint } => match hint {
+                Some(hint) => write!(f, "not the leader (leader at {hint})"),
+                None => write!(f, "not the leader (no leader known)"),
+            },
             Self::Remote(message) => write!(f, "remote error: {message}"),
             Self::UnexpectedResponse(got) => {
                 write!(f, "protocol violation: unexpected response {got}")

@@ -38,8 +38,10 @@ pub mod frame;
 pub mod proto;
 mod server;
 mod sync_client;
+mod transport;
 
 pub use client::{WireClient, WireTimeouts};
 pub use error::WireError;
 pub use server::{ContextFactory, WireServer};
 pub use sync_client::{BlockingClient, RemoteValidator};
+pub use transport::{FailoverClient, WireTransport};

@@ -27,6 +27,7 @@ use oasis_core::cert::Rmc;
 use oasis_core::{CertEvent, Credential, Crr, Lane, PrincipalId, Value};
 use oasis_events::{DeliveredEvent, Topic};
 use oasis_json::{FromJson, Json, JsonError, ToJson};
+use oasis_store::{PeerReply, PeerRequest};
 
 /// A client-to-server message.
 #[derive(Debug, Clone, PartialEq)]
@@ -87,6 +88,14 @@ pub enum Request {
         /// The subscriber's watermark: replay strictly after this.
         after_topic_seq: u64,
     },
+    /// Replica-to-replica traffic for the replicated journal backend:
+    /// log replication (`Replicate`), leader election (`LeaderClaim`),
+    /// and full-state catch-up (`Sync`). Cluster-internal — ordinary
+    /// clients never send this.
+    Peer {
+        /// The replication protocol message.
+        req: PeerRequest,
+    },
     /// Liveness check.
     Ping,
 }
@@ -100,7 +109,10 @@ impl Request {
     /// retry.
     pub fn lane(&self) -> Lane {
         match self {
-            Request::Revoke { .. } | Request::Resync { .. } | Request::Ping => Lane::Control,
+            Request::Revoke { .. }
+            | Request::Resync { .. }
+            | Request::Peer { .. }
+            | Request::Ping => Lane::Control,
             Request::Validate { .. } => Lane::Validation,
             Request::Activate { .. } | Request::Invoke { .. } => Lane::Issuance,
         }
@@ -192,6 +204,18 @@ pub enum Response {
         /// evicted part of the requested range; the subscriber must
         /// treat its cached validations for this issuer as suspect.
         complete: bool,
+    },
+    /// Answer to a [`Request::Peer`] replication message.
+    PeerAck {
+        /// The replication protocol reply.
+        reply: PeerReply,
+    },
+    /// The addressed node is a replica follower (or an election is in
+    /// progress): writes must go to the leader. Re-dial `hint` when
+    /// present, or retry another candidate with backoff.
+    NotLeader {
+        /// The current leader's client address, when known.
+        hint: Option<String>,
     },
     /// Liveness answer.
     Pong,
@@ -345,6 +369,7 @@ impl ToJson for Request {
                     ("after_topic_seq", after_topic_seq.to_json()),
                 ],
             ),
+            Request::Peer { req } => tagged("Peer", vec![("req", req.to_json())]),
             Request::Ping => Json::Str("Ping".into()),
         }
     }
@@ -385,6 +410,9 @@ impl FromJson for Request {
                 topic: FromJson::from_json(body.field("topic")?)?,
                 after_topic_seq: FromJson::from_json(body.field("after_topic_seq")?)?,
             }),
+            "Peer" => Ok(Request::Peer {
+                req: FromJson::from_json(body.field("req")?)?,
+            }),
             other => Err(JsonError::new(format!("unknown Request variant `{other}`"))),
         }
     }
@@ -405,6 +433,17 @@ impl ToJson for Response {
                     ("events", events.to_json()),
                     ("complete", complete.to_json()),
                 ],
+            ),
+            Response::PeerAck { reply } => tagged("PeerAck", vec![("reply", reply.to_json())]),
+            Response::NotLeader { hint } => tagged(
+                "NotLeader",
+                vec![(
+                    "hint",
+                    match hint {
+                        Some(hint) => hint.to_json(),
+                        None => Json::Null,
+                    },
+                )],
             ),
             Response::Pong => Json::Str("Pong".into()),
             Response::Overloaded { retry_after_ms } => tagged(
@@ -439,6 +478,15 @@ impl FromJson for Response {
             "Resynced" => Ok(Response::Resynced {
                 events: FromJson::from_json(body.field("events")?)?,
                 complete: FromJson::from_json(body.field("complete")?)?,
+            }),
+            "PeerAck" => Ok(Response::PeerAck {
+                reply: FromJson::from_json(body.field("reply")?)?,
+            }),
+            "NotLeader" => Ok(Response::NotLeader {
+                hint: match body.field("hint")? {
+                    Json::Null => None,
+                    value => Some(FromJson::from_json(value)?),
+                },
             }),
             "Overloaded" => Ok(Response::Overloaded {
                 retry_after_ms: FromJson::from_json(body.field("retry_after_ms")?)?,
@@ -494,6 +542,15 @@ mod tests {
             Request::Resync {
                 topic: "cred.revoked.login".into(),
                 after_topic_seq: 41,
+            },
+            Request::Peer {
+                req: PeerRequest::LeaderClaim {
+                    term: 3,
+                    candidate: "b".into(),
+                    candidate_hint: "127.0.0.1:7451".into(),
+                    last_index: 9,
+                    last_term: 2,
+                },
             },
         ];
         for req in requests {
@@ -570,6 +627,16 @@ mod tests {
             Response::DeadlineExceeded,
             Response::Overloaded { retry_after_ms: 75 },
             Response::Revoked { was_active: true },
+            Response::PeerAck {
+                reply: PeerReply::Vote {
+                    term: 3,
+                    granted: true,
+                },
+            },
+            Response::NotLeader {
+                hint: Some("127.0.0.1:7451".into()),
+            },
+            Response::NotLeader { hint: None },
             Response::Error {
                 message: "no".into(),
             },

@@ -46,6 +46,7 @@ use oasis_core::{
     AdmissionController, AuditKind, CertId, Deadline, EnvContext, OasisService, OverloadConfig,
     Permit, PollOutcome, RoleName, Submission, Ticket,
 };
+use oasis_store::ReplicaNode;
 use parking_lot::{Condvar, Mutex};
 
 use crate::error::WireError;
@@ -73,6 +74,7 @@ pub struct WireServer {
     listener: TcpListener,
     context: ContextFactory,
     controller: Arc<AdmissionController>,
+    replica: Option<Arc<ReplicaNode>>,
 }
 
 impl std::fmt::Debug for WireServer {
@@ -113,7 +115,27 @@ impl WireServer {
             listener,
             context,
             controller,
+            replica: None,
         })
+    }
+
+    /// Attaches a replicated-journal node, making this server one member
+    /// of a CIV replica cluster:
+    ///
+    /// * [`Request::Peer`] frames (replication, election, sync) are
+    ///   routed to the node, bypassing admission — shedding a heartbeat
+    ///   under load would trigger a spurious election, exactly when the
+    ///   cluster is least able to afford one;
+    /// * every other request except `Ping` is refused with
+    ///   [`Response::NotLeader`] (carrying the leader's client address
+    ///   when known) unless this node currently leads — followers hold
+    ///   replicas of the journal, not the live service state;
+    /// * a background ticker drives heartbeats and election timeouts at
+    ///   half the configured heartbeat interval.
+    #[must_use]
+    pub fn with_replica(mut self, node: Arc<ReplicaNode>) -> Self {
+        self.replica = Some(node);
+        self
     }
 
     /// Replaces the overload configuration (worker-pool size, accept
@@ -155,14 +177,36 @@ impl WireServer {
     pub fn serve(self) -> Result<(), WireError> {
         let config = self.controller.config().clone();
         let rotation = Arc::new(Rotation::new());
+        if let Some(node) = &self.replica {
+            // Heartbeats (as leader) and election timeouts (as follower)
+            // both key off tick(); half the heartbeat interval keeps the
+            // jitter of a sleeping thread well inside the election
+            // timeout. The ticker dies with the process — no shutdown
+            // plumbing needed.
+            let node = Arc::clone(node);
+            let controller = Arc::clone(&self.controller);
+            let pace = Duration::from_millis(node.config().heartbeat_ms.max(2) / 2);
+            std::thread::spawn(move || loop {
+                node.tick(controller.now_ms());
+                std::thread::sleep(pace);
+            });
+        }
         for _ in 0..config.workers.max(1) {
             let rotation = Arc::clone(&rotation);
             let service = Arc::clone(&self.service);
             let context = Arc::clone(&self.context);
             let controller = Arc::clone(&self.controller);
+            let replica = self.replica.clone();
             let config = config.clone();
             std::thread::spawn(move || {
-                worker_loop(&rotation, &service, &context, &controller, &config);
+                worker_loop(
+                    &rotation,
+                    &service,
+                    &context,
+                    &controller,
+                    &replica,
+                    &config,
+                );
             });
         }
 
@@ -369,10 +413,11 @@ fn worker_loop(
     service: &Arc<OasisService>,
     context: &ContextFactory,
     controller: &Arc<AdmissionController>,
+    replica: &Option<Arc<ReplicaNode>>,
     config: &OverloadConfig,
 ) {
     while let Some(mut conn) = rotation.pop() {
-        if service_turn(&mut conn, service, context, controller, config) {
+        if service_turn(&mut conn, service, context, controller, replica, config) {
             rotation.push_back(conn);
         }
         // else: the connection is dropped here (hangup, error, idle-out).
@@ -387,6 +432,7 @@ fn service_turn(
     service: &Arc<OasisService>,
     context: &ContextFactory,
     controller: &Arc<AdmissionController>,
+    replica: &Option<Arc<ReplicaNode>>,
     config: &OverloadConfig,
 ) -> bool {
     // A request already queued in its lane: one non-blocking poll. The
@@ -437,7 +483,7 @@ fn service_turn(
             };
             conn.last_active_ms = controller.now_ms();
             conn.envelope_seen |= envelope.deadline_ms.is_some();
-            admit_one(conn, service, context, controller, envelope)
+            admit_one(conn, service, context, controller, replica, envelope)
         }
     }
 }
@@ -450,8 +496,27 @@ fn admit_one(
     service: &Arc<OasisService>,
     context: &ContextFactory,
     controller: &Arc<AdmissionController>,
+    replica: &Option<Arc<ReplicaNode>>,
     envelope: Envelope,
 ) -> bool {
+    if let Some(node) = replica {
+        // Replication traffic bypasses admission entirely: a heartbeat
+        // shed under load reads as a dead leader and forces an election
+        // at the worst possible moment. Peer frames are small, cheap,
+        // and bounded by cluster size, not client load.
+        if let Request::Peer { req } = &envelope.request {
+            let reply = node.handle(req, controller.now_ms());
+            return respond(conn, controller, &Response::PeerAck { reply });
+        }
+        // Followers hold journal replicas, not live service state:
+        // everything except liveness checks must go to the leader.
+        if !matches!(envelope.request, Request::Ping) && !node.is_leader() {
+            let response = Response::NotLeader {
+                hint: node.leader_hint(),
+            };
+            return respond(conn, controller, &response);
+        }
+    }
     let lane = envelope.request.lane();
     let deadline = Deadline::from_budget(controller.now_ms(), envelope.deadline_ms);
     match controller.submit(lane, deadline) {
@@ -597,6 +662,11 @@ fn handle_request(
                 complete,
             }
         }
+        // Peer frames are answered in `admit_one` when a replica node is
+        // attached; reaching here means this server is not a replica.
+        Request::Peer { .. } => Response::Error {
+            message: "replication is not enabled on this node".into(),
+        },
     }
 }
 

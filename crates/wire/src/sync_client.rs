@@ -166,11 +166,13 @@ impl CredentialValidator for RemoteValidator {
         now: u64,
     ) -> Result<(), OasisError> {
         let issuer = credential.issuer().clone();
-        let Some(addr) = self.issuers.lock().get(&issuer).copied() else {
-            return Err(OasisError::NoValidator(issuer));
-        };
         let mut backoff = Backoff::new(self.retry);
         loop {
+            // Re-read the directory each attempt: a `NotLeader` hint
+            // below may have repointed this issuer at the new leader.
+            let Some(addr) = self.issuers.lock().get(&issuer).copied() else {
+                return Err(OasisError::NoValidator(issuer));
+            };
             match self.try_validate(&issuer, addr, credential, presenter, now) {
                 Ok(()) => return Ok(()),
                 // The issuer answered: authoritative, never retried.
@@ -192,6 +194,24 @@ impl CredentialValidator for RemoteValidator {
                 // Our propagated budget ran out server-side; same shape
                 // as a local deadline expiry. The connection stays good.
                 Err(WireError::DeadlineExceeded) => return Err(OasisError::IssuerTimeout(issuer)),
+                // The issuer is a replicated cluster and we dialled a
+                // follower: repoint the directory at the hinted leader
+                // (when given) and retry under the same schedule an
+                // election would need to settle anyway.
+                Err(WireError::NotLeader { hint }) => {
+                    self.connections.lock().remove(&issuer);
+                    if let Some(leader) = hint.as_deref().and_then(crate::transport::resolve_hint) {
+                        self.issuers.lock().insert(issuer.clone(), leader);
+                    }
+                    match backoff.next_delay() {
+                        Some(delay) => {
+                            if !delay.is_zero() {
+                                std::thread::sleep(delay);
+                            }
+                        }
+                        None => return Err(OasisError::NoValidator(issuer)),
+                    }
+                }
                 Err(transport) => {
                     // Broken or deadline-expired connection: drop it and
                     // re-dial after the backoff delay, if any remain.

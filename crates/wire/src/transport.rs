@@ -1,0 +1,371 @@
+//! Replication over TCP, and a leader-following client.
+//!
+//! Two adapters that connect the transport-agnostic replication core in
+//! `oasis-store` to real sockets:
+//!
+//! * [`WireTransport`] — the cluster-internal side: implements
+//!   [`ReplicationTransport`] by dialling each peer's `WireServer` and
+//!   exchanging [`Request::Peer`]/[`Response::PeerAck`] frames. Give one
+//!   to [`ReplicaNode::new`](oasis_store::ReplicaNode::new) and the
+//!   quorum-replicated journal works across processes and hosts.
+//! * [`FailoverClient`] — the client side: wraps a [`WireClient`] over a
+//!   list of candidate replica addresses, follows
+//!   [`Response::NotLeader`] hints to the current leader, and retries
+//!   through elections under a capped-backoff
+//!   [`RetryPolicy`](oasis_core::retry::RetryPolicy), so a caller sees
+//!   one logical service instead of N nodes.
+
+use std::collections::HashMap;
+use std::net::{SocketAddr, ToSocketAddrs};
+
+use parking_lot::Mutex;
+
+use oasis_core::cert::Rmc;
+use oasis_core::durable::CatchUpReport;
+use oasis_core::retry::{Backoff, RetryPolicy};
+use oasis_core::{CertEvent, Credential, OasisService, PrincipalId, Value};
+use oasis_events::DeliveredEvent;
+use oasis_store::{PeerReply, PeerRequest, ReplicationTransport, StoreError};
+
+use crate::client::{WireClient, WireTimeouts};
+use crate::error::WireError;
+use crate::proto::{Request, Response};
+
+/// [`ReplicationTransport`] over TCP: resolves peer node ids to
+/// addresses through a static directory and keeps one cached
+/// [`WireClient`] per peer.
+///
+/// A transport error drops the cached connection (the peer may be
+/// restarting) and surfaces as [`StoreError::Io`]; the replication core
+/// treats the peer as unreachable for that round and the next round
+/// re-dials. No retries happen here — the replication protocol already
+/// tolerates lost rounds, and blocking a heartbeat fan-out on backoff
+/// would slow every peer behind the broken one.
+pub struct WireTransport {
+    peers: HashMap<String, SocketAddr>,
+    connections: Mutex<HashMap<String, WireClient>>,
+    timeouts: WireTimeouts,
+}
+
+impl std::fmt::Debug for WireTransport {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("WireTransport")
+            .field("peers", &self.peers)
+            .finish()
+    }
+}
+
+impl WireTransport {
+    /// Builds a transport over a `node id -> address` directory, using
+    /// short per-operation deadlines (one second): replication rounds
+    /// run on the leader's heartbeat cadence, so a slow peer must cost
+    /// bounded time, not a default five-second stall per round.
+    pub fn new(peers: impl IntoIterator<Item = (String, SocketAddr)>) -> Self {
+        Self::with_timeouts(peers, WireTimeouts::all(std::time::Duration::from_secs(1)))
+    }
+
+    /// As [`WireTransport::new`] with explicit socket deadlines.
+    pub fn with_timeouts(
+        peers: impl IntoIterator<Item = (String, SocketAddr)>,
+        timeouts: WireTimeouts,
+    ) -> Self {
+        Self {
+            peers: peers.into_iter().collect(),
+            connections: Mutex::new(HashMap::new()),
+            timeouts,
+        }
+    }
+
+    fn try_call(
+        &self,
+        peer: &str,
+        addr: SocketAddr,
+        req: &PeerRequest,
+    ) -> Result<PeerReply, WireError> {
+        let mut connections = self.connections.lock();
+        let client = match connections.entry(peer.to_string()) {
+            std::collections::hash_map::Entry::Occupied(e) => e.into_mut(),
+            std::collections::hash_map::Entry::Vacant(e) => {
+                e.insert(WireClient::connect_with(addr, self.timeouts)?)
+            }
+        };
+        match client.call(&Request::Peer { req: req.clone() }) {
+            Ok(Response::PeerAck { reply }) => Ok(reply),
+            Ok(other) => Err(WireError::UnexpectedResponse(format!("{other:?}"))),
+            Err(e) => Err(e),
+        }
+    }
+}
+
+impl ReplicationTransport for WireTransport {
+    fn call(&self, peer: &str, req: &PeerRequest) -> Result<PeerReply, StoreError> {
+        let Some(addr) = self.peers.get(peer).copied() else {
+            return Err(StoreError::Io(format!("unknown peer `{peer}`")));
+        };
+        self.try_call(peer, addr, req).map_err(|e| {
+            // Whatever went wrong, the cached stream is suspect.
+            self.connections.lock().remove(peer);
+            StoreError::Io(format!("peer `{peer}`: {e}"))
+        })
+    }
+}
+
+/// A client over a replicated CIV cluster that always talks to the
+/// leader.
+///
+/// Holds the candidate addresses of every replica. Each call dials (or
+/// reuses) a connection; a [`WireError::NotLeader`] answer re-dials the
+/// hinted leader address immediately, an unhinted one (mid-election)
+/// rotates to the next candidate after a backoff delay, and transport
+/// errors (dead node) likewise rotate. The whole chase is bounded by the
+/// configured [`RetryPolicy`] — when the cluster genuinely has no
+/// quorum, the caller gets the last error instead of an infinite loop.
+pub struct FailoverClient {
+    candidates: Vec<String>,
+    /// Index into `candidates` to try next when no hint is available.
+    cursor: usize,
+    conn: Option<WireClient>,
+    timeouts: WireTimeouts,
+    retry: RetryPolicy,
+    deadline_ms: Option<u64>,
+}
+
+impl std::fmt::Debug for FailoverClient {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("FailoverClient")
+            .field("candidates", &self.candidates)
+            .field("connected", &self.conn.is_some())
+            .finish()
+    }
+}
+
+impl FailoverClient {
+    /// A client over `candidates` (replica client addresses, any order)
+    /// with default timeouts and the default retry schedule.
+    pub fn new(candidates: impl IntoIterator<Item = impl Into<String>>) -> Self {
+        Self {
+            candidates: candidates.into_iter().map(Into::into).collect(),
+            cursor: 0,
+            conn: None,
+            timeouts: WireTimeouts::default(),
+            retry: RetryPolicy::default(),
+            deadline_ms: None,
+        }
+    }
+
+    /// Replaces the socket deadlines used when dialling.
+    #[must_use]
+    pub fn with_timeouts(mut self, timeouts: WireTimeouts) -> Self {
+        self.timeouts = timeouts;
+        self
+    }
+
+    /// Replaces the retry schedule bounding each leader chase.
+    #[must_use]
+    pub fn with_retry(mut self, retry: RetryPolicy) -> Self {
+        self.retry = retry;
+        self
+    }
+
+    /// Propagates a deadline budget (ms) with every call.
+    #[must_use]
+    pub fn with_deadline_ms(mut self, deadline_ms: u64) -> Self {
+        self.deadline_ms = Some(deadline_ms);
+        self
+    }
+
+    /// Connects to `addr`, replacing any cached connection.
+    fn dial(&mut self, addr: &str) -> Result<(), WireError> {
+        let mut client = WireClient::connect_with(addr, self.timeouts)?;
+        client.set_deadline_ms(self.deadline_ms);
+        self.conn = Some(client);
+        Ok(())
+    }
+
+    /// The next candidate address in rotation.
+    fn next_candidate(&mut self) -> String {
+        let addr = self.candidates[self.cursor % self.candidates.len()].clone();
+        self.cursor = (self.cursor + 1) % self.candidates.len();
+        addr
+    }
+
+    /// One request against the current leader, chasing `NotLeader` hints
+    /// and rotating candidates under the retry schedule.
+    ///
+    /// # Errors
+    ///
+    /// The final error once the schedule is exhausted: transport errors,
+    /// [`WireError::NotLeader`] when no leader emerged in time, or any
+    /// authoritative server answer ([`WireError::Remote`],
+    /// [`WireError::Overloaded`], [`WireError::DeadlineExceeded`]) which
+    /// is returned immediately without retrying.
+    pub fn call(&mut self, request: &Request) -> Result<Response, WireError> {
+        assert!(
+            !self.candidates.is_empty(),
+            "FailoverClient needs at least one candidate address"
+        );
+        let mut backoff = Backoff::new(self.retry);
+        loop {
+            // Ensure a connection, rotating candidates on dial failure.
+            if self.conn.is_none() {
+                let addr = self.next_candidate();
+                if let Err(dial_err) = self.dial(&addr) {
+                    match backoff.next_delay() {
+                        Some(delay) => {
+                            if !delay.is_zero() {
+                                std::thread::sleep(delay);
+                            }
+                            continue;
+                        }
+                        None => return Err(dial_err),
+                    }
+                }
+            }
+            let conn = self.conn.as_mut().expect("connection established above");
+            match conn.call(request) {
+                Ok(response) => return Ok(response),
+                Err(WireError::NotLeader { hint }) => {
+                    // The follower is alive; only the *role* is wrong.
+                    // A hint is followed for free (no backoff charge —
+                    // it names the leader); without one the election is
+                    // still settling, so wait before probing the next
+                    // candidate.
+                    self.conn = None;
+                    // Hinted leader unreachable falls through to the
+                    // normal rotation below.
+                    if hint.is_some_and(|leader| self.dial(&leader).is_ok()) {
+                        continue;
+                    }
+                    match backoff.next_delay() {
+                        Some(delay) => {
+                            if !delay.is_zero() {
+                                std::thread::sleep(delay);
+                            }
+                        }
+                        None => return Err(WireError::NotLeader { hint: None }),
+                    }
+                }
+                // Authoritative answers: the server executed (or
+                // deliberately refused) the request. Never retried here.
+                Err(
+                    e @ (WireError::Remote(_)
+                    | WireError::Overloaded { .. }
+                    | WireError::DeadlineExceeded
+                    | WireError::UnexpectedResponse(_)),
+                ) => return Err(e),
+                Err(transport) => {
+                    // Dead or partitioned node: drop it, rotate.
+                    self.conn = None;
+                    match backoff.next_delay() {
+                        Some(delay) => {
+                            if !delay.is_zero() {
+                                std::thread::sleep(delay);
+                            }
+                        }
+                        None => return Err(transport),
+                    }
+                }
+            }
+        }
+    }
+
+    /// Liveness check against whichever node answers.
+    ///
+    /// # Errors
+    ///
+    /// As [`FailoverClient::call`].
+    pub fn ping(&mut self) -> Result<(), WireError> {
+        match self.call(&Request::Ping)? {
+            Response::Pong => Ok(()),
+            other => Err(WireError::UnexpectedResponse(format!("{other:?}"))),
+        }
+    }
+
+    /// Activates a role at the cluster leader.
+    ///
+    /// # Errors
+    ///
+    /// As [`FailoverClient::call`].
+    pub fn activate(
+        &mut self,
+        principal: &PrincipalId,
+        role: &str,
+        args: Vec<Value>,
+        credentials: Vec<Credential>,
+        now: u64,
+    ) -> Result<Rmc, WireError> {
+        let request = Request::Activate {
+            principal: principal.clone(),
+            role: role.to_string(),
+            args,
+            credentials,
+            now,
+        };
+        match self.call(&request)? {
+            Response::Activated { rmc } => Ok(*rmc),
+            other => Err(WireError::UnexpectedResponse(format!("{other:?}"))),
+        }
+    }
+
+    /// Revokes a certificate at the cluster leader.
+    ///
+    /// # Errors
+    ///
+    /// As [`FailoverClient::call`].
+    pub fn revoke(&mut self, cert_id: u64, reason: &str, now: u64) -> Result<bool, WireError> {
+        let request = Request::Revoke {
+            cert_id,
+            reason: reason.to_string(),
+            now,
+        };
+        match self.call(&request)? {
+            Response::Revoked { was_active } => Ok(was_active),
+            other => Err(WireError::UnexpectedResponse(format!("{other:?}"))),
+        }
+    }
+
+    /// Replays the leader's retained revocation ring after a watermark.
+    ///
+    /// # Errors
+    ///
+    /// As [`FailoverClient::call`].
+    pub fn resync(
+        &mut self,
+        topic: &str,
+        after_topic_seq: u64,
+    ) -> Result<(Vec<DeliveredEvent<CertEvent>>, bool), WireError> {
+        let request = Request::Resync {
+            topic: topic.to_string(),
+            after_topic_seq,
+        };
+        match self.call(&request)? {
+            Response::Resynced { events, complete } => {
+                Ok((events.into_iter().map(Into::into).collect(), complete))
+            }
+            other => Err(WireError::UnexpectedResponse(format!("{other:?}"))),
+        }
+    }
+
+    /// One full catch-up cycle against the cluster: fetch the missed
+    /// revocations after `service`'s watermark from whichever node leads
+    /// and apply them (see [`WireClient::catch_up`]).
+    ///
+    /// # Errors
+    ///
+    /// As [`FailoverClient::call`].
+    pub fn catch_up(
+        &mut self,
+        service: &OasisService,
+        topic: &str,
+        now: u64,
+    ) -> Result<CatchUpReport, WireError> {
+        let after = service.watermark_for(topic);
+        let (events, complete) = self.resync(topic, after)?;
+        Ok(service.catch_up_with(topic, &events, complete, now))
+    }
+}
+
+/// Resolves a `host:port` hint string to a socket address.
+pub(crate) fn resolve_hint(hint: &str) -> Option<SocketAddr> {
+    hint.to_socket_addrs().ok()?.next()
+}

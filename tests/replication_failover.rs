@@ -1,0 +1,398 @@
+//! Chaos: a quorum-replicated CIV losing its leader mid-revocation-storm.
+//!
+//! A three-node replication group hosts a durable login issuer whose
+//! journal and snapshot regions write through the quorum path
+//! (`ReplicatedStore`). A scripted [`Fault::KillLeader`] decapitates the
+//! group in the middle of a revocation storm; the survivors elect a new
+//! leader, a fresh service instance is promoted over its replicated
+//! regions, and the storm continues. The invariants:
+//!
+//! 1. **No acknowledged event is lost** — every revocation the old
+//!    leader quorum-acked is present (status `Revoked`) on the promoted
+//!    node after recovery, with its retained ring entry intact.
+//! 2. **Catch-up stays gap-free across the failover** — the promoted
+//!    node's retained ring replays `complete` with contiguous topic
+//!    sequence numbers, and post-failover revocations continue the
+//!    sequence with no gap and no reuse.
+//! 3. **No stale certificate is accepted** — validating a certificate
+//!    revoked *before* the kill against the promoted node denies.
+//! 4. **The dead node rejoins as a follower** — revived, it is
+//!    state-transferred to the new leader's log and serves no writes.
+//!
+//! The run is deterministic per seed (`CHAOS_SEED`, default 42; the seed
+//! varies where in the storm the kill lands) and writes a JSONL trace to
+//! `target/chaos/replication-<seed>.jsonl` for post-mortem inspection.
+
+use std::sync::Arc;
+
+use oasis::sim::{Fault, FaultPlan, Latency, LinkConfig, SimNet};
+use oasis::store::{LocalMesh, ReplicaConfig, ReplicaNode, StorageBackend};
+use oasis_core::cert::Rmc;
+use oasis_core::{
+    Atom, CredStatus, Credential, CredentialValidator, EnvContext, LocalRegistry, OasisService,
+    PrincipalId, RoleName, ServiceConfig, ServiceJournal, Term, Value, ValueType,
+};
+use oasis_crypto::{IssuerSecret, SecretKey};
+use oasis_facts::FactStore;
+
+fn alice() -> PrincipalId {
+    PrincipalId::new("alice")
+}
+
+/// Builds the three-node mesh; each node's regions default to fresh
+/// in-memory backends, which is exactly what a diskless replica is.
+fn cluster(n: usize) -> (LocalMesh, Vec<Arc<ReplicaNode>>) {
+    let mesh = LocalMesh::new();
+    let ids: Vec<String> = (0..n).map(|i| format!("civ{i}")).collect();
+    let nodes: Vec<Arc<ReplicaNode>> = ids
+        .iter()
+        .enumerate()
+        .map(|(i, id)| {
+            let peers = ids.iter().filter(|p| *p != id).cloned().collect();
+            let cfg = ReplicaConfig::new(id.clone(), peers, format!("127.0.0.1:{}", 9700 + i));
+            let node = Arc::new(ReplicaNode::new(cfg, Arc::new(mesh.clone())));
+            mesh.register(Arc::clone(&node));
+            node
+        })
+        .collect();
+    (mesh, nodes)
+}
+
+/// Steps virtual time until exactly one live leader exists, returning
+/// it and the number of milliseconds the election took.
+fn settle(mesh: &LocalMesh) -> (Arc<ReplicaNode>, u64) {
+    let from = mesh.now();
+    for _ in 0..400 {
+        mesh.step(25);
+        if let Some(leader) = mesh.live_leader() {
+            return (leader, mesh.now() - from);
+        }
+    }
+    panic!("no leader elected after 400 steps");
+}
+
+/// A durable login issuer whose journal and snapshot are `node`'s
+/// replicated regions: every journalled security event is a quorum
+/// write. Policy is configuration, not state — reinstalled on every
+/// (re)build, as `recover` requires.
+fn durable_login(node: &Arc<ReplicaNode>, facts: &Arc<FactStore<Value>>) -> Arc<OasisService> {
+    let journal: Arc<dyn StorageBackend> = Arc::new(node.replicated("journal"));
+    let snapshot: Arc<dyn StorageBackend> = Arc::new(node.replicated("snapshot"));
+    let store = ServiceJournal::open(journal, snapshot).expect("replicated journal opens");
+    let svc = OasisService::new(
+        ServiceConfig::new("login")
+            .with_journal(store)
+            .with_revocation_retention(64)
+            // Secret material is never journalled: every replica of the
+            // CIV must be provisioned with the shared issuing key, or a
+            // promoted instance could not honour outstanding RMCs.
+            .with_secret(IssuerSecret::from_key(SecretKey::from_bytes([7; 32]))),
+        Arc::clone(facts),
+    );
+    svc.define_role("logged_in", &[("user", ValueType::Id)], true)
+        .unwrap();
+    svc.add_activation_rule(
+        "logged_in",
+        vec![Term::var("U")],
+        vec![Atom::env_fact("password_ok", vec![Term::var("U")])],
+        vec![0],
+    )
+    .unwrap();
+    svc
+}
+
+/// A durable relying service (ordinary single-node journal — it is the
+/// *issuer's* cluster that fails over) consuming the issuer's
+/// revocation topic. Its per-topic watermark is what must stay
+/// gap-free across the issuer's failover.
+fn durable_hospital(
+    journal: &oasis::store::MemBackend,
+    snapshot: &oasis::store::MemBackend,
+    facts: &Arc<FactStore<Value>>,
+) -> Arc<OasisService> {
+    let store = ServiceJournal::open(Arc::new(journal.clone()), Arc::new(snapshot.clone()))
+        .expect("hospital journal opens");
+    OasisService::new(
+        ServiceConfig::new("hospital").with_journal(store),
+        Arc::clone(facts),
+    )
+}
+
+fn login_in(login: &OasisService, now: u64) -> Rmc {
+    login
+        .activate_role(
+            &alice(),
+            &RoleName::new("logged_in"),
+            &[Value::id("alice")],
+            &[],
+            &EnvContext::new(now),
+        )
+        .unwrap()
+}
+
+/// Runs the full failover scenario for one seed and returns the trace.
+fn run_scenario(seed: u64) -> Vec<String> {
+    let mut trace: Vec<String> = Vec::new();
+    let mut log = |tick: u64, event: &str| {
+        trace.push(format!("{{\"tick\":{tick},\"event\":\"{event}\"}}"));
+    };
+
+    let facts = Arc::new(FactStore::new());
+    facts.define("password_ok", 1).unwrap();
+    facts
+        .insert("password_ok", vec![Value::id("alice")])
+        .unwrap();
+
+    let (mesh, nodes) = cluster(3);
+    let group: Vec<String> = nodes.iter().map(|n| n.id().to_string()).collect();
+    let (leader, elect_ms) = settle(&mesh);
+    log(
+        mesh.now(),
+        &format!("initial leader {} in {elect_ms}ms", leader.id()),
+    );
+
+    let login = durable_login(&leader, &facts);
+    let topic = "cred.revoked.login";
+
+    // Eight sessions to storm through; the seed decides how deep into
+    // the storm the kill lands (2..=4 acked revocations before it).
+    let certs: Vec<Rmc> = (0..8).map(|i| login_in(&login, i)).collect();
+    let k_pre = 2 + (seed % 3) as usize;
+    log(
+        mesh.now(),
+        &format!("issued 8 certs, kill after {k_pre} revocations"),
+    );
+
+    // The kill is scripted, not hand-picked: the plan cannot name the
+    // victim (an earlier fault could have moved leadership), so the
+    // driver resolves the live leader when the fault fires.
+    let mut dummy_net = SimNet::new(LinkConfig::clean(Latency::Constant(1)));
+    let mut plan = FaultPlan::new();
+    plan.kill_leader_at(mesh.now() + 1, group.clone());
+
+    // Phase 1: the acknowledged prefix of the storm. The cluster is
+    // healthy, so every one of these is quorum-committed.
+    let mut acked: Vec<(u64, oasis_core::CertId)> = Vec::new();
+    for (i, rmc) in certs.iter().take(k_pre).enumerate() {
+        mesh.step(10);
+        assert!(
+            login.revoke_certificate(rmc.crr.cert_id, "storm", mesh.now()),
+            "healthy revoke must land"
+        );
+        acked.push((i as u64 + 1, rmc.crr.cert_id));
+    }
+    let committed_before = leader.stats().committed;
+    assert!(
+        committed_before >= k_pre as u64,
+        "storm prefix quorum-acked"
+    );
+    log(mesh.now(), &format!("{k_pre} revocations quorum-acked"));
+
+    // A durable relying service consumes the acked prefix over a
+    // resync (the wire path's `catch_up` reduces to exactly this) and
+    // journals its per-topic watermark as it applies each event.
+    let hospital_journal = oasis::store::MemBackend::new();
+    let hospital_snapshot = oasis::store::MemBackend::new();
+    let hospital = durable_hospital(&hospital_journal, &hospital_snapshot, &facts);
+    {
+        let (events, complete) = login.replay_retained(topic, 0);
+        assert!(complete, "healthy ring serves a gap-free prefix");
+        hospital.catch_up_with(topic, &events, complete, mesh.now());
+    }
+    assert_eq!(hospital.watermark_for(topic), k_pre as u64);
+
+    // Mid-storm kill: enact due faults, resolving KillLeader against
+    // live cluster state.
+    let killed_at = mesh.now() + 1;
+    for fault in plan.apply_due(killed_at, &mut dummy_net) {
+        log(killed_at, &format!("fault {fault:?}"));
+        if let Fault::KillLeader { .. } = fault {
+            for group in plan.take_leader_kills() {
+                let victim = mesh
+                    .live_leader()
+                    .filter(|l| group.iter().any(|id| id == l.id()))
+                    .expect("a live leader to kill");
+                mesh.kill(victim.id());
+                log(killed_at, &format!("killed leader {}", victim.id()));
+            }
+        }
+    }
+    assert!(mesh.is_down(leader.id()), "old leader is dead");
+    drop(login); // the crashed process takes its in-memory state with it
+
+    // Phase 2: failover. The survivors elect; the new leader's regions
+    // already hold every acked byte (commit quorum ∩ vote quorum ≠ ∅).
+    let (new_leader, failover_ms) = settle(&mesh);
+    assert_ne!(new_leader.id(), leader.id());
+    log(
+        mesh.now(),
+        &format!("promoted {} after {failover_ms}ms", new_leader.id()),
+    );
+
+    // Promote a fresh service instance over the replicated regions.
+    let promoted = durable_login(&new_leader, &facts);
+    let report = promoted.recover(mesh.now()).unwrap();
+    log(
+        mesh.now(),
+        &format!(
+            "recovered: {} events, {} retained entries",
+            report.events_replayed, report.retained_restored
+        ),
+    );
+
+    // Invariant 1: no acknowledged revocation is lost.
+    assert_eq!(report.retained_restored, k_pre as u64);
+    for (_, cert_id) in &acked {
+        assert!(
+            matches!(
+                promoted.record(*cert_id).expect("record survives").status,
+                CredStatus::Revoked { .. }
+            ),
+            "acked revocation of {cert_id} must survive the leader loss"
+        );
+    }
+
+    // Invariant 2 (first half): the restored ring replays gap-free.
+    let (events, complete) = promoted.replay_retained(topic, 0);
+    assert!(complete, "restored ring must be gap-free");
+    let seqs: Vec<u64> = events.iter().map(|e| e.topic_seq).collect();
+    assert_eq!(seqs, (1..=k_pre as u64).collect::<Vec<_>>());
+    log(mesh.now(), "retained ring gap-free after failover");
+
+    // Invariant 3: a certificate revoked before the kill is stale
+    // authority; the promoted issuer must refuse it.
+    let registry = LocalRegistry::new();
+    registry.register(&promoted);
+    assert!(
+        registry
+            .validate(&Credential::Rmc(certs[0].clone()), &alice(), mesh.now())
+            .is_err(),
+        "stale (revoked-before-kill) cert must not validate"
+    );
+    // …while a never-revoked one still does.
+    assert!(
+        registry
+            .validate(&Credential::Rmc(certs[7].clone()), &alice(), mesh.now())
+            .is_ok(),
+        "unrevoked cert still validates on the promoted node"
+    );
+    log(mesh.now(), "stale cert refused, live cert honoured");
+
+    // Phase 3: the storm finishes on the promoted leader. Sequences
+    // continue exactly where the acked prefix stopped (invariant 2,
+    // second half) and every write is again quorum-acked.
+    for rmc in certs.iter().skip(k_pre).take(4) {
+        mesh.step(10);
+        assert!(
+            promoted.revoke_certificate(rmc.crr.cert_id, "storm resumes", mesh.now()),
+            "post-failover revoke must land"
+        );
+    }
+    let (events, complete) = promoted.replay_retained(topic, 0);
+    assert!(complete);
+    let seqs: Vec<u64> = events.iter().map(|e| e.topic_seq).collect();
+    assert_eq!(
+        seqs,
+        (1..=(k_pre as u64 + 4)).collect::<Vec<_>>(),
+        "post-failover sequence continues with no gap and no reuse"
+    );
+    assert!(
+        new_leader.stats().committed >= 4,
+        "resumed storm quorum-acked"
+    );
+    log(mesh.now(), "storm resumed gap-free on promoted leader");
+
+    // The relying service resumes catch-up against the *promoted*
+    // node from its persisted watermark: the resync must be complete
+    // (no gap between the acked prefix and the resumed storm) and
+    // advance the watermark over exactly the post-failover events.
+    let after = hospital.watermark_for(topic);
+    assert_eq!(
+        after, k_pre as u64,
+        "watermark persisted through the outage"
+    );
+    let (events, complete) = promoted.replay_retained(topic, after);
+    let report = hospital.catch_up_with(topic, &events, complete, mesh.now());
+    assert!(report.complete, "promoted node serves a gap-free resync");
+    assert_eq!(report.applied, 4);
+    assert_eq!(hospital.watermark_for(topic), k_pre as u64 + 4);
+    log(mesh.now(), "subscriber watermark gap-free across failover");
+
+    // And the watermark itself is durable: a crashed-and-recovered
+    // relying service resumes from the same high-water mark instead of
+    // re-fetching (or worse, skipping) anything.
+    drop(hospital);
+    let hospital2 = durable_hospital(&hospital_journal, &hospital_snapshot, &facts);
+    hospital2.recover(mesh.now()).unwrap();
+    assert_eq!(
+        hospital2.watermark_for(topic),
+        k_pre as u64 + 4,
+        "watermark survives subscriber crash-recovery"
+    );
+    log(mesh.now(), "subscriber watermark durable");
+
+    // Invariant 4: the dead node rejoins as a follower and is
+    // state-transferred to the winner's log.
+    mesh.revive(leader.id());
+    for _ in 0..20 {
+        mesh.step(new_leader.config().heartbeat_ms + 1);
+        if leader.last_index() == new_leader.last_index() && !leader.is_leader() {
+            break;
+        }
+    }
+    assert!(!leader.is_leader(), "rejoined node must not lead");
+    assert_eq!(
+        leader.region("journal").read().unwrap(),
+        new_leader.region("journal").read().unwrap(),
+        "rejoined node converges to the promoted leader's journal"
+    );
+    log(mesh.now(), "old leader rejoined as follower and synced");
+
+    trace
+}
+
+fn chaos_seed() -> u64 {
+    std::env::var("CHAOS_SEED")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(42)
+}
+
+fn write_trace(seed: u64, trace: &[String]) {
+    let dir = concat!(env!("CARGO_MANIFEST_DIR"), "/../../target/chaos");
+    if std::fs::create_dir_all(dir).is_ok() {
+        let path = format!("{dir}/replication-{seed}.jsonl");
+        let _ = std::fs::write(&path, trace.join("\n") + "\n");
+    }
+}
+
+#[test]
+fn chaos_kill_leader_mid_storm_loses_nothing() {
+    let seed = chaos_seed();
+    let trace = run_scenario(seed);
+    write_trace(seed, &trace);
+    let all = trace.join("\n");
+    for landmark in [
+        "revocations quorum-acked",
+        "killed leader",
+        "promoted",
+        "retained ring gap-free after failover",
+        "stale cert refused, live cert honoured",
+        "storm resumed gap-free on promoted leader",
+        "subscriber watermark gap-free across failover",
+        "subscriber watermark durable",
+        "old leader rejoined as follower and synced",
+    ] {
+        assert!(all.contains(landmark), "trace missing {landmark:?}:\n{all}");
+    }
+}
+
+#[test]
+fn chaos_failover_is_deterministic_per_seed() {
+    let seed = chaos_seed();
+    assert_eq!(
+        run_scenario(seed),
+        run_scenario(seed),
+        "identical seeds must replay identical traces"
+    );
+}
