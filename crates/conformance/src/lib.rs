@@ -1,0 +1,67 @@
+//! Scenario-matrix conformance harness with deterministic replay parity.
+//!
+//! The chaos suites each exercise one failure regime in isolation; real
+//! deployments compose them. This crate runs the full
+//! workload × fault × topology matrix ([`full_matrix`]) — an issuer
+//! outage *during* a validation flood, a leader kill *during* a
+//! revocation storm, clock skew while fail-safe degradation is
+//! mid-flight, a Byzantine CIV under load — and holds every cell to the
+//! same invariant set ([`invariant`]):
+//!
+//! 1. no post-deadline execution,
+//! 2. no stale-certificate acceptance past the revocation watermark,
+//! 3. gap-free recovery after every fault window,
+//! 4. no acknowledged event lost,
+//! 5. degradation/breaker state machines end consistent,
+//! 6. Byzantine evidence rejected,
+//!
+//! plus a backpressure check on flooding cells. Each run is
+//! seed-deterministic under a virtual clock and records a canonical
+//! JSONL trace; replaying the same seed must reproduce the trace
+//! byte-for-byte ([`compare_traces`]), so any nondeterminism in the
+//! stack is itself a conformance failure. The harness's meta-test
+//! perturbs one virtual-clock tick ([`Perturbation`]) and requires the
+//! comparator to catch the divergence.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod engine;
+pub mod invariant;
+pub mod matrix;
+pub mod parity;
+mod replicated;
+pub mod scenario;
+
+pub use engine::ScenarioRun;
+pub use invariant::{InvariantCheck, InvariantReport, INVARIANT_NAMES};
+pub use matrix::{cells_in, coverage, full_matrix, Coverage};
+pub use parity::{compare_traces, Divergence, Perturbation};
+pub use scenario::{Category, FaultRegime, Scenario, Topology, Workload};
+
+/// Extra per-cell check on top of [`INVARIANT_NAMES`]: flooding
+/// workloads must shed (and still answer), non-flooding ones must not.
+pub const OVERLOAD_BACKPRESSURE: &str = "overload-backpressure-engaged";
+
+/// Runs one matrix cell under `base_seed`. The effective seed is
+/// derived from the scenario *name* (`oasis_sim::scenario_seed`), so
+/// every cell gets an independent deterministic stream and adding a
+/// cell never reshuffles the others.
+pub fn run_cell(scenario: Scenario, base_seed: u64) -> ScenarioRun {
+    run_cell_perturbed(scenario, base_seed, None)
+}
+
+/// [`run_cell`] with an optional one-tick perturbation — the parity
+/// meta-test's entry point. A perturbed run MUST produce a divergent
+/// trace; anything else means the comparator (or the trace) is dead.
+pub fn run_cell_perturbed(
+    scenario: Scenario,
+    base_seed: u64,
+    perturb: Option<Perturbation>,
+) -> ScenarioRun {
+    let seed = oasis_sim::scenario_seed(base_seed, &scenario.name());
+    match scenario.topology {
+        Topology::TwoDomain => engine::run_two_domain(scenario, seed, perturb),
+        Topology::ReplicatedCiv3 => replicated::run_replicated(scenario, seed, perturb),
+    }
+}

@@ -1,0 +1,106 @@
+//! Replay parity: a second run of the same scenario under the same seed
+//! must reproduce a byte-identical canonical trace.
+//!
+//! The comparison is deliberately dumb — line-by-line byte equality —
+//! because the recorder ([`oasis_sim::Trace`]) already canonicalises
+//! (sorted keys, escaped strings, no wall-clock, no hash-order
+//! iteration). Anything cleverer would hide exactly the
+//! nondeterminism this check exists to catch.
+
+use std::fmt;
+
+/// The first point at which two traces disagree.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Divergence {
+    /// 0-based line index of the first disagreement.
+    pub line: usize,
+    /// That line in the first trace (`None` if it ended early).
+    pub first: Option<String>,
+    /// That line in the second trace (`None` if it ended early).
+    pub second: Option<String>,
+}
+
+impl fmt::Display for Divergence {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "traces diverge at line {}:", self.line)?;
+        writeln!(
+            f,
+            "  first : {}",
+            self.first.as_deref().unwrap_or("<end of trace>")
+        )?;
+        write!(
+            f,
+            "  second: {}",
+            self.second.as_deref().unwrap_or("<end of trace>")
+        )
+    }
+}
+
+/// Compares two traces line by line; `None` means byte-identical.
+pub fn compare_traces(first: &[String], second: &[String]) -> Option<Divergence> {
+    let lines = first.len().max(second.len());
+    for i in 0..lines {
+        let a = first.get(i);
+        let b = second.get(i);
+        if a != b {
+            return Some(Divergence {
+                line: i,
+                first: a.cloned(),
+                second: b.cloned(),
+            });
+        }
+    }
+    None
+}
+
+/// A deliberate one-tick perturbation of a scenario run, used by the
+/// harness's meta-test: a perturbed replay MUST diverge, proving the
+/// parity check is alive (a comparator that never fires is
+/// indistinguishable from a correct system).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Perturbation {
+    /// Delay the first revocation arrival by one virtual-clock tick.
+    DelayFirstRevocation,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn lines(v: &[&str]) -> Vec<String> {
+        v.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn identical_traces_have_no_divergence() {
+        let t = lines(&["{\"a\":1}", "{\"a\":2}"]);
+        assert_eq!(compare_traces(&t, &t), None);
+    }
+
+    #[test]
+    fn first_differing_line_is_reported() {
+        let a = lines(&["{\"t\":1}", "{\"t\":2}", "{\"t\":3}"]);
+        let b = lines(&["{\"t\":1}", "{\"t\":9}", "{\"t\":3}"]);
+        let d = compare_traces(&a, &b).expect("must diverge");
+        assert_eq!(d.line, 1);
+        assert_eq!(d.first.as_deref(), Some("{\"t\":2}"));
+        assert_eq!(d.second.as_deref(), Some("{\"t\":9}"));
+    }
+
+    #[test]
+    fn length_mismatch_diverges_at_the_shorter_end() {
+        let a = lines(&["{\"t\":1}"]);
+        let b = lines(&["{\"t\":1}", "{\"t\":2}"]);
+        let d = compare_traces(&a, &b).expect("must diverge");
+        assert_eq!(d.line, 1);
+        assert_eq!(d.first, None);
+        assert_eq!(d.second.as_deref(), Some("{\"t\":2}"));
+        let shown = d.to_string();
+        assert!(shown.contains("<end of trace>"), "{shown}");
+    }
+
+    #[test]
+    fn empty_traces_are_identical() {
+        assert_eq!(compare_traces(&[], &[]), None);
+    }
+}

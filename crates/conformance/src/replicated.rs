@@ -1,0 +1,528 @@
+//! The replicated-CIV scenario runner: a three-node quorum replication
+//! group hosting a durable login issuer, with a durable relying
+//! subscriber catching up over the issuer's retained ring.
+//!
+//! This is the `replication_failover` world generalised to a matrix
+//! axis: the same storm runs straight through, across one or two leader
+//! kills, across a subscriber crash mid-catch-up, and across a leader
+//! that is deposed by partition rather than killed. The invariant set
+//! is the shared one — what must hold is identical whether the quorum
+//! was decapitated once, twice, or not at all.
+
+use std::sync::Arc;
+
+use oasis_core::cert::Rmc;
+use oasis_core::{
+    Atom, CredStatus, Credential, CredentialValidator, EnvContext, LocalRegistry, OasisService,
+    PrincipalId, RoleName, ServiceConfig, ServiceJournal, Term, Value, ValueType,
+};
+use oasis_crypto::{IssuerSecret, SecretKey};
+use oasis_facts::FactStore;
+use oasis_sim::{Fault, FaultPlan, Latency, LinkConfig, SimNet, Trace, TraceValue};
+use oasis_store::{LocalMesh, MemBackend, ReplicaConfig, ReplicaNode, StorageBackend};
+
+use crate::engine::ScenarioRun;
+use crate::invariant::{
+    InvariantReport, BYZANTINE_EVIDENCE_REJECTED, DEGRADATION_CONSISTENT, GAP_FREE_RECOVERY,
+    NO_ACKED_EVENT_LOST, NO_POST_DEADLINE_EXECUTION, NO_STALE_CERT_ACCEPTANCE,
+};
+use crate::parity::Perturbation;
+use crate::scenario::{FaultRegime, Scenario, Workload};
+use crate::OVERLOAD_BACKPRESSURE;
+
+/// Sessions issued up front; the last two stay unrevoked so stale and
+/// live authority can be told apart at the end.
+const SESSIONS: usize = 8;
+/// Revocations executed across the run.
+const REVOCATIONS: usize = 6;
+
+const TOPIC: &str = "cred.revoked.login";
+
+fn alice() -> PrincipalId {
+    PrincipalId::new("alice")
+}
+
+fn cluster(n: usize) -> (LocalMesh, Vec<Arc<ReplicaNode>>) {
+    let mesh = LocalMesh::new();
+    let ids: Vec<String> = (0..n).map(|i| format!("civ{i}")).collect();
+    let nodes: Vec<Arc<ReplicaNode>> = ids
+        .iter()
+        .enumerate()
+        .map(|(i, id)| {
+            let peers = ids.iter().filter(|p| *p != id).cloned().collect();
+            let cfg = ReplicaConfig::new(id.clone(), peers, format!("127.0.0.1:{}", 9700 + i));
+            let node = Arc::new(ReplicaNode::new(cfg, Arc::new(mesh.clone())));
+            mesh.register(Arc::clone(&node));
+            node
+        })
+        .collect();
+    (mesh, nodes)
+}
+
+/// Steps virtual time until exactly one live leader exists.
+fn settle(mesh: &LocalMesh) -> Arc<ReplicaNode> {
+    for _ in 0..400 {
+        mesh.step(25);
+        if let Some(leader) = mesh.live_leader() {
+            return leader;
+        }
+    }
+    panic!("no leader elected after 400 steps");
+}
+
+/// A durable login issuer whose journal and snapshot write through the
+/// quorum path of `node`. Every replica shares the issuing key, so a
+/// promoted instance honours outstanding RMCs.
+fn durable_login(node: &Arc<ReplicaNode>, facts: &Arc<FactStore<Value>>) -> Arc<OasisService> {
+    let journal: Arc<dyn StorageBackend> = Arc::new(node.replicated("journal"));
+    let snapshot: Arc<dyn StorageBackend> = Arc::new(node.replicated("snapshot"));
+    let store = ServiceJournal::open(journal, snapshot).expect("replicated journal opens");
+    let svc = OasisService::new(
+        ServiceConfig::new("login")
+            .with_journal(store)
+            .with_revocation_retention(64)
+            .with_secret(IssuerSecret::from_key(SecretKey::from_bytes([7; 32]))),
+        Arc::clone(facts),
+    );
+    svc.define_role("logged_in", &[("user", ValueType::Id)], true)
+        .unwrap();
+    svc.add_activation_rule(
+        "logged_in",
+        vec![Term::var("U")],
+        vec![Atom::env_fact("password_ok", vec![Term::var("U")])],
+        vec![0],
+    )
+    .unwrap();
+    svc
+}
+
+fn durable_hospital(
+    journal: &MemBackend,
+    snapshot: &MemBackend,
+    facts: &Arc<FactStore<Value>>,
+) -> Arc<OasisService> {
+    let store = ServiceJournal::open(Arc::new(journal.clone()), Arc::new(snapshot.clone()))
+        .expect("hospital journal opens");
+    OasisService::new(
+        ServiceConfig::new("hospital").with_journal(store),
+        Arc::clone(facts),
+    )
+}
+
+/// Kills the current live leader via the scripted fault path and
+/// returns the promoted service over the new leader's regions.
+fn kill_and_promote(
+    mesh: &LocalMesh,
+    group: &[String],
+    facts: &Arc<FactStore<Value>>,
+    trace: &Trace,
+) -> (Arc<ReplicaNode>, Arc<OasisService>, String) {
+    let mut dummy_net = SimNet::new(LinkConfig::clean(Latency::Constant(1)));
+    let mut plan = FaultPlan::new();
+    let at = mesh.now() + 1;
+    plan.kill_leader_at(at, group.to_vec());
+    let mut victim_id = String::new();
+    for fault in plan.apply_due(at, &mut dummy_net) {
+        if let Fault::KillLeader { .. } = fault {
+            for group in plan.take_leader_kills() {
+                let victim = mesh
+                    .live_leader()
+                    .filter(|l| group.iter().any(|id| id == l.id()))
+                    .expect("a live leader to kill");
+                victim_id = victim.id().to_string();
+                mesh.kill(victim.id());
+                trace.log_kv(
+                    at,
+                    "killed leader",
+                    &[("victim", TraceValue::from(victim_id.clone()))],
+                );
+            }
+        }
+    }
+    let new_leader = settle(mesh);
+    let promoted = durable_login(&new_leader, facts);
+    let report = promoted.recover(mesh.now()).unwrap();
+    trace.log_kv(
+        mesh.now(),
+        "promoted",
+        &[
+            ("leader", TraceValue::from(new_leader.id().to_string())),
+            (
+                "retained_restored",
+                TraceValue::from(report.retained_restored),
+            ),
+        ],
+    );
+    (new_leader, promoted, victim_id)
+}
+
+/// Revives `node` and steps until it has converged to `leader`'s log as
+/// a follower. Returns whether convergence was reached.
+fn rejoin(mesh: &LocalMesh, node: &Arc<ReplicaNode>, leader: &Arc<ReplicaNode>) -> bool {
+    if mesh.is_down(node.id()) {
+        mesh.revive(node.id());
+    }
+    for _ in 0..40 {
+        mesh.step(leader.config().heartbeat_ms + 1);
+        if node.last_index() == leader.last_index() && !node.is_leader() {
+            return true;
+        }
+    }
+    false
+}
+
+/// Runs one replicated-CIV cell.
+pub(crate) fn run_replicated(
+    scenario: Scenario,
+    seed: u64,
+    perturb: Option<Perturbation>,
+) -> ScenarioRun {
+    let spacing = match scenario.workload {
+        // Spaced trickle vs back-to-back storm: the mesh steps this many
+        // virtual ms between revocations.
+        Workload::RevocationStorm => 5,
+        _ => 20,
+    };
+    let trace = Trace::new();
+
+    let facts = Arc::new(FactStore::new());
+    facts.define("password_ok", 1).unwrap();
+    facts
+        .insert("password_ok", vec![Value::id("alice")])
+        .unwrap();
+
+    let (mesh, nodes) = cluster(3);
+    let group: Vec<String> = nodes.iter().map(|n| n.id().to_string()).collect();
+    let first_leader = settle(&mesh);
+    trace.log_kv(
+        mesh.now(),
+        "scenario start",
+        &[
+            ("category", TraceValue::from(scenario.category().key())),
+            ("fault", TraceValue::from(scenario.fault.key())),
+            ("leader", TraceValue::from(first_leader.id().to_string())),
+            ("seed", TraceValue::from(seed)),
+            ("topology", TraceValue::from(scenario.topology.key())),
+            ("workload", TraceValue::from(scenario.workload.key())),
+        ],
+    );
+
+    let login = durable_login(&first_leader, &facts);
+    let certs: Vec<Rmc> = (0..SESSIONS)
+        .map(|i| {
+            login
+                .activate_role(
+                    &alice(),
+                    &RoleName::new("logged_in"),
+                    &[Value::id("alice")],
+                    &[],
+                    &EnvContext::new(i as u64),
+                )
+                .unwrap()
+        })
+        .collect();
+
+    let hospital_journal = MemBackend::new();
+    let hospital_snapshot = MemBackend::new();
+    let mut hospital = durable_hospital(&hospital_journal, &hospital_snapshot, &facts);
+
+    // The seed decides how deep into the storm the fault lands.
+    let k_pre = 2 + (seed % 3) as usize;
+    let mut acked: Vec<oasis_core::CertId> = Vec::new();
+    let revoke = |svc: &Arc<OasisService>, rmc: &Rmc, acked: &mut Vec<oasis_core::CertId>| {
+        mesh.step(spacing);
+        assert!(
+            svc.revoke_certificate(rmc.crr.cert_id, "conformance storm", mesh.now()),
+            "healthy revoke must land"
+        );
+        acked.push(rmc.crr.cert_id);
+        trace.log_kv(
+            mesh.now(),
+            "revocation quorum-acked",
+            &[("seq", TraceValue::from(acked.len()))],
+        );
+    };
+
+    if perturb == Some(Perturbation::DelayFirstRevocation) {
+        mesh.step(1);
+    }
+
+    // Phase 1: the acked prefix.
+    for rmc in certs.iter().take(k_pre) {
+        revoke(&login, rmc, &mut acked);
+    }
+    {
+        let (events, complete) = login.replay_retained(TOPIC, 0);
+        hospital.catch_up_with(TOPIC, &events, complete, mesh.now());
+    }
+    trace.log_kv(
+        mesh.now(),
+        "subscriber caught up",
+        &[("watermark", TraceValue::from(hospital.watermark_for(TOPIC)))],
+    );
+
+    // Phase 2: the fault regime.
+    let mut current = Arc::clone(&login);
+    let mut rejoined_ok = true;
+    let mut remaining = REVOCATIONS - k_pre;
+    match scenario.fault {
+        FaultRegime::None => {}
+        FaultRegime::KillLeader => {
+            // The victim rejoins only after the storm finishes (the
+            // generic rejoin sweep below), so the kill actually costs
+            // the cluster a node while writes continue.
+            let (_, promoted, _) = kill_and_promote(&mesh, &group, &facts, &trace);
+            current = promoted;
+        }
+        FaultRegime::KillLeaderTwice => {
+            let (new_leader, promoted, victim1) = kill_and_promote(&mesh, &group, &facts, &trace);
+            // Two more quorum-acked revocations on the first promotion...
+            for rmc in certs.iter().skip(k_pre).take(2) {
+                revoke(&promoted, rmc, &mut acked);
+            }
+            remaining -= 2;
+            // ...then the first victim must be back before the second
+            // decapitation, or the survivors cannot form a quorum.
+            let dead = nodes.iter().find(|n| n.id() == victim1).unwrap();
+            rejoined_ok &= rejoin(&mesh, dead, &new_leader);
+            trace.log_kv(
+                mesh.now(),
+                "first victim rejoined",
+                &[("node", TraceValue::from(victim1))],
+            );
+            drop(promoted);
+            let (_, promoted2, _) = kill_and_promote(&mesh, &group, &facts, &trace);
+            current = promoted2;
+        }
+        FaultRegime::SubscriberCrashMidCatchup => {
+            // More storm lands while the subscriber is mid-catch-up: it
+            // applies only a partial prefix (an interrupted resync), then
+            // crashes before the rest arrives.
+            for rmc in certs.iter().skip(k_pre).take(remaining) {
+                revoke(&current, rmc, &mut acked);
+            }
+            remaining = 0;
+            let wm = hospital.watermark_for(TOPIC);
+            let (events, _) = current.replay_retained(TOPIC, wm);
+            let partial = events.len() / 2;
+            hospital.catch_up_with(TOPIC, &events[..partial], false, mesh.now());
+            trace.log_kv(
+                mesh.now(),
+                "subscriber crashed mid-catch-up",
+                &[
+                    ("applied_partial", TraceValue::from(partial)),
+                    ("watermark", TraceValue::from(hospital.watermark_for(TOPIC))),
+                ],
+            );
+            drop(hospital);
+            hospital = durable_hospital(&hospital_journal, &hospital_snapshot, &facts);
+            hospital.recover(mesh.now()).unwrap();
+            trace.log_kv(
+                mesh.now(),
+                "subscriber recovered",
+                &[("watermark", TraceValue::from(hospital.watermark_for(TOPIC)))],
+            );
+        }
+        FaultRegime::IsolateLeader => {
+            // Deposed, not dead: the leader is partitioned from both
+            // followers. It never steps down on its own, so the mesh has
+            // *two* leaders and `live_leader()` stays None — wait for a
+            // follower to win instead.
+            for peer in nodes.iter().filter(|n| n.id() != first_leader.id()) {
+                mesh.partition(first_leader.id(), peer.id());
+            }
+            trace.log(mesh.now(), "leader isolated from both followers");
+            drop(current);
+            let mut follower_leader = None;
+            for _ in 0..400 {
+                mesh.step(25);
+                if let Some(winner) = nodes
+                    .iter()
+                    .find(|n| n.id() != first_leader.id() && n.is_leader())
+                {
+                    follower_leader = Some(Arc::clone(winner));
+                    break;
+                }
+            }
+            let new_leader = follower_leader.expect("a follower must win the election");
+            let promoted = durable_login(&new_leader, &facts);
+            promoted.recover(mesh.now()).unwrap();
+            trace.log_kv(
+                mesh.now(),
+                "promoted",
+                &[("leader", TraceValue::from(new_leader.id().to_string()))],
+            );
+            current = promoted;
+            // Heal after promotion; the deposed leader must rejoin as a
+            // follower once it sees the higher term.
+            for peer in nodes.iter().filter(|n| n.id() != first_leader.id()) {
+                mesh.heal_partition(first_leader.id(), peer.id());
+            }
+            trace.log(mesh.now(), "partition healed");
+        }
+        other => unreachable!("fault {other:?} is not a replicated regime"),
+    }
+
+    // Phase 3: the storm finishes on whichever instance now leads.
+    for rmc in certs.iter().skip(acked.len()).take(remaining) {
+        revoke(&current, rmc, &mut acked);
+    }
+    assert_eq!(acked.len(), REVOCATIONS);
+
+    // Every dead or deposed node rejoins and converges before the books
+    // close.
+    if let Some(leader) = mesh.live_leader() {
+        for node in &nodes {
+            let lagging = mesh.is_down(node.id()) || node.id() == first_leader.id();
+            if lagging && node.id() != leader.id() {
+                rejoined_ok &= rejoin(&mesh, node, &leader);
+            }
+        }
+    } else {
+        // All partitions healed and kills revived above; a missing live
+        // leader here means the cluster never re-converged.
+        rejoined_ok = false;
+    }
+    let final_leader = mesh.live_leader();
+
+    // Final catch-up from the subscriber's durable watermark.
+    let wm = hospital.watermark_for(TOPIC);
+    let (events, complete) = current.replay_retained(TOPIC, wm);
+    let report = hospital.catch_up_with(TOPIC, &events, complete, mesh.now());
+    trace.log_kv(
+        mesh.now(),
+        "final catch-up",
+        &[
+            ("applied", TraceValue::from(report.applied)),
+            ("complete", TraceValue::from(report.complete)),
+            ("watermark", TraceValue::from(hospital.watermark_for(TOPIC))),
+        ],
+    );
+
+    // --- Invariant report ---------------------------------------------
+    let mut out = InvariantReport::new();
+
+    out.record(
+        NO_POST_DEADLINE_EXECUTION,
+        true,
+        "n/a: no admission controller in this topology (two-domain cells cover it)",
+    );
+
+    let registry = LocalRegistry::new();
+    registry.register(&current);
+    let stale_refused = registry
+        .validate(&Credential::Rmc(certs[0].clone()), &alice(), mesh.now())
+        .is_err();
+    let live_honoured = registry
+        .validate(
+            &Credential::Rmc(certs[SESSIONS - 1].clone()),
+            &alice(),
+            mesh.now(),
+        )
+        .is_ok();
+    out.record(
+        NO_STALE_CERT_ACCEPTANCE,
+        stale_refused && live_honoured,
+        format!(
+            "pre-fault-revoked cert refused={stale_refused}, unrevoked cert honoured={live_honoured}"
+        ),
+    );
+
+    let (ring, ring_complete) = current.replay_retained(TOPIC, 0);
+    let seqs: Vec<u64> = ring.iter().map(|e| e.topic_seq).collect();
+    let contiguous = seqs == (1..=REVOCATIONS as u64).collect::<Vec<u64>>();
+    out.record(
+        GAP_FREE_RECOVERY,
+        ring_complete && contiguous && report.complete,
+        format!(
+            "ring complete={ring_complete} seqs={seqs:?}; subscriber resync complete={}",
+            report.complete
+        ),
+    );
+
+    let lost: Vec<String> = acked
+        .iter()
+        .filter(|id| {
+            !current
+                .record(**id)
+                .map(|r| matches!(r.status, CredStatus::Revoked { .. }))
+                .unwrap_or(false)
+        })
+        .map(|id| id.to_string())
+        .collect();
+    let wm_final = hospital.watermark_for(TOPIC);
+    out.record(
+        NO_ACKED_EVENT_LOST,
+        lost.is_empty() && wm_final == REVOCATIONS as u64,
+        format!(
+            "{}/{} acked revocations survive (lost: {lost:?}); subscriber watermark \
+             {wm_final}/{REVOCATIONS}",
+            acked.len() - lost.len(),
+            acked.len()
+        ),
+    );
+
+    // Degradation-consistent, quorum edition: the cluster ends with one
+    // live leader, every node converged to its log, and the subscriber
+    // watermark durable across a rebuild.
+    let converged = final_leader.as_ref().is_some_and(|leader| {
+        nodes.iter().all(|n| {
+            !mesh.is_down(n.id())
+                && n.last_index() == leader.last_index()
+                && (n.id() == leader.id()) == n.is_leader()
+        })
+    });
+    let journals_equal = final_leader.as_ref().is_some_and(|leader| {
+        let golden = leader.region("journal").read().unwrap();
+        nodes
+            .iter()
+            .all(|n| n.region("journal").read().unwrap() == golden)
+    });
+    drop(hospital);
+    let rebuilt = durable_hospital(&hospital_journal, &hospital_snapshot, &facts);
+    rebuilt.recover(mesh.now()).unwrap();
+    let wm_durable = rebuilt.watermark_for(TOPIC) == REVOCATIONS as u64;
+    out.record(
+        DEGRADATION_CONSISTENT,
+        rejoined_ok && converged && journals_equal && wm_durable,
+        format!(
+            "rejoined={rejoined_ok} converged={converged} journals_equal={journals_equal} \
+             watermark_durable={wm_durable} leader={:?}",
+            final_leader.as_ref().map(|l| l.id().to_string())
+        ),
+    );
+
+    out.record(
+        BYZANTINE_EVIDENCE_REJECTED,
+        true,
+        "n/a: no CIV notary in this topology (two-domain byzantine cells cover it)",
+    );
+    out.record(
+        OVERLOAD_BACKPRESSURE,
+        true,
+        "n/a: no admission controller in this topology",
+    );
+
+    trace.log_kv(
+        mesh.now(),
+        "final state",
+        &[
+            (
+                "leader",
+                TraceValue::from(format!(
+                    "{:?}",
+                    final_leader.as_ref().map(|l| l.id().to_string())
+                )),
+            ),
+            ("revocations", TraceValue::from(acked.len())),
+            ("watermark", TraceValue::from(wm_final)),
+        ],
+    );
+
+    ScenarioRun {
+        scenario,
+        seed,
+        trace: trace.lines(),
+        report: out,
+    }
+}

@@ -125,6 +125,27 @@ pub struct ResilientStats {
     pub breaker_closes: u64,
 }
 
+impl ResilientStats {
+    /// Compact single-line JSON for chaos/conformance traces, keys
+    /// sorted (no serde dependency).
+    pub fn trace_json(&self) -> String {
+        format!(
+            "{{\"breaker_closes\":{},\"breaker_fast_fails\":{},\"breaker_opens\":{},\
+             \"calls\":{},\"fatal_failures\":{},\"overload_sheds\":{},\"retries\":{},\
+             \"successes\":{},\"transient_failures\":{}}}",
+            self.breaker_closes,
+            self.breaker_fast_fails,
+            self.breaker_opens,
+            self.calls,
+            self.fatal_failures,
+            self.overload_sheds,
+            self.retries,
+            self.successes,
+            self.transient_failures,
+        )
+    }
+}
+
 #[derive(Default)]
 struct Counters {
     calls: AtomicU64,

@@ -171,6 +171,25 @@ pub struct DegradationStats {
     pub issuer_recoveries: u64,
 }
 
+impl DegradationStats {
+    /// Compact single-line JSON for chaos/conformance traces, keys
+    /// sorted (no serde dependency).
+    pub fn trace_json(&self) -> String {
+        format!(
+            "{{\"dead_evictions\":{},\"degraded_certs\":{},\"degraded_issuers\":{},\
+             \"issuer_recoveries\":{},\"stale_refused\":{},\"stale_served\":{},\
+             \"suspect_revalidations\":{}}}",
+            self.dead_evictions,
+            self.degraded_certs,
+            self.degraded_issuers,
+            self.issuer_recoveries,
+            self.stale_refused,
+            self.stale_served,
+            self.suspect_revalidations,
+        )
+    }
+}
+
 #[derive(Default)]
 struct DegradationCounters {
     suspect_revalidations: AtomicU64,

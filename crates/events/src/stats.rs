@@ -68,6 +68,21 @@ impl BusStats {
             self.delivered as f64 / self.published as f64
         }
     }
+
+    /// Compact single-line JSON for chaos/conformance traces, keys
+    /// sorted (no serde dependency).
+    pub fn trace_json(&self) -> String {
+        format!(
+            "{{\"dead_letters\":{},\"delivered\":{},\"dropped_overflow\":{},\
+             \"overflow_events\":{},\"published\":{},\"retained_evictions\":{}}}",
+            self.dead_letters,
+            self.delivered,
+            self.dropped_overflow,
+            self.overflow_events,
+            self.published,
+            self.retained_evictions,
+        )
+    }
 }
 
 #[cfg(test)]

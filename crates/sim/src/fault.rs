@@ -24,7 +24,7 @@
 //! must then heal the tail: stop at the last valid record, never
 //! panic, never resurrect a record past the damage point.
 
-use std::collections::HashSet;
+use std::collections::{HashMap, HashSet};
 
 use crate::net::{NodeId, SimNet};
 
@@ -107,6 +107,27 @@ pub enum Fault {
         /// The nodes it can no longer reach.
         from: Vec<NodeId>,
     },
+    /// Skew `node`'s wall clock by `offset_ms` relative to virtual
+    /// time — a cross-domain NTP drift. Like heartbeat pauses this has
+    /// no direct network effect; the driver consults
+    /// [`FaultPlan::clock_skew`] when stamping that node's timestamps
+    /// (cert issue times, expiry checks). An `offset_ms` of zero clears
+    /// the skew.
+    ClockSkew {
+        /// The node whose clock drifts.
+        node: NodeId,
+        /// Milliseconds ahead (positive) or behind (negative).
+        offset_ms: i64,
+    },
+    /// Turn `node` — a Certification Instance Vault in the trust layer —
+    /// Byzantine: from this tick it repudiates its notarisation history
+    /// and emits forged or whitewashed audit certificates. The plan only
+    /// tracks membership ([`FaultPlan::is_byzantine`]); the driver flips
+    /// the node's `oasis-trust` adapter into Byzantine mode.
+    ByzantineCiv {
+        /// The CIV that goes rogue.
+        node: NodeId,
+    },
 }
 
 /// Scripted damage to one node's durability journal, drained by the
@@ -160,6 +181,8 @@ pub struct FaultPlan {
     paused: HashSet<NodeId>,
     journal_damage: Vec<(NodeId, JournalDamage)>,
     leader_kills: Vec<Vec<NodeId>>,
+    skews: HashMap<NodeId, i64>,
+    byzantine: HashSet<NodeId>,
 }
 
 impl FaultPlan {
@@ -271,6 +294,23 @@ impl FaultPlan {
         );
     }
 
+    /// Schedules a clock skew on `node` at `tick`; `offset_ms == 0`
+    /// clears a previous skew.
+    pub fn skew_clock_at(&mut self, tick: u64, node: impl Into<NodeId>, offset_ms: i64) {
+        self.schedule(
+            tick,
+            Fault::ClockSkew {
+                node: node.into(),
+                offset_ms,
+            },
+        );
+    }
+
+    /// Schedules `node`'s CIV turning Byzantine at `tick`.
+    pub fn byzantine_civ_at(&mut self, tick: u64, node: impl Into<NodeId>) {
+        self.schedule(tick, Fault::ByzantineCiv { node: node.into() });
+    }
+
     /// Applies (and consumes) every fault scheduled at or before `now`,
     /// in schedule order, returning what was applied. Network faults act
     /// on `net`; heartbeat faults only update the pause set consulted by
@@ -313,6 +353,16 @@ impl FaultPlan {
                         net.partition(node.clone(), other.clone());
                     }
                 }
+                Fault::ClockSkew { node, offset_ms } => {
+                    if *offset_ms == 0 {
+                        self.skews.remove(node);
+                    } else {
+                        self.skews.insert(node.clone(), *offset_ms);
+                    }
+                }
+                Fault::ByzantineCiv { node } => {
+                    self.byzantine.insert(node.clone());
+                }
             }
         }
         applied
@@ -336,6 +386,25 @@ impl FaultPlan {
     /// stays deterministic while the victim is resolved live.
     pub fn take_leader_kills(&mut self) -> Vec<Vec<NodeId>> {
         std::mem::take(&mut self.leader_kills)
+    }
+
+    /// The current clock skew of `node` in milliseconds (0 = in sync).
+    /// The driver adds this to virtual time whenever the skewed node
+    /// stamps or compares a wall-clock timestamp.
+    pub fn clock_skew(&self, node: &str) -> i64 {
+        self.skews.get(node).copied().unwrap_or(0)
+    }
+
+    /// Whether `node`'s CIV has turned Byzantine.
+    pub fn is_byzantine(&self, node: &str) -> bool {
+        self.byzantine.contains(node)
+    }
+
+    /// The Byzantine CIVs so far, sorted (stable output for traces).
+    pub fn byzantine_nodes(&self) -> Vec<NodeId> {
+        let mut nodes: Vec<NodeId> = self.byzantine.iter().cloned().collect();
+        nodes.sort();
+        nodes
     }
 
     /// Faults not yet applied.
@@ -476,6 +545,46 @@ mod tests {
         plan.apply_due(8, &mut net);
         assert!(!net.is_partitioned("leader", "f1"));
         assert!(net.is_partitioned("leader", "f2"));
+    }
+
+    #[test]
+    fn clock_skew_is_tracked_and_clearable() {
+        let mut net = net();
+        let mut plan = FaultPlan::new();
+        plan.skew_clock_at(5, "domB", 200);
+        plan.skew_clock_at(9, "domB", -75);
+        plan.skew_clock_at(12, "domB", 0);
+
+        assert_eq!(plan.clock_skew("domB"), 0, "no skew before the tick");
+        plan.apply_due(5, &mut net);
+        assert_eq!(plan.clock_skew("domB"), 200);
+        assert_eq!(plan.clock_skew("domA"), 0, "other nodes stay in sync");
+        plan.apply_due(9, &mut net);
+        assert_eq!(plan.clock_skew("domB"), -75, "reskew replaces");
+        plan.apply_due(12, &mut net);
+        assert_eq!(plan.clock_skew("domB"), 0, "zero offset clears");
+        assert_eq!(net.stats(), (0, 0), "no traffic side effects");
+    }
+
+    #[test]
+    fn byzantine_civ_is_tracked_sorted_and_sticky() {
+        let mut net = net();
+        let mut plan = FaultPlan::new();
+        plan.byzantine_civ_at(4, "civ-z");
+        plan.byzantine_civ_at(6, "civ-a");
+
+        assert!(!plan.is_byzantine("civ-z"));
+        plan.apply_due(4, &mut net);
+        assert!(plan.is_byzantine("civ-z"));
+        assert!(!plan.is_byzantine("civ-a"));
+        plan.apply_due(6, &mut net);
+        assert!(plan.is_byzantine("civ-a"));
+        assert_eq!(
+            plan.byzantine_nodes(),
+            vec![NodeId::from("civ-a"), NodeId::from("civ-z")],
+            "sorted regardless of insertion order"
+        );
+        assert_eq!(net.stats(), (0, 0), "no traffic side effects");
     }
 
     #[test]

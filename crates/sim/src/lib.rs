@@ -12,8 +12,15 @@
 //! * [`Latency`] / [`LinkConfig`] / [`SimNet`] — network modelling with
 //!   per-link latency distributions, loss, duplication, jitter,
 //!   partitions, and node crashes.
-//! * [`FaultPlan`] — scripted chaos: partitions, crashes, and heartbeat
-//!   pauses applied at fixed virtual times.
+//! * [`FaultPlan`] — scripted chaos: partitions, crashes, heartbeat
+//!   pauses, clock skews, and Byzantine CIV turns applied at fixed
+//!   virtual times.
+//! * [`Trace`] — canonical sorted-key JSONL event traces, the shared
+//!   recorder behind the conformance harness's byte-identical replay
+//!   parity.
+//! * [`chaos_seed`] / [`derive_seed`] / [`scenario_seed`] — unified
+//!   seed plumbing (`CONFORMANCE_SEED` / `CHAOS_SEED`) for every
+//!   deterministic suite.
 //! * [`Histogram`] — metric collection for the benchmark harness.
 //!
 //! # Example
@@ -40,10 +47,14 @@ mod fault;
 mod histogram;
 mod latency;
 mod net;
+mod seed;
 mod sim;
+mod trace;
 
 pub use fault::{Fault, FaultPlan, JournalDamage};
 pub use histogram::Histogram;
 pub use latency::Latency;
 pub use net::{LinkConfig, NodeId, SimNet};
+pub use seed::{chaos_seed, derive_seed, scenario_seed, seed_from_env};
 pub use sim::Simulation;
+pub use trace::{escape_json, write_lines, Trace, TraceValue};

@@ -1,0 +1,123 @@
+//! Unified seed plumbing for deterministic suites.
+//!
+//! Every chaos/overload/replication suite used to re-implement the same
+//! three lines of `CHAOS_SEED` parsing; the conformance harness adds a
+//! second variable (`CONFORMANCE_SEED`) and per-scenario seed
+//! derivation, so the plumbing lives here once.
+//!
+//! * [`chaos_seed`] — the seed for this run: `CONFORMANCE_SEED` if set,
+//!   else `CHAOS_SEED`, else 42.
+//! * [`derive_seed`] — a splitmix64 mix for deriving independent
+//!   sub-seeds (per-phase RNGs, soak iterations) from a base seed.
+//! * [`scenario_seed`] — a stable per-scenario seed: the base seed mixed
+//!   with a hash of the scenario name, so every row of a scenario matrix
+//!   gets its own deterministic randomness and replaying one scenario
+//!   never depends on which rows ran before it.
+
+/// Parses the first of `vars` that is set to a valid `u64`, else
+/// `default`. An env var that is set but unparsable is ignored (falls
+/// through to the next variable), matching the forgiving behaviour the
+/// per-suite parsers had.
+pub fn seed_from_env(vars: &[&str], default: u64) -> u64 {
+    vars.iter()
+        .find_map(|var| std::env::var(var).ok().and_then(|s| s.parse().ok()))
+        .unwrap_or(default)
+}
+
+/// The deterministic seed for this process: `CONFORMANCE_SEED`, then
+/// `CHAOS_SEED`, then 42.
+pub fn chaos_seed() -> u64 {
+    seed_from_env(&["CONFORMANCE_SEED", "CHAOS_SEED"], 42)
+}
+
+/// Derives an independent sub-seed from `base` and `salt` (splitmix64
+/// over the pair). Equal inputs give equal outputs; distinct salts give
+/// statistically independent streams.
+pub fn derive_seed(base: u64, salt: u64) -> u64 {
+    let mut z = base
+        .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+        .wrapping_add(salt)
+        .wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// A stable per-scenario seed: `base` mixed with an FNV-1a hash of
+/// `name`. Scenario traces record this derived seed, and replaying the
+/// scenario with the same base seed reproduces it exactly.
+pub fn scenario_seed(base: u64, name: &str) -> u64 {
+    let mut hash: u64 = 0xCBF2_9CE4_8422_2325;
+    for byte in name.as_bytes() {
+        hash ^= u64::from(*byte);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    derive_seed(base, hash)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_applies_when_unset() {
+        assert_eq!(seed_from_env(&["OASIS_SIM_SEED_TEST_UNSET__"], 7), 7);
+    }
+
+    #[test]
+    fn first_set_variable_wins() {
+        std::env::set_var("OASIS_SIM_SEED_TEST_A__", "11");
+        std::env::set_var("OASIS_SIM_SEED_TEST_B__", "22");
+        assert_eq!(
+            seed_from_env(&["OASIS_SIM_SEED_TEST_A__", "OASIS_SIM_SEED_TEST_B__"], 0),
+            11
+        );
+        assert_eq!(
+            seed_from_env(
+                &["OASIS_SIM_SEED_TEST_MISSING__", "OASIS_SIM_SEED_TEST_B__"],
+                0
+            ),
+            22
+        );
+        std::env::remove_var("OASIS_SIM_SEED_TEST_A__");
+        std::env::remove_var("OASIS_SIM_SEED_TEST_B__");
+    }
+
+    #[test]
+    fn unparsable_value_falls_through() {
+        std::env::set_var("OASIS_SIM_SEED_TEST_BAD__", "not-a-number");
+        std::env::set_var("OASIS_SIM_SEED_TEST_GOOD__", "5");
+        assert_eq!(
+            seed_from_env(
+                &["OASIS_SIM_SEED_TEST_BAD__", "OASIS_SIM_SEED_TEST_GOOD__"],
+                0
+            ),
+            5
+        );
+        std::env::remove_var("OASIS_SIM_SEED_TEST_BAD__");
+        std::env::remove_var("OASIS_SIM_SEED_TEST_GOOD__");
+    }
+
+    #[test]
+    fn derivation_is_stable_and_salt_sensitive() {
+        assert_eq!(derive_seed(42, 1), derive_seed(42, 1));
+        assert_ne!(derive_seed(42, 1), derive_seed(42, 2));
+        assert_ne!(derive_seed(42, 1), derive_seed(43, 1));
+    }
+
+    #[test]
+    fn scenario_seeds_are_stable_per_name() {
+        assert_eq!(
+            scenario_seed(42, "flood/none"),
+            scenario_seed(42, "flood/none")
+        );
+        assert_ne!(
+            scenario_seed(42, "flood/none"),
+            scenario_seed(42, "flood/skew")
+        );
+        assert_ne!(
+            scenario_seed(42, "flood/none"),
+            scenario_seed(7, "flood/none")
+        );
+    }
+}

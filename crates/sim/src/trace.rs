@@ -1,0 +1,317 @@
+//! Canonical JSONL event traces shared by every chaos and conformance
+//! suite.
+//!
+//! Until now each integration suite carried its own ad-hoc trace writer
+//! (hand-interpolated JSON strings, per-file `target/chaos` plumbing).
+//! That was survivable while traces were only post-mortem artifacts, but
+//! the conformance harness promotes them to *oracles*: replaying a
+//! scenario under its recorded seed must reproduce a **byte-identical**
+//! trace. Byte identity needs a canonical serialization, so this module
+//! gives every suite one recorder with:
+//!
+//! * **Sorted keys** — fields serialize in lexicographic key order, so
+//!   two logically identical records are textually identical regardless
+//!   of the order call sites listed their fields.
+//! * **Proper escaping** — event text is JSON-escaped (the old writers
+//!   interpolated `{fault:?}` debug strings verbatim, producing lines
+//!   that were not even valid JSON).
+//! * **One output convention** — `target/chaos/<name>-<seed>.jsonl`,
+//!   the path CI's artifact-upload steps already collect.
+
+use std::cell::RefCell;
+use std::collections::BTreeMap;
+use std::path::PathBuf;
+use std::rc::Rc;
+
+/// A field value in a canonical trace record.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TraceValue {
+    /// An unsigned integer.
+    U64(u64),
+    /// A signed integer (clock skews are the usual tenant).
+    I64(i64),
+    /// A boolean.
+    Bool(bool),
+    /// A string; escaped on serialization.
+    Str(String),
+    /// Pre-serialized canonical JSON (e.g. a stats `trace_json()`
+    /// snapshot) embedded verbatim as a nested value. The caller is
+    /// responsible for the fragment itself being canonical.
+    Raw(String),
+}
+
+impl From<u64> for TraceValue {
+    fn from(v: u64) -> Self {
+        TraceValue::U64(v)
+    }
+}
+
+impl From<usize> for TraceValue {
+    fn from(v: usize) -> Self {
+        TraceValue::U64(v as u64)
+    }
+}
+
+impl From<i64> for TraceValue {
+    fn from(v: i64) -> Self {
+        TraceValue::I64(v)
+    }
+}
+
+impl From<bool> for TraceValue {
+    fn from(v: bool) -> Self {
+        TraceValue::Bool(v)
+    }
+}
+
+impl From<&str> for TraceValue {
+    fn from(v: &str) -> Self {
+        TraceValue::Str(v.to_string())
+    }
+}
+
+impl From<String> for TraceValue {
+    fn from(v: String) -> Self {
+        TraceValue::Str(v)
+    }
+}
+
+/// Escapes `s` for embedding in a JSON string literal.
+pub fn escape_json(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+fn render(fields: &BTreeMap<&str, TraceValue>) -> String {
+    let mut out = String::from("{");
+    for (i, (key, value)) in fields.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push('"');
+        out.push_str(&escape_json(key));
+        out.push_str("\":");
+        match value {
+            TraceValue::U64(v) => out.push_str(&v.to_string()),
+            TraceValue::I64(v) => out.push_str(&v.to_string()),
+            TraceValue::Bool(v) => out.push_str(if *v { "true" } else { "false" }),
+            TraceValue::Str(v) => {
+                out.push('"');
+                out.push_str(&escape_json(v));
+                out.push('"');
+            }
+            TraceValue::Raw(v) => out.push_str(v),
+        }
+    }
+    out.push('}');
+    out
+}
+
+/// A cloneable recorder of canonical JSONL trace lines.
+///
+/// Clones share the underlying buffer (a `Trace` is a handle), so a
+/// simulation can hand one to every scheduled closure. Traces are
+/// single-threaded, like the discrete-event loop they record.
+///
+/// # Example
+///
+/// ```
+/// use oasis_sim::Trace;
+///
+/// let trace = Trace::new();
+/// trace.log(7, "issuer crashed");
+/// trace.log_kv(9, "revocation executed", &[("seq", 3u64.into())]);
+/// assert_eq!(
+///     trace.lines(),
+///     vec![
+///         r#"{"event":"issuer crashed","tick":7}"#.to_string(),
+///         r#"{"event":"revocation executed","seq":3,"tick":9}"#.to_string(),
+///     ]
+/// );
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct Trace {
+    lines: Rc<RefCell<Vec<String>>>,
+}
+
+impl Trace {
+    /// An empty trace.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records `{"event":…,"tick":…}`.
+    pub fn log(&self, tick: u64, event: &str) {
+        self.log_kv(tick, event, &[]);
+    }
+
+    /// Records an event with extra fields; keys serialize sorted, and
+    /// `event`/`tick` are ordinary fields (extra fields may not reuse
+    /// those keys — the reserved pair wins).
+    pub fn log_kv(&self, tick: u64, event: &str, fields: &[(&str, TraceValue)]) {
+        let mut map: BTreeMap<&str, TraceValue> = BTreeMap::new();
+        for (key, value) in fields {
+            map.insert(key, value.clone());
+        }
+        map.insert("event", TraceValue::Str(event.to_string()));
+        map.insert("tick", TraceValue::U64(tick));
+        self.lines.borrow_mut().push(render(&map));
+    }
+
+    /// Records a record built purely from `fields` (summary lines that
+    /// have no single tick).
+    pub fn push_fields(&self, fields: &[(&str, TraceValue)]) {
+        let mut map: BTreeMap<&str, TraceValue> = BTreeMap::new();
+        for (key, value) in fields {
+            map.insert(key, value.clone());
+        }
+        self.lines.borrow_mut().push(render(&map));
+    }
+
+    /// A snapshot of the recorded lines.
+    pub fn lines(&self) -> Vec<String> {
+        self.lines.borrow().clone()
+    }
+
+    /// The whole trace as one newline-terminated JSONL document.
+    pub fn to_jsonl(&self) -> String {
+        let lines = self.lines.borrow();
+        if lines.is_empty() {
+            String::new()
+        } else {
+            lines.join("\n") + "\n"
+        }
+    }
+
+    /// Number of recorded lines.
+    pub fn len(&self) -> usize {
+        self.lines.borrow().len()
+    }
+
+    /// Whether nothing was recorded.
+    pub fn is_empty(&self) -> bool {
+        self.lines.borrow().is_empty()
+    }
+
+    /// Writes the trace to `target/chaos/<name>-<seed>.jsonl` (the
+    /// convention CI's artifact uploads collect); returns the path, or
+    /// `None` when the directory could not be created or written.
+    pub fn write(&self, name: &str, seed: u64) -> Option<PathBuf> {
+        write_lines(name, seed, &self.lines.borrow())
+    }
+}
+
+/// Writes pre-rendered trace lines to `target/chaos/<name>-<seed>.jsonl`.
+///
+/// The free-function form exists for suites that accumulate plain
+/// `Vec<String>` traces (e.g. returned across a scenario boundary for a
+/// determinism comparison) and only need the shared output convention.
+pub fn write_lines(name: &str, seed: u64, lines: &[String]) -> Option<PathBuf> {
+    let dir = PathBuf::from(concat!(env!("CARGO_MANIFEST_DIR"), "/../../target/chaos"));
+    std::fs::create_dir_all(&dir).ok()?;
+    let path = dir.join(format!("{name}-{seed}.jsonl"));
+    let body = if lines.is_empty() {
+        String::new()
+    } else {
+        lines.join("\n") + "\n"
+    };
+    std::fs::write(&path, body).ok()?;
+    Some(path)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn keys_serialize_sorted_regardless_of_call_order() {
+        let trace = Trace::new();
+        trace.log_kv(
+            5,
+            "x",
+            &[
+                ("zeta", 1u64.into()),
+                ("alpha", "a".into()),
+                ("mid", true.into()),
+            ],
+        );
+        assert_eq!(
+            trace.lines(),
+            vec![r#"{"alpha":"a","event":"x","mid":true,"tick":5,"zeta":1}"#.to_string()]
+        );
+    }
+
+    #[test]
+    fn event_text_is_escaped() {
+        let trace = Trace::new();
+        trace.log(1, "fault Partition { a: \"a\", b: \"b\" }");
+        let line = trace.lines().remove(0);
+        assert_eq!(
+            line,
+            r#"{"event":"fault Partition { a: \"a\", b: \"b\" }","tick":1}"#
+        );
+    }
+
+    #[test]
+    fn raw_values_embed_verbatim() {
+        let trace = Trace::new();
+        trace.push_fields(&[
+            ("stats", TraceValue::Raw(r#"{"a":1}"#.to_string())),
+            ("tick", 9u64.into()),
+        ]);
+        assert_eq!(
+            trace.lines(),
+            vec![r#"{"stats":{"a":1},"tick":9}"#.to_string()]
+        );
+    }
+
+    #[test]
+    fn negative_and_control_values_render() {
+        let trace = Trace::new();
+        trace.log_kv(
+            2,
+            "skew",
+            &[("offset_ms", (-200i64).into()), ("note", "a\nb".into())],
+        );
+        assert_eq!(
+            trace.lines(),
+            vec![r#"{"event":"skew","note":"a\nb","offset_ms":-200,"tick":2}"#.to_string()]
+        );
+    }
+
+    #[test]
+    fn clones_share_the_buffer() {
+        let trace = Trace::new();
+        let handle = trace.clone();
+        handle.log(1, "via clone");
+        assert_eq!(trace.len(), 1);
+        assert!(!trace.is_empty());
+        assert_eq!(trace.to_jsonl(), "{\"event\":\"via clone\",\"tick\":1}\n");
+    }
+
+    #[test]
+    fn identical_sequences_render_byte_identically() {
+        let record = |t: &Trace| {
+            t.log(1, "start");
+            t.log_kv(2, "step", &[("n", 4u64.into())]);
+            t.push_fields(&[("done", true.into())]);
+        };
+        let (a, b) = (Trace::new(), Trace::new());
+        record(&a);
+        record(&b);
+        assert_eq!(a.to_jsonl(), b.to_jsonl());
+    }
+}

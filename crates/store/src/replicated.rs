@@ -514,6 +514,27 @@ pub struct ReplicaStats {
     pub step_downs: u64,
 }
 
+impl ReplicaStats {
+    /// Compact single-line JSON for chaos/conformance traces, keys
+    /// sorted (no serde dependency).
+    pub fn trace_json(&self) -> String {
+        format!(
+            "{{\"committed\":{},\"elections_started\":{},\"elections_won\":{},\
+             \"heartbeats_sent\":{},\"no_quorum\":{},\"not_leader\":{},\
+             \"step_downs\":{},\"syncs_applied\":{},\"syncs_sent\":{}}}",
+            self.committed,
+            self.elections_started,
+            self.elections_won,
+            self.heartbeats_sent,
+            self.no_quorum,
+            self.not_leader,
+            self.step_downs,
+            self.syncs_applied,
+            self.syncs_sent,
+        )
+    }
+}
+
 struct NodeState {
     term: u64,
     role: Role,

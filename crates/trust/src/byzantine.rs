@@ -1,0 +1,264 @@
+//! A CIV notary that can turn Byzantine mid-run — the fault adapter the
+//! conformance simulation drives.
+//!
+//! Sect. 6 of the paper names the attacks a trust scheme must weather:
+//! rogue domains issuing "valueless audit certificates", repudiating
+//! honest history, and colluding parties fabricating trustworthiness.
+//! The [`population`](crate::population) simulation models those
+//! behaviours statistically; the conformance harness needs them as a
+//! *scriptable fault* instead — an `oasis-sim` `FaultPlan` fires
+//! `Fault::ByzantineCiv { node }` at a fixed virtual tick and the
+//! scenario driver flips the matching [`ByzantineCiv`] adapter, after
+//! which every notarisation it performs is adversarial. Everything the
+//! adapter does is deterministic, so replaying the scenario's seed
+//! reproduces the same forged certificates byte for byte.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+
+use oasis_core::{PrincipalId, ServiceId};
+
+use crate::cert::{AuditCertificate, CivNotary, Outcome};
+
+/// A CIV notary wrapper with a switchable Byzantine mode.
+///
+/// While honest it is a transparent passthrough to the inner
+/// [`CivNotary`]. After [`ByzantineCiv::go_byzantine`] it:
+///
+/// * repudiates its entire signing history (key rotation + retirement,
+///   so previously issued certificates stop validating),
+/// * whitewashes every outcome it notarises to [`Outcome::Fulfilled`]
+///   regardless of what actually happened, and
+/// * will [`forge_as`](ByzantineCiv::forge_as) certificates naming a
+///   *different* CIV as issuer and
+///   [`fabricate_history`](ByzantineCiv::fabricate_history) for
+///   colluding clients.
+///
+/// The counters record what the adversary did so scenario invariants
+/// can assert the honest side rejected exactly that evidence.
+#[derive(Debug)]
+pub struct ByzantineCiv {
+    notary: CivNotary,
+    byzantine: AtomicBool,
+    whitewashed: AtomicU64,
+    forged: AtomicU64,
+    fabricated: AtomicU64,
+}
+
+impl ByzantineCiv {
+    /// Wraps a fresh honest notary with the given service id.
+    pub fn new(id: impl Into<ServiceId>) -> Self {
+        Self {
+            notary: CivNotary::new(id),
+            byzantine: AtomicBool::new(false),
+            whitewashed: AtomicU64::new(0),
+            forged: AtomicU64::new(0),
+            fabricated: AtomicU64::new(0),
+        }
+    }
+
+    /// The wrapped notary's service id.
+    pub fn id(&self) -> &ServiceId {
+        self.notary.id()
+    }
+
+    /// Whether the adapter has turned.
+    pub fn is_byzantine(&self) -> bool {
+        self.byzantine.load(Ordering::Relaxed)
+    }
+
+    /// Turns the CIV rogue: repudiates all previously signed
+    /// certificates and makes every subsequent notarisation
+    /// adversarial. Idempotent — a second call neither rotates again
+    /// nor resets counters.
+    pub fn go_byzantine(&self) {
+        if !self.byzantine.swap(true, Ordering::Relaxed) {
+            self.notary.repudiate_all();
+        }
+    }
+
+    /// Notarises an interaction. Honest mode records `outcome`
+    /// faithfully; Byzantine mode whitewashes it to
+    /// [`Outcome::Fulfilled`] (the "valueless audit certificates" of
+    /// Sect. 6 — syntactically valid, evidentially worthless).
+    pub fn notarise(
+        &self,
+        client: &PrincipalId,
+        provider: &ServiceId,
+        contract: impl Into<String>,
+        outcome: Outcome,
+        at: u64,
+    ) -> AuditCertificate {
+        let recorded = if self.is_byzantine() && outcome != Outcome::Fulfilled {
+            self.whitewashed.fetch_add(1, Ordering::Relaxed);
+            Outcome::Fulfilled
+        } else {
+            outcome
+        };
+        self.notary
+            .notarise(client, provider, contract, recorded, at)
+    }
+
+    /// Forges a certificate that *claims* to come from `victim` — the
+    /// signature is made with this CIV's secret, so the victim's
+    /// `validate` must reject it. Only available after turning; an
+    /// honest adapter returns `None`.
+    pub fn forge_as(
+        &self,
+        victim: &ServiceId,
+        client: &PrincipalId,
+        provider: &ServiceId,
+        contract: impl Into<String>,
+        outcome: Outcome,
+        at: u64,
+    ) -> Option<AuditCertificate> {
+        if !self.is_byzantine() {
+            return None;
+        }
+        self.forged.fetch_add(1, Ordering::Relaxed);
+        let mut cert = self
+            .notary
+            .notarise(client, provider, contract, outcome, at);
+        cert.civ = victim.clone();
+        Some(cert)
+    }
+
+    /// Fabricates `n` fulfilled-interaction certificates for a
+    /// colluding client, back-dated one tick apart ending at `at`.
+    /// Empty unless Byzantine.
+    pub fn fabricate_history(
+        &self,
+        client: &PrincipalId,
+        provider: &ServiceId,
+        n: u64,
+        at: u64,
+    ) -> Vec<AuditCertificate> {
+        if !self.is_byzantine() {
+            return Vec::new();
+        }
+        self.fabricated.fetch_add(n, Ordering::Relaxed);
+        (0..n)
+            .map(|i| {
+                let when = at.saturating_sub(n - 1 - i);
+                self.notary.notarise(
+                    client,
+                    provider,
+                    format!("fabricated-{i}"),
+                    Outcome::Fulfilled,
+                    when,
+                )
+            })
+            .collect()
+    }
+
+    /// Validates a certificate against the wrapped notary's live
+    /// secrets (post-turn, history is repudiated and fails here too).
+    pub fn validate(&self, cert: &AuditCertificate) -> bool {
+        self.notary.validate(cert)
+    }
+
+    /// `(whitewashed, forged, fabricated)` — what the adversary has
+    /// done so far, for scenario traces and invariants.
+    pub fn attack_stats(&self) -> (u64, u64, u64) {
+        (
+            self.whitewashed.load(Ordering::Relaxed),
+            self.forged.load(Ordering::Relaxed),
+            self.fabricated.load(Ordering::Relaxed),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parties() -> (PrincipalId, ServiceId) {
+        (PrincipalId::new("alice"), ServiceId::new("library"))
+    }
+
+    #[test]
+    fn honest_mode_is_a_passthrough() {
+        let civ = ByzantineCiv::new("civ");
+        let (client, provider) = parties();
+        let cert = civ.notarise(&client, &provider, "c-1", Outcome::ClientDefaulted, 10);
+        assert_eq!(cert.outcome, Outcome::ClientDefaulted, "no whitewash");
+        assert!(civ.validate(&cert));
+        assert!(civ
+            .forge_as(
+                &ServiceId::new("other"),
+                &client,
+                &provider,
+                "f",
+                Outcome::Fulfilled,
+                10
+            )
+            .is_none());
+        assert!(civ.fabricate_history(&client, &provider, 5, 10).is_empty());
+        assert_eq!(civ.attack_stats(), (0, 0, 0));
+    }
+
+    #[test]
+    fn turning_repudiates_history_and_whitewashes() {
+        let civ = ByzantineCiv::new("civ");
+        let (client, provider) = parties();
+        let honest = civ.notarise(&client, &provider, "c-1", Outcome::Fulfilled, 10);
+        assert!(civ.validate(&honest));
+
+        civ.go_byzantine();
+        assert!(civ.is_byzantine());
+        assert!(!civ.validate(&honest), "history repudiated");
+
+        let washed = civ.notarise(&client, &provider, "c-2", Outcome::ClientDefaulted, 20);
+        assert_eq!(washed.outcome, Outcome::Fulfilled, "default laundered");
+        assert!(civ.validate(&washed), "signed with the post-turn secret");
+        assert_eq!(civ.attack_stats(), (1, 0, 0));
+    }
+
+    #[test]
+    fn go_byzantine_is_idempotent() {
+        let civ = ByzantineCiv::new("civ");
+        civ.go_byzantine();
+        let (client, provider) = parties();
+        let cert = civ.notarise(&client, &provider, "c", Outcome::Fulfilled, 5);
+        civ.go_byzantine();
+        assert!(civ.validate(&cert), "second turn does not rotate again");
+    }
+
+    #[test]
+    fn forgeries_fail_the_victims_validation() {
+        let civ = ByzantineCiv::new("rogue-civ");
+        let victim = CivNotary::new("honest-civ");
+        let (client, provider) = parties();
+        civ.go_byzantine();
+
+        let forged = civ
+            .forge_as(
+                victim.id(),
+                &client,
+                &provider,
+                "f-1",
+                Outcome::Fulfilled,
+                30,
+            )
+            .expect("byzantine mode forges");
+        assert_eq!(&forged.civ, victim.id(), "claims the victim's name");
+        assert!(!victim.validate(&forged), "wrong secret");
+        assert!(!civ.validate(&forged), "wrong civ id for the rogue too");
+        assert_eq!(civ.attack_stats(), (0, 1, 0));
+    }
+
+    #[test]
+    fn fabricated_history_is_deterministic_and_counted() {
+        let (client, provider) = parties();
+        let civ = ByzantineCiv::new("rogue-civ");
+        civ.go_byzantine();
+        let history = civ.fabricate_history(&client, &provider, 3, 100);
+        assert_eq!(history.len(), 3);
+        assert_eq!(
+            history.iter().map(|c| c.at).collect::<Vec<_>>(),
+            vec![98, 99, 100],
+            "back-dated one tick apart"
+        );
+        assert!(history.iter().all(|c| c.outcome == Outcome::Fulfilled));
+        assert_eq!(civ.attack_stats(), (0, 0, 3));
+    }
+}

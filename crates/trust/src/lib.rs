@@ -27,6 +27,9 @@
 //! * [`population`] — a seeded simulation of honest, rogue, and colluding
 //!   principals used by the TAB-T experiment to show trust converging
 //!   despite a Byzantine minority.
+//! * [`ByzantineCiv`] — a notary that can turn rogue mid-run
+//!   (repudiation, whitewashing, forgery, fabricated histories), the
+//!   scriptable-fault adapter driven by the conformance harness.
 //!
 //! # Example
 //!
@@ -50,10 +53,12 @@
 #![warn(missing_docs)]
 
 mod assess;
+mod byzantine;
 mod cert;
 mod history;
 pub mod population;
 
 pub use assess::{Decision, RiskPolicy, TrustAssessor, TrustScore};
+pub use byzantine::ByzantineCiv;
 pub use cert::{AuditCertificate, CivNotary, Outcome};
 pub use history::InteractionHistory;

@@ -44,4 +44,4 @@ pub use client::{WireClient, WireTimeouts};
 pub use error::WireError;
 pub use server::{ContextFactory, WireServer};
 pub use sync_client::{BlockingClient, RemoteValidator};
-pub use transport::{FailoverClient, WireTransport};
+pub use transport::{FailoverClient, FailoverStats, WireTransport};

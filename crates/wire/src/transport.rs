@@ -128,6 +128,33 @@ pub struct FailoverClient {
     timeouts: WireTimeouts,
     retry: RetryPolicy,
     deadline_ms: Option<u64>,
+    stats: FailoverStats,
+}
+
+/// Counters from a [`FailoverClient`]'s leader chase — the wire-side
+/// trace hook: how many dials, hint follows, and candidate rotations a
+/// scenario's failovers actually cost the client.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FailoverStats {
+    /// Connection attempts (initial dials, re-dials, hint dials).
+    pub dials: u64,
+    /// `NotLeader` answers received from followers.
+    pub not_leader_answers: u64,
+    /// `NotLeader` hints successfully followed to a new leader.
+    pub hint_follows: u64,
+    /// Blind rotations to the next candidate (no usable hint).
+    pub rotations: u64,
+}
+
+impl FailoverStats {
+    /// Compact single-line JSON for chaos/conformance traces, keys
+    /// sorted (no serde dependency).
+    pub fn trace_json(&self) -> String {
+        format!(
+            "{{\"dials\":{},\"hint_follows\":{},\"not_leader_answers\":{},\"rotations\":{}}}",
+            self.dials, self.hint_follows, self.not_leader_answers, self.rotations,
+        )
+    }
 }
 
 impl std::fmt::Debug for FailoverClient {
@@ -150,7 +177,13 @@ impl FailoverClient {
             timeouts: WireTimeouts::default(),
             retry: RetryPolicy::default(),
             deadline_ms: None,
+            stats: FailoverStats::default(),
         }
+    }
+
+    /// A snapshot of the chase counters.
+    pub fn stats(&self) -> FailoverStats {
+        self.stats
     }
 
     /// Replaces the socket deadlines used when dialling.
@@ -176,6 +209,7 @@ impl FailoverClient {
 
     /// Connects to `addr`, replacing any cached connection.
     fn dial(&mut self, addr: &str) -> Result<(), WireError> {
+        self.stats.dials += 1;
         let mut client = WireClient::connect_with(addr, self.timeouts)?;
         client.set_deadline_ms(self.deadline_ms);
         self.conn = Some(client);
@@ -184,6 +218,7 @@ impl FailoverClient {
 
     /// The next candidate address in rotation.
     fn next_candidate(&mut self) -> String {
+        self.stats.rotations += 1;
         let addr = self.candidates[self.cursor % self.candidates.len()].clone();
         self.cursor = (self.cursor + 1) % self.candidates.len();
         addr
@@ -230,10 +265,12 @@ impl FailoverClient {
                     // it names the leader); without one the election is
                     // still settling, so wait before probing the next
                     // candidate.
+                    self.stats.not_leader_answers += 1;
                     self.conn = None;
                     // Hinted leader unreachable falls through to the
                     // normal rotation below.
                     if hint.is_some_and(|leader| self.dial(&leader).is_ok()) {
+                        self.stats.hint_follows += 1;
                         continue;
                     }
                     match backoff.next_delay() {

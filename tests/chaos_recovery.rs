@@ -24,7 +24,7 @@ use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 
 use oasis::events::{OverflowPolicy, SourceHealth};
-use oasis::sim::{FaultPlan, Latency, LinkConfig, SimNet, Simulation};
+use oasis::sim::{chaos_seed, write_lines, FaultPlan, Latency, LinkConfig, SimNet, Simulation};
 use oasis_core::cert::Rmc;
 use oasis_core::retry::RetryPolicy;
 use oasis_core::{
@@ -535,30 +535,11 @@ fn run_scenario(seed: u64) -> Vec<String> {
     replay
 }
 
-fn chaos_seed() -> u64 {
-    std::env::var("CHAOS_SEED")
-        .ok()
-        .and_then(|s| s.parse().ok())
-        .unwrap_or(42)
-}
-
-fn write_named_trace(name: &str, seed: u64, trace: &[String]) {
-    let dir = concat!(env!("CARGO_MANIFEST_DIR"), "/../../target/chaos");
-    if std::fs::create_dir_all(dir).is_ok() {
-        let path = format!("{dir}/{name}-{seed}.jsonl");
-        let _ = std::fs::write(&path, trace.join("\n") + "\n");
-    }
-}
-
-fn write_trace(seed: u64, trace: &[String]) {
-    write_named_trace("trace", seed, trace);
-}
-
 #[test]
 fn chaos_crash_degrade_heal_recover() {
     let seed = chaos_seed();
     let trace = run_scenario(seed);
-    write_trace(seed, &trace);
+    let _ = write_lines("trace", seed, &trace);
     // The trace must show the full arc: death observed, degradation,
     // breaker lifecycle, recovery.
     let all = trace.join("\n");
@@ -707,7 +688,7 @@ fn chaos_kill_during_commit_replays_idempotently() {
     assert_eq!(report.revocations_replayed, report2.revocations_replayed);
     log(22, "second replay idempotent");
 
-    write_named_trace("commit-trace", seed, &trace);
+    let _ = write_lines("commit-trace", seed, &trace);
 }
 
 #[test]

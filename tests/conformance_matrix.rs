@@ -1,0 +1,178 @@
+//! The conformance matrix: every workload × fault × topology cell runs
+//! under a seeded virtual clock, asserts the shared invariant set, and
+//! must replay byte-identically.
+//!
+//! * `matrix_shape_meets_the_floor` pins the ISSUE acceptance numbers
+//!   (≥ 30 cells, ≥ 30% non-happy-path) so a future axis removal fails
+//!   loudly instead of silently shrinking coverage.
+//! * `conformance_matrix_holds_all_invariants` runs every cell twice:
+//!   the first run's invariant report must be complete and hold, and
+//!   the second run's trace must be byte-identical to the first
+//!   (deterministic replay parity). On any failure both traces land in
+//!   `target/chaos/` for post-mortem diffing.
+//! * `perturbed_replay_must_diverge` is the harness's meta-test: a
+//!   one-tick perturbation of a storm cell MUST produce a divergent
+//!   trace, and the comparator must report the first divergent line. A
+//!   parity check that cannot fail proves nothing.
+//!
+//! The base seed comes from `CONFORMANCE_SEED` (fallback `CHAOS_SEED`,
+//! default 42); each cell derives its own stream from the seed and its
+//! name. `CONFORMANCE_SOAK_MS` turns the run into a wall-clock-bounded
+//! soak over derived seeds.
+
+use oasis_conformance::{
+    cells_in, compare_traces, coverage, full_matrix, run_cell, run_cell_perturbed, Category,
+    FaultRegime, Perturbation, Scenario, ScenarioRun, Topology, Workload,
+};
+use oasis_sim::{chaos_seed, derive_seed, write_lines};
+
+/// Runs one cell twice and asserts invariants + replay parity; on
+/// success writes the canonical trace, on divergence both traces.
+fn run_and_check(cell: Scenario, base_seed: u64) -> ScenarioRun {
+    let name = cell.name();
+    let first = run_cell(cell, base_seed);
+    assert!(
+        first.report.is_complete(),
+        "{name}: report covers only {} of the canonical invariant set",
+        first.report.checks.len()
+    );
+    first.report.assert_all(&name);
+
+    let second = run_cell(cell, base_seed);
+    if let Some(divergence) = compare_traces(&first.trace, &second.trace) {
+        write_lines(
+            &format!("{}-replay-a", cell.file_name()),
+            base_seed,
+            &first.trace,
+        );
+        write_lines(
+            &format!("{}-replay-b", cell.file_name()),
+            base_seed,
+            &second.trace,
+        );
+        panic!("{name}: replay is not byte-identical\n{divergence}");
+    }
+    write_lines(&cell.file_name(), base_seed, &first.trace);
+    first
+}
+
+#[test]
+fn matrix_shape_meets_the_floor() {
+    let cells = full_matrix();
+    let cov = coverage(&cells);
+    assert!(
+        cov.total >= 30,
+        "matrix has {} cells, need >= 30",
+        cov.total
+    );
+    assert!(
+        cov.non_happy_percent() >= 30,
+        "only {}% of cells are non-happy-path, need >= 30%",
+        cov.non_happy_percent()
+    );
+    // Every category must stay populated: the matrix is a commitment,
+    // not whatever the axes happen to produce.
+    for category in [
+        Category::HappyPath,
+        Category::Boundary,
+        Category::FaultOnly,
+        Category::Combined,
+        Category::Byzantine,
+    ] {
+        assert!(
+            !cells_in(&cells, category).is_empty(),
+            "category {category:?} lost all its cells"
+        );
+    }
+}
+
+#[test]
+fn conformance_matrix_holds_all_invariants() {
+    let base_seed = chaos_seed();
+    let cells = full_matrix();
+    let mut summary: Vec<String> = Vec::new();
+    for cell in &cells {
+        let run = run_and_check(*cell, base_seed);
+        summary.push(format!(
+            "{{\"cell\":\"{}\",\"checks\":{},\"seed\":{},\"trace_lines\":{}}}",
+            cell.name(),
+            run.report.checks.len(),
+            run.seed,
+            run.trace.len()
+        ));
+    }
+    write_lines("conformance-summary", base_seed, &summary);
+}
+
+#[test]
+fn perturbed_replay_must_diverge() {
+    let base_seed = chaos_seed();
+    let cell = Scenario::new(
+        Topology::TwoDomain,
+        Workload::RevocationStorm,
+        FaultRegime::IssuerOutage,
+    );
+    let baseline = run_cell(cell, base_seed);
+    let perturbed = run_cell_perturbed(cell, base_seed, Some(Perturbation::DelayFirstRevocation));
+    let divergence = compare_traces(&baseline.trace, &perturbed.trace).unwrap_or_else(|| {
+        panic!(
+            "meta-test: a one-tick perturbation produced a byte-identical trace — \
+             the parity comparator cannot detect divergence"
+        )
+    });
+    // The report must point at a real first difference, not just "they
+    // differ somewhere".
+    assert!(
+        divergence.first.is_some() || divergence.second.is_some(),
+        "divergence carries no evidence"
+    );
+    assert_ne!(divergence.first, divergence.second);
+
+    // Same meta-check on the replicated topology: its clock (the mesh)
+    // must be as tamper-evident as the two-domain virtual clock.
+    let cell = Scenario::new(
+        Topology::ReplicatedCiv3,
+        Workload::RevocationStorm,
+        FaultRegime::KillLeader,
+    );
+    let baseline = run_cell(cell, base_seed);
+    let perturbed = run_cell_perturbed(cell, base_seed, Some(Perturbation::DelayFirstRevocation));
+    assert!(
+        compare_traces(&baseline.trace, &perturbed.trace).is_some(),
+        "meta-test: replicated-topology perturbation went undetected"
+    );
+}
+
+/// `CONFORMANCE_SOAK_MS=60000` keeps re-running the matrix under
+/// derived seeds until the wall-clock budget is spent — the nightly
+/// job's knob. A zero/absent budget reduces to a no-op (the three CI
+/// seeds already ran the matrix via the tests above).
+#[test]
+fn conformance_soak_within_budget() {
+    let budget_ms: u64 = std::env::var("CONFORMANCE_SOAK_MS")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(0);
+    if budget_ms == 0 {
+        return;
+    }
+    let started = std::time::Instant::now();
+    let base_seed = chaos_seed();
+    let cells = full_matrix();
+    let mut round = 0u64;
+    while started.elapsed().as_millis() < u128::from(budget_ms) {
+        let seed = derive_seed(base_seed, round);
+        for cell in &cells {
+            let run = run_cell(*cell, seed);
+            run.report.assert_all(&cell.name());
+            let replay = run_cell(*cell, seed);
+            assert!(
+                compare_traces(&run.trace, &replay.trace).is_none(),
+                "soak: {} diverged under seed {seed}",
+                cell.name()
+            );
+        }
+        round += 1;
+    }
+    assert!(round > 0, "soak budget too small to finish one round");
+}

@@ -34,7 +34,7 @@ use std::cell::RefCell;
 use std::rc::Rc;
 use std::sync::Arc;
 
-use oasis::sim::{Histogram, Latency, LinkConfig, SimNet, Simulation};
+use oasis::sim::{chaos_seed, write_lines, Histogram, Latency, LinkConfig, SimNet, Simulation};
 use oasis_core::cert::Rmc;
 use oasis_core::{
     AdmissionController, Atom, CertId, Clock, CredStatus, Credential, Deadline, EnvContext, Lane,
@@ -486,21 +486,6 @@ fn run_flood(seed: u64, shedding: bool) -> FloodOutcome {
     }
 }
 
-fn chaos_seed() -> u64 {
-    std::env::var("CHAOS_SEED")
-        .ok()
-        .and_then(|s| s.parse().ok())
-        .unwrap_or(42)
-}
-
-fn write_named_trace(name: &str, seed: u64, trace: &[String]) {
-    let dir = concat!(env!("CARGO_MANIFEST_DIR"), "/../../target/chaos");
-    if std::fs::create_dir_all(dir).is_ok() {
-        let path = format!("{dir}/{name}-{seed}.jsonl");
-        let _ = std::fs::write(&path, trace.join("\n") + "\n");
-    }
-}
-
 /// Asserts the shedding-mode invariants of one run; returns its p99.
 fn assert_shedding_invariants(out: &FloodOutcome, seed: u64) -> u64 {
     assert_eq!(
@@ -537,11 +522,11 @@ fn flood_shedding_bounds_revocation_latency_10x_over_fifo() {
     let seed = chaos_seed();
 
     let shed = run_flood(seed, true);
-    write_named_trace("overload-shed", seed, &shed.trace);
+    let _ = write_lines("overload-shed", seed, &shed.trace);
     let shed_p99 = assert_shedding_invariants(&shed, seed);
 
     let fifo = run_flood(seed, false);
-    write_named_trace("overload-fifo", seed, &fifo.trace);
+    let _ = write_lines("overload-fifo", seed, &fifo.trace);
     assert_eq!(fifo.started_after_deadline, 0);
     assert_eq!(
         fifo.validations_shed, 0,
@@ -595,5 +580,5 @@ fn overload_soak() {
     last_trace.push(format!(
         "{{\"event\":\"soak complete\",\"runs\":{runs},\"base_seed\":{base}}}"
     ));
-    write_named_trace("overload-soak", base, &last_trace);
+    let _ = write_lines("overload-soak", base, &last_trace);
 }

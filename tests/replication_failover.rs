@@ -25,7 +25,7 @@
 
 use std::sync::Arc;
 
-use oasis::sim::{Fault, FaultPlan, Latency, LinkConfig, SimNet};
+use oasis::sim::{chaos_seed, write_lines, Fault, FaultPlan, Latency, LinkConfig, SimNet};
 use oasis::store::{LocalMesh, ReplicaConfig, ReplicaNode, StorageBackend};
 use oasis_core::cert::Rmc;
 use oasis_core::{
@@ -351,26 +351,11 @@ fn run_scenario(seed: u64) -> Vec<String> {
     trace
 }
 
-fn chaos_seed() -> u64 {
-    std::env::var("CHAOS_SEED")
-        .ok()
-        .and_then(|s| s.parse().ok())
-        .unwrap_or(42)
-}
-
-fn write_trace(seed: u64, trace: &[String]) {
-    let dir = concat!(env!("CARGO_MANIFEST_DIR"), "/../../target/chaos");
-    if std::fs::create_dir_all(dir).is_ok() {
-        let path = format!("{dir}/replication-{seed}.jsonl");
-        let _ = std::fs::write(&path, trace.join("\n") + "\n");
-    }
-}
-
 #[test]
 fn chaos_kill_leader_mid_storm_loses_nothing() {
     let seed = chaos_seed();
     let trace = run_scenario(seed);
-    write_trace(seed, &trace);
+    let _ = write_lines("replication", seed, &trace);
     let all = trace.join("\n");
     for landmark in [
         "revocations quorum-acked",
