@@ -34,6 +34,13 @@ use oasis_bench::table_header;
 const RECORD: &[u8] = b"0123456789abcdef";
 
 fn cluster(n: usize) -> (LocalMesh, Vec<Arc<ReplicaNode>>) {
+    cluster_with(n, |_| {})
+}
+
+fn cluster_with(
+    n: usize,
+    tweak: impl Fn(&mut ReplicaConfig),
+) -> (LocalMesh, Vec<Arc<ReplicaNode>>) {
     let mesh = LocalMesh::new();
     let ids: Vec<String> = (0..n).map(|i| format!("civ{i}")).collect();
     let nodes: Vec<Arc<ReplicaNode>> = ids
@@ -41,7 +48,8 @@ fn cluster(n: usize) -> (LocalMesh, Vec<Arc<ReplicaNode>>) {
         .enumerate()
         .map(|(i, id)| {
             let peers = ids.iter().filter(|p| *p != id).cloned().collect();
-            let cfg = ReplicaConfig::new(id.clone(), peers, format!("10.0.0.{i}:7450"));
+            let mut cfg = ReplicaConfig::new(id.clone(), peers, format!("10.0.0.{i}:7450"));
+            tweak(&mut cfg);
             let node = Arc::new(ReplicaNode::new(cfg, Arc::new(mesh.clone())));
             mesh.register(Arc::clone(&node));
             node
@@ -188,8 +196,189 @@ fn replication_table() -> String {
     )
 }
 
+/// One lag-heal trial: a follower is cut off while `lag` entries land
+/// (on top of `pre_fill` already replicated), the link heals, and we
+/// measure the virtual ms to convergence plus the bytes each recovery
+/// path shipped. `retain` decides the path: a tail longer than the lag
+/// heals via entry repair, a compacted one forces a full-state sync.
+fn lag_heal_trial(pre_fill: usize, lag: usize, retain: usize) -> (u64, u64, u64) {
+    let (mesh, nodes) = cluster_with(3, |cfg| cfg.retain_entries = retain);
+    let (leader, _) = settle(&mesh);
+    let follower = nodes
+        .iter()
+        .find(|n| n.id() != leader.id())
+        .expect("a follower")
+        .clone();
+    let store = leader.replicated("journal");
+    for _ in 0..pre_fill {
+        mesh.step(5);
+        store.append(RECORD).expect("healthy append commits");
+    }
+    mesh.partition(leader.id(), follower.id());
+    for _ in 0..lag {
+        mesh.step(5);
+        store.append(RECORD).expect("majority append commits");
+    }
+    let repair_before = leader.stats().repair_bytes_served;
+    let sync_before = leader.stats().sync_bytes_sent;
+    mesh.heal_partition(leader.id(), follower.id());
+    let healed_from = mesh.now();
+    for _ in 0..400 {
+        if follower.last_index() == leader.last_index() {
+            break;
+        }
+        mesh.step(25);
+    }
+    assert_eq!(
+        follower.last_index(),
+        leader.last_index(),
+        "lagging follower must converge after the heal"
+    );
+    (
+        mesh.now() - healed_from,
+        leader.stats().repair_bytes_served - repair_before,
+        leader.stats().sync_bytes_sent - sync_before,
+    )
+}
+
+/// Election churn under a full isolation window, with or without
+/// pre-vote: returns `(elections_started, leader_depositions)` summed
+/// over the isolated node / old leader after the heal settles.
+fn isolation_churn_trial(pre_vote: bool) -> (u64, u64) {
+    let (mesh, nodes) = cluster_with(3, |cfg| cfg.pre_vote = pre_vote);
+    let (leader, _) = settle(&mesh);
+    let isolated = nodes
+        .iter()
+        .find(|n| n.id() != leader.id())
+        .expect("a follower")
+        .clone();
+    for peer in nodes.iter().filter(|n| n.id() != isolated.id()) {
+        mesh.partition(isolated.id(), peer.id());
+    }
+    for _ in 0..30 {
+        mesh.step(25);
+    }
+    for peer in nodes.iter().filter(|n| n.id() != isolated.id()) {
+        mesh.heal_partition(isolated.id(), peer.id());
+    }
+    for _ in 0..40 {
+        mesh.step(25);
+    }
+    (
+        isolated.stats().elections_started,
+        leader.stats().step_downs,
+    )
+}
+
+struct HealSeries {
+    path: &'static str,
+    retain: usize,
+    heal_p50_ms: u64,
+    heal_p99_ms: u64,
+    repair_bytes: u64,
+    sync_bytes: u64,
+    trials: usize,
+}
+
+/// TAB-H addendum — partition hardening: entry repair vs full sync at
+/// the same lag, and election churn with/without pre-vote. Returns the
+/// JSON fragment spliced into `BENCH_replication.json`.
+fn repair_table() -> String {
+    const PRE_FILL: usize = 64;
+    const LAG: usize = 32;
+    const TRIALS: usize = 9;
+
+    table_header(
+        "TAB-H addendum: lag healing path and pre-vote churn",
+        "entry repair ships the delta; full sync ships the world; pre-vote ships nothing",
+        "path          retain  heal p50  heal p99  repair bytes  sync bytes",
+    );
+
+    let mut series = Vec::new();
+    // retain 512: the 32-entry lag sits inside the tail — entry repair.
+    // retain 2: the tail compacted past the lag — chunked full sync.
+    for (path, retain) in [("entry-repair", 512usize), ("full-sync", 2)] {
+        let trials: Vec<(u64, u64, u64)> = (0..TRIALS)
+            .map(|_| lag_heal_trial(PRE_FILL, LAG, retain))
+            .collect();
+        let mut heals: Vec<u64> = trials.iter().map(|t| t.0).collect();
+        heals.sort_unstable();
+        let repair_bytes = trials.iter().map(|t| t.1).max().unwrap_or(0);
+        let sync_bytes = trials.iter().map(|t| t.2).max().unwrap_or(0);
+        if path == "entry-repair" {
+            assert_eq!(
+                sync_bytes, 0,
+                "within-tail lag must never ship a full-state sync"
+            );
+            assert!(repair_bytes > 0, "repair path must actually serve entries");
+        } else {
+            assert!(sync_bytes > 0, "compacted tail must ship a sync");
+        }
+        let s = HealSeries {
+            path,
+            retain,
+            heal_p50_ms: percentile(&heals, 50.0),
+            heal_p99_ms: percentile(&heals, 99.0),
+            repair_bytes,
+            sync_bytes,
+            trials: TRIALS,
+        };
+        println!(
+            "{:<13} {:>6} {:>7}ms {:>7}ms {:>13} {:>11}",
+            s.path, s.retain, s.heal_p50_ms, s.heal_p99_ms, s.repair_bytes, s.sync_bytes
+        );
+        series.push(s);
+    }
+
+    let (elections_pv, depositions_pv) = isolation_churn_trial(true);
+    let (elections_raw, depositions_raw) = isolation_churn_trial(false);
+    assert_eq!(
+        depositions_pv, 0,
+        "pre-vote must absorb the isolation without a deposition"
+    );
+    assert!(
+        depositions_raw >= 1,
+        "without pre-vote the isolation must depose the leader (the contrast)"
+    );
+    println!(
+        "pre-vote on : elections_started={elections_pv} depositions={depositions_pv}\n\
+         pre-vote off: elections_started={elections_raw} depositions={depositions_raw}"
+    );
+
+    let heal_json = series
+        .iter()
+        .map(|s| {
+            format!(
+                "    {{\"path\": \"{}\", \"retain_entries\": {}, \"lag_entries\": {}, \
+                 \"heal_p50_ms\": {}, \"heal_p99_ms\": {}, \"repair_bytes\": {}, \
+                 \"sync_bytes\": {}, \"trials\": {}}}",
+                s.path,
+                s.retain,
+                LAG,
+                s.heal_p50_ms,
+                s.heal_p99_ms,
+                s.repair_bytes,
+                s.sync_bytes,
+                s.trials
+            )
+        })
+        .collect::<Vec<_>>()
+        .join(",\n");
+    format!(
+        "  \"lag_heal\": [\n{heal_json}\n  ],\n  \"isolation_churn\": {{\n    \
+         \"with_pre_vote\": {{\"elections_started\": {elections_pv}, \"depositions\": {depositions_pv}}},\n    \
+         \"without_pre_vote\": {{\"elections_started\": {elections_raw}, \"depositions\": {depositions_raw}}}\n  }}"
+    )
+}
+
 fn bench_replication(c: &mut Criterion) {
     let json = replication_table();
+    let repair = repair_table();
+    let json = json.replacen(
+        "\n  \"series\": [",
+        &format!("\n{repair},\n  \"series\": ["),
+        1,
+    );
     let out = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_replication.json");
     std::fs::write(out, json).expect("write BENCH_replication.json");
     println!("wrote {out}");

@@ -252,12 +252,34 @@ impl TrustWorld {
     }
 }
 
+/// The scripted fault schedule a two-domain regime installs, as
+/// `(tick, fault)` pairs — the unit of reduction for the shrink loop
+/// ([`crate::shrink`]).
+pub(crate) fn two_domain_schedule(fault: FaultRegime) -> Vec<(u64, Fault)> {
+    let mut plan = FaultPlan::new();
+    script_faults(&mut plan, fault);
+    plan.schedule_snapshot()
+}
+
 /// Runs one two-domain cell. `seed` is the already-derived per-scenario
 /// seed; `perturb` is only used by the harness's divergence meta-test.
 pub(crate) fn run_two_domain(
     scenario: Scenario,
     seed: u64,
     perturb: Option<Perturbation>,
+) -> ScenarioRun {
+    run_two_domain_scheduled(scenario, seed, perturb, None)
+}
+
+/// [`run_two_domain`] with an explicit fault schedule overriding the
+/// regime's scripted one — the shrink loop's entry point: it replays
+/// the cell under ddmin-reduced sub-schedules to find the minimal one
+/// that still fails.
+pub(crate) fn run_two_domain_scheduled(
+    scenario: Scenario,
+    seed: u64,
+    perturb: Option<Perturbation>,
+    schedule: Option<Vec<(u64, Fault)>>,
 ) -> ScenarioRun {
     let workload = scenario.workload;
     let regime = scenario.fault;
@@ -400,8 +422,14 @@ pub(crate) fn run_two_domain(
         duplicate: 0.05,
         jitter: 2,
     })));
-    let plan = Rc::new(RefCell::new(FaultPlan::new()));
-    script_faults(&mut plan.borrow_mut(), regime);
+    let plan = Rc::new(RefCell::new(match schedule {
+        Some(schedule) => FaultPlan::from_schedule(schedule),
+        None => {
+            let mut plan = FaultPlan::new();
+            script_faults(&mut plan, regime);
+            plan
+        }
+    }));
 
     let trust = Rc::new(TrustWorld::new());
     let trace = Trace::new();

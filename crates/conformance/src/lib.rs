@@ -32,16 +32,28 @@ pub mod matrix;
 pub mod parity;
 mod replicated;
 pub mod scenario;
+pub mod shrink;
 
 pub use engine::ScenarioRun;
 pub use invariant::{InvariantCheck, InvariantReport, INVARIANT_NAMES};
 pub use matrix::{cells_in, coverage, full_matrix, Coverage};
 pub use parity::{compare_traces, Divergence, Perturbation};
 pub use scenario::{Category, FaultRegime, Scenario, Topology, Workload};
+pub use shrink::{ddmin, shrink_cell, ShrinkReport};
 
 /// Extra per-cell check on top of [`INVARIANT_NAMES`]: flooding
 /// workloads must shed (and still answer), non-flooding ones must not.
 pub const OVERLOAD_BACKPRESSURE: &str = "overload-backpressure-engaged";
+
+/// Extra per-cell check on the replicated topology: an isolated node
+/// must not inflate its term while cut off, and its rejoin must not
+/// depose a stable leader (pre-vote absorbs the storm).
+pub const NO_TERM_STORM: &str = "no-term-storm";
+
+/// Extra per-cell check on the replicated topology: a leader that has
+/// lost its commit quorum past the lease window must fence itself —
+/// refuse writes — rather than serve from a stale log.
+pub const NO_STALE_LEADER_READ: &str = "no-stale-leader-read";
 
 /// Runs one matrix cell under `base_seed`. The effective seed is
 /// derived from the scenario *name* (`oasis_sim::scenario_seed`), so

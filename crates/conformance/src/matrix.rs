@@ -28,16 +28,19 @@ pub const TWO_DOMAIN_FAULTS: [FaultRegime; 7] = [
 pub const REPLICATED_WORKLOADS: [Workload; 2] = [Workload::Steady, Workload::RevocationStorm];
 
 /// Fault regimes available on the replicated-CIV topology.
-pub const REPLICATED_FAULTS: [FaultRegime; 5] = [
+pub const REPLICATED_FAULTS: [FaultRegime; 8] = [
     FaultRegime::None,
     FaultRegime::KillLeader,
     FaultRegime::KillLeaderTwice,
     FaultRegime::SubscriberCrashMidCatchup,
     FaultRegime::IsolateLeader,
+    FaultRegime::FlappyLinkRepair,
+    FaultRegime::MidSyncLinkDrop,
+    FaultRegime::IsolatedNodeTermStorm,
 ];
 
 /// The full matrix, in a fixed, stable order (topology-major, then
-/// workload, then fault). 45 cells: 35 two-domain + 10 replicated.
+/// workload, then fault). 51 cells: 35 two-domain + 16 replicated.
 pub fn full_matrix() -> Vec<Scenario> {
     let mut cells = Vec::new();
     for workload in TWO_DOMAIN_WORKLOADS {
@@ -150,6 +153,6 @@ mod tests {
         let b = full_matrix();
         assert_eq!(a, b);
         assert_eq!(a[0].name(), "two-domain/quiet/none");
-        assert_eq!(a.last().unwrap().name(), "civ3/storm/isolate-leader");
+        assert_eq!(a.last().unwrap().name(), "civ3/storm/term-storm");
     }
 }

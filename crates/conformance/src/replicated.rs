@@ -28,7 +28,7 @@ use crate::invariant::{
 };
 use crate::parity::Perturbation;
 use crate::scenario::{FaultRegime, Scenario, Workload};
-use crate::OVERLOAD_BACKPRESSURE;
+use crate::{NO_STALE_LEADER_READ, NO_TERM_STORM, OVERLOAD_BACKPRESSURE};
 
 /// Sessions issued up front; the last two stay unrevoked so stale and
 /// live authority can be told apart at the end.
@@ -42,7 +42,10 @@ fn alice() -> PrincipalId {
     PrincipalId::new("alice")
 }
 
-fn cluster(n: usize) -> (LocalMesh, Vec<Arc<ReplicaNode>>) {
+fn cluster_with(
+    n: usize,
+    tweak: impl Fn(&mut ReplicaConfig),
+) -> (LocalMesh, Vec<Arc<ReplicaNode>>) {
     let mesh = LocalMesh::new();
     let ids: Vec<String> = (0..n).map(|i| format!("civ{i}")).collect();
     let nodes: Vec<Arc<ReplicaNode>> = ids
@@ -50,13 +53,45 @@ fn cluster(n: usize) -> (LocalMesh, Vec<Arc<ReplicaNode>>) {
         .enumerate()
         .map(|(i, id)| {
             let peers = ids.iter().filter(|p| *p != id).cloned().collect();
-            let cfg = ReplicaConfig::new(id.clone(), peers, format!("127.0.0.1:{}", 9700 + i));
+            let mut cfg = ReplicaConfig::new(id.clone(), peers, format!("127.0.0.1:{}", 9700 + i));
+            tweak(&mut cfg);
             let node = Arc::new(ReplicaNode::new(cfg, Arc::new(mesh.clone())));
             mesh.register(Arc::clone(&node));
             node
         })
         .collect();
     (mesh, nodes)
+}
+
+/// Flaps (or, with `window == 0`, steadies) the `a`↔`b` link through the
+/// scripted fault path: the plan fires a [`Fault::FlappyPeerLink`] the
+/// driver resolves against the live mesh, exactly as `kill_and_promote`
+/// resolves leader kills.
+fn flap_via_plan(mesh: &LocalMesh, a: &str, b: &str, window: u64, trace: &Trace) {
+    let mut dummy_net = SimNet::new(LinkConfig::clean(Latency::Constant(1)));
+    let mut plan = FaultPlan::new();
+    let at = mesh.now() + 1;
+    plan.flap_link_at(at, a, b, window);
+    for fault in plan.apply_due(at, &mut dummy_net) {
+        if let Fault::FlappyPeerLink { .. } = fault {
+            for (a, b, window) in plan.take_link_flaps() {
+                if window == 0 {
+                    mesh.clear_flappy(&a, &b);
+                } else {
+                    mesh.set_flappy(&a, &b, window);
+                }
+                trace.log_kv(
+                    at,
+                    "link flap",
+                    &[
+                        ("a", TraceValue::from(a.to_string())),
+                        ("b", TraceValue::from(b.to_string())),
+                        ("window", TraceValue::from(window)),
+                    ],
+                );
+            }
+        }
+    }
 }
 
 /// Steps virtual time until exactly one live leader exists.
@@ -191,7 +226,16 @@ pub(crate) fn run_replicated(
         .insert("password_ok", vec![Value::id("alice")])
         .unwrap();
 
-    let (mesh, nodes) = cluster(3);
+    let (mesh, nodes) = cluster_with(3, |cfg| {
+        if scenario.fault == FaultRegime::MidSyncLinkDrop {
+            // Compact the tail almost immediately and slice syncs fine,
+            // so the partitioned follower can only recover through a
+            // *many-frame* chunked sync — the transfer the flapping
+            // link then interrupts mid-flight.
+            cfg.retain_entries = 2;
+            cfg.sync_chunk_bytes = 256;
+        }
+    });
     let group: Vec<String> = nodes.iter().map(|n| n.id().to_string()).collect();
     let first_leader = settle(&mesh);
     trace.log_kv(
@@ -265,6 +309,10 @@ pub(crate) fn run_replicated(
     let mut current = Arc::clone(&login);
     let mut rejoined_ok = true;
     let mut remaining = REVOCATIONS - k_pre;
+    // Extra verdicts only the partition-hardening regimes produce; they
+    // ride the report alongside the canonical six.
+    let mut term_storm_check: Option<(bool, String)> = None;
+    let mut stale_leader_check: Option<(bool, String)> = None;
     match scenario.fault {
         FaultRegime::None => {}
         FaultRegime::KillLeader => {
@@ -359,6 +407,256 @@ pub(crate) fn run_replicated(
                 mesh.heal_partition(first_leader.id(), peer.id());
             }
             trace.log(mesh.now(), "partition healed");
+        }
+        FaultRegime::FlappyLinkRepair => {
+            // One leader↔follower link flaps in 4-call runs while the
+            // rest of the storm (plus scratch padding) lands. Every lag
+            // the down runs open must close through entry-level repair:
+            // zero full-state syncs, and the flapping must never depose
+            // the leader or inflate the term.
+            let leader = mesh.live_leader().expect("a live leader");
+            let follower = nodes
+                .iter()
+                .find(|n| n.id() != leader.id())
+                .expect("a follower")
+                .clone();
+            let before = follower.stats();
+            let term_before = leader.term();
+            flap_via_plan(&mesh, leader.id(), follower.id(), 4, &trace);
+            for rmc in certs.iter().skip(k_pre).take(remaining) {
+                revoke(&current, rmc, &mut acked);
+            }
+            remaining = 0;
+            // Scratch padding guarantees appends land in down runs.
+            let scratch = leader.replicated("scratch");
+            for i in 0..12 {
+                scratch
+                    .append(format!("pad-{i};").as_bytes())
+                    .expect("scratch append through the quorum");
+                mesh.step(5);
+            }
+            flap_via_plan(&mesh, leader.id(), follower.id(), 0, &trace);
+            for _ in 0..40 {
+                if follower.last_index() == leader.last_index() {
+                    break;
+                }
+                mesh.step(leader.config().heartbeat_ms + 1);
+            }
+            let after = follower.stats();
+            assert!(
+                after.repairs_pulled > before.repairs_pulled,
+                "flappy link never exercised entry repair"
+            );
+            assert_eq!(
+                after.syncs_applied, before.syncs_applied,
+                "within-tail lag must heal without a full-state sync"
+            );
+            trace.log_kv(
+                mesh.now(),
+                "flappy link healed via repair",
+                &[
+                    (
+                        "repair_entries",
+                        TraceValue::from(
+                            after.repair_entries_applied - before.repair_entries_applied,
+                        ),
+                    ),
+                    (
+                        "repairs_pulled",
+                        TraceValue::from(after.repairs_pulled - before.repairs_pulled),
+                    ),
+                    ("syncs_applied", TraceValue::from(after.syncs_applied)),
+                ],
+            );
+            let survived = leader.is_leader() && leader.term() == term_before;
+            term_storm_check = Some((
+                survived,
+                format!(
+                    "leader survived flapping link: still_leader={} term {}->{}",
+                    leader.is_leader(),
+                    term_before,
+                    leader.term()
+                ),
+            ));
+        }
+        FaultRegime::MidSyncLinkDrop => {
+            // The follower is cut off while the storm plus padding push
+            // the leader's 2-entry retained tail far past it; recovery
+            // needs a chunked full sync. The link comes back *flapping*,
+            // so the transfer is interrupted mid-flight and must resume
+            // from the last acked chunk rather than restart.
+            let leader = mesh.live_leader().expect("a live leader");
+            let follower = nodes
+                .iter()
+                .find(|n| n.id() != leader.id())
+                .expect("a follower")
+                .clone();
+            mesh.partition(leader.id(), follower.id());
+            trace.log(mesh.now(), "follower partitioned from the leader");
+            for rmc in certs.iter().skip(k_pre).take(remaining) {
+                revoke(&current, rmc, &mut acked);
+            }
+            remaining = 0;
+            let scratch = leader.replicated("scratch");
+            for i in 0..6 {
+                scratch
+                    .append(format!("pad-{i};").as_bytes())
+                    .expect("scratch append through the quorum");
+                mesh.step(5);
+            }
+            let before = follower.stats();
+            let leader_before = leader.stats();
+            mesh.heal_partition(leader.id(), follower.id());
+            flap_via_plan(&mesh, leader.id(), follower.id(), 3, &trace);
+            for _ in 0..200 {
+                if follower.last_index() == leader.last_index() {
+                    break;
+                }
+                mesh.step(leader.config().heartbeat_ms + 1);
+            }
+            flap_via_plan(&mesh, leader.id(), follower.id(), 0, &trace);
+            let after = follower.stats();
+            let leader_after = leader.stats();
+            assert!(
+                after.syncs_applied > before.syncs_applied,
+                "compacted tail must force a full-state sync"
+            );
+            assert!(
+                leader_after.sync_resumes > leader_before.sync_resumes,
+                "interrupted sync must resume, not restart (resumes {} -> {})",
+                leader_before.sync_resumes,
+                leader_after.sync_resumes
+            );
+            trace.log_kv(
+                mesh.now(),
+                "interrupted sync resumed",
+                &[
+                    (
+                        "sync_chunks",
+                        TraceValue::from(
+                            leader_after.sync_chunks_sent - leader_before.sync_chunks_sent,
+                        ),
+                    ),
+                    (
+                        "sync_resumes",
+                        TraceValue::from(leader_after.sync_resumes - leader_before.sync_resumes),
+                    ),
+                    ("syncs_applied", TraceValue::from(after.syncs_applied)),
+                ],
+            );
+        }
+        FaultRegime::IsolatedNodeTermStorm => {
+            // A follower is fully isolated across many election
+            // timeouts. With pre-vote (the default) it must keep probing
+            // and failing without ever inflating its term, so the stable
+            // majority never notices its rejoin.
+            let leader = mesh.live_leader().expect("a live leader");
+            let isolated = nodes
+                .iter()
+                .find(|n| n.id() != leader.id())
+                .expect("a follower")
+                .clone();
+            let term_before = leader.term();
+            let step_downs_before = leader.stats().step_downs;
+            for peer in nodes.iter().filter(|n| n.id() != isolated.id()) {
+                mesh.partition(isolated.id(), peer.id());
+            }
+            trace.log(mesh.now(), "follower isolated from the whole cluster");
+            for rmc in certs.iter().skip(k_pre).take(remaining) {
+                revoke(&current, rmc, &mut acked);
+            }
+            remaining = 0;
+            for _ in 0..20 {
+                mesh.step(25);
+            }
+            let blocked = isolated.stats().pre_votes_blocked;
+            let term_held = isolated.term() <= term_before;
+            for peer in nodes.iter().filter(|n| n.id() != isolated.id()) {
+                mesh.heal_partition(isolated.id(), peer.id());
+            }
+            trace.log(mesh.now(), "isolation healed");
+            rejoined_ok &= rejoin(&mesh, &isolated, &leader);
+            let no_storm = term_held
+                && blocked >= 1
+                && leader.is_leader()
+                && leader.term() == term_before
+                && leader.stats().step_downs == step_downs_before;
+
+            // Control cluster without pre-vote: the same isolation MUST
+            // storm and depose on rejoin, or the check above has no
+            // teeth. Its log stays empty — elections need no entries.
+            let (mesh2, nodes2) = cluster_with(3, |cfg| cfg.pre_vote = false);
+            let leader2 = settle(&mesh2);
+            let follower2 = nodes2
+                .iter()
+                .find(|n| n.id() != leader2.id())
+                .expect("a control follower")
+                .clone();
+            let term2_before = leader2.term();
+            for peer in nodes2.iter().filter(|n| n.id() != follower2.id()) {
+                mesh2.partition(follower2.id(), peer.id());
+            }
+            for _ in 0..20 {
+                mesh2.step(25);
+            }
+            let inflated = follower2.term() > term2_before;
+            for peer in nodes2.iter().filter(|n| n.id() != follower2.id()) {
+                mesh2.heal_partition(follower2.id(), peer.id());
+            }
+            let mut deposed = false;
+            for _ in 0..40 {
+                mesh2.step(25);
+                if leader2.stats().step_downs >= 1 {
+                    deposed = true;
+                    break;
+                }
+            }
+            let control_leader = settle(&mesh2);
+            trace.log_kv(
+                mesh.now(),
+                "term-storm verdicts",
+                &[
+                    ("control_deposed", TraceValue::from(deposed)),
+                    ("control_inflated", TraceValue::from(inflated)),
+                    ("pre_votes_blocked", TraceValue::from(blocked)),
+                    ("term_held", TraceValue::from(term_held)),
+                ],
+            );
+            term_storm_check = Some((
+                no_storm && inflated && deposed,
+                format!(
+                    "pre-vote: term_held={term_held} blocked={blocked} leader_undeposed={no_storm}; \
+                     control without pre-vote: inflated={inflated} deposed={deposed}"
+                ),
+            ));
+
+            // Fencing probe, still on the control cluster: isolate its
+            // (re-elected) leader past the lease window. It must report
+            // itself fenced and refuse a write instead of serving from a
+            // stale log.
+            for peer in nodes2.iter().filter(|n| n.id() != control_leader.id()) {
+                mesh2.partition(control_leader.id(), peer.id());
+            }
+            for _ in 0..10 {
+                mesh2.step(25);
+            }
+            let fenced = control_leader.is_fenced(mesh2.now());
+            let refused = control_leader
+                .replicated("probe")
+                .append(b"stale-write")
+                .is_err();
+            stale_leader_check = Some((
+                fenced && refused,
+                format!("quorum-less leader past lease: fenced={fenced} write_refused={refused}"),
+            ));
+            trace.log_kv(
+                mesh.now(),
+                "fencing probe",
+                &[
+                    ("fenced", TraceValue::from(fenced)),
+                    ("write_refused", TraceValue::from(refused)),
+                ],
+            );
         }
         other => unreachable!("fault {other:?} is not a replicated regime"),
     }
@@ -502,6 +800,12 @@ pub(crate) fn run_replicated(
         true,
         "n/a: no admission controller in this topology",
     );
+    if let Some((holds, detail)) = term_storm_check {
+        out.record(NO_TERM_STORM, holds, detail);
+    }
+    if let Some((holds, detail)) = stale_leader_check {
+        out.record(NO_STALE_LEADER_READ, holds, detail);
+    }
 
     trace.log_kv(
         mesh.now(),

@@ -100,6 +100,23 @@ pub enum FaultRegime {
     /// (Replicated topology) the leader is partitioned from both
     /// followers — deposed, not dead — and must rejoin as a follower.
     IsolateLeader,
+    /// (Replicated topology) the leader↔follower link flaps in short
+    /// up/down runs while the storm lands. The follower falls behind by
+    /// a handful of entries each down run and must heal purely through
+    /// entry-level log repair — zero full-state syncs — without the
+    /// flapping ever deposing the leader.
+    FlappyLinkRepair,
+    /// (Replicated topology) a follower is partitioned long enough that
+    /// the leader's retained tail compacts past it, forcing a chunked
+    /// full-state sync — and the link then flaps mid-transfer. The sync
+    /// session must *resume* from the last acked chunk, not restart.
+    MidSyncLinkDrop,
+    /// (Replicated topology) a follower is fully isolated for many
+    /// election timeouts. With pre-vote it must not inflate its term or
+    /// depose the stable leader on rejoin; a pre-vote-less control
+    /// cluster demonstrates the storm, and its isolated leader must
+    /// fence itself (refuse writes) once its lease lapses.
+    IsolatedNodeTermStorm,
 }
 
 impl FaultRegime {
@@ -117,6 +134,9 @@ impl FaultRegime {
             FaultRegime::KillLeaderTwice => "kill-leader-2x",
             FaultRegime::SubscriberCrashMidCatchup => "crash-mid-catchup",
             FaultRegime::IsolateLeader => "isolate-leader",
+            FaultRegime::FlappyLinkRepair => "flappy-link",
+            FaultRegime::MidSyncLinkDrop => "mid-sync-drop",
+            FaultRegime::IsolatedNodeTermStorm => "term-storm",
         }
     }
 

@@ -1,0 +1,275 @@
+//! Delta-debugging of failing fault schedules.
+//!
+//! When a soak seed breaks a cell, the raw repro is the regime's whole
+//! fault script — often several windows of crashes, heals and skews, of
+//! which only one or two actually matter. This module shrinks the
+//! script: [`ddmin`] reduces any failing item set to a 1-minimal one
+//! (removing any single remaining item makes the failure vanish), and
+//! [`shrink_cell`] applies it to a two-domain cell's `(tick, fault)`
+//! schedule by replaying the cell under candidate sub-schedules. The
+//! result lands as a JSONL artifact next to the traces, so a nightly
+//! failure arrives pre-reduced.
+//!
+//! Replicated-topology regimes drive their faults through live cluster
+//! handles rather than a declarative schedule, so they are out of the
+//! shrinker's reach — [`shrink_cell`] reports that by returning `None`.
+
+use oasis_sim::Fault;
+
+use crate::scenario::{Scenario, Topology};
+
+/// A shrunk repro: the minimal sub-schedule that still fails.
+#[derive(Debug, Clone)]
+pub struct ShrinkReport {
+    /// The cell that failed.
+    pub scenario: Scenario,
+    /// The per-scenario seed the failure reproduces under.
+    pub seed: u64,
+    /// Scheduled faults before reduction.
+    pub original: usize,
+    /// The 1-minimal failing sub-schedule, in tick order.
+    pub minimal: Vec<(u64, Fault)>,
+    /// Oracle invocations the reduction cost.
+    pub probes: usize,
+}
+
+impl ShrinkReport {
+    /// The artifact lines: a summary header, then one line per kept
+    /// fault, ready for `oasis_sim::write_lines`.
+    pub fn jsonl_lines(&self) -> Vec<String> {
+        let mut lines = vec![format!(
+            "{{\"cell\":\"{}\",\"seed\":{},\"original_faults\":{},\"minimal_faults\":{},\"probes\":{}}}",
+            self.scenario.name(),
+            self.seed,
+            self.original,
+            self.minimal.len(),
+            self.probes
+        )];
+        for (tick, fault) in &self.minimal {
+            lines.push(format!("{{\"tick\":{tick},\"fault\":\"{fault:?}\"}}"));
+        }
+        lines
+    }
+}
+
+/// Splits `items` into `n` contiguous chunks of near-equal size.
+fn split<T: Clone>(items: &[T], n: usize) -> Vec<Vec<T>> {
+    let chunk = items.len().div_ceil(n).max(1);
+    items.chunks(chunk).map(<[T]>::to_vec).collect()
+}
+
+/// Zeller's ddmin: reduces `items` to a 1-minimal subset for which
+/// `fails` still returns `true`.
+///
+/// Preconditions are handled gracefully rather than assumed: if the
+/// whole set does not fail there is nothing to shrink and `items` comes
+/// back unchanged; if even the empty set fails, the failure does not
+/// depend on the items at all and the result is empty.
+pub fn ddmin<T, F>(items: &[T], mut fails: F) -> Vec<T>
+where
+    T: Clone,
+    F: FnMut(&[T]) -> bool,
+{
+    if !fails(items) {
+        return items.to_vec();
+    }
+    if fails(&[]) {
+        return Vec::new();
+    }
+    let mut current: Vec<T> = items.to_vec();
+    let mut n = 2usize;
+    while current.len() >= 2 {
+        let subsets = split(&current, n);
+        let mut reduced = false;
+
+        // Reduce to a failing subset: the failure lives in one chunk.
+        for subset in &subsets {
+            if subset.len() < current.len() && fails(subset) {
+                current = subset.clone();
+                n = 2;
+                reduced = true;
+                break;
+            }
+        }
+
+        // Reduce to a failing complement: one chunk is irrelevant.
+        if !reduced && subsets.len() > 1 {
+            for skip in 0..subsets.len() {
+                let complement: Vec<T> = subsets
+                    .iter()
+                    .enumerate()
+                    .filter(|(i, _)| *i != skip)
+                    .flat_map(|(_, s)| s.iter().cloned())
+                    .collect();
+                if fails(&complement) {
+                    current = complement;
+                    n = (n - 1).max(2);
+                    reduced = true;
+                    break;
+                }
+            }
+        }
+
+        // Refine granularity, or stop at single-item chunks.
+        if !reduced {
+            if n >= current.len() {
+                break;
+            }
+            n = (n * 2).min(current.len());
+        }
+    }
+    current
+}
+
+/// Runs [`ddmin`] over an explicit `(tick, fault)` schedule with a
+/// caller-supplied failure oracle, counting probes. Returns `None` when
+/// the full schedule does not fail (nothing to shrink).
+pub fn shrink_schedule<F>(
+    scenario: Scenario,
+    seed: u64,
+    schedule: Vec<(u64, Fault)>,
+    mut fails: F,
+) -> Option<ShrinkReport>
+where
+    F: FnMut(&[(u64, Fault)]) -> bool,
+{
+    let mut probes = 0usize;
+    let mut counted = |subset: &[(u64, Fault)]| {
+        probes += 1;
+        fails(subset)
+    };
+    if !counted(&schedule) {
+        return None;
+    }
+    let original = schedule.len();
+    let minimal = ddmin(&schedule, &mut counted);
+    Some(ShrinkReport {
+        scenario,
+        seed,
+        original,
+        minimal,
+        probes,
+    })
+}
+
+/// Whether replaying `scenario` under `schedule` fails: any invariant
+/// violation — or a runner panic, which a reduced schedule can
+/// legitimately cause — counts.
+fn cell_fails(scenario: Scenario, seed: u64, schedule: &[(u64, Fault)]) -> bool {
+    let schedule = schedule.to_vec();
+    std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        crate::engine::run_two_domain_scheduled(scenario, seed, None, Some(schedule))
+    }))
+    .map(|run| !run.report.all_hold())
+    .unwrap_or(true)
+}
+
+/// Shrinks a failing two-domain cell's fault schedule to a 1-minimal
+/// failing sub-schedule under `base_seed` (the same base the harness
+/// passed to `run_cell`). Returns `None` when the cell actually passes
+/// — a flaky repro is worth knowing about, not worth a bogus artifact —
+/// or when the topology drives its faults imperatively and there is no
+/// schedule to reduce.
+pub fn shrink_cell(scenario: Scenario, base_seed: u64) -> Option<ShrinkReport> {
+    if scenario.topology != Topology::TwoDomain {
+        return None;
+    }
+    let seed = oasis_sim::scenario_seed(base_seed, &scenario.name());
+    let schedule = crate::engine::two_domain_schedule(scenario.fault);
+    shrink_schedule(scenario, seed, schedule, |subset| {
+        cell_fails(scenario, seed, subset)
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scenario::{FaultRegime, Workload};
+    use oasis_sim::FaultPlan;
+
+    #[test]
+    fn ddmin_finds_a_single_culprit() {
+        let items: Vec<u32> = (0..16).collect();
+        let mut probes = 0;
+        let minimal = ddmin(&items, |subset| {
+            probes += 1;
+            subset.contains(&11)
+        });
+        assert_eq!(minimal, vec![11]);
+        assert!(
+            probes < 64,
+            "ddmin should need far fewer probes than brute force, used {probes}"
+        );
+    }
+
+    #[test]
+    fn ddmin_keeps_an_interacting_pair() {
+        let items: Vec<u32> = (0..12).collect();
+        let minimal = ddmin(&items, |subset| subset.contains(&2) && subset.contains(&9));
+        assert_eq!(minimal, vec![2, 9], "both culprits survive, in order");
+    }
+
+    #[test]
+    fn ddmin_returns_a_passing_set_unchanged() {
+        let items = vec![1, 2, 3];
+        assert_eq!(ddmin(&items, |_| false), items);
+    }
+
+    #[test]
+    fn ddmin_reduces_an_item_independent_failure_to_nothing() {
+        let items = vec![1, 2, 3];
+        assert!(ddmin(&items, |_| true).is_empty());
+    }
+
+    #[test]
+    fn shrink_schedule_minimises_with_a_synthetic_oracle() {
+        // A flapping-issuer-shaped script: two crash/recover windows.
+        let mut plan = FaultPlan::new();
+        plan.crash_at(60, "login");
+        plan.recover_at(85, "login");
+        plan.crash_at(120, "login");
+        plan.recover_at(145, "login");
+        let schedule = plan.schedule_snapshot();
+        let culprit = schedule[2].clone();
+
+        let cell = Scenario::new(
+            Topology::TwoDomain,
+            Workload::Steady,
+            FaultRegime::FlappingIssuer,
+        );
+        let report = shrink_schedule(cell, 7, schedule, |subset| subset.contains(&culprit))
+            .expect("full schedule fails, so a report exists");
+        assert_eq!(report.original, 4);
+        assert_eq!(report.minimal, vec![culprit]);
+        assert!(report.probes >= 2);
+
+        let lines = report.jsonl_lines();
+        assert_eq!(lines.len(), 2, "header plus one kept fault");
+        assert!(lines[0].contains("\"minimal_faults\":1"));
+        assert!(lines[1].contains("\"tick\":120"));
+    }
+
+    #[test]
+    fn shrink_schedule_reports_nothing_for_a_passing_schedule() {
+        let cell = Scenario::new(Topology::TwoDomain, Workload::Quiet, FaultRegime::None);
+        assert!(shrink_schedule(cell, 7, Vec::new(), |_| false).is_none());
+    }
+
+    #[test]
+    fn shrink_cell_returns_none_when_the_cell_passes() {
+        // A healthy cell has nothing to shrink — and must say so rather
+        // than emit a bogus artifact.
+        let cell = Scenario::new(Topology::TwoDomain, Workload::Quiet, FaultRegime::None);
+        assert!(shrink_cell(cell, 42).is_none());
+    }
+
+    #[test]
+    fn shrink_cell_skips_imperative_fault_topologies() {
+        let cell = Scenario::new(
+            Topology::ReplicatedCiv3,
+            Workload::Steady,
+            FaultRegime::KillLeader,
+        );
+        assert!(shrink_cell(cell, 42).is_none());
+    }
+}

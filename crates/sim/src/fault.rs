@@ -128,6 +128,22 @@ pub enum Fault {
         /// The CIV that goes rogue.
         node: NodeId,
     },
+    /// Make the link between `a` and `b` flap: alternate between
+    /// delivering and dropping in runs of `window` calls — the
+    /// half-dead cable that keeps interrupting a long transfer. A
+    /// `window` of zero steadies the link again. Like [`Fault::KillLeader`]
+    /// this is driver-resolved: the plan cannot reach into a replica
+    /// mesh, so flaps accumulate for the driver to drain via
+    /// [`FaultPlan::take_link_flaps`] and apply (e.g.
+    /// `LocalMesh::set_flappy` in `oasis-store`).
+    FlappyPeerLink {
+        /// One endpoint of the flapping link.
+        a: NodeId,
+        /// The other endpoint.
+        b: NodeId,
+        /// Calls per up/down run; zero restores a steady link.
+        window: u64,
+    },
 }
 
 /// Scripted damage to one node's durability journal, drained by the
@@ -181,6 +197,7 @@ pub struct FaultPlan {
     paused: HashSet<NodeId>,
     journal_damage: Vec<(NodeId, JournalDamage)>,
     leader_kills: Vec<Vec<NodeId>>,
+    link_flaps: Vec<(NodeId, NodeId, u64)>,
     skews: HashMap<NodeId, i64>,
     byzantine: HashSet<NodeId>,
 }
@@ -311,6 +328,32 @@ impl FaultPlan {
         self.schedule(tick, Fault::ByzantineCiv { node: node.into() });
     }
 
+    /// Schedules the link between `a` and `b` to start flapping at
+    /// `tick` in runs of `window` calls (driver-resolved — see
+    /// [`Fault::FlappyPeerLink`]).
+    pub fn flap_link_at(
+        &mut self,
+        tick: u64,
+        a: impl Into<NodeId>,
+        b: impl Into<NodeId>,
+        window: u64,
+    ) {
+        self.schedule(
+            tick,
+            Fault::FlappyPeerLink {
+                a: a.into(),
+                b: b.into(),
+                window,
+            },
+        );
+    }
+
+    /// Schedules the flapping link between `a` and `b` to steady at
+    /// `tick` (a zero-window [`Fault::FlappyPeerLink`]).
+    pub fn steady_link_at(&mut self, tick: u64, a: impl Into<NodeId>, b: impl Into<NodeId>) {
+        self.flap_link_at(tick, a, b, 0);
+    }
+
     /// Applies (and consumes) every fault scheduled at or before `now`,
     /// in schedule order, returning what was applied. Network faults act
     /// on `net`; heartbeat faults only update the pause set consulted by
@@ -363,6 +406,9 @@ impl FaultPlan {
                 Fault::ByzantineCiv { node } => {
                     self.byzantine.insert(node.clone());
                 }
+                Fault::FlappyPeerLink { a, b, window } => {
+                    self.link_flaps.push((a.clone(), b.clone(), *window));
+                }
             }
         }
         applied
@@ -388,6 +434,13 @@ impl FaultPlan {
         std::mem::take(&mut self.leader_kills)
     }
 
+    /// Drains the pending link flaps: `(a, b, window)` per fired
+    /// [`Fault::FlappyPeerLink`], in application order. A zero window
+    /// means the driver should steady the link.
+    pub fn take_link_flaps(&mut self) -> Vec<(NodeId, NodeId, u64)> {
+        std::mem::take(&mut self.link_flaps)
+    }
+
     /// The current clock skew of `node` in milliseconds (0 = in sync).
     /// The driver adds this to virtual time whenever the skewed node
     /// stamps or compares a wall-clock timestamp.
@@ -410,6 +463,32 @@ impl FaultPlan {
     /// Faults not yet applied.
     pub fn pending(&self) -> usize {
         self.scheduled.len()
+    }
+
+    /// The unapplied schedule as `(tick, fault)` pairs, in application
+    /// order. Take the snapshot *before* the first [`FaultPlan::apply_due`]
+    /// to capture the whole script — applied faults are consumed and no
+    /// longer appear. Feed subsets back through
+    /// [`FaultPlan::from_schedule`] to replay a reduced scenario (the
+    /// delta-debugging loop in `oasis-conformance` shrinks failing fault
+    /// schedules this way).
+    pub fn schedule_snapshot(&self) -> Vec<(u64, Fault)> {
+        self.scheduled.clone()
+    }
+
+    /// Builds a fresh plan from an explicit `(tick, fault)` schedule —
+    /// typically a subset of a [`FaultPlan::schedule_snapshot`]. Pairs
+    /// may arrive in any order; same-tick pairs keep their relative
+    /// order, matching the stable tie-break of incremental scheduling.
+    pub fn from_schedule<I>(schedule: I) -> Self
+    where
+        I: IntoIterator<Item = (u64, Fault)>,
+    {
+        let mut plan = Self::new();
+        for (tick, fault) in schedule {
+            plan.schedule(tick, fault);
+        }
+        plan
     }
 }
 
@@ -585,6 +664,65 @@ mod tests {
             "sorted regardless of insertion order"
         );
         assert_eq!(net.stats(), (0, 0), "no traffic side effects");
+    }
+
+    #[test]
+    fn link_flaps_accumulate_for_the_driver_to_resolve() {
+        let mut net = net();
+        let mut plan = FaultPlan::new();
+        plan.flap_link_at(5, "leader", "f1", 3);
+        plan.steady_link_at(9, "leader", "f1");
+
+        plan.apply_due(4, &mut net);
+        assert!(plan.take_link_flaps().is_empty());
+
+        plan.apply_due(5, &mut net);
+        assert_eq!(
+            plan.take_link_flaps(),
+            vec![("leader".into(), "f1".into(), 3)]
+        );
+        assert!(plan.take_link_flaps().is_empty(), "drained");
+
+        // A steady is a zero-window flap for the driver to clear.
+        plan.apply_due(9, &mut net);
+        assert_eq!(
+            plan.take_link_flaps(),
+            vec![("leader".into(), "f1".into(), 0)]
+        );
+        assert_eq!(net.stats(), (0, 0), "no direct net side effects");
+    }
+
+    #[test]
+    fn schedule_round_trips_through_snapshot_and_subsets_replay() {
+        let mut plan = FaultPlan::new();
+        plan.partition_at(10, "a", "b");
+        plan.crash_at(5, "c");
+        plan.heal_at(20, "a", "b");
+
+        let snapshot = plan.schedule_snapshot();
+        assert_eq!(snapshot.len(), 3);
+        assert_eq!(snapshot[0].0, 5, "snapshot is in application order");
+
+        // Full round trip: the rebuilt plan applies identically.
+        let mut rebuilt = FaultPlan::from_schedule(snapshot.clone());
+        assert_eq!(rebuilt.schedule_snapshot(), snapshot);
+        let mut net1 = net();
+        let mut net2 = net();
+        plan.apply_due(100, &mut net1);
+        rebuilt.apply_due(100, &mut net2);
+        assert_eq!(net1.is_partitioned("a", "b"), net2.is_partitioned("a", "b"));
+        assert_eq!(net1.is_crashed("c"), net2.is_crashed("c"));
+
+        // A subset replays only its own faults — the shrink loop's move.
+        let subset: Vec<_> = snapshot.iter().filter(|(t, _)| *t != 5).cloned().collect();
+        let mut reduced = FaultPlan::from_schedule(subset);
+        let mut net3 = net();
+        reduced.apply_due(100, &mut net3);
+        assert!(!net3.is_crashed("c"), "dropped fault never fires");
+        assert!(!net3.is_partitioned("a", "b"), "partition healed at 20");
+
+        // Applied faults leave the snapshot: it captures what remains.
+        assert!(plan.schedule_snapshot().is_empty());
     }
 
     #[test]

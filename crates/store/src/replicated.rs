@@ -27,24 +27,40 @@
 //!   appending, which catches divergence that an index-only check
 //!   misses — e.g. an old leader's unacknowledged entry occupying the
 //!   same index as the new leader's committed one.
-//! * **State-transfer catch-up.** When a follower's `(prev_index,
-//!   prev_hash)` does not match — it was down, partitioned, or is a
-//!   deposed leader with uncommitted entries — the leader pushes a
-//!   [`PeerRequest::Sync`] carrying every region's full bytes. This
-//!   trades bandwidth for a drastically simpler protocol than log
-//!   reconciliation, which is the right trade at journal sizes kept
-//!   small by snapshot truncation.
+//! * **Entry-level log repair.** Every node retains a bounded tail of
+//!   recent log entries (hash-chained). A follower that merely *lags*
+//!   pulls the missing suffix from the leader with
+//!   [`PeerRequest::Repair`] / [`PeerReply::RepairChunk`] batches and
+//!   replays it entry by entry — no state transfer, bytes proportional
+//!   to the gap.
+//! * **Resumable chunked sync.** Only when the leader's tail has been
+//!   compacted past the follower's head (or the logs truly diverged)
+//!   does the leader fall back to a full state transfer — and then it
+//!   ships every region in bounded, checksummed
+//!   [`PeerRequest::SyncChunk`] frames. A mid-transfer link drop keeps
+//!   the session; the next round resumes from the last acked chunk
+//!   instead of restarting.
 //! * **Election restriction.** A vote is granted only to candidates
 //!   whose `(last_term, last_index)` is at least the voter's, so any
 //!   winner's log contains every quorum-acknowledged entry (the vote
 //!   quorum intersects the commit quorum).
+//! * **Pre-vote.** Before standing, a candidate probes a quorum with a
+//!   non-term-incrementing [`PeerRequest::PreVote`] round. Peers that
+//!   still hear a live leader refuse, so a flapping or isolated node
+//!   cannot storm terms and depose a stable leader when it rejoins.
+//! * **Leader fencing.** A leader that cannot refresh a commit quorum
+//!   within a lease window stops acking writes and serving repair
+//!   catch-up ([`StoreError::NotLeader`] with no hint), closing the
+//!   stale-leader window during asymmetric partitions. It keeps
+//!   heartbeating, so a healed partition un-fences it (or deposes it
+//!   via the new leader's higher term).
 //!
 //! Transport is abstracted behind [`ReplicationTransport`]: the
 //! in-process [`LocalMesh`] (deterministic, fault-injectable — used by
 //! tests, chaos suites, and benches) lives here; `oasis-wire` provides
 //! the TCP implementation carrying these frames between real nodes.
 
-use std::collections::{BTreeMap, HashSet};
+use std::collections::{BTreeMap, HashMap, HashSet, VecDeque};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
@@ -74,6 +90,10 @@ pub enum RegionOp {
 pub struct LogEntry {
     /// Position in the replicated log (1-based, strictly increasing).
     pub index: u64,
+    /// The term the entry was created in. Repair can replay old
+    /// entries under a newer leader's frame, so log completeness
+    /// (`last_term`) must come from the entry, not the frame.
+    pub term: u64,
     /// The region this entry mutates.
     pub region: String,
     /// The mutation.
@@ -113,23 +133,66 @@ pub enum PeerRequest {
         /// Term of the candidate's last log entry.
         last_term: u64,
     },
-    /// Leader pushes a full state transfer to a diverged or lagging
-    /// follower: every region's complete bytes plus the log head.
-    Sync {
+    /// A would-be candidate probes for support *without* incrementing
+    /// any term: peers answer whether they would grant a vote for
+    /// `term` (the candidate's current term + 1). No state changes on
+    /// either side, so a flapping node cannot storm terms.
+    PreVote {
+        /// The term the candidate would stand for (current + 1).
+        term: u64,
+        /// Probing node's id.
+        candidate: String,
+        /// Index of the probing node's last log entry.
+        last_index: u64,
+        /// Term of the probing node's last log entry.
+        last_term: u64,
+    },
+    /// A lagging follower pulls the missing log suffix from the
+    /// leader's retained tail (entry-level repair).
+    Repair {
+        /// The term the follower observed from the leader's frame.
+        term: u64,
+        /// The pulling follower's id.
+        follower: String,
+        /// The follower's current `last_index`; the leader replies
+        /// with entries strictly after it.
+        from_index: u64,
+        /// The follower's chained log hash at `from_index` — the
+        /// leader verifies it against its own tail before serving, so
+        /// a diverged log can never be "repaired" into place.
+        from_hash: u64,
+    },
+    /// One bounded, checksummed chunk of a full state transfer —
+    /// the fallback when the leader's tail was compacted past the
+    /// follower's head or the logs diverged. Chunks are sequenced per
+    /// session; a dropped link resumes from the last acked chunk.
+    SyncChunk {
         /// Leader's current term.
         term: u64,
         /// Leader's node id.
         leader: String,
         /// Address clients should dial to reach the leader.
         leader_hint: String,
-        /// Log index after applying this sync.
+        /// Transfer session id (unique per leader per transfer).
+        session: u64,
+        /// Chunk sequence number within the session (0-based).
+        seq: u64,
+        /// Total chunks in the session.
+        total: u64,
+        /// Region this chunk belongs to (empty = head-only marker).
+        region: String,
+        /// Byte offset of this chunk within the region.
+        offset: u64,
+        /// The chunk payload.
+        bytes: Vec<u8>,
+        /// SHA-256 prefix checksum of `bytes`.
+        checksum: u64,
+        /// Log index after installing the full transfer.
         last_index: u64,
-        /// Chained log hash after applying this sync.
+        /// Chained log hash after installing the full transfer.
         last_hash: u64,
-        /// Term of the last log entry covered by this sync.
+        /// Term of the last log entry covered by the transfer.
         last_term: u64,
-        /// `(region name, full region bytes)` pairs.
-        regions: Vec<(String, Vec<u8>)>,
     },
 }
 
@@ -142,8 +205,12 @@ pub enum PeerReply {
         term: u64,
         /// The replier's log index after handling the request.
         last_index: u64,
+        /// The replier's chained log hash after handling the request —
+        /// lets the leader distinguish pure lag (repairable from the
+        /// tail) from divergence (needs a state transfer).
+        log_hash: u64,
         /// True when the entries were appended (or heartbeat matched);
-        /// false on term/prev mismatch — the leader should `Sync`.
+        /// false on term/prev mismatch.
         ok: bool,
     },
     /// Reply to [`PeerRequest::LeaderClaim`].
@@ -153,12 +220,37 @@ pub enum PeerReply {
         /// Whether the vote was granted.
         granted: bool,
     },
-    /// Reply to [`PeerRequest::Sync`].
-    SyncAck {
+    /// Reply to [`PeerRequest::PreVote`]. Purely advisory: neither
+    /// side persists anything.
+    PreVoteAck {
         /// The replier's current term.
         term: u64,
-        /// The replier's log index after applying the sync.
+        /// Whether the replier would vote for the candidate.
+        granted: bool,
+    },
+    /// Reply to [`PeerRequest::Repair`]: a bounded batch of log
+    /// entries after `from_index`, or a refusal (`ok: false`) when the
+    /// tail was compacted, the hash diverged, or the serving node is
+    /// not the current unfenced leader.
+    RepairChunk {
+        /// The replier's current term.
+        term: u64,
+        /// False when the leader cannot serve entry-level repair —
+        /// the follower's next nack triggers the chunked-sync fallback.
+        ok: bool,
+        /// Contiguous entries starting at `from_index + 1`.
+        entries: Vec<LogEntry>,
+        /// The leader's own last index (the pull target).
         last_index: u64,
+    },
+    /// Reply to [`PeerRequest::SyncChunk`].
+    ChunkAck {
+        /// The replier's current term.
+        term: u64,
+        /// Echo of the chunk sequence number.
+        seq: u64,
+        /// True when the chunk was staged (or the transfer installed).
+        ok: bool,
     },
 }
 
@@ -168,7 +260,9 @@ impl PeerRequest {
         match self {
             PeerRequest::Replicate { leader, .. } => leader,
             PeerRequest::LeaderClaim { candidate, .. } => candidate,
-            PeerRequest::Sync { leader, .. } => leader,
+            PeerRequest::PreVote { candidate, .. } => candidate,
+            PeerRequest::Repair { follower, .. } => follower,
+            PeerRequest::SyncChunk { leader, .. } => leader,
         }
     }
 
@@ -177,7 +271,9 @@ impl PeerRequest {
         match self {
             PeerRequest::Replicate { term, .. }
             | PeerRequest::LeaderClaim { term, .. }
-            | PeerRequest::Sync { term, .. } => *term,
+            | PeerRequest::PreVote { term, .. }
+            | PeerRequest::Repair { term, .. }
+            | PeerRequest::SyncChunk { term, .. } => *term,
         }
     }
 }
@@ -224,6 +320,7 @@ impl ToJson for LogEntry {
     fn to_json(&self) -> Json {
         Json::obj(vec![
             ("index", self.index.to_json()),
+            ("term", self.term.to_json()),
             ("region", self.region.to_json()),
             ("op", self.op.to_json()),
         ])
@@ -234,6 +331,7 @@ impl FromJson for LogEntry {
     fn from_json(json: &Json) -> Result<Self, JsonError> {
         Ok(LogEntry {
             index: FromJson::from_json(json.field("index")?)?,
+            term: FromJson::from_json(json.field("term")?)?,
             region: FromJson::from_json(json.field("region")?)?,
             op: FromJson::from_json(json.field("op")?)?,
         })
@@ -277,37 +375,64 @@ impl ToJson for PeerRequest {
                     ("last_term", last_term.to_json()),
                 ]),
             )]),
-            PeerRequest::Sync {
+            PeerRequest::PreVote {
+                term,
+                candidate,
+                last_index,
+                last_term,
+            } => Json::obj(vec![(
+                "PreVote",
+                Json::obj(vec![
+                    ("term", term.to_json()),
+                    ("candidate", candidate.to_json()),
+                    ("last_index", last_index.to_json()),
+                    ("last_term", last_term.to_json()),
+                ]),
+            )]),
+            PeerRequest::Repair {
+                term,
+                follower,
+                from_index,
+                from_hash,
+            } => Json::obj(vec![(
+                "Repair",
+                Json::obj(vec![
+                    ("term", term.to_json()),
+                    ("follower", follower.to_json()),
+                    ("from_index", from_index.to_json()),
+                    ("from_hash", from_hash.to_json()),
+                ]),
+            )]),
+            PeerRequest::SyncChunk {
                 term,
                 leader,
                 leader_hint,
+                session,
+                seq,
+                total,
+                region,
+                offset,
+                bytes,
+                checksum,
                 last_index,
                 last_hash,
                 last_term,
-                regions,
             } => Json::obj(vec![(
-                "Sync",
+                "SyncChunk",
                 Json::obj(vec![
                     ("term", term.to_json()),
                     ("leader", leader.to_json()),
                     ("leader_hint", leader_hint.to_json()),
+                    ("session", session.to_json()),
+                    ("seq", seq.to_json()),
+                    ("total", total.to_json()),
+                    ("region", region.to_json()),
+                    ("offset", offset.to_json()),
+                    ("bytes", bytes_to_json(bytes)),
+                    ("checksum", checksum.to_json()),
                     ("last_index", last_index.to_json()),
                     ("last_hash", last_hash.to_json()),
                     ("last_term", last_term.to_json()),
-                    (
-                        "regions",
-                        Json::Arr(
-                            regions
-                                .iter()
-                                .map(|(name, bytes)| {
-                                    Json::obj(vec![
-                                        ("name", name.to_json()),
-                                        ("bytes", bytes_to_json(bytes)),
-                                    ])
-                                })
-                                .collect(),
-                        ),
-                    ),
                 ]),
             )]),
         }
@@ -338,28 +463,33 @@ impl FromJson for PeerRequest {
                 last_index: FromJson::from_json(payload.field("last_index")?)?,
                 last_term: FromJson::from_json(payload.field("last_term")?)?,
             }),
-            "Sync" => {
-                let regions_json = payload
-                    .field("regions")?
-                    .as_arr()
-                    .ok_or_else(|| JsonError::expected("regions array"))?;
-                let mut regions = Vec::with_capacity(regions_json.len());
-                for r in regions_json {
-                    regions.push((
-                        FromJson::from_json(r.field("name")?)?,
-                        bytes_from_json(r.field("bytes")?)?,
-                    ));
-                }
-                Ok(PeerRequest::Sync {
-                    term: FromJson::from_json(payload.field("term")?)?,
-                    leader: FromJson::from_json(payload.field("leader")?)?,
-                    leader_hint: FromJson::from_json(payload.field("leader_hint")?)?,
-                    last_index: FromJson::from_json(payload.field("last_index")?)?,
-                    last_hash: FromJson::from_json(payload.field("last_hash")?)?,
-                    last_term: FromJson::from_json(payload.field("last_term")?)?,
-                    regions,
-                })
-            }
+            "PreVote" => Ok(PeerRequest::PreVote {
+                term: FromJson::from_json(payload.field("term")?)?,
+                candidate: FromJson::from_json(payload.field("candidate")?)?,
+                last_index: FromJson::from_json(payload.field("last_index")?)?,
+                last_term: FromJson::from_json(payload.field("last_term")?)?,
+            }),
+            "Repair" => Ok(PeerRequest::Repair {
+                term: FromJson::from_json(payload.field("term")?)?,
+                follower: FromJson::from_json(payload.field("follower")?)?,
+                from_index: FromJson::from_json(payload.field("from_index")?)?,
+                from_hash: FromJson::from_json(payload.field("from_hash")?)?,
+            }),
+            "SyncChunk" => Ok(PeerRequest::SyncChunk {
+                term: FromJson::from_json(payload.field("term")?)?,
+                leader: FromJson::from_json(payload.field("leader")?)?,
+                leader_hint: FromJson::from_json(payload.field("leader_hint")?)?,
+                session: FromJson::from_json(payload.field("session")?)?,
+                seq: FromJson::from_json(payload.field("seq")?)?,
+                total: FromJson::from_json(payload.field("total")?)?,
+                region: FromJson::from_json(payload.field("region")?)?,
+                offset: FromJson::from_json(payload.field("offset")?)?,
+                bytes: bytes_from_json(payload.field("bytes")?)?,
+                checksum: FromJson::from_json(payload.field("checksum")?)?,
+                last_index: FromJson::from_json(payload.field("last_index")?)?,
+                last_hash: FromJson::from_json(payload.field("last_hash")?)?,
+                last_term: FromJson::from_json(payload.field("last_term")?)?,
+            }),
             other => Err(JsonError::new(format!(
                 "unknown PeerRequest variant `{other}`"
             ))),
@@ -373,12 +503,14 @@ impl ToJson for PeerReply {
             PeerReply::ReplicateAck {
                 term,
                 last_index,
+                log_hash,
                 ok,
             } => Json::obj(vec![(
                 "ReplicateAck",
                 Json::obj(vec![
                     ("term", term.to_json()),
                     ("last_index", last_index.to_json()),
+                    ("log_hash", log_hash.to_json()),
                     ("ok", ok.to_json()),
                 ]),
             )]),
@@ -389,11 +521,33 @@ impl ToJson for PeerReply {
                     ("granted", granted.to_json()),
                 ]),
             )]),
-            PeerReply::SyncAck { term, last_index } => Json::obj(vec![(
-                "SyncAck",
+            PeerReply::PreVoteAck { term, granted } => Json::obj(vec![(
+                "PreVoteAck",
                 Json::obj(vec![
                     ("term", term.to_json()),
+                    ("granted", granted.to_json()),
+                ]),
+            )]),
+            PeerReply::RepairChunk {
+                term,
+                ok,
+                entries,
+                last_index,
+            } => Json::obj(vec![(
+                "RepairChunk",
+                Json::obj(vec![
+                    ("term", term.to_json()),
+                    ("ok", ok.to_json()),
+                    ("entries", entries.to_json()),
                     ("last_index", last_index.to_json()),
+                ]),
+            )]),
+            PeerReply::ChunkAck { term, seq, ok } => Json::obj(vec![(
+                "ChunkAck",
+                Json::obj(vec![
+                    ("term", term.to_json()),
+                    ("seq", seq.to_json()),
+                    ("ok", ok.to_json()),
                 ]),
             )]),
         }
@@ -412,15 +566,27 @@ impl FromJson for PeerReply {
             "ReplicateAck" => Ok(PeerReply::ReplicateAck {
                 term: FromJson::from_json(payload.field("term")?)?,
                 last_index: FromJson::from_json(payload.field("last_index")?)?,
+                log_hash: FromJson::from_json(payload.field("log_hash")?)?,
                 ok: FromJson::from_json(payload.field("ok")?)?,
             }),
             "Vote" => Ok(PeerReply::Vote {
                 term: FromJson::from_json(payload.field("term")?)?,
                 granted: FromJson::from_json(payload.field("granted")?)?,
             }),
-            "SyncAck" => Ok(PeerReply::SyncAck {
+            "PreVoteAck" => Ok(PeerReply::PreVoteAck {
                 term: FromJson::from_json(payload.field("term")?)?,
+                granted: FromJson::from_json(payload.field("granted")?)?,
+            }),
+            "RepairChunk" => Ok(PeerReply::RepairChunk {
+                term: FromJson::from_json(payload.field("term")?)?,
+                ok: FromJson::from_json(payload.field("ok")?)?,
+                entries: FromJson::from_json(payload.field("entries")?)?,
                 last_index: FromJson::from_json(payload.field("last_index")?)?,
+            }),
+            "ChunkAck" => Ok(PeerReply::ChunkAck {
+                term: FromJson::from_json(payload.field("term")?)?,
+                seq: FromJson::from_json(payload.field("seq")?)?,
+                ok: FromJson::from_json(payload.field("ok")?)?,
             }),
             other => Err(JsonError::new(format!(
                 "unknown PeerReply variant `{other}`"
@@ -475,11 +641,27 @@ pub struct ReplicaConfig {
     /// Base election timeout; each node adds a deterministic per-id
     /// skew in `[0, base)` so elections rarely collide.
     pub election_timeout_ms: u64,
+    /// How many recent log entries each node retains for entry-level
+    /// repair. A follower trailing by at most this many entries is
+    /// healed by replaying the suffix; beyond it the leader falls back
+    /// to a chunked full-state sync.
+    pub retain_entries: usize,
+    /// Payload bytes per [`PeerRequest::SyncChunk`] frame.
+    pub sync_chunk_bytes: usize,
+    /// When true (the default), [`ReplicaNode::start_election`] runs a
+    /// non-term-incrementing pre-vote round first and stands only on a
+    /// quorum of would-grants — an isolated node cannot storm terms.
+    pub pre_vote: bool,
+    /// Leader lease: a leader that has not refreshed a commit quorum
+    /// within this window is *fenced* — it rejects writes and stops
+    /// serving repair until contact is re-established.
+    pub lease_ms: u64,
 }
 
 impl ReplicaConfig {
     /// A config with conventional timing (50ms heartbeat, 150ms base
-    /// election timeout).
+    /// election timeout, 150ms leader lease), a 512-entry repair tail,
+    /// 4 KiB sync chunks, and pre-vote enabled.
     pub fn new(id: impl Into<String>, peers: Vec<String>, client_hint: impl Into<String>) -> Self {
         Self {
             id: id.into(),
@@ -487,6 +669,10 @@ impl ReplicaConfig {
             client_hint: client_hint.into(),
             heartbeat_ms: 50,
             election_timeout_ms: 150,
+            retain_entries: 512,
+            sync_chunk_bytes: 4096,
+            pre_vote: true,
+            lease_ms: 150,
         }
     }
 }
@@ -506,12 +692,36 @@ pub struct ReplicaStats {
     pub elections_won: u64,
     /// Heartbeat rounds sent as leader.
     pub heartbeats_sent: u64,
-    /// Full state transfers pushed to diverged/lagging followers.
+    /// Full state transfers *completed* to diverged/compacted peers.
     pub syncs_sent: u64,
     /// Full state transfers applied as follower.
     pub syncs_applied: u64,
     /// Times this node observed a higher term and stepped down.
     pub step_downs: u64,
+    /// Entry-level repair pulls this node initiated as a follower.
+    pub repairs_pulled: u64,
+    /// Log entries applied via entry-level repair (follower side).
+    pub repair_entries_applied: u64,
+    /// Repair batches served from the retained tail (leader side).
+    pub repair_chunks_served: u64,
+    /// Payload bytes served via entry-level repair (leader side).
+    pub repair_bytes_served: u64,
+    /// Sync chunk frames sent (including ones lost in transit).
+    pub sync_chunks_sent: u64,
+    /// Payload bytes shipped in sync chunk frames.
+    pub sync_bytes_sent: u64,
+    /// Sync sessions resumed from the last acked chunk after a
+    /// mid-transfer failure (rather than restarted).
+    pub sync_resumes: u64,
+    /// Pre-vote rounds this node started.
+    pub pre_votes_started: u64,
+    /// Pre-vote rounds that failed to reach a quorum of would-grants
+    /// (the node did not stand, and no term was consumed).
+    pub pre_votes_blocked: u64,
+    /// Transitions into the fenced state (lease expired as leader).
+    pub fencings: u64,
+    /// Writes rejected because this leader was fenced.
+    pub fenced_rejects: u64,
 }
 
 impl ReplicaStats {
@@ -520,19 +730,46 @@ impl ReplicaStats {
     pub fn trace_json(&self) -> String {
         format!(
             "{{\"committed\":{},\"elections_started\":{},\"elections_won\":{},\
-             \"heartbeats_sent\":{},\"no_quorum\":{},\"not_leader\":{},\
-             \"step_downs\":{},\"syncs_applied\":{},\"syncs_sent\":{}}}",
+             \"fenced_rejects\":{},\"fencings\":{},\"heartbeats_sent\":{},\
+             \"no_quorum\":{},\"not_leader\":{},\"pre_votes_blocked\":{},\
+             \"pre_votes_started\":{},\"repair_bytes_served\":{},\
+             \"repair_chunks_served\":{},\"repair_entries_applied\":{},\
+             \"repairs_pulled\":{},\"step_downs\":{},\"sync_bytes_sent\":{},\
+             \"sync_chunks_sent\":{},\"sync_resumes\":{},\"syncs_applied\":{},\
+             \"syncs_sent\":{}}}",
             self.committed,
             self.elections_started,
             self.elections_won,
+            self.fenced_rejects,
+            self.fencings,
             self.heartbeats_sent,
             self.no_quorum,
             self.not_leader,
+            self.pre_votes_blocked,
+            self.pre_votes_started,
+            self.repair_bytes_served,
+            self.repair_chunks_served,
+            self.repair_entries_applied,
+            self.repairs_pulled,
             self.step_downs,
+            self.sync_bytes_sent,
+            self.sync_chunks_sent,
+            self.sync_resumes,
             self.syncs_applied,
             self.syncs_sent,
         )
     }
+}
+
+/// A follower's in-progress inbound chunked sync session.
+struct PendingSync {
+    leader: String,
+    session: u64,
+    next_seq: u64,
+    /// Region bytes staged so far, in arrival order. Nothing is
+    /// installed until the final chunk lands, so a half-received
+    /// transfer never leaves the node in a mixed state.
+    staged: Vec<(String, Vec<u8>)>,
 }
 
 struct NodeState {
@@ -547,16 +784,58 @@ struct NodeState {
     /// Last time (caller clock, ms) we heard from a live leader, voted,
     /// or — as leader — sent a heartbeat round.
     last_heartbeat_ms: u64,
+    /// Retained tail of recent log entries for entry-level repair. Each
+    /// element is `(entry, chained hash *after* the entry)`.
+    tail: VecDeque<(LogEntry, u64)>,
+    /// The chained hash at the index just before the tail's first
+    /// entry — the anchor a repairing follower must match to replay
+    /// from the tail's start.
+    tail_prev_hash: u64,
+    /// Last time (caller clock, ms) this node, as leader, confirmed
+    /// contact with a commit quorum. Drives the fencing lease.
+    last_quorum_ms: u64,
+    /// Latest caller clock observed in `tick`/`handle`; `replicate_op`
+    /// has no clock parameter and reads this for the fencing check.
+    clock_ms: u64,
+    /// Edge latch so `fencings` counts transitions, not fenced ticks.
+    fenced: bool,
+    /// Inbound chunked sync in flight, if any.
+    pending_sync: Option<PendingSync>,
 }
+
+/// Leader-side record of an outbound chunked sync, keyed by peer. Kept
+/// across transport failures so a later retry resumes from `next`
+/// instead of re-shipping acked chunks.
+struct SyncSession {
+    term: u64,
+    session: u64,
+    chunks: Vec<ChunkData>,
+    next: usize,
+    last_index: u64,
+    last_hash: u64,
+    last_term: u64,
+}
+
+struct ChunkData {
+    region: String,
+    offset: u64,
+    bytes: Vec<u8>,
+}
+
+/// Max log entries per [`PeerReply::RepairChunk`].
+const REPAIR_BATCH: usize = 64;
 
 /// Folds one log entry into the running chained hash. The chain makes
 /// `(prev_index, prev_hash)` a commitment to the entire log contents,
 /// so two logs of equal length but divergent history cannot pass the
-/// follower's pre-append check.
+/// follower's pre-append check. The entry term is folded too: repair
+/// replays old-term entries under a newer leader's frames, and the
+/// hash must pin which term wrote each entry.
 fn chain(prev: u64, entry: &LogEntry) -> u64 {
-    let mut buf = Vec::with_capacity(8 + 8 + 4 + entry.region.len() + 1);
+    let mut buf = Vec::with_capacity(8 + 8 + 8 + 4 + entry.region.len() + 1);
     buf.extend_from_slice(&prev.to_le_bytes());
     buf.extend_from_slice(&entry.index.to_le_bytes());
+    buf.extend_from_slice(&entry.term.to_le_bytes());
     buf.extend_from_slice(&(entry.region.len() as u32).to_le_bytes());
     buf.extend_from_slice(entry.region.as_bytes());
     match &entry.op {
@@ -571,6 +850,30 @@ fn chain(prev: u64, entry: &LogEntry) -> u64 {
     }
     let digest = Sha256::digest(&buf);
     u64::from_le_bytes(digest[..8].try_into().expect("8-byte prefix"))
+}
+
+/// First 8 LE bytes of SHA-256 — the per-chunk payload checksum.
+fn checksum64(bytes: &[u8]) -> u64 {
+    let digest = Sha256::digest(bytes);
+    u64::from_le_bytes(digest[..8].try_into().expect("8-byte prefix"))
+}
+
+/// Pushes an applied entry onto the retained tail, compacting the
+/// front past `retain` entries and advancing the anchor hash.
+fn push_tail(st: &mut NodeState, entry: LogEntry, hash: u64, retain: usize) {
+    st.tail.push_back((entry, hash));
+    while st.tail.len() > retain.max(1) {
+        let (_, h) = st.tail.pop_front().expect("non-empty tail");
+        st.tail_prev_hash = h;
+    }
+}
+
+/// True when a leader's quorum lease has lapsed: it must stop acking
+/// writes and serving catch-up until it re-establishes contact.
+fn fenced_now(st: &NodeState, cfg: &ReplicaConfig, now_ms: u64) -> bool {
+    st.role == Role::Leader
+        && !cfg.peers.is_empty()
+        && now_ms.saturating_sub(st.last_quorum_ms) > cfg.lease_ms
 }
 
 /// Deterministic per-id skew so two nodes' election timers rarely
@@ -607,6 +910,11 @@ pub struct ReplicaNode {
     write: Mutex<()>,
     meta: Option<Arc<dyn StorageBackend>>,
     stats: Mutex<ReplicaStats>,
+    /// Outbound chunked sync sessions by peer (leader side).
+    sync_sessions: Mutex<BTreeMap<String, SyncSession>>,
+    /// Monotonic source of sync session ids (no wall clock: session
+    /// ids must be deterministic under the virtual-time harness).
+    sync_session_seq: AtomicU64,
 }
 
 impl ReplicaNode {
@@ -627,10 +935,18 @@ impl ReplicaNode {
                 leader_id: None,
                 leader_hint: None,
                 last_heartbeat_ms: 0,
+                tail: VecDeque::new(),
+                tail_prev_hash: 0,
+                last_quorum_ms: 0,
+                clock_ms: 0,
+                fenced: false,
+                pending_sync: None,
             }),
             write: Mutex::new(()),
             meta: None,
             stats: Mutex::new(ReplicaStats::default()),
+            sync_sessions: Mutex::new(BTreeMap::new()),
+            sync_session_seq: AtomicU64::new(0),
         }
     }
 
@@ -828,10 +1144,19 @@ impl ReplicaNode {
                     hint: st.leader_hint.clone(),
                 });
             }
+            // Fencing: a leader whose quorum lease lapsed must not ack
+            // writes it may no longer be able to commit — during an
+            // asymmetric partition the rest of the cluster can have
+            // elected a successor it cannot hear.
+            if fenced_now(&st, &self.config, st.clock_ms) {
+                self.stats.lock().fenced_rejects += 1;
+                return Err(StoreError::NotLeader { hint: None });
+            }
             let prev_index = st.last_index;
             let prev_hash = st.log_hash;
             let entry = LogEntry {
                 index: prev_index + 1,
+                term: st.term,
                 region: region.to_string(),
                 op,
             };
@@ -841,7 +1166,9 @@ impl ReplicaNode {
             self.apply_op(region, &entry.op)?;
             st.last_index = entry.index;
             st.last_term = st.term;
-            st.log_hash = chain(prev_hash, &entry);
+            let h = chain(prev_hash, &entry);
+            st.log_hash = h;
+            push_tail(&mut st, entry.clone(), h, self.config.retain_entries);
             (st.term, prev_index, prev_hash, entry)
         };
         self.persist_meta();
@@ -855,8 +1182,14 @@ impl ReplicaNode {
             entries: vec![entry],
         };
         let mut acks = 1usize; // self
+        let mut contacts = 1usize; // peers that answered at our term
         for peer in &self.config.peers {
-            if let Ok(PeerReply::ReplicateAck { term: t, ok, .. }) = self.transport.call(peer, &msg)
+            if let Ok(PeerReply::ReplicateAck {
+                term: t,
+                ok,
+                last_index: peer_index,
+                log_hash: peer_hash,
+            }) = self.transport.call(peer, &msg)
             {
                 if t > term {
                     self.step_down(t);
@@ -864,11 +1197,24 @@ impl ReplicaNode {
                         hint: self.state.lock().leader_hint.clone(),
                     });
                 }
-                // A nack means the peer's log head diverged: repair it
-                // inline with a full sync, which counts as the ack.
-                if ok || self.sync_peer(peer, term) {
+                contacts += 1;
+                if ok {
+                    self.sync_sessions.lock().remove(peer);
+                    acks += 1;
+                } else if self.lag_repairable(peer_index, peer_hash) {
+                    // Pure within-tail lag: the follower pulls the
+                    // missing suffix itself (it already did, inside its
+                    // nack path, unless the link dropped). Never fall
+                    // back to a full-state sync for this case.
+                } else if self.sync_peer(peer, term) {
                     acks += 1;
                 }
+            }
+        }
+        if contacts >= self.quorum() {
+            let mut st = self.state.lock();
+            if st.role == Role::Leader && st.term == term {
+                st.last_quorum_ms = st.last_quorum_ms.max(st.clock_ms);
             }
         }
         let needed = self.quorum();
@@ -884,43 +1230,178 @@ impl ReplicaNode {
         }
     }
 
-    /// Pushes a full state transfer to one peer. Caller must hold the
-    /// write lock so the region reads are a consistent cut.
-    fn sync_peer(&self, peer: &str, term: u64) -> bool {
-        let (last_index, last_hash, last_term) = {
-            let st = self.state.lock();
-            (st.last_index, st.log_hash, st.last_term)
-        };
-        let regions: Vec<(String, Vec<u8>)> = {
-            let regions = self.regions.lock();
-            regions
-                .iter()
-                .filter_map(|(name, b)| Some((name.clone(), b.read().ok()?)))
-                .collect()
-        };
-        let msg = PeerRequest::Sync {
-            term,
-            leader: self.config.id.clone(),
-            leader_hint: self.config.client_hint.clone(),
-            last_index,
-            last_hash,
-            last_term,
-            regions,
-        };
-        self.stats.lock().syncs_sent += 1;
-        match self.transport.call(peer, &msg) {
-            Ok(PeerReply::SyncAck {
-                term: t,
-                last_index: li,
-            }) => {
-                if t > term {
-                    self.step_down(t);
-                    return false;
-                }
-                li == last_index
-            }
-            _ => false,
+    /// True when a nacking peer's `(last_index, log_hash)` sits on our
+    /// retained tail — i.e. the peer is merely lagging and can heal by
+    /// pulling the missing suffix. The leader must *not* full-sync such
+    /// a peer: entry-level repair is strictly cheaper and the follower
+    /// drives it.
+    fn lag_repairable(&self, peer_index: u64, peer_hash: u64) -> bool {
+        let st = self.state.lock();
+        if peer_index > st.last_index {
+            return false;
         }
+        let first_covered = st.last_index - st.tail.len() as u64;
+        if peer_index < first_covered {
+            return false; // compacted past the peer — needs sync
+        }
+        let expect = if peer_index == first_covered {
+            st.tail_prev_hash
+        } else {
+            st.tail[(peer_index - first_covered - 1) as usize].1
+        };
+        expect == peer_hash
+    }
+
+    /// Pushes a chunked full-state transfer to one peer, resuming a
+    /// same-term session from the last acked chunk when one survives a
+    /// transport failure. Caller must hold the write lock so the
+    /// region reads are a consistent cut. Returns true when the final
+    /// chunk was acked.
+    fn sync_peer(&self, peer: &str, term: u64) -> bool {
+        {
+            let mut sessions = self.sync_sessions.lock();
+            let keep = sessions.get(peer).is_some_and(|s| s.term == term);
+            if keep {
+                if sessions.get(peer).expect("kept session").next > 0 {
+                    self.stats.lock().sync_resumes += 1;
+                }
+            } else {
+                sessions.remove(peer);
+                let (last_index, last_hash, last_term) = {
+                    let st = self.state.lock();
+                    (st.last_index, st.log_hash, st.last_term)
+                };
+                let snapshot: Vec<(String, Vec<u8>)> = {
+                    let regions = self.regions.lock();
+                    regions
+                        .iter()
+                        .filter_map(|(name, b)| Some((name.clone(), b.read().ok()?)))
+                        .collect()
+                };
+                let chunk_len = self.config.sync_chunk_bytes.max(1);
+                let mut chunks = Vec::new();
+                for (name, bytes) in &snapshot {
+                    if bytes.is_empty() {
+                        chunks.push(ChunkData {
+                            region: name.clone(),
+                            offset: 0,
+                            bytes: Vec::new(),
+                        });
+                        continue;
+                    }
+                    let mut offset = 0usize;
+                    while offset < bytes.len() {
+                        let end = (offset + chunk_len).min(bytes.len());
+                        chunks.push(ChunkData {
+                            region: name.clone(),
+                            offset: offset as u64,
+                            bytes: bytes[offset..end].to_vec(),
+                        });
+                        offset = end;
+                    }
+                }
+                if chunks.is_empty() {
+                    // Head-only transfer: ship one sentinel chunk (the
+                    // empty region name never names a real region) so
+                    // the follower still adopts the log head.
+                    chunks.push(ChunkData {
+                        region: String::new(),
+                        offset: 0,
+                        bytes: Vec::new(),
+                    });
+                }
+                let session = self.sync_session_seq.fetch_add(1, Ordering::SeqCst) + 1;
+                sessions.insert(
+                    peer.to_string(),
+                    SyncSession {
+                        term,
+                        session,
+                        chunks,
+                        next: 0,
+                        last_index,
+                        last_hash,
+                        last_term,
+                    },
+                );
+            }
+        }
+        loop {
+            let (msg, seq, total) = {
+                let sessions = self.sync_sessions.lock();
+                let Some(s) = sessions.get(peer) else {
+                    return false;
+                };
+                let seq = s.next;
+                if seq >= s.chunks.len() {
+                    break;
+                }
+                let c = &s.chunks[seq];
+                (
+                    PeerRequest::SyncChunk {
+                        term,
+                        leader: self.config.id.clone(),
+                        leader_hint: self.config.client_hint.clone(),
+                        session: s.session,
+                        seq: seq as u64,
+                        total: s.chunks.len() as u64,
+                        region: c.region.clone(),
+                        offset: c.offset,
+                        bytes: c.bytes.clone(),
+                        checksum: checksum64(&c.bytes),
+                        last_index: s.last_index,
+                        last_hash: s.last_hash,
+                        last_term: s.last_term,
+                    },
+                    seq,
+                    s.chunks.len(),
+                )
+            };
+            {
+                let mut stats = self.stats.lock();
+                stats.sync_chunks_sent += 1;
+                if let PeerRequest::SyncChunk { bytes, .. } = &msg {
+                    stats.sync_bytes_sent += bytes.len() as u64;
+                }
+            }
+            match self.transport.call(peer, &msg) {
+                Ok(PeerReply::ChunkAck {
+                    term: t,
+                    seq: aseq,
+                    ok,
+                }) => {
+                    if t > term {
+                        self.step_down(t);
+                        self.sync_sessions.lock().remove(peer);
+                        return false;
+                    }
+                    if !ok || aseq != seq as u64 {
+                        // Follower restarted its inbound session or
+                        // diverged: discard ours and retry next round.
+                        self.sync_sessions.lock().remove(peer);
+                        return false;
+                    }
+                    let mut sessions = self.sync_sessions.lock();
+                    if let Some(s) = sessions.get_mut(peer) {
+                        s.next = seq + 1;
+                        if s.next >= total {
+                            sessions.remove(peer);
+                            drop(sessions);
+                            self.stats.lock().syncs_sent += 1;
+                            return true;
+                        }
+                    } else {
+                        return false;
+                    }
+                }
+                // Transport failure mid-transfer: keep the session so
+                // the next round resumes from `next` instead of
+                // restarting from chunk 0.
+                _ => return false,
+            }
+        }
+        self.sync_sessions.lock().remove(peer);
+        self.stats.lock().syncs_sent += 1;
+        true
     }
 
     /// Handles one peer request, returning the reply. `now_ms` is the
@@ -935,29 +1416,58 @@ impl ReplicaNode {
                 prev_hash,
                 entries,
             } => {
+                enum Head {
+                    Match,
+                    Lag,
+                    Diverged,
+                }
+                let head = {
+                    let mut st = self.state.lock();
+                    st.clock_ms = st.clock_ms.max(now_ms);
+                    if *term < st.term || (*term == st.term && st.role == Role::Leader) {
+                        return PeerReply::ReplicateAck {
+                            term: st.term,
+                            last_index: st.last_index,
+                            log_hash: st.log_hash,
+                            ok: false,
+                        };
+                    }
+                    if *term > st.term {
+                        st.term = *term;
+                        st.voted_for = None;
+                    }
+                    if st.role != Role::Follower {
+                        st.role = Role::Follower;
+                        self.stats.lock().step_downs += 1;
+                    }
+                    st.leader_id = Some(leader.clone());
+                    st.leader_hint = Some(leader_hint.clone());
+                    st.last_heartbeat_ms = now_ms;
+                    if *prev_index == st.last_index && *prev_hash == st.log_hash {
+                        Head::Match
+                    } else if *prev_index > st.last_index {
+                        Head::Lag
+                    } else {
+                        Head::Diverged
+                    }
+                };
+                self.persist_meta();
+                if matches!(head, Head::Lag) {
+                    // Behind the leader's frame: pull the missing
+                    // suffix from its retained tail before deciding to
+                    // nack. On success the head check below passes and
+                    // this round's entries append cleanly.
+                    self.pull_repair(leader, *term);
+                }
                 let mut st = self.state.lock();
-                if *term < st.term || (*term == st.term && st.role == Role::Leader) {
-                    return PeerReply::ReplicateAck {
-                        term: st.term,
-                        last_index: st.last_index,
-                        ok: false,
-                    };
-                }
-                if *term > st.term {
-                    st.term = *term;
-                    st.voted_for = None;
-                }
-                if st.role != Role::Follower {
-                    st.role = Role::Follower;
-                    self.stats.lock().step_downs += 1;
-                }
-                st.leader_id = Some(leader.clone());
-                st.leader_hint = Some(leader_hint.clone());
-                st.last_heartbeat_ms = now_ms;
                 if *prev_index != st.last_index || *prev_hash != st.log_hash {
+                    // Still mismatched (diverged, repair refused, or
+                    // the link dropped mid-pull). The leader reads our
+                    // head off this nack to classify lag vs divergence.
                     let reply = PeerReply::ReplicateAck {
                         term: st.term,
                         last_index: st.last_index,
+                        log_hash: st.log_hash,
                         ok: false,
                     };
                     drop(st);
@@ -969,19 +1479,23 @@ impl ReplicaNode {
                         let reply = PeerReply::ReplicateAck {
                             term: st.term,
                             last_index: st.last_index,
+                            log_hash: st.log_hash,
                             ok: false,
                         };
                         drop(st);
                         self.persist_meta();
                         return reply;
                     }
-                    st.log_hash = chain(st.log_hash, entry);
+                    let h = chain(st.log_hash, entry);
+                    st.log_hash = h;
                     st.last_index = entry.index;
-                    st.last_term = *term;
+                    st.last_term = entry.term;
+                    push_tail(&mut st, entry.clone(), h, self.config.retain_entries);
                 }
                 let reply = PeerReply::ReplicateAck {
                     term: st.term,
                     last_index: st.last_index,
+                    log_hash: st.log_hash,
                     ok: true,
                 };
                 drop(st);
@@ -996,6 +1510,7 @@ impl ReplicaNode {
                 last_term,
             } => {
                 let mut st = self.state.lock();
+                st.clock_ms = st.clock_ms.max(now_ms);
                 if *term < st.term {
                     return PeerReply::Vote {
                         term: st.term,
@@ -1032,20 +1547,138 @@ impl ReplicaNode {
                 self.persist_meta();
                 reply
             }
-            PeerRequest::Sync {
+            PeerRequest::PreVote {
+                term,
+                candidate: _,
+                last_index,
+                last_term,
+            } => {
+                // A pre-vote is a read-only poll: "would you vote for
+                // me at `term`?" Nothing is recorded and no term moves,
+                // so a partitioned node probing forever cannot disturb
+                // the cluster.
+                let mut st = self.state.lock();
+                st.clock_ms = st.clock_ms.max(now_ms);
+                let up_to_date = (*last_term, *last_index) >= (st.last_term, st.last_index);
+                let leader_live = st.leader_id.is_some()
+                    && now_ms.saturating_sub(st.last_heartbeat_ms)
+                        < self.config.election_timeout_ms;
+                let granted = *term > st.term
+                    && up_to_date
+                    && match st.role {
+                        // A fenced leader knows it may already be
+                        // deposed: let the majority side proceed.
+                        Role::Leader => fenced_now(&st, &self.config, now_ms),
+                        _ => !leader_live,
+                    };
+                PeerReply::PreVoteAck {
+                    term: st.term,
+                    granted,
+                }
+            }
+            PeerRequest::Repair {
+                term,
+                follower: _,
+                from_index,
+                from_hash,
+            } => {
+                let mut st = self.state.lock();
+                st.clock_ms = st.clock_ms.max(now_ms);
+                if *term > st.term {
+                    st.term = *term;
+                    st.voted_for = None;
+                    if st.role != Role::Follower {
+                        st.role = Role::Follower;
+                        self.stats.lock().step_downs += 1;
+                    }
+                    st.leader_id = None;
+                    let reply = PeerReply::RepairChunk {
+                        term: st.term,
+                        ok: false,
+                        entries: Vec::new(),
+                        last_index: st.last_index,
+                    };
+                    drop(st);
+                    self.persist_meta();
+                    return reply;
+                }
+                let refuse = PeerReply::RepairChunk {
+                    term: st.term,
+                    ok: false,
+                    entries: Vec::new(),
+                    last_index: st.last_index,
+                };
+                // Serve only as the current-term, unfenced leader — a
+                // stale or fenced leader replaying its tail could feed
+                // a follower entries the real cluster has moved past.
+                if st.role != Role::Leader
+                    || *term != st.term
+                    || fenced_now(&st, &self.config, now_ms)
+                {
+                    return refuse;
+                }
+                if *from_index > st.last_index {
+                    return refuse;
+                }
+                let first_covered = st.last_index - st.tail.len() as u64;
+                if *from_index < first_covered {
+                    return refuse; // compacted: follower needs a sync
+                }
+                let expect = if *from_index == first_covered {
+                    st.tail_prev_hash
+                } else {
+                    st.tail[(*from_index - first_covered - 1) as usize].1
+                };
+                if expect != *from_hash {
+                    return refuse; // diverged, not lagging
+                }
+                let entries: Vec<LogEntry> = st
+                    .tail
+                    .iter()
+                    .filter(|(e, _)| e.index > *from_index)
+                    .take(REPAIR_BATCH)
+                    .map(|(e, _)| e.clone())
+                    .collect();
+                let bytes: u64 = entries
+                    .iter()
+                    .map(|e| match &e.op {
+                        RegionOp::Append(b) | RegionOp::Replace(b) => b.len() as u64,
+                    })
+                    .sum();
+                {
+                    let mut stats = self.stats.lock();
+                    stats.repair_chunks_served += 1;
+                    stats.repair_bytes_served += bytes;
+                }
+                PeerReply::RepairChunk {
+                    term: st.term,
+                    ok: true,
+                    entries,
+                    last_index: st.last_index,
+                }
+            }
+            PeerRequest::SyncChunk {
                 term,
                 leader,
                 leader_hint,
+                session,
+                seq,
+                total,
+                region,
+                offset,
+                bytes,
+                checksum,
                 last_index,
                 last_hash,
                 last_term,
-                regions,
             } => {
                 let mut st = self.state.lock();
+                st.clock_ms = st.clock_ms.max(now_ms);
                 if *term < st.term || (*term == st.term && st.role == Role::Leader) {
-                    return PeerReply::SyncAck {
+                    return PeerReply::ChunkAck {
                         term: st.term,
-                        last_index: st.last_index,
+                        seq: *seq,
+                        ok: false,
                     };
                 }
                 if *term > st.term {
@@ -1059,22 +1692,98 @@ impl ReplicaNode {
                 st.leader_id = Some(leader.clone());
                 st.leader_hint = Some(leader_hint.clone());
                 st.last_heartbeat_ms = now_ms;
-                let mut applied = true;
-                for (name, bytes) in regions {
-                    if self.region(name).replace(bytes).is_err() {
-                        applied = false;
-                        break;
+                let nack = |st: &NodeState| PeerReply::ChunkAck {
+                    term: st.term,
+                    seq: *seq,
+                    ok: false,
+                };
+                if checksum64(bytes) != *checksum {
+                    st.pending_sync = None;
+                    let reply = nack(&st);
+                    drop(st);
+                    self.persist_meta();
+                    return reply;
+                }
+                let continues = st.pending_sync.as_ref().is_some_and(|p| {
+                    p.leader == *leader && p.session == *session && p.next_seq == *seq
+                });
+                if !continues {
+                    if *seq == 0 {
+                        st.pending_sync = Some(PendingSync {
+                            leader: leader.clone(),
+                            session: *session,
+                            next_seq: 0,
+                            staged: Vec::new(),
+                        });
+                    } else {
+                        // Mid-session chunk for a session we are not
+                        // tracking: nack so the leader restarts.
+                        st.pending_sync = None;
+                        let reply = nack(&st);
+                        drop(st);
+                        self.persist_meta();
+                        return reply;
                     }
                 }
-                if applied {
+                // Region-name "" is the head-only sentinel; real
+                // chunks must extend their region contiguously.
+                if !region.is_empty() {
+                    let staged_len = st
+                        .pending_sync
+                        .as_ref()
+                        .expect("pending sync present")
+                        .staged
+                        .iter()
+                        .find(|(n, _)| n == region)
+                        .map_or(0, |(_, b)| b.len() as u64);
+                    if staged_len != *offset {
+                        st.pending_sync = None;
+                        let reply = nack(&st);
+                        drop(st);
+                        self.persist_meta();
+                        return reply;
+                    }
+                    let p = st.pending_sync.as_mut().expect("pending sync present");
+                    if let Some((_, buf)) = p.staged.iter_mut().find(|(n, _)| n == region) {
+                        buf.extend_from_slice(bytes);
+                    } else {
+                        p.staged.push((region.clone(), bytes.clone()));
+                    }
+                }
+                st.pending_sync
+                    .as_mut()
+                    .expect("pending sync present")
+                    .next_seq = *seq + 1;
+                if *seq + 1 == *total {
+                    // Final chunk: install the staged snapshot
+                    // atomically with the shipped log head.
+                    let staged = st.pending_sync.take().expect("pending sync present").staged;
+                    let mut applied = true;
+                    for (name, b) in &staged {
+                        if self.region(name).replace(b).is_err() {
+                            applied = false;
+                            break;
+                        }
+                    }
+                    if !applied {
+                        let reply = nack(&st);
+                        drop(st);
+                        self.persist_meta();
+                        return reply;
+                    }
                     st.last_index = *last_index;
                     st.last_term = *last_term;
                     st.log_hash = *last_hash;
+                    // The tail does not cover synced history: anchor an
+                    // empty tail at the new head.
+                    st.tail.clear();
+                    st.tail_prev_hash = *last_hash;
                     self.stats.lock().syncs_applied += 1;
                 }
-                let reply = PeerReply::SyncAck {
+                let reply = PeerReply::ChunkAck {
                     term: st.term,
-                    last_index: st.last_index,
+                    seq: *seq,
+                    ok: true,
                 };
                 drop(st);
                 self.persist_meta();
@@ -1083,11 +1792,83 @@ impl ReplicaNode {
         }
     }
 
+    /// Follower-side entry repair: pull the missing log suffix from
+    /// `leader`'s retained tail in bounded batches until caught up or
+    /// the link fails. Called with no locks held.
+    fn pull_repair(&self, leader: &str, term: u64) {
+        self.stats.lock().repairs_pulled += 1;
+        loop {
+            let (from_index, from_hash) = {
+                let st = self.state.lock();
+                (st.last_index, st.log_hash)
+            };
+            let msg = PeerRequest::Repair {
+                term,
+                follower: self.config.id.clone(),
+                from_index,
+                from_hash,
+            };
+            match self.transport.call(leader, &msg) {
+                Ok(PeerReply::RepairChunk {
+                    term: t,
+                    ok,
+                    entries,
+                    last_index,
+                }) => {
+                    if t > term {
+                        self.step_down(t);
+                        return;
+                    }
+                    if !ok || entries.is_empty() {
+                        break;
+                    }
+                    let mut applied = 0u64;
+                    {
+                        let mut st = self.state.lock();
+                        for entry in &entries {
+                            if entry.index != st.last_index + 1 {
+                                break;
+                            }
+                            if self.apply_op(&entry.region, &entry.op).is_err() {
+                                break;
+                            }
+                            let h = chain(st.log_hash, entry);
+                            st.log_hash = h;
+                            st.last_index = entry.index;
+                            st.last_term = entry.term;
+                            push_tail(&mut st, entry.clone(), h, self.config.retain_entries);
+                            applied += 1;
+                        }
+                    }
+                    self.stats.lock().repair_entries_applied += applied;
+                    if applied == 0 {
+                        break;
+                    }
+                    if self.state.lock().last_index >= last_index {
+                        break;
+                    }
+                }
+                _ => break,
+            }
+        }
+        self.persist_meta();
+    }
+
     /// Starts an election for the next term. Returns true when this
     /// node won and is now leader.
+    ///
+    /// With [`ReplicaConfig::pre_vote`] enabled (the default) the node
+    /// first polls a quorum with a non-term-incrementing pre-vote and
+    /// stands only when a majority would grant — so an isolated or
+    /// flapping node never inflates its term and cannot depose a
+    /// stable leader on rejoin.
     pub fn start_election(&self, now_ms: u64) -> bool {
+        if self.config.pre_vote && !self.pre_vote_round(now_ms) {
+            return false;
+        }
         let (term, last_index, last_term) = {
             let mut st = self.state.lock();
+            st.clock_ms = st.clock_ms.max(now_ms);
             st.term += 1;
             st.role = Role::Candidate;
             st.voted_for = Some(self.config.id.clone());
@@ -1130,6 +1911,9 @@ impl ReplicaNode {
             st.leader_id = Some(self.config.id.clone());
             st.leader_hint = Some(self.config.client_hint.clone());
             st.last_heartbeat_ms = now_ms;
+            // A fresh mandate is a fresh lease.
+            st.last_quorum_ms = now_ms;
+            st.fenced = false;
         }
         self.stats.lock().elections_won += 1;
         // Announce immediately so follower election timers reset.
@@ -1137,8 +1921,47 @@ impl ReplicaNode {
         true
     }
 
-    /// One heartbeat fan-out round (leader only). Diverged or lagging
-    /// followers are repaired inline with a state transfer.
+    /// The non-binding pre-vote poll. Returns true when a quorum would
+    /// grant a vote at `term + 1`. No term is consumed either way.
+    fn pre_vote_round(&self, now_ms: u64) -> bool {
+        let (current, proposed, last_index, last_term) = {
+            let st = self.state.lock();
+            (st.term, st.term + 1, st.last_index, st.last_term)
+        };
+        self.stats.lock().pre_votes_started += 1;
+        let msg = PeerRequest::PreVote {
+            term: proposed,
+            candidate: self.config.id.clone(),
+            last_index,
+            last_term,
+        };
+        let mut grants = 1usize; // would vote for ourselves
+        for peer in &self.config.peers {
+            if let Ok(PeerReply::PreVoteAck { term: t, granted }) = self.transport.call(peer, &msg)
+            {
+                if t > current {
+                    self.step_down(t);
+                    self.stats.lock().pre_votes_blocked += 1;
+                    return false;
+                }
+                if granted {
+                    grants += 1;
+                }
+            }
+        }
+        if grants >= self.quorum() {
+            return true;
+        }
+        self.stats.lock().pre_votes_blocked += 1;
+        // Back off a full election timeout before probing again so an
+        // isolated node does not hammer the link every tick.
+        self.state.lock().last_heartbeat_ms = now_ms;
+        false
+    }
+
+    /// One heartbeat fan-out round (leader only). Lagging followers
+    /// pull entry repair off the heartbeat's nack; diverged or
+    /// compacted-past followers get a chunked state transfer.
     fn heartbeat_round(&self, now_ms: u64) {
         let _write = self.write.lock();
         let (term, prev_index, prev_hash) = {
@@ -1146,6 +1969,7 @@ impl ReplicaNode {
             if st.role != Role::Leader {
                 return;
             }
+            st.clock_ms = st.clock_ms.max(now_ms);
             st.last_heartbeat_ms = now_ms;
             (st.term, st.last_index, st.log_hash)
         };
@@ -1158,30 +1982,68 @@ impl ReplicaNode {
             prev_hash,
             entries: Vec::new(),
         };
+        let mut contacts = 1usize;
         for peer in &self.config.peers {
-            if let Ok(PeerReply::ReplicateAck { term: t, ok, .. }) = self.transport.call(peer, &msg)
+            if let Ok(PeerReply::ReplicateAck {
+                term: t,
+                ok,
+                last_index: peer_index,
+                log_hash: peer_hash,
+            }) = self.transport.call(peer, &msg)
             {
                 if t > term {
                     self.step_down(t);
                     return;
                 }
-                if !ok {
+                contacts += 1;
+                if ok {
+                    self.sync_sessions.lock().remove(peer);
+                } else if !self.lag_repairable(peer_index, peer_hash) {
                     self.sync_peer(peer, term);
                 }
             }
         }
+        if contacts >= self.quorum() {
+            let mut st = self.state.lock();
+            if st.role == Role::Leader && st.term == term {
+                st.last_quorum_ms = st.last_quorum_ms.max(now_ms);
+            }
+        }
     }
 
-    /// Advances the node's timers: leaders heartbeat, followers and
-    /// candidates start an election when the leader has gone quiet for
-    /// more than the (id-skewed) election timeout.
+    /// True when this node is a leader whose quorum lease has lapsed
+    /// (it refuses writes and repair until contact is re-established).
+    pub fn is_fenced(&self, now_ms: u64) -> bool {
+        let st = self.state.lock();
+        fenced_now(&st, &self.config, now_ms)
+    }
+
+    /// Advances the node's timers: leaders heartbeat (and latch the
+    /// fencing state), followers and candidates start an election when
+    /// the leader has gone quiet for more than the (id-skewed)
+    /// election timeout.
     pub fn tick(&self, now_ms: u64) {
         let (role, last_heartbeat) = {
-            let st = self.state.lock();
+            let mut st = self.state.lock();
+            st.clock_ms = st.clock_ms.max(now_ms);
+            if st.role == Role::Leader {
+                let f = fenced_now(&st, &self.config, now_ms);
+                if f && !st.fenced {
+                    st.fenced = true;
+                    self.stats.lock().fencings += 1;
+                }
+                if !f {
+                    st.fenced = false;
+                }
+            } else {
+                st.fenced = false;
+            }
             (st.role, st.last_heartbeat_ms)
         };
         match role {
             Role::Leader => {
+                // A fenced leader keeps heartbeating: re-establishing
+                // quorum contact is exactly what un-fences it.
                 if now_ms.saturating_sub(last_heartbeat) >= self.config.heartbeat_ms {
                     self.heartbeat_round(now_ms);
                 }
@@ -1249,6 +2111,20 @@ struct MeshInner {
     nodes: BTreeMap<String, Arc<ReplicaNode>>,
     down: HashSet<String>,
     cut: HashSet<(String, String)>,
+    /// Flapping links keyed by the normalised (sorted) endpoint pair:
+    /// `(window, calls seen)`. The link alternates `window` successful
+    /// calls then `window` failed calls, deterministically by count —
+    /// no randomness, so replays are byte-identical.
+    flappy: HashMap<(String, String), (u64, u64)>,
+}
+
+/// Normalised key for an undirected link.
+fn link_key(a: &str, b: &str) -> (String, String) {
+    if a <= b {
+        (a.to_string(), b.to_string())
+    } else {
+        (b.to_string(), a.to_string())
+    }
 }
 
 /// A deterministic in-process transport connecting [`ReplicaNode`]s
@@ -1321,6 +2197,30 @@ impl LocalMesh {
         inner.cut.remove(&(b.to_string(), a.to_string()));
     }
 
+    /// Cuts only the `from` → `to` direction (asymmetric partition):
+    /// `to` still reaches `from`, but not vice versa.
+    pub fn partition_one_way(&self, from: &str, to: &str) {
+        self.inner
+            .lock()
+            .cut
+            .insert((from.to_string(), to.to_string()));
+    }
+
+    /// Makes the `a`↔`b` link flap: `window` calls succeed, then
+    /// `window` calls fail, repeating. Deterministic in the number of
+    /// calls, not in time.
+    pub fn set_flappy(&self, a: &str, b: &str, window: u64) {
+        self.inner
+            .lock()
+            .flappy
+            .insert(link_key(a, b), (window.max(1), 0));
+    }
+
+    /// Stops the `a`↔`b` link flapping.
+    pub fn clear_flappy(&self, a: &str, b: &str) {
+        self.inner.lock().flappy.remove(&link_key(a, b));
+    }
+
     /// Ticks every live node once at the current virtual time, in id
     /// order (deterministic).
     pub fn tick_all(&self) {
@@ -1369,7 +2269,7 @@ impl ReplicationTransport for LocalMesh {
     fn call(&self, peer: &str, req: &PeerRequest) -> Result<PeerReply, StoreError> {
         let origin = req.origin().to_string();
         let node = {
-            let inner = self.inner.lock();
+            let mut inner = self.inner.lock();
             if inner.down.contains(&origin) {
                 return Err(StoreError::Io(format!("{origin}: node crashed")));
             }
@@ -1378,6 +2278,13 @@ impl ReplicationTransport for LocalMesh {
             }
             if inner.cut.contains(&(origin.clone(), peer.to_string())) {
                 return Err(StoreError::Io(format!("{origin}->{peer}: link cut")));
+            }
+            if let Some((window, count)) = inner.flappy.get_mut(&link_key(&origin, peer)) {
+                let n = *count;
+                *count += 1;
+                if (n / *window) % 2 == 1 {
+                    return Err(StoreError::Io(format!("{origin}->{peer}: link flapping")));
+                }
             }
             inner
                 .nodes
@@ -1395,7 +2302,10 @@ impl ReplicationTransport for LocalMesh {
 mod tests {
     use super::*;
 
-    fn cluster(n: usize) -> (LocalMesh, Vec<Arc<ReplicaNode>>) {
+    fn cluster_with(
+        n: usize,
+        tweak: impl Fn(&mut ReplicaConfig),
+    ) -> (LocalMesh, Vec<Arc<ReplicaNode>>) {
         let mesh = LocalMesh::new();
         let ids: Vec<String> = (0..n).map(|i| format!("n{i}")).collect();
         let nodes: Vec<Arc<ReplicaNode>> = ids
@@ -1403,13 +2313,19 @@ mod tests {
             .enumerate()
             .map(|(i, id)| {
                 let peers = ids.iter().filter(|p| *p != id).cloned().collect();
-                let cfg = ReplicaConfig::new(id.clone(), peers, format!("127.0.0.1:{}", 9100 + i));
+                let mut cfg =
+                    ReplicaConfig::new(id.clone(), peers, format!("127.0.0.1:{}", 9100 + i));
+                tweak(&mut cfg);
                 let node = Arc::new(ReplicaNode::new(cfg, Arc::new(mesh.clone())));
                 mesh.register(Arc::clone(&node));
                 node
             })
             .collect();
         (mesh, nodes)
+    }
+
+    fn cluster(n: usize) -> (LocalMesh, Vec<Arc<ReplicaNode>>) {
+        cluster_with(n, |_| {})
     }
 
     /// Drives ticks until exactly one live leader exists.
@@ -1434,6 +2350,7 @@ mod tests {
                 prev_hash: 0xdeadbeef,
                 entries: vec![LogEntry {
                     index: 8,
+                    term: 3,
                     region: "journal".into(),
                     op: RegionOp::Append(vec![0, 1, 255]),
                 }],
@@ -1445,17 +2362,32 @@ mod tests {
                 last_index: 8,
                 last_term: 3,
             },
-            PeerRequest::Sync {
+            PeerRequest::PreVote {
+                term: 5,
+                candidate: "n2".into(),
+                last_index: 8,
+                last_term: 4,
+            },
+            PeerRequest::Repair {
+                term: 4,
+                follower: "n2".into(),
+                from_index: 6,
+                from_hash: 0xfeed,
+            },
+            PeerRequest::SyncChunk {
                 term: 4,
                 leader: "n1".into(),
                 leader_hint: "127.0.0.1:9101".into(),
+                session: 7,
+                seq: 2,
+                total: 5,
+                region: "journal".into(),
+                offset: 8192,
+                bytes: vec![9, 8, 7],
+                checksum: 0xabc,
                 last_index: 8,
                 last_hash: 99,
                 last_term: 4,
-                regions: vec![
-                    ("journal".into(), vec![1, 2, 3]),
-                    ("snapshot".into(), vec![]),
-                ],
             },
         ];
         for req in reqs {
@@ -1467,15 +2399,32 @@ mod tests {
             PeerReply::ReplicateAck {
                 term: 3,
                 last_index: 8,
+                log_hash: 0xbeef,
                 ok: true,
             },
             PeerReply::Vote {
                 term: 4,
                 granted: false,
             },
-            PeerReply::SyncAck {
+            PeerReply::PreVoteAck {
+                term: 5,
+                granted: true,
+            },
+            PeerReply::RepairChunk {
                 term: 4,
+                ok: true,
+                entries: vec![LogEntry {
+                    index: 7,
+                    term: 2,
+                    region: "journal".into(),
+                    op: RegionOp::Replace(vec![4, 2]),
+                }],
                 last_index: 8,
+            },
+            PeerReply::ChunkAck {
+                term: 4,
+                seq: 2,
+                ok: true,
             },
         ];
         for reply in replies {
@@ -1566,7 +2515,7 @@ mod tests {
     }
 
     #[test]
-    fn crashed_follower_catches_up_via_sync() {
+    fn crashed_follower_catches_up_via_entry_repair() {
         let (mesh, nodes) = cluster(3);
         let leader = settle(&mesh);
         let follower = nodes.iter().find(|n| !n.is_leader()).unwrap();
@@ -1577,14 +2526,245 @@ mod tests {
         }
         assert!(follower.last_index() < leader.last_index());
         mesh.revive(follower.id());
-        // The next heartbeat detects the stale prev and pushes a sync.
+        // The next heartbeat's stale prev makes the follower pull the
+        // missing suffix from the leader's retained tail — no
+        // full-state transfer at all.
         mesh.step(leader.config.heartbeat_ms + 1);
         assert_eq!(follower.last_index(), leader.last_index());
         assert_eq!(
             follower.region("journal").read().unwrap(),
             leader.region("journal").read().unwrap()
         );
-        assert!(follower.stats().syncs_applied >= 1);
+        let fs = follower.stats();
+        assert!(fs.repairs_pulled >= 1, "follower pulled repair");
+        assert_eq!(fs.repair_entries_applied, 5, "all 5 entries replayed");
+        assert_eq!(fs.syncs_applied, 0, "no full-state sync applied");
+        assert_eq!(leader.stats().sync_chunks_sent, 0, "no sync chunks sent");
+    }
+
+    #[test]
+    fn compacted_tail_falls_back_to_chunked_sync() {
+        let (mesh, nodes) = cluster_with(3, |cfg| {
+            cfg.retain_entries = 2;
+            cfg.sync_chunk_bytes = 4;
+        });
+        let leader = settle(&mesh);
+        let follower = nodes.iter().find(|n| !n.is_leader()).unwrap();
+        mesh.kill(follower.id());
+        let store = leader.replicated("journal");
+        for i in 0..6 {
+            store.append(format!("r{i}").as_bytes()).unwrap();
+        }
+        mesh.revive(follower.id());
+        // The follower trails by 6 > retain_entries=2, so its repair
+        // pull is refused (compacted) and the leader ships a chunked
+        // full-state sync instead — 12 journal bytes in 4-byte chunks.
+        mesh.step(leader.config.heartbeat_ms + 1);
+        assert_eq!(follower.last_index(), leader.last_index());
+        assert_eq!(
+            follower.region("journal").read().unwrap(),
+            leader.region("journal").read().unwrap()
+        );
+        let fs = follower.stats();
+        assert!(fs.syncs_applied >= 1, "full-state sync applied");
+        assert_eq!(fs.repair_entries_applied, 0, "repair refused past tail");
+        let ls = leader.stats();
+        assert!(ls.sync_chunks_sent >= 3, "payload split into chunks");
+        assert!(ls.syncs_sent >= 1, "transfer completed");
+    }
+
+    #[test]
+    fn mid_transfer_link_drop_resumes_chunked_sync() {
+        let (mesh, nodes) = cluster_with(3, |cfg| {
+            cfg.retain_entries = 2;
+            cfg.sync_chunk_bytes = 8;
+        });
+        let leader = settle(&mesh);
+        let follower = nodes.iter().find(|n| !n.is_leader()).unwrap();
+        mesh.kill(follower.id());
+        let store = leader.replicated("journal");
+        for i in 0..6 {
+            store.append(format!("record-{i}").as_bytes()).unwrap();
+        }
+        mesh.revive(follower.id());
+        // 48 journal bytes in 8-byte chunks = 6 chunks, over a link
+        // that flaps every 3 calls: the transfer cannot finish in one
+        // round and must survive by resuming, not restarting.
+        mesh.set_flappy(leader.id(), follower.id(), 3);
+        let mut converged = false;
+        for _ in 0..80 {
+            mesh.step(leader.config.heartbeat_ms + 1);
+            if follower.last_index() == leader.last_index()
+                && follower.region("journal").read().unwrap()
+                    == leader.region("journal").read().unwrap()
+            {
+                converged = true;
+                break;
+            }
+        }
+        assert!(converged, "sync must complete across link flaps");
+        mesh.clear_flappy(leader.id(), follower.id());
+        let ls = leader.stats();
+        assert!(ls.sync_resumes >= 1, "session resumed at least once");
+        assert_eq!(ls.syncs_sent, 1, "exactly one transfer completed");
+        assert_eq!(follower.stats().syncs_applied, 1, "installed exactly once");
+    }
+
+    #[test]
+    fn flappy_link_heals_via_repair_without_sync() {
+        let (mesh, nodes) = cluster(3);
+        let leader = settle(&mesh);
+        let follower = nodes.iter().find(|n| !n.is_leader()).unwrap();
+        let term_before = leader.term();
+        mesh.set_flappy(leader.id(), follower.id(), 4);
+        let store = leader.replicated("scratch");
+        for i in 0..12 {
+            // Appends may commit on the other follower alone while the
+            // flapped link is down — that's the lag repair later heals.
+            let _ = store.append(format!("s{i}").as_bytes());
+            mesh.step(5);
+        }
+        mesh.clear_flappy(leader.id(), follower.id());
+        let mut converged = false;
+        for _ in 0..20 {
+            mesh.step(leader.config.heartbeat_ms + 1);
+            if follower.last_index() == leader.last_index() {
+                converged = true;
+                break;
+            }
+        }
+        assert!(converged, "flapped follower must converge");
+        assert_eq!(
+            follower.region("scratch").read().unwrap(),
+            leader.region("scratch").read().unwrap()
+        );
+        // The whole episode healed through entry repair: the trail
+        // never left the retained tail, so a full-state sync would be
+        // a regression.
+        assert!(follower.stats().repairs_pulled >= 1);
+        assert_eq!(follower.stats().syncs_applied, 0);
+        assert_eq!(leader.stats().sync_chunks_sent, 0);
+        assert_eq!(leader.term(), term_before, "no term storm from flapping");
+        assert!(leader.is_leader(), "leader undeposed");
+    }
+
+    #[test]
+    fn pre_vote_prevents_isolated_node_term_storm() {
+        let (mesh, nodes) = cluster(3);
+        let leader = settle(&mesh);
+        let isolated = nodes.iter().find(|n| !n.is_leader()).unwrap();
+        let term_before = leader.term();
+        let leader_step_downs = leader.stats().step_downs;
+        let elections_before = isolated.stats().elections_started;
+        for n in &nodes {
+            if n.id() != isolated.id() {
+                mesh.partition(isolated.id(), n.id());
+            }
+        }
+        for _ in 0..20 {
+            mesh.step(25);
+        }
+        // The isolated node kept probing but never consumed a term.
+        assert_eq!(isolated.term(), term_before, "no term inflation");
+        assert!(isolated.stats().pre_votes_blocked >= 1);
+        assert_eq!(isolated.stats().elections_started, elections_before);
+        // Heal: the node rejoins without disturbing the leader.
+        for n in &nodes {
+            if n.id() != isolated.id() {
+                mesh.heal_partition(isolated.id(), n.id());
+            }
+        }
+        for _ in 0..5 {
+            mesh.step(leader.config.heartbeat_ms + 1);
+        }
+        assert!(leader.is_leader(), "leader survives the rejoin");
+        assert_eq!(
+            leader.stats().step_downs,
+            leader_step_downs,
+            "zero depositions with pre-vote"
+        );
+        assert_eq!(leader.term(), term_before);
+    }
+
+    #[test]
+    fn term_storm_without_pre_vote_deposes_leader() {
+        let (mesh, nodes) = cluster_with(3, |cfg| cfg.pre_vote = false);
+        let leader = settle(&mesh);
+        let isolated = nodes.iter().find(|n| !n.is_leader()).unwrap();
+        let term_before = leader.term();
+        for n in &nodes {
+            if n.id() != isolated.id() {
+                mesh.partition(isolated.id(), n.id());
+            }
+        }
+        for _ in 0..20 {
+            mesh.step(25);
+        }
+        // Without pre-vote every timeout burns a real term.
+        assert!(isolated.term() > term_before, "terms inflated");
+        assert!(isolated.stats().elections_started >= 1);
+        for n in &nodes {
+            if n.id() != isolated.id() {
+                mesh.heal_partition(isolated.id(), n.id());
+            }
+        }
+        // On rejoin the inflated term deposes the healthy leader: the
+        // exact failure mode pre-vote exists to prevent.
+        let mut deposed = false;
+        for _ in 0..40 {
+            mesh.step(25);
+            if leader.stats().step_downs >= 1 {
+                deposed = true;
+                break;
+            }
+        }
+        assert!(deposed, "stale high term must depose the leader");
+        // The cluster still re-settles on a single leader afterwards.
+        settle(&mesh);
+    }
+
+    #[test]
+    fn fenced_leader_rejects_writes_and_repair() {
+        let (mesh, nodes) = cluster(3);
+        let leader = settle(&mesh);
+        for n in &nodes {
+            if n.id() != leader.id() {
+                mesh.partition(leader.id(), n.id());
+            }
+        }
+        // Step past the lease: the leader can no longer refresh a
+        // commit quorum and must fence itself.
+        for _ in 0..10 {
+            mesh.step(25);
+        }
+        assert!(leader.is_fenced(mesh.now()), "lease lapsed");
+        assert!(leader.stats().fencings >= 1, "fencing transition counted");
+        let store = leader.replicated("journal");
+        match store.append(b"stale-write") {
+            Err(StoreError::NotLeader { hint }) => {
+                assert_eq!(hint, None, "a fenced leader has no better hint");
+            }
+            other => panic!("fenced leader must reject writes, got {other:?}"),
+        }
+        assert!(leader.stats().fenced_rejects >= 1);
+        // A fenced leader must not serve catch-up either: its tail may
+        // be behind the real cluster's history.
+        let reply = leader.handle(
+            &PeerRequest::Repair {
+                term: leader.term(),
+                follower: "n9".into(),
+                from_index: 0,
+                from_hash: 0,
+            },
+            mesh.now(),
+        );
+        match reply {
+            PeerReply::RepairChunk { ok, entries, .. } => {
+                assert!(!ok, "fenced leader refuses repair");
+                assert!(entries.is_empty());
+            }
+            other => panic!("expected RepairChunk, got {other:?}"),
+        }
     }
 
     #[test]
@@ -1686,17 +2866,40 @@ mod tests {
         store.append(b"while-you-were-out").unwrap();
         mesh.revive(stale.id());
         // The stale node forces an election before any heartbeat can
-        // repair it: its claim must be refused by the up-to-date
-        // survivor (election restriction).
+        // repair it: pre-vote already refuses it (stale log, live
+        // leader), so no term is even consumed.
+        let term_before = stale.term();
         let won = stale.start_election(mesh.now());
         assert!(!won, "stale candidate must not win");
+        assert_eq!(stale.term(), term_before, "blocked at the pre-vote");
+        assert!(stale.stats().pre_votes_blocked >= 1);
+    }
+
+    #[test]
+    fn stale_candidate_loses_at_vote_stage_without_pre_vote() {
+        let (mesh, nodes) = cluster_with(3, |cfg| cfg.pre_vote = false);
+        let leader = settle(&mesh);
+        let store = leader.replicated("journal");
+        let stale = nodes.iter().find(|n| !n.is_leader()).unwrap();
+        mesh.kill(stale.id());
+        store.append(b"while-you-were-out").unwrap();
+        mesh.revive(stale.id());
+        // Without pre-vote the claim goes out for real — and the
+        // election restriction refuses it at the vote stage.
+        let term_before = stale.term();
+        let won = stale.start_election(mesh.now());
+        assert!(!won, "stale candidate must not win");
+        assert!(stale.term() > term_before, "a real term was consumed");
     }
 
     #[test]
     fn meta_backend_restores_term_and_vote() {
         let meta = Arc::new(MemBackend::new());
         let mesh = LocalMesh::new();
-        let cfg = ReplicaConfig::new("n0", vec!["n1".into()], "127.0.0.1:9100");
+        let mut cfg = ReplicaConfig::new("n0", vec!["n1".into()], "127.0.0.1:9100");
+        // The lone unreachable peer would block a pre-vote quorum and
+        // this test needs the term bump a lost election produces.
+        cfg.pre_vote = false;
         let node = ReplicaNode::new(cfg.clone(), Arc::new(mesh.clone()))
             .with_meta(Arc::clone(&meta) as Arc<dyn StorageBackend>);
         let node = Arc::new(node);
@@ -1726,6 +2929,91 @@ mod tests {
             PeerReply::Vote {
                 term,
                 granted: false
+            }
+        );
+    }
+
+    #[test]
+    fn restart_mid_election_does_not_double_vote() {
+        let meta = Arc::new(MemBackend::new());
+        let mesh = LocalMesh::new();
+        let cfg = ReplicaConfig::new("n0", vec!["a".into(), "b".into()], "127.0.0.1:9100");
+        let node = ReplicaNode::new(cfg.clone(), Arc::new(mesh.clone()))
+            .with_meta(Arc::clone(&meta) as Arc<dyn StorageBackend>);
+        let claim = |candidate: &str| PeerRequest::LeaderClaim {
+            term: 5,
+            candidate: candidate.into(),
+            candidate_hint: "x".into(),
+            last_index: 0,
+            last_term: 0,
+        };
+        // Vote for `a` in term 5, then crash before the election ends.
+        assert_eq!(
+            node.handle(&claim("a"), 0),
+            PeerReply::Vote {
+                term: 5,
+                granted: true
+            }
+        );
+        drop(node);
+        let restarted = ReplicaNode::new(cfg, Arc::new(mesh.clone()))
+            .with_meta(Arc::clone(&meta) as Arc<dyn StorageBackend>);
+        // The restarted node remembers its term-5 vote: `b` is refused…
+        assert_eq!(
+            restarted.handle(&claim("b"), 0),
+            PeerReply::Vote {
+                term: 5,
+                granted: false
+            }
+        );
+        // …while `a` re-asking (a retransmit) is still granted.
+        assert_eq!(
+            restarted.handle(&claim("a"), 0),
+            PeerReply::Vote {
+                term: 5,
+                granted: true
+            }
+        );
+    }
+
+    #[test]
+    fn no_meta_region_falls_back_to_per_process_voting() {
+        // Without a meta backend the vote guard only spans the process
+        // lifetime: a restart forgets the vote. This test documents
+        // that weaker fallback semantic.
+        let mesh = LocalMesh::new();
+        let cfg = ReplicaConfig::new("n0", vec!["a".into(), "b".into()], "127.0.0.1:9100");
+        let claim = |candidate: &str| PeerRequest::LeaderClaim {
+            term: 5,
+            candidate: candidate.into(),
+            candidate_hint: "x".into(),
+            last_index: 0,
+            last_term: 0,
+        };
+        let node = ReplicaNode::new(cfg.clone(), Arc::new(mesh.clone()));
+        assert_eq!(
+            node.handle(&claim("a"), 0),
+            PeerReply::Vote {
+                term: 5,
+                granted: true
+            }
+        );
+        // Same process: the second candidate is still refused.
+        assert_eq!(
+            node.handle(&claim("b"), 0),
+            PeerReply::Vote {
+                term: 5,
+                granted: false
+            }
+        );
+        drop(node);
+        // After a restart with no meta the vote is forgotten.
+        let restarted = ReplicaNode::new(cfg, Arc::new(mesh.clone()));
+        assert_eq!(
+            restarted.handle(&claim("b"), 0),
+            PeerReply::Vote {
+                term: 5,
+                granted: true
             }
         );
     }

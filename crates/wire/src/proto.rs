@@ -89,8 +89,9 @@ pub enum Request {
         after_topic_seq: u64,
     },
     /// Replica-to-replica traffic for the replicated journal backend:
-    /// log replication (`Replicate`), leader election (`LeaderClaim`),
-    /// and full-state catch-up (`Sync`). Cluster-internal — ordinary
+    /// log replication (`Replicate`), elections (`PreVote` +
+    /// `LeaderClaim`), entry-level log repair (`Repair`), and resumable
+    /// chunked catch-up (`SyncChunk`). Cluster-internal — ordinary
     /// clients never send this.
     Peer {
         /// The replication protocol message.

@@ -509,12 +509,22 @@ fn admit_one(
             return respond(conn, controller, &Response::PeerAck { reply });
         }
         // Followers hold journal replicas, not live service state:
-        // everything except liveness checks must go to the leader.
-        if !matches!(envelope.request, Request::Ping) && !node.is_leader() {
-            let response = Response::NotLeader {
-                hint: node.leader_hint(),
-            };
-            return respond(conn, controller, &response);
+        // everything except liveness checks must go to the leader. A
+        // *fenced* leader (quorum lease lapsed during an asymmetric
+        // partition) is gated the same way, with no hint — it cannot
+        // know who, if anyone, succeeded it, and a stale read served
+        // here could contradict the majority side.
+        if !matches!(envelope.request, Request::Ping) {
+            if !node.is_leader() {
+                let response = Response::NotLeader {
+                    hint: node.leader_hint(),
+                };
+                return respond(conn, controller, &response);
+            }
+            if node.is_fenced(controller.now_ms()) {
+                let response = Response::NotLeader { hint: None };
+                return respond(conn, controller, &response);
+            }
         }
     }
     let lane = envelope.request.lane();

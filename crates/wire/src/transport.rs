@@ -128,6 +128,11 @@ pub struct FailoverClient {
     timeouts: WireTimeouts,
     retry: RetryPolicy,
     deadline_ms: Option<u64>,
+    /// Seed for the per-chase backoff jitter. Defaults to an FNV-1a
+    /// fold of the candidate list, so two clients pointed at the same
+    /// cluster de-synchronise their chase delays while each client's
+    /// own schedule stays reproducible.
+    backoff_seed: Option<u64>,
     stats: FailoverStats,
 }
 
@@ -177,6 +182,7 @@ impl FailoverClient {
             timeouts: WireTimeouts::default(),
             retry: RetryPolicy::default(),
             deadline_ms: None,
+            backoff_seed: None,
             stats: FailoverStats::default(),
         }
     }
@@ -205,6 +211,32 @@ impl FailoverClient {
     pub fn with_deadline_ms(mut self, deadline_ms: u64) -> Self {
         self.deadline_ms = Some(deadline_ms);
         self
+    }
+
+    /// Pins the jitter seed for the hint-chase backoff (tests and
+    /// deterministic replays). Without this the seed derives from the
+    /// candidate list.
+    #[must_use]
+    pub fn with_backoff_seed(mut self, seed: u64) -> Self {
+        self.backoff_seed = Some(seed);
+        self
+    }
+
+    /// The effective jitter seed: pinned, or FNV-1a over candidates.
+    fn jitter_seed(&self) -> u64 {
+        if let Some(seed) = self.backoff_seed {
+            return seed;
+        }
+        let mut h: u64 = 0xcbf29ce484222325;
+        for c in &self.candidates {
+            for b in c.as_bytes() {
+                h ^= u64::from(*b);
+                h = h.wrapping_mul(0x100000001b3);
+            }
+            h ^= 0xff;
+            h = h.wrapping_mul(0x100000001b3);
+        }
+        h
     }
 
     /// Connects to `addr`, replacing any cached connection.
@@ -239,7 +271,7 @@ impl FailoverClient {
             !self.candidates.is_empty(),
             "FailoverClient needs at least one candidate address"
         );
-        let mut backoff = Backoff::new(self.retry);
+        let mut backoff = Backoff::with_seed(self.retry, self.jitter_seed());
         loop {
             // Ensure a connection, rotating candidates on dial failure.
             if self.conn.is_none() {
@@ -405,4 +437,64 @@ impl FailoverClient {
 /// Resolves a `host:port` hint string to a socket address.
 pub(crate) fn resolve_hint(hint: &str) -> Option<SocketAddr> {
     hint.to_socket_addrs().ok()?.next()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Instant;
+
+    /// A permanently partitioned leader looks like candidates that
+    /// never answer. The hint chase must terminate with a bounded
+    /// error — max_attempts dial failures, each backoff-delayed — and
+    /// not spin.
+    #[test]
+    fn hint_chase_terminates_when_leader_is_unreachable() {
+        // Reserved port that nothing listens on: dials fail fast.
+        let dead = {
+            let l = std::net::TcpListener::bind("127.0.0.1:0").expect("reserve");
+            l.local_addr().expect("addr").to_string()
+        };
+        let policy = RetryPolicy {
+            max_attempts: 3,
+            base_delay: std::time::Duration::from_millis(1),
+            max_delay: std::time::Duration::from_millis(2),
+            total_delay_cap: std::time::Duration::from_millis(20),
+            jitter: 0.25,
+        };
+        let mut client = FailoverClient::new([dead.clone(), dead])
+            .with_timeouts(WireTimeouts {
+                connect: Some(std::time::Duration::from_millis(50)),
+                read: Some(std::time::Duration::from_millis(50)),
+                write: Some(std::time::Duration::from_millis(50)),
+            })
+            .with_retry(policy)
+            .with_backoff_seed(42);
+        let started = Instant::now();
+        let err = client.ping().expect_err("no leader can ever answer");
+        assert!(
+            matches!(err, WireError::Io(_) | WireError::TimedOut { .. }),
+            "bounded transport error, got {err:?}"
+        );
+        assert!(
+            started.elapsed() < std::time::Duration::from_secs(5),
+            "chase must terminate promptly, took {:?}",
+            started.elapsed()
+        );
+        // max_attempts dials happened (one per schedule slot, then the
+        // schedule ran dry) — no unbounded spin.
+        assert_eq!(client.stats().dials, 3);
+    }
+
+    /// The default jitter seed is a pure function of the candidate
+    /// list; pinning it overrides that.
+    #[test]
+    fn jitter_seed_is_deterministic_per_candidate_list() {
+        let a = FailoverClient::new(["10.0.0.1:1", "10.0.0.2:2"]);
+        let b = FailoverClient::new(["10.0.0.1:1", "10.0.0.2:2"]);
+        let c = FailoverClient::new(["10.0.0.2:2", "10.0.0.1:1"]);
+        assert_eq!(a.jitter_seed(), b.jitter_seed());
+        assert_ne!(a.jitter_seed(), c.jitter_seed(), "order-sensitive");
+        assert_eq!(a.with_backoff_seed(7).jitter_seed(), 7);
+    }
 }

@@ -96,7 +96,12 @@ fn start_cluster(n: usize) -> Cluster {
             .filter(|(p, _)| *p != id)
             .map(|(p, a)| (p.clone(), *a))
             .collect();
-        let cfg = ReplicaConfig::new(id.clone(), peers, addrs[i].to_string());
+        let mut cfg = ReplicaConfig::new(id.clone(), peers, addrs[i].to_string());
+        // This suite deposes a *healthy* leader by forcing a follower
+        // election — the exact move pre-vote exists to veto. Disable
+        // it here; pre-vote has its own coverage in oasis-store and
+        // the conformance term-storm cell.
+        cfg.pre_vote = false;
         let node = Arc::new(ReplicaNode::new(
             cfg,
             Arc::new(WireTransport::new(directory)),

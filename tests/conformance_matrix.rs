@@ -21,8 +21,8 @@
 //! soak over derived seeds.
 
 use oasis_conformance::{
-    cells_in, compare_traces, coverage, full_matrix, run_cell, run_cell_perturbed, Category,
-    FaultRegime, Perturbation, Scenario, ScenarioRun, Topology, Workload,
+    cells_in, compare_traces, coverage, full_matrix, run_cell, run_cell_perturbed, shrink_cell,
+    Category, FaultRegime, Perturbation, Scenario, ScenarioRun, Topology, Workload,
 };
 use oasis_sim::{chaos_seed, derive_seed, write_lines};
 
@@ -147,6 +147,12 @@ fn perturbed_replay_must_diverge() {
 /// derived seeds until the wall-clock budget is spent — the nightly
 /// job's knob. A zero/absent budget reduces to a no-op (the three CI
 /// seeds already ran the matrix via the tests above).
+///
+/// With `CONFORMANCE_SHRINK=1`, a failing cell is delta-debugged before
+/// the panic propagates: its fault schedule is ddmin-reduced to the
+/// minimal sub-schedule that still fails, and the repro lands in
+/// `target/chaos/shrink-<cell>-<seed>.jsonl` so the nightly artifact
+/// arrives pre-reduced.
 #[test]
 fn conformance_soak_within_budget() {
     let budget_ms: u64 = std::env::var("CONFORMANCE_SOAK_MS")
@@ -156,6 +162,7 @@ fn conformance_soak_within_budget() {
     if budget_ms == 0 {
         return;
     }
+    let shrink_on_failure = std::env::var("CONFORMANCE_SHRINK").as_deref() == Ok("1");
     let started = std::time::Instant::now();
     let base_seed = chaos_seed();
     let cells = full_matrix();
@@ -163,14 +170,36 @@ fn conformance_soak_within_budget() {
     while started.elapsed().as_millis() < u128::from(budget_ms) {
         let seed = derive_seed(base_seed, round);
         for cell in &cells {
-            let run = run_cell(*cell, seed);
-            run.report.assert_all(&cell.name());
-            let replay = run_cell(*cell, seed);
-            assert!(
-                compare_traces(&run.trace, &replay.trace).is_none(),
-                "soak: {} diverged under seed {seed}",
-                cell.name()
-            );
+            let outcome = std::panic::catch_unwind(|| {
+                let run = run_cell(*cell, seed);
+                run.report.assert_all(&cell.name());
+                let replay = run_cell(*cell, seed);
+                assert!(
+                    compare_traces(&run.trace, &replay.trace).is_none(),
+                    "soak: {} diverged under seed {seed}",
+                    cell.name()
+                );
+            });
+            if let Err(panic) = outcome {
+                if shrink_on_failure {
+                    if let Some(report) = shrink_cell(*cell, seed) {
+                        write_lines(
+                            &format!("shrink-{}", cell.file_name()),
+                            seed,
+                            &report.jsonl_lines(),
+                        );
+                        eprintln!(
+                            "soak: shrank {} under seed {seed} from {} to {} faults \
+                             ({} probes)",
+                            cell.name(),
+                            report.original,
+                            report.minimal.len(),
+                            report.probes
+                        );
+                    }
+                }
+                std::panic::resume_unwind(panic);
+            }
         }
         round += 1;
     }

@@ -22,6 +22,13 @@
 //! The run is deterministic per seed (`CHAOS_SEED`, default 42; the seed
 //! varies where in the storm the kill lands) and writes a JSONL trace to
 //! `target/chaos/replication-<seed>.jsonl` for post-mortem inspection.
+//!
+//! Three further scenarios cover the partition-hardening layer: a
+//! flapping leader↔follower link healed purely by entry-level log
+//! repair (zero full-state syncs), a chunked full sync interrupted
+//! mid-transfer that must resume rather than restart, and the
+//! pre-vote before/after pair (an isolated node deposes a healthy
+//! leader without pre-vote and cannot with it).
 
 use std::sync::Arc;
 
@@ -42,6 +49,15 @@ fn alice() -> PrincipalId {
 /// Builds the three-node mesh; each node's regions default to fresh
 /// in-memory backends, which is exactly what a diskless replica is.
 fn cluster(n: usize) -> (LocalMesh, Vec<Arc<ReplicaNode>>) {
+    cluster_with(n, |_| {})
+}
+
+/// [`cluster`] with a per-node config tweak (tight retained tails, tiny
+/// sync chunks, pre-vote off) for the partition-hardening scenarios.
+fn cluster_with(
+    n: usize,
+    tweak: impl Fn(&mut ReplicaConfig),
+) -> (LocalMesh, Vec<Arc<ReplicaNode>>) {
     let mesh = LocalMesh::new();
     let ids: Vec<String> = (0..n).map(|i| format!("civ{i}")).collect();
     let nodes: Vec<Arc<ReplicaNode>> = ids
@@ -49,13 +65,28 @@ fn cluster(n: usize) -> (LocalMesh, Vec<Arc<ReplicaNode>>) {
         .enumerate()
         .map(|(i, id)| {
             let peers = ids.iter().filter(|p| *p != id).cloned().collect();
-            let cfg = ReplicaConfig::new(id.clone(), peers, format!("127.0.0.1:{}", 9700 + i));
+            let mut cfg = ReplicaConfig::new(id.clone(), peers, format!("127.0.0.1:{}", 9700 + i));
+            tweak(&mut cfg);
             let node = Arc::new(ReplicaNode::new(cfg, Arc::new(mesh.clone())));
             mesh.register(Arc::clone(&node));
             node
         })
         .collect();
     (mesh, nodes)
+}
+
+/// Enacts a scripted [`Fault::FlappyPeerLink`] against the live mesh —
+/// the driver half of the plan's driver-resolved link flaps.
+fn apply_link_flaps(mesh: &LocalMesh, plan: &mut FaultPlan, at: u64) {
+    let mut dummy_net = SimNet::new(LinkConfig::clean(Latency::Constant(1)));
+    plan.apply_due(at, &mut dummy_net);
+    for (a, b, window) in plan.take_link_flaps() {
+        if window == 0 {
+            mesh.clear_flappy(&a, &b);
+        } else {
+            mesh.set_flappy(&a, &b, window);
+        }
+    }
 }
 
 /// Steps virtual time until exactly one live leader exists, returning
@@ -380,4 +411,295 @@ fn chaos_failover_is_deterministic_per_seed() {
         run_scenario(seed),
         "identical seeds must replay identical traces"
     );
+}
+
+/// A follower behind a flapping link falls a few entries behind on
+/// every down run and must heal each lag through entry-level log
+/// repair alone: zero full-state syncs anywhere in the cluster, no
+/// election, no deposition. This is the acceptance gate for the repair
+/// path — the leader's `sync_chunks_sent` staying at 0 proves lag
+/// within the retained tail never degenerates into a state transfer.
+#[test]
+fn chaos_flappy_link_heals_by_entry_repair_without_sync() {
+    let seed = chaos_seed();
+    let mut trace: Vec<String> = Vec::new();
+    let mut log = |tick: u64, event: &str| {
+        trace.push(format!("{{\"tick\":{tick},\"event\":\"{event}\"}}"));
+    };
+
+    let (mesh, nodes) = cluster(3);
+    let (leader, _) = settle(&mesh);
+    let follower = nodes
+        .iter()
+        .find(|n| n.id() != leader.id())
+        .expect("a follower")
+        .clone();
+    let term_before = leader.term();
+
+    // The seed varies the flap cadence (3..=5 calls per run); every
+    // window is far shorter than the retained tail, so repair must
+    // always suffice.
+    let window = 3 + (seed % 3);
+    let mut plan = FaultPlan::new();
+    let at = mesh.now() + 1;
+    plan.flap_link_at(at, leader.id(), follower.id(), window);
+    apply_link_flaps(&mesh, &mut plan, at);
+    log(
+        at,
+        &format!(
+            "link {}<->{} flapping window={window}",
+            leader.id(),
+            follower.id()
+        ),
+    );
+
+    let ops = leader.replicated("ops");
+    for i in 0..24 {
+        ops.append(format!("op-{i};").as_bytes())
+            .expect("quorum append with a flapping minority link");
+        mesh.step(5);
+    }
+    log(mesh.now(), "24 appends landed through the flapping window");
+
+    let at = mesh.now() + 1;
+    plan.flap_link_at(at, leader.id(), follower.id(), 0);
+    apply_link_flaps(&mesh, &mut plan, at);
+    for _ in 0..40 {
+        if follower.last_index() == leader.last_index() {
+            break;
+        }
+        mesh.step(leader.config().heartbeat_ms + 1);
+    }
+    assert_eq!(
+        follower.last_index(),
+        leader.last_index(),
+        "follower converges once the link steadies"
+    );
+    assert_eq!(
+        follower.region("ops").read().unwrap(),
+        leader.region("ops").read().unwrap(),
+        "converged bytes are identical"
+    );
+
+    let fstats = follower.stats();
+    let lstats = leader.stats();
+    assert!(
+        fstats.repairs_pulled >= 1,
+        "the flapping link must exercise entry repair (stats: {fstats:?})"
+    );
+    assert!(fstats.repair_entries_applied >= 1);
+    assert_eq!(
+        fstats.syncs_applied, 0,
+        "zero full-state syncs applied by the follower"
+    );
+    assert_eq!(
+        lstats.sync_chunks_sent, 0,
+        "zero sync chunks sent by the leader: lag within the tail is repaired, never state-transferred"
+    );
+    assert!(
+        leader.is_leader() && leader.term() == term_before,
+        "flapping must not depose the leader or burn a term"
+    );
+    log(
+        mesh.now(),
+        &format!(
+            "healed via repair: pulls={} entries={} syncs=0",
+            fstats.repairs_pulled, fstats.repair_entries_applied
+        ),
+    );
+    let _ = write_lines("replication-flappy-repair", seed, &trace);
+}
+
+/// A follower partitioned past the leader's retained tail needs a
+/// chunked full-state sync — and the link comes back flapping, killing
+/// the transfer mid-flight over and over. The sync session must resume
+/// from the last acknowledged chunk each time, never restart, and the
+/// follower must install exactly one coherent snapshot.
+#[test]
+fn chaos_mid_sync_link_drop_resumes_chunked_transfer() {
+    let seed = chaos_seed();
+    let mut trace: Vec<String> = Vec::new();
+    let mut log = |tick: u64, event: &str| {
+        trace.push(format!("{{\"tick\":{tick},\"event\":\"{event}\"}}"));
+    };
+
+    // A 2-entry tail compacts almost immediately; 8-byte chunks make
+    // the recovery sync many frames long so the flapping link is
+    // guaranteed to interrupt it.
+    let (mesh, nodes) = cluster_with(3, |cfg| {
+        cfg.retain_entries = 2;
+        cfg.sync_chunk_bytes = 8;
+    });
+    let (leader, _) = settle(&mesh);
+    let follower = nodes
+        .iter()
+        .find(|n| n.id() != leader.id())
+        .expect("a follower")
+        .clone();
+
+    mesh.partition(leader.id(), follower.id());
+    log(mesh.now(), "follower partitioned");
+    let ops = leader.replicated("ops");
+    for i in 0..6 {
+        ops.append(format!("record-{i}-payload;").as_bytes())
+            .expect("majority append while one follower is cut off");
+        mesh.step(5);
+    }
+    log(mesh.now(), "tail compacted past the partitioned follower");
+
+    mesh.heal_partition(leader.id(), follower.id());
+    let mut plan = FaultPlan::new();
+    let at = mesh.now() + 1;
+    plan.flap_link_at(at, leader.id(), follower.id(), 3);
+    apply_link_flaps(&mesh, &mut plan, at);
+    log(
+        at,
+        "link healed but flapping: sync must survive mid-transfer drops",
+    );
+
+    for _ in 0..120 {
+        if follower.last_index() == leader.last_index() {
+            break;
+        }
+        mesh.step(leader.config().heartbeat_ms + 1);
+    }
+    let at = mesh.now() + 1;
+    plan.flap_link_at(at, leader.id(), follower.id(), 0);
+    apply_link_flaps(&mesh, &mut plan, at);
+
+    assert_eq!(
+        follower.region("ops").read().unwrap(),
+        leader.region("ops").read().unwrap(),
+        "follower converges through the interrupted sync"
+    );
+    let fstats = follower.stats();
+    let lstats = leader.stats();
+    assert!(
+        lstats.sync_resumes >= 1,
+        "the transfer must resume from the last acked chunk, not restart (stats: {lstats:?})"
+    );
+    assert!(lstats.syncs_sent >= 1, "at least one sync completed");
+    assert!(
+        fstats.syncs_applied >= 1,
+        "the follower installed the snapshot"
+    );
+    log(
+        mesh.now(),
+        &format!(
+            "sync resumed {} times across {} chunks",
+            lstats.sync_resumes, lstats.sync_chunks_sent
+        ),
+    );
+    let _ = write_lines("replication-mid-sync-drop", seed, &trace);
+}
+
+/// The before/after case for pre-vote. An isolated node that cannot
+/// reach a quorum must not inflate its term: with pre-vote its probes
+/// are vetoed and the stable leader survives the rejoin untouched
+/// (0 depositions). The identical isolation on a pre-vote-less cluster
+/// storms terms while cut off and deposes the healthy leader on heal
+/// (≥1 deposition) — proving the assertion above has teeth.
+#[test]
+fn chaos_pre_vote_prevents_depositions_that_raw_elections_cause() {
+    let seed = chaos_seed();
+    let mut trace: Vec<String> = Vec::new();
+    let mut log = |tick: u64, event: &str| {
+        trace.push(format!("{{\"tick\":{tick},\"event\":\"{event}\"}}"));
+    };
+
+    // --- With pre-vote (the default) --------------------------------
+    let (mesh, nodes) = cluster(3);
+    let (leader, _) = settle(&mesh);
+    let isolated = nodes
+        .iter()
+        .find(|n| n.id() != leader.id())
+        .expect("a follower")
+        .clone();
+    let term_before = leader.term();
+    for peer in nodes.iter().filter(|n| n.id() != isolated.id()) {
+        mesh.partition(isolated.id(), peer.id());
+    }
+    log(
+        mesh.now(),
+        &format!("{} isolated (pre-vote on)", isolated.id()),
+    );
+    for _ in 0..20 {
+        mesh.step(25);
+    }
+    assert!(
+        isolated.stats().pre_votes_blocked >= 1,
+        "the isolated node kept probing and kept being vetoed"
+    );
+    assert_eq!(
+        isolated.term(),
+        term_before,
+        "pre-vote must hold the isolated node's term"
+    );
+    for peer in nodes.iter().filter(|n| n.id() != isolated.id()) {
+        mesh.heal_partition(isolated.id(), peer.id());
+    }
+    for _ in 0..40 {
+        mesh.step(25);
+        if isolated.last_index() == leader.last_index() {
+            break;
+        }
+    }
+    assert!(
+        leader.is_leader() && leader.term() == term_before,
+        "rejoin must not depose the stable leader"
+    );
+    assert_eq!(
+        leader.stats().step_downs,
+        0,
+        "pre-vote: zero depositions across the whole isolation"
+    );
+    log(
+        mesh.now(),
+        "pre-vote: rejoined with 0 depositions, term unchanged",
+    );
+
+    // --- Without pre-vote: the control ------------------------------
+    let (mesh2, nodes2) = cluster_with(3, |cfg| cfg.pre_vote = false);
+    let (leader2, _) = settle(&mesh2);
+    let isolated2 = nodes2
+        .iter()
+        .find(|n| n.id() != leader2.id())
+        .expect("a follower")
+        .clone();
+    let term2_before = leader2.term();
+    for peer in nodes2.iter().filter(|n| n.id() != isolated2.id()) {
+        mesh2.partition(isolated2.id(), peer.id());
+    }
+    log(
+        mesh2.now(),
+        &format!("{} isolated (pre-vote off)", isolated2.id()),
+    );
+    for _ in 0..20 {
+        mesh2.step(25);
+    }
+    assert!(
+        isolated2.term() > term2_before,
+        "without pre-vote the isolated node storms its term up"
+    );
+    for peer in nodes2.iter().filter(|n| n.id() != isolated2.id()) {
+        mesh2.heal_partition(isolated2.id(), peer.id());
+    }
+    let mut deposed = false;
+    for _ in 0..40 {
+        mesh2.step(25);
+        if leader2.stats().step_downs >= 1 {
+            deposed = true;
+            break;
+        }
+    }
+    assert!(
+        deposed,
+        "without pre-vote the inflated term must depose the healthy leader on rejoin"
+    );
+    let (releader, _) = settle(&mesh2);
+    log(
+        mesh2.now(),
+        &format!("no pre-vote: leader deposed, {} re-leads", releader.id()),
+    );
+    let _ = write_lines("replication-pre-vote", seed, &trace);
 }
