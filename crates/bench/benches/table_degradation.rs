@@ -30,7 +30,7 @@ use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use oasis::core::retry::RetryPolicy;
 use oasis::core::{BreakerConfig, HeartbeatConfig, ResilientValidator};
 use oasis::prelude::*;
-use oasis_bench::table_header;
+use oasis_bench::{percentile, table_header};
 
 /// Modelled issuer round trip — and, symmetrically, the deadline an
 /// attempt burns when the issuer is down.
@@ -135,11 +135,6 @@ fn world(breaker: BreakerConfig) -> World {
         cred: Credential::Rmc(rmc),
         doctor,
     }
-}
-
-fn percentile(sorted: &[u64], p: f64) -> u64 {
-    let idx = ((p / 100.0) * (sorted.len() - 1) as f64).round() as usize;
-    sorted[idx]
 }
 
 /// Runs `samples` validations at virtual time `now` and returns the

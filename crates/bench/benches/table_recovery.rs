@@ -33,7 +33,7 @@ use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use oasis::core::ServiceJournal;
 use oasis::prelude::*;
 use oasis::store::MemBackend;
-use oasis_bench::table_header;
+use oasis_bench::{percentile, table_header};
 
 /// One doctor activation (a `CertIssued` event) per this many journal
 /// events; the rest are validation-grant churn.
@@ -158,11 +158,6 @@ fn world(events: u64, snapshot_tail: Option<u64>) -> World {
         i += 1;
     }
     w
-}
-
-fn percentile(sorted: &[u64], p: f64) -> u64 {
-    let idx = ((p / 100.0) * (sorted.len() - 1) as f64).round() as usize;
-    sorted[idx]
 }
 
 /// Cold-starts a fresh service over the world's backends `samples`

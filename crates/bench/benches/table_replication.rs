@@ -28,7 +28,7 @@ use std::time::{Duration, Instant};
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 
 use oasis::store::{LocalMesh, ReplicaConfig, ReplicaNode, ReplicatedStore, StorageBackend};
-use oasis_bench::table_header;
+use oasis_bench::{percentile, table_header};
 
 /// Fixed record size so the journal length counts acked entries.
 const RECORD: &[u8] = b"0123456789abcdef";
@@ -74,11 +74,6 @@ fn leader_store(n: usize) -> (LocalMesh, Arc<ReplicaNode>, ReplicatedStore) {
     let (leader, _) = settle(&mesh);
     let store = leader.replicated("journal");
     (mesh, leader, store)
-}
-
-fn percentile(sorted: &[u64], p: f64) -> u64 {
-    let idx = ((p / 100.0) * (sorted.len() - 1) as f64).round() as usize;
-    sorted[idx]
 }
 
 /// One failover trial on a fresh `n`-node cluster: commit `pre`

@@ -243,6 +243,24 @@ impl Default for CrossDomainWorld {
     }
 }
 
+/// Builds an [`oasis_obs::Histogram`] over raw latency samples: the one
+/// shared quantile implementation for every bench table, and the same
+/// readout the live metrics registry serves over the wire.
+pub fn histogram_of(samples: &[u64]) -> oasis_obs::Histogram {
+    let hist = oasis_obs::Histogram::new();
+    for &v in samples {
+        hist.observe(v);
+    }
+    hist
+}
+
+/// Nearest-rank percentile (`p` in `[0, 100]`) over raw samples via
+/// [`histogram_of`]. Quantization error is bounded by ~1.6% (see the
+/// histogram's bucket layout), well inside every table's margins.
+pub fn percentile(samples: &[u64], p: f64) -> u64 {
+    histogram_of(samples).quantile(p / 100.0)
+}
+
 /// Prints an experiment table header in the harness's uniform format.
 pub fn table_header(experiment: &str, claim: &str, columns: &str) {
     println!("\n=== {experiment} ===");

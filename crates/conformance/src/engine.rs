@@ -43,7 +43,7 @@ use crate::invariant::{
 };
 use crate::parity::Perturbation;
 use crate::scenario::{FaultRegime, Scenario, Workload};
-use crate::OVERLOAD_BACKPRESSURE;
+use crate::{METRICS_DETERMINISTIC, OVERLOAD_BACKPRESSURE};
 
 /// Principals with a login credential and a dependent duty role.
 const PRINCIPALS: usize = 6;
@@ -339,6 +339,17 @@ pub(crate) fn run_two_domain_scheduled(
         )
         .unwrap();
 
+    // Steady cells run fully instrumented: a live metrics registry with
+    // span recording on. Core paths record only virtual-time values, so
+    // the end-of-run snapshot (embedded in the trace below) must replay
+    // byte-identically — any wall-clock leak fails parity.
+    let obs = (workload == Workload::Steady)
+        .then(|| Arc::new(oasis_obs::Registry::with_span_recording()));
+    if let Some(reg) = &obs {
+        login.set_obs(Arc::clone(reg) as Arc<dyn oasis_obs::Recorder>);
+        hospital.set_obs(Arc::clone(reg) as Arc<dyn oasis_obs::Recorder>);
+    }
+
     let registry = Arc::new(LocalRegistry::new());
     registry.register(&login);
     let gate = Arc::new(Gate {
@@ -499,6 +510,7 @@ pub(crate) fn run_two_domain_scheduled(
         let applied_at = Rc::clone(&applied_at);
         let login_certs = login_certs.clone();
         let rev_targets = rev_targets.clone();
+        let obs = obs.clone();
 
         sim.schedule_at(t, move |sim| {
             let now = sim.now();
@@ -584,6 +596,16 @@ pub(crate) fn run_two_domain_scheduled(
                         );
                     } else {
                         let cert = rev_targets[target].0.crr.cert_id;
+                        // Instrumented cells run the revocation under a
+                        // deterministic causal root (trace id = cert id),
+                        // so svc.revoke and the bus cascade emit spans.
+                        let _root = obs.as_ref().map(|_| {
+                            oasis_obs::scope(oasis_obs::TraceCtx {
+                                trace_id: cert.0,
+                                parent_span: 0,
+                                hop: 0,
+                            })
+                        });
                         login.revoke_certificate(cert, "conformance revocation", issuer_now);
                         executed.borrow_mut().push(cert.0);
                         trace.log_kv(
@@ -966,6 +988,23 @@ pub(crate) fn run_two_domain_scheduled(
                         ("validations_shed", TraceValue::from(m.validations_shed)),
                     ],
                 );
+                if let Some(reg) = &obs {
+                    let snapshot = oasis_obs::Recorder::snapshot_json(
+                        reg.as_ref() as &dyn oasis_obs::Recorder
+                    )
+                    .unwrap_or_else(|| "null".to_string());
+                    let spans =
+                        oasis_obs::Recorder::spans(reg.as_ref() as &dyn oasis_obs::Recorder)
+                            .lines();
+                    trace.log_kv(
+                        now,
+                        "metrics snapshot",
+                        &[
+                            ("snapshot", TraceValue::Raw(snapshot)),
+                            ("spans", TraceValue::Raw(format!("[{}]", spans.join(",")))),
+                        ],
+                    );
+                }
             }
         });
     }
@@ -1197,6 +1236,22 @@ pub(crate) fn run_two_domain_scheduled(
             workload.floods()
         ),
     );
+
+    if let Some(reg) = &obs {
+        let snap1 = oasis_obs::Recorder::snapshot_json(reg.as_ref() as &dyn oasis_obs::Recorder)
+            .unwrap_or_else(|| "null".to_string());
+        let snap2 = oasis_obs::Recorder::snapshot_json(reg.as_ref() as &dyn oasis_obs::Recorder)
+            .unwrap_or_else(|| "null".to_string());
+        let spans = oasis_obs::Recorder::spans(reg.as_ref() as &dyn oasis_obs::Recorder).len();
+        report.record(
+            METRICS_DETERMINISTIC,
+            snap1 == snap2 && snap1.starts_with("{\"counters\":") && spans > 0,
+            format!(
+                "snapshot stable over double render ({} bytes), {spans} spans captured",
+                snap1.len()
+            ),
+        );
+    }
 
     drop(m);
     drop(executed);

@@ -55,6 +55,15 @@ pub const NO_TERM_STORM: &str = "no-term-storm";
 /// refuse writes — rather than serve from a stale log.
 pub const NO_STALE_LEADER_READ: &str = "no-stale-leader-read";
 
+/// Extra per-cell check on `Steady`-workload cells (both topologies):
+/// the run carries a live `oasis-obs` registry with span recording on,
+/// and its end-of-run snapshot renders byte-identically twice in a row.
+/// The snapshot and the emitted spans are also embedded in the trace,
+/// so the double-run replay parity check extends byte-determinism
+/// across whole runs — any wall-clock leak into an instrumented hot
+/// path becomes a conformance failure.
+pub const METRICS_DETERMINISTIC: &str = "metrics-deterministic";
+
 /// Runs one matrix cell under `base_seed`. The effective seed is
 /// derived from the scenario *name* (`oasis_sim::scenario_seed`), so
 /// every cell gets an independent deterministic stream and adding a

@@ -28,7 +28,7 @@ use crate::invariant::{
 };
 use crate::parity::Perturbation;
 use crate::scenario::{FaultRegime, Scenario, Workload};
-use crate::{NO_STALE_LEADER_READ, NO_TERM_STORM, OVERLOAD_BACKPRESSURE};
+use crate::{METRICS_DETERMINISTIC, NO_STALE_LEADER_READ, NO_TERM_STORM, OVERLOAD_BACKPRESSURE};
 
 /// Sessions issued up front; the last two stay unrevoked so stale and
 /// live authority can be told apart at the end.
@@ -251,7 +251,23 @@ pub(crate) fn run_replicated(
         ],
     );
 
+    // Steady cells run with a live span-recording registry: the login
+    // issuer and all three replicas report into it, and the end-of-run
+    // snapshot rides in the trace so replay parity enforces that the
+    // instrumentation itself is byte-deterministic. Promoted issuers
+    // after a leader kill stay uninstrumented on purpose — the acked
+    // prefix (k_pre >= 2 revocations) already exercises the full
+    // client -> append -> commit -> fan-out span chain.
+    let obs = (scenario.workload == Workload::Steady)
+        .then(|| Arc::new(oasis_obs::Registry::with_span_recording()));
+
     let login = durable_login(&first_leader, &facts);
+    if let Some(reg) = &obs {
+        login.set_obs(Arc::clone(reg) as Arc<dyn oasis_obs::Recorder>);
+        for node in &nodes {
+            node.set_obs(reg.as_ref(), &format!("{}.replica", node.id()));
+        }
+    }
     let certs: Vec<Rmc> = (0..SESSIONS)
         .map(|i| {
             login
@@ -275,6 +291,15 @@ pub(crate) fn run_replicated(
     let mut acked: Vec<oasis_core::CertId> = Vec::new();
     let revoke = |svc: &Arc<OasisService>, rmc: &Rmc, acked: &mut Vec<oasis_core::CertId>| {
         mesh.step(spacing);
+        // Deterministic causal root: the cert id doubles as the trace id,
+        // parenting the quorum append/commit and fan-out spans.
+        let _root = obs.as_ref().map(|_| {
+            oasis_obs::scope(oasis_obs::TraceCtx {
+                trace_id: rmc.crr.cert_id.0,
+                parent_span: 0,
+                hop: 0,
+            })
+        });
         assert!(
             svc.revoke_certificate(rmc.crr.cert_id, "conformance storm", mesh.now()),
             "healthy revoke must land"
@@ -822,6 +847,31 @@ pub(crate) fn run_replicated(
             ("watermark", TraceValue::from(wm_final)),
         ],
     );
+
+    if let Some(reg) = &obs {
+        let snap1 = oasis_obs::Recorder::snapshot_json(reg.as_ref() as &dyn oasis_obs::Recorder)
+            .unwrap_or_else(|| "null".to_string());
+        let snap2 = oasis_obs::Recorder::snapshot_json(reg.as_ref() as &dyn oasis_obs::Recorder)
+            .unwrap_or_else(|| "null".to_string());
+        let spans = oasis_obs::Recorder::spans(reg.as_ref() as &dyn oasis_obs::Recorder).lines();
+        trace.log_kv(
+            mesh.now(),
+            "metrics snapshot",
+            &[
+                ("snapshot", TraceValue::Raw(snap1.clone())),
+                ("spans", TraceValue::Raw(format!("[{}]", spans.join(",")))),
+            ],
+        );
+        out.record(
+            METRICS_DETERMINISTIC,
+            snap1 == snap2 && snap1.starts_with("{\"counters\":") && !spans.is_empty(),
+            format!(
+                "snapshot stable over double render ({} bytes), {} spans captured",
+                snap1.len(),
+                spans.len()
+            ),
+        );
+    }
 
     ScenarioRun {
         scenario,

@@ -147,6 +147,9 @@ impl RetainedEntry {
             global_seq: self.global_seq,
             timestamp: self.timestamp,
             payload: self.event.clone(),
+            // Trace contexts are per-request, not durable state; a
+            // restored retained event replays without one.
+            trace: None,
         }
     }
 }

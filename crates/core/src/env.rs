@@ -110,6 +110,7 @@ pub struct EnvContext {
     now: u64,
     ambient: HashMap<String, Value>,
     predicates: HashMap<String, PredicateFn>,
+    trace: Option<oasis_obs::TraceCtx>,
 }
 
 impl EnvContext {
@@ -119,7 +120,21 @@ impl EnvContext {
             now,
             ambient: HashMap::new(),
             predicates: HashMap::new(),
+            trace: None,
         }
+    }
+
+    /// Attaches a causal trace context; the service parents the spans of
+    /// the operation evaluated under this environment on it.
+    #[must_use]
+    pub fn with_trace(mut self, trace: oasis_obs::TraceCtx) -> Self {
+        self.trace = Some(trace);
+        self
+    }
+
+    /// The causal trace context, if the request is traced.
+    pub fn trace(&self) -> Option<oasis_obs::TraceCtx> {
+        self.trace
     }
 
     /// Adds an ambient named value (host, location, …).

@@ -387,33 +387,38 @@ impl OverloadStats {
         self.lanes.iter().map(|l| l.expired).sum()
     }
 
-    /// Compact single-line JSON for chaos traces (no serde dependency).
+    /// Compact single-line JSON for chaos traces, keys sorted (rendered
+    /// by the shared `oasis-obs` canonical encoder).
     pub fn trace_json(&self) -> String {
-        let mut out = String::from("{");
-        for (i, lane) in Lane::ALL.iter().enumerate() {
-            let s = self.lane(*lane);
-            if i > 0 {
-                out.push(',');
-            }
-            out.push_str(&format!(
-                "\"{}\":{{\"admitted\":{},\"shed\":{},\"expired\":{},\"cancelled\":{},\"completed\":{},\"queue_depth\":{},\"limit\":{},\"ewma_ms\":{:.1},\"queue_wait_ms\":{:.1}}}",
-                lane.as_str(),
-                s.admitted,
-                s.shed,
-                s.expired,
-                s.cancelled,
-                s.completed,
-                s.queue_depth,
-                s.limit,
-                s.ewma_latency_ms,
-                s.ewma_queue_wait_ms,
-            ));
+        use oasis_obs::TraceValue;
+        let lane_json = |s: &LaneSnapshot| {
+            oasis_obs::kv_json(&[
+                ("admitted", s.admitted.into()),
+                ("cancelled", s.cancelled.into()),
+                ("completed", s.completed.into()),
+                (
+                    "ewma_ms",
+                    TraceValue::Raw(format!("{:.1}", s.ewma_latency_ms)),
+                ),
+                ("expired", s.expired.into()),
+                ("limit", s.limit.into()),
+                ("queue_depth", s.queue_depth.into()),
+                (
+                    "queue_wait_ms",
+                    TraceValue::Raw(format!("{:.1}", s.ewma_queue_wait_ms)),
+                ),
+                ("shed", s.shed.into()),
+            ])
+        };
+        let mut pairs: Vec<(&str, TraceValue)> = vec![
+            ("conns_accepted", self.conns_accepted.into()),
+            ("conns_idle_closed", self.conns_idle_closed.into()),
+            ("conns_shed", self.conns_shed.into()),
+        ];
+        for lane in Lane::ALL.iter() {
+            pairs.push((lane.as_str(), TraceValue::Raw(lane_json(self.lane(*lane)))));
         }
-        out.push_str(&format!(
-            ",\"conns_accepted\":{},\"conns_shed\":{},\"conns_idle_closed\":{}}}",
-            self.conns_accepted, self.conns_shed, self.conns_idle_closed
-        ));
-        out
+        oasis_obs::kv_json(&pairs)
     }
 }
 
@@ -521,6 +526,7 @@ pub struct Ticket {
     id: u64,
     deadline: Deadline,
     submitted_ms: u64,
+    trace: Option<oasis_obs::TraceCtx>,
 }
 
 impl Ticket {
@@ -532,6 +538,12 @@ impl Ticket {
     /// The deadline carried by the queued request.
     pub fn deadline(&self) -> Deadline {
         self.deadline
+    }
+
+    /// The causal trace context carried by the queued request, if the
+    /// caller was traced ([`AdmissionController::submit_traced`]).
+    pub fn trace(&self) -> Option<oasis_obs::TraceCtx> {
+        self.trace
     }
 }
 
@@ -643,6 +655,18 @@ impl AdmissionController {
     /// is at its bound, and refuses outright when the deadline has already
     /// passed.
     pub fn submit(self: &Arc<Self>, lane: Lane, deadline: Deadline) -> Submission {
+        self.submit_traced(lane, deadline, None)
+    }
+
+    /// [`AdmissionController::submit`] carrying a causal trace context;
+    /// a queued [`Ticket`] keeps the context so the executor can resume
+    /// the causal chain when the ticket resolves.
+    pub fn submit_traced(
+        self: &Arc<Self>,
+        lane: Lane,
+        deadline: Deadline,
+        trace: Option<oasis_obs::TraceCtx>,
+    ) -> Submission {
         let now = self.clock.now_ms();
         let cfg = self.config.lane(lane);
         let mut state = self.lanes[lane.idx()].lock();
@@ -681,7 +705,15 @@ impl AdmissionController {
             id,
             deadline,
             submitted_ms: now,
+            trace,
         })
+    }
+
+    /// Registers this controller's stats as a snapshot source named
+    /// `name` on `recorder`.
+    pub fn register_obs(self: &Arc<Self>, recorder: &dyn oasis_obs::Recorder, name: &str) {
+        let ctrl = Arc::clone(self);
+        recorder.register_source(name, Box::new(move || ctrl.stats().trace_json()));
     }
 
     fn permit(self: &Arc<Self>, lane: Lane, granted_ms: u64) -> Permit {

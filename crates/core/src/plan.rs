@@ -775,6 +775,18 @@ impl PlanStats {
         self.reordered += usize::from(plan.was_reordered());
         self.time_sensitive += usize::from(plan.is_time_sensitive());
     }
+
+    /// Compact single-line JSON, keys sorted (rendered by the shared
+    /// `oasis-obs` canonical encoder).
+    pub fn trace_json(&self) -> String {
+        oasis_obs::kv_json(&[
+            ("always_fail", self.always_fail.into()),
+            ("ground", self.ground.into()),
+            ("reordered", self.reordered.into()),
+            ("time_sensitive", self.time_sensitive.into()),
+            ("total", self.total.into()),
+        ])
+    }
 }
 
 /// A per-request index over the presented (validated) credentials:

@@ -127,22 +127,19 @@ pub struct ResilientStats {
 
 impl ResilientStats {
     /// Compact single-line JSON for chaos/conformance traces, keys
-    /// sorted (no serde dependency).
+    /// sorted (rendered by the shared `oasis-obs` canonical encoder).
     pub fn trace_json(&self) -> String {
-        format!(
-            "{{\"breaker_closes\":{},\"breaker_fast_fails\":{},\"breaker_opens\":{},\
-             \"calls\":{},\"fatal_failures\":{},\"overload_sheds\":{},\"retries\":{},\
-             \"successes\":{},\"transient_failures\":{}}}",
-            self.breaker_closes,
-            self.breaker_fast_fails,
-            self.breaker_opens,
-            self.calls,
-            self.fatal_failures,
-            self.overload_sheds,
-            self.retries,
-            self.successes,
-            self.transient_failures,
-        )
+        oasis_obs::kv_json(&[
+            ("breaker_closes", self.breaker_closes.into()),
+            ("breaker_fast_fails", self.breaker_fast_fails.into()),
+            ("breaker_opens", self.breaker_opens.into()),
+            ("calls", self.calls.into()),
+            ("fatal_failures", self.fatal_failures.into()),
+            ("overload_sheds", self.overload_sheds.into()),
+            ("retries", self.retries.into()),
+            ("successes", self.successes.into()),
+            ("transient_failures", self.transient_failures.into()),
+        ])
     }
 }
 

@@ -173,20 +173,17 @@ pub struct DegradationStats {
 
 impl DegradationStats {
     /// Compact single-line JSON for chaos/conformance traces, keys
-    /// sorted (no serde dependency).
+    /// sorted (rendered by the shared `oasis-obs` canonical encoder).
     pub fn trace_json(&self) -> String {
-        format!(
-            "{{\"dead_evictions\":{},\"degraded_certs\":{},\"degraded_issuers\":{},\
-             \"issuer_recoveries\":{},\"stale_refused\":{},\"stale_served\":{},\
-             \"suspect_revalidations\":{}}}",
-            self.dead_evictions,
-            self.degraded_certs,
-            self.degraded_issuers,
-            self.issuer_recoveries,
-            self.stale_refused,
-            self.stale_served,
-            self.suspect_revalidations,
-        )
+        oasis_obs::kv_json(&[
+            ("dead_evictions", self.dead_evictions.into()),
+            ("degraded_certs", self.degraded_certs.into()),
+            ("degraded_issuers", self.degraded_issuers.into()),
+            ("issuer_recoveries", self.issuer_recoveries.into()),
+            ("stale_refused", self.stale_refused.into()),
+            ("stale_served", self.stale_served.into()),
+            ("suspect_revalidations", self.suspect_revalidations.into()),
+        ])
     }
 }
 
@@ -530,6 +527,18 @@ pub struct ValidationCacheStats {
     pub invalidations: u64,
 }
 
+impl ValidationCacheStats {
+    /// Compact single-line JSON, keys sorted (rendered by the shared
+    /// `oasis-obs` canonical encoder).
+    pub fn trace_json(&self) -> String {
+        oasis_obs::kv_json(&[
+            ("hits", self.hits.into()),
+            ("invalidations", self.invalidations.into()),
+            ("misses", self.misses.into()),
+        ])
+    }
+}
+
 /// Memo of successful foreign validations keyed `(credential, presenter)`,
 /// TTL-bounded in virtual time and evicted eagerly on revocation events.
 struct ValidationCache {
@@ -626,6 +635,54 @@ impl ValidationCache {
 /// the service subscribes itself to the event bus and the fact store for
 /// active security. See the [crate-level example](crate).
 ///
+/// Cached observability handles for the request hot path, refreshed by
+/// [`OasisService::set_obs`]. Handles encode "off" internally, so the
+/// default (a [`oasis_obs::NoopRecorder`]) costs one branch per counter
+/// bump and no allocation.
+struct ServiceObs {
+    /// Whether a real recorder has been installed via `set_obs` (late
+    /// surfaces — e.g. an admission controller installed afterwards —
+    /// register their sources into it on arrival).
+    installed: bool,
+    recorder: Arc<dyn oasis_obs::Recorder>,
+    activations_ok: oasis_obs::Counter,
+    activations_denied: oasis_obs::Counter,
+    invocations_ok: oasis_obs::Counter,
+    invocations_denied: oasis_obs::Counter,
+    revocations: oasis_obs::Counter,
+    sink: oasis_obs::SpanSink,
+}
+
+impl ServiceObs {
+    fn attach(recorder: Arc<dyn oasis_obs::Recorder>, id: &ServiceId) -> Self {
+        let name = |suffix: &str| format!("{}.{suffix}", id.as_str());
+        Self {
+            activations_ok: recorder.counter(&name("activate.ok")),
+            activations_denied: recorder.counter(&name("activate.denied")),
+            invocations_ok: recorder.counter(&name("invoke.ok")),
+            invocations_denied: recorder.counter(&name("invoke.denied")),
+            revocations: recorder.counter(&name("revocations")),
+            sink: recorder.spans(),
+            recorder,
+            installed: true,
+        }
+    }
+
+    fn noop() -> Self {
+        Self {
+            installed: false,
+            ..Self::attach(Arc::new(oasis_obs::NoopRecorder), &ServiceId::new("noop"))
+        }
+    }
+}
+
+/// A service secured by OASIS access control (Fig 2), owning its roles,
+/// policy, credential records, and audit log.
+///
+/// Constructed with [`OasisService::new`], which returns an `Arc` because
+/// the service subscribes itself to the event bus and the fact store for
+/// active security. See the [crate-level example](crate).
+///
 /// All operations are safe to call from many threads at once; see the
 /// [module docs](self) for the locking architecture.
 pub struct OasisService {
@@ -641,6 +698,7 @@ pub struct OasisService {
     durable: Option<Durable>,
     validator: RwLock<Option<Arc<dyn CredentialValidator>>>,
     overload: RwLock<Option<Arc<AdmissionController>>>,
+    obs: RwLock<ServiceObs>,
     next_cert: AtomicU64,
     next_rule: AtomicU64,
     /// Virtual time of the most recent operation; used to timestamp
@@ -701,6 +759,7 @@ impl OasisService {
             }),
             validator: RwLock::new(None),
             overload: RwLock::new(None),
+            obs: RwLock::new(ServiceObs::noop()),
             next_cert: AtomicU64::new(1),
             next_rule: AtomicU64::new(1),
             last_now: AtomicU64::new(0),
@@ -784,12 +843,83 @@ impl OasisService {
     /// door (normally done by `oasis-wire` when overload control is
     /// enabled), making its stats visible through the service.
     pub fn set_overload(&self, controller: Arc<AdmissionController>) {
+        // Installed after `set_obs`? Register the controller's stats
+        // into the recorder now (replacing any prior controller's
+        // source under the same name).
+        {
+            let obs = self.obs.read();
+            if obs.installed {
+                controller.register_obs(
+                    obs.recorder.as_ref(),
+                    &format!("{}.overload", self.id.as_str()),
+                );
+            }
+        }
         *self.overload.write() = Some(controller);
     }
 
     /// The installed admission controller, if any.
     pub fn overload(&self) -> Option<Arc<AdmissionController>> {
         self.overload.read().clone()
+    }
+
+    /// Installs an observability recorder: request counters and causal
+    /// spans are recorded through it, and this service's stats surfaces
+    /// (degradation, validation cache, compiled plans, event bus, and —
+    /// when installed — the admission controller) are registered as
+    /// snapshot sources, so one [`oasis_obs::Recorder::snapshot_json`]
+    /// call returns the whole service.
+    ///
+    /// Source closures hold a [`Weak`] reference; a snapshot taken after
+    /// the service is dropped renders the source as `null`.
+    pub fn set_obs(self: &Arc<Self>, recorder: Arc<dyn oasis_obs::Recorder>) {
+        let name = |suffix: &str| format!("{}.{suffix}", self.id.as_str());
+        let weak = Arc::downgrade(self);
+        recorder.register_source(
+            &name("plan"),
+            Box::new({
+                let weak = Weak::clone(&weak);
+                move || match Weak::upgrade(&weak) {
+                    Some(svc) => svc.plan_stats().trace_json(),
+                    None => "null".to_string(),
+                }
+            }),
+        );
+        if self.vcache.is_some() {
+            recorder.register_source(
+                &name("vcache"),
+                Box::new({
+                    let weak = Weak::clone(&weak);
+                    move || match Weak::upgrade(&weak).and_then(|s| s.validation_cache_stats()) {
+                        Some(stats) => stats.trace_json(),
+                        None => "null".to_string(),
+                    }
+                }),
+            );
+        }
+        if self.fa.is_some() {
+            recorder.register_source(
+                &name("degradation"),
+                Box::new({
+                    let weak = Weak::clone(&weak);
+                    move || match Weak::upgrade(&weak).and_then(|s| s.degradation_stats()) {
+                        Some(stats) => stats.trace_json(),
+                        None => "null".to_string(),
+                    }
+                }),
+            );
+        }
+        self.bus.register_obs(recorder.as_ref(), &name("bus"));
+        if let Some(ctrl) = self.overload.read().as_ref() {
+            ctrl.register_obs(recorder.as_ref(), &name("overload"));
+        }
+        *self.obs.write() = ServiceObs::attach(recorder, &self.id);
+    }
+
+    /// The installed observability recorder (a
+    /// [`oasis_obs::NoopRecorder`] until [`OasisService::set_obs`]).
+    pub fn obs_recorder(&self) -> Arc<dyn oasis_obs::Recorder> {
+        Arc::clone(&self.obs.read().recorder)
     }
 
     /// Overload-control counters, or `None` when no admission controller
@@ -1361,6 +1491,25 @@ impl OasisService {
     /// are already journalled as [`SecurityEvent::CertRevoked`]), and
     /// run the dependency cascade.
     fn handle_revocation_delivery(&self, event: &DeliveredEvent<CertEvent>) {
+        // Cascade hop: parent this subscriber's work on the publication
+        // that caused it, and pin the child context so transitive
+        // collapses (which re-enter `revoke_certificate` on this thread)
+        // chain onto this span.
+        let sink = self.obs.read().sink.clone();
+        let _scope = if sink.is_recording() {
+            event.trace.map(|trace| {
+                let child = sink.emit(
+                    trace,
+                    self.id.as_str(),
+                    "svc.cascade",
+                    event.timestamp,
+                    event.timestamp,
+                );
+                oasis_obs::scope(child)
+            })
+        } else {
+            None
+        };
         if let Some(cache) = &self.vcache {
             cache.invalidate(&event.payload.crr);
         }
@@ -2021,6 +2170,35 @@ impl OasisService {
         holder_key: Option<PublicKey>,
         ctx: &EnvContext,
     ) -> Result<ActivationOutcome, OasisError> {
+        let result = self.activate_role_inner(principal, role, args, presented, holder_key, ctx);
+        let obs = self.obs.read();
+        match &result {
+            Ok(_) => obs.activations_ok.inc(),
+            Err(_) => obs.activations_denied.inc(),
+        }
+        if obs.sink.is_recording() {
+            if let Some(trace) = ctx.trace().or_else(oasis_obs::current) {
+                obs.sink.emit(
+                    trace,
+                    self.id.as_str(),
+                    "svc.activate",
+                    ctx.now(),
+                    ctx.now(),
+                );
+            }
+        }
+        result
+    }
+
+    fn activate_role_inner(
+        &self,
+        principal: &PrincipalId,
+        role: &RoleName,
+        args: &[Value],
+        presented: &[Credential],
+        holder_key: Option<PublicKey>,
+        ctx: &EnvContext,
+    ) -> Result<ActivationOutcome, OasisError> {
         self.last_now.store(ctx.now(), Ordering::Relaxed);
         // Argument checking happens under the read lock — no RoleDef
         // clone per activation.
@@ -2238,6 +2416,29 @@ impl OasisService {
         presented: &[Credential],
         ctx: &EnvContext,
     ) -> Result<Invocation, OasisError> {
+        let result = self.invoke_inner(principal, method, args, presented, ctx);
+        let obs = self.obs.read();
+        match &result {
+            Ok(_) => obs.invocations_ok.inc(),
+            Err(_) => obs.invocations_denied.inc(),
+        }
+        if obs.sink.is_recording() {
+            if let Some(trace) = ctx.trace().or_else(oasis_obs::current) {
+                obs.sink
+                    .emit(trace, self.id.as_str(), "svc.invoke", ctx.now(), ctx.now());
+            }
+        }
+        result
+    }
+
+    fn invoke_inner(
+        &self,
+        principal: &PrincipalId,
+        method: &str,
+        args: &[Value],
+        presented: &[Credential],
+        ctx: &EnvContext,
+    ) -> Result<Invocation, OasisError> {
         self.last_now.store(ctx.now(), Ordering::Relaxed);
         let (rules, plans) = {
             let policy = self.policy.read();
@@ -2417,6 +2618,31 @@ impl OasisService {
     ///
     /// Returns `true` if the certificate was active.
     pub fn revoke_certificate(&self, cert_id: CertId, reason: &str, now: u64) -> bool {
+        let (sink, revocations) = {
+            let obs = self.obs.read();
+            (obs.sink.clone(), obs.revocations.clone())
+        };
+        // When the caller is traced (ambient context set by the wire
+        // server or a bench driver), emit the revocation span and pin
+        // its child as the ambient context for the journal append (the
+        // replicated CIV's spans) and the bus publication (cascade
+        // fan-out spans) that run inside the inner call.
+        let _scope = if sink.is_recording() {
+            oasis_obs::current().map(|trace| {
+                let child = sink.emit(trace, self.id.as_str(), "svc.revoke", now, now);
+                oasis_obs::scope(child)
+            })
+        } else {
+            None
+        };
+        let revoked = self.revoke_certificate_inner(cert_id, reason, now);
+        if revoked {
+            revocations.inc();
+        }
+        revoked
+    }
+
+    fn revoke_certificate_inner(&self, cert_id: CertId, reason: &str, now: u64) -> bool {
         self.last_now.store(now, Ordering::Relaxed);
         // Check without mutating first: the journal entry must precede
         // the in-memory change, and must only be written for a

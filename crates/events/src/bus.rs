@@ -64,6 +64,11 @@ pub struct DeliveredEvent<M> {
     pub timestamp: u64,
     /// The message itself.
     pub payload: M,
+    /// Causal trace context captured from the publisher's ambient scope
+    /// (`oasis_obs::current()`), so a subscriber can parent its own span
+    /// on the publication that caused it. `None` when the publisher was
+    /// not inside a traced request.
+    pub trace: Option<oasis_obs::TraceCtx>,
 }
 
 /// What a bounded mailbox does when a new event arrives while full.
@@ -389,6 +394,7 @@ impl<M> EventBus<M> {
             global_seq,
             timestamp,
             payload,
+            trace: oasis_obs::current(),
         };
         // Retain before delivery so a subscriber that resyncs from
         // inside an inline callback already sees this event.
@@ -613,6 +619,17 @@ impl<M> EventBus<M> {
     /// A snapshot of delivery statistics.
     pub fn stats(&self) -> BusStats {
         self.inner.stats.snapshot()
+    }
+
+    /// Registers this bus's stats as a snapshot source named `name` on
+    /// `recorder`, so one `Recorder::snapshot_json` call covers the bus
+    /// alongside every other subsystem.
+    pub fn register_obs(&self, recorder: &dyn oasis_obs::Recorder, name: &str)
+    where
+        M: Send + Sync + 'static,
+    {
+        let inner = Arc::clone(&self.inner);
+        recorder.register_source(name, Box::new(move || inner.stats.snapshot().trace_json()));
     }
 }
 
@@ -1023,6 +1040,7 @@ mod tests {
             global_seq: 40,
             timestamp: 0,
             payload: 1,
+            trace: None,
         });
         assert_eq!(bus.topic_seq(&topic), 7);
         assert_eq!(bus.retained_len(&topic), 0);

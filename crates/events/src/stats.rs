@@ -70,18 +70,16 @@ impl BusStats {
     }
 
     /// Compact single-line JSON for chaos/conformance traces, keys
-    /// sorted (no serde dependency).
+    /// sorted (rendered by the shared `oasis-obs` canonical encoder).
     pub fn trace_json(&self) -> String {
-        format!(
-            "{{\"dead_letters\":{},\"delivered\":{},\"dropped_overflow\":{},\
-             \"overflow_events\":{},\"published\":{},\"retained_evictions\":{}}}",
-            self.dead_letters,
-            self.delivered,
-            self.dropped_overflow,
-            self.overflow_events,
-            self.published,
-            self.retained_evictions,
-        )
+        oasis_obs::kv_json(&[
+            ("dead_letters", self.dead_letters.into()),
+            ("delivered", self.delivered.into()),
+            ("dropped_overflow", self.dropped_overflow.into()),
+            ("overflow_events", self.overflow_events.into()),
+            ("published", self.published.into()),
+            ("retained_evictions", self.retained_evictions.into()),
+        ])
     }
 }
 

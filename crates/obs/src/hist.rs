@@ -1,0 +1,266 @@
+//! Fixed-bucket latency histogram with lock-free recording.
+//!
+//! Bucket layout is log2 with 64 linear sub-buckets per power of two:
+//! values below 64 land in exact unit buckets, and every value `v ≥ 64`
+//! with top bit `t` lands in one of 64 equal-width slices of `[2^t,
+//! 2^(t+1))`. Relative quantization error is therefore bounded by
+//! `1/64 ≈ 1.6%` everywhere, which keeps p50/p99 readouts honest for
+//! bench tables without per-observation allocation or sorting. The whole
+//! table is 3776 relaxed `AtomicU64` buckets (~30 KiB), so recording is
+//! one `fetch_add` — cheap enough for the warm-activation hot path.
+//!
+//! Readout uses nearest-rank selection over a bucket snapshot and
+//! reports each bucket's midpoint, clamped to the observed min/max so
+//! degenerate distributions (all-equal values) read back exactly.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+const LINEAR_MAX: u64 = 64;
+const SUB_BITS: u32 = 6;
+const SUB_BUCKETS: usize = 64;
+/// 64 exact unit buckets + 58 powers of two (6..=63) × 64 sub-buckets.
+const BUCKETS: usize = LINEAR_MAX as usize + (64 - SUB_BITS as usize) * SUB_BUCKETS;
+
+fn index_for(v: u64) -> usize {
+    if v < LINEAR_MAX {
+        return v as usize;
+    }
+    let top = 63 - v.leading_zeros();
+    let sub = ((v >> (top - SUB_BITS)) & (SUB_BUCKETS as u64 - 1)) as usize;
+    LINEAR_MAX as usize + (top - SUB_BITS) as usize * SUB_BUCKETS + sub
+}
+
+fn representative(idx: usize) -> u64 {
+    if idx < LINEAR_MAX as usize {
+        return idx as u64;
+    }
+    let k = idx - LINEAR_MAX as usize;
+    let top = SUB_BITS + (k / SUB_BUCKETS) as u32;
+    let sub = (k % SUB_BUCKETS) as u64;
+    let lo = (LINEAR_MAX + sub) << (top - SUB_BITS);
+    let width = 1u64 << (top - SUB_BITS);
+    lo.saturating_add(width / 2)
+}
+
+/// Lock-free fixed-bucket histogram; see the module docs for layout.
+pub struct Histogram {
+    buckets: Box<[AtomicU64]>,
+    count: AtomicU64,
+    sum: AtomicU64,
+    min: AtomicU64,
+    max: AtomicU64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Histogram {
+    /// An empty histogram.
+    pub fn new() -> Self {
+        let buckets: Vec<AtomicU64> = (0..BUCKETS).map(|_| AtomicU64::new(0)).collect();
+        Self {
+            buckets: buckets.into_boxed_slice(),
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+            min: AtomicU64::new(u64::MAX),
+            max: AtomicU64::new(0),
+        }
+    }
+
+    /// Records one observation.
+    pub fn observe(&self, v: u64) {
+        self.buckets[index_for(v)].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(v, Ordering::Relaxed);
+        self.min.fetch_min(v, Ordering::Relaxed);
+        self.max.fetch_max(v, Ordering::Relaxed);
+    }
+
+    /// Total observations recorded.
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// Sum of all observed values (wrapping on overflow).
+    pub fn sum(&self) -> u64 {
+        self.sum.load(Ordering::Relaxed)
+    }
+
+    /// Smallest observed value, if any.
+    pub fn min(&self) -> Option<u64> {
+        let v = self.min.load(Ordering::Relaxed);
+        (v != u64::MAX || self.count() > 0).then_some(v)
+    }
+
+    /// Largest observed value, if any.
+    pub fn max(&self) -> Option<u64> {
+        (self.count() > 0).then(|| self.max.load(Ordering::Relaxed))
+    }
+
+    /// Mean observed value (0.0 when empty).
+    pub fn mean(&self) -> f64 {
+        let n = self.count();
+        if n == 0 {
+            0.0
+        } else {
+            self.sum() as f64 / n as f64
+        }
+    }
+
+    /// Nearest-rank quantile (`q` in `[0, 1]`), reported as the selected
+    /// bucket's midpoint clamped to the observed min/max. Returns 0 when
+    /// empty.
+    pub fn quantile(&self, q: f64) -> u64 {
+        let n = self.count();
+        if n == 0 {
+            return 0;
+        }
+        let rank = ((q * n as f64).ceil() as u64).clamp(1, n);
+        let mut seen = 0u64;
+        for (idx, bucket) in self.buckets.iter().enumerate() {
+            seen += bucket.load(Ordering::Relaxed);
+            if seen >= rank {
+                let rep = representative(idx);
+                let lo = self.min.load(Ordering::Relaxed);
+                let hi = self.max.load(Ordering::Relaxed);
+                return rep.clamp(lo.min(hi), hi);
+            }
+        }
+        self.max.load(Ordering::Relaxed)
+    }
+
+    /// Median (nearest-rank).
+    pub fn p50(&self) -> u64 {
+        self.quantile(0.50)
+    }
+
+    /// 90th percentile (nearest-rank).
+    pub fn p90(&self) -> u64 {
+        self.quantile(0.90)
+    }
+
+    /// 99th percentile (nearest-rank).
+    pub fn p99(&self) -> u64 {
+        self.quantile(0.99)
+    }
+
+    /// 99.9th percentile (nearest-rank).
+    pub fn p999(&self) -> u64 {
+        self.quantile(0.999)
+    }
+
+    /// Canonical integer-only JSON summary (sorted keys) — safe to embed
+    /// in byte-compared traces.
+    pub fn summary_json(&self) -> String {
+        crate::encode::kv_json(&[
+            ("count", self.count().into()),
+            ("max", self.max().unwrap_or(0).into()),
+            ("min", self.min().unwrap_or(0).into()),
+            ("p50", self.p50().into()),
+            ("p90", self.p90().into()),
+            ("p99", self.p99().into()),
+            ("p999", self.p999().into()),
+            ("sum", self.sum().into()),
+        ])
+    }
+}
+
+impl std::fmt::Debug for Histogram {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Histogram")
+            .field("count", &self.count())
+            .field("p50", &self.p50())
+            .field("p99", &self.p99())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn small_values_are_exact() {
+        let h = Histogram::new();
+        for v in 0..64u64 {
+            h.observe(v);
+        }
+        assert_eq!(h.count(), 64);
+        assert_eq!(h.min(), Some(0));
+        assert_eq!(h.max(), Some(63));
+        assert_eq!(h.quantile(0.5), 31);
+        assert_eq!(h.quantile(1.0), 63);
+    }
+
+    #[test]
+    fn empty_histogram_reads_zero() {
+        let h = Histogram::new();
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.p50(), 0);
+        assert_eq!(h.min(), None);
+        assert_eq!(h.max(), None);
+        assert_eq!(h.mean(), 0.0);
+    }
+
+    #[test]
+    fn quantization_error_is_bounded() {
+        // Every representative must be within 1/64 of the true value.
+        let mut v = 1u64;
+        while v < u64::MAX / 3 {
+            for x in [v, v + v / 3, v.saturating_mul(2) - 1] {
+                let rep = representative(index_for(x));
+                let err = rep.abs_diff(x) as f64 / x.max(1) as f64;
+                assert!(err <= 1.0 / 64.0 + 1e-9, "v={x} rep={rep} err={err}");
+            }
+            v = v.saturating_mul(7) / 3 + 1;
+        }
+    }
+
+    #[test]
+    fn all_equal_values_read_back_exactly() {
+        let h = Histogram::new();
+        for _ in 0..1000 {
+            h.observe(123_456);
+        }
+        // Midpoint clamped to [min, max] collapses to the exact value.
+        assert_eq!(h.p50(), 123_456);
+        assert_eq!(h.p999(), 123_456);
+    }
+
+    #[test]
+    fn percentiles_are_monotone() {
+        let h = Histogram::new();
+        for i in 0..10_000u64 {
+            h.observe(i * 37 % 50_000);
+        }
+        assert!(h.p50() <= h.p90());
+        assert!(h.p90() <= h.p99());
+        assert!(h.p99() <= h.p999());
+        assert!(h.p999() <= h.max().unwrap());
+    }
+
+    #[test]
+    fn summary_json_is_sorted_and_integer_only() {
+        let h = Histogram::new();
+        h.observe(10);
+        h.observe(20);
+        let json = h.summary_json();
+        assert!(
+            json.starts_with(r#"{"count":2,"max":20,"min":10,"#),
+            "{json}"
+        );
+        assert!(!json.contains('.'), "{json}");
+    }
+
+    #[test]
+    fn index_for_covers_full_range_without_panic() {
+        for v in [0, 1, 63, 64, 65, 127, 128, 1 << 20, u64::MAX - 1, u64::MAX] {
+            let idx = index_for(v);
+            assert!(idx < BUCKETS, "v={v} idx={idx}");
+            let _ = representative(idx);
+        }
+    }
+}

@@ -1,0 +1,251 @@
+//! Causal spans: `TraceCtx` propagation plus a deterministic span sink.
+//!
+//! A [`TraceCtx`] is three integers — `trace_id`, `parent_span`, `hop` —
+//! small enough to ride in the wire envelope next to the deadline frame,
+//! inside an admission ticket, or in a delivered event. Each subsystem
+//! that does causally significant work calls [`SpanSink::emit`] with the
+//! incoming context; the sink allocates the next sequential span id,
+//! records one sorted-key JSON line, and returns the *child* context
+//! (hop+1, parented on the new span) for the caller to pass downstream.
+//! Under a virtual clock the whole chain — ids, timestamps, field order —
+//! is byte-deterministic, so span logs can sit inside replay-compared
+//! conformance traces.
+//!
+//! Cross-subsystem boundaries that cannot thread a parameter (the
+//! journal's `StorageBackend` trait, synchronous event-bus callbacks) use
+//! the *ambient* context instead: [`scope`] pins a context to the current
+//! thread for a lexical region and [`current`] reads it back. This works
+//! because the replicated CIV's `LocalMesh` and the event bus both run
+//! their downstream work synchronously on the caller's thread.
+
+use std::cell::RefCell;
+use std::marker::PhantomData;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+use crate::encode::kv_json;
+
+/// A causal trace context: which end-to-end request this work belongs
+/// to, which span caused it, and how many causal hops deep it is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TraceCtx {
+    /// End-to-end request id; every span of one causal chain shares it.
+    pub trace_id: u64,
+    /// Span id of the causing span (0 for a root).
+    pub parent_span: u64,
+    /// Causal depth: 0 at the client, +1 per emitted span.
+    pub hop: u32,
+}
+
+impl TraceCtx {
+    /// A root context (hop 0, no parent).
+    pub fn root(trace_id: u64) -> Self {
+        Self {
+            trace_id,
+            parent_span: 0,
+            hop: 0,
+        }
+    }
+
+    /// The context downstream work should carry after `span_id` was
+    /// emitted for this one.
+    pub fn child(&self, span_id: u64) -> Self {
+        Self {
+            trace_id: self.trace_id,
+            parent_span: span_id,
+            hop: self.hop.saturating_add(1),
+        }
+    }
+}
+
+#[derive(Debug, Default)]
+struct SinkInner {
+    lines: Mutex<Vec<String>>,
+    next: AtomicU64,
+}
+
+/// A shared span recorder. The no-op variant ([`SpanSink::noop`]) makes
+/// every `emit` a branch + copy, so instrumented code paths pay nothing
+/// measurable when tracing is off.
+#[derive(Debug, Clone, Default)]
+pub struct SpanSink(Option<Arc<SinkInner>>);
+
+impl SpanSink {
+    /// A sink that records nothing; `emit` still returns child contexts
+    /// (span id 0) so call sites need no branching.
+    pub fn noop() -> Self {
+        Self(None)
+    }
+
+    /// A recording sink with sequential span ids starting at 1.
+    pub fn recording() -> Self {
+        Self(Some(Arc::new(SinkInner::default())))
+    }
+
+    /// Whether spans are actually recorded.
+    pub fn is_recording(&self) -> bool {
+        self.0.is_some()
+    }
+
+    /// Records one span for work `op` on `node` over `[t0, t1]` caused
+    /// by `ctx`, and returns the context downstream work should carry.
+    pub fn emit(&self, ctx: TraceCtx, node: &str, op: &str, t0: u64, t1: u64) -> TraceCtx {
+        let Some(inner) = &self.0 else {
+            return ctx.child(0);
+        };
+        let span = inner.next.fetch_add(1, Ordering::Relaxed) + 1;
+        let line = kv_json(&[
+            ("hop", ctx.hop.into()),
+            ("node", node.into()),
+            ("op", op.into()),
+            ("parent", ctx.parent_span.into()),
+            ("span", span.into()),
+            ("t0", t0.into()),
+            ("t1", t1.into()),
+            ("trace", ctx.trace_id.into()),
+        ]);
+        inner.lines.lock().push(line);
+        ctx.child(span)
+    }
+
+    /// Snapshot of the recorded span lines (empty for a no-op sink).
+    pub fn lines(&self) -> Vec<String> {
+        match &self.0 {
+            None => Vec::new(),
+            Some(inner) => inner.lines.lock().clone(),
+        }
+    }
+
+    /// Takes the recorded span lines, leaving the sink empty (span ids
+    /// keep counting — determinism depends on emission order, not on
+    /// when lines are collected).
+    pub fn drain(&self) -> Vec<String> {
+        match &self.0 {
+            None => Vec::new(),
+            Some(inner) => std::mem::take(&mut *inner.lines.lock()),
+        }
+    }
+
+    /// Number of recorded lines.
+    pub fn len(&self) -> usize {
+        match &self.0 {
+            None => 0,
+            Some(inner) => inner.lines.lock().len(),
+        }
+    }
+
+    /// Whether nothing is recorded.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+thread_local! {
+    static AMBIENT: RefCell<Vec<TraceCtx>> = const { RefCell::new(Vec::new()) };
+}
+
+/// The innermost ambient context pinned to this thread by [`scope`].
+pub fn current() -> Option<TraceCtx> {
+    AMBIENT.with(|stack| stack.borrow().last().copied())
+}
+
+/// Pins `ctx` as this thread's ambient context until the returned guard
+/// drops. Scopes nest (inner wins) and the guard is not `Send`.
+pub fn scope(ctx: TraceCtx) -> ScopeGuard {
+    AMBIENT.with(|stack| stack.borrow_mut().push(ctx));
+    ScopeGuard {
+        _not_send: PhantomData,
+    }
+}
+
+/// Guard returned by [`scope`]; pops the ambient context on drop.
+#[must_use = "the ambient context lasts only while the guard lives"]
+#[derive(Debug)]
+pub struct ScopeGuard {
+    _not_send: PhantomData<*const ()>,
+}
+
+impl Drop for ScopeGuard {
+    fn drop(&mut self) {
+        AMBIENT.with(|stack| {
+            stack.borrow_mut().pop();
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn emit_chains_hops_and_parents() {
+        let sink = SpanSink::recording();
+        let root = TraceCtx::root(42);
+        let after_client = sink.emit(root, "client", "revoke.request", 0, 1);
+        assert_eq!(after_client.hop, 1);
+        assert_eq!(after_client.parent_span, 1);
+        let after_leader = sink.emit(after_client, "n0", "civ.append", 1, 3);
+        assert_eq!(after_leader.hop, 2);
+        assert_eq!(after_leader.parent_span, 2);
+        let lines = sink.lines();
+        assert_eq!(lines.len(), 2);
+        assert_eq!(
+            lines[0],
+            r#"{"hop":0,"node":"client","op":"revoke.request","parent":0,"span":1,"t0":0,"t1":1,"trace":42}"#
+        );
+        assert_eq!(
+            lines[1],
+            r#"{"hop":1,"node":"n0","op":"civ.append","parent":1,"span":2,"t0":1,"t1":3,"trace":42}"#
+        );
+    }
+
+    #[test]
+    fn noop_sink_records_nothing_but_still_chains() {
+        let sink = SpanSink::noop();
+        let ctx = sink.emit(TraceCtx::root(7), "n", "op", 0, 0);
+        assert_eq!(ctx.hop, 1);
+        assert!(!sink.is_recording());
+        assert!(sink.is_empty());
+        assert!(sink.lines().is_empty());
+    }
+
+    #[test]
+    fn identical_emission_sequences_are_byte_identical() {
+        let run = |sink: &SpanSink| {
+            let mut ctx = TraceCtx::root(9);
+            for (i, op) in ["a", "b", "c"].iter().enumerate() {
+                ctx = sink.emit(ctx, "n", op, i as u64, i as u64 + 1);
+            }
+        };
+        let (a, b) = (SpanSink::recording(), SpanSink::recording());
+        run(&a);
+        run(&b);
+        assert_eq!(a.lines(), b.lines());
+    }
+
+    #[test]
+    fn ambient_scopes_nest_and_unwind() {
+        assert_eq!(current(), None);
+        let outer = scope(TraceCtx::root(1));
+        assert_eq!(current().unwrap().trace_id, 1);
+        {
+            let _inner = scope(TraceCtx::root(2));
+            assert_eq!(current().unwrap().trace_id, 2);
+        }
+        assert_eq!(current().unwrap().trace_id, 1);
+        drop(outer);
+        assert_eq!(current(), None);
+    }
+
+    #[test]
+    fn drain_takes_lines_and_ids_keep_counting() {
+        let sink = SpanSink::recording();
+        sink.emit(TraceCtx::root(1), "n", "a", 0, 0);
+        assert_eq!(sink.drain().len(), 1);
+        assert!(sink.is_empty());
+        sink.emit(TraceCtx::root(1), "n", "b", 0, 0);
+        assert!(sink.lines()[0].contains(r#""span":2"#));
+    }
+}

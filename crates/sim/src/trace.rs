@@ -23,102 +23,12 @@ use std::collections::BTreeMap;
 use std::path::PathBuf;
 use std::rc::Rc;
 
-/// A field value in a canonical trace record.
-#[derive(Debug, Clone, PartialEq)]
-pub enum TraceValue {
-    /// An unsigned integer.
-    U64(u64),
-    /// A signed integer (clock skews are the usual tenant).
-    I64(i64),
-    /// A boolean.
-    Bool(bool),
-    /// A string; escaped on serialization.
-    Str(String),
-    /// Pre-serialized canonical JSON (e.g. a stats `trace_json()`
-    /// snapshot) embedded verbatim as a nested value. The caller is
-    /// responsible for the fragment itself being canonical.
-    Raw(String),
-}
+// The encoder itself (value type, escaping, sorted-key rendering) moved
+// to the `oasis-obs` leaf crate so span logs and registry snapshots
+// share the exact byte format; re-exported here for API compatibility.
+pub use oasis_obs::{escape_json, TraceValue};
 
-impl From<u64> for TraceValue {
-    fn from(v: u64) -> Self {
-        TraceValue::U64(v)
-    }
-}
-
-impl From<usize> for TraceValue {
-    fn from(v: usize) -> Self {
-        TraceValue::U64(v as u64)
-    }
-}
-
-impl From<i64> for TraceValue {
-    fn from(v: i64) -> Self {
-        TraceValue::I64(v)
-    }
-}
-
-impl From<bool> for TraceValue {
-    fn from(v: bool) -> Self {
-        TraceValue::Bool(v)
-    }
-}
-
-impl From<&str> for TraceValue {
-    fn from(v: &str) -> Self {
-        TraceValue::Str(v.to_string())
-    }
-}
-
-impl From<String> for TraceValue {
-    fn from(v: String) -> Self {
-        TraceValue::Str(v)
-    }
-}
-
-/// Escapes `s` for embedding in a JSON string literal.
-pub fn escape_json(s: &str) -> String {
-    let mut out = String::with_capacity(s.len());
-    for c in s.chars() {
-        match c {
-            '"' => out.push_str("\\\""),
-            '\\' => out.push_str("\\\\"),
-            '\n' => out.push_str("\\n"),
-            '\r' => out.push_str("\\r"),
-            '\t' => out.push_str("\\t"),
-            c if (c as u32) < 0x20 => {
-                out.push_str(&format!("\\u{:04x}", c as u32));
-            }
-            c => out.push(c),
-        }
-    }
-    out
-}
-
-fn render(fields: &BTreeMap<&str, TraceValue>) -> String {
-    let mut out = String::from("{");
-    for (i, (key, value)) in fields.iter().enumerate() {
-        if i > 0 {
-            out.push(',');
-        }
-        out.push('"');
-        out.push_str(&escape_json(key));
-        out.push_str("\":");
-        match value {
-            TraceValue::U64(v) => out.push_str(&v.to_string()),
-            TraceValue::I64(v) => out.push_str(&v.to_string()),
-            TraceValue::Bool(v) => out.push_str(if *v { "true" } else { "false" }),
-            TraceValue::Str(v) => {
-                out.push('"');
-                out.push_str(&escape_json(v));
-                out.push('"');
-            }
-            TraceValue::Raw(v) => out.push_str(v),
-        }
-    }
-    out.push('}');
-    out
-}
+use oasis_obs::render_fields as render;
 
 /// A cloneable recorder of canonical JSONL trace lines.
 ///

@@ -726,38 +726,30 @@ pub struct ReplicaStats {
 
 impl ReplicaStats {
     /// Compact single-line JSON for chaos/conformance traces, keys
-    /// sorted (no serde dependency).
+    /// sorted (rendered by the shared `oasis-obs` canonical encoder).
     pub fn trace_json(&self) -> String {
-        format!(
-            "{{\"committed\":{},\"elections_started\":{},\"elections_won\":{},\
-             \"fenced_rejects\":{},\"fencings\":{},\"heartbeats_sent\":{},\
-             \"no_quorum\":{},\"not_leader\":{},\"pre_votes_blocked\":{},\
-             \"pre_votes_started\":{},\"repair_bytes_served\":{},\
-             \"repair_chunks_served\":{},\"repair_entries_applied\":{},\
-             \"repairs_pulled\":{},\"step_downs\":{},\"sync_bytes_sent\":{},\
-             \"sync_chunks_sent\":{},\"sync_resumes\":{},\"syncs_applied\":{},\
-             \"syncs_sent\":{}}}",
-            self.committed,
-            self.elections_started,
-            self.elections_won,
-            self.fenced_rejects,
-            self.fencings,
-            self.heartbeats_sent,
-            self.no_quorum,
-            self.not_leader,
-            self.pre_votes_blocked,
-            self.pre_votes_started,
-            self.repair_bytes_served,
-            self.repair_chunks_served,
-            self.repair_entries_applied,
-            self.repairs_pulled,
-            self.step_downs,
-            self.sync_bytes_sent,
-            self.sync_chunks_sent,
-            self.sync_resumes,
-            self.syncs_applied,
-            self.syncs_sent,
-        )
+        oasis_obs::kv_json(&[
+            ("committed", self.committed.into()),
+            ("elections_started", self.elections_started.into()),
+            ("elections_won", self.elections_won.into()),
+            ("fenced_rejects", self.fenced_rejects.into()),
+            ("fencings", self.fencings.into()),
+            ("heartbeats_sent", self.heartbeats_sent.into()),
+            ("no_quorum", self.no_quorum.into()),
+            ("not_leader", self.not_leader.into()),
+            ("pre_votes_blocked", self.pre_votes_blocked.into()),
+            ("pre_votes_started", self.pre_votes_started.into()),
+            ("repair_bytes_served", self.repair_bytes_served.into()),
+            ("repair_chunks_served", self.repair_chunks_served.into()),
+            ("repair_entries_applied", self.repair_entries_applied.into()),
+            ("repairs_pulled", self.repairs_pulled.into()),
+            ("step_downs", self.step_downs.into()),
+            ("sync_bytes_sent", self.sync_bytes_sent.into()),
+            ("sync_chunks_sent", self.sync_chunks_sent.into()),
+            ("sync_resumes", self.sync_resumes.into()),
+            ("syncs_applied", self.syncs_applied.into()),
+            ("syncs_sent", self.syncs_sent.into()),
+        ])
     }
 }
 
@@ -915,6 +907,8 @@ pub struct ReplicaNode {
     /// Monotonic source of sync session ids (no wall clock: session
     /// ids must be deterministic under the virtual-time harness).
     sync_session_seq: AtomicU64,
+    /// Causal span sink (no-op until [`ReplicaNode::set_obs`]).
+    obs_sink: Mutex<oasis_obs::SpanSink>,
 }
 
 impl ReplicaNode {
@@ -947,6 +941,7 @@ impl ReplicaNode {
             stats: Mutex::new(ReplicaStats::default()),
             sync_sessions: Mutex::new(BTreeMap::new()),
             sync_session_seq: AtomicU64::new(0),
+            obs_sink: Mutex::new(oasis_obs::SpanSink::noop()),
         }
     }
 
@@ -1049,6 +1044,23 @@ impl ReplicaNode {
         *self.stats.lock()
     }
 
+    /// Installs an observability recorder: this node's counters are
+    /// registered as snapshot source `name` and the leader write path
+    /// emits causal spans (`civ.append`, `civ.follower_ack`,
+    /// `civ.commit`) into the recorder's span sink whenever the caller
+    /// carries an ambient [`oasis_obs::TraceCtx`].
+    pub fn set_obs(self: &Arc<Self>, recorder: &dyn oasis_obs::Recorder, name: &str) {
+        let node = Arc::downgrade(self);
+        recorder.register_source(
+            name,
+            Box::new(move || match node.upgrade() {
+                Some(node) => node.stats().trace_json(),
+                None => "null".to_string(),
+            }),
+        );
+        *self.obs_sink.lock() = recorder.spans();
+    }
+
     /// The local backend for `region`, created via the factory on
     /// first use. Reads through a [`ReplicatedStore`] resolve here.
     pub fn region(&self, name: &str) -> Arc<dyn StorageBackend> {
@@ -1136,6 +1148,20 @@ impl ReplicaNode {
     /// semantics callers get from a torn write today.
     pub fn replicate_op(&self, region: &str, op: RegionOp) -> Result<(), StoreError> {
         let _write = self.write.lock();
+        // Causal hop: when the caller is traced (ambient context from
+        // the service's revocation path), record the append and pin its
+        // child context so follower acks — which run synchronously on
+        // this thread under an in-process transport — parent on it.
+        let sink = self.obs_sink.lock().clone();
+        let append_scope = if sink.is_recording() {
+            oasis_obs::current().map(|trace| {
+                let now = self.state.lock().clock_ms;
+                let child = sink.emit(trace, &self.config.id, "civ.append", now, now);
+                (child, oasis_obs::scope(child))
+            })
+        } else {
+            None
+        };
         let (term, prev_index, prev_hash, entry) = {
             let mut st = self.state.lock();
             if st.role != Role::Leader {
@@ -1220,6 +1246,10 @@ impl ReplicaNode {
         let needed = self.quorum();
         if acks >= needed {
             self.stats.lock().committed += 1;
+            if let Some((child, _)) = &append_scope {
+                let now = self.state.lock().clock_ms;
+                sink.emit(*child, &self.config.id, "civ.commit", now, now);
+            }
             Ok(())
         } else {
             self.stats.lock().no_quorum += 1;
@@ -1498,8 +1528,20 @@ impl ReplicaNode {
                     log_hash: st.log_hash,
                     ok: true,
                 };
+                let ack_now = st.clock_ms;
                 drop(st);
                 self.persist_meta();
+                if !entries.is_empty() {
+                    // Follower hop of a traced append: under an
+                    // in-process transport the leader's ambient scope is
+                    // still live on this thread.
+                    let sink = self.obs_sink.lock().clone();
+                    if sink.is_recording() {
+                        if let Some(trace) = oasis_obs::current() {
+                            sink.emit(trace, &self.config.id, "civ.follower_ack", ack_now, ack_now);
+                        }
+                    }
+                }
                 reply
             }
             PeerRequest::LeaderClaim {

@@ -77,6 +77,9 @@ pub struct WireClient {
     /// The timeouts this connection was dialled with, kept so
     /// [`WireClient::reconnect`] re-dials identically.
     timeouts: WireTimeouts,
+    /// Causal trace context attached to every call (see
+    /// [`WireClient::set_trace`]).
+    trace: Option<oasis_obs::TraceCtx>,
 }
 
 impl std::fmt::Debug for WireClient {
@@ -145,6 +148,7 @@ impl WireClient {
             stream,
             deadline_ms: None,
             timeouts,
+            trace: None,
         })
     }
 
@@ -184,6 +188,21 @@ impl WireClient {
         self.deadline_ms
     }
 
+    /// Sets the causal trace context propagated with every subsequent
+    /// call (`None` removes it). The server re-establishes it as the
+    /// ambient context around the request, so server-side spans parent
+    /// onto the caller's span and share its trace id.
+    pub fn set_trace(&mut self, trace: Option<oasis_obs::TraceCtx>) {
+        self.trace = trace;
+    }
+
+    /// Builder form of [`WireClient::set_trace`].
+    #[must_use]
+    pub fn with_trace(mut self, trace: oasis_obs::TraceCtx) -> Self {
+        self.trace = Some(trace);
+        self
+    }
+
     /// One request/response exchange, carrying the client's default
     /// deadline budget (if any).
     ///
@@ -209,12 +228,16 @@ impl WireClient {
         request: &Request,
         deadline_ms: Option<u64>,
     ) -> Result<Response, WireError> {
-        match deadline_ms {
+        match (deadline_ms, self.trace) {
             // Bare request: byte-identical to the pre-deadline format.
-            None => write_frame(&mut self.stream, request),
-            Some(ms) => write_frame(
+            (None, None) => write_frame(&mut self.stream, request),
+            (deadline_ms, trace) => write_frame(
                 &mut self.stream,
-                &Envelope::with_deadline(request.clone(), ms),
+                &Envelope {
+                    deadline_ms,
+                    request: request.clone(),
+                    trace,
+                },
             ),
         }
         .map_err(|e| e.normalise_timeout("write"))?;
@@ -240,6 +263,20 @@ impl WireClient {
     pub fn ping(&mut self) -> Result<(), WireError> {
         match self.call(&Request::Ping)? {
             Response::Pong => Ok(()),
+            other => Err(WireError::UnexpectedResponse(format!("{other:?}"))),
+        }
+    }
+
+    /// Fetches the server's metrics-registry snapshot (canonical
+    /// sorted-key JSON). Served from the control lane with admission
+    /// bypassed, so it answers even while the server sheds normal load.
+    ///
+    /// # Errors
+    ///
+    /// Transport errors, or [`WireError::UnexpectedResponse`].
+    pub fn metrics(&mut self) -> Result<String, WireError> {
+        match self.call(&Request::Metrics)? {
+            Response::Metrics { snapshot } => Ok(snapshot),
             other => Err(WireError::UnexpectedResponse(format!("{other:?}"))),
         }
     }

@@ -14,7 +14,12 @@
 //! counts against the budget, and drops the request without doing work
 //! once the deadline passes ([`Response::DeadlineExceeded`]). Bare
 //! requests (the pre-deadline wire format) parse unchanged, so old
-//! clients keep working against new servers — in *both* directions:
+//! clients keep working against new servers. The same wrapper optionally
+//! carries a causal trace context (`"trace": {"hop", "parent", "trace"}`)
+//! which the server re-establishes as the ambient
+//! [`oasis_obs::TraceCtx`] around the request, so server-side spans
+//! parent onto the client's — old servers ignore the extra field, old
+//! clients never send it. Old clients keep working against new servers — in *both* directions:
 //! because an old client's `Response` parser predates
 //! [`Response::Overloaded`] and [`Response::DeadlineExceeded`], the
 //! server only sends those variants to a connection that has
@@ -99,6 +104,11 @@ pub enum Request {
     },
     /// Liveness check.
     Ping,
+    /// Observability snapshot: the server's metrics registry rendered as
+    /// canonical sorted-key JSON. Control-lane, admission-bypassing, and
+    /// deadline-exempt — a flooded server must still answer the probe
+    /// that explains the flood.
+    Metrics,
 }
 
 impl Request {
@@ -113,7 +123,8 @@ impl Request {
             Request::Revoke { .. }
             | Request::Resync { .. }
             | Request::Peer { .. }
-            | Request::Ping => Lane::Control,
+            | Request::Ping
+            | Request::Metrics => Lane::Control,
             Request::Validate { .. } => Lane::Validation,
             Request::Activate { .. } | Request::Invoke { .. } => Lane::Issuance,
         }
@@ -131,6 +142,9 @@ pub struct Envelope {
     pub deadline_ms: Option<u64>,
     /// The wrapped request.
     pub request: Request,
+    /// Optional causal trace context, propagated so server-side spans
+    /// parent onto the client's span.
+    pub trace: Option<oasis_obs::TraceCtx>,
 }
 
 impl Envelope {
@@ -139,6 +153,7 @@ impl Envelope {
         Self {
             deadline_ms: None,
             request,
+            trace: None,
         }
     }
 
@@ -147,19 +162,52 @@ impl Envelope {
         Self {
             deadline_ms: Some(deadline_ms),
             request,
+            trace: None,
         }
     }
+
+    /// Attaches a causal trace context to this envelope.
+    #[must_use]
+    pub fn with_trace(mut self, trace: oasis_obs::TraceCtx) -> Self {
+        self.trace = Some(trace);
+        self
+    }
+}
+
+/// Encodes a [`oasis_obs::TraceCtx`] for the wire (orphan rules keep the
+/// `ToJson` impl out of both `oasis-obs` and `oasis-json`).
+fn trace_to_json(trace: &oasis_obs::TraceCtx) -> Json {
+    Json::obj(vec![
+        ("hop", trace.hop.to_json()),
+        ("parent", trace.parent_span.to_json()),
+        ("trace", trace.trace_id.to_json()),
+    ])
+}
+
+/// Decodes the wire form built by [`trace_to_json`].
+fn trace_from_json(json: &Json) -> Result<oasis_obs::TraceCtx, JsonError> {
+    Ok(oasis_obs::TraceCtx {
+        trace_id: FromJson::from_json(json.field("trace")?)?,
+        parent_span: FromJson::from_json(json.field("parent")?)?,
+        hop: FromJson::from_json(json.field("hop")?)?,
+    })
 }
 
 impl ToJson for Envelope {
     fn to_json(&self) -> Json {
-        match self.deadline_ms {
-            None => self.request.to_json(),
-            Some(ms) => tagged(
-                "Deadline",
-                vec![("ms", ms.to_json()), ("req", self.request.to_json())],
-            ),
+        if self.deadline_ms.is_none() && self.trace.is_none() {
+            // Byte-identical to the pre-deadline wire format.
+            return self.request.to_json();
         }
+        let mut fields = Vec::new();
+        if let Some(ms) = self.deadline_ms {
+            fields.push(("ms", ms.to_json()));
+        }
+        fields.push(("req", self.request.to_json()));
+        if let Some(trace) = &self.trace {
+            fields.push(("trace", trace_to_json(trace)));
+        }
+        tagged("Deadline", fields)
     }
 }
 
@@ -167,9 +215,19 @@ impl FromJson for Envelope {
     fn from_json(json: &Json) -> Result<Self, JsonError> {
         if let Some([(tag, body)]) = json.as_obj() {
             if tag == "Deadline" {
+                // Both wrapper fields are optional: a trace-only
+                // envelope has no `ms`, a deadline-only one no `trace`,
+                // and old servers ignore `trace` entirely.
                 return Ok(Envelope {
-                    deadline_ms: Some(FromJson::from_json(body.field("ms")?)?),
+                    deadline_ms: match body.get("ms") {
+                        Some(ms) => Some(FromJson::from_json(ms)?),
+                        None => None,
+                    },
                     request: FromJson::from_json(body.field("req")?)?,
+                    trace: match body.get("trace") {
+                        Some(trace) => Some(trace_from_json(trace)?),
+                        None => None,
+                    },
                 });
             }
         }
@@ -220,6 +278,13 @@ pub enum Response {
     },
     /// Liveness answer.
     Pong,
+    /// Answer to [`Request::Metrics`]: the registry snapshot as one
+    /// canonical sorted-key JSON document (already rendered server-side
+    /// so the wire shape is stable across registry growth).
+    Metrics {
+        /// The rendered snapshot.
+        snapshot: String,
+    },
     /// The server shed the request without doing any work: the admission
     /// queue for its priority lane was full. Retry no sooner than the
     /// hint.
@@ -273,6 +338,9 @@ impl From<RetainedEvent> for DeliveredEvent<CertEvent> {
             global_seq: event.global_seq,
             timestamp: event.timestamp,
             payload: event.payload,
+            // Catch-up replays are not part of the original causal
+            // chain; they carry no trace context over the wire.
+            trace: None,
         }
     }
 }
@@ -372,14 +440,17 @@ impl ToJson for Request {
             ),
             Request::Peer { req } => tagged("Peer", vec![("req", req.to_json())]),
             Request::Ping => Json::Str("Ping".into()),
+            Request::Metrics => Json::Str("Metrics".into()),
         }
     }
 }
 
 impl FromJson for Request {
     fn from_json(json: &Json) -> Result<Self, JsonError> {
-        if json.as_str() == Some("Ping") {
-            return Ok(Request::Ping);
+        match json.as_str() {
+            Some("Ping") => return Ok(Request::Ping),
+            Some("Metrics") => return Ok(Request::Metrics),
+            _ => {}
         }
         let (tag, body) = untag(json, "Request")?;
         match tag {
@@ -447,6 +518,9 @@ impl ToJson for Response {
                 )],
             ),
             Response::Pong => Json::Str("Pong".into()),
+            Response::Metrics { snapshot } => {
+                tagged("Metrics", vec![("snapshot", snapshot.to_json())])
+            }
             Response::Overloaded { retry_after_ms } => tagged(
                 "Overloaded",
                 vec![("retry_after_ms", retry_after_ms.to_json())],
@@ -491,6 +565,9 @@ impl FromJson for Response {
             }),
             "Overloaded" => Ok(Response::Overloaded {
                 retry_after_ms: FromJson::from_json(body.field("retry_after_ms")?)?,
+            }),
+            "Metrics" => Ok(Response::Metrics {
+                snapshot: FromJson::from_json(body.field("snapshot")?)?,
             }),
             "Error" => Ok(Response::Error {
                 message: FromJson::from_json(body.field("message")?)?,
@@ -585,6 +662,49 @@ mod tests {
         let raw = oasis_json::to_string(&Request::Ping);
         let back: Envelope = oasis_json::from_str(&raw).unwrap();
         assert_eq!(back, Envelope::bare(Request::Ping));
+    }
+
+    #[test]
+    fn traced_envelopes_round_trip_in_every_combination() {
+        let trace = oasis_obs::TraceCtx {
+            trace_id: 77,
+            parent_span: 3,
+            hop: 2,
+        };
+        // Trace only (no deadline): wrapper with no "ms" field.
+        let env = Envelope::bare(Request::Ping).with_trace(trace);
+        let json = oasis_json::to_string(&env);
+        assert!(
+            json.contains("Deadline") && json.contains("trace"),
+            "{json}"
+        );
+        assert!(!json.contains("\"ms\""), "{json}");
+        let back: Envelope = oasis_json::from_str(&json).unwrap();
+        assert_eq!(env, back);
+
+        // Deadline + trace together.
+        let env = Envelope::with_deadline(Request::Ping, 250).with_trace(trace);
+        let back: Envelope = oasis_json::from_str(&oasis_json::to_string(&env)).unwrap();
+        assert_eq!(env, back);
+
+        // An old server's parser semantics: a deadline-only wrapper has
+        // no "trace" field at all.
+        let env = Envelope::with_deadline(Request::Ping, 250);
+        assert!(!oasis_json::to_string(&env).contains("trace"));
+    }
+
+    #[test]
+    fn metrics_request_and_response_round_trip() {
+        let req = Request::Metrics;
+        let back: Request = oasis_json::from_str(&oasis_json::to_string(&req)).unwrap();
+        assert_eq!(req, back);
+        assert_eq!(req.lane(), Lane::Control);
+
+        let resp = Response::Metrics {
+            snapshot: "{\"counters\":{}}".into(),
+        };
+        let back: Response = oasis_json::from_str(&oasis_json::to_string(&resp)).unwrap();
+        assert_eq!(resp, back);
     }
 
     #[test]

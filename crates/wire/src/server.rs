@@ -191,6 +191,7 @@ impl WireServer {
                 std::thread::sleep(pace);
             });
         }
+        let obs = WireObs::attach(&self.service);
         for _ in 0..config.workers.max(1) {
             let rotation = Arc::clone(&rotation);
             let service = Arc::clone(&self.service);
@@ -198,6 +199,7 @@ impl WireServer {
             let controller = Arc::clone(&self.controller);
             let replica = self.replica.clone();
             let config = config.clone();
+            let obs = obs.clone();
             std::thread::spawn(move || {
                 worker_loop(
                     &rotation,
@@ -206,6 +208,7 @@ impl WireServer {
                     &controller,
                     &replica,
                     &config,
+                    &obs,
                 );
             });
         }
@@ -313,6 +316,29 @@ struct PendingRequest {
     ticket: Ticket,
     deadline: Deadline,
     request: Request,
+    trace: Option<oasis_obs::TraceCtx>,
+}
+
+/// Wire-side instrumentation handles, resolved once per server from the
+/// service's installed recorder (no-op handles when none is installed,
+/// so the uninstrumented server pays only an atomic no-op per request).
+/// Wall-clock durations are recorded *only* here — core and store record
+/// virtual time, keeping conformance snapshots deterministic.
+#[derive(Clone)]
+struct WireObs {
+    requests: oasis_obs::Counter,
+    handle_ms: oasis_obs::Histo,
+}
+
+impl WireObs {
+    fn attach(service: &OasisService) -> Self {
+        let recorder = service.obs_recorder();
+        let id = service.id().as_str().to_string();
+        Self {
+            requests: recorder.counter(&format!("{id}.wire.requests")),
+            handle_ms: recorder.histogram(&format!("{id}.wire.handle_ms")),
+        }
+    }
 }
 
 /// The shared pool of parked connections. Workers pop a connection, take
@@ -408,6 +434,7 @@ fn readiness(stream: &TcpStream) -> Readiness {
     }
 }
 
+#[allow(clippy::too_many_arguments)]
 fn worker_loop(
     rotation: &Rotation,
     service: &Arc<OasisService>,
@@ -415,9 +442,12 @@ fn worker_loop(
     controller: &Arc<AdmissionController>,
     replica: &Option<Arc<ReplicaNode>>,
     config: &OverloadConfig,
+    obs: &WireObs,
 ) {
     while let Some(mut conn) = rotation.pop() {
-        if service_turn(&mut conn, service, context, controller, replica, config) {
+        if service_turn(
+            &mut conn, service, context, controller, replica, config, obs,
+        ) {
             rotation.push_back(conn);
         }
         // else: the connection is dropped here (hangup, error, idle-out).
@@ -427,6 +457,7 @@ fn worker_loop(
 /// One scheduling turn for one connection. Returns whether the connection
 /// stays in the rotation. Never blocks beyond [`POLL_SLICE`] except while
 /// actually transferring a frame or executing a granted request.
+#[allow(clippy::too_many_arguments)]
 fn service_turn(
     conn: &mut Conn,
     service: &Arc<OasisService>,
@@ -434,6 +465,7 @@ fn service_turn(
     controller: &Arc<AdmissionController>,
     replica: &Option<Arc<ReplicaNode>>,
     config: &OverloadConfig,
+    obs: &WireObs,
 ) -> bool {
     // A request already queued in its lane: one non-blocking poll. The
     // worker is never parked on lane admission — that would pin it just
@@ -456,6 +488,8 @@ fn service_turn(
                     permit,
                     pending.deadline,
                     pending.request,
+                    pending.trace,
+                    obs,
                 );
                 respond(conn, controller, &response)
             }
@@ -483,7 +517,7 @@ fn service_turn(
             };
             conn.last_active_ms = controller.now_ms();
             conn.envelope_seen |= envelope.deadline_ms.is_some();
-            admit_one(conn, service, context, controller, replica, envelope)
+            admit_one(conn, service, context, controller, replica, envelope, obs)
         }
     }
 }
@@ -491,6 +525,7 @@ fn service_turn(
 /// Admission gate for one freshly read request: compute the absolute
 /// deadline at read time (so queueing counts against the client's budget),
 /// classify into a lane, and execute, park, or shed.
+#[allow(clippy::too_many_arguments)]
 fn admit_one(
     conn: &mut Conn,
     service: &Arc<OasisService>,
@@ -498,7 +533,21 @@ fn admit_one(
     controller: &Arc<AdmissionController>,
     replica: &Option<Arc<ReplicaNode>>,
     envelope: Envelope,
+    obs: &WireObs,
 ) -> bool {
+    // Observability probes bypass lane admission, deadline accounting,
+    // and leader gating: the snapshot that explains a flood must be
+    // answerable by any node exactly while the lanes are saturated, and
+    // a follower's registry is as interesting as the leader's.
+    if matches!(envelope.request, Request::Metrics) {
+        // A no-op recorder has nothing to snapshot; `null` is still a
+        // well-formed answer.
+        let snapshot = service
+            .obs_recorder()
+            .snapshot_json()
+            .unwrap_or_else(|| "null".to_string());
+        return respond(conn, controller, &Response::Metrics { snapshot });
+    }
     if let Some(node) = replica {
         // Replication traffic bypasses admission entirely: a heartbeat
         // shed under load reads as a dead leader and forces an election
@@ -538,6 +587,8 @@ fn admit_one(
                 permit,
                 deadline,
                 envelope.request,
+                envelope.trace,
+                obs,
             );
             respond(conn, controller, &response)
         }
@@ -546,6 +597,7 @@ fn admit_one(
                 ticket,
                 deadline,
                 request: envelope.request,
+                trace: envelope.trace,
             });
             true
         }
@@ -560,6 +612,7 @@ fn admit_one(
 /// Run a granted request, re-checking the deadline so no request ever
 /// executes past it — the permit may have been granted in the same instant
 /// the deadline lapsed.
+#[allow(clippy::too_many_arguments)]
 fn execute(
     service: &Arc<OasisService>,
     context: &ContextFactory,
@@ -567,13 +620,23 @@ fn execute(
     permit: Permit,
     deadline: Deadline,
     request: Request,
+    trace: Option<oasis_obs::TraceCtx>,
+    obs: &WireObs,
 ) -> Response {
     if deadline.expired(controller.now_ms()) {
         controller.note_expired_after_admit(permit.lane());
         drop(permit);
         return Response::DeadlineExceeded;
     }
+    // Re-establish the client's causal context for the duration of the
+    // request: service-side spans (svc.activate, svc.revoke, civ.*)
+    // parent onto the client's span through the ambient scope.
+    let _trace_scope = trace.map(oasis_obs::scope);
+    obs.requests.inc();
+    let started_ms = controller.now_ms();
     let response = handle_request(service, context, request);
+    obs.handle_ms
+        .observe(controller.now_ms().saturating_sub(started_ms));
     drop(permit);
     response
 }
@@ -676,6 +739,14 @@ fn handle_request(
         // attached; reaching here means this server is not a replica.
         Request::Peer { .. } => Response::Error {
             message: "replication is not enabled on this node".into(),
+        },
+        // Normally short-circuited in `admit_one` (admission bypass);
+        // kept here so the match stays exhaustive if that path changes.
+        Request::Metrics => Response::Metrics {
+            snapshot: service
+                .obs_recorder()
+                .snapshot_json()
+                .unwrap_or_else(|| "null".to_string()),
         },
     }
 }

@@ -153,12 +153,14 @@ pub struct FailoverStats {
 
 impl FailoverStats {
     /// Compact single-line JSON for chaos/conformance traces, keys
-    /// sorted (no serde dependency).
+    /// sorted (shared `oasis-obs` encoder).
     pub fn trace_json(&self) -> String {
-        format!(
-            "{{\"dials\":{},\"hint_follows\":{},\"not_leader_answers\":{},\"rotations\":{}}}",
-            self.dials, self.hint_follows, self.not_leader_answers, self.rotations,
-        )
+        oasis_obs::kv_json(&[
+            ("dials", self.dials.into()),
+            ("hint_follows", self.hint_follows.into()),
+            ("not_leader_answers", self.not_leader_answers.into()),
+            ("rotations", self.rotations.into()),
+        ])
     }
 }
 

@@ -23,6 +23,7 @@
 use oasis_conformance::{
     cells_in, compare_traces, coverage, full_matrix, run_cell, run_cell_perturbed, shrink_cell,
     Category, FaultRegime, Perturbation, Scenario, ScenarioRun, Topology, Workload,
+    METRICS_DETERMINISTIC,
 };
 use oasis_sim::{chaos_seed, derive_seed, write_lines};
 
@@ -91,8 +92,17 @@ fn conformance_matrix_holds_all_invariants() {
     let base_seed = chaos_seed();
     let cells = full_matrix();
     let mut summary: Vec<String> = Vec::new();
+    let mut instrumented = 0usize;
     for cell in &cells {
         let run = run_and_check(*cell, base_seed);
+        if run
+            .report
+            .checks
+            .iter()
+            .any(|c| c.name == METRICS_DETERMINISTIC)
+        {
+            instrumented += 1;
+        }
         summary.push(format!(
             "{{\"cell\":\"{}\",\"checks\":{},\"seed\":{},\"trace_lines\":{}}}",
             cell.name(),
@@ -101,6 +111,12 @@ fn conformance_matrix_holds_all_invariants() {
             run.trace.len()
         ));
     }
+    // Instrumented cells carry the metrics-determinism check; the matrix
+    // must keep a meaningful population of them (all Steady cells).
+    assert!(
+        instrumented >= 6,
+        "only {instrumented} cells carry {METRICS_DETERMINISTIC}, need >= 6"
+    );
     write_lines("conformance-summary", base_seed, &summary);
 }
 
